@@ -1,0 +1,93 @@
+// Extension study: sensitivity of Algorithm 1 to stale queue-length
+// estimates. The paper's servers build m̂_ji from periodically exchanged
+// queue-info packets, so by the time a policy is devised the estimates are
+// dated. This bench perturbs the estimates multiplicatively (± the given
+// staleness level, several noise seeds) and reports how much of the
+// reallocation benefit survives — quantifying the "accurate estimate of the
+// state of the DCS" requirement the paper's introduction stresses.
+#include <cmath>
+#include <iostream>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/random/rng.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+
+namespace {
+
+policy::QueueEstimates noisy_estimates(const core::DcsScenario& scenario,
+                                       double level, std::uint64_t seed) {
+  policy::QueueEstimates est = policy::perfect_estimates(scenario);
+  random::Rng rng(seed);
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    for (std::size_t j = 0; j < est.size(); ++j) {
+      if (i == j) continue;  // a server always knows its own queue
+      const double factor = 1.0 + level * (2.0 * rng.next_double() - 1.0);
+      est[i][j] = std::max(
+          0, static_cast<int>(std::lround(est[i][j] * factor)));
+    }
+  }
+  return est;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_estimates: Algorithm 1 vs stale queue estimates");
+  cli.add_option("seeds", "2", "noise seeds per staleness level");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+
+  const core::DcsScenario scenario =
+      bench::five_server_scenario(dist::ModelFamily::kPareto1, false);
+  const auto evaluator = policy::make_age_dependent_evaluator(
+      scenario, policy::Objective::kMeanExecutionTime);
+  const double no_realloc = evaluator(core::DtrPolicy(5));
+
+  policy::Algorithm1Options opts;
+  opts.objective = policy::Objective::kMeanExecutionTime;
+  opts.pool = &ThreadPool::global();
+  const policy::Algorithm1 algo(opts);
+  const double perfect = evaluator(algo.devise(scenario).policy);
+
+  Table table({"estimate staleness", "mean T-bar (s)", "worst T-bar (s)",
+               "benefit retained"});
+  table.begin_row()
+      .cell("exact")
+      .cell(perfect)
+      .cell(perfect)
+      .cell("100%");
+  for (double level : {0.25, 1.0}) {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      const auto policy =
+          algo.devise(scenario, noisy_estimates(scenario, level, seed + 1))
+              .policy;
+      const double value = evaluator(policy);
+      sum += value;
+      worst = std::max(worst, value);
+    }
+    const double mean = sum / static_cast<double>(seeds);
+    const double retained =
+        (no_realloc - mean) / (no_realloc - perfect);
+    table.begin_row()
+        .cell("±" + format_double(100.0 * level, 3) + "%")
+        .cell(mean)
+        .cell(worst)
+        .cell(format_double(100.0 * retained, 3) + "%");
+  }
+  std::cout << "=== Algorithm 1 under stale queue estimates (5-server "
+               "Pareto 1, severe delay) ===\n"
+            << "No reallocation: " << format_double(no_realloc)
+            << " s; perfect-information Algorithm 1: "
+            << format_double(perfect) << " s\n\n";
+  table.print(std::cout);
+  return 0;
+}

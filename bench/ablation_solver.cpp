@@ -1,0 +1,187 @@
+// Ablations over the solver design choices DESIGN.md calls out:
+//
+//   1. lattice resolution (ConvolutionOptions::cells): metric error vs a
+//      fine-grid reference and wall time — justifies the 2^15 default;
+//   2. auto-horizon safety multiple: truncation tail vs wasted resolution;
+//   3. the multi-group batch approximation (kBatchMax / kBatchMin): the
+//      bracket the two modes form around Monte-Carlo truth;
+//   4. transfer scaling (per-group vs per-task): the optimal policy under
+//      each reading of the paper's transfer model — per-task is what makes
+//      severe delays suppress reallocation;
+//   5. the Theorem-1 solver's quadrature order (probability-domain nodes):
+//      accuracy vs cost of the reference recursion.
+#include <cmath>
+#include <iostream>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/core/regen_solver.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using dist::ModelFamily;
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_solver: solver design-choice ablations");
+  cli.add_option("reference-cells", "262144",
+                 "lattice cells for the reference solution");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const core::DcsScenario scenario = bench::two_server_scenario(
+      ModelFamily::kPareto1, bench::Delay::kSevere, false);
+  const core::DtrPolicy policy = policy::make_two_server_policy(17, 1);
+  const auto workloads = core::apply_policy(scenario, policy);
+
+  // ---- 1. lattice resolution ----
+  core::ConvolutionOptions ref_opts;
+  ref_opts.cells = static_cast<std::size_t>(cli.get_int("reference-cells"));
+  const double reference =
+      core::ConvolutionSolver(ref_opts).mean_execution_time(workloads);
+  std::cout << "Reference T-bar (cells = " << ref_opts.cells
+            << "): " << format_double(reference) << " s\n\n";
+  Table cells_table({"cells", "T-bar (s)", "rel. error vs reference",
+                     "wall time (ms)"});
+  for (std::size_t cells : {1u << 11, 1u << 13, 1u << 15, 1u << 17}) {
+    core::ConvolutionOptions opts;
+    opts.cells = cells;
+    Stopwatch watch;
+    const double value =
+        core::ConvolutionSolver(opts).mean_execution_time(workloads);
+    cells_table.begin_row()
+        .cell(static_cast<long long>(cells))
+        .cell(value)
+        .cell(std::fabs(value - reference) / reference, 3)
+        .cell(watch.elapsed_ms());
+  }
+  std::cout << "=== Ablation 1 | lattice resolution ===\n";
+  cells_table.print(std::cout);
+
+  // ---- 2. horizon multiple ----
+  Table horizon_table({"horizon multiple", "T-bar (s)",
+                       "rel. error vs reference"});
+  for (double multiple : {1.5, 3.0, 6.0, 12.0}) {
+    core::ConvolutionOptions opts;
+    opts.cells = 1u << 15;
+    opts.horizon_multiple = multiple;
+    const double value =
+        core::ConvolutionSolver(opts).mean_execution_time(workloads);
+    horizon_table.begin_row()
+        .cell(multiple, 3)
+        .cell(value)
+        .cell(std::fabs(value - reference) / reference, 3);
+  }
+  std::cout << "\n=== Ablation 2 | auto-horizon safety multiple (cells = "
+               "2^15) ===\n";
+  horizon_table.print(std::cout);
+
+  // ---- 3. multi-group batch approximation ----
+  {
+    std::vector<core::ServerSpec> servers = {
+        {4, dist::Exponential::with_mean(1.0), nullptr},
+        {10, dist::Exponential::with_mean(1.0), nullptr},
+        {10, dist::Exponential::with_mean(1.0), nullptr}};
+    const core::DcsScenario multi = core::make_uniform_network_scenario(
+        std::move(servers), dist::Exponential::with_mean(6.0),
+        dist::Exponential::with_mean(0.2));
+    core::DtrPolicy p(3);
+    p.set(1, 0, 6);
+    p.set(2, 0, 6);
+    const auto w = core::apply_policy(multi, p);
+    core::ConvolutionOptions max_opts;
+    max_opts.multi_group = core::ConvolutionOptions::MultiGroup::kBatchMax;
+    core::ConvolutionOptions min_opts;
+    min_opts.multi_group = core::ConvolutionOptions::MultiGroup::kBatchMin;
+    sim::MonteCarloOptions mc;
+    mc.replications = 60'000;
+    const auto metrics = sim::run_monte_carlo(multi, p, mc);
+    Table batch({"treatment of two inbound groups", "T-bar (s)"});
+    batch.begin_row()
+        .cell("batch-min (lower bracket)")
+        .cell(core::ConvolutionSolver(min_opts).mean_execution_time(w));
+    batch.begin_row()
+        .cell("Monte-Carlo truth (60k reps)")
+        .cell(metrics.mean_completion_time.center);
+    batch.begin_row()
+        .cell("batch-max (upper bracket)")
+        .cell(core::ConvolutionSolver(max_opts).mean_execution_time(w));
+    std::cout << "\n=== Ablation 3 | multi-group batch approximation ===\n";
+    batch.print(std::cout);
+  }
+
+  // ---- 4. transfer scaling ----
+  {
+    Table scaling({"transfer scaling", "delay", "optimal L12",
+                   "optimal T-bar (s)"});
+    for (const bool per_task : {false, true}) {
+      for (bench::Delay delay : {bench::Delay::kLow, bench::Delay::kSevere}) {
+        core::DcsScenario s =
+            bench::two_server_scenario(ModelFamily::kPareto1, delay, false);
+        s.transfer_scaling = per_task ? core::TransferScaling::kPerTask
+                                      : core::TransferScaling::kPerGroup;
+        const auto eval = policy::make_age_dependent_evaluator(
+            s, policy::Objective::kMeanExecutionTime);
+        const policy::TwoServerPolicySearch search(100, 50);
+        int best_l12 = 0;
+        double best = 1e300;
+        for (const auto& pt : search.sweep_l12(eval, 0,
+                                               &ThreadPool::global())) {
+          if (pt.value < best) {
+            best = pt.value;
+            best_l12 = pt.l12;
+          }
+        }
+        scaling.begin_row()
+            .cell(per_task ? "per-task (L-fold sum)" : "per-group (fixed)")
+            .cell(bench::delay_name(delay))
+            .cell(best_l12)
+            .cell(best);
+      }
+    }
+    std::cout << "\n=== Ablation 4 | transfer scaling: per-task is what "
+                 "makes severe delays\n    suppress reallocation ===\n";
+    scaling.print(std::cout);
+  }
+
+  // ---- 5. Theorem-1 quadrature order ----
+  {
+    std::vector<core::ServerSpec> servers = {
+        {2, dist::Pareto::with_mean(2.0, 2.5), nullptr},
+        {1, dist::Pareto::with_mean(1.0, 2.5), nullptr}};
+    const core::DcsScenario small = core::make_uniform_network_scenario(
+        std::move(servers), dist::Pareto::with_mean(1.5, 2.5),
+        dist::Exponential::with_mean(0.2));
+    core::DtrPolicy p(2);
+    p.set(0, 1, 1);
+    core::ConvolutionOptions fine;
+    fine.cells = 1u << 16;
+    const double exact =
+        core::ConvolutionSolver(fine).mean_execution_time(
+            core::apply_policy(small, p));
+    Table quad({"quad nodes", "T-bar (s)", "rel. error", "wall time (ms)"});
+    for (int nodes : {4, 6, 8, 10, 14}) {
+      core::RegenSolverOptions opts;
+      opts.quad_nodes = nodes;
+      const core::RegenerativeSolver solver(small, opts);
+      Stopwatch watch;
+      const double value = solver.mean_execution_time(p);
+      quad.begin_row()
+          .cell(nodes)
+          .cell(value)
+          .cell(std::fabs(value - exact) / exact, 3)
+          .cell(watch.elapsed_ms());
+    }
+    std::cout << "\n=== Ablation 5 | Theorem-1 recursion quadrature order "
+                 "(reference: convolution solver, "
+              << format_double(exact) << " s) ===\n";
+    quad.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fig. 2 reproduction: service reliability R_∞ as a function of the DTR
+// policy (L12 sweep with L21 = 25) with exponentially failing servers
+// (means 1000 s and 500 s), low and severe network delay, all five models.
+// The Markovian prediction runs alongside; the paper reports relative
+// errors up to ~3% (low) and ~65% (severe).
+//
+// Output: per-(delay, model) tables, fig2_<delay>.csv, and a summary.
+#include <cmath>
+#include <iostream>
+
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using bench::Delay;
+using dist::ModelFamily;
+
+int main(int argc, char** argv) {
+  CliParser cli("fig2: service reliability vs DTR policy (Fig. 2)");
+  cli.add_option("step", "5", "L12 sweep step");
+  cli.add_option("l21", "25", "tasks reallocated from server 2 to 1");
+  cli.add_option("cells", "32768", "lattice cells for the solver");
+  if (!cli.parse(argc, argv)) return 0;
+  const int step = static_cast<int>(cli.get_int("step"));
+  const int l21 = static_cast<int>(cli.get_int("l21"));
+
+  Stopwatch watch;
+  ThreadPool& pool = ThreadPool::global();
+  core::ConvolutionOptions conv;
+  conv.cells = static_cast<std::size_t>(cli.get_int("cells"));
+
+  Table summary({"delay", "model", "max R-inf", "argmax L12",
+                 "max Markovian rel. error"});
+
+  for (Delay delay : {Delay::kLow, Delay::kSevere}) {
+    Table csv({"model", "l12", "r_age_dependent", "r_markovian"});
+    for (ModelFamily family : dist::all_model_families()) {
+      const core::DcsScenario scenario =
+          bench::two_server_scenario(family, delay, /*failures=*/true);
+      const auto exact = policy::make_age_dependent_evaluator(
+          scenario, policy::Objective::kReliability, 0.0, conv);
+      const auto markovian = policy::make_age_dependent_evaluator(
+          policy::exponentialized(scenario), policy::Objective::kReliability,
+          0.0, conv);
+
+      std::vector<int> l12s;
+      for (int l12 = 0; l12 <= 100; l12 += step) l12s.push_back(l12);
+      std::vector<double> exact_vals(l12s.size()), markov_vals(l12s.size());
+      pool.parallel_for(0, l12s.size(), [&](std::size_t i) {
+        const auto p = policy::make_two_server_policy(l12s[i], l21);
+        exact_vals[i] = exact(p);
+        markov_vals[i] = markovian(p);
+      });
+
+      Table table({"L12", "R-inf age-dependent", "R-inf Markovian",
+                   "rel. error"});
+      double max_err = 0.0;
+      double best = -1.0;
+      int best_l12 = 0;
+      for (std::size_t i = 0; i < l12s.size(); ++i) {
+        const double err =
+            exact_vals[i] > 1e-9
+                ? std::fabs(markov_vals[i] - exact_vals[i]) / exact_vals[i]
+                : 0.0;
+        max_err = std::max(max_err, err);
+        if (exact_vals[i] > best) {
+          best = exact_vals[i];
+          best_l12 = l12s[i];
+        }
+        table.begin_row()
+            .cell(l12s[i])
+            .cell(exact_vals[i])
+            .cell(markov_vals[i])
+            .cell(err, 3);
+        csv.begin_row()
+            .cell(dist::model_family_name(family))
+            .cell(l12s[i])
+            .cell(exact_vals[i], 8)
+            .cell(markov_vals[i], 8);
+      }
+      std::cout << "\n=== Fig. 2 | " << bench::delay_name(delay)
+                << " network delay | " << dist::model_family_name(family)
+                << " model | L21 = " << l21 << " ===\n";
+      table.print(std::cout);
+      summary.begin_row()
+          .cell(bench::delay_name(delay))
+          .cell(dist::model_family_name(family))
+          .cell(best)
+          .cell(best_l12)
+          .cell(max_err, 3);
+    }
+    csv.write_csv_file("fig2_" + bench::delay_name(delay) + ".csv");
+  }
+
+  std::cout << "\n=== Fig. 2 summary (paper: Markovian error <= 3% low, up "
+               "to ~65% severe) ===\n";
+  summary.print(std::cout);
+  std::cout << "\nCSV series written to fig2_low.csv / fig2_severe.csv ("
+            << format_double(watch.elapsed_seconds(), 3) << " s)\n";
+  return 0;
+}

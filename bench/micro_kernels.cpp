@@ -1,0 +1,205 @@
+// Google-benchmark microbenchmarks over the library's hot kernels: FFT and
+// lattice convolution, k-fold service sums, distribution sampling and
+// discretization, the Markovian DP, the CTMC uniformization, the full
+// ConvolutionSolver metrics, the age-dependent regeneration machinery, and
+// the discrete-event simulator.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <complex>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/ctmc.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/core/regen_solver.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/numerics/fft.hpp"
+#include "agedtr/random/rng.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "paper_setup.hpp"
+
+namespace {
+
+using namespace agedtr;
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::sin(0.01 * static_cast<double>(i)), 0.0};
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    numerics::fft(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_LatticeConvolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dist::Exponential law(0.5);
+  const numerics::LatticeDensity d = dist::discretize(law, 10.0 / static_cast<double>(n), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.convolve(d).tail());
+  }
+}
+BENCHMARK(BM_LatticeConvolve)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_ServiceSumKFold(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const dist::Exponential law(0.5);
+  const numerics::LatticeDensity d = dist::discretize(law, 0.01, 1 << 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.convolve_power(k).tail());
+  }
+}
+BENCHMARK(BM_ServiceSumKFold)->Arg(10)->Arg(100);
+
+void BM_Discretize(benchmark::State& state) {
+  const dist::DistPtr p = dist::Pareto::with_mean(2.0, 2.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::discretize(*p, 0.01, 1 << 16).tail());
+  }
+}
+BENCHMARK(BM_Discretize);
+
+void BM_Sampling(benchmark::State& state) {
+  const dist::DistPtr laws[] = {
+      dist::Exponential::with_mean(1.0),
+      dist::Pareto::with_mean(1.0, 2.5),
+      std::make_shared<dist::Gamma>(2.0, 0.5),
+  };
+  const auto& law = *laws[static_cast<std::size_t>(state.range(0))];
+  random::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(law.sample(rng));
+  }
+}
+BENCHMARK(BM_Sampling)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MarkovianMeanDp(benchmark::State& state) {
+  const core::DcsScenario s = bench::two_server_scenario(
+      dist::ModelFamily::kExponential, bench::Delay::kLow, false);
+  const core::MarkovianSolver solver(s);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 30);
+  policy.set(1, 0, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.mean_execution_time(policy));
+  }
+}
+BENCHMARK(BM_MarkovianMeanDp);
+
+void BM_CtmcQos(benchmark::State& state) {
+  std::vector<core::ServerSpec> servers = {
+      {30, dist::Exponential::with_mean(2.0), nullptr},
+      {15, dist::Exponential::with_mean(1.0), nullptr}};
+  const core::DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(1.0),
+      dist::Exponential::with_mean(0.2));
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 10);
+  const core::CtmcTransientSolver ctmc(s, policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctmc.qos(60.0));
+  }
+}
+BENCHMARK(BM_CtmcQos);
+
+void BM_ConvolutionSolverMean(benchmark::State& state) {
+  const core::DcsScenario s = bench::two_server_scenario(
+      dist::ModelFamily::kPareto1, bench::Delay::kSevere, false);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 32);
+  policy.set(1, 0, 1);
+  const auto workloads = core::apply_policy(s, policy);
+  core::ConvolutionOptions opts;
+  opts.cells = 1u << 15;
+  for (auto _ : state) {
+    // Fresh solver each iteration: measures the uncached cost.
+    const core::ConvolutionSolver solver(opts);
+    benchmark::DoNotOptimize(solver.mean_execution_time(workloads));
+  }
+}
+BENCHMARK(BM_ConvolutionSolverMean);
+
+void BM_ConvolutionSolverCachedSweep(benchmark::State& state) {
+  const core::DcsScenario s = bench::two_server_scenario(
+      dist::ModelFamily::kPareto1, bench::Delay::kSevere, false);
+  core::ConvolutionOptions opts;
+  opts.cells = 1u << 15;
+  const core::ConvolutionSolver solver(opts);
+  int l12 = 0;
+  for (auto _ : state) {
+    core::DtrPolicy policy(2);
+    policy.set(0, 1, l12);
+    l12 = (l12 + 7) % 100;
+    benchmark::DoNotOptimize(
+        solver.mean_execution_time(core::apply_policy(s, policy)));
+  }
+}
+BENCHMARK(BM_ConvolutionSolverCachedSweep);
+
+void BM_RegenerationPdf(benchmark::State& state) {
+  const core::DcsScenario s = bench::two_server_scenario(
+      dist::ModelFamily::kPareto1, bench::Delay::kSevere, true);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 30);
+  const core::SystemState st = core::SystemState::initial(s, policy);
+  const core::RegenerationAnalysis analysis(s, st);
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.regeneration_pdf(t));
+    t += 0.1;
+    if (t > 10.0) t = 0.1;
+  }
+}
+BENCHMARK(BM_RegenerationPdf);
+
+void BM_RegenSolverSmallMean(benchmark::State& state) {
+  std::vector<core::ServerSpec> servers = {
+      {2, dist::Pareto::with_mean(2.0, 2.5), nullptr},
+      {1, dist::Pareto::with_mean(1.0, 2.5), nullptr}};
+  const core::DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Pareto::with_mean(1.5, 2.5),
+      dist::Exponential::with_mean(0.2));
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  const core::RegenerativeSolver solver(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.mean_execution_time(policy));
+  }
+}
+BENCHMARK(BM_RegenSolverSmallMean);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const core::DcsScenario s = bench::two_server_scenario(
+      dist::ModelFamily::kPareto1, bench::Delay::kSevere, true);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 30);
+  const sim::DcsSimulator simulator(s);
+  random::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(policy, rng).completion_time);
+  }
+}
+BENCHMARK(BM_SimulatorRun);
+
+void BM_RngThroughput(benchmark::State& state) {
+  random::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Table I reproduction: optimal DTR policies for the average execution time
+// (problem (3)) and the QoS in executing the workload by a deadline
+// (problem (4)), per distribution model and delay condition, with
+// completely reliable servers. For every non-exponential model the table
+// also shows the policy the *Markovian approximation* would prescribe and
+// the true metric value under that policy — the 10–40% degradation the
+// paper attributes to using the wrong model under severe delays.
+//
+// Deadlines: the paper's Fig. 3 discussion uses T_M = 180 s under severe
+// delay; under low delay we use T_M = 150 s (≈1.4× the optimal mean).
+// Both are CLI-overridable.
+#include <cmath>
+#include <iostream>
+
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using bench::Delay;
+using dist::ModelFamily;
+
+namespace {
+
+// Coarse-to-fine exhaustive search over (L12, L21) in [0,100]x[0,50].
+policy::PolicyPoint coarse_to_fine(const policy::PolicyEvaluator& eval,
+                                   bool maximize, ThreadPool& pool,
+                                   int coarse_step) {
+  std::vector<policy::PolicyPoint> grid;
+  for (int l12 = 0; l12 <= 100; l12 += coarse_step) {
+    for (int l21 = 0; l21 <= 50; l21 += coarse_step) {
+      grid.push_back({l12, l21, 0.0});
+    }
+  }
+  const auto evaluate = [&](std::vector<policy::PolicyPoint>& points) {
+    pool.parallel_for(0, points.size(), [&](std::size_t i) {
+      points[i].value = eval(
+          policy::make_two_server_policy(points[i].l12, points[i].l21));
+    });
+  };
+  const auto pick = [&](const std::vector<policy::PolicyPoint>& points) {
+    const policy::PolicyPoint* best = &points.front();
+    for (const auto& p : points) {
+      if (maximize ? p.value > best->value : p.value < best->value) best = &p;
+    }
+    return *best;
+  };
+  evaluate(grid);
+  policy::PolicyPoint best = pick(grid);
+  // Refine the ±coarse_step neighbourhood at unit resolution.
+  std::vector<policy::PolicyPoint> fine;
+  for (int l12 = std::max(0, best.l12 - coarse_step);
+       l12 <= std::min(100, best.l12 + coarse_step); ++l12) {
+    for (int l21 = std::max(0, best.l21 - coarse_step);
+         l21 <= std::min(50, best.l21 + coarse_step); ++l21) {
+      fine.push_back({l12, l21, 0.0});
+    }
+  }
+  evaluate(fine);
+  return pick(fine);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("table1: optimal DTR policies per model (Table I)");
+  cli.add_option("coarse-step", "5", "coarse search grid step");
+  cli.add_option("cells", "32768", "lattice cells for the solver");
+  cli.add_option("deadline-low", "150", "QoS deadline, low delay (s)");
+  cli.add_option("deadline-severe", "180", "QoS deadline, severe delay (s)");
+  if (!cli.parse(argc, argv)) return 0;
+  const int coarse = static_cast<int>(cli.get_int("coarse-step"));
+
+  Stopwatch watch;
+  ThreadPool& pool = ThreadPool::global();
+  core::ConvolutionOptions conv;
+  conv.cells = static_cast<std::size_t>(cli.get_int("cells"));
+
+  for (Delay delay : {Delay::kLow, Delay::kSevere}) {
+    const double deadline = delay == Delay::kLow
+                                ? cli.get_double("deadline-low")
+                                : cli.get_double("deadline-severe");
+    Table mean_table({"model", "L12*", "L21*", "min T-bar (s)",
+                      "Markovian L12/L21", "T-bar under Markovian policy",
+                      "degradation"});
+    Table qos_table({"model", "L12*", "L21*", "max QoS",
+                     "Markovian L12/L21", "QoS under Markovian policy",
+                     "degradation"});
+    for (ModelFamily family : dist::all_model_families()) {
+      const core::DcsScenario scenario =
+          bench::two_server_scenario(family, delay, /*failures=*/false);
+      const core::DcsScenario markov_scenario =
+          policy::exponentialized(scenario);
+
+      // --- problem (3): minimize the average execution time.
+      const auto mean_true = policy::make_age_dependent_evaluator(
+          scenario, policy::Objective::kMeanExecutionTime, 0.0, conv);
+      const auto mean_markov = policy::make_age_dependent_evaluator(
+          markov_scenario, policy::Objective::kMeanExecutionTime, 0.0, conv);
+      const auto best_true = coarse_to_fine(mean_true, false, pool, coarse);
+      const auto best_markov =
+          coarse_to_fine(mean_markov, false, pool, coarse);
+      const double degraded_mean = mean_true(
+          policy::make_two_server_policy(best_markov.l12, best_markov.l21));
+      mean_table.begin_row()
+          .cell(dist::model_family_name(family))
+          .cell(best_true.l12)
+          .cell(best_true.l21)
+          .cell(best_true.value)
+          .cell(std::to_string(best_markov.l12) + "/" +
+                std::to_string(best_markov.l21))
+          .cell(degraded_mean)
+          .cell(format_double(
+                    100.0 * (degraded_mean - best_true.value) /
+                        best_true.value,
+                    3) +
+                "%");
+
+      // --- problem (4): maximize the QoS by the deadline.
+      const auto qos_true = policy::make_age_dependent_evaluator(
+          scenario, policy::Objective::kQos, deadline, conv);
+      const auto qos_markov = policy::make_age_dependent_evaluator(
+          markov_scenario, policy::Objective::kQos, deadline, conv);
+      const auto best_qos = coarse_to_fine(qos_true, true, pool, coarse);
+      const auto best_qos_markov =
+          coarse_to_fine(qos_markov, true, pool, coarse);
+      const double degraded_qos = qos_true(policy::make_two_server_policy(
+          best_qos_markov.l12, best_qos_markov.l21));
+      qos_table.begin_row()
+          .cell(dist::model_family_name(family))
+          .cell(best_qos.l12)
+          .cell(best_qos.l21)
+          .cell(best_qos.value)
+          .cell(std::to_string(best_qos_markov.l12) + "/" +
+                std::to_string(best_qos_markov.l21))
+          .cell(degraded_qos)
+          .cell(format_double(best_qos.value > 1e-12
+                                  ? 100.0 * (best_qos.value - degraded_qos) /
+                                        best_qos.value
+                                  : 0.0,
+                              3) +
+                "%");
+    }
+    std::cout << "\n=== Table I | " << bench::delay_name(delay)
+              << " delay | average execution time (problem (3)) ===\n";
+    mean_table.print(std::cout);
+    mean_table.write_csv_file("table1_mean_" + bench::delay_name(delay) +
+                              ".csv");
+    std::cout << "\n=== Table I | " << bench::delay_name(delay)
+              << " delay | QoS within " << format_double(deadline, 4)
+              << " s (problem (4)) ===\n";
+    qos_table.print(std::cout);
+    qos_table.write_csv_file("table1_qos_" + bench::delay_name(delay) +
+                             ".csv");
+  }
+  std::cout << "\n(paper: under low delay the Markovian policies are nearly "
+               "optimal; under severe delay they degrade the metrics by "
+               "roughly 10-40%)\nElapsed: "
+            << format_double(watch.elapsed_seconds(), 3) << " s\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Table II reproduction: a heterogeneous five-server DCS (M = 200 tasks,
+// service means 5..1 s, failure means 1000..400 s, severe network delay).
+// For every distribution model, Algorithm 1 devises DTR policies that
+// (a) minimize the average execution time (reliable servers) and
+// (b) maximize the service reliability; each policy — and, for comparison,
+// the policy devised under the *exponential* (Markovian) model — is then
+// evaluated by Monte-Carlo simulation (centers of 95% confidence intervals,
+// as the paper reports). The benchmark row evaluates the optimal *static*
+// allocation (tasks already in place, found by the allocation search),
+// matching the paper's "initial allocation is actually the optimal
+// allocation" row.
+#include <iostream>
+
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using dist::ModelFamily;
+
+namespace {
+
+std::string policy_to_string(const core::DtrPolicy& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (i != j && p(i, j) > 0) {
+        if (!out.empty()) out += " ";
+        out += std::to_string(i + 1) + ">" + std::to_string(j + 1) + ":" +
+               std::to_string(p(i, j));
+      }
+    }
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("table2: multi-server DTR via Algorithm 1 (Table II)");
+  cli.add_option("reps", "10000", "Monte-Carlo replications per entry");
+  cli.add_option("cells", "32768", "lattice cells for the 2-server solves");
+  cli.add_option("seed", "2010", "Monte-Carlo seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Stopwatch watch;
+  ThreadPool& pool = ThreadPool::global();
+  core::ConvolutionOptions conv;
+  conv.cells = static_cast<std::size_t>(cli.get_int("cells"));
+  sim::MonteCarloOptions mc;
+  mc.replications = static_cast<std::size_t>(cli.get_int("reps"));
+  mc.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  mc.pool = &pool;
+
+  // ---------- part (a): average execution time, reliable servers ----------
+  Table mean_table({"model", "policy (age-dependent)",
+                    "T-bar, age-dependent policy (s)",
+                    "T-bar, exponential policy (s)", "rel. difference"});
+  for (ModelFamily family : dist::all_model_families()) {
+    const core::DcsScenario scenario =
+        bench::five_server_scenario(family, /*failures=*/false);
+    policy::Algorithm1Options age_opts;
+    age_opts.objective = policy::Objective::kMeanExecutionTime;
+    age_opts.max_iterations = 4;
+    age_opts.conv = conv;
+    age_opts.pool = &pool;
+    policy::Algorithm1Options markov_opts = age_opts;
+    markov_opts.markovian = true;
+    const auto age = policy::Algorithm1(age_opts).devise(scenario);
+    const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+    const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
+    const auto m_markov = sim::run_monte_carlo(scenario, markov.policy, mc);
+    const double t_age = m_age.mean_completion_time.center;
+    const double t_markov = m_markov.mean_completion_time.center;
+    mean_table.begin_row()
+        .cell(dist::model_family_name(family))
+        .cell(policy_to_string(age.policy))
+        .cell(t_age)
+        .cell(t_markov)
+        .cell(format_double(100.0 * (t_markov - t_age) / t_age, 3) + "%");
+  }
+  // Benchmark row: optimal static allocation (no transfers needed).
+  {
+    const core::DcsScenario scenario = bench::five_server_scenario(
+        ModelFamily::kPareto1, /*failures=*/false);
+    sim::AllocationSearchOptions alloc_opts;
+    alloc_opts.objective = policy::Objective::kMeanExecutionTime;
+    const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+    core::DcsScenario placed = scenario;
+    for (std::size_t j = 0; j < 5; ++j) {
+      placed.servers[j].initial_tasks = alloc.allocation[j];
+    }
+    const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
+    std::string alloc_str;
+    for (int a : alloc.allocation) {
+      alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
+    }
+    mean_table.begin_row()
+        .cell("benchmark: optimal allocation (Pareto 1)")
+        .cell("m* = (" + alloc_str + ")")
+        .cell(m.mean_completion_time.center)
+        .cell("-")
+        .cell("-");
+  }
+  std::cout << "=== Table II (a) | average execution time | severe delay | "
+               "M = 200 on 5 servers ===\n";
+  mean_table.print(std::cout);
+  mean_table.write_csv_file("table2_mean.csv");
+
+  // ---------- part (b): service reliability ----------
+  Table rel_table({"model", "policy (age-dependent)",
+                   "R-inf, age-dependent policy",
+                   "R-inf, exponential policy", "rel. difference"});
+  for (ModelFamily family : dist::all_model_families()) {
+    const core::DcsScenario scenario =
+        bench::five_server_scenario(family, /*failures=*/true);
+    policy::Algorithm1Options age_opts;
+    age_opts.objective = policy::Objective::kReliability;
+    age_opts.criterion = policy::ReallocationCriterion::kReliability;
+    age_opts.max_iterations = 4;
+    age_opts.conv = conv;
+    age_opts.pool = &pool;
+    policy::Algorithm1Options markov_opts = age_opts;
+    markov_opts.markovian = true;
+    const auto age = policy::Algorithm1(age_opts).devise(scenario);
+    const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+    const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
+    const auto m_markov = sim::run_monte_carlo(scenario, markov.policy, mc);
+    const double r_age = m_age.reliability.center;
+    const double r_markov = m_markov.reliability.center;
+    rel_table.begin_row()
+        .cell(dist::model_family_name(family))
+        .cell(policy_to_string(age.policy))
+        .cell(r_age)
+        .cell(r_markov)
+        .cell(format_double(
+                  r_age > 1e-9 ? 100.0 * (r_age - r_markov) / r_age : 0.0,
+                  3) +
+              "%");
+  }
+  {
+    const core::DcsScenario scenario =
+        bench::five_server_scenario(ModelFamily::kPareto1, /*failures=*/true);
+    sim::AllocationSearchOptions alloc_opts;
+    alloc_opts.objective = policy::Objective::kReliability;
+    const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+    core::DcsScenario placed = scenario;
+    for (std::size_t j = 0; j < 5; ++j) {
+      placed.servers[j].initial_tasks = alloc.allocation[j];
+    }
+    const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
+    std::string alloc_str;
+    for (int a : alloc.allocation) {
+      alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
+    }
+    rel_table.begin_row()
+        .cell("benchmark: optimal allocation (Pareto 1)")
+        .cell("m* = (" + alloc_str + ")")
+        .cell(m.reliability.center)
+        .cell("-")
+        .cell("-");
+  }
+  std::cout << "\n=== Table II (b) | service reliability | severe delay ===\n";
+  rel_table.print(std::cout);
+  rel_table.write_csv_file("table2_reliability.csv");
+
+  std::cout << "\n(paper: exponential-model policies err by 5-45% at this "
+               "scale)\nElapsed: "
+            << format_double(watch.elapsed_seconds(), 3) << " s\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Deadline-driven reallocation for a real-time workload (the paper's QoS
+// metric, problem (4)): a rendering farm must deliver a batch of frames by
+// a hard deadline; we compare the policy that minimizes the *average*
+// completion time against the policy that maximizes the *probability* of
+// meeting the deadline — they differ, which is exactly Fig. 3's point
+// (the minimal-mean policy met a 140 s deadline with probability 0.471
+// while the QoS-optimal policies reached 0.988 at 180 s).
+//
+//   ./deadline_qos [--deadline=1.25]   (deadline as a multiple of the
+//                                       optimal mean execution time)
+#include <iostream>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+
+using namespace agedtr;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "deadline_qos: mean-optimal vs QoS-optimal reallocation for a "
+      "deadline-constrained workload");
+  cli.add_option("m1", "60", "frames queued at the slow node");
+  cli.add_option("m2", "30", "frames queued at the fast node");
+  cli.add_option("deadline", "1.25",
+                 "deadline as a multiple of the optimal mean");
+  if (!cli.parse(argc, argv)) return 0;
+  const int m1 = static_cast<int>(cli.get_int("m1"));
+  const int m2 = static_cast<int>(cli.get_int("m2"));
+
+  // Frame render times are heavy-tailed (occasional pathological frames):
+  // Pareto with infinite variance. The farm's two nodes share files over a
+  // congested link with a shifted-exponential delay (hard minimum latency).
+  std::vector<core::ServerSpec> servers = {
+      {m1, dist::make_model_distribution(dist::ModelFamily::kPareto2, 2.0),
+       nullptr},
+      {m2, dist::make_model_distribution(dist::ModelFamily::kPareto2, 1.0),
+       nullptr}};
+  const core::DcsScenario farm = core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(dist::ModelFamily::kShiftedExponential,
+                                    4.0),
+      dist::Exponential::with_mean(0.2));
+
+  ThreadPool& pool = ThreadPool::global();
+  const policy::TwoServerPolicySearch search(m1, m2);
+  const auto line_optimum = [&](const policy::PolicyEvaluator& eval,
+                                bool maximize) {
+    policy::PolicyPoint best{0, 0,
+                             eval(policy::make_two_server_policy(0, 0))};
+    for (const auto& p : search.sweep_l12(eval, 0, &pool)) {
+      if (maximize ? p.value > best.value : p.value < best.value) best = p;
+    }
+    return best;
+  };
+
+  // Policy A: minimize the average execution time (one-way offload line).
+  const auto mean_eval = policy::make_age_dependent_evaluator(
+      farm, policy::Objective::kMeanExecutionTime);
+  const auto best_mean = line_optimum(mean_eval, false);
+
+  const double deadline = cli.get_double("deadline") * best_mean.value;
+
+  // Policy B: maximize P{T < deadline}.
+  const auto qos_eval = policy::make_age_dependent_evaluator(
+      farm, policy::Objective::kQos, deadline);
+  const auto best_qos = line_optimum(qos_eval, true);
+
+  std::cout << "Deadline: " << format_double(deadline) << " s ("
+            << cli.get_double("deadline") << "x the optimal mean "
+            << format_double(best_mean.value) << " s)\n\n";
+  Table table({"policy", "L12", "L21", "mean exec time (s)",
+               "P{T < deadline}"});
+  table.begin_row()
+      .cell("mean-optimal")
+      .cell(best_mean.l12)
+      .cell(best_mean.l21)
+      .cell(best_mean.value)
+      .cell(qos_eval(policy::make_two_server_policy(best_mean.l12,
+                                                    best_mean.l21)));
+  table.begin_row()
+      .cell("QoS-optimal")
+      .cell(best_qos.l12)
+      .cell(best_qos.l21)
+      .cell(mean_eval(policy::make_two_server_policy(best_qos.l12,
+                                                     best_qos.l21)))
+      .cell(best_qos.value);
+  table.print(std::cout);
+  std::cout << "\nThe QoS-optimal policy sacrifices a little average speed "
+               "to raise the\nprobability of making the deadline — the "
+               "trade-off behind problem (4).\n";
+  return 0;
+}

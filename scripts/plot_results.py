@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the reproduction benches write.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [output_dir]
+
+Reads fig1_{low,severe}.csv, fig2_{low,severe}.csv, fig3_surface.csv and
+fig4_reliability.csv (whichever exist in results_dir, default '.') and
+writes PNGs mirroring the paper's Figures 1-4 into output_dir (default
+'plots/'). Requires matplotlib; the library itself has no Python
+dependency — this is a convenience for visual inspection.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def plot_policy_series(rows, value_exact, value_markov, ylabel, title, path,
+                       plt):
+    by_model = defaultdict(list)
+    for row in rows:
+        by_model[row["model"]].append(row)
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for model, series in by_model.items():
+        xs = [int(r["l12"]) for r in series]
+        ys = [float(r[value_exact]) for r in series]
+        (line,) = ax.plot(xs, ys, marker="o", markersize=3, label=model)
+        if value_markov in series[0] and model != "Exponential":
+            ax.plot(xs, [float(r[value_markov]) for r in series],
+                    linestyle="--", linewidth=1, color=line.get_color(),
+                    alpha=0.6)
+    ax.set_xlabel("L12 (tasks reallocated from server 1 to 2)")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title + "\n(dashed: Markovian prediction)")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def plot_surface(rows, value, title, path, plt):
+    import numpy as np
+
+    l12 = sorted({int(r["l12"]) for r in rows})
+    l21 = sorted({int(r["l21"]) for r in rows})
+    grid = np.full((len(l21), len(l12)), float("nan"))
+    for r in rows:
+        grid[l21.index(int(r["l21"])), l12.index(int(r["l12"]))] = float(
+            r[value])
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    mesh = ax.pcolormesh(l12, l21, grid, shading="nearest")
+    fig.colorbar(mesh, ax=ax, label=value)
+    ax.set_xlabel("L12")
+    ax.set_ylabel("L21")
+    ax.set_title(title)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def plot_fig4(rows, path, plt):
+    xs = [int(r["l12"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    ax.plot(xs, [float(r["theory"]) for r in rows], label="theory (fitted)")
+    ax.plot(xs, [float(r["mc"]) for r in rows], marker="s", markersize=3,
+            linestyle="none", label="MC simulation")
+    exp = [float(r["experiment"]) for r in rows]
+    lo = [float(r["experiment"]) - float(r["exp_lo"]) for r in rows]
+    hi = [float(r["exp_hi"]) - float(r["experiment"]) for r in rows]
+    ax.errorbar(xs, exp, yerr=[lo, hi], fmt="o", markersize=3, capsize=3,
+                label="experiment (500 runs, 95% CI)")
+    ax.set_xlabel("L12 (L21 = 0)")
+    ax.set_ylabel("service reliability")
+    ax.set_title("Fig. 4(c): theory vs simulation vs experiment")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def main():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    results = sys.argv[1] if len(sys.argv) > 1 else "."
+    out = sys.argv[2] if len(sys.argv) > 2 else "plots"
+    os.makedirs(out, exist_ok=True)
+
+    for delay in ("low", "severe"):
+        p = os.path.join(results, f"fig1_{delay}.csv")
+        if os.path.exists(p):
+            plot_policy_series(
+                read_csv(p), "t_age_dependent", "t_markovian",
+                "average execution time (s)",
+                f"Fig. 1 — {delay} network delay",
+                os.path.join(out, f"fig1_{delay}.png"), plt)
+        p = os.path.join(results, f"fig2_{delay}.csv")
+        if os.path.exists(p):
+            plot_policy_series(
+                read_csv(p), "r_age_dependent", "r_markovian",
+                "service reliability",
+                f"Fig. 2 — {delay} network delay",
+                os.path.join(out, f"fig2_{delay}.png"), plt)
+    p = os.path.join(results, "fig3_surface.csv")
+    if os.path.exists(p):
+        rows = read_csv(p)
+        plot_surface(rows, "t_mean", "Fig. 3(a): T-bar(L12, L21)",
+                     os.path.join(out, "fig3a_mean.png"), plt)
+        plot_surface(rows, "qos", "Fig. 3(b): QoS(L12, L21)",
+                     os.path.join(out, "fig3b_qos.png"), plt)
+    p = os.path.join(results, "fig4_reliability.csv")
+    if os.path.exists(p):
+        plot_fig4(read_csv(p), os.path.join(out, "fig4c.png"), plt)
+
+
+if __name__ == "__main__":
+    main()

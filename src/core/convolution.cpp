@@ -1,0 +1,406 @@
+#include "agedtr/core/convolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+using numerics::LatticeDensity;
+
+namespace {
+
+/// Lattice law of min(X₁, …, X_k) for independent lattice variables:
+/// S_min(t) = Π S_i(t).
+LatticeDensity lattice_min(const std::vector<LatticeDensity>& parts) {
+  AGEDTR_ASSERT(!parts.empty());
+  const double dt = parts.front().dt();
+  std::size_t n = 0;
+  for (const auto& p : parts) n = std::max(n, p.size());
+  std::vector<double> mass(n, 0.0);
+  double prev_cdf = 0.0;
+  double tail = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double surv = 1.0;
+    for (const auto& p : parts) {
+      surv *= 1.0 - p.cdf(i);
+    }
+    const double cdf = 1.0 - surv;
+    mass[i] = std::max(cdf - prev_cdf, 0.0);
+    prev_cdf = cdf;
+    tail = surv;
+  }
+  return LatticeDensity(dt, std::move(mass), std::max(tail, 0.0));
+}
+
+}  // namespace
+
+ConvolutionSolver::ConvolutionSolver(ConvolutionOptions options)
+    : options_(options) {
+  AGEDTR_REQUIRE(options_.cells >= 64,
+                 "ConvolutionSolver: need at least 64 lattice cells");
+  AGEDTR_REQUIRE(options_.horizon_multiple >= 1.0,
+                 "ConvolutionSolver: horizon multiple must be >= 1");
+  if (options_.dt > 0.0) dt_ = options_.dt;
+}
+
+double ConvolutionSolver::dt() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AGEDTR_REQUIRE(dt_ > 0.0, "ConvolutionSolver: grid not yet derived");
+  return dt_;
+}
+
+void ConvolutionSolver::ensure_grid(
+    const std::vector<ServerWorkload>& workloads) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dt_ > 0.0) return;
+  double horizon = options_.horizon;
+  if (horizon <= 0.0) {
+    // Policy-invariant auto horizon: the whole workload served at the
+    // slowest server plus the slowest transfer, times a safety multiple.
+    int total_tasks = 0;
+    double max_service_mean = 0.0;
+    double max_transfer_mean = 0.0;
+    for (const ServerWorkload& w : workloads) {
+      AGEDTR_REQUIRE(w.service != nullptr,
+                     "ConvolutionSolver: missing service law");
+      total_tasks += w.total_tasks();
+      max_service_mean = std::max(max_service_mean, w.service->mean());
+      for (const ServerWorkload::Inbound& g : w.inbound) {
+        max_transfer_mean = std::max(max_transfer_mean, g.transfer->mean());
+      }
+    }
+    AGEDTR_REQUIRE(total_tasks > 0,
+                   "ConvolutionSolver: the workload is empty");
+    horizon = options_.horizon_multiple *
+              (total_tasks * max_service_mean + max_transfer_mean);
+  }
+  dt_ = horizon / static_cast<double>(options_.cells);
+}
+
+const LatticeDensity& ConvolutionSolver::base_lattice(
+    const dist::DistPtr& law) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AGEDTR_ASSERT(dt_ > 0.0);
+  const auto it = base_cache_.find(law.get());
+  if (it != base_cache_.end()) return it->second;
+  auto [ins, ok] = base_cache_.emplace(
+      law.get(), dist::discretize(*law, dt_, options_.cells));
+  (void)ok;
+  // Pre-build the lazy CDF while the lock is held: cached densities are
+  // shared across threads and ensure_cdf() mutates on first use.
+  ins->second.ensure_cdf();
+  return ins->second;
+}
+
+LatticeDensity ConvolutionSolver::service_sum(const dist::DistPtr& service,
+                                              unsigned k) const {
+  const LatticeDensity& base = base_lattice(service);
+  if (k == 0) return LatticeDensity::zero(base.dt(), base.size());
+  if (k == 1) return base;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sum_cache_.find({service.get(), k});
+    if (it != sum_cache_.end()) return it->second;
+  }
+  unsigned needed_levels = 0;
+  for (unsigned kk = k; kk > 1; kk >>= 1u) ++needed_levels;
+  // Copy the needed ladder rungs W^{*2^i} under the lock (extending the
+  // ladder if required), then compose outside it so concurrent sweeps do
+  // not serialize on the convolution work.
+  std::vector<LatticeDensity> rungs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& powers = power_cache_[service.get()];
+    if (powers.empty()) powers.push_back(base);
+    while (powers.size() <= needed_levels) {
+      powers.push_back(powers.back().convolve(powers.back()));
+    }
+    for (unsigned bit = 0; (1u << bit) <= k; ++bit) {
+      if (k & (1u << bit)) rungs.push_back(powers[bit]);
+    }
+  }
+  LatticeDensity result = std::move(rungs.front());
+  for (std::size_t i = 1; i < rungs.size(); ++i) {
+    result = result.convolve(rungs[i]);
+  }
+  result.ensure_cdf();  // cached entries are shared across threads
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sum_cache_.emplace(std::make_pair(service.get(), k), result);
+  }
+  return result;
+}
+
+LatticeDensity ConvolutionSolver::completion_density(
+    const ServerWorkload& workload) const {
+  AGEDTR_REQUIRE(workload.service != nullptr,
+                 "completion_density: missing service law");
+  AGEDTR_REQUIRE(workload.local_tasks >= 0,
+                 "completion_density: negative local task count");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AGEDTR_REQUIRE(dt_ > 0.0,
+                   "completion_density: call a metric first or set dt "
+                   "explicitly (the grid must be frozen)");
+  }
+  const LatticeDensity local =
+      service_sum(workload.service,
+                  static_cast<unsigned>(workload.local_tasks));
+  if (workload.inbound.empty()) return local;
+
+  int inbound_tasks = 0;
+  std::vector<LatticeDensity> transfers;
+  transfers.reserve(workload.inbound.size());
+  for (const ServerWorkload::Inbound& g : workload.inbound) {
+    AGEDTR_REQUIRE(g.tasks > 0 && g.transfer != nullptr,
+                   "completion_density: malformed inbound group");
+    inbound_tasks += g.tasks;
+    // Per-task scaling: the group's arrival time is the tasks-fold sum of
+    // the per-task law, built (and cached) on the solver's own lattice.
+    transfers.push_back(g.per_task
+                            ? service_sum(g.transfer,
+                                          static_cast<unsigned>(g.tasks))
+                            : base_lattice(g.transfer));
+  }
+  LatticeDensity arrival = transfers.front();
+  if (transfers.size() > 1) {
+    switch (options_.multi_group) {
+      case ConvolutionOptions::MultiGroup::kBatchMax:
+        for (std::size_t i = 1; i < transfers.size(); ++i) {
+          arrival = LatticeDensity::max_of(arrival, transfers[i]);
+        }
+        break;
+      case ConvolutionOptions::MultiGroup::kBatchMin:
+        arrival = lattice_min(transfers);
+        break;
+      case ConvolutionOptions::MultiGroup::kReject:
+        AGEDTR_REQUIRE(false,
+                       "completion_density: server has multiple inbound "
+                       "groups and multi_group == kReject");
+    }
+  }
+  const LatticeDensity busy_until = LatticeDensity::max_of(local, arrival);
+  const LatticeDensity inbound_work =
+      service_sum(workload.service, static_cast<unsigned>(inbound_tasks));
+  return busy_until.convolve(inbound_work);
+}
+
+double ConvolutionSolver::tail_mean_correction(
+    const ServerWorkload& workload,
+    const LatticeDensity& completion) const {
+  const double t_max =
+      completion.dt() * static_cast<double>(completion.size());
+  // One-big-jump estimate: beyond the grid the completion survives mainly
+  // because a single component (one service draw or the transfer) is huge
+  // while the rest sit near their means.
+  const double grid_mean =
+      completion.grid_mean() + completion.tail() * t_max;
+  const double w_mean = workload.service->mean();
+  const int k = workload.total_tasks();
+  double correction = 0.0;
+  if (k > 0) {
+    const double t_eff =
+        std::max(t_max - (grid_mean - w_mean), 0.5 * t_max);
+    correction += static_cast<double>(k) * workload.service->integral_sf(t_eff);
+  }
+  for (const ServerWorkload::Inbound& g : workload.inbound) {
+    const double copies = g.per_task ? static_cast<double>(g.tasks) : 1.0;
+    const double t_eff =
+        std::max(t_max - (grid_mean - g.transfer->mean()), 0.5 * t_max);
+    correction += copies * g.transfer->integral_sf(t_eff);
+  }
+  return correction;
+}
+
+double ConvolutionSolver::mean_execution_time(
+    const std::vector<ServerWorkload>& workloads) const {
+  AGEDTR_REQUIRE(!workloads.empty(), "mean_execution_time: no servers");
+  for (const ServerWorkload& w : workloads) {
+    AGEDTR_REQUIRE(w.failure == nullptr,
+                   "mean_execution_time: the average execution time is "
+                   "defined for completely reliable servers");
+  }
+  ensure_grid(workloads);
+  std::vector<LatticeDensity> completions;
+  completions.reserve(workloads.size());
+  double correction = 0.0;
+  for (const ServerWorkload& w : workloads) {
+    if (w.total_tasks() == 0) continue;  // contributes F ≡ 1
+    completions.push_back(completion_density(w));
+    correction += tail_mean_correction(w, completions.back());
+  }
+  if (completions.empty()) return 0.0;
+  // ∫ (1 − Π_j F_j(t)) dt on the lattice (rectangle rule), then the
+  // analytic beyond-grid correction.
+  double mean = 0.0;
+  const std::size_t cells = completions.front().size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    double prod = 1.0;
+    for (const LatticeDensity& c : completions) prod *= c.cdf(i);
+    mean += 1.0 - prod;
+  }
+  return mean * dt_ + correction;
+}
+
+double ConvolutionSolver::ExecutionTimeLaw::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0,
+                 "ExecutionTimeLaw::quantile: p must be in (0, 1)");
+  AGEDTR_REQUIRE(p < 1.0 - tail,
+                 "ExecutionTimeLaw::quantile: p lies beyond the lattice "
+                 "horizon (raise ConvolutionOptions::horizon)");
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), p);
+  AGEDTR_ASSERT(it != cdf.end());
+  return static_cast<double>(it - cdf.begin()) * dt;
+}
+
+ConvolutionSolver::ExecutionTimeLaw ConvolutionSolver::execution_time_law(
+    const std::vector<ServerWorkload>& workloads) const {
+  AGEDTR_REQUIRE(!workloads.empty(), "execution_time_law: no servers");
+  bool infinite_variance = false;
+  for (const ServerWorkload& w : workloads) {
+    AGEDTR_REQUIRE(w.failure == nullptr,
+                   "execution_time_law: defined for completely reliable "
+                   "servers (T = ∞ has positive probability otherwise)");
+    if (w.total_tasks() > 0 && !std::isfinite(w.service->variance())) {
+      infinite_variance = true;
+    }
+    for (const ServerWorkload::Inbound& g : w.inbound) {
+      if (!std::isfinite(g.transfer->variance())) infinite_variance = true;
+    }
+  }
+  ensure_grid(workloads);
+  std::vector<LatticeDensity> completions;
+  double correction = 0.0;
+  for (const ServerWorkload& w : workloads) {
+    if (w.total_tasks() == 0) continue;
+    completions.push_back(completion_density(w));
+    correction += tail_mean_correction(w, completions.back());
+  }
+  ExecutionTimeLaw law;
+  law.dt = dt_;
+  if (completions.empty()) {  // empty workload: T == 0
+    law.cdf.assign(1, 1.0);
+    return law;
+  }
+  const std::size_t cells = completions.front().size();
+  law.cdf.resize(cells);
+  double mean = 0.0;
+  double second_moment = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    double prod = 1.0;
+    for (const LatticeDensity& c : completions) prod *= c.cdf(i);
+    law.cdf[i] = prod;
+    const double survival = 1.0 - prod;
+    const double t = static_cast<double>(i) * dt_;
+    mean += survival;
+    second_moment += 2.0 * t * survival;
+  }
+  law.tail = 1.0 - law.cdf.back();
+  law.mean = mean * dt_ + correction;
+  if (infinite_variance) {
+    law.variance = std::numeric_limits<double>::infinity();
+  } else {
+    // E[T²] = 2∫ t·S_T(t) dt; beyond-grid part bounded via the mean
+    // correction at the horizon (light tails make it negligible).
+    const double t_max = static_cast<double>(cells) * dt_;
+    second_moment = second_moment * dt_ + 2.0 * t_max * correction;
+    law.variance = std::max(second_moment - law.mean * law.mean, 0.0);
+  }
+  return law;
+}
+
+std::vector<ConvolutionSolver::ServerUsage> ConvolutionSolver::server_usage(
+    const std::vector<ServerWorkload>& workloads) const {
+  AGEDTR_REQUIRE(!workloads.empty(), "server_usage: no servers");
+  ensure_grid(workloads);
+  std::vector<ServerUsage> usage(workloads.size());
+  for (std::size_t j = 0; j < workloads.size(); ++j) {
+    const ServerWorkload& w = workloads[j];
+    if (w.total_tasks() == 0) continue;
+    usage[j].expected_busy_time =
+        static_cast<double>(w.total_tasks()) * w.service->mean();
+    const LatticeDensity completion = completion_density(w);
+    usage[j].expected_completion =
+        completion.grid_mean() + tail_mean_correction(w, completion);
+    if (!w.inbound.empty()) {
+      // E[(Z − A)⁺] = ∫ P{A <= t}·P{Z > t} dt on the lattice, with the
+      // batch-arrival law standing in when several groups are inbound.
+      const LatticeDensity local = service_sum(
+          w.service, static_cast<unsigned>(w.local_tasks));
+      std::vector<LatticeDensity> transfers;
+      for (const ServerWorkload::Inbound& g : w.inbound) {
+        transfers.push_back(g.per_task
+                                ? service_sum(g.transfer,
+                                              static_cast<unsigned>(g.tasks))
+                                : base_lattice(g.transfer));
+      }
+      LatticeDensity arrival = transfers.front();
+      for (std::size_t i = 1; i < transfers.size(); ++i) {
+        arrival = LatticeDensity::max_of(arrival, transfers[i]);
+      }
+      double gap = 0.0;
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        gap += local.cdf(i) * (1.0 - arrival.cdf(i));
+      }
+      usage[j].expected_idle_gap = gap * dt_;
+    }
+  }
+  return usage;
+}
+
+double ConvolutionSolver::qos(const std::vector<ServerWorkload>& workloads,
+                              double deadline) const {
+  AGEDTR_REQUIRE(!workloads.empty(), "qos: no servers");
+  AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
+  ensure_grid(workloads);
+  double prob = 1.0;
+  for (const ServerWorkload& w : workloads) {
+    if (w.total_tasks() == 0) continue;
+    const LatticeDensity c = completion_density(w);
+    const auto limit = static_cast<std::size_t>(
+        std::min(deadline / c.dt(), static_cast<double>(c.size())));
+    double factor = 0.0;
+    if (w.failure) {
+      const dist::Distribution& y = *w.failure;
+      for (std::size_t i = 0; i < limit; ++i) {
+        const double m = c.mass(i);
+        if (m != 0.0) factor += m * y.sf(static_cast<double>(i) * c.dt());
+      }
+    } else {
+      factor = limit > 0 ? c.cdf(limit - 1) : 0.0;
+    }
+    prob *= factor;
+    if (prob == 0.0) return 0.0;
+  }
+  return prob;
+}
+
+double ConvolutionSolver::reliability(
+    const std::vector<ServerWorkload>& workloads) const {
+  AGEDTR_REQUIRE(!workloads.empty(), "reliability: no servers");
+  ensure_grid(workloads);
+  double prob = 1.0;
+  for (const ServerWorkload& w : workloads) {
+    if (w.total_tasks() == 0) continue;  // nothing to lose on this server
+    if (!w.failure) continue;            // reliable server always finishes
+    const LatticeDensity c = completion_density(w);
+    const dist::Distribution& y = *w.failure;
+    double factor = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double m = c.mass(i);
+      if (m != 0.0) factor += m * y.sf(static_cast<double>(i) * c.dt());
+    }
+    // Upper-bound treatment of the beyond-grid mass (evaluated at t_max);
+    // with the default horizon this term is ≤ tail() and negligible.
+    factor += c.tail() * y.sf(static_cast<double>(c.size()) * c.dt());
+    prob *= factor;
+    if (prob == 0.0) return 0.0;
+  }
+  return prob;
+}
+
+}  // namespace agedtr::core

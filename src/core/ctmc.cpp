@@ -1,0 +1,241 @@
+#include "agedtr/core/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+struct Discrete {
+  std::vector<int> tasks;
+  unsigned group_mask = 0;
+  unsigned up_mask = 0;
+
+  bool operator<(const Discrete& other) const {
+    if (group_mask != other.group_mask) return group_mask < other.group_mask;
+    if (up_mask != other.up_mask) return up_mask < other.up_mask;
+    return tasks < other.tasks;
+  }
+};
+
+struct GroupInfo {
+  std::size_t to;
+  int tasks;
+  double rate;
+};
+
+double require_exponential_rate(const dist::DistPtr& law, const char* what) {
+  AGEDTR_REQUIRE(law != nullptr && law->is_memoryless(),
+                 std::string("CtmcTransientSolver: ") + what +
+                     " law must be exponential");
+  return 1.0 / law->mean();
+}
+
+}  // namespace
+
+CtmcTransientSolver::CtmcTransientSolver(const DcsScenario& scenario,
+                                         const DtrPolicy& policy) {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(n <= 16, "CtmcTransientSolver: at most 16 servers");
+  std::vector<double> service_rate(n);
+  std::vector<double> failure_rate(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    service_rate[k] =
+        require_exponential_rate(scenario.servers[k].service, "service");
+    if (scenario.servers[k].failure) {
+      failure_rate[k] =
+          require_exponential_rate(scenario.servers[k].failure, "failure");
+      has_failures_ = true;
+    }
+  }
+
+  const std::vector<ServerWorkload> workloads = apply_policy(scenario, policy);
+  std::vector<GroupInfo> groups;
+  Discrete init;
+  init.tasks.resize(n);
+  init.up_mask = (1u << n) - 1u;
+  for (std::size_t j = 0; j < n; ++j) {
+    init.tasks[j] = workloads[j].local_tasks;
+    for (const ServerWorkload::Inbound& g : workloads[j].inbound) {
+      const double rate = require_exponential_rate(g.transfer, "transfer") /
+                          (g.per_task ? g.tasks : 1);
+      groups.push_back({j, g.tasks, rate});
+    }
+  }
+  AGEDTR_REQUIRE(groups.size() <= 31, "CtmcTransientSolver: too many groups");
+  init.group_mask = (1u << groups.size()) - 1u;
+
+  // BFS enumeration. Indices 0 and 1 are the absorbing DONE/LOST states.
+  transitions_.resize(2);
+  std::map<Discrete, std::size_t> index;
+  std::vector<Discrete> frontier;
+
+  const auto classify = [&](const Discrete& d) -> std::size_t {
+    bool done = d.group_mask == 0;
+    for (int m : d.tasks) {
+      if (m > 0) done = false;
+    }
+    if (done) return kDone;
+    // Lost: a dead server holds tasks or is the target of a live group.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!((d.up_mask >> k) & 1u) && d.tasks[k] > 0) return kLost;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if ((d.group_mask & (1u << g)) && !((d.up_mask >> groups[g].to) & 1u)) {
+        return kLost;
+      }
+    }
+    return SIZE_MAX;  // transient
+  };
+
+  const auto intern = [&](const Discrete& d) -> std::size_t {
+    const std::size_t cls = classify(d);
+    if (cls != SIZE_MAX) return cls;
+    const auto it = index.find(d);
+    if (it != index.end()) return it->second;
+    const std::size_t id = transitions_.size();
+    transitions_.emplace_back();
+    index.emplace(d, id);
+    frontier.push_back(d);
+    return id;
+  };
+
+  initial_ = intern(init);
+  while (!frontier.empty()) {
+    const Discrete d = frontier.back();
+    frontier.pop_back();
+    const std::size_t id = index.at(d);
+    std::vector<Transition> out;
+    for (std::size_t k = 0; k < n; ++k) {
+      const bool up = (d.up_mask >> k) & 1u;
+      if (!up) continue;
+      if (d.tasks[k] > 0) {
+        Discrete next = d;
+        --next.tasks[k];
+        out.push_back({intern(next), service_rate[k]});
+      }
+      if (failure_rate[k] > 0.0) {
+        Discrete next = d;
+        next.up_mask &= ~(1u << k);
+        out.push_back({intern(next), failure_rate[k]});
+      }
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!(d.group_mask & (1u << g))) continue;
+      Discrete next = d;
+      next.group_mask &= ~(1u << g);
+      next.tasks[groups[g].to] += groups[g].tasks;
+      out.push_back({intern(next), groups[g].rate});
+    }
+    AGEDTR_ASSERT(!out.empty());
+    transitions_[id] = std::move(out);
+  }
+
+  uniform_rate_ = 0.0;
+  for (const auto& out : transitions_) {
+    double total = 0.0;
+    for (const Transition& t : out) total += t.rate;
+    uniform_rate_ = std::max(uniform_rate_, total);
+  }
+  AGEDTR_REQUIRE(uniform_rate_ > 0.0 || transitions_.size() == 2,
+                 "CtmcTransientSolver: transient states without transitions");
+  if (uniform_rate_ <= 0.0) uniform_rate_ = 1.0;  // absorbed at t = 0
+}
+
+double CtmcTransientSolver::qos(double deadline) const {
+  AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
+  if (initial_ == kDone) return 1.0;
+  if (initial_ == kLost) return 0.0;
+  const double lambda_t = uniform_rate_ * deadline;
+  // Uniformized DTMC step: P = I + Q/Λ (self-loop with the residual rate).
+  std::vector<double> pi(transitions_.size(), 0.0);
+  pi[initial_] = 1.0;
+  // Poisson(λt) weights computed iteratively; truncation when the cumulative
+  // weight exceeds 1 − 1e−12.
+  double log_weight = -lambda_t;  // ln P{N = 0}
+  double cumulative = 0.0;
+  double result = 0.0;
+  std::vector<double> next(pi.size());
+  for (std::size_t k = 0;; ++k) {
+    const double w = std::exp(log_weight);
+    result += w * pi[kDone];
+    cumulative += w;
+    if (cumulative >= 1.0 - 1e-12) break;
+    if (k > 20 + static_cast<std::size_t>(
+                     lambda_t + 12.0 * std::sqrt(lambda_t + 1.0))) {
+      break;
+    }
+    // One uniformized step: next = pi · P.
+    std::fill(next.begin(), next.end(), 0.0);
+    next[kDone] = pi[kDone];
+    next[kLost] = pi[kLost];
+    for (std::size_t s = 2; s < transitions_.size(); ++s) {
+      const double mass = pi[s];
+      if (mass == 0.0) continue;
+      double outflow = 0.0;
+      for (const Transition& t : transitions_[s]) {
+        next[t.target] += mass * (t.rate / uniform_rate_);
+        outflow += t.rate;
+      }
+      next[s] += mass * (1.0 - outflow / uniform_rate_);
+    }
+    pi.swap(next);
+    log_weight += std::log(lambda_t) - std::log(static_cast<double>(k + 1));
+  }
+  return result;
+}
+
+double CtmcTransientSolver::reliability() const {
+  if (initial_ == kDone) return 1.0;
+  if (initial_ == kLost) return 0.0;
+  // Absorption probabilities by value iteration on the embedded jump chain.
+  // The chain is acyclic in (tasks + groups + up servers), so a single
+  // reverse sweep would do; value iteration converges in the DAG depth.
+  std::vector<double> value(transitions_.size(), 0.0);
+  value[kDone] = 1.0;
+  for (std::size_t iter = 0; iter < transitions_.size() + 8; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = transitions_.size(); s-- > 2;) {
+      double total = 0.0;
+      double acc = 0.0;
+      for (const Transition& t : transitions_[s]) {
+        total += t.rate;
+        acc += t.rate * value[t.target];
+      }
+      const double v = acc / total;
+      delta = std::max(delta, std::fabs(v - value[s]));
+      value[s] = v;
+    }
+    if (delta < 1e-14) break;
+  }
+  return value[initial_];
+}
+
+double CtmcTransientSolver::mean_absorption_time() const {
+  AGEDTR_REQUIRE(!has_failures_,
+                 "mean_absorption_time: requires reliable servers");
+  if (initial_ == kDone || initial_ == kLost) return 0.0;
+  std::vector<double> value(transitions_.size(), 0.0);
+  for (std::size_t iter = 0; iter < transitions_.size() + 8; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = transitions_.size(); s-- > 2;) {
+      double total = 0.0;
+      double acc = 0.0;
+      for (const Transition& t : transitions_[s]) {
+        total += t.rate;
+        acc += t.rate * value[t.target];
+      }
+      const double v = (1.0 + acc) / total;
+      delta = std::max(delta, std::fabs(v - value[s]));
+      value[s] = v;
+    }
+    if (delta < 1e-12) break;
+  }
+  return value[initial_];
+}
+
+}  // namespace agedtr::core

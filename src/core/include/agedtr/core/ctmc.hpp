@@ -1,0 +1,49 @@
+// Transient analysis of the Markovian DCS as an absorbing CTMC via
+// uniformization, giving the Markovian-model QoS P{T(S₀) < T_M} that the
+// paper's Table I compares against the age-dependent model. Also provides
+// the mean absorption time as an independent cross-check of the DP solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+
+namespace agedtr::core {
+
+class CtmcTransientSolver {
+ public:
+  /// Enumerates the reachable discrete states (tasks vector × up flags ×
+  /// in-transit group subset) under the given policy. Requires all laws
+  /// exponential. Workload-lost outcomes collapse into one absorbing LOST
+  /// state, success into DONE.
+  CtmcTransientSolver(const DcsScenario& scenario, const DtrPolicy& policy);
+
+  /// P{T < deadline}: probability of being absorbed in DONE by `deadline`.
+  [[nodiscard]] double qos(double deadline) const;
+
+  /// lim_{t→∞} P{absorbed in DONE} = R_∞ (matches MarkovianSolver).
+  [[nodiscard]] double reliability() const;
+
+  /// E[T] (requires reliable servers so absorption into DONE is certain).
+  [[nodiscard]] double mean_absorption_time() const;
+
+  [[nodiscard]] std::size_t state_count() const { return transitions_.size(); }
+
+ private:
+  struct Transition {
+    std::size_t target;
+    double rate;
+  };
+
+  static constexpr std::size_t kDone = 0;
+  static constexpr std::size_t kLost = 1;
+
+  // transitions_[s]: outgoing transitions of state s (empty for absorbing).
+  std::vector<std::vector<Transition>> transitions_;
+  std::size_t initial_ = 0;
+  double uniform_rate_ = 0.0;  // Λ
+  bool has_failures_ = false;
+};
+
+}  // namespace agedtr::core

@@ -1,0 +1,63 @@
+// The Markovian (all-exponential) solver of the authors' earlier work
+// ([2],[7]): with every law memoryless the age matrix is unnecessary and the
+// metrics satisfy algebraic recurrences with constant coefficients over the
+// discrete state (M, F, C). This is the baseline the paper's Section III
+// compares the age-dependent model against.
+//
+// FN-packet clocks are marginalized out: their arrivals change only the
+// perceived-state matrix, which does not influence the Section III metrics,
+// and in the exponential world removing an irrelevant competing clock leaves
+// the law of the remaining process unchanged.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+
+namespace agedtr::core {
+
+class MarkovianSolver {
+ public:
+  /// Requires every service, failure and transfer law in the scenario to be
+  /// exponential (is_memoryless()); throws InvalidArgument otherwise.
+  explicit MarkovianSolver(DcsScenario scenario);
+
+  /// T̄(S₀; L) assuming completely reliable servers (every failure law must
+  /// be empty, matching the paper's definition of the metric).
+  [[nodiscard]] double mean_execution_time(const DtrPolicy& policy) const;
+
+  /// R_∞(S₀; L) = P{T < ∞}: the DP over the absorbing chain where a failure
+  /// that strands tasks (queued at the dead server or bound for it) loses
+  /// the workload.
+  [[nodiscard]] double reliability(const DtrPolicy& policy) const;
+
+  [[nodiscard]] const DcsScenario& scenario() const { return scenario_; }
+
+ private:
+  struct DpState {
+    std::vector<int> tasks;
+    unsigned group_mask = 0;  // bit g set = initial group g still in transit
+    unsigned up_mask = 0;     // bit k set = server k functioning
+
+    bool operator<(const DpState& other) const;
+  };
+
+  struct GroupInfo {
+    std::size_t to = 0;
+    int tasks = 0;
+    double rate = 0.0;  // exponential arrival rate of the group
+  };
+
+  double mean_rec(DpState state, std::map<DpState, double>& memo) const;
+  double rel_rec(DpState state, std::map<DpState, double>& memo) const;
+
+  DcsScenario scenario_;
+  std::vector<double> service_rate_;
+  std::vector<double> failure_rate_;  // 0 = reliable
+
+  // Per-policy initial group list (rebuilt in each public call).
+  mutable std::vector<GroupInfo> groups_;
+};
+
+}  // namespace agedtr::core

@@ -1,0 +1,78 @@
+// The age-dependent regeneration machinery of Section II-C: at a state S the
+// next regeneration time is τ_a = min over the active clocks (task service,
+// server failure, FN arrival, group arrival), each clock being the *aged*
+// version of its law. This class exposes the quantities Theorem 1 integrates:
+//   race survival  P{τ_a > s} = Π_e S_e(s)
+//   G_e(s) = P{e wins | τ_a = s}·f_{τ_a}(s) = f_e(s)·Π_{e'≠e} S_{e'}(s)
+//   E[τ_a] = ∫_0^∞ P{τ_a > s} ds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/state.hpp"
+
+namespace agedtr::core {
+
+/// One active clock in the race at the current state.
+struct Clock {
+  enum class Kind { kService, kFailure, kGroupArrival, kFnArrival };
+  Kind kind = Kind::kService;
+  /// Server index for service/failure; index into state.groups /
+  /// state.fn_packets for arrivals.
+  std::size_t index = 0;
+  /// The clock's law *after aging* by the state's age variable.
+  dist::DistPtr law;
+};
+
+class RegenerationAnalysis {
+ public:
+  /// Collects the active clocks of `state` under `scenario`:
+  ///   - a service clock per up server with queued tasks (W_k aged by a_Mk),
+  ///   - a failure clock per up server with a failure law (Y_k aged),
+  ///   - an arrival clock per in-transit group (Z aged by a_C),
+  ///   - an arrival clock per in-flight FN packet (X aged by a_F).
+  RegenerationAnalysis(const DcsScenario& scenario, const SystemState& state);
+
+  [[nodiscard]] const std::vector<Clock>& clocks() const { return clocks_; }
+  [[nodiscard]] bool empty() const { return clocks_.empty(); }
+
+  /// P{τ_a > s}.
+  [[nodiscard]] double race_survival(double s) const;
+
+  /// G for clock e: f_e(s) · Π_{e' ≠ e} S_{e'}(s).
+  [[nodiscard]] double g(std::size_t clock_index, double s) const;
+
+  /// The density of τ_a: f_{τ_a}(s) = Σ_e G_e(s).
+  [[nodiscard]] double regeneration_pdf(double s) const;
+
+  /// P{clock e wins the race} = ∫ G_e(s) ds (numerical).
+  [[nodiscard]] double win_probability(std::size_t clock_index) const;
+
+  /// E[τ_a] = ∫ P{τ_a > s} ds (numerical; +inf-free because at least one
+  /// clock has finite mean whenever the race is nonempty).
+  [[nodiscard]] double expected_minimum() const;
+
+  /// Smallest s with race_survival(s) <= eps — the practical integration
+  /// horizon for the Theorem-1 recursions. Deterministic upper bounds from
+  /// the clocks' supports are honoured exactly.
+  [[nodiscard]] double horizon(double eps = 1e-10) const;
+
+ private:
+  std::vector<Clock> clocks_;
+};
+
+/// The state that emerges when `clock` wins the race at τ_a = s
+/// (Section II-C1): every age advances by s, then the event is applied —
+///   service: one task leaves, the winner's service age resets;
+///   failure: the server dies and FN packets to all peers are spawned;
+///   group arrival: tasks join the destination queue (a fresh service clock
+///     starts if the server was idle);
+///   FN arrival: the receiver marks the sender as down in F.
+/// The caller handles absorbing outcomes via workload_done()/workload_lost().
+[[nodiscard]] SystemState apply_regeneration_event(const DcsScenario& scenario,
+                                                   const SystemState& state,
+                                                   const Clock& clock,
+                                                   double s);
+
+}  // namespace agedtr::core

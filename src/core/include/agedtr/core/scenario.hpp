@@ -1,0 +1,111 @@
+// The static description of a DCS instance (Section II-A): n heterogeneous
+// servers with random service and failure times, a network with random
+// task-group and failure-notice transfer delays, and an initial workload
+// M = Σ m_j. A DtrPolicy L = (L_ij) reallocates tasks at t = 0; applying it
+// to a scenario yields the per-server workloads every solver and the
+// simulator consume.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::core {
+
+/// One server of the DCS.
+struct ServerSpec {
+  /// Tasks m_j initially queued at this server.
+  int initial_tasks = 0;
+  /// Service-time law W_j (per task, i.i.d.).
+  dist::DistPtr service;
+  /// Failure-time law Y_j; empty means the server never fails (the setting
+  /// in which the average execution time is a meaningful metric).
+  dist::DistPtr failure;
+};
+
+/// A DTR policy: L(i, j) tasks move from server i to server j at t = 0.
+class DtrPolicy {
+ public:
+  explicit DtrPolicy(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] int operator()(std::size_t from, std::size_t to) const;
+  void set(std::size_t from, std::size_t to, int tasks);
+
+  /// Total tasks leaving server `from`.
+  [[nodiscard]] int outgoing(std::size_t from) const;
+  /// Total tasks bound for server `to`.
+  [[nodiscard]] int incoming(std::size_t to) const;
+  /// True if no tasks move.
+  [[nodiscard]] bool is_identity() const;
+
+ private:
+  std::size_t n_;
+  std::vector<int> l_;  // row-major n×n
+};
+
+/// How a group's transfer time relates to the configured transfer law.
+enum class TransferScaling {
+  /// Z_ij is the law of the *whole group*, whatever its size — the paper's
+  /// general framework (Assumption A1 lists Z per group).
+  kPerGroup,
+  /// The law is *per task*; a group of L tasks takes the sum of L i.i.d.
+  /// draws (bandwidth-limited links — the paper's low-delay discussion,
+  /// "transferring 50 tasks from server 1 to server 2 takes 50 s").
+  kPerTask,
+};
+
+/// The full DCS instance.
+struct DcsScenario {
+  std::vector<ServerSpec> servers;
+  /// transfer[i][j]: task transfer law Z_ij for i → j (i != j), interpreted
+  /// per `transfer_scaling`.
+  std::vector<std::vector<dist::DistPtr>> transfer;
+  TransferScaling transfer_scaling = TransferScaling::kPerGroup;
+  /// fn_transfer[i][j]: failure-notice transfer law X_ij (i != j). Optional;
+  /// FN packets do not change the Section III metrics (reallocation happens
+  /// only at t = 0) but are modelled for fidelity.
+  std::vector<std::vector<dist::DistPtr>> fn_transfer;
+
+  [[nodiscard]] std::size_t size() const { return servers.size(); }
+  [[nodiscard]] int total_tasks() const;
+  /// Throws InvalidArgument if the matrices are inconsistent with the
+  /// server count or required laws are missing.
+  void validate() const;
+};
+
+/// The workload server j faces once a policy is applied: r_j tasks locally
+/// plus inbound groups (one per source with L_ij > 0).
+struct ServerWorkload {
+  int local_tasks = 0;
+  dist::DistPtr service;
+  dist::DistPtr failure;  // empty = reliable
+  struct Inbound {
+    int tasks = 0;
+    /// Per-group law when !per_task; the per-task base law otherwise (the
+    /// group's transfer time is then the `tasks`-fold i.i.d. sum).
+    dist::DistPtr transfer;
+    bool per_task = false;
+
+    /// The law of the whole group's transfer time under either scaling.
+    [[nodiscard]] dist::DistPtr group_transfer_law() const;
+  };
+  std::vector<Inbound> inbound;
+
+  [[nodiscard]] int total_tasks() const;
+};
+
+/// Applies L to the scenario: r_j = m_j − Σ_k L_jk, plus one in-transit
+/// group per (i, j) with L_ij > 0. Validates feasibility
+/// (0 <= L_ij, Σ_k L_jk <= m_j).
+[[nodiscard]] std::vector<ServerWorkload> apply_policy(
+    const DcsScenario& scenario, const DtrPolicy& policy);
+
+/// Builder for the paper's symmetric-network scenarios: every pair shares
+/// the same task-transfer law and the same FN law.
+[[nodiscard]] DcsScenario make_uniform_network_scenario(
+    std::vector<ServerSpec> servers, const dist::DistPtr& transfer,
+    const dist::DistPtr& fn_transfer);
+
+}  // namespace agedtr::core

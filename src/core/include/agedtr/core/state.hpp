@@ -1,0 +1,67 @@
+// The hybrid (discrete × continuous) age-dependent system state
+// S(t) = (M(t), F(t), C(t), a(t)) of Section II-B: queue lengths, perceived
+// functional states, in-transit task groups and FN packets, and the age
+// variables attached to every non-exponential clock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+
+namespace agedtr::core {
+
+/// A group of tasks in flight (one column entry of C with its a_C age).
+struct TransitGroup {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  int tasks = 0;
+  dist::DistPtr transfer;  // Z law (unaged; the age lives in `age`)
+  double age = 0.0;
+};
+
+/// A failure notice in flight from a failed server.
+struct FnPacket {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  dist::DistPtr transfer;  // X law
+  double age = 0.0;
+};
+
+struct SystemState {
+  /// M(t): tasks queued per server.
+  std::vector<int> tasks;
+  /// Diagonal of F(t): the true functional state of each server.
+  std::vector<char> up;
+  /// Off-diagonal F(t): perceived[i][j] == 1 iff server i believes j is up.
+  std::vector<std::vector<char>> perceived;
+  /// C(t) with ages a_C.
+  std::vector<TransitGroup> groups;
+  /// FN packets in flight with ages (the off-diagonal a_F entries).
+  std::vector<FnPacket> fn_packets;
+  /// a_M: age of the service clock per server (meaningful while serving).
+  std::vector<double> service_age;
+  /// Diagonal a_F: age of the failure clock per server.
+  std::vector<double> failure_age;
+
+  [[nodiscard]] std::size_t size() const { return tasks.size(); }
+
+  /// The absorbing success state: M(t) = 0 and C(t) = 0.
+  [[nodiscard]] bool workload_done() const;
+
+  /// True when the workload can no longer finish: some failed server still
+  /// holds tasks, or a group is bound for a failed server (tasks cannot be
+  /// recovered from failed servers nor discarded by the network).
+  [[nodiscard]] bool workload_lost() const;
+
+  /// Adds s to every age (a ← a + s after a regeneration at τ_a = s).
+  void advance_ages(double s);
+
+  /// Builds S(0) for a scenario under a policy: r_j tasks queued, one group
+  /// per positive L_ij, everything fresh (null age matrix), all servers up
+  /// and perceived up.
+  [[nodiscard]] static SystemState initial(const DcsScenario& scenario,
+                                           const DtrPolicy& policy);
+};
+
+}  // namespace agedtr::core

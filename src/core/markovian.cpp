@@ -1,0 +1,212 @@
+#include "agedtr/core/markovian.hpp"
+
+#include <limits>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+double exponential_rate(const dist::DistPtr& law, const char* what) {
+  AGEDTR_REQUIRE(law != nullptr && law->is_memoryless(),
+                 std::string("MarkovianSolver: ") + what +
+                     " law must be exponential");
+  return 1.0 / law->mean();
+}
+
+}  // namespace
+
+bool MarkovianSolver::DpState::operator<(const DpState& other) const {
+  if (group_mask != other.group_mask) return group_mask < other.group_mask;
+  if (up_mask != other.up_mask) return up_mask < other.up_mask;
+  return tasks < other.tasks;
+}
+
+MarkovianSolver::MarkovianSolver(DcsScenario scenario)
+    : scenario_(std::move(scenario)) {
+  scenario_.validate();
+  const std::size_t n = scenario_.size();
+  AGEDTR_REQUIRE(n <= 16, "MarkovianSolver: at most 16 servers supported");
+  service_rate_.resize(n);
+  failure_rate_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    service_rate_[k] =
+        exponential_rate(scenario_.servers[k].service, "service");
+    if (scenario_.servers[k].failure) {
+      failure_rate_[k] =
+          exponential_rate(scenario_.servers[k].failure, "failure");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        (void)exponential_rate(scenario_.transfer[i][j], "transfer");
+      }
+    }
+  }
+}
+
+double MarkovianSolver::mean_execution_time(const DtrPolicy& policy) const {
+  const std::size_t n = scenario_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    AGEDTR_REQUIRE(!scenario_.servers[k].failure,
+                   "mean_execution_time: requires completely reliable "
+                   "servers (clear the failure laws)");
+  }
+  const std::vector<ServerWorkload> workloads =
+      apply_policy(scenario_, policy);
+  groups_.clear();
+  DpState init;
+  init.tasks.resize(n);
+  init.up_mask = (1u << n) - 1u;
+  for (std::size_t j = 0; j < n; ++j) {
+    init.tasks[j] = workloads[j].local_tasks;
+    for (const ServerWorkload::Inbound& g : workloads[j].inbound) {
+      // Markovian model: the group's transfer is exponential with the
+      // group's true mean (L·z̄ under per-task scaling).
+      const double group_mean =
+          g.transfer->mean() * (g.per_task ? g.tasks : 1);
+      groups_.push_back({j, g.tasks, 1.0 / group_mean});
+    }
+  }
+  AGEDTR_REQUIRE(groups_.size() <= 31,
+                 "MarkovianSolver: too many in-transit groups");
+  init.group_mask = (1u << groups_.size()) - 1u;
+  std::map<DpState, double> memo;
+  return mean_rec(std::move(init), memo);
+}
+
+double MarkovianSolver::mean_rec(DpState state,
+                                 std::map<DpState, double>& memo) const {
+  bool done = state.group_mask == 0;
+  for (int m : state.tasks) {
+    if (m > 0) done = false;
+  }
+  if (done) return 0.0;
+  if (const auto it = memo.find(state); it != memo.end()) return it->second;
+
+  const std::size_t n = state.tasks.size();
+  double total_rate = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (state.tasks[k] > 0) total_rate += service_rate_[k];
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (state.group_mask & (1u << g)) total_rate += groups_[g].rate;
+  }
+  AGEDTR_ASSERT(total_rate > 0.0);
+
+  double value = 1.0;  // numerator: 1 + Σ rate_e·T̄(next); divide at the end
+  for (std::size_t k = 0; k < n; ++k) {
+    if (state.tasks[k] <= 0) continue;
+    DpState next = state;
+    --next.tasks[k];
+    value += service_rate_[k] * mean_rec(std::move(next), memo);
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!(state.group_mask & (1u << g))) continue;
+    DpState next = state;
+    next.group_mask &= ~(1u << g);
+    next.tasks[groups_[g].to] += groups_[g].tasks;
+    value += groups_[g].rate * mean_rec(std::move(next), memo);
+  }
+  value /= total_rate;
+  memo.emplace(std::move(state), value);
+  return value;
+}
+
+double MarkovianSolver::reliability(const DtrPolicy& policy) const {
+  const std::size_t n = scenario_.size();
+  const std::vector<ServerWorkload> workloads =
+      apply_policy(scenario_, policy);
+  groups_.clear();
+  DpState init;
+  init.tasks.resize(n);
+  init.up_mask = (1u << n) - 1u;
+  for (std::size_t j = 0; j < n; ++j) {
+    init.tasks[j] = workloads[j].local_tasks;
+    for (const ServerWorkload::Inbound& g : workloads[j].inbound) {
+      // Markovian model: the group's transfer is exponential with the
+      // group's true mean (L·z̄ under per-task scaling).
+      const double group_mean =
+          g.transfer->mean() * (g.per_task ? g.tasks : 1);
+      groups_.push_back({j, g.tasks, 1.0 / group_mean});
+    }
+  }
+  AGEDTR_REQUIRE(groups_.size() <= 31,
+                 "MarkovianSolver: too many in-transit groups");
+  init.group_mask = (1u << groups_.size()) - 1u;
+  std::map<DpState, double> memo;
+  return rel_rec(std::move(init), memo);
+}
+
+double MarkovianSolver::rel_rec(DpState state,
+                                std::map<DpState, double>& memo) const {
+  const std::size_t n = state.tasks.size();
+  bool done = state.group_mask == 0;
+  for (int m : state.tasks) {
+    if (m > 0) done = false;
+  }
+  if (done) return 1.0;
+  if (const auto it = memo.find(state); it != memo.end()) return it->second;
+
+  double total_rate = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool up = (state.up_mask >> k) & 1u;
+    if (!up) continue;
+    if (state.tasks[k] > 0) total_rate += service_rate_[k];
+    total_rate += failure_rate_[k];
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (state.group_mask & (1u << g)) total_rate += groups_[g].rate;
+  }
+  if (total_rate <= 0.0) {
+    // No live clocks but the workload is unfinished: stranded forever.
+    memo.emplace(std::move(state), 0.0);
+    return 0.0;
+  }
+
+  double value = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool up = (state.up_mask >> k) & 1u;
+    if (!up) continue;
+    if (state.tasks[k] > 0) {
+      DpState next = state;
+      --next.tasks[k];
+      value += service_rate_[k] * rel_rec(std::move(next), memo);
+    }
+    if (failure_rate_[k] > 0.0) {
+      // Failure of k: the workload is lost if k holds tasks or a group is
+      // bound for k; otherwise the system continues without k.
+      bool lost = state.tasks[k] > 0;
+      for (std::size_t g = 0; g < groups_.size() && !lost; ++g) {
+        if ((state.group_mask & (1u << g)) && groups_[g].to == k) lost = true;
+      }
+      if (!lost) {
+        DpState next = state;
+        next.up_mask &= ~(1u << k);
+        value += failure_rate_[k] * rel_rec(std::move(next), memo);
+      }
+      // lost contributes 0.
+    }
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!(state.group_mask & (1u << g))) continue;
+    DpState next = state;
+    next.group_mask &= ~(1u << g);
+    const std::size_t to = groups_[g].to;
+    const bool up = (state.up_mask >> to) & 1u;
+    if (up) {
+      next.tasks[to] += groups_[g].tasks;
+      value += groups_[g].rate * rel_rec(std::move(next), memo);
+    }
+    // Arrival at a failed server strands the tasks: contributes 0. (This
+    // branch is unreachable because the failure transition already declares
+    // the workload lost, but it documents the semantics.)
+  }
+  value /= total_rate;
+  memo.emplace(std::move(state), value);
+  return value;
+}
+
+}  // namespace agedtr::core

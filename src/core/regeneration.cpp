@@ -1,0 +1,155 @@
+#include "agedtr/core/regeneration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "agedtr/dist/aged.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+RegenerationAnalysis::RegenerationAnalysis(const DcsScenario& scenario,
+                                           const SystemState& state) {
+  const std::size_t n = state.size();
+  AGEDTR_REQUIRE(scenario.size() == n,
+                 "RegenerationAnalysis: scenario/state size mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!state.up[k]) continue;
+    if (state.tasks[k] > 0) {
+      clocks_.push_back({Clock::Kind::kService, k,
+                         dist::aged(scenario.servers[k].service,
+                                    state.service_age[k])});
+    }
+    if (scenario.servers[k].failure) {
+      clocks_.push_back({Clock::Kind::kFailure, k,
+                         dist::aged(scenario.servers[k].failure,
+                                    state.failure_age[k])});
+    }
+  }
+  for (std::size_t g = 0; g < state.groups.size(); ++g) {
+    clocks_.push_back({Clock::Kind::kGroupArrival, g,
+                       dist::aged(state.groups[g].transfer,
+                                  state.groups[g].age)});
+  }
+  for (std::size_t p = 0; p < state.fn_packets.size(); ++p) {
+    clocks_.push_back({Clock::Kind::kFnArrival, p,
+                       dist::aged(state.fn_packets[p].transfer,
+                                  state.fn_packets[p].age)});
+  }
+}
+
+double RegenerationAnalysis::race_survival(double s) const {
+  double surv = 1.0;
+  for (const Clock& c : clocks_) {
+    surv *= c.law->sf(s);
+    if (surv == 0.0) return 0.0;
+  }
+  return surv;
+}
+
+double RegenerationAnalysis::g(std::size_t clock_index, double s) const {
+  AGEDTR_REQUIRE(clock_index < clocks_.size(),
+                 "RegenerationAnalysis::g: clock index out of range");
+  double value = clocks_[clock_index].law->pdf(s);
+  if (value == 0.0) return 0.0;
+  for (std::size_t e = 0; e < clocks_.size(); ++e) {
+    if (e == clock_index) continue;
+    value *= clocks_[e].law->sf(s);
+    if (value == 0.0) return 0.0;
+  }
+  return value;
+}
+
+double RegenerationAnalysis::regeneration_pdf(double s) const {
+  double sum = 0.0;
+  for (std::size_t e = 0; e < clocks_.size(); ++e) sum += g(e, s);
+  return sum;
+}
+
+double RegenerationAnalysis::win_probability(std::size_t clock_index) const {
+  const double h = horizon();
+  return numerics::integrate(
+             [this, clock_index](double s) { return g(clock_index, s); }, 0.0,
+             h, 1e-11, 1e-9)
+      .value;
+}
+
+double RegenerationAnalysis::expected_minimum() const {
+  AGEDTR_REQUIRE(!clocks_.empty(),
+                 "expected_minimum: no active clocks at this state");
+  const double h = horizon();
+  return numerics::integrate([this](double s) { return race_survival(s); },
+                             0.0, h, 1e-11, 1e-9)
+      .value;
+}
+
+double RegenerationAnalysis::horizon(double eps) const {
+  AGEDTR_REQUIRE(!clocks_.empty(), "horizon: no active clocks");
+  // A deterministic cap: the race ends no later than the smallest finite
+  // support upper bound among the clocks.
+  double cap = std::numeric_limits<double>::infinity();
+  double min_mean = std::numeric_limits<double>::infinity();
+  for (const Clock& c : clocks_) {
+    cap = std::min(cap, c.law->upper_bound());
+    min_mean = std::min(min_mean, c.law->mean());
+  }
+  if (std::isfinite(cap)) return cap;
+  double s = std::max(min_mean, 1e-6);
+  for (int i = 0; i < 200; ++i) {
+    if (race_survival(s) <= eps) return s;
+    s *= 2.0;
+  }
+  return s;  // heavy everything: the integrators damp the residual anyway
+}
+
+SystemState apply_regeneration_event(const DcsScenario& scenario,
+                                     const SystemState& state,
+                                     const Clock& clock, double s) {
+  SystemState next = state;
+  next.advance_ages(s);
+  switch (clock.kind) {
+    case Clock::Kind::kService: {
+      const std::size_t k = clock.index;
+      AGEDTR_ASSERT(next.tasks[k] > 0 && next.up[k]);
+      --next.tasks[k];
+      next.service_age[k] = 0.0;  // fresh task (or idle clock, inactive)
+      break;
+    }
+    case Clock::Kind::kFailure: {
+      const std::size_t k = clock.index;
+      AGEDTR_ASSERT(next.up[k]);
+      next.up[k] = 0;
+      if (!scenario.fn_transfer.empty()) {
+        for (std::size_t j = 0; j < next.size(); ++j) {
+          if (j == k || !scenario.fn_transfer[k][j]) continue;
+          next.fn_packets.push_back({k, j, scenario.fn_transfer[k][j], 0.0});
+        }
+      }
+      break;
+    }
+    case Clock::Kind::kGroupArrival: {
+      const std::size_t g = clock.index;
+      AGEDTR_ASSERT(g < next.groups.size());
+      const TransitGroup group = next.groups[g];
+      next.groups.erase(next.groups.begin() +
+                        static_cast<std::ptrdiff_t>(g));
+      if (next.tasks[group.to] == 0) next.service_age[group.to] = 0.0;
+      next.tasks[group.to] += group.tasks;
+      break;
+    }
+    case Clock::Kind::kFnArrival: {
+      const std::size_t p = clock.index;
+      AGEDTR_ASSERT(p < next.fn_packets.size());
+      const FnPacket packet = next.fn_packets[p];
+      next.fn_packets.erase(next.fn_packets.begin() +
+                            static_cast<std::ptrdiff_t>(p));
+      next.perceived[packet.to][packet.from] = 0;
+      break;
+    }
+  }
+  return next;
+}
+
+}  // namespace agedtr::core

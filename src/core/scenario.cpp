@@ -1,0 +1,140 @@
+#include "agedtr/core/scenario.hpp"
+
+#include <numeric>
+
+#include "agedtr/dist/sum_iid.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+DtrPolicy::DtrPolicy(std::size_t n) : n_(n), l_(n * n, 0) {
+  AGEDTR_REQUIRE(n >= 1, "DtrPolicy: need at least one server");
+}
+
+int DtrPolicy::operator()(std::size_t from, std::size_t to) const {
+  AGEDTR_REQUIRE(from < n_ && to < n_, "DtrPolicy: index out of range");
+  return l_[from * n_ + to];
+}
+
+void DtrPolicy::set(std::size_t from, std::size_t to, int tasks) {
+  AGEDTR_REQUIRE(from < n_ && to < n_, "DtrPolicy: index out of range");
+  AGEDTR_REQUIRE(tasks >= 0, "DtrPolicy: task counts must be nonnegative");
+  AGEDTR_REQUIRE(from != to || tasks == 0,
+                 "DtrPolicy: a server cannot send tasks to itself");
+  l_[from * n_ + to] = tasks;
+}
+
+int DtrPolicy::outgoing(std::size_t from) const {
+  AGEDTR_REQUIRE(from < n_, "DtrPolicy: index out of range");
+  int sum = 0;
+  for (std::size_t j = 0; j < n_; ++j) sum += l_[from * n_ + j];
+  return sum;
+}
+
+int DtrPolicy::incoming(std::size_t to) const {
+  AGEDTR_REQUIRE(to < n_, "DtrPolicy: index out of range");
+  int sum = 0;
+  for (std::size_t i = 0; i < n_; ++i) sum += l_[i * n_ + to];
+  return sum;
+}
+
+bool DtrPolicy::is_identity() const {
+  return std::accumulate(l_.begin(), l_.end(), 0) == 0;
+}
+
+int DcsScenario::total_tasks() const {
+  int sum = 0;
+  for (const ServerSpec& s : servers) sum += s.initial_tasks;
+  return sum;
+}
+
+void DcsScenario::validate() const {
+  const std::size_t n = servers.size();
+  AGEDTR_REQUIRE(n >= 1, "DcsScenario: need at least one server");
+  for (std::size_t j = 0; j < n; ++j) {
+    AGEDTR_REQUIRE(servers[j].initial_tasks >= 0,
+                   "DcsScenario: negative initial task count");
+    AGEDTR_REQUIRE(servers[j].service != nullptr,
+                   "DcsScenario: every server needs a service-time law");
+  }
+  AGEDTR_REQUIRE(transfer.size() == n,
+                 "DcsScenario: transfer matrix has wrong row count");
+  for (std::size_t i = 0; i < n; ++i) {
+    AGEDTR_REQUIRE(transfer[i].size() == n,
+                   "DcsScenario: transfer matrix has wrong column count");
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        AGEDTR_REQUIRE(transfer[i][j] != nullptr,
+                       "DcsScenario: missing transfer law between servers");
+      }
+    }
+  }
+  if (!fn_transfer.empty()) {
+    AGEDTR_REQUIRE(fn_transfer.size() == n,
+                   "DcsScenario: FN matrix has wrong row count");
+    for (const auto& row : fn_transfer) {
+      AGEDTR_REQUIRE(row.size() == n,
+                     "DcsScenario: FN matrix has wrong column count");
+    }
+  }
+}
+
+dist::DistPtr ServerWorkload::Inbound::group_transfer_law() const {
+  AGEDTR_REQUIRE(transfer != nullptr && tasks > 0,
+                 "group_transfer_law: malformed inbound group");
+  return per_task ? dist::sum_iid(transfer, static_cast<unsigned>(tasks))
+                  : transfer;
+}
+
+int ServerWorkload::total_tasks() const {
+  int sum = local_tasks;
+  for (const Inbound& g : inbound) sum += g.tasks;
+  return sum;
+}
+
+std::vector<ServerWorkload> apply_policy(const DcsScenario& scenario,
+                                         const DtrPolicy& policy) {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(policy.size() == n,
+                 "apply_policy: policy size does not match scenario");
+  std::vector<ServerWorkload> workloads(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const int out = policy.outgoing(j);
+    AGEDTR_REQUIRE(out <= scenario.servers[j].initial_tasks,
+                   "apply_policy: policy sends more tasks than queued");
+    workloads[j].local_tasks = scenario.servers[j].initial_tasks - out;
+    workloads[j].service = scenario.servers[j].service;
+    workloads[j].failure = scenario.servers[j].failure;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int l = (i == j) ? 0 : policy(i, j);
+      if (l > 0) {
+        workloads[j].inbound.push_back(
+            {l, scenario.transfer[i][j],
+             scenario.transfer_scaling == TransferScaling::kPerTask});
+      }
+    }
+  }
+  return workloads;
+}
+
+DcsScenario make_uniform_network_scenario(std::vector<ServerSpec> servers,
+                                          const dist::DistPtr& transfer,
+                                          const dist::DistPtr& fn_transfer) {
+  const std::size_t n = servers.size();
+  DcsScenario scenario;
+  scenario.servers = std::move(servers);
+  scenario.transfer.assign(n, std::vector<dist::DistPtr>(n));
+  scenario.fn_transfer.assign(n, std::vector<dist::DistPtr>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      scenario.transfer[i][j] = transfer;
+      scenario.fn_transfer[i][j] = fn_transfer;
+    }
+  }
+  scenario.validate();
+  return scenario;
+}
+
+}  // namespace agedtr::core

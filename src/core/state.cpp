@@ -1,0 +1,68 @@
+#include "agedtr/core/state.hpp"
+
+#include "agedtr/dist/sum_iid.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+bool SystemState::workload_done() const {
+  for (int m : tasks) {
+    if (m > 0) return false;
+  }
+  return groups.empty();
+}
+
+bool SystemState::workload_lost() const {
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (!up[j] && tasks[j] > 0) return true;
+  }
+  for (const TransitGroup& g : groups) {
+    if (!up[g.to]) return true;
+  }
+  return false;
+}
+
+void SystemState::advance_ages(double s) {
+  AGEDTR_REQUIRE(s >= 0.0, "advance_ages: negative increment");
+  for (double& a : service_age) a += s;
+  for (double& a : failure_age) a += s;
+  for (TransitGroup& g : groups) g.age += s;
+  for (FnPacket& p : fn_packets) p.age += s;
+}
+
+SystemState SystemState::initial(const DcsScenario& scenario,
+                                 const DtrPolicy& policy) {
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(policy.size() == n,
+                 "SystemState::initial: policy size mismatch");
+  SystemState s;
+  s.tasks.resize(n);
+  s.up.assign(n, 1);
+  s.perceived.assign(n, std::vector<char>(n, 1));
+  s.service_age.assign(n, 0.0);
+  s.failure_age.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const int out = policy.outgoing(j);
+    AGEDTR_REQUIRE(out <= scenario.servers[j].initial_tasks,
+                   "SystemState::initial: infeasible policy");
+    s.tasks[j] = scenario.servers[j].initial_tasks - out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int l = policy(i, j);
+      if (l > 0) {
+        // Per-task scaling: the group's transfer clock is the l-fold sum.
+        dist::DistPtr law =
+            scenario.transfer_scaling == TransferScaling::kPerTask
+                ? dist::sum_iid(scenario.transfer[i][j],
+                                static_cast<unsigned>(l))
+                : scenario.transfer[i][j];
+        s.groups.push_back({i, j, l, std::move(law), 0.0});
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace agedtr::core

@@ -1,0 +1,95 @@
+#include "agedtr/dist/aged.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Aged::Aged(DistPtr base, double age)
+    : base_(std::move(base)),
+      age_(age),
+      survival_at_age_(base_->sf(age)) {
+  AGEDTR_REQUIRE(base_ != nullptr, "Aged: base distribution is null");
+  AGEDTR_REQUIRE(age >= 0.0, "Aged: age must be >= 0");
+  AGEDTR_REQUIRE(survival_at_age_ > 0.0,
+                 "Aged: base distribution cannot survive to this age");
+}
+
+double Aged::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return base_->pdf(x + age_) / survival_at_age_;
+}
+
+double Aged::cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  // F_a(t) = (F(t+a) − F(a))/S(a) = 1 − S(t+a)/S(a); the survival form is
+  // numerically stable deep in the tail.
+  return 1.0 - base_->sf(x + age_) / survival_at_age_;
+}
+
+double Aged::sf(double x) const {
+  if (x < 0.0) return 1.0;
+  return base_->sf(x + age_) / survival_at_age_;
+}
+
+double Aged::hazard(double x) const {
+  return x < 0.0 ? 0.0 : base_->hazard(x + age_);
+}
+
+double Aged::mean() const {
+  // E[T_a] = ∫_0^∞ S_a(t) dt = integral_sf(age)/S(age).
+  return base_->integral_sf(age_) / survival_at_age_;
+}
+
+double Aged::variance() const {
+  // E[T_a²] = 2∫_0^∞ t·S_a(t) dt, computed by quadrature on the base sf.
+  const double m = mean();
+  const auto integrand = [this](double t) { return t * sf(t); };
+  const double second_moment =
+      2.0 * numerics::integrate_to_infinity(integrand, 0.0).value;
+  return std::max(second_moment - m * m, 0.0);
+}
+
+double Aged::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  // F_a(t) = p  ⇔  F(t + a) = F(a) + p·S(a).
+  const double target = base_->cdf(age_) + p * survival_at_age_;
+  if (target >= 1.0) return base_->upper_bound() - age_;
+  return base_->quantile(target) - age_;
+}
+
+double Aged::lower_bound() const {
+  return std::max(base_->lower_bound() - age_, 0.0);
+}
+
+double Aged::upper_bound() const {
+  const double ub = base_->upper_bound();
+  return std::isfinite(ub) ? std::max(ub - age_, 0.0)
+                           : std::numeric_limits<double>::infinity();
+}
+
+double Aged::integral_sf(double t) const {
+  if (t < 0.0) return -t + integral_sf(0.0);
+  // ∫_t^∞ S(u+a)/S(a) du = integral_sf_base(t + a)/S(a).
+  return base_->integral_sf(t + age_) / survival_at_age_;
+}
+
+std::string Aged::describe() const {
+  return "aged(" + base_->describe() + ", age=" + format_double(age_) + ")";
+}
+
+DistPtr aged(DistPtr base, double age) {
+  AGEDTR_REQUIRE(base != nullptr, "aged: base distribution is null");
+  AGEDTR_REQUIRE(age >= 0.0, "aged: age must be >= 0");
+  if (age == 0.0 || base->is_memoryless()) return base;
+  if (const auto* nested = dynamic_cast<const Aged*>(base.get())) {
+    return std::make_shared<Aged>(nested->base(), nested->age() + age);
+  }
+  return std::make_shared<Aged>(std::move(base), age);
+}
+
+}  // namespace agedtr::dist

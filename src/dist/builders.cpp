@@ -1,0 +1,63 @@
+#include "agedtr/dist/builders.hpp"
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+
+const std::vector<ModelFamily>& all_model_families() {
+  static const std::vector<ModelFamily> families = {
+      ModelFamily::kExponential, ModelFamily::kPareto1, ModelFamily::kPareto2,
+      ModelFamily::kShiftedExponential, ModelFamily::kUniform};
+  return families;
+}
+
+std::string model_family_name(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kExponential:
+      return "Exponential";
+    case ModelFamily::kPareto1:
+      return "Pareto 1";
+    case ModelFamily::kPareto2:
+      return "Pareto 2";
+    case ModelFamily::kShiftedExponential:
+      return "Shifted-Exponential";
+    case ModelFamily::kUniform:
+      return "Uniform";
+  }
+  throw LogicError("model_family_name: unknown family");
+}
+
+ModelFamily parse_model_family(const std::string& name) {
+  for (ModelFamily family : all_model_families()) {
+    if (name == model_family_name(family)) return family;
+  }
+  if (name == "exponential") return ModelFamily::kExponential;
+  if (name == "pareto1") return ModelFamily::kPareto1;
+  if (name == "pareto2") return ModelFamily::kPareto2;
+  if (name == "shifted_exponential") return ModelFamily::kShiftedExponential;
+  if (name == "uniform") return ModelFamily::kUniform;
+  throw InvalidArgument("parse_model_family: unknown family: " + name);
+}
+
+DistPtr make_model_distribution(ModelFamily family, double mean) {
+  AGEDTR_REQUIRE(mean > 0.0,
+                 "make_model_distribution: mean must be positive");
+  switch (family) {
+    case ModelFamily::kExponential:
+      return Exponential::with_mean(mean);
+    case ModelFamily::kPareto1:
+      return Pareto::with_mean(mean, kPareto1Alpha);
+    case ModelFamily::kPareto2:
+      return Pareto::with_mean(mean, kPareto2Alpha);
+    case ModelFamily::kShiftedExponential:
+      return ShiftedExponential::with_mean(mean);
+    case ModelFamily::kUniform:
+      return Uniform::with_mean(mean);
+  }
+  throw LogicError("make_model_distribution: unknown family");
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,37 @@
+#include "agedtr/dist/deterministic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Deterministic::Deterministic(double c) : c_(c) {
+  AGEDTR_REQUIRE(c >= 0.0 && std::isfinite(c),
+                 "Deterministic: value must be nonnegative and finite");
+}
+
+double Deterministic::pdf(double) const { return 0.0; }
+
+double Deterministic::cdf(double x) const { return x >= c_ ? 1.0 : 0.0; }
+
+double Deterministic::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return c_;
+}
+
+double Deterministic::sample(random::Rng&) const { return c_; }
+
+double Deterministic::integral_sf(double t) const {
+  return std::max(c_ - t, 0.0);
+}
+
+double Deterministic::laplace(double s) const { return std::exp(-s * c_); }
+
+std::string Deterministic::describe() const {
+  return "deterministic(c=" + format_double(c_) + ")";
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,71 @@
+#include "agedtr/dist/distribution.hpp"
+
+#include <cmath>
+
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/numerics/roots.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+
+double Distribution::hazard(double x) const {
+  const double s = sf(x);
+  const double f = pdf(x);
+  if (s <= 0.0) {
+    return f > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return f / s;
+}
+
+double Distribution::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  // Bracket the quantile starting from [lower_bound, lower_bound + mean].
+  const double lo0 = lower_bound();
+  double hi0 = lo0 + std::max(mean(), 1.0);
+  const auto g = [this, p](double x) { return cdf(x) - p; };
+  double lo = lo0;
+  double hi = hi0;
+  for (int i = 0; i < 200 && g(hi) < 0.0; ++i) {
+    lo = hi;
+    hi = lo0 + 2.0 * (hi - lo0);
+  }
+  AGEDTR_REQUIRE(g(hi) >= 0.0, "quantile: failed to bracket");
+  return numerics::brent_root(g, lo, hi, 1e-12);
+}
+
+double Distribution::sample(random::Rng& rng) const {
+  // Uniform in (0, 1): shift away from exactly 0 to keep quantile() legal.
+  double u = rng.next_double();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return quantile(u);
+}
+
+double Distribution::integral_sf(double t) const {
+  const double lo = std::max(t, lower_bound());
+  const double head = lo > t ? lo - t : 0.0;  // S == 1 below the support
+  const double hi = upper_bound();
+  if (std::isfinite(hi)) {
+    if (lo >= hi) return head;
+    return head + numerics::integrate([this](double u) { return sf(u); }, lo,
+                                      hi)
+                      .value;
+  }
+  return head +
+         numerics::integrate_to_infinity([this](double u) { return sf(u); },
+                                         lo)
+             .value;
+}
+
+double Distribution::laplace(double s) const {
+  AGEDTR_REQUIRE(s >= 0.0, "laplace requires s >= 0");
+  if (s == 0.0) return 1.0;
+  // E[e^{-sX}] = 1 − s·∫_0^∞ e^{-su} F̄(u) du ... simpler: integrate the
+  // density directly; the exponential damping keeps the integrand benign.
+  const double lo = lower_bound();
+  const double hi = upper_bound();
+  const auto g = [this, s](double u) { return std::exp(-s * u) * pdf(u); };
+  if (std::isfinite(hi)) return numerics::integrate(g, lo, hi).value;
+  return numerics::integrate_to_infinity(g, lo).value;
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,81 @@
+#include "agedtr/dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Empirical::Empirical(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  AGEDTR_REQUIRE(sorted_.size() >= 2, "Empirical: need at least two samples");
+  for (double s : sorted_) {
+    AGEDTR_REQUIRE(s >= 0.0 && std::isfinite(s),
+                   "Empirical: samples must be nonnegative and finite");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const double n = static_cast<double>(sorted_.size());
+  double sum = 0.0;
+  for (double s : sorted_) sum += s;
+  mean_ = sum / n;
+  double ss = 0.0;
+  for (double s : sorted_) ss += (s - mean_) * (s - mean_);
+  variance_ = ss / (n - 1.0);
+  // Freedman–Diaconis bin width from the IQR.
+  const auto order_stat = [this](double p) {
+    const double h = p * (static_cast<double>(sorted_.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(h);
+    const double frac = h - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size()) return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+  };
+  const double iqr = order_stat(0.75) - order_stat(0.25);
+  bin_width_ = iqr > 0.0 ? 2.0 * iqr / std::cbrt(n)
+                         : (sorted_.back() - sorted_.front()) / 10.0;
+  if (bin_width_ <= 0.0) bin_width_ = 1.0;  // all samples identical
+}
+
+double Empirical::pdf(double x) const {
+  if (x < sorted_.front() - 0.5 * bin_width_ ||
+      x > sorted_.back() + 0.5 * bin_width_) {
+    return 0.0;
+  }
+  // Count samples within half a bin of x (a boxcar kernel estimate).
+  const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(),
+                                   x - 0.5 * bin_width_);
+  const auto hi =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x + 0.5 * bin_width_);
+  const double frac = static_cast<double>(hi - lo) /
+                      static_cast<double>(sorted_.size());
+  return frac / bin_width_;
+}
+
+double Empirical::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Empirical::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  const double h = p * (static_cast<double>(sorted_.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Empirical::sample(random::Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(rng.next_double() *
+                                            static_cast<double>(sorted_.size()));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::string Empirical::describe() const {
+  return "empirical(n=" + std::to_string(sorted_.size()) +
+         ", mean=" + format_double(mean_) + ")";
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,101 @@
+#include "agedtr/dist/exponential.hpp"
+
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  AGEDTR_REQUIRE(rate > 0.0 && std::isfinite(rate),
+                 "Exponential: rate must be positive and finite");
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::sf(double x) const {
+  return x < 0.0 ? 1.0 : std::exp(-rate_ * x);
+}
+
+double Exponential::hazard(double x) const { return x < 0.0 ? 0.0 : rate_; }
+
+double Exponential::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(random::Rng& rng) const {
+  return -std::log1p(-rng.next_double()) / rate_;
+}
+
+double Exponential::integral_sf(double t) const {
+  return t <= 0.0 ? -t + 1.0 / rate_ : std::exp(-rate_ * t) / rate_;
+}
+
+double Exponential::laplace(double s) const { return rate_ / (rate_ + s); }
+
+std::string Exponential::describe() const {
+  return "exponential(rate=" + format_double(rate_) + ")";
+}
+
+DistPtr Exponential::with_mean(double mean) {
+  AGEDTR_REQUIRE(mean > 0.0, "Exponential::with_mean: mean must be positive");
+  return std::make_shared<Exponential>(1.0 / mean);
+}
+
+ShiftedExponential::ShiftedExponential(double shift, double rate)
+    : shift_(shift), rate_(rate) {
+  AGEDTR_REQUIRE(shift >= 0.0, "ShiftedExponential: shift must be >= 0");
+  AGEDTR_REQUIRE(rate > 0.0 && std::isfinite(rate),
+                 "ShiftedExponential: rate must be positive and finite");
+}
+
+double ShiftedExponential::pdf(double x) const {
+  return x < shift_ ? 0.0 : rate_ * std::exp(-rate_ * (x - shift_));
+}
+
+double ShiftedExponential::cdf(double x) const {
+  return x < shift_ ? 0.0 : -std::expm1(-rate_ * (x - shift_));
+}
+
+double ShiftedExponential::sf(double x) const {
+  return x < shift_ ? 1.0 : std::exp(-rate_ * (x - shift_));
+}
+
+double ShiftedExponential::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return shift_ - std::log1p(-p) / rate_;
+}
+
+double ShiftedExponential::sample(random::Rng& rng) const {
+  return shift_ - std::log1p(-rng.next_double()) / rate_;
+}
+
+double ShiftedExponential::integral_sf(double t) const {
+  if (t <= shift_) return (shift_ - t) + 1.0 / rate_;
+  return std::exp(-rate_ * (t - shift_)) / rate_;
+}
+
+double ShiftedExponential::laplace(double s) const {
+  return std::exp(-s * shift_) * rate_ / (rate_ + s);
+}
+
+std::string ShiftedExponential::describe() const {
+  return "shifted_exponential(shift=" + format_double(shift_) +
+         ", rate=" + format_double(rate_) + ")";
+}
+
+DistPtr ShiftedExponential::with_mean(double mean) {
+  AGEDTR_REQUIRE(mean > 0.0,
+                 "ShiftedExponential::with_mean: mean must be positive");
+  return std::make_shared<ShiftedExponential>(mean / 2.0, 2.0 / mean);
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,191 @@
+#include "agedtr/dist/hyperexponential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+HyperExponential::HyperExponential(std::vector<double> weights,
+                                   std::vector<double> rates)
+    : weights_(std::move(weights)), rates_(std::move(rates)) {
+  AGEDTR_REQUIRE(!weights_.empty() && weights_.size() == rates_.size(),
+                 "HyperExponential: weights/rates size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    AGEDTR_REQUIRE(weights_[i] >= 0.0, "HyperExponential: negative weight");
+    AGEDTR_REQUIRE(rates_[i] > 0.0 && std::isfinite(rates_[i]),
+                   "HyperExponential: rates must be positive and finite");
+    total += weights_[i];
+  }
+  AGEDTR_REQUIRE(std::fabs(total - 1.0) < 1e-9 || total > 0.0,
+                 "HyperExponential: weights must have positive total");
+  for (double& w : weights_) w /= total;
+}
+
+double HyperExponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  double f = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    f += weights_[i] * rates_[i] * std::exp(-rates_[i] * x);
+  }
+  return f;
+}
+
+double HyperExponential::cdf(double x) const { return 1.0 - sf(x); }
+
+double HyperExponential::sf(double x) const {
+  if (x < 0.0) return 1.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    s += weights_[i] * std::exp(-rates_[i] * x);
+  }
+  return s;
+}
+
+double HyperExponential::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    m += weights_[i] / rates_[i];
+  }
+  return m;
+}
+
+double HyperExponential::variance() const {
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    m2 += 2.0 * weights_[i] / (rates_[i] * rates_[i]);
+  }
+  const double m = mean();
+  return m2 - m * m;
+}
+
+double HyperExponential::scv() const {
+  const double m = mean();
+  return variance() / (m * m);
+}
+
+double HyperExponential::sample(random::Rng& rng) const {
+  double u = rng.next_double();
+  std::size_t phase = rates_.size() - 1;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (u < weights_[i]) {
+      phase = i;
+      break;
+    }
+    u -= weights_[i];
+  }
+  return -std::log1p(-rng.next_double()) / rates_[phase];
+}
+
+double HyperExponential::integral_sf(double t) const {
+  if (t < 0.0) return -t + integral_sf(0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    acc += weights_[i] * std::exp(-rates_[i] * t) / rates_[i];
+  }
+  return acc;
+}
+
+double HyperExponential::laplace(double s) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    acc += weights_[i] * rates_[i] / (rates_[i] + s);
+  }
+  return acc;
+}
+
+std::string HyperExponential::describe() const {
+  std::string out = "hyperexponential(";
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    if (i) out += ", ";
+    out += format_double(weights_[i], 3) + "@rate=" +
+           format_double(rates_[i], 3);
+  }
+  return out + ")";
+}
+
+DistPtr HyperExponential::with_mean_scv(double mean, double scv) {
+  AGEDTR_REQUIRE(mean > 0.0, "with_mean_scv: mean must be positive");
+  AGEDTR_REQUIRE(scv >= 1.0,
+                 "with_mean_scv: a hyperexponential needs scv >= 1");
+  if (scv == 1.0) {
+    return std::make_shared<HyperExponential>(std::vector<double>{1.0},
+                                              std::vector<double>{1.0 / mean});
+  }
+  // Balanced-means two-phase fit: p/λ1 = (1−p)/λ2 = mean/2.
+  const double p =
+      0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double lambda1 = 2.0 * p / mean;
+  const double lambda2 = 2.0 * (1.0 - p) / mean;
+  return std::make_shared<HyperExponential>(std::vector<double>{p, 1.0 - p},
+                                            std::vector<double>{lambda1,
+                                                                lambda2});
+}
+
+DistPtr fit_hyperexponential_em(const std::vector<double>& samples,
+                                std::size_t phases, int iterations) {
+  AGEDTR_REQUIRE(samples.size() >= 2 * phases,
+                 "fit_hyperexponential_em: not enough samples");
+  AGEDTR_REQUIRE(phases >= 1, "fit_hyperexponential_em: phases must be >= 1");
+  for (double x : samples) {
+    AGEDTR_REQUIRE(x >= 0.0 && std::isfinite(x),
+                   "fit_hyperexponential_em: samples must be nonnegative");
+  }
+  const double sample_mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) /
+      static_cast<double>(samples.size());
+  AGEDTR_REQUIRE(sample_mean > 0.0,
+                 "fit_hyperexponential_em: degenerate all-zero data");
+
+  // Initialization: rates spread geometrically around 1/mean.
+  std::vector<double> weights(phases, 1.0 / static_cast<double>(phases));
+  std::vector<double> rates(phases);
+  for (std::size_t k = 0; k < phases; ++k) {
+    rates[k] = std::pow(3.0, static_cast<double>(k) -
+                                 static_cast<double>(phases - 1) / 2.0) /
+               sample_mean;
+  }
+
+  std::vector<double> resp(phases);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> new_weight(phases, 0.0);
+    std::vector<double> weighted_sum(phases, 0.0);
+    for (double x : samples) {
+      double denom = 0.0;
+      for (std::size_t k = 0; k < phases; ++k) {
+        resp[k] = weights[k] * rates[k] * std::exp(-rates[k] * x);
+        denom += resp[k];
+      }
+      if (!(denom > 0.0)) {
+        throw ConvergenceError(
+            "fit_hyperexponential_em: likelihood degenerated");
+      }
+      for (std::size_t k = 0; k < phases; ++k) {
+        const double r = resp[k] / denom;
+        new_weight[k] += r;
+        weighted_sum[k] += r * x;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t k = 0; k < phases; ++k) {
+      const double w = new_weight[k] / static_cast<double>(samples.size());
+      const double phase_mean =
+          new_weight[k] > 0.0 ? weighted_sum[k] / new_weight[k]
+                              : sample_mean;
+      const double rate = 1.0 / std::max(phase_mean, 1e-12 * sample_mean);
+      delta = std::max(delta, std::fabs(w - weights[k]));
+      delta = std::max(delta, std::fabs(rate - rates[k]) / rates[k]);
+      weights[k] = w;
+      rates[k] = rate;
+    }
+    if (delta < 1e-10) break;
+  }
+  return std::make_shared<HyperExponential>(std::move(weights),
+                                            std::move(rates));
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,39 @@
+// The aged view T_a of a random time T: the paper's central device
+// (Section II-B1). Given that T has survived to age a (event {T >= a}),
+// T_a = T − a has pdf f_{T_a}(t) = f_T(t + a)/S_T(a). For the exponential
+// law T_a and T coincide (memorylessness), which is why the Markovian model
+// needs no age matrix.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+class Aged final : public Distribution {
+ public:
+  /// Requires S_base(age) > 0 (the conditioning event must be possible).
+  Aged(DistPtr base, double age);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] std::string name() const override { return "aged"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const DistPtr& base() const { return base_; }
+  [[nodiscard]] double age() const { return age_; }
+
+ private:
+  DistPtr base_;
+  double age_;
+  double survival_at_age_;  // S_base(age), cached normalizer
+};
+
+}  // namespace agedtr::dist

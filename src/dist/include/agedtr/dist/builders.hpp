@@ -1,0 +1,42 @@
+// Builders for the paper's five comparison models (Section III-A), all
+// constructed to share the same mean so the comparison isolates the effect
+// of the distribution's *shape*:
+//   Exponential           — the Markovian baseline
+//   Pareto 1              — Pareto, finite variance   (α = 2.5)
+//   Pareto 2              — Pareto, infinite variance (α = 1.5)
+//   Shifted-Exponential   — shift = mean/2, exponential part mean/2
+//   Uniform               — Uniform[0, 2·mean]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+enum class ModelFamily {
+  kExponential,
+  kPareto1,
+  kPareto2,
+  kShiftedExponential,
+  kUniform,
+};
+
+/// All five families, in the paper's presentation order.
+[[nodiscard]] const std::vector<ModelFamily>& all_model_families();
+
+/// Display name matching the paper's tables ("Exponential", "Pareto 1", ...).
+[[nodiscard]] std::string model_family_name(ModelFamily family);
+
+/// Parses a family from its display or snake_case name; throws on unknown.
+[[nodiscard]] ModelFamily parse_model_family(const std::string& name);
+
+/// Tail index conventions documented in DESIGN.md.
+inline constexpr double kPareto1Alpha = 2.5;
+inline constexpr double kPareto2Alpha = 1.5;
+
+/// Builds the family's representative with the prescribed mean.
+[[nodiscard]] DistPtr make_model_distribution(ModelFamily family, double mean);
+
+}  // namespace agedtr::dist

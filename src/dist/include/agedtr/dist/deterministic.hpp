@@ -1,0 +1,37 @@
+// Degenerate (deterministic) law: a point mass at c. Used for testing the
+// solvers against hand-computable completion times and to model
+// deterministic transfer assumptions from the parallel-computing literature
+// the paper contrasts against.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+class Deterministic final : public Distribution {
+ public:
+  /// c >= 0.
+  explicit Deterministic(double c);
+
+  /// The pdf is a Dirac delta; this returns 0 everywhere (the density does
+  /// not exist) — competing-risk code paths must use cdf/sf for atoms.
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return c_; }
+  [[nodiscard]] double variance() const override { return 0.0; }
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override { return c_; }
+  [[nodiscard]] double upper_bound() const override { return c_; }
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "deterministic"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double value() const { return c_; }
+
+ private:
+  double c_;
+};
+
+}  // namespace agedtr::dist

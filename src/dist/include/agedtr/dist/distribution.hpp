@@ -1,0 +1,83 @@
+// The abstract interface every random-time law in the DCS model implements
+// (Assumption A1 of the paper: service, failure, FN-transfer and task-group
+// transfer times with known, general pdfs on [0, ∞)).
+//
+// Besides pdf/cdf, the model needs the survival function (competing-risk
+// products), the hazard (aged densities), analytic tail integrals
+// ∫_t^∞ S(u) du (heavy-tail mean corrections in the convolution solver) and
+// the Laplace–Stieltjes transform (reliability under exponential failures).
+// Sensible numeric defaults are provided; concrete families override what
+// they can do in closed form.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "agedtr/random/rng.hpp"
+
+namespace agedtr::dist {
+
+class Distribution;
+/// Distributions are immutable after construction and shared freely.
+using DistPtr = std::shared_ptr<const Distribution>;
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density f(x). Zero outside the support.
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// Cumulative distribution F(x) = P{X <= x}.
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Survival S(x) = P{X > x}. Override when 1 − F loses precision.
+  [[nodiscard]] virtual double sf(double x) const { return 1.0 - cdf(x); }
+
+  /// Hazard rate h(x) = f(x)/S(x); +inf where S(x) == 0 and f(x) > 0.
+  [[nodiscard]] virtual double hazard(double x) const;
+
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Variance; +inf for infinite-variance laws (Pareto with α <= 2).
+  [[nodiscard]] virtual double variance() const = 0;
+
+  /// Quantile F⁻¹(p), p in (0, 1). Default: bracketed Brent inversion of
+  /// cdf(); families with closed forms override.
+  [[nodiscard]] virtual double quantile(double p) const;
+
+  /// Draws one variate. Default: inverse-CDF sampling.
+  [[nodiscard]] virtual double sample(random::Rng& rng) const;
+
+  /// Infimum of the support (0 for unshifted laws).
+  [[nodiscard]] virtual double lower_bound() const { return 0.0; }
+
+  /// Supremum of the support (+inf unless bounded, e.g. Uniform).
+  [[nodiscard]] virtual double upper_bound() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// True only for the exponential law: aging leaves it invariant, which is
+  /// exactly the property that makes the Markovian model age-free.
+  [[nodiscard]] virtual bool is_memoryless() const { return false; }
+
+  /// ∫_t^∞ S(u) du = E[(X − t)⁺]. Default: adaptive quadrature.
+  [[nodiscard]] virtual double integral_sf(double t) const;
+
+  /// Laplace–Stieltjes transform E[e^{−sX}], s >= 0. Default quadrature.
+  [[nodiscard]] virtual double laplace(double s) const;
+
+  /// Family name, e.g. "pareto".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Human-readable description with parameters, e.g. "pareto(xm=1.2, alpha=2.5)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The aged version T_a of T given {T > a}: f_{T_a}(t) = f(t + a)/S(a).
+/// Collapses exponentials (memoryless) and nested agings (ages add).
+/// Requires S(a) > 0.
+[[nodiscard]] DistPtr aged(DistPtr base, double age);
+
+}  // namespace agedtr::dist

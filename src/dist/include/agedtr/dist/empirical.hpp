@@ -1,0 +1,47 @@
+// Empirical distribution built from observed samples — the raw material of
+// the testbed characterization pipeline (Section III-B): measured service
+// and transfer times enter as Empirical, get fitted to parametric families,
+// and the best fit drives the solvers.
+#pragma once
+
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+class Empirical final : public Distribution {
+ public:
+  /// Requires at least two samples; all samples must be >= 0 and finite.
+  explicit Empirical(std::vector<double> samples);
+
+  /// Histogram-smoothed density (uniform within Freedman–Diaconis bins).
+  [[nodiscard]] double pdf(double x) const override;
+  /// The ECDF: fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return variance_; }
+  /// Type-7 (linear interpolation) sample quantile.
+  [[nodiscard]] double quantile(double p) const override;
+  /// Bootstrap draw: a uniformly random observed sample.
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override {
+    return sorted_.front();
+  }
+  [[nodiscard]] double upper_bound() const override { return sorted_.back(); }
+  [[nodiscard]] std::string name() const override { return "empirical"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return sorted_;
+  }
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  double bin_width_ = 0.0;  // Freedman–Diaconis, for pdf()
+};
+
+}  // namespace agedtr::dist

@@ -1,0 +1,70 @@
+// Gamma and shifted-Gamma laws. The paper's testbed characterization found
+// task-transfer and FN-transfer times following *shifted* Gamma
+// distributions — the shift models the deterministic propagation component
+// of the end-to-end delay, the Gamma part the queueing jitter.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+/// Gamma(shape k, scale θ): pdf x^{k−1} e^{−x/θ} / (Γ(k) θ^k), x >= 0.
+class Gamma final : public Distribution {
+ public:
+  /// shape > 0, scale > 0; mean = shape·scale.
+  Gamma(double shape, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override { return shape_ * scale_; }
+  [[nodiscard]] double variance() const override {
+    return shape_ * scale_ * scale_;
+  }
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "gamma"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+  double log_norm_;  // −ln Γ(k) − k ln θ, cached
+};
+
+/// X = shift + Gamma(shape, scale): support [shift, ∞).
+class ShiftedGamma final : public Distribution {
+ public:
+  /// shift >= 0, shape > 0, scale > 0; mean = shift + shape·scale.
+  ShiftedGamma(double shift, double shape, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override {
+    return shift_ + gamma_.mean();
+  }
+  [[nodiscard]] double variance() const override { return gamma_.variance(); }
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override { return shift_; }
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "shifted_gamma"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double shift() const { return shift_; }
+  [[nodiscard]] double shape() const { return gamma_.shape(); }
+  [[nodiscard]] double scale() const { return gamma_.scale(); }
+
+ private:
+  double shift_;
+  Gamma gamma_;
+};
+
+}  // namespace agedtr::dist

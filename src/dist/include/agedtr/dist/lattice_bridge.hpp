@@ -1,0 +1,27 @@
+// Bridges the continuous Distribution interface to the LatticeDensity used
+// by the convolution solver: nearest-lattice-point discretization with an
+// explicit tail, plus a helper that picks a grid horizon wide enough for a
+// k-fold sum of a (possibly heavy-tailed) law.
+#pragma once
+
+#include <cstddef>
+
+#include "agedtr/dist/distribution.hpp"
+#include "agedtr/numerics/lattice.hpp"
+
+namespace agedtr::dist {
+
+/// Discretizes X onto {0, dt, …, (n−1)dt}:
+/// mass[0] = F(dt/2), mass[i] = F((i+½)dt) − F((i−½)dt), tail = S((n−½)dt).
+[[nodiscard]] numerics::LatticeDensity discretize(const Distribution& d,
+                                                  double dt, std::size_t n);
+
+/// Chooses a grid horizon t_max such that the k-fold i.i.d. sum of `d`
+/// keeps at least 1 − tail_budget of its mass on [0, t_max]. Uses the exact
+/// quantile for one copy and the subexponential bound
+/// P{Σ_k X > t} ≲ k·S(t − (k−1)·E[X]) for the rest, then rounds up to a
+/// whole number of cells.
+[[nodiscard]] double suggest_horizon(const Distribution& d, unsigned k,
+                                     double tail_budget);
+
+}  // namespace agedtr::dist

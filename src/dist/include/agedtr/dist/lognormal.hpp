@@ -1,0 +1,32 @@
+// Log-normal law — included as a candidate family for the testbed
+// characterization pipeline (heavy-ish tail, support (0, ∞)).
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+/// LogNormal(mu, sigma): ln X ~ N(mu, sigma²).
+class LogNormal final : public Distribution {
+ public:
+  /// sigma > 0.
+  LogNormal(double mu, double sigma);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "lognormal"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace agedtr::dist

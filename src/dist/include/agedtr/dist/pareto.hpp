@@ -1,0 +1,69 @@
+// Pareto laws. The paper's empirical characterization found service times
+// following Pareto distributions; the "Pareto 1" comparison model is a
+// finite-variance Pareto (α > 2) and "Pareto 2" an infinite-variance one
+// (1 < α <= 2).
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+/// Pareto type I: S(x) = (xm/x)^α for x >= xm > 0.
+class Pareto final : public Distribution {
+ public:
+  /// xm > 0 (scale = support minimum), alpha > 1 (finite mean required by
+  /// the workload-time metrics).
+  Pareto(double xm, double alpha);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override { return xm_; }
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] std::string name() const override { return "pareto"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double xm() const { return xm_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Pareto with the given mean and tail index: xm = mean·(α−1)/α.
+  [[nodiscard]] static DistPtr with_mean(double mean, double alpha);
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Lomax (Pareto type II, shifted to start at 0):
+/// S(x) = (1 + x/scale)^{−α} for x >= 0. Included for generality — a
+/// heavy-tailed law whose support starts at zero, handy for transfer times
+/// with no hard minimum.
+class Lomax final : public Distribution {
+ public:
+  /// scale > 0, alpha > 1.
+  Lomax(double scale, double alpha);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] std::string name() const override { return "lomax"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double scale_;
+  double alpha_;
+};
+
+}  // namespace agedtr::dist

@@ -1,0 +1,42 @@
+// Uniform service/transfer law — one of the paper's comparison models
+// ("in the Uniform model service and transfer times follow uniform
+// distributions"), constructed on [0, 2·mean] so all models share a mean.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+class Uniform final : public Distribution {
+ public:
+  /// Support [a, b], a < b, a >= 0.
+  Uniform(double a, double b);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (a_ + b_); }
+  [[nodiscard]] double variance() const override {
+    const double w = b_ - a_;
+    return w * w / 12.0;
+  }
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override { return a_; }
+  [[nodiscard]] double upper_bound() const override { return b_; }
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+
+  /// Paper convention: Uniform on [0, 2·mean].
+  [[nodiscard]] static DistPtr with_mean(double mean);
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace agedtr::dist

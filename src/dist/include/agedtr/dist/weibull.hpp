@@ -1,0 +1,38 @@
+// Weibull law — not one of the paper's headline models, but a natural
+// candidate family for the testbed characterization (increasing/decreasing
+// hazard) and useful for ablations on hazard shape.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+/// Weibull(shape k, scale λ): S(x) = exp(−(x/λ)^k), x >= 0.
+class Weibull final : public Distribution {
+ public:
+  /// shape > 0, scale > 0.
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double hazard(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "weibull"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Weibull with the given mean at the given shape.
+  [[nodiscard]] static DistPtr with_mean(double mean, double shape);
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace agedtr::dist

@@ -1,0 +1,58 @@
+#include "agedtr/dist/lattice_bridge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+
+numerics::LatticeDensity discretize(const Distribution& d, double dt,
+                                    std::size_t n) {
+  AGEDTR_REQUIRE(dt > 0.0, "discretize: dt must be positive");
+  AGEDTR_REQUIRE(n >= 2, "discretize: need at least two cells");
+  std::vector<double> mass(n, 0.0);
+  double prev_cdf = 0.0;
+  // Skip directly to the support: below lower_bound the CDF is zero.
+  const double lb = d.lower_bound();
+  std::size_t i0 = 0;
+  if (lb > 0.0) {
+    i0 = static_cast<std::size_t>(
+        std::min(std::floor(lb / dt), static_cast<double>(n - 1)));
+  }
+  if (i0 > 0) prev_cdf = d.cdf((static_cast<double>(i0) - 0.5) * dt);
+  for (std::size_t i = i0; i < n; ++i) {
+    const double upper = (static_cast<double>(i) + 0.5) * dt;
+    const double c = d.cdf(upper);
+    mass[i] = std::max(c - prev_cdf, 0.0);
+    prev_cdf = c;
+  }
+  const double tail = d.sf((static_cast<double>(n) - 0.5) * dt);
+  // Guard against prev_cdf + tail slightly exceeding 1 from CDF round-off.
+  double sum = 0.0;
+  for (double m : mass) sum += m;
+  if (sum + tail > 1.0) {
+    const double scale = (1.0 - tail) / sum;
+    if (scale > 0.0 && scale < 1.0) {
+      for (double& m : mass) m *= scale;
+    }
+  }
+  return numerics::LatticeDensity(dt, std::move(mass), tail);
+}
+
+double suggest_horizon(const Distribution& d, unsigned k,
+                       double tail_budget) {
+  AGEDTR_REQUIRE(tail_budget > 0.0 && tail_budget < 1.0,
+                 "suggest_horizon: tail_budget must be in (0, 1)");
+  if (k == 0) return 1.0;
+  const double mean = d.mean();
+  if (k == 1) return d.quantile(1.0 - tail_budget);
+  // Subexponential heuristic: the k-fold sum's tail is dominated by one big
+  // jump plus (k−1) typical summands.
+  const double per_copy = tail_budget / static_cast<double>(k);
+  const double q = d.quantile(1.0 - std::min(per_copy, 0.5));
+  return static_cast<double>(k - 1) * mean + q;
+}
+
+}  // namespace agedtr::dist

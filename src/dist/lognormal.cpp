@@ -1,0 +1,51 @@
+#include "agedtr/dist/lognormal.hpp"
+
+#include <cmath>
+
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  AGEDTR_REQUIRE(sigma > 0.0 && std::isfinite(sigma),
+                 "LogNormal: sigma must be positive and finite");
+  AGEDTR_REQUIRE(std::isfinite(mu), "LogNormal: mu must be finite");
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return numerics::normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return std::exp(mu_ + sigma_ * numerics::normal_quantile(p));
+}
+
+double LogNormal::sample(random::Rng& rng) const {
+  double u = rng.next_double();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return quantile(u);
+}
+
+std::string LogNormal::describe() const {
+  return "lognormal(mu=" + format_double(mu_) +
+         ", sigma=" + format_double(sigma_) + ")";
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,110 @@
+#include "agedtr/dist/pareto.hpp"
+
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  AGEDTR_REQUIRE(xm > 0.0, "Pareto: xm must be positive");
+  AGEDTR_REQUIRE(alpha > 1.0, "Pareto: alpha must exceed 1 (finite mean)");
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_ / x, alpha_) / x;
+}
+
+double Pareto::cdf(double x) const {
+  return x < xm_ ? 0.0 : 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::sf(double x) const {
+  return x < xm_ ? 1.0 : std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::mean() const { return alpha_ * xm_ / (alpha_ - 1.0); }
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return xm_ * xm_ * alpha_ /
+         ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+double Pareto::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return xm_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::sample(random::Rng& rng) const {
+  const double u = rng.next_double();  // in [0, 1)
+  return xm_ * std::pow(1.0 - u, -1.0 / alpha_);
+}
+
+double Pareto::integral_sf(double t) const {
+  if (t <= xm_) {
+    return (xm_ - t) + xm_ / (alpha_ - 1.0);
+  }
+  return std::pow(xm_ / t, alpha_) * t / (alpha_ - 1.0);
+}
+
+std::string Pareto::describe() const {
+  return "pareto(xm=" + format_double(xm_) + ", alpha=" + format_double(alpha_) +
+         ")";
+}
+
+DistPtr Pareto::with_mean(double mean, double alpha) {
+  AGEDTR_REQUIRE(mean > 0.0, "Pareto::with_mean: mean must be positive");
+  AGEDTR_REQUIRE(alpha > 1.0, "Pareto::with_mean: alpha must exceed 1");
+  return std::make_shared<Pareto>(mean * (alpha - 1.0) / alpha, alpha);
+}
+
+Lomax::Lomax(double scale, double alpha) : scale_(scale), alpha_(alpha) {
+  AGEDTR_REQUIRE(scale > 0.0, "Lomax: scale must be positive");
+  AGEDTR_REQUIRE(alpha > 1.0, "Lomax: alpha must exceed 1 (finite mean)");
+}
+
+double Lomax::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return alpha_ / scale_ * std::pow(1.0 + x / scale_, -(alpha_ + 1.0));
+}
+
+double Lomax::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::pow(1.0 + x / scale_, -alpha_);
+}
+
+double Lomax::sf(double x) const {
+  return x < 0.0 ? 1.0 : std::pow(1.0 + x / scale_, -alpha_);
+}
+
+double Lomax::mean() const { return scale_ / (alpha_ - 1.0); }
+
+double Lomax::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return scale_ * scale_ * alpha_ /
+         ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+double Lomax::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return scale_ * (std::pow(1.0 - p, -1.0 / alpha_) - 1.0);
+}
+
+double Lomax::sample(random::Rng& rng) const {
+  const double u = rng.next_double();
+  return scale_ * (std::pow(1.0 - u, -1.0 / alpha_) - 1.0);
+}
+
+double Lomax::integral_sf(double t) const {
+  if (t < 0.0) return -t + mean();
+  return scale_ * std::pow(1.0 + t / scale_, 1.0 - alpha_) / (alpha_ - 1.0);
+}
+
+std::string Lomax::describe() const {
+  return "lomax(scale=" + format_double(scale_) +
+         ", alpha=" + format_double(alpha_) + ")";
+}
+
+}  // namespace agedtr::dist

@@ -1,0 +1,176 @@
+#include "agedtr/dist/phase_type.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+using numerics::Matrix;
+
+PhaseType::PhaseType(std::vector<double> alpha, Matrix generator)
+    : alpha_(std::move(alpha)), generator_(std::move(generator)) {
+  const std::size_t n = alpha_.size();
+  AGEDTR_REQUIRE(n >= 1, "PhaseType: need at least one phase");
+  AGEDTR_REQUIRE(generator_.rows() == n && generator_.cols() == n,
+                 "PhaseType: generator shape must match alpha");
+  double total = 0.0;
+  for (double a : alpha_) {
+    AGEDTR_REQUIRE(a >= 0.0, "PhaseType: negative initial probability");
+    total += a;
+  }
+  AGEDTR_REQUIRE(std::fabs(total - 1.0) < 1e-9,
+                 "PhaseType: initial probabilities must sum to 1");
+  exit_.assign(n, 0.0);
+  jump_rate_.assign(n, 0.0);
+  jump_prob_.assign(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    AGEDTR_REQUIRE(generator_(i, i) < 0.0,
+                   "PhaseType: diagonal entries must be negative");
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        AGEDTR_REQUIRE(generator_(i, j) >= 0.0,
+                       "PhaseType: off-diagonal entries must be >= 0");
+      }
+      row += generator_(i, j);
+    }
+    AGEDTR_REQUIRE(row <= 1e-12,
+                   "PhaseType: generator row sums must be <= 0");
+    exit_[i] = -row;
+    jump_rate_[i] = -generator_(i, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) jump_prob_[i][j] = generator_(i, j) / jump_rate_[i];
+    }
+    jump_prob_[i][n] = exit_[i] / jump_rate_[i];
+  }
+  // At least one path to absorption must exist; the mean computation below
+  // throws on a singular (−T), which covers the degenerate case.
+  (void)mean();
+}
+
+double PhaseType::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const Matrix expo = numerics::matrix_exponential(generator_.scaled(x));
+  const std::vector<double> row = expo.left_multiply(alpha_);
+  double f = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) f += row[i] * exit_[i];
+  return std::max(f, 0.0);
+}
+
+double PhaseType::sf(double x) const {
+  if (x < 0.0) return 1.0;
+  const Matrix expo = numerics::matrix_exponential(generator_.scaled(x));
+  const std::vector<double> row = expo.left_multiply(alpha_);
+  double s = 0.0;
+  for (double v : row) s += v;
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double PhaseType::cdf(double x) const { return 1.0 - sf(x); }
+
+double PhaseType::inverse_power_mass(unsigned k) const {
+  // α·(−T)^{−k}·1 via repeated solves of (−T)·x = previous.
+  const std::size_t n = alpha_.size();
+  const Matrix neg_t = generator_.scaled(-1.0);
+  std::vector<double> v(n, 1.0);
+  for (unsigned it = 0; it < k; ++it) {
+    v = numerics::solve_dense(neg_t, std::move(v));
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += alpha_[i] * v[i];
+  return acc;
+}
+
+double PhaseType::mean() const { return inverse_power_mass(1); }
+
+double PhaseType::variance() const {
+  const double m = inverse_power_mass(1);
+  return 2.0 * inverse_power_mass(2) - m * m;
+}
+
+double PhaseType::sample(random::Rng& rng) const {
+  // Pick the initial phase, then play the embedded chain.
+  const std::size_t n = alpha_.size();
+  double u = rng.next_double();
+  std::size_t phase = n - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (u < alpha_[i]) {
+      phase = i;
+      break;
+    }
+    u -= alpha_[i];
+  }
+  double time = 0.0;
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    time += -std::log1p(-rng.next_double()) / jump_rate_[phase];
+    double v = rng.next_double();
+    std::size_t next = n;  // absorption by default
+    for (std::size_t j = 0; j <= n; ++j) {
+      if (v < jump_prob_[phase][j]) {
+        next = j;
+        break;
+      }
+      v -= jump_prob_[phase][j];
+    }
+    if (next == n) return time;
+    phase = next;
+  }
+  throw LogicError("PhaseType::sample: chain failed to absorb");
+}
+
+double PhaseType::laplace(double s) const {
+  AGEDTR_REQUIRE(s >= 0.0, "laplace requires s >= 0");
+  if (s == 0.0) return 1.0;
+  // α·(sI − T)^{−1}·t₀.
+  const std::size_t n = alpha_.size();
+  Matrix m = generator_.scaled(-1.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += s;
+  const std::vector<double> x = numerics::solve_dense(m, exit_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += alpha_[i] * x[i];
+  return acc;
+}
+
+std::string PhaseType::describe() const {
+  return "phase_type(phases=" + std::to_string(alpha_.size()) +
+         ", mean=" + format_double(mean()) + ")";
+}
+
+DistPtr PhaseType::erlang(unsigned k, double rate) {
+  AGEDTR_REQUIRE(k >= 1, "PhaseType::erlang: k must be >= 1");
+  AGEDTR_REQUIRE(rate > 0.0, "PhaseType::erlang: rate must be positive");
+  std::vector<double> alpha(k, 0.0);
+  alpha[0] = 1.0;
+  Matrix t(k, k);
+  for (unsigned i = 0; i < k; ++i) {
+    t(i, i) = -rate;
+    if (i + 1 < k) t(i, i + 1) = rate;
+  }
+  return std::make_shared<PhaseType>(std::move(alpha), std::move(t));
+}
+
+DistPtr PhaseType::coxian(std::vector<double> rates,
+                          std::vector<double> continue_prob) {
+  const std::size_t k = rates.size();
+  AGEDTR_REQUIRE(k >= 1, "PhaseType::coxian: need at least one stage");
+  AGEDTR_REQUIRE(continue_prob.size() == k - 1,
+                 "PhaseType::coxian: continue_prob needs k-1 entries");
+  std::vector<double> alpha(k, 0.0);
+  alpha[0] = 1.0;
+  Matrix t(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    AGEDTR_REQUIRE(rates[i] > 0.0, "PhaseType::coxian: rates must be > 0");
+    t(i, i) = -rates[i];
+    if (i + 1 < k) {
+      AGEDTR_REQUIRE(continue_prob[i] >= 0.0 && continue_prob[i] <= 1.0,
+                     "PhaseType::coxian: continue probabilities in [0, 1]");
+      t(i, i + 1) = rates[i] * continue_prob[i];
+    }
+  }
+  return std::make_shared<PhaseType>(std::move(alpha), std::move(t));
+}
+
+}  // namespace agedtr::dist

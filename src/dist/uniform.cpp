@@ -1,0 +1,55 @@
+#include "agedtr/dist/uniform.hpp"
+
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  AGEDTR_REQUIRE(a >= 0.0, "Uniform: a must be >= 0");
+  AGEDTR_REQUIRE(b > a, "Uniform: b must exceed a");
+}
+
+double Uniform::pdf(double x) const {
+  return (x < a_ || x > b_) ? 0.0 : 1.0 / (b_ - a_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= b_) return 1.0;
+  return (x - a_) / (b_ - a_);
+}
+
+double Uniform::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return a_ + p * (b_ - a_);
+}
+
+double Uniform::sample(random::Rng& rng) const {
+  return a_ + rng.next_double() * (b_ - a_);
+}
+
+double Uniform::integral_sf(double t) const {
+  if (t >= b_) return 0.0;
+  if (t <= a_) return (a_ - t) + 0.5 * (b_ - a_);
+  const double r = b_ - t;
+  return r * r / (2.0 * (b_ - a_));
+}
+
+double Uniform::laplace(double s) const {
+  if (s == 0.0) return 1.0;
+  return (std::exp(-s * a_) - std::exp(-s * b_)) / (s * (b_ - a_));
+}
+
+std::string Uniform::describe() const {
+  return "uniform(a=" + format_double(a_) + ", b=" + format_double(b_) + ")";
+}
+
+DistPtr Uniform::with_mean(double mean) {
+  AGEDTR_REQUIRE(mean > 0.0, "Uniform::with_mean: mean must be positive");
+  return std::make_shared<Uniform>(0.0, 2.0 * mean);
+}
+
+}  // namespace agedtr::dist

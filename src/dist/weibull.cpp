@@ -1,0 +1,74 @@
+#include "agedtr/dist/weibull.hpp"
+
+#include <cmath>
+
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  AGEDTR_REQUIRE(shape > 0.0 && std::isfinite(shape),
+                 "Weibull: shape must be positive and finite");
+  AGEDTR_REQUIRE(scale > 0.0 && std::isfinite(scale),
+                 "Weibull: scale must be positive and finite");
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    return shape_ == 1.0 ? 1.0 / scale_ : 0.0;
+  }
+  const double z = x / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::sf(double x) const {
+  return x <= 0.0 ? 1.0 : std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::hazard(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return pdf(0.0);
+  return shape_ / scale_ * std::pow(x / scale_, shape_ - 1.0);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::exp(numerics::log_gamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const {
+  const double g1 = std::exp(numerics::log_gamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(numerics::log_gamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::quantile(double p) const {
+  AGEDTR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::sample(random::Rng& rng) const {
+  return scale_ * std::pow(-std::log1p(-rng.next_double()), 1.0 / shape_);
+}
+
+std::string Weibull::describe() const {
+  return "weibull(shape=" + format_double(shape_) +
+         ", scale=" + format_double(scale_) + ")";
+}
+
+DistPtr Weibull::with_mean(double mean, double shape) {
+  AGEDTR_REQUIRE(mean > 0.0, "Weibull::with_mean: mean must be positive");
+  const double scale =
+      mean / std::exp(numerics::log_gamma(1.0 + 1.0 / shape));
+  return std::make_shared<Weibull>(shape, scale);
+}
+
+}  // namespace agedtr::dist

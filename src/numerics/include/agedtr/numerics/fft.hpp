@@ -1,0 +1,29 @@
+// Iterative radix-2 complex FFT and a real linear-convolution helper.
+//
+// The lattice-density engine convolves probability mass vectors of length up
+// to ~2^18; convolution is performed by zero-padding to the next power of
+// two, transforming, multiplying, and inverting.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace agedtr::numerics {
+
+/// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform and the 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// Full linear convolution of two real sequences
+/// (result.size() == a.size() + b.size() - 1). Uses FFT for large inputs and
+/// the direct O(n·m) sum for small ones. Tiny negative values produced by
+/// round-off are clamped to zero when `clamp_nonnegative` is set (probability
+/// mass vectors).
+[[nodiscard]] std::vector<double> convolve(const std::vector<double>& a,
+                                           const std::vector<double>& b,
+                                           bool clamp_nonnegative = false);
+
+}  // namespace agedtr::numerics

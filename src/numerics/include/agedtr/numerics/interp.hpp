@@ -1,0 +1,43 @@
+// Interpolation on sorted abscissae: piecewise linear, and monotone PCHIP
+// (Fritsch–Carlson) used for smooth CDF evaluation from lattice data.
+#pragma once
+
+#include <vector>
+
+namespace agedtr::numerics {
+
+/// Piecewise-linear interpolant; extrapolates with the boundary values
+/// (clamped), which is the right behaviour for CDFs.
+class LinearInterpolator {
+ public:
+  LinearInterpolator() = default;
+  /// `x` must be strictly increasing and the sizes equal (>= 2).
+  LinearInterpolator(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double xq) const;
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Monotonicity-preserving piecewise cubic Hermite (PCHIP). If the data are
+/// monotone the interpolant is monotone — no overshoot in CDFs.
+class PchipInterpolator {
+ public:
+  PchipInterpolator() = default;
+  PchipInterpolator(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double xq) const;
+  /// Derivative of the interpolant (usable as a pdf when y is a CDF).
+  [[nodiscard]] double derivative(double xq) const;
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> d_;  // endpoint derivatives per knot
+};
+
+}  // namespace agedtr::numerics

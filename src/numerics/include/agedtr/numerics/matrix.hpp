@@ -1,0 +1,57 @@
+// Small dense matrix utilities: the phase-type distribution needs the
+// matrix exponential e^{Tt} of its sub-generator (scaling-and-squaring with
+// a Padé(6,6) core), matrix-vector products, and a dense LU solve for the
+// moment formulas E[X^k] = k!·α(−T)^{-k}·1.
+//
+// Row-major storage; sizes here are tiny (phase counts ≲ 32), so clarity
+// beats blocking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agedtr::numerics {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix operator*(const Matrix& other) const;
+  [[nodiscard]] Matrix operator+(const Matrix& other) const;
+  [[nodiscard]] Matrix operator-(const Matrix& other) const;
+  [[nodiscard]] Matrix scaled(double factor) const;
+
+  /// Row vector × matrix (v.size() == rows()).
+  [[nodiscard]] std::vector<double> left_multiply(
+      const std::vector<double>& v) const;
+  /// Matrix × column vector (v.size() == cols()).
+  [[nodiscard]] std::vector<double> right_multiply(
+      const std::vector<double>& v) const;
+
+  /// Max absolute row sum (the induced ∞-norm).
+  [[nodiscard]] double inf_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// e^{A} by scaling-and-squaring with a Padé(6,6) approximant. Accurate to
+/// ~1e-12 for the modest norms phase-type generators produce.
+[[nodiscard]] Matrix matrix_exponential(const Matrix& a);
+
+/// Solves A·x = b by LU with partial pivoting (throws on singularity).
+[[nodiscard]] std::vector<double> solve_dense(Matrix a,
+                                              std::vector<double> b);
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,35 @@
+// Derivative-free minimization: golden-section / Brent for scalars and
+// Nelder–Mead for low-dimensional problems (shifted-Gamma and Weibull MLE).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace agedtr::numerics {
+
+struct ScalarMinResult {
+  double x = 0.0;
+  double value = 0.0;
+  int evaluations = 0;
+};
+
+/// Brent's parabolic-interpolation minimizer on [a, b] (unimodal f).
+[[nodiscard]] ScalarMinResult minimize_scalar(
+    const std::function<double(double)>& f, double a, double b,
+    double tol = 1e-10, int max_iter = 200);
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Standard Nelder–Mead with adaptive restarts disabled; `scale` sets the
+/// initial simplex edge lengths per coordinate (defaults to max(|x0|,1)·0.1).
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, std::vector<double> scale = {},
+    double tol = 1e-10, int max_iter = 2000);
+
+}  // namespace agedtr::numerics

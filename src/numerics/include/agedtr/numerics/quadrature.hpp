@@ -1,0 +1,51 @@
+// Numerical integration: fixed Gauss–Legendre panels, an adaptive
+// Gauss–Kronrod 15(7) integrator with a worst-interval-first refinement
+// queue, and semi-infinite integrals via the rational map x = a + t/(1−t).
+//
+// These are the kernels behind the regenerative recursion (Theorem 1), the
+// distribution moment checks, and the reliability integrals ∫ f_C(t) S_Y(t) dt.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace agedtr::numerics {
+
+/// Result of an adaptive quadrature: the value and the achieved error bound.
+struct QuadratureResult {
+  double value = 0.0;
+  double error = 0.0;
+  int evaluations = 0;
+};
+
+using Integrand = std::function<double(double)>;
+
+/// Fixed-order Gauss–Legendre on [a, b]; n in {4, 8, 16, 32}.
+[[nodiscard]] double gauss_legendre(const Integrand& f, double a, double b,
+                                    int n);
+
+/// Adaptive Gauss–Kronrod 15(7) on a finite interval. Splits the interval
+/// with the largest error estimate until |error| <= max(abs_tol,
+/// rel_tol*|value|) or the interval budget is exhausted (then returns the
+/// best estimate with its error; no throw — callers inspect `error`).
+[[nodiscard]] QuadratureResult integrate(const Integrand& f, double a,
+                                         double b, double abs_tol = 1e-10,
+                                         double rel_tol = 1e-8,
+                                         int max_intervals = 2000);
+
+/// Adaptive integral over [a, ∞) via x = a + t/(1−t), dx = dt/(1−t)².
+[[nodiscard]] QuadratureResult integrate_to_infinity(const Integrand& f,
+                                                     double a,
+                                                     double abs_tol = 1e-10,
+                                                     double rel_tol = 1e-8,
+                                                     int max_intervals = 2000);
+
+/// Gauss–Legendre abscissas/weights on [-1, 1] for order n (computed once
+/// per order via Newton on the Legendre recurrence and cached).
+struct GaussRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+[[nodiscard]] const GaussRule& gauss_rule(int n);
+
+}  // namespace agedtr::numerics

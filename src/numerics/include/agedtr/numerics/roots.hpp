@@ -1,0 +1,25 @@
+// Scalar root finding: Brent's method with a bisection safeguard, plus a
+// bracket-expansion helper. Used by quantile inversion and the MLE fitters.
+#pragma once
+
+#include <functional>
+
+namespace agedtr::numerics {
+
+/// Finds x in [a, b] with f(x) = 0 given f(a)·f(b) <= 0 (Brent's method).
+/// Converges to |interval| <= tol (absolute) or machine precision.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f,
+                                double a, double b, double tol = 1e-12,
+                                int max_iter = 200);
+
+/// Expands [a, b] geometrically (factor 1.6, up to `max_tries`) until the
+/// function changes sign, then returns the bracket. Throws ConvergenceError
+/// if no sign change is found.
+struct Bracket {
+  double a;
+  double b;
+};
+[[nodiscard]] Bracket expand_bracket(const std::function<double(double)>& f,
+                                     double a, double b, int max_tries = 60);
+
+}  // namespace agedtr::numerics

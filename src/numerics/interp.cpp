@@ -1,0 +1,113 @@
+#include "agedtr/numerics/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+std::size_t find_interval(const std::vector<double>& x, double xq) {
+  // Returns i such that x[i] <= xq < x[i+1], clamped to valid intervals.
+  const auto it = std::upper_bound(x.begin(), x.end(), xq);
+  if (it == x.begin()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(it - x.begin()) - 1;
+  return std::min(idx, x.size() - 2);
+}
+
+void validate_knots(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  AGEDTR_REQUIRE(x.size() == y.size(), "interpolator: size mismatch");
+  AGEDTR_REQUIRE(x.size() >= 2, "interpolator: need at least two knots");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    AGEDTR_REQUIRE(x[i] > x[i - 1], "interpolator: x must strictly increase");
+  }
+}
+
+}  // namespace
+
+LinearInterpolator::LinearInterpolator(std::vector<double> x,
+                                       std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_knots(x_, y_);
+}
+
+double LinearInterpolator::operator()(double xq) const {
+  AGEDTR_REQUIRE(!x_.empty(), "LinearInterpolator: empty");
+  if (xq <= x_.front()) return y_.front();
+  if (xq >= x_.back()) return y_.back();
+  const std::size_t i = find_interval(x_, xq);
+  const double t = (xq - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+PchipInterpolator::PchipInterpolator(std::vector<double> x,
+                                     std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_knots(x_, y_);
+  const std::size_t n = x_.size();
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    h[i] = x_[i + 1] - x_[i];
+    delta[i] = (y_[i + 1] - y_[i]) / h[i];
+  }
+  d_.assign(n, 0.0);
+  // Fritsch–Carlson derivative choice at interior knots.
+  for (std::size_t i = 1; i < n - 1; ++i) {
+    if (delta[i - 1] * delta[i] > 0.0) {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      d_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // One-sided three-point end derivatives, limited to preserve shape.
+  const auto end_derivative = [](double h0, double h1, double d0, double d1) {
+    double d = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (d * d0 <= 0.0) {
+      d = 0.0;
+    } else if (d0 * d1 <= 0.0 && std::fabs(d) > 3.0 * std::fabs(d0)) {
+      d = 3.0 * d0;
+    }
+    return d;
+  };
+  if (n == 2) {
+    d_[0] = d_[1] = delta[0];
+  } else {
+    d_[0] = end_derivative(h[0], h[1], delta[0], delta[1]);
+    d_[n - 1] =
+        end_derivative(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+}
+
+double PchipInterpolator::operator()(double xq) const {
+  AGEDTR_REQUIRE(!x_.empty(), "PchipInterpolator: empty");
+  if (xq <= x_.front()) return y_.front();
+  if (xq >= x_.back()) return y_.back();
+  const std::size_t i = find_interval(x_, xq);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (xq - x_[i]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * h * d_[i] + h01 * y_[i + 1] + h11 * h * d_[i + 1];
+}
+
+double PchipInterpolator::derivative(double xq) const {
+  AGEDTR_REQUIRE(!x_.empty(), "PchipInterpolator: empty");
+  if (xq <= x_.front() || xq >= x_.back()) return 0.0;
+  const std::size_t i = find_interval(x_, xq);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (xq - x_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6.0 * t2 - 6.0 * t) / h;
+  const double dh10 = 3.0 * t2 - 4.0 * t + 1.0;
+  const double dh01 = (-6.0 * t2 + 6.0 * t) / h;
+  const double dh11 = 3.0 * t2 - 2.0 * t;
+  return dh00 * y_[i] + dh10 * d_[i] + dh01 * y_[i + 1] + dh11 * d_[i + 1];
+}
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,145 @@
+#include "agedtr/numerics/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "agedtr/numerics/fft.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+
+LatticeDensity::LatticeDensity(double dt, std::vector<double> mass,
+                               double tail)
+    : dt_(dt), mass_(std::move(mass)), tail_(tail) {
+  AGEDTR_REQUIRE(dt_ > 0.0, "LatticeDensity: dt must be positive");
+  AGEDTR_REQUIRE(!mass_.empty(), "LatticeDensity: empty mass vector");
+  AGEDTR_REQUIRE(tail_ >= -1e-12, "LatticeDensity: negative tail mass");
+  tail_ = std::max(tail_, 0.0);
+  double sum = 0.0;
+  for (double m : mass_) {
+    AGEDTR_REQUIRE(m >= -1e-12, "LatticeDensity: negative cell mass");
+    sum += m;
+  }
+  for (double& m : mass_) {
+    if (m < 0.0) m = 0.0;
+  }
+  AGEDTR_REQUIRE(sum + tail_ <= 1.0 + 1e-9,
+                 "LatticeDensity: total mass exceeds 1");
+}
+
+LatticeDensity LatticeDensity::zero(double dt, std::size_t n) {
+  std::vector<double> mass(n, 0.0);
+  AGEDTR_REQUIRE(n >= 1, "LatticeDensity::zero: n must be >= 1");
+  mass[0] = 1.0;
+  return LatticeDensity(dt, std::move(mass), 0.0);
+}
+
+double LatticeDensity::total() const {
+  return std::accumulate(mass_.begin(), mass_.end(), 0.0) + tail_;
+}
+
+void LatticeDensity::ensure_cdf() const {
+  if (cdf_.size() == mass_.size()) return;
+  cdf_.resize(mass_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    acc += mass_[i];
+    cdf_[i] = acc;
+  }
+}
+
+double LatticeDensity::cdf(std::size_t i) const {
+  ensure_cdf();
+  if (i >= cdf_.size()) return 1.0 - tail_;
+  return cdf_[i];
+}
+
+double LatticeDensity::cdf_at(double t) const {
+  if (t < 0.0) return 0.0;
+  // cdf(i) covers mass through the cell ((i−½)dt, (i+½)dt], i.e. it
+  // approximates F((i+½)dt); shift by half a cell so cdf_at(t) ≈ F(t).
+  const double pos = std::max(t / dt_ - 0.5, 0.0);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= mass_.size()) return 1.0 - tail_;
+  const double frac = pos - static_cast<double>(lo);
+  return cdf(lo) * (1.0 - frac) + cdf(lo + 1) * frac;
+}
+
+double LatticeDensity::grid_mean() const {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < mass_.size(); ++i) {
+    sum += static_cast<double>(i) * mass_[i];
+  }
+  return sum * dt_;
+}
+
+double LatticeDensity::expect(const std::function<double(double)>& g) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] != 0.0) sum += g(static_cast<double>(i) * dt_) * mass_[i];
+  }
+  return sum;
+}
+
+LatticeDensity LatticeDensity::convolve(const LatticeDensity& other) const {
+  AGEDTR_REQUIRE(std::fabs(dt_ - other.dt_) < 1e-12 * dt_,
+                 "LatticeDensity::convolve: lattice steps differ");
+  const std::size_t out_n = std::max(mass_.size(), other.mass_.size());
+  std::vector<double> full =
+      agedtr::numerics::convolve(mass_, other.mass_, /*clamp_nonnegative=*/true);
+  std::vector<double> mass(out_n, 0.0);
+  double overflow = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (i < out_n) {
+      mass[i] = full[i];
+    } else {
+      overflow += full[i];
+    }
+  }
+  // Any term involving either tail exceeds the grid (tails sit at >= n·dt and
+  // the other addend is nonnegative), so it joins the output tail.
+  const double grid_a = std::accumulate(mass_.begin(), mass_.end(), 0.0);
+  const double grid_b =
+      std::accumulate(other.mass_.begin(), other.mass_.end(), 0.0);
+  const double tail =
+      overflow + tail_ * (grid_b + other.tail_) + other.tail_ * grid_a;
+  return LatticeDensity(dt_, std::move(mass), std::min(tail, 1.0));
+}
+
+LatticeDensity LatticeDensity::convolve_power(unsigned k) const {
+  LatticeDensity result = zero(dt_, mass_.size());
+  if (k == 0) return result;
+  LatticeDensity base = *this;
+  while (true) {
+    if (k & 1u) result = result.convolve(base);
+    k >>= 1u;
+    if (k == 0) break;
+    base = base.convolve(base);
+  }
+  return result;
+}
+
+LatticeDensity LatticeDensity::max_of(const LatticeDensity& a,
+                                      const LatticeDensity& b) {
+  AGEDTR_REQUIRE(std::fabs(a.dt_ - b.dt_) < 1e-12 * a.dt_,
+                 "LatticeDensity::max_of: lattice steps differ");
+  const std::size_t n = std::max(a.size(), b.size());
+  a.ensure_cdf();
+  b.ensure_cdf();
+  std::vector<double> mass(n, 0.0);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fa = i < a.size() ? a.cdf_[std::min(i, a.size() - 1)]
+                                   : 1.0 - a.tail_;
+    const double fb = i < b.size() ? b.cdf_[std::min(i, b.size() - 1)]
+                                   : 1.0 - b.tail_;
+    const double fmax = fa * fb;
+    mass[i] = std::max(fmax - prev, 0.0);
+    prev = fmax;
+  }
+  const double tail = std::max(1.0 - prev, 0.0);
+  return LatticeDensity(a.dt_, std::move(mass), tail);
+}
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,187 @@
+#include "agedtr/numerics/matrix.hpp"
+
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  AGEDTR_REQUIRE(rows >= 1 && cols >= 1, "Matrix: empty shape");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  AGEDTR_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  AGEDTR_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  AGEDTR_REQUIRE(cols_ == other.rows_, "Matrix: shape mismatch in product");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  AGEDTR_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "Matrix: shape mismatch in sum");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] += other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  AGEDTR_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "Matrix: shape mismatch in difference");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] -= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::scaled(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+std::vector<double> Matrix::left_multiply(
+    const std::vector<double>& v) const {
+  AGEDTR_REQUIRE(v.size() == rows_, "Matrix: row-vector size mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (v[i] == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out[j] += v[i] * (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::right_multiply(
+    const std::vector<double>& v) const {
+  AGEDTR_REQUIRE(v.size() == cols_, "Matrix: column-vector size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      acc += (*this)(i, j) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::inf_norm() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      row += std::fabs((*this)(i, j));
+    }
+    worst = std::max(worst, row);
+  }
+  return worst;
+}
+
+Matrix matrix_exponential(const Matrix& a) {
+  AGEDTR_REQUIRE(a.rows() == a.cols(),
+                 "matrix_exponential: matrix must be square");
+  // Scale so ||A/2^s|| <= 0.5, Padé(6,6), then square s times.
+  const double norm = a.inf_norm();
+  int s = 0;
+  if (norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+  }
+  const Matrix x = a.scaled(std::pow(2.0, -s));
+
+  // Padé(6,6): N = Σ c_k X^k, D = Σ (−1)^k c_k X^k.
+  static const double c[7] = {1.0,          0.5,         5.0 / 44.0,
+                              1.0 / 66.0,   1.0 / 792.0, 1.0 / 15840.0,
+                              1.0 / 665280.0};
+  const std::size_t n = a.rows();
+  Matrix num(n, n);
+  Matrix den(n, n);
+  Matrix power = Matrix::identity(n);
+  for (int k = 0; k <= 6; ++k) {
+    const Matrix term = power.scaled(c[k]);
+    num = num + term;
+    den = (k % 2 == 0) ? den + term : den - term;
+    if (k < 6) power = power * x;
+  }
+  // R = D^{-1} N, column by column.
+  Matrix r(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = num(i, j);
+    const std::vector<double> solved = solve_dense(den, std::move(col));
+    for (std::size_t i = 0; i < n; ++i) r(i, j) = solved[i];
+  }
+  for (int i = 0; i < s; ++i) r = r * r;
+  return r;
+}
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b) {
+  AGEDTR_REQUIRE(a.rows() == a.cols(), "solve_dense: matrix must be square");
+  AGEDTR_REQUIRE(b.size() == a.rows(), "solve_dense: rhs size mismatch");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  // LU with partial pivoting, in place.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::fabs(a(i, k)) > std::fabs(a(pivot, k))) pivot = i;
+    }
+    AGEDTR_REQUIRE(std::fabs(a(pivot, k)) > 1e-300,
+                   "solve_dense: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a(i, k) / a(k, k);
+      a(i, k) = 0.0;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a(i, j) -= factor * a(k, j);
+      }
+      b[i] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      acc -= a(i, j) * x[j];
+    }
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,181 @@
+#include "agedtr/numerics/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+
+ScalarMinResult minimize_scalar(const std::function<double(double)>& f,
+                                double a, double b, double tol, int max_iter) {
+  AGEDTR_REQUIRE(a < b, "minimize_scalar: need a < b");
+  const double golden = 0.3819660112501051;
+  double x = a + golden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  ScalarMinResult result;
+  result.evaluations = 1;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = tol * std::fabs(x) + 1e-15;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) break;
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through x, v, w.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (m > x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = golden * e;
+    }
+    const double u = (std::fabs(d) >= tol1) ? x + d
+                                            : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    ++result.evaluations;
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, std::vector<double> scale, double tol,
+    int max_iter) {
+  const std::size_t n = x0.size();
+  AGEDTR_REQUIRE(n >= 1, "nelder_mead: empty starting point");
+  if (scale.empty()) {
+    scale.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scale[i] = 0.1 * std::max(std::fabs(x0[i]), 1.0);
+    }
+  }
+  AGEDTR_REQUIRE(scale.size() == n, "nelder_mead: scale size mismatch");
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += scale[i];
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    result.iterations = iter + 1;
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+    if (std::fabs(values[worst] - values[best]) <=
+        tol * (std::fabs(values[best]) + std::fabs(values[worst]) + 1e-300) +
+            1e-300) {
+      result.converged = true;
+      result.x = simplex[best];
+      result.value = values[best];
+      return result;
+    }
+    // Centroid excluding the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        p[k] = centroid[k] + coeff * (simplex[worst][k] - centroid[k]);
+      }
+      return p;
+    };
+
+    std::vector<double> reflected = blend(-1.0);
+    const double f_ref = f(reflected);
+    if (f_ref < values[best]) {
+      std::vector<double> expanded = blend(-2.0);
+      const double f_exp = f(expanded);
+      if (f_exp < f_ref) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = f_exp;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = f_ref;
+      }
+    } else if (f_ref < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = f_ref;
+    } else {
+      std::vector<double> contracted = blend(f_ref < values[worst] ? -0.5 : 0.5);
+      const double f_con = f(contracted);
+      if (f_con < std::min(values[worst], f_ref)) {
+        simplex[worst] = std::move(contracted);
+        values[worst] = f_con;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t k = 0; k < n; ++k) {
+            simplex[i][k] =
+                simplex[best][k] + 0.5 * (simplex[i][k] - simplex[best][k]);
+          }
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  result.x = simplex[order[0]];
+  result.value = values[order[0]];
+  return result;
+}
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,170 @@
+#include "agedtr/numerics/quadrature.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+// Gauss–Kronrod 15-point nodes on [-1, 1] (symmetric; nonnegative half).
+constexpr double kGk15Nodes[8] = {
+    0.991455371120813, 0.949107912342759, 0.864864423359769,
+    0.741531185599394, 0.586087235467691, 0.405845151377397,
+    0.207784955007898, 0.000000000000000};
+constexpr double kGk15Weights[8] = {
+    0.022935322010529, 0.063092092629979, 0.104790010322250,
+    0.140653259715525, 0.169004726639267, 0.190350578064785,
+    0.204432940075298, 0.209482141084728};
+// Embedded 7-point Gauss weights (nodes are the odd-index Kronrod nodes).
+constexpr double kG7Weights[4] = {0.129484966168870, 0.279705391489277,
+                                  0.381830050505119, 0.417959183673469};
+
+struct Interval {
+  double a, b, value, error;
+  bool operator<(const Interval& o) const { return error < o.error; }
+};
+
+Interval gk15(const Integrand& f, double a, double b) {
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double kronrod = 0.0;
+  double gauss = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double x = kGk15Nodes[i];
+    double fv;
+    if (i == 7) {
+      fv = f(c);
+      kronrod += kGk15Weights[i] * fv;
+      gauss += kG7Weights[3] * fv;
+    } else {
+      const double f1 = f(c - h * x);
+      const double f2 = f(c + h * x);
+      kronrod += kGk15Weights[i] * (f1 + f2);
+      if (i % 2 == 1) gauss += kG7Weights[i / 2] * (f1 + f2);
+    }
+  }
+  kronrod *= h;
+  gauss *= h;
+  const double diff = std::fabs(kronrod - gauss);
+  // Standard QUADPACK-style error inflation.
+  const double err = diff > 0.0 ? diff * std::sqrt(diff) * 200.0 *
+                                      std::min(1.0, 1.0 / std::sqrt(diff))
+                                : 0.0;
+  return Interval{a, b, kronrod, std::max(err, diff)};
+}
+
+}  // namespace
+
+const GaussRule& gauss_rule(int n) {
+  AGEDTR_REQUIRE(n >= 2 && n <= 256, "gauss_rule: order must be in [2, 256]");
+  static std::map<int, GaussRule> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  GaussRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    // Initial guess (Chebyshev) then Newton on P_n.
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    rule.nodes[i] = -x;
+    rule.nodes[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.weights[i] = w;
+    rule.weights[n - 1 - i] = w;
+  }
+  auto [ins, ok] = cache.emplace(n, std::move(rule));
+  (void)ok;
+  return ins->second;
+}
+
+double gauss_legendre(const Integrand& f, double a, double b, int n) {
+  const GaussRule& rule = gauss_rule(n);
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rule.weights[i] * f(c + h * rule.nodes[i]);
+  }
+  return h * sum;
+}
+
+QuadratureResult integrate(const Integrand& f, double a, double b,
+                           double abs_tol, double rel_tol, int max_intervals) {
+  AGEDTR_REQUIRE(std::isfinite(a) && std::isfinite(b),
+                 "integrate: bounds must be finite");
+  QuadratureResult result;
+  if (a == b) return result;
+  double sign = 1.0;
+  if (a > b) {
+    std::swap(a, b);
+    sign = -1.0;
+  }
+  std::priority_queue<Interval> queue;
+  Interval whole = gk15(f, a, b);
+  result.evaluations = 15;
+  double total = whole.value;
+  double total_err = whole.error;
+  queue.push(whole);
+  int intervals = 1;
+  while (intervals < max_intervals &&
+         total_err > std::max(abs_tol, rel_tol * std::fabs(total))) {
+    Interval worst = queue.top();
+    queue.pop();
+    const double mid = 0.5 * (worst.a + worst.b);
+    if (mid <= worst.a || mid >= worst.b) {  // interval at machine resolution
+      queue.push(Interval{worst.a, worst.b, worst.value, 0.0});
+      total_err -= worst.error;
+      continue;
+    }
+    Interval left = gk15(f, worst.a, mid);
+    Interval right = gk15(f, mid, worst.b);
+    result.evaluations += 30;
+    total += left.value + right.value - worst.value;
+    total_err += left.error + right.error - worst.error;
+    queue.push(left);
+    queue.push(right);
+    ++intervals;
+  }
+  result.value = sign * total;
+  result.error = total_err;
+  return result;
+}
+
+QuadratureResult integrate_to_infinity(const Integrand& f, double a,
+                                       double abs_tol, double rel_tol,
+                                       int max_intervals) {
+  // x = a + t/(1−t) maps t in [0, 1) to [a, ∞); dx = dt/(1−t)^2.
+  const auto mapped = [&f, a](double t) {
+    const double one_minus = 1.0 - t;
+    if (one_minus <= 0.0) return 0.0;
+    const double x = a + t / one_minus;
+    const double jac = 1.0 / (one_minus * one_minus);
+    const double v = f(x) * jac;
+    return std::isfinite(v) ? v : 0.0;
+  };
+  return integrate(mapped, 0.0, 1.0, abs_tol, rel_tol, max_intervals);
+}
+
+}  // namespace agedtr::numerics

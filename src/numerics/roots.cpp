@@ -1,0 +1,90 @@
+#include "agedtr/numerics/roots.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  double tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  AGEDTR_REQUIRE(fa * fb <= 0.0, "brent_root: root is not bracketed");
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * eps * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) return b;
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::min(3.0 * xm * q - std::fabs(tol1 * q),
+                             std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = d = b - a;
+    }
+  }
+  throw ConvergenceError("brent_root: exceeded maximum iterations");
+}
+
+Bracket expand_bracket(const std::function<double(double)>& f, double a,
+                       double b, int max_tries) {
+  AGEDTR_REQUIRE(a < b, "expand_bracket: need a < b");
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < max_tries; ++i) {
+    if (fa * fb <= 0.0) return {a, b};
+    if (std::fabs(fa) < std::fabs(fb)) {
+      a += 1.6 * (a - b);
+      fa = f(a);
+    } else {
+      b += 1.6 * (b - a);
+      fb = f(b);
+    }
+  }
+  throw ConvergenceError("expand_bracket: no sign change found");
+}
+
+}  // namespace agedtr::numerics

@@ -1,0 +1,139 @@
+#include "agedtr/policy/algorithm1.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+Algorithm1::Algorithm1(Algorithm1Options options)
+    : options_(std::move(options)) {
+  AGEDTR_REQUIRE(options_.max_iterations >= 1,
+                 "Algorithm1: max_iterations must be >= 1");
+  if (options_.objective == Objective::kQos) {
+    AGEDTR_REQUIRE(options_.deadline > 0.0, "Algorithm1: QoS needs a deadline");
+  }
+}
+
+int Algorithm1::solve_pair(const core::DcsScenario& scenario, std::size_t i,
+                           std::size_t j, int m1, int m2) const {
+  // Build the 2-server instance (sender i, candidate recipient j). The
+  // queue sizes enter only through the policies evaluated below, so the
+  // instance is built with the *full* queues and the search range carries
+  // (m1, m2); this lets the evaluator (and its lattice caches) be reused
+  // across iterations for the same (i, j) pair.
+  core::DcsScenario pair;
+  pair.servers = {core::ServerSpec{scenario.servers[i].initial_tasks,
+                                   scenario.servers[i].service,
+                                   scenario.servers[i].failure},
+                  core::ServerSpec{m2, scenario.servers[j].service,
+                                   scenario.servers[j].failure}};
+  pair.transfer = {{nullptr, scenario.transfer[i][j]},
+                   {scenario.transfer[j][i], nullptr}};
+  pair.transfer_scaling = scenario.transfer_scaling;
+  if (!scenario.fn_transfer.empty()) {
+    pair.fn_transfer = {{nullptr, scenario.fn_transfer[i][j]},
+                        {scenario.fn_transfer[j][i], nullptr}};
+  }
+  // The average execution time is defined for reliable servers; when the
+  // subproblem optimizes it, drop the failure laws (Table II's T̄ column
+  // follows the paper in devising policies under the reliable model).
+  if (options_.objective == Objective::kMeanExecutionTime) {
+    pair.servers[0].failure = nullptr;
+    pair.servers[1].failure = nullptr;
+  }
+  pair.servers[0].initial_tasks = m1;
+  const PolicyEvaluator evaluator =
+      options_.markovian
+          ? make_markovian_evaluator(pair, options_.objective,
+                                     options_.deadline)
+          : make_age_dependent_evaluator(pair, options_.objective,
+                                         options_.deadline, options_.conv);
+  // Sender i controls only L12; sweep it with L21 = 0.
+  const TwoServerPolicySearch search(m1, m2);
+  const std::vector<PolicyPoint> line =
+      search.sweep_l12(evaluator, /*l21=*/0, options_.pool);
+  const bool maximize = is_maximization(options_.objective);
+  const PolicyPoint* best = &line.front();
+  for (const PolicyPoint& p : line) {
+    const bool better =
+        maximize ? p.value > best->value : p.value < best->value;
+    if (better) best = &p;
+  }
+  return best->l12;
+}
+
+Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
+                                    const QueueEstimates& estimates) const {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  const core::DtrPolicy l0 =
+      initial_policy(scenario, estimates, options_.criterion);
+
+  Algorithm1Result result{core::DtrPolicy(n), 0, false};
+  // previous[i][j]: L_ij from the prior iteration (starts at Eq. (5)).
+  std::vector<std::vector<int>> previous(n, std::vector<int>(n, 0));
+  std::vector<std::vector<int>> current(n, std::vector<int>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) previous[i][j] = l0(i, j);
+    }
+  }
+
+  for (int k = 1; k <= options_.max_iterations; ++k) {
+    result.iterations = k;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int m_i = scenario.servers[i].initial_tasks;
+      // U_i: candidate recipients (positive pledge in the initial policy).
+      std::vector<std::size_t> candidates;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j && l0(i, j) > 0) candidates.push_back(j);
+      }
+      // Refine each pledge given the *other* pledges: already-updated ones
+      // at their k-th value, not-yet-updated ones at their (k−1)-th value.
+      std::vector<char> updated(n, 0);
+      for (std::size_t j : candidates) {
+        int pledged_elsewhere = 0;
+        for (std::size_t k2 : candidates) {
+          if (k2 == j) continue;
+          pledged_elsewhere += updated[k2] ? current[i][k2] : previous[i][k2];
+        }
+        const int m1 = std::max(m_i - pledged_elsewhere, 0);
+        const int m2 = estimates[i][j];
+        current[i][j] = std::min(solve_pair(scenario, i, j, m1, m2), m1);
+        updated[j] = 1;
+      }
+    }
+    // Convergence: pledges unchanged across the iteration.
+    bool changed = false;
+    for (std::size_t i = 0; i < n && !changed; ++i) {
+      for (std::size_t j = 0; j < n && !changed; ++j) {
+        changed = current[i][j] != previous[i][j];
+      }
+    }
+    previous = current;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Clamp total outflow to the available queue (the per-pair solves bound
+  // each pledge but the sum can still exceed m_i if estimates shifted).
+  for (std::size_t i = 0; i < n; ++i) {
+    int budget = scenario.servers[i].initial_tasks;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int l = std::min(previous[i][j], budget);
+      if (l > 0) {
+        result.policy.set(i, j, l);
+        budget -= l;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace agedtr::policy

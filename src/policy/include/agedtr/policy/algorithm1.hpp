@@ -1,0 +1,72 @@
+// Algorithm 1 (Section II-E): the scalable multi-server DTR heuristic.
+//
+// Each sender i starts from the Eq. (5) fair-share pledge, forms its
+// candidate-recipient set U_i = {j : L⁰_ij > 0}, and iteratively refines
+// each pledge L_ij by solving the exact *2-server* problem between (its own
+// remaining queue after all other pledges) and (its estimate of j's queue),
+// until the pledges stop changing or K iterations elapse. Every server
+// solves at most n−1 two-server problems per iteration, so the cost grows
+// linearly in the number of servers — the paper's scalability argument.
+//
+// The 2-server subproblem fixes L₂₁ = 0: sender i controls only its own
+// outflow; whatever j sends is j's decision in j's own instance of the
+// algorithm.
+#pragma once
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/initial_policy.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+struct Algorithm1Options {
+  /// K: iteration cap.
+  int max_iterations = 8;
+  /// Λ criterion for the Eq. (5) initial policy.
+  ReallocationCriterion criterion = ReallocationCriterion::kSpeed;
+  /// Metric the 2-server subproblems optimize.
+  Objective objective = Objective::kMeanExecutionTime;
+  /// Deadline for Objective::kQos.
+  double deadline = 0.0;
+  /// Devise under the Markovian (exponentialized) model instead of the true
+  /// laws — the comparison column of Table II.
+  bool markovian = false;
+  /// Lattice options for the age-dependent subproblem evaluators.
+  core::ConvolutionOptions conv;
+  /// Parallelizes the subproblem policy grids (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+struct Algorithm1Result {
+  core::DtrPolicy policy;
+  int iterations = 0;
+  bool converged = false;
+};
+
+class Algorithm1 {
+ public:
+  explicit Algorithm1(Algorithm1Options options = {});
+
+  /// Devises the DTR policy for the scenario given each server's
+  /// queue-length estimates.
+  [[nodiscard]] Algorithm1Result devise(const core::DcsScenario& scenario,
+                                        const QueueEstimates& estimates) const;
+
+  /// Convenience: perfect queue information.
+  [[nodiscard]] Algorithm1Result devise(
+      const core::DcsScenario& scenario) const {
+    return devise(scenario, perfect_estimates(scenario));
+  }
+
+ private:
+  /// Solves the (3)/(4) subproblem for sender resources m1 at server i and
+  /// estimated m2 at server j; returns the optimal L_ij.
+  [[nodiscard]] int solve_pair(const core::DcsScenario& scenario,
+                               std::size_t i, std::size_t j, int m1,
+                               int m2) const;
+
+  Algorithm1Options options_;
+};
+
+}  // namespace agedtr::policy

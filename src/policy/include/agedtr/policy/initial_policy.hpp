@@ -1,0 +1,45 @@
+// The initial DTR policy of Eq. (5): a fair-share allocation in which server
+// i compares its queue against the system load it estimates and pledges its
+// excess to under-loaded peers in proportion to their deficits, weighted by
+// a reallocation criterion Λ_j (relative computing power, or relative server
+// dependability).
+#pragma once
+
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+
+namespace agedtr::policy {
+
+enum class ReallocationCriterion {
+  /// Λ_j = 1/E[W_j]: share proportional to processing speed (the paper's
+  /// "relative computing power of the servers").
+  kSpeed,
+  /// Λ_j = MTTF_j/E[W_j]: the expected number of tasks server j can serve
+  /// before failing — our concretization of the paper's "reliability of the
+  /// jth server" criterion (documented in DESIGN.md).
+  kReliability,
+};
+
+/// Queue-length estimates: estimates[i][j] = m̂_ji, server i's estimate of
+/// server j's queue. Row i's diagonal entry must equal m_i (a server knows
+/// its own queue).
+using QueueEstimates = std::vector<std::vector<int>>;
+
+/// Perfect-information estimates built from the scenario's initial queues.
+[[nodiscard]] QueueEstimates perfect_estimates(
+    const core::DcsScenario& scenario);
+
+/// The Λ weights for the criterion.
+[[nodiscard]] std::vector<double> reallocation_weights(
+    const core::DcsScenario& scenario, ReallocationCriterion criterion);
+
+/// Eq. (5): L⁰_ij = floor(excess_i · deficit_j / Σ_k deficit_k) where
+/// target_j = M̂_i·Λ_j/Σ_ℓ Λ_ℓ, excess_i = m_i − target_i and
+/// deficit_j = max(0, target_j − m̂_ji), computed independently per sender
+/// from its own estimates.
+[[nodiscard]] core::DtrPolicy initial_policy(
+    const core::DcsScenario& scenario, const QueueEstimates& estimates,
+    ReallocationCriterion criterion);
+
+}  // namespace agedtr::policy

@@ -1,0 +1,62 @@
+// The speed/reliability trade-off the paper's Section III-A closes with:
+// "policies minimizing execution time exploit the processing capability of
+// the faster server, and such requirement conflicts with the needs of
+// policies aiming for maximizing service reliability … A trade-off between
+// minimizing execution time and maximizing service reliability can be
+// obtained by devising policies that simultaneously optimize the two
+// performance metrics."
+//
+// This module implements that proposal for 2-server systems:
+//   * the Pareto frontier of (T̄, R_∞) over the policy grid — every policy
+//     not dominated by another (faster *and* more reliable);
+//   * scalarized optimization: maximize R_∞ subject to T̄ <= budget, and
+//     the weighted compromise min λ·T̄/T̄* − (1−λ)·R/R*.
+#pragma once
+
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+/// A policy with both metrics attached.
+struct TradeoffPoint {
+  int l12 = 0;
+  int l21 = 0;
+  /// Average execution time of the *reliable-server* system (the paper's
+  /// T̄ is defined there; failures are dropped for this coordinate).
+  double mean_execution_time = 0.0;
+  /// Service reliability with the scenario's failure laws.
+  double reliability = 0.0;
+};
+
+struct TradeoffAnalysis {
+  /// Every evaluated policy.
+  std::vector<TradeoffPoint> points;
+  /// The non-dominated subset, sorted by ascending mean execution time
+  /// (and therefore descending reliability).
+  std::vector<TradeoffPoint> frontier;
+
+  /// The frontier point with maximal reliability among those whose mean
+  /// execution time is within `budget_factor` of the fastest policy's —
+  /// "spend at most x% more time for the most dependable execution".
+  [[nodiscard]] const TradeoffPoint& best_within_time_budget(
+      double budget_factor) const;
+
+  /// Weighted compromise: minimizes λ·(T̄/T̄_min) − (1−λ)·(R/R_max) over the
+  /// frontier; λ = 1 recovers the fastest policy, λ = 0 the most reliable.
+  [[nodiscard]] const TradeoffPoint& weighted_compromise(double lambda) const;
+};
+
+/// Evaluates both metrics over the full (L12, L21) grid (step >= 1 thins
+/// it) and extracts the Pareto frontier. The scenario must carry failure
+/// laws (reliability would otherwise be identically 1 and the frontier a
+/// single point).
+[[nodiscard]] TradeoffAnalysis tradeoff_analysis(
+    const core::DcsScenario& scenario, int step = 1,
+    const core::ConvolutionOptions& options = {},
+    ThreadPool* pool = nullptr);
+
+}  // namespace agedtr::policy

@@ -1,0 +1,59 @@
+// Optimal 2-server DTR policies (Section II-D): exhaustive search over
+// (L₁₂, L₂₁) ∈ [0, m₁] × [0, m₂] of the chosen metric — problems (3)/(4).
+// The search parallelizes over the policy grid (evaluators are thread-safe)
+// and can sweep a single axis for the Fig. 1/2 curves.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+struct PolicyPoint {
+  int l12 = 0;
+  int l21 = 0;
+  double value = 0.0;
+};
+
+/// Builds the 2×2 policy with the given off-diagonal entries.
+[[nodiscard]] core::DtrPolicy make_two_server_policy(int l12, int l21);
+
+class TwoServerPolicySearch {
+ public:
+  /// `m1`, `m2` bound the search ranges (tasks initially at each server).
+  TwoServerPolicySearch(int m1, int m2);
+
+  /// Exhaustive optimum of the evaluator. `pool` parallelizes the grid
+  /// (nullptr = serial). Ties break toward the smallest (l12, l21) in
+  /// lexicographic order, matching the determinism tests expect.
+  [[nodiscard]] PolicyPoint optimize(const PolicyEvaluator& evaluator,
+                                     bool maximize,
+                                     ThreadPool* pool = nullptr) const;
+
+  /// Convenience: optimize a named objective.
+  [[nodiscard]] PolicyPoint optimize(const PolicyEvaluator& evaluator,
+                                     Objective objective,
+                                     ThreadPool* pool = nullptr) const {
+    return optimize(evaluator, is_maximization(objective), pool);
+  }
+
+  /// Evaluates the metric along l12 = {0, …, m1} at fixed l21 — the
+  /// Fig. 1/Fig. 2 abscissa.
+  [[nodiscard]] std::vector<PolicyPoint> sweep_l12(
+      const PolicyEvaluator& evaluator, int l21,
+      ThreadPool* pool = nullptr) const;
+
+  /// Full surface, row-major in l12 — the Fig. 3 data.
+  [[nodiscard]] std::vector<PolicyPoint> surface(
+      const PolicyEvaluator& evaluator, ThreadPool* pool = nullptr) const;
+
+ private:
+  int m1_;
+  int m2_;
+};
+
+}  // namespace agedtr::policy

@@ -1,0 +1,100 @@
+#include "agedtr/policy/initial_policy.hpp"
+
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+QueueEstimates perfect_estimates(const core::DcsScenario& scenario) {
+  const std::size_t n = scenario.size();
+  QueueEstimates estimates(n, std::vector<int>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      estimates[i][j] = scenario.servers[j].initial_tasks;
+    }
+  }
+  return estimates;
+}
+
+std::vector<double> reallocation_weights(const core::DcsScenario& scenario,
+                                         ReallocationCriterion criterion) {
+  std::vector<double> weights;
+  weights.reserve(scenario.size());
+  for (const core::ServerSpec& s : scenario.servers) {
+    AGEDTR_REQUIRE(s.service != nullptr,
+                   "reallocation_weights: missing service law");
+    const double speed = 1.0 / s.service->mean();
+    switch (criterion) {
+      case ReallocationCriterion::kSpeed:
+        weights.push_back(speed);
+        break;
+      case ReallocationCriterion::kReliability: {
+        // Expected tasks served before failure; reliable servers are capped
+        // at a large finite weight so ratios stay meaningful.
+        const double mttf = s.failure ? s.failure->mean() : 1e9;
+        weights.push_back(mttf * speed);
+        break;
+      }
+    }
+  }
+  return weights;
+}
+
+core::DtrPolicy initial_policy(const core::DcsScenario& scenario,
+                               const QueueEstimates& estimates,
+                               ReallocationCriterion criterion) {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(estimates.size() == n,
+                 "initial_policy: estimate matrix has wrong row count");
+  const std::vector<double> weights =
+      reallocation_weights(scenario, criterion);
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  AGEDTR_ASSERT(weight_sum > 0.0);
+
+  core::DtrPolicy policy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AGEDTR_REQUIRE(estimates[i].size() == n,
+                   "initial_policy: estimate matrix has wrong column count");
+    const int m_i = scenario.servers[i].initial_tasks;
+    AGEDTR_REQUIRE(estimates[i][i] == m_i,
+                   "initial_policy: a server must know its own queue");
+    // M̂_i: the system load as estimated by server i.
+    double estimated_load = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      AGEDTR_REQUIRE(estimates[i][j] >= 0,
+                     "initial_policy: negative queue estimate");
+      estimated_load += estimates[i][j];
+    }
+    const auto target = [&](std::size_t j) {
+      return estimated_load * weights[j] / weight_sum;
+    };
+    const double excess = static_cast<double>(m_i) - target(i);
+    if (excess <= 0.0) continue;
+    double deficit_sum = 0.0;
+    std::vector<double> deficit(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      deficit[j] = std::max(target(j) - static_cast<double>(estimates[i][j]),
+                            0.0);
+      deficit_sum += deficit[j];
+    }
+    if (deficit_sum <= 0.0) continue;
+    int pledged = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || deficit[j] <= 0.0) continue;
+      const int l = static_cast<int>(
+          std::floor(excess * deficit[j] / deficit_sum));
+      const int bounded = std::min(l, m_i - pledged);
+      if (bounded > 0) {
+        policy.set(i, j, bounded);
+        pledged += bounded;
+      }
+    }
+  }
+  return policy;
+}
+
+}  // namespace agedtr::policy

@@ -1,0 +1,114 @@
+#include "agedtr/policy/objective.hpp"
+
+#include <memory>
+
+#include "agedtr/core/ctmc.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+std::string objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kMeanExecutionTime:
+      return "mean_execution_time";
+    case Objective::kQos:
+      return "qos";
+    case Objective::kReliability:
+      return "reliability";
+  }
+  throw LogicError("objective_name: unknown objective");
+}
+
+bool is_maximization(Objective objective) {
+  return objective != Objective::kMeanExecutionTime;
+}
+
+PolicyEvaluator make_age_dependent_evaluator(core::DcsScenario scenario,
+                                             Objective objective,
+                                             double deadline,
+                                             core::ConvolutionOptions options) {
+  scenario.validate();
+  if (objective == Objective::kQos) {
+    AGEDTR_REQUIRE(deadline > 0.0,
+                   "make_age_dependent_evaluator: QoS needs a deadline");
+  }
+  auto solver = std::make_shared<core::ConvolutionSolver>(options);
+  auto shared_scenario =
+      std::make_shared<const core::DcsScenario>(std::move(scenario));
+  return [solver, shared_scenario, objective,
+          deadline](const core::DtrPolicy& policy) {
+    const auto workloads = core::apply_policy(*shared_scenario, policy);
+    switch (objective) {
+      case Objective::kMeanExecutionTime:
+        return solver->mean_execution_time(workloads);
+      case Objective::kQos:
+        return solver->qos(workloads, deadline);
+      case Objective::kReliability:
+        return solver->reliability(workloads);
+    }
+    throw LogicError("age-dependent evaluator: unknown objective");
+  };
+}
+
+core::DcsScenario exponentialized(const core::DcsScenario& scenario) {
+  scenario.validate();
+  core::DcsScenario out = scenario;
+  const auto exponential_like = [](const dist::DistPtr& law) -> dist::DistPtr {
+    if (!law || law->is_memoryless()) return law;
+    return dist::Exponential::with_mean(law->mean());
+  };
+  for (core::ServerSpec& s : out.servers) {
+    s.service = exponential_like(s.service);
+    s.failure = exponential_like(s.failure);
+  }
+  for (auto& row : out.transfer) {
+    for (auto& law : row) law = exponential_like(law);
+  }
+  for (auto& row : out.fn_transfer) {
+    for (auto& law : row) law = exponential_like(law);
+  }
+  return out;
+}
+
+PolicyEvaluator make_markovian_evaluator(core::DcsScenario scenario,
+                                         Objective objective,
+                                         double deadline) {
+  if (objective == Objective::kQos) {
+    AGEDTR_REQUIRE(deadline > 0.0,
+                   "make_markovian_evaluator: QoS needs a deadline");
+  }
+  // The Markovian model of [2],[7]: every law exponential, and each group's
+  // transfer exponential with the group's true mean (L·z̄ under per-task
+  // scaling). Metrics are evaluated with the exact ConvolutionSolver, which
+  // on an all-exponential configuration coincides with the DP/uniformization
+  // machinery (validated in tests) while scaling to large policy sweeps.
+  auto markovian_scenario =
+      std::make_shared<const core::DcsScenario>(exponentialized(scenario));
+  auto solver = std::make_shared<core::ConvolutionSolver>();
+  return [markovian_scenario, solver, objective,
+          deadline](const core::DtrPolicy& policy) {
+    auto workloads = core::apply_policy(*markovian_scenario, policy);
+    for (core::ServerWorkload& w : workloads) {
+      for (core::ServerWorkload::Inbound& g : w.inbound) {
+        if (g.per_task) {
+          g.transfer = dist::Exponential::with_mean(g.transfer->mean() *
+                                                    g.tasks);
+          g.per_task = false;
+        }
+      }
+    }
+    switch (objective) {
+      case Objective::kMeanExecutionTime:
+        return solver->mean_execution_time(workloads);
+      case Objective::kQos:
+        return solver->qos(workloads, deadline);
+      case Objective::kReliability:
+        return solver->reliability(workloads);
+    }
+    throw LogicError("markovian evaluator: unknown objective");
+  };
+}
+
+}  // namespace agedtr::policy

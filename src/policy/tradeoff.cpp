@@ -1,0 +1,123 @@
+#include "agedtr/policy/tradeoff.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+const TradeoffPoint& TradeoffAnalysis::best_within_time_budget(
+    double budget_factor) const {
+  AGEDTR_REQUIRE(!frontier.empty(), "tradeoff: empty frontier");
+  AGEDTR_REQUIRE(budget_factor >= 1.0,
+                 "best_within_time_budget: factor must be >= 1");
+  const double budget =
+      frontier.front().mean_execution_time * budget_factor;
+  // The frontier is sorted by ascending T̄ with descending reliability is
+  // false — reliability *increases* along descending speed only when the
+  // metrics genuinely conflict; in general take the max-R point in budget.
+  const TradeoffPoint* best = &frontier.front();
+  for (const TradeoffPoint& p : frontier) {
+    if (p.mean_execution_time <= budget &&
+        p.reliability > best->reliability) {
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+const TradeoffPoint& TradeoffAnalysis::weighted_compromise(
+    double lambda) const {
+  AGEDTR_REQUIRE(!frontier.empty(), "tradeoff: empty frontier");
+  AGEDTR_REQUIRE(lambda >= 0.0 && lambda <= 1.0,
+                 "weighted_compromise: lambda must be in [0, 1]");
+  double t_min = std::numeric_limits<double>::infinity();
+  double r_max = 0.0;
+  for (const TradeoffPoint& p : frontier) {
+    t_min = std::min(t_min, p.mean_execution_time);
+    r_max = std::max(r_max, p.reliability);
+  }
+  AGEDTR_ASSERT(t_min > 0.0);
+  const TradeoffPoint* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const TradeoffPoint& p : frontier) {
+    const double score =
+        lambda * (p.mean_execution_time / t_min) -
+        (1.0 - lambda) * (r_max > 0.0 ? p.reliability / r_max : 0.0);
+    if (score < best_score) {
+      best_score = score;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+TradeoffAnalysis tradeoff_analysis(const core::DcsScenario& scenario,
+                                   int step,
+                                   const core::ConvolutionOptions& options,
+                                   ThreadPool* pool) {
+  scenario.validate();
+  AGEDTR_REQUIRE(scenario.size() == 2,
+                 "tradeoff_analysis: two-server systems only");
+  AGEDTR_REQUIRE(step >= 1, "tradeoff_analysis: step must be >= 1");
+  bool has_failures = false;
+  for (const core::ServerSpec& s : scenario.servers) {
+    has_failures = has_failures || s.failure != nullptr;
+  }
+  AGEDTR_REQUIRE(has_failures,
+                 "tradeoff_analysis: the scenario needs failure laws "
+                 "(reliability is trivially 1 otherwise)");
+
+  // Two evaluators over the same grid: T̄ on the reliable system, R_∞ on
+  // the failing one.
+  core::DcsScenario reliable = scenario;
+  for (core::ServerSpec& s : reliable.servers) s.failure = nullptr;
+  const PolicyEvaluator time_eval = make_age_dependent_evaluator(
+      reliable, Objective::kMeanExecutionTime, 0.0, options);
+  const PolicyEvaluator rel_eval = make_age_dependent_evaluator(
+      scenario, Objective::kReliability, 0.0, options);
+
+  TradeoffAnalysis analysis;
+  const int m1 = scenario.servers[0].initial_tasks;
+  const int m2 = scenario.servers[1].initial_tasks;
+  for (int l12 = 0; l12 <= m1; l12 += step) {
+    for (int l21 = 0; l21 <= m2; l21 += step) {
+      analysis.points.push_back({l12, l21, 0.0, 0.0});
+    }
+  }
+  const auto evaluate = [&](std::size_t i) {
+    TradeoffPoint& p = analysis.points[i];
+    const core::DtrPolicy policy = make_two_server_policy(p.l12, p.l21);
+    p.mean_execution_time = time_eval(policy);
+    p.reliability = rel_eval(policy);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, analysis.points.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < analysis.points.size(); ++i) evaluate(i);
+  }
+
+  // Pareto extraction: sort by (T̄ asc, R desc) and keep strictly improving
+  // reliability.
+  std::vector<TradeoffPoint> sorted = analysis.points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              if (a.mean_execution_time != b.mean_execution_time) {
+                return a.mean_execution_time < b.mean_execution_time;
+              }
+              return a.reliability > b.reliability;
+            });
+  double best_reliability = -1.0;
+  for (const TradeoffPoint& p : sorted) {
+    if (p.reliability > best_reliability) {
+      analysis.frontier.push_back(p);
+      best_reliability = p.reliability;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace agedtr::policy

@@ -1,0 +1,76 @@
+#include "agedtr/policy/two_server.hpp"
+
+#include <algorithm>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+core::DtrPolicy make_two_server_policy(int l12, int l21) {
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, l12);
+  policy.set(1, 0, l21);
+  return policy;
+}
+
+TwoServerPolicySearch::TwoServerPolicySearch(int m1, int m2)
+    : m1_(m1), m2_(m2) {
+  AGEDTR_REQUIRE(m1 >= 0 && m2 >= 0,
+                 "TwoServerPolicySearch: task counts must be nonnegative");
+}
+
+namespace {
+
+std::vector<PolicyPoint> evaluate_grid(const PolicyEvaluator& evaluator,
+                                       const std::vector<PolicyPoint>& grid,
+                                       ThreadPool* pool) {
+  std::vector<PolicyPoint> out = grid;
+  const auto body = [&](std::size_t i) {
+    out[i].value = evaluator(make_two_server_policy(out[i].l12, out[i].l21));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, out.size(), body);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) body(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+PolicyPoint TwoServerPolicySearch::optimize(const PolicyEvaluator& evaluator,
+                                            bool maximize,
+                                            ThreadPool* pool) const {
+  const std::vector<PolicyPoint> points = surface(evaluator, pool);
+  AGEDTR_ASSERT(!points.empty());
+  const PolicyPoint* best = &points.front();
+  for (const PolicyPoint& p : points) {
+    const bool better = maximize ? p.value > best->value
+                                 : p.value < best->value;
+    if (better) best = &p;
+  }
+  return *best;
+}
+
+std::vector<PolicyPoint> TwoServerPolicySearch::sweep_l12(
+    const PolicyEvaluator& evaluator, int l21, ThreadPool* pool) const {
+  AGEDTR_REQUIRE(l21 >= 0 && l21 <= m2_,
+                 "sweep_l12: l21 outside [0, m2]");
+  std::vector<PolicyPoint> grid;
+  grid.reserve(static_cast<std::size_t>(m1_) + 1);
+  for (int l12 = 0; l12 <= m1_; ++l12) grid.push_back({l12, l21, 0.0});
+  return evaluate_grid(evaluator, grid, pool);
+}
+
+std::vector<PolicyPoint> TwoServerPolicySearch::surface(
+    const PolicyEvaluator& evaluator, ThreadPool* pool) const {
+  std::vector<PolicyPoint> grid;
+  grid.reserve(static_cast<std::size_t>(m1_ + 1) *
+               static_cast<std::size_t>(m2_ + 1));
+  for (int l12 = 0; l12 <= m1_; ++l12) {
+    for (int l21 = 0; l21 <= m2_; ++l21) grid.push_back({l12, l21, 0.0});
+  }
+  return evaluate_grid(evaluator, grid, pool);
+}
+
+}  // namespace agedtr::policy

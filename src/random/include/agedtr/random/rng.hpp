@@ -1,0 +1,111 @@
+// Deterministic, platform-independent random number generation.
+//
+// Engines:
+//   * SplitMix64 — seeding and cheap stream derivation.
+//   * Xoshiro256pp — the default simulation engine (xoshiro256++ 1.0,
+//     Blackman & Vigna), with jump() for 2^128 non-overlapping subsequences.
+//   * Philox4x32 — counter-based engine; any (key, counter) pair is an
+//     independent stream, which makes replication-indexed Monte Carlo
+//     reproducible regardless of thread scheduling.
+//
+// All engines satisfy std::uniform_random_bit_generator and supply
+// next_double() returning a uniform deviate in [0, 1) with 53-bit
+// resolution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace agedtr::random {
+
+/// Fast 64-bit mixer used for seeding (Steele, Lea & Flood's SplitMix64).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 — default engine for the discrete-event simulator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64, as its authors recommend.
+  explicit Xoshiro256pp(std::uint64_t seed);
+
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  double next_double() { return to_unit_double((*this)()); }
+
+  /// Advances the state by 2^128 steps: successive jump()ed copies give
+  /// non-overlapping parallel streams.
+  void jump();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Converts a 64-bit word to a uniform double in [0, 1).
+  static double to_unit_double(std::uint64_t word) {
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Philox4x32-10 counter-based engine (Salmon et al., SC'11).
+///
+/// Construct with (key, stream); every distinct pair yields a statistically
+/// independent sequence, so parallel replications can be indexed directly.
+class Philox4x32 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Philox4x32(std::uint64_t key, std::uint64_t stream = 0);
+
+  std::uint64_t operator()();
+
+  double next_double() { return Xoshiro256pp::to_unit_double((*this)()); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 2> key_;
+  std::array<std::uint32_t, 4> counter_;
+  std::array<std::uint32_t, 4> output_{};
+  int have_ = 0;  // 32-bit words remaining in output_
+};
+
+/// The library-wide default engine alias.
+using Rng = Xoshiro256pp;
+
+/// Derives the engine for replication `rep` of a run seeded with `seed`:
+/// deterministic and independent of thread assignment.
+[[nodiscard]] Rng make_replication_rng(std::uint64_t seed, std::uint64_t rep);
+
+}  // namespace agedtr::random

@@ -1,0 +1,94 @@
+#include "agedtr/random/rng.hpp"
+
+namespace agedtr::random {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm();
+}
+
+std::uint64_t Xoshiro256pp::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+Philox4x32::Philox4x32(std::uint64_t key, std::uint64_t stream) {
+  key_ = {static_cast<std::uint32_t>(key),
+          static_cast<std::uint32_t>(key >> 32)};
+  counter_ = {0, 0, static_cast<std::uint32_t>(stream),
+              static_cast<std::uint32_t>(stream >> 32)};
+}
+
+void Philox4x32::refill() {
+  constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+  constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+  std::array<std::uint32_t, 4> ctr = counter_;
+  std::array<std::uint32_t, 2> key = key_;
+  for (int round = 0; round < 10; ++round) {
+    const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * ctr[0];
+    const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * ctr[2];
+    const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+    const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+    ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  output_ = ctr;
+  have_ = 4;
+  // Advance the 64-bit block counter held in counter_[0..1].
+  if (++counter_[0] == 0) ++counter_[1];
+}
+
+std::uint64_t Philox4x32::operator()() {
+  if (have_ < 2) refill();
+  const std::uint32_t lo = output_[4 - have_];
+  const std::uint32_t hi = output_[5 - have_];
+  have_ -= 2;
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+Rng make_replication_rng(std::uint64_t seed, std::uint64_t rep) {
+  // Mix (seed, rep) through SplitMix64 so neighbouring replication indices
+  // land in unrelated regions of the seed space.
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (rep + 1)));
+  return Rng(sm());
+}
+
+}  // namespace agedtr::random

@@ -1,0 +1,146 @@
+#include "agedtr/sim/allocation_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+core::DcsScenario with_allocation(const core::DcsScenario& scenario,
+                                  const std::vector<int>& allocation) {
+  core::DcsScenario out = scenario;
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    out.servers[j].initial_tasks = allocation[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared-solver scoring: allocations reuse one lattice cache (the grid is
+// allocation-invariant because the auto horizon depends only on totals).
+double score_allocation_with(const core::DcsScenario& scenario,
+                             const std::vector<int>& allocation,
+                             const AllocationSearchOptions& options,
+                             const core::ConvolutionSolver& solver) {
+  AGEDTR_REQUIRE(allocation.size() == scenario.size(),
+                 "score_allocation: allocation size mismatch");
+  core::DcsScenario placed = with_allocation(scenario, allocation);
+  if (options.objective == policy::Objective::kMeanExecutionTime) {
+    for (core::ServerSpec& s : placed.servers) s.failure = nullptr;
+  }
+  const core::DtrPolicy identity(placed.size());
+  if (options.analytic) {
+    const auto workloads = core::apply_policy(placed, identity);
+    switch (options.objective) {
+      case policy::Objective::kMeanExecutionTime:
+        return solver.mean_execution_time(workloads);
+      case policy::Objective::kQos:
+        return solver.qos(workloads, options.deadline);
+      case policy::Objective::kReliability:
+        return solver.reliability(workloads);
+    }
+    throw LogicError("score_allocation: unknown objective");
+  }
+  MonteCarloOptions mc;
+  mc.replications = options.replications;
+  mc.seed = options.seed;  // common random numbers across candidates
+  mc.deadline = options.deadline;
+  mc.pool = options.pool;
+  const MonteCarloMetrics metrics = run_monte_carlo(placed, identity, mc);
+  switch (options.objective) {
+    case policy::Objective::kMeanExecutionTime:
+      return metrics.mean_completion_time.center;
+    case policy::Objective::kQos:
+      return metrics.qos.center;
+    case policy::Objective::kReliability:
+      return metrics.reliability.center;
+  }
+  throw LogicError("score_allocation: unknown objective");
+}
+
+}  // namespace
+
+double score_allocation(const core::DcsScenario& scenario,
+                        const std::vector<int>& allocation,
+                        const AllocationSearchOptions& options) {
+  const core::ConvolutionSolver solver;
+  return score_allocation_with(scenario, allocation, options, solver);
+}
+
+AllocationSearchResult optimal_allocation(
+    const core::DcsScenario& scenario,
+    const AllocationSearchOptions& options) {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  const int total = scenario.total_tasks();
+  AGEDTR_REQUIRE(total > 0, "optimal_allocation: the workload is empty");
+  const bool maximize = policy::is_maximization(options.objective);
+
+  AllocationSearchResult result;
+  // Start from the speed-proportional allocation (a strong prior: it is
+  // optimal when transfers are free and the system is reliable).
+  std::vector<double> speed(n);
+  double speed_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    speed[j] = 1.0 / scenario.servers[j].service->mean();
+    speed_sum += speed[j];
+  }
+  std::vector<int> alloc(n, 0);
+  int assigned = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    alloc[j] = static_cast<int>(
+        std::floor(total * speed[j] / speed_sum));
+    assigned += alloc[j];
+  }
+  for (std::size_t j = 0; assigned < total; j = (j + 1) % n) {
+    ++alloc[j];
+    ++assigned;
+  }
+
+  const core::ConvolutionSolver shared_solver;
+  double best = score_allocation_with(scenario, alloc, options, shared_solver);
+  result.evaluations = 1;
+  const auto better = [maximize](double candidate, double incumbent) {
+    return maximize ? candidate > incumbent : candidate < incumbent;
+  };
+
+  int step = std::max(
+      1, static_cast<int>(std::lround(total * options.coarse_step_fraction)));
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    // Coordinate moves: shift `step` tasks from donor i to recipient j.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const int moved = std::min(step, alloc[i]);
+        if (moved == 0) continue;
+        std::vector<int> candidate = alloc;
+        candidate[i] -= moved;
+        candidate[j] += moved;
+        const double value =
+            score_allocation_with(scenario, candidate, options, shared_solver);
+        ++result.evaluations;
+        if (better(value, best)) {
+          best = value;
+          alloc = std::move(candidate);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      if (step == 1) break;
+      step = std::max(1, step / 2);
+    }
+  }
+  result.allocation = std::move(alloc);
+  result.value = best;
+  return result;
+}
+
+}  // namespace agedtr::sim

@@ -1,0 +1,52 @@
+// The Table II benchmark: "the initial allocation of tasks is actually the
+// optimal allocation ... obtained by performing a MC-based exhaustive search
+// over all the DTR policies". For M = 200 tasks on five servers the
+// allocation simplex is far too large for literal exhaustion, so — like any
+// practical realization of that search — this runs a multi-start
+// coarse-to-fine local search over task allocations (no reallocation, no
+// transfers: the tasks are assumed already in place), each candidate scored
+// by Monte Carlo or by the analytic solver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+
+namespace agedtr::sim {
+
+struct AllocationSearchOptions {
+  policy::Objective objective = policy::Objective::kMeanExecutionTime;
+  double deadline = 0.0;
+  /// Replications per candidate when scoring by Monte Carlo.
+  std::size_t replications = 2'000;
+  std::uint64_t seed = 0xa110c;
+  /// Score analytically (ConvolutionSolver) instead of by MC — faster and
+  /// noise-free; MC scoring reproduces the paper's procedure literally.
+  bool analytic = true;
+  /// Coarse pass step as a fraction of M (then halved until 1).
+  double coarse_step_fraction = 0.10;
+  int max_rounds = 64;
+  ThreadPool* pool = nullptr;
+};
+
+struct AllocationSearchResult {
+  /// Optimal m_j (sums to the scenario's total task count).
+  std::vector<int> allocation;
+  double value = 0.0;
+  int evaluations = 0;
+};
+
+/// Searches for the allocation of the scenario's total workload over its
+/// servers that optimizes the objective assuming the tasks start in place.
+[[nodiscard]] AllocationSearchResult optimal_allocation(
+    const core::DcsScenario& scenario, const AllocationSearchOptions& options);
+
+/// Scores a fixed allocation (no transfers) under the scenario's laws.
+[[nodiscard]] double score_allocation(const core::DcsScenario& scenario,
+                                      const std::vector<int>& allocation,
+                                      const AllocationSearchOptions& options);
+
+}  // namespace agedtr::sim

@@ -1,0 +1,51 @@
+// Parallel Monte-Carlo estimation of the three metrics, replicating the
+// paper's experimental methodology: "the service reliability is calculated
+// by averaging failure or success outcomes" over independent realizations,
+// with 95% confidence intervals (Table II reports their centers).
+//
+// Replication r uses the stream make_replication_rng(seed, r), so results
+// are bit-identical regardless of the thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/stats/summary.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::sim {
+
+struct MonteCarloOptions {
+  std::size_t replications = 10'000;
+  std::uint64_t seed = 0x5eed;
+  /// Deadline used for the QoS estimate (<= 0 disables it).
+  double deadline = 0.0;
+  /// Worker pool; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  SimulatorOptions simulator;
+};
+
+struct MonteCarloMetrics {
+  std::size_t replications = 0;
+  std::size_t completed = 0;
+
+  /// R̂_∞ with Wilson 95% CI.
+  stats::ConfidenceInterval reliability;
+  /// R̂_TM with Wilson 95% CI (center 0 when no deadline was given).
+  stats::ConfidenceInterval qos;
+  /// Mean of T over *completed* runs with normal 95% CI. Equals the paper's
+  /// T̄ when the scenario is failure-free (every run completes).
+  stats::ConfidenceInterval mean_completion_time;
+  /// True iff every replication completed (mean_completion_time is then the
+  /// unconditional average execution time).
+  bool all_completed = false;
+  /// Mean per-server busy time over completed runs (resource-usage
+  /// diagnostics).
+  std::vector<double> mean_busy_time;
+};
+
+[[nodiscard]] MonteCarloMetrics run_monte_carlo(
+    const core::DcsScenario& scenario, const core::DtrPolicy& policy,
+    const MonteCarloOptions& options = {});
+
+}  // namespace agedtr::sim

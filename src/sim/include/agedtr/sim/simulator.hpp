@@ -1,0 +1,74 @@
+// Discrete-event simulation of the DCS model (the forward counterpart of
+// the analytical solvers): servers serving sequentially with random service
+// times, permanent failures, task groups and FN packets crossing a network
+// with random delays, and optional periodic queue-length information
+// exchange with its own delays (the mechanism the paper's servers build
+// their m̂_ji estimates from).
+//
+// Forward simulation needs no age variables: every clock is sampled fresh
+// when its activity starts, which realizes exactly the non-Markovian law
+// the age-dependent analysis characterizes.
+#pragma once
+
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/random/rng.hpp"
+
+namespace agedtr::sim {
+
+struct SimulatorOptions {
+  /// Simulate FN packet propagation on failures.
+  bool model_fn_packets = true;
+  /// Period of queue-length info broadcasts; 0 disables them.
+  double queue_info_period = 0.0;
+  /// Delay law for info packets (defaults to the scenario's FN laws when
+  /// empty and info exchange is enabled).
+  dist::DistPtr info_transfer;
+  /// Hard cap on simulated events (guards against configuration mistakes).
+  std::size_t max_events = 50'000'000;
+};
+
+/// Outcome of one simulated realization.
+struct SimResult {
+  /// True iff every task was served: T < ∞.
+  bool completed = false;
+  /// The workload execution time T (makespan); +inf when !completed.
+  double completion_time = 0.0;
+  /// Tasks stranded per server (at failed servers / delivered to them).
+  std::vector<int> tasks_lost;
+  /// Per-server busy time (service work performed) — resource-usage
+  /// diagnostics for the Section III-A discussion.
+  std::vector<double> busy_time;
+  /// Per-server count of tasks served.
+  std::vector<int> tasks_served;
+  /// Time each server failed (+inf if it survived the run).
+  std::vector<double> failure_time;
+  /// FN packet deliveries as (from, to, time) triples (diagnostics).
+  struct FnDelivery {
+    std::size_t from, to;
+    double time;
+  };
+  std::vector<FnDelivery> fn_deliveries;
+  std::size_t events_processed = 0;
+};
+
+class DcsSimulator {
+ public:
+  explicit DcsSimulator(core::DcsScenario scenario,
+                        SimulatorOptions options = {});
+
+  /// Simulates one realization under the policy. Deterministic given the
+  /// RNG state. The run stops early (with completed == false) as soon as a
+  /// task is stranded, since no later event can rescue the workload.
+  [[nodiscard]] SimResult run(const core::DtrPolicy& policy,
+                              random::Rng& rng) const;
+
+  [[nodiscard]] const core::DcsScenario& scenario() const { return scenario_; }
+
+ private:
+  core::DcsScenario scenario_;
+  SimulatorOptions options_;
+};
+
+}  // namespace agedtr::sim

@@ -1,0 +1,67 @@
+#include "agedtr/sim/monte_carlo.hpp"
+
+#include <algorithm>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+
+MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
+                                  const core::DtrPolicy& policy,
+                                  const MonteCarloOptions& options) {
+  AGEDTR_REQUIRE(options.replications >= 2,
+                 "run_monte_carlo: need at least two replications");
+  const DcsSimulator simulator(scenario, options.simulator);
+  const std::size_t reps = options.replications;
+  const std::size_t n = scenario.size();
+
+  std::vector<double> times(reps, 0.0);
+  std::vector<char> completed(reps, 0);
+  std::vector<double> busy(reps * n, 0.0);
+
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
+  pool.parallel_for(0, reps, [&](std::size_t r) {
+    random::Rng rng =
+        random::make_replication_rng(options.seed, static_cast<std::uint64_t>(r));
+    const SimResult result = simulator.run(policy, rng);
+    completed[r] = result.completed ? 1 : 0;
+    times[r] = result.completion_time;
+    for (std::size_t j = 0; j < n; ++j) {
+      busy[r * n + j] = result.busy_time[j];
+    }
+  });
+
+  MonteCarloMetrics metrics;
+  metrics.replications = reps;
+  std::vector<double> finished_times;
+  finished_times.reserve(reps);
+  std::size_t within_deadline = 0;
+  metrics.mean_busy_time.assign(n, 0.0);
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (!completed[r]) continue;
+    ++metrics.completed;
+    finished_times.push_back(times[r]);
+    if (options.deadline > 0.0 && times[r] < options.deadline) {
+      ++within_deadline;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      metrics.mean_busy_time[j] += busy[r * n + j];
+    }
+  }
+  metrics.all_completed = metrics.completed == reps;
+  metrics.reliability =
+      stats::proportion_confidence_interval(metrics.completed, reps);
+  if (options.deadline > 0.0) {
+    metrics.qos = stats::proportion_confidence_interval(within_deadline, reps);
+  }
+  if (finished_times.size() >= 2) {
+    metrics.mean_completion_time =
+        stats::mean_confidence_interval(finished_times);
+    for (double& b : metrics.mean_busy_time) {
+      b /= static_cast<double>(metrics.completed);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace agedtr::sim

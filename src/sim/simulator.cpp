@@ -1,0 +1,203 @@
+#include "agedtr/sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Event {
+  enum class Kind {
+    kServiceComplete,
+    kFailure,
+    kGroupArrival,
+    kFnArrival,
+    kInfoBroadcast,
+    kInfoArrival,
+  };
+  double time = 0.0;
+  Kind kind = Kind::kServiceComplete;
+  std::size_t a = 0;  // server (service/failure/broadcast), sender otherwise
+  std::size_t b = 0;  // receiver for transfers
+  int payload = 0;    // tasks in a group / queue length in an info packet
+  std::uint64_t seq = 0;  // FIFO tie-break for equal times
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+DcsSimulator::DcsSimulator(core::DcsScenario scenario, SimulatorOptions options)
+    : scenario_(std::move(scenario)), options_(std::move(options)) {
+  scenario_.validate();
+  if (options_.queue_info_period > 0.0 && !options_.info_transfer) {
+    AGEDTR_REQUIRE(!scenario_.fn_transfer.empty(),
+                   "DcsSimulator: queue-info exchange needs a delay law "
+                   "(set info_transfer or provide FN laws)");
+  }
+}
+
+SimResult DcsSimulator::run(const core::DtrPolicy& policy,
+                            random::Rng& rng) const {
+  const std::size_t n = scenario_.size();
+  const std::vector<core::ServerWorkload> workloads =
+      core::apply_policy(scenario_, policy);
+
+  SimResult result;
+  result.tasks_lost.assign(n, 0);
+  result.busy_time.assign(n, 0.0);
+  result.tasks_served.assign(n, 0);
+  result.failure_time.assign(n, kInf);
+
+  std::vector<int> queue(n);
+  std::vector<char> up(n, 1);
+  std::vector<char> serving(n, 0);
+  std::vector<double> service_started(n, 0.0);
+  int groups_in_flight = 0;
+  int remaining_tasks = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t seq = 0;
+  const auto push = [&](Event e) {
+    e.seq = seq++;
+    events.push(e);
+  };
+
+  // --- t = 0: queues after the policy, groups in flight, failure clocks.
+  for (std::size_t j = 0; j < n; ++j) {
+    queue[j] = workloads[j].local_tasks;
+    remaining_tasks += workloads[j].total_tasks();
+    for (const core::ServerWorkload::Inbound& g : workloads[j].inbound) {
+      ++groups_in_flight;
+      double transfer_time = g.transfer->sample(rng);
+      if (g.per_task) {
+        for (int t = 1; t < g.tasks; ++t) {
+          transfer_time += g.transfer->sample(rng);
+        }
+      }
+      push({transfer_time, Event::Kind::kGroupArrival, 0, j, g.tasks, 0});
+    }
+    if (scenario_.servers[j].failure) {
+      push({scenario_.servers[j].failure->sample(rng), Event::Kind::kFailure,
+            j, 0, 0, 0});
+    }
+  }
+  const auto start_service = [&](std::size_t j, double now) {
+    serving[j] = 1;
+    service_started[j] = now;
+    push({now + scenario_.servers[j].service->sample(rng),
+          Event::Kind::kServiceComplete, j, 0, 0, 0});
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    if (queue[j] > 0) start_service(j, 0.0);
+  }
+  if (options_.queue_info_period > 0.0) {
+    for (std::size_t j = 0; j < n; ++j) {
+      push({options_.queue_info_period, Event::Kind::kInfoBroadcast, j, 0, 0,
+            0});
+    }
+  }
+
+  double last_progress_time = 0.0;
+  bool lost = false;
+  while (!events.empty()) {
+    AGEDTR_REQUIRE(result.events_processed < options_.max_events,
+                   "DcsSimulator: event budget exhausted");
+    const Event e = events.top();
+    events.pop();
+    ++result.events_processed;
+    switch (e.kind) {
+      case Event::Kind::kServiceComplete: {
+        const std::size_t j = e.a;
+        if (!up[j] || !serving[j]) break;  // stale completion after failure
+        --queue[j];
+        --remaining_tasks;
+        ++result.tasks_served[j];
+        result.busy_time[j] += e.time - service_started[j];
+        last_progress_time = e.time;
+        if (queue[j] > 0) {
+          start_service(j, e.time);
+        } else {
+          serving[j] = 0;
+        }
+        break;
+      }
+      case Event::Kind::kFailure: {
+        const std::size_t j = e.a;
+        if (!up[j]) break;
+        up[j] = 0;
+        serving[j] = 0;
+        result.failure_time[j] = e.time;
+        if (queue[j] > 0) {
+          result.tasks_lost[j] += queue[j];
+          lost = true;
+        }
+        if (options_.model_fn_packets && !scenario_.fn_transfer.empty()) {
+          for (std::size_t k = 0; k < n; ++k) {
+            if (k == j || !scenario_.fn_transfer[j][k]) continue;
+            push({e.time + scenario_.fn_transfer[j][k]->sample(rng),
+                  Event::Kind::kFnArrival, j, k, 0, 0});
+          }
+        }
+        break;
+      }
+      case Event::Kind::kGroupArrival: {
+        const std::size_t j = e.b;
+        --groups_in_flight;
+        if (!up[j]) {
+          // Delivered to a failed server: the tasks are stranded (reliable
+          // message passing forbids dropping them in the network, and
+          // failed servers provide no recovery).
+          result.tasks_lost[j] += e.payload;
+          lost = true;
+          break;
+        }
+        queue[j] += e.payload;
+        if (!serving[j]) start_service(j, e.time);
+        break;
+      }
+      case Event::Kind::kFnArrival: {
+        result.fn_deliveries.push_back({e.a, e.b, e.time});
+        break;
+      }
+      case Event::Kind::kInfoBroadcast: {
+        const std::size_t j = e.a;
+        if (up[j]) {
+          const dist::DistPtr& law = options_.info_transfer;
+          for (std::size_t k = 0; k < n; ++k) {
+            if (k == j) continue;
+            const dist::DistPtr& delay =
+                law ? law : scenario_.fn_transfer[j][k];
+            if (!delay) continue;
+            push({e.time + delay->sample(rng), Event::Kind::kInfoArrival, j,
+                  k, queue[j], 0});
+          }
+          push({e.time + options_.queue_info_period,
+                Event::Kind::kInfoBroadcast, j, 0, 0, 0});
+        }
+        break;
+      }
+      case Event::Kind::kInfoArrival:
+        break;  // estimates are not consumed mid-run (policies act at t = 0)
+    }
+    if (lost) break;
+    if (remaining_tasks == 0 && groups_in_flight == 0) {
+      result.completed = true;
+      result.completion_time = last_progress_time;
+      return result;
+    }
+  }
+  result.completed = !lost && remaining_tasks == 0 && groups_in_flight == 0;
+  result.completion_time = result.completed ? last_progress_time : kInf;
+  return result;
+}
+
+}  // namespace agedtr::sim

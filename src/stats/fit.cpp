@@ -1,0 +1,216 @@
+#include "agedtr/stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/lognormal.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/dist/weibull.hpp"
+#include "agedtr/numerics/optimize.hpp"
+#include "agedtr/numerics/roots.hpp"
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::stats {
+namespace {
+
+struct Moments {
+  double n;
+  double mean;
+  double min;
+  double max;
+  double mean_log;  // (1/n) Σ ln x; NaN if any x <= 0
+};
+
+Moments moments(const std::vector<double>& samples) {
+  AGEDTR_REQUIRE(samples.size() >= 2, "fit: need at least two samples");
+  Moments m{static_cast<double>(samples.size()), 0.0, samples[0], samples[0],
+            0.0};
+  bool has_nonpositive = false;
+  for (double x : samples) {
+    AGEDTR_REQUIRE(x >= 0.0 && std::isfinite(x),
+                   "fit: samples must be nonnegative and finite");
+    m.mean += x;
+    m.min = std::min(m.min, x);
+    m.max = std::max(m.max, x);
+    if (x <= 0.0) {
+      has_nonpositive = true;
+    } else {
+      m.mean_log += std::log(x);
+    }
+  }
+  m.mean /= m.n;
+  m.mean_log = has_nonpositive
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : m.mean_log / m.n;
+  return m;
+}
+
+FitResult finish(dist::DistPtr d, const std::vector<double>& samples) {
+  const double ll = log_likelihood(*d, samples);
+  return {std::move(d), ll};
+}
+
+// Gamma shape MLE for data already shifted to start near 0; returns
+// (shape, scale). `s` is ln x̄ − mean(ln x) >= 0.
+std::pair<double, double> gamma_shape_scale(double mean, double s) {
+  AGEDTR_REQUIRE(std::isfinite(s) && s > 0.0,
+                 "fit_gamma: degenerate data (zero or constant samples)");
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+             (12.0 * s);
+  k = std::clamp(k, 1e-3, 1e6);
+  for (int it = 0; it < 100; ++it) {
+    const double g = std::log(k) - numerics::digamma(k) - s;
+    const double gp = 1.0 / k - numerics::trigamma(k);
+    double kn = k - g / gp;
+    if (!(kn > 0.0)) kn = 0.5 * k;
+    if (std::fabs(kn - k) < 1e-12 * k) {
+      k = kn;
+      break;
+    }
+    k = kn;
+  }
+  return {k, mean / k};
+}
+
+}  // namespace
+
+double log_likelihood(const dist::Distribution& d,
+                      const std::vector<double>& samples) {
+  double ll = 0.0;
+  for (double x : samples) {
+    const double f = d.pdf(x);
+    if (!(f > 0.0)) return -std::numeric_limits<double>::infinity();
+    ll += std::log(f);
+  }
+  return ll;
+}
+
+FitResult fit_exponential(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(m.mean > 0.0, "fit_exponential: zero-mean data");
+  return finish(std::make_shared<dist::Exponential>(1.0 / m.mean), samples);
+}
+
+FitResult fit_shifted_exponential(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  const double shift = m.min;
+  const double residual_mean = m.mean - shift;
+  AGEDTR_REQUIRE(residual_mean > 0.0,
+                 "fit_shifted_exponential: constant samples");
+  return finish(
+      std::make_shared<dist::ShiftedExponential>(shift, 1.0 / residual_mean),
+      samples);
+}
+
+FitResult fit_uniform(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(m.max > m.min, "fit_uniform: constant samples");
+  // Widen the support by half a ulp so the extreme samples stay interior.
+  return finish(std::make_shared<dist::Uniform>(
+                    m.min, std::nextafter(m.max, m.max + 1.0)),
+                samples);
+}
+
+FitResult fit_pareto(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(m.min > 0.0, "fit_pareto: requires strictly positive data");
+  double sum_log_ratio = 0.0;
+  for (double x : samples) sum_log_ratio += std::log(x / m.min);
+  AGEDTR_REQUIRE(sum_log_ratio > 0.0, "fit_pareto: constant samples");
+  const double alpha = std::max(m.n / sum_log_ratio, 1.0 + 1e-6);
+  return finish(std::make_shared<dist::Pareto>(m.min, alpha), samples);
+}
+
+FitResult fit_gamma(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(std::isfinite(m.mean_log),
+                 "fit_gamma: requires strictly positive data");
+  const double s = std::log(m.mean) - m.mean_log;
+  const auto [shape, scale] = gamma_shape_scale(m.mean, s);
+  return finish(std::make_shared<dist::Gamma>(shape, scale), samples);
+}
+
+FitResult fit_shifted_gamma(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(m.max > m.min, "fit_shifted_gamma: constant samples");
+  const double c_max = m.min * (1.0 - 1e-6);
+  if (!(c_max > 0.0)) return fit_gamma(samples);  // data reach zero: no shift
+
+  std::vector<double> shifted(samples.size());
+  const auto profile_negll = [&](double c) {
+    double mean = 0.0;
+    double mean_log = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      shifted[i] = samples[i] - c;
+      mean += shifted[i];
+      mean_log += std::log(shifted[i]);
+    }
+    mean /= m.n;
+    mean_log /= m.n;
+    const double s = std::log(mean) - mean_log;
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const auto [shape, scale] = gamma_shape_scale(mean, s);
+    const dist::Gamma g(shape, scale);
+    return -log_likelihood(g, shifted);
+  };
+  const auto best = numerics::minimize_scalar(profile_negll, 0.0, c_max, 1e-9);
+  const double c = best.x;
+  double mean = 0.0;
+  double mean_log = 0.0;
+  for (double x : samples) {
+    mean += x - c;
+    mean_log += std::log(x - c);
+  }
+  mean /= m.n;
+  mean_log /= m.n;
+  const auto [shape, scale] =
+      gamma_shape_scale(mean, std::log(mean) - mean_log);
+  return finish(std::make_shared<dist::ShiftedGamma>(c, shape, scale),
+                samples);
+}
+
+FitResult fit_weibull(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(std::isfinite(m.mean_log),
+                 "fit_weibull: requires strictly positive data");
+  const auto profile = [&](double k) {
+    double sum_xk = 0.0;
+    double sum_xk_logx = 0.0;
+    for (double x : samples) {
+      const double xk = std::pow(x, k);
+      sum_xk += xk;
+      sum_xk_logx += xk * std::log(x);
+    }
+    return sum_xk_logx / sum_xk - 1.0 / k - m.mean_log;
+  };
+  const auto bracket = numerics::expand_bracket(profile, 0.05, 5.0);
+  const double k = numerics::brent_root(profile, bracket.a, bracket.b, 1e-12);
+  double sum_xk = 0.0;
+  for (double x : samples) sum_xk += std::pow(x, k);
+  const double lambda = std::pow(sum_xk / m.n, 1.0 / k);
+  return finish(std::make_shared<dist::Weibull>(k, lambda), samples);
+}
+
+FitResult fit_lognormal(const std::vector<double>& samples) {
+  const Moments m = moments(samples);
+  AGEDTR_REQUIRE(std::isfinite(m.mean_log),
+                 "fit_lognormal: requires strictly positive data");
+  double ss = 0.0;
+  for (double x : samples) {
+    const double d = std::log(x) - m.mean_log;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / m.n);
+  AGEDTR_REQUIRE(sigma > 0.0, "fit_lognormal: constant samples");
+  return finish(std::make_shared<dist::LogNormal>(m.mean_log, sigma),
+                samples);
+}
+
+}  // namespace agedtr::stats

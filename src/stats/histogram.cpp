@@ -1,0 +1,61 @@
+#include "agedtr/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::stats {
+
+Histogram::Histogram(const std::vector<double>& samples, double lo, double hi,
+                     std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      n_(samples.size()), counts_(bins, 0), density_(bins, 0.0) {
+  AGEDTR_REQUIRE(!samples.empty(), "Histogram: no samples");
+  AGEDTR_REQUIRE(bins >= 1, "Histogram: need at least one bin");
+  AGEDTR_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  for (double s : samples) {
+    auto idx = static_cast<long long>(std::floor((s - lo_) / width_));
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(bins) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+  }
+  const double norm = 1.0 / (static_cast<double>(n_) * width_);
+  for (std::size_t i = 0; i < bins; ++i) {
+    density_[i] = static_cast<double>(counts_[i]) * norm;
+  }
+}
+
+namespace {
+
+std::size_t sturges(std::size_t n) {
+  return static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(n)) + 1.0));
+}
+
+}  // namespace
+
+Histogram::Histogram(const std::vector<double>& samples)
+    : Histogram(samples,
+                *std::min_element(samples.begin(), samples.end()),
+                std::nextafter(
+                    *std::max_element(samples.begin(), samples.end()),
+                    std::numeric_limits<double>::infinity()),
+                std::max<std::size_t>(sturges(samples.size()), 4)) {}
+
+double Histogram::bin_center(std::size_t i) const {
+  AGEDTR_REQUIRE(i < density_.size(), "Histogram: bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::squared_error_vs(const dist::Distribution& d) const {
+  double err = 0.0;
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    const double lo = lo_ + static_cast<double>(i) * width_;
+    const double candidate = (d.cdf(lo + width_) - d.cdf(lo)) / width_;
+    const double diff = density_[i] - candidate;
+    err += diff * diff;
+  }
+  return err;
+}
+
+}  // namespace agedtr::stats

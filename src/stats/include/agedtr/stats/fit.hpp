@@ -1,0 +1,54 @@
+// Maximum-likelihood fitters for the candidate families of the testbed
+// characterization (Section III-B: "The parameters of the fitted pdfs were
+// estimated using maximum likelihood estimators").
+//
+// Each fitter returns the fitted distribution plus its log-likelihood on the
+// data. Boundary-parameter families (shifted exponential, Pareto, uniform)
+// use the standard boundary MLEs (shift/xm/min at the sample minimum).
+#pragma once
+
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::stats {
+
+struct FitResult {
+  dist::DistPtr distribution;
+  double log_likelihood = 0.0;
+};
+
+/// Log-likelihood of `d` on the samples (−inf if any sample has zero
+/// density).
+[[nodiscard]] double log_likelihood(const dist::Distribution& d,
+                                    const std::vector<double>& samples);
+
+/// λ̂ = 1/x̄.
+[[nodiscard]] FitResult fit_exponential(const std::vector<double>& samples);
+
+/// shift = min(x), rate = 1/(x̄ − shift).
+[[nodiscard]] FitResult fit_shifted_exponential(
+    const std::vector<double>& samples);
+
+/// [a, b] = [min(x), max(x)].
+[[nodiscard]] FitResult fit_uniform(const std::vector<double>& samples);
+
+/// xm = min(x), α = n / Σ ln(x/xm). α is clamped to > 1 so that the fitted
+/// law has a finite mean as required by the workload-time model.
+[[nodiscard]] FitResult fit_pareto(const std::vector<double>& samples);
+
+/// Shape by Newton on ln k − ψ(k) = ln x̄ − (1/n)Σ ln x, scale = x̄/k.
+[[nodiscard]] FitResult fit_gamma(const std::vector<double>& samples);
+
+/// Profile likelihood over the shift; inner gamma MLE. The shift search is
+/// restricted to [0, min(x)·(1 − 1e−6)] to avoid the boundary divergence of
+/// the three-parameter likelihood.
+[[nodiscard]] FitResult fit_shifted_gamma(const std::vector<double>& samples);
+
+/// Shape by Brent on the Weibull profile equation, then closed-form scale.
+[[nodiscard]] FitResult fit_weibull(const std::vector<double>& samples);
+
+/// μ = mean(ln x), σ² = (1/n)Σ(ln x − μ)². Requires strictly positive data.
+[[nodiscard]] FitResult fit_lognormal(const std::vector<double>& samples);
+
+}  // namespace agedtr::stats

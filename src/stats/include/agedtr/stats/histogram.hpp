@@ -1,0 +1,50 @@
+// Normalized histograms — the representation the paper fits pdfs against
+// ("the normalized histograms as well as fitted pdfs", Fig. 4(a,b)), and the
+// total-squared-error criterion it selects models with.
+#pragma once
+
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::stats {
+
+/// An equal-width normalized histogram: density[i] integrates to the bin's
+/// probability mass, so the histogram is a piecewise-constant density.
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal cells; samples outside are clamped to
+  /// the boundary bins. Requires bins >= 1 and hi > lo.
+  Histogram(const std::vector<double>& samples, double lo, double hi,
+            std::size_t bins);
+
+  /// Convenience: spans [min, max] of the samples with a Sturges bin count.
+  explicit Histogram(const std::vector<double>& samples);
+
+  [[nodiscard]] std::size_t bins() const { return density_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  /// Normalized density of bin i (integrates to 1 over all bins).
+  [[nodiscard]] double density(std::size_t i) const { return density_[i]; }
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::size_t total_count() const { return n_; }
+
+  /// Total squared error between the normalized histogram and a candidate
+  /// density — the paper's model-selection criterion (Section III-B). The
+  /// candidate's density for bin i is its *bin average*
+  /// (F(hi) − F(lo))/width, not the pdf at the center: peaked densities
+  /// (Pareto near its minimum) would otherwise be misjudged in wide bins.
+  [[nodiscard]] double squared_error_vs(const dist::Distribution& d) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::size_t n_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> density_;
+};
+
+}  // namespace agedtr::stats

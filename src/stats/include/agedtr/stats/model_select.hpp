@@ -1,0 +1,41 @@
+// The paper's model-selection procedure (Section III-B): fit every candidate
+// family by maximum likelihood, then pick the family whose fitted pdf has
+// the minimum total squared error against the normalized histogram of the
+// data. KS distance and log-likelihood are recorded per candidate so users
+// can apply alternative criteria.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+#include "agedtr/stats/histogram.hpp"
+
+namespace agedtr::stats {
+
+struct CandidateFit {
+  std::string family;
+  dist::DistPtr distribution;
+  double squared_error = 0.0;   // vs the normalized histogram (paper's rule)
+  double log_likelihood = 0.0;
+  double ks = 0.0;              // Kolmogorov–Smirnov distance
+};
+
+struct ModelSelection {
+  /// Candidates ranked by ascending squared error; entry 0 is the winner.
+  std::vector<CandidateFit> ranked;
+
+  [[nodiscard]] const CandidateFit& best() const { return ranked.front(); }
+};
+
+/// Fits {exponential, shifted-exponential, uniform, pareto, gamma,
+/// shifted-gamma, weibull, lognormal} to the samples (candidates whose
+/// fitters reject the data are skipped) and ranks them by the histogram
+/// squared-error criterion. Requires at least 10 samples.
+[[nodiscard]] ModelSelection select_model(const std::vector<double>& samples);
+
+/// Same, with an explicit histogram (bin layout affects the criterion).
+[[nodiscard]] ModelSelection select_model(const std::vector<double>& samples,
+                                          const Histogram& histogram);
+
+}  // namespace agedtr::stats

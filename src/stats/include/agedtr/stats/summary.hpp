@@ -1,0 +1,47 @@
+// Summary statistics and confidence intervals for Monte-Carlo outputs. The
+// paper reports "centers of 95% confidence intervals" for Table II and
+// averages of success/failure outcomes for Fig. 4(c); these helpers compute
+// both, including the Wilson interval for proportions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace agedtr::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n − 1) estimate
+  double std_dev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-pass (Welford) summary of the samples; requires at least one sample.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+struct ConfidenceInterval {
+  double center = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Half-width; center ± half_width == (lower, upper) for symmetric CIs.
+  [[nodiscard]] double half_width() const { return 0.5 * (upper - lower); }
+};
+
+/// Normal-approximation CI for the mean at the given confidence level
+/// (default 0.95). Requires at least two samples.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    const std::vector<double>& samples, double level = 0.95);
+
+/// Wilson score interval for a binomial proportion: `successes` out of `n`.
+[[nodiscard]] ConfidenceInterval proportion_confidence_interval(
+    std::size_t successes, std::size_t n, double level = 0.95);
+
+/// Kolmogorov–Smirnov distance between the empirical CDF of the samples and
+/// a reference CDF supplied as a callable.
+[[nodiscard]] double ks_distance(std::vector<double> samples,
+                                 const std::function<double(double)>& cdf);
+
+}  // namespace agedtr::stats

@@ -1,0 +1,79 @@
+#include "agedtr/stats/model_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "agedtr/stats/fit.hpp"
+#include "agedtr/stats/summary.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::stats {
+
+ModelSelection select_model(const std::vector<double>& samples) {
+  AGEDTR_REQUIRE(samples.size() >= 10,
+                 "select_model: need at least 10 samples");
+  // Build the criterion histogram over the bulk of the data (through the
+  // 99.5th percentile): heavy-tailed samples otherwise stretch the bin
+  // layout until every candidate looks alike. The MLE fits still use every
+  // sample; only the squared-error comparison is restricted to the bulk.
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t cut =
+      std::max<std::size_t>(10, static_cast<std::size_t>(
+                                    0.995 * static_cast<double>(sorted.size())));
+  sorted.resize(std::min(cut, sorted.size()));
+  // Resolution: ~1 bin per 100 bulk samples, clamped to [16, 64] — enough
+  // to see the density's shape without starving individual bins.
+  const std::size_t bins = std::clamp<std::size_t>(sorted.size() / 100, 16, 64);
+  const Histogram histogram(sorted, sorted.front(),
+                            std::nextafter(sorted.back(),
+                                           sorted.back() + 1.0),
+                            bins);
+  return select_model(samples, histogram);
+}
+
+ModelSelection select_model(const std::vector<double>& samples,
+                            const Histogram& histogram) {
+  AGEDTR_REQUIRE(samples.size() >= 10,
+                 "select_model: need at least 10 samples");
+  using Fitter = FitResult (*)(const std::vector<double>&);
+  static const std::vector<std::pair<std::string, Fitter>> kCandidates = {
+      {"exponential", &fit_exponential},
+      {"shifted_exponential", &fit_shifted_exponential},
+      {"uniform", &fit_uniform},
+      {"pareto", &fit_pareto},
+      {"gamma", &fit_gamma},
+      {"shifted_gamma", &fit_shifted_gamma},
+      {"weibull", &fit_weibull},
+      {"lognormal", &fit_lognormal},
+  };
+  ModelSelection result;
+  for (const auto& [family, fitter] : kCandidates) {
+    FitResult fit;
+    try {
+      fit = fitter(samples);
+    } catch (const InvalidArgument&) {
+      continue;  // family rejects this data (e.g. Pareto needs positive data)
+    } catch (const ConvergenceError&) {
+      continue;
+    }
+    CandidateFit entry;
+    entry.family = family;
+    entry.squared_error = histogram.squared_error_vs(*fit.distribution);
+    entry.log_likelihood = fit.log_likelihood;
+    const auto& d = *fit.distribution;
+    entry.ks = ks_distance(samples, [&d](double x) { return d.cdf(x); });
+    entry.distribution = std::move(fit.distribution);
+    result.ranked.push_back(std::move(entry));
+  }
+  AGEDTR_REQUIRE(!result.ranked.empty(),
+                 "select_model: every candidate family rejected the data");
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [](const CandidateFit& a, const CandidateFit& b) {
+                     return a.squared_error < b.squared_error;
+                   });
+  return result;
+}
+
+}  // namespace agedtr::stats

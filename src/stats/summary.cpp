@@ -1,0 +1,82 @@
+#include "agedtr/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::stats {
+
+Summary summarize(const std::vector<double>& samples) {
+  AGEDTR_REQUIRE(!samples.empty(), "summarize: no samples");
+  Summary s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : samples) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = mean;
+  s.variance = s.count > 1 ? m2 / static_cast<double>(s.count - 1) : 0.0;
+  s.std_dev = std::sqrt(s.variance);
+  return s;
+}
+
+ConfidenceInterval mean_confidence_interval(const std::vector<double>& samples,
+                                            double level) {
+  AGEDTR_REQUIRE(samples.size() >= 2,
+                 "mean_confidence_interval: need at least two samples");
+  AGEDTR_REQUIRE(level > 0.0 && level < 1.0,
+                 "mean_confidence_interval: level must be in (0, 1)");
+  const Summary s = summarize(samples);
+  const double z = numerics::normal_quantile(0.5 + 0.5 * level);
+  const double half =
+      z * s.std_dev / std::sqrt(static_cast<double>(s.count));
+  return {s.mean, s.mean - half, s.mean + half};
+}
+
+ConfidenceInterval proportion_confidence_interval(std::size_t successes,
+                                                  std::size_t n,
+                                                  double level) {
+  AGEDTR_REQUIRE(n >= 1, "proportion_confidence_interval: n must be >= 1");
+  AGEDTR_REQUIRE(successes <= n,
+                 "proportion_confidence_interval: successes exceed n");
+  AGEDTR_REQUIRE(level > 0.0 && level < 1.0,
+                 "proportion_confidence_interval: level must be in (0, 1)");
+  const double z = numerics::normal_quantile(0.5 + 0.5 * level);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  return {p, std::max(center - half, 0.0), std::min(center + half, 1.0)};
+}
+
+double ks_distance(std::vector<double> samples,
+                   const std::function<double(double)>& cdf) {
+  AGEDTR_REQUIRE(!samples.empty(), "ks_distance: no samples");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max({d, std::fabs(ecdf_hi - f), std::fabs(f - ecdf_lo)});
+  }
+  return d;
+}
+
+}  // namespace agedtr::stats

@@ -1,0 +1,102 @@
+// Emulation of the paper's Internet-connected two-server testbed
+// (Section III-B). The physical testbed enters the paper only as a sampler
+// of service/transfer realizations whose empirical laws were found to be
+// Pareto (service) and shifted Gamma (transfers, FN packets); this module
+// reproduces the whole experimental pipeline against a DES-backed stand-in:
+//
+//   1. ground truth: laws at the paper's fitted means (shape parameters,
+//      which the paper omits, are pinned here and documented in DESIGN.md),
+//      plus optional multiplicative measurement jitter so "experimental"
+//      samples deviate from the ideal law the way real measurements do;
+//   2. characterization: normalized histograms, per-family MLE, and
+//      minimum-squared-error model selection (Fig. 4(a,b));
+//   3. prediction and validation: optimal DTR policy from the fitted laws,
+//      theoretical reliability, 10 000-rep MC at the fitted laws, and
+//      500-rep "experiments" on the ground-truth testbed (Fig. 4(c)).
+#pragma once
+
+#include <cstdint>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/stats/model_select.hpp"
+
+namespace agedtr::testbed {
+
+struct TestbedOptions {
+  /// Initial workload (paper: m1 = 50, m2 = 25).
+  int m1 = 50;
+  int m2 = 25;
+  /// Failure means in seconds (paper: 300 and 150, exponential).
+  double failure_mean_1 = 300.0;
+  double failure_mean_2 = 150.0;
+  /// Pareto tail index for the service laws. The paper's fit omits it; we
+  /// pin 1.2 — a heavy tail — because reliability then approaches the
+  /// paper's reported level (most service draws sit near the Pareto minimum
+  /// while rare giants carry the mean, lifting P{C < Y} well above the
+  /// exponential-equivalent value); lighter tails drive it toward ~0.3.
+  double service_alpha = 1.2;
+  /// Shifted-Gamma decomposition for transfers: shift = shift_fraction·mean,
+  /// Gamma part carries the rest with the given shape.
+  double transfer_shift_fraction = 0.5;
+  double transfer_shape = 2.0;
+  /// Multiplicative lognormal measurement jitter σ applied when drawing
+  /// "experimental" samples (0 disables; realizes sampling imperfections a
+  /// live testbed exhibits).
+  double measurement_jitter_sigma = 0.01;
+};
+
+/// The ground-truth testbed: means from the paper's Section III-B fits.
+///   service: Pareto, means 4.858 s and 2.357 s;
+///   task transfers: shifted Gamma, means 1.207 s (1→2) and 0.803 s (2→1);
+///   FN transfers: shifted Gamma, means 0.313 s and 0.145 s;
+///   failures: exponential, means 300 s and 150 s.
+[[nodiscard]] core::DcsScenario make_testbed_scenario(
+    const TestbedOptions& options = {});
+
+/// What gets measured on the testbed.
+enum class MeasuredTime {
+  kService1,
+  kService2,
+  kTransfer12,
+  kTransfer21,
+  kFn12,
+  kFn21,
+};
+
+/// Draws `count` "measured" samples of the given random time from the
+/// ground-truth law, with the configured measurement jitter applied.
+[[nodiscard]] std::vector<double> measure(const core::DcsScenario& truth,
+                                          MeasuredTime what,
+                                          std::size_t count,
+                                          std::uint64_t seed,
+                                          const TestbedOptions& options = {});
+
+/// Per-quantity characterization results (Fig. 4(a,b)).
+struct Characterization {
+  std::vector<double> samples;
+  stats::ModelSelection selection;
+};
+
+/// The characterized testbed: each law replaced by its best fit.
+struct CharacterizedTestbed {
+  core::DcsScenario fitted;  // scenario with fitted laws
+  Characterization service1, service2;
+  Characterization transfer12, transfer21;
+  Characterization fn12, fn21;
+};
+
+/// Runs the full measurement → fit → select pipeline with `samples_per_law`
+/// measurements of each random time.
+[[nodiscard]] CharacterizedTestbed characterize_testbed(
+    std::size_t samples_per_law, std::uint64_t seed,
+    const TestbedOptions& options = {});
+
+/// One point of the Fig. 4(c) validation: the "experimental" service
+/// reliability of the *ground-truth* testbed under the policy, averaged
+/// over `replications` independent runs (the paper uses 500).
+[[nodiscard]] stats::ConfidenceInterval run_experiment(
+    const core::DcsScenario& truth, const core::DtrPolicy& policy,
+    std::size_t replications, std::uint64_t seed);
+
+}  // namespace agedtr::testbed

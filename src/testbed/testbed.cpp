@@ -1,0 +1,141 @@
+#include "agedtr/testbed/testbed.hpp"
+
+#include <cmath>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::testbed {
+namespace {
+
+// Paper-fitted means (Section III-B).
+constexpr double kServiceMean1 = 4.858;
+constexpr double kServiceMean2 = 2.357;
+constexpr double kTransferMean12 = 1.207;
+constexpr double kTransferMean21 = 0.803;
+constexpr double kFnMean12 = 0.313;
+constexpr double kFnMean21 = 0.145;
+
+dist::DistPtr shifted_gamma_with_mean(double mean,
+                                      const TestbedOptions& options) {
+  const double shift = options.transfer_shift_fraction * mean;
+  const double gamma_mean = mean - shift;
+  AGEDTR_REQUIRE(gamma_mean > 0.0,
+                 "testbed: transfer shift fraction must be < 1");
+  return std::make_shared<dist::ShiftedGamma>(
+      shift, options.transfer_shape, gamma_mean / options.transfer_shape);
+}
+
+}  // namespace
+
+core::DcsScenario make_testbed_scenario(const TestbedOptions& options) {
+  AGEDTR_REQUIRE(options.m1 >= 0 && options.m2 >= 0,
+                 "testbed: task counts must be nonnegative");
+  core::DcsScenario scenario;
+  scenario.servers = {
+      core::ServerSpec{options.m1,
+                       dist::Pareto::with_mean(kServiceMean1,
+                                               options.service_alpha),
+                       dist::Exponential::with_mean(options.failure_mean_1)},
+      core::ServerSpec{options.m2,
+                       dist::Pareto::with_mean(kServiceMean2,
+                                               options.service_alpha),
+                       dist::Exponential::with_mean(options.failure_mean_2)},
+  };
+  scenario.transfer = {
+      {nullptr, shifted_gamma_with_mean(kTransferMean12, options)},
+      {shifted_gamma_with_mean(kTransferMean21, options), nullptr}};
+  scenario.fn_transfer = {
+      {nullptr, shifted_gamma_with_mean(kFnMean12, options)},
+      {shifted_gamma_with_mean(kFnMean21, options), nullptr}};
+  scenario.validate();
+  return scenario;
+}
+
+std::vector<double> measure(const core::DcsScenario& truth, MeasuredTime what,
+                            std::size_t count, std::uint64_t seed,
+                            const TestbedOptions& options) {
+  AGEDTR_REQUIRE(count >= 2, "measure: need at least two samples");
+  const dist::DistPtr* law = nullptr;
+  switch (what) {
+    case MeasuredTime::kService1:
+      law = &truth.servers[0].service;
+      break;
+    case MeasuredTime::kService2:
+      law = &truth.servers[1].service;
+      break;
+    case MeasuredTime::kTransfer12:
+      law = &truth.transfer[0][1];
+      break;
+    case MeasuredTime::kTransfer21:
+      law = &truth.transfer[1][0];
+      break;
+    case MeasuredTime::kFn12:
+      law = &truth.fn_transfer[0][1];
+      break;
+    case MeasuredTime::kFn21:
+      law = &truth.fn_transfer[1][0];
+      break;
+  }
+  AGEDTR_REQUIRE(law != nullptr && *law != nullptr,
+                 "measure: the requested law is absent from the scenario");
+  random::Rng rng = random::make_replication_rng(
+      seed, static_cast<std::uint64_t>(what) + 101);
+  std::vector<double> samples(count);
+  const double sigma = options.measurement_jitter_sigma;
+  for (double& s : samples) {
+    s = (*law)->sample(rng);
+    if (sigma > 0.0) {
+      double u = rng.next_double();
+      if (u <= 0.0) u = 1e-300;
+      if (u >= 1.0) u = 1.0 - 1e-16;
+      s *= std::exp(sigma * numerics::normal_quantile(u));
+    }
+  }
+  return samples;
+}
+
+CharacterizedTestbed characterize_testbed(std::size_t samples_per_law,
+                                          std::uint64_t seed,
+                                          const TestbedOptions& options) {
+  const core::DcsScenario truth = make_testbed_scenario(options);
+  CharacterizedTestbed out;
+  const auto characterize = [&](MeasuredTime what) {
+    Characterization c;
+    c.samples = measure(truth, what, samples_per_law, seed, options);
+    c.selection = stats::select_model(c.samples);
+    return c;
+  };
+  out.service1 = characterize(MeasuredTime::kService1);
+  out.service2 = characterize(MeasuredTime::kService2);
+  out.transfer12 = characterize(MeasuredTime::kTransfer12);
+  out.transfer21 = characterize(MeasuredTime::kTransfer21);
+  out.fn12 = characterize(MeasuredTime::kFn12);
+  out.fn21 = characterize(MeasuredTime::kFn21);
+
+  out.fitted = truth;  // copy topology, failure laws and task counts
+  out.fitted.servers[0].service = out.service1.selection.best().distribution;
+  out.fitted.servers[1].service = out.service2.selection.best().distribution;
+  out.fitted.transfer[0][1] = out.transfer12.selection.best().distribution;
+  out.fitted.transfer[1][0] = out.transfer21.selection.best().distribution;
+  out.fitted.fn_transfer[0][1] = out.fn12.selection.best().distribution;
+  out.fitted.fn_transfer[1][0] = out.fn21.selection.best().distribution;
+  return out;
+}
+
+stats::ConfidenceInterval run_experiment(const core::DcsScenario& truth,
+                                         const core::DtrPolicy& policy,
+                                         std::size_t replications,
+                                         std::uint64_t seed) {
+  sim::MonteCarloOptions mc;
+  mc.replications = replications;
+  mc.seed = seed;
+  const sim::MonteCarloMetrics metrics =
+      sim::run_monte_carlo(truth, policy, mc);
+  return metrics.reliability;
+}
+
+}  // namespace agedtr::testbed

@@ -1,0 +1,107 @@
+#include "agedtr/util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  AGEDTR_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false, {}};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  AGEDTR_REQUIRE(!options_.count(name), "duplicate flag: " + name);
+  options_[name] = Option{"false", help, /*is_flag=*/true, {}};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    auto it = options_.find(name);
+    AGEDTR_REQUIRE(it != options_.end(), "unknown option: --" + name);
+    if (it->second.is_flag) {
+      AGEDTR_REQUIRE(!value || *value == "true" || *value == "false",
+                     "flag --" + name + " takes no value");
+      it->second.value = value.value_or("true");
+    } else if (value) {
+      it->second.value = *value;
+    } else {
+      AGEDTR_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      it->second.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name) const {
+  auto it = options_.find(name);
+  AGEDTR_REQUIRE(it != options_.end(), "option not registered: " + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Option& opt = find(name);
+  return opt.value.value_or(opt.default_value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  AGEDTR_REQUIRE(end == s.c_str() + s.size() && !s.empty(),
+                 "option --" + name + " is not a number: " + s);
+  return v;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  AGEDTR_REQUIRE(end == s.c_str() + s.size() && !s.empty(),
+                 "option --" + name + " is not an integer: " + s);
+  return v;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const Option& opt = find(name);
+  AGEDTR_REQUIRE(opt.is_flag, "option --" + name + " is not a flag");
+  return opt.value.value_or(opt.default_value) == "true";
+}
+
+std::string CliParser::help_text() const {
+  std::string out = summary_ + "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (!opt.is_flag) out += "=<value> (default: " + opt.default_value + ")";
+    out += "\n      " + opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace agedtr

@@ -1,0 +1,57 @@
+// A tiny declarative command-line parser for the bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, and boolean --flag. Unknown
+// options raise InvalidArgument so typos fail fast. `--help` prints the
+// registered options and their defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace agedtr {
+
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers an option with a default value (rendered in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Registers a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text is written
+  /// to stdout); throws InvalidArgument on malformed or unknown options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace agedtr

@@ -1,0 +1,64 @@
+// Error-handling primitives shared across the agedtr libraries.
+//
+// Library code validates its preconditions with AGEDTR_REQUIRE, which throws
+// agedtr::InvalidArgument carrying the failed condition and a caller-supplied
+// message. Internal invariants use AGEDTR_ASSERT, which throws
+// agedtr::LogicError; these indicate bugs in agedtr itself, never bad user
+// input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace agedtr {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an iterative numerical routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* cond,
+                                                const std::string& msg,
+                                                const char* file, int line) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed (" + cond + "): " + msg);
+}
+
+[[noreturn]] inline void throw_logic_error(const char* cond, const char* file,
+                                           int line) {
+  throw LogicError(std::string(file) + ":" + std::to_string(line) +
+                   ": internal invariant violated (" + cond + ")");
+}
+
+}  // namespace detail
+}  // namespace agedtr
+
+#define AGEDTR_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::agedtr::detail::throw_invalid_argument(#cond, (msg), __FILE__,   \
+                                               __LINE__);                \
+    }                                                                    \
+  } while (false)
+
+#define AGEDTR_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::agedtr::detail::throw_logic_error(#cond, __FILE__, __LINE__);    \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,33 @@
+// Small string utilities used by the table writer, CLI parser and benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agedtr {
+
+/// Splits `s` on the single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats `value` with `digits` significant decimal digits (fixed notation
+/// for magnitudes in [1e-3, 1e7), scientific otherwise). "inf"/"nan" pass
+/// through as those literals.
+[[nodiscard]] std::string format_double(double value, int digits = 4);
+
+/// Joins the elements with the separator, e.g. join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Left-pads (align right) or right-pads (align left) `s` with spaces so its
+/// size is at least `width`.
+[[nodiscard]] std::string pad(std::string s, std::size_t width,
+                              bool align_right);
+
+}  // namespace agedtr

@@ -1,0 +1,60 @@
+// Console table and CSV writers used by the bench harnesses to print the
+// paper-style rows and to persist the series for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace agedtr {
+
+/// A simple column-oriented table. Cells are stored as strings; numeric
+/// convenience overloads format through format_double().
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of columns (fixed at construction).
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Number of data rows appended so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a full row; the size must equal columns().
+  void add_row(std::vector<std::string> row);
+
+  /// Row-builder interface: begin_row() then cell(...) exactly columns()
+  /// times. Cells accumulate into a pending row committed on the final cell.
+  Table& begin_row();
+  Table& cell(std::string value);
+  Table& cell(double value, int digits = 4);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+
+  /// Renders an aligned, boxed ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to the given path, throwing on I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+  /// Access for tests.
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+};
+
+}  // namespace agedtr

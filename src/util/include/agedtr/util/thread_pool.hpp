@@ -1,0 +1,69 @@
+// Fixed-size thread pool plus a static-chunking parallel_for.
+//
+// The Monte-Carlo runner fans replications out over this pool; solvers use
+// parallel_for for embarrassingly parallel sweeps (e.g. policy grids). The
+// pool is exception-safe: an exception thrown by a task is captured and
+// rethrown to the caller that waits on the corresponding future or on
+// parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agedtr {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the future delivers its result or
+  /// exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs body(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. Work is split into size()*4 contiguous chunks.
+  /// The first exception thrown by any iteration is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace agedtr

@@ -1,0 +1,71 @@
+#include "agedtr/util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace agedtr {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  const double mag = std::fabs(value);
+  if (value == 0.0 || (mag >= 1e-3 && mag < 1e7)) {
+    // Fixed notation with `digits` digits after the leading digit group.
+    int decimals = digits;
+    if (mag >= 1.0) {
+      const int int_digits = static_cast<int>(std::floor(std::log10(mag))) + 1;
+      decimals = digits > int_digits ? digits - int_digits : 0;
+    }
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, value);
+  }
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad(std::string s, std::size_t width, bool align_right) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return align_right ? fill + s : s + fill;
+}
+
+}  // namespace agedtr

@@ -1,0 +1,121 @@
+#include "agedtr/util/table.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/strings.hpp"
+
+namespace agedtr {
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AGEDTR_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  AGEDTR_REQUIRE(row.size() == headers_.size(),
+                 "row size must match the number of columns");
+  rows_.push_back(std::move(row));
+}
+
+Table& Table::begin_row() {
+  AGEDTR_REQUIRE(!building_, "previous row is still incomplete");
+  pending_.clear();
+  building_ = true;
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  AGEDTR_REQUIRE(building_, "cell() called without begin_row()");
+  pending_.push_back(std::move(value));
+  if (pending_.size() == headers_.size()) {
+    rows_.push_back(std::move(pending_));
+    pending_ = {};
+    building_ = false;
+  }
+  return *this;
+}
+
+Table& Table::cell(double value, int digits) {
+  return cell(format_double(value, digits));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!looks_numeric(row[c]) && row[c] != "inf" && row[c] != "nan") {
+        numeric[c] = false;
+      }
+    }
+  }
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], widths[c], false) << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << pad(row[c], widths[c], numeric[c]) << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  std::vector<std::string> escaped;
+  escaped.reserve(headers_.size());
+  for (const auto& h : headers_) escaped.push_back(csv_escape(h));
+  os << join(escaped, ",") << '\n';
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& f : row) escaped.push_back(csv_escape(f));
+    os << join(escaped, ",") << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  AGEDTR_REQUIRE(os.good(), "cannot open CSV output file: " + path);
+  write_csv(os);
+  AGEDTR_REQUIRE(os.good(), "failed while writing CSV file: " + path);
+}
+
+}  // namespace agedtr

@@ -1,0 +1,169 @@
+// The aging operator T_a — the paper's central analytical device.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/aged.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/dist/weibull.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+namespace {
+
+TEST(Aged, ExponentialIsInvariant) {
+  // The memoryless property: aging an exponential returns the same object.
+  const DistPtr e = std::make_shared<Exponential>(0.7);
+  const DistPtr a = aged(e, 3.0);
+  EXPECT_EQ(a.get(), e.get());
+}
+
+TEST(Aged, ZeroAgeIsIdentity) {
+  const DistPtr p = std::make_shared<Pareto>(1.0, 2.0);
+  EXPECT_EQ(aged(p, 0.0).get(), p.get());
+}
+
+TEST(Aged, PdfIsConditionalDensity) {
+  const DistPtr g = std::make_shared<Gamma>(3.0, 1.0);
+  const double a = 2.0;
+  const DistPtr ga = aged(g, a);
+  const double norm = g->sf(a);
+  for (double t : {0.0, 0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(ga->pdf(t), g->pdf(t + a) / norm, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Aged, PdfIntegratesToOne) {
+  const DistPtr w = std::make_shared<Weibull>(2.0, 1.0);
+  const DistPtr wa = aged(w, 1.5);
+  const double total = numerics::integrate_to_infinity(
+                           [&wa](double t) { return wa->pdf(t); }, 0.0)
+                           .value;
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(Aged, SurvivalFormula) {
+  const DistPtr p = std::make_shared<Pareto>(1.0, 2.5);
+  const double a = 3.0;
+  const DistPtr pa = aged(p, a);
+  for (double t : {0.0, 1.0, 10.0}) {
+    EXPECT_NEAR(pa->sf(t), p->sf(t + a) / p->sf(a), 1e-12);
+  }
+}
+
+TEST(Aged, NestedAgesAdd) {
+  const DistPtr g = std::make_shared<Gamma>(2.0, 1.0);
+  const DistPtr twice = aged(aged(g, 1.0), 2.0);
+  const DistPtr once = aged(g, 3.0);
+  for (double t : {0.1, 1.0, 4.0}) {
+    EXPECT_NEAR(twice->pdf(t), once->pdf(t), 1e-12);
+  }
+  // And the nested view collapses structurally to a single Aged node.
+  const auto* node = dynamic_cast<const Aged*>(twice.get());
+  ASSERT_NE(node, nullptr);
+  EXPECT_DOUBLE_EQ(node->age(), 3.0);
+  EXPECT_EQ(node->base().get(), g.get());
+}
+
+TEST(Aged, HazardUnchangedByAging) {
+  // h_{T_a}(t) = h_T(t + a): aging shifts the hazard, never rescales it.
+  const DistPtr w = std::make_shared<Weibull>(2.0, 1.0);
+  const DistPtr wa = aged(w, 0.7);
+  for (double t : {0.1, 1.0, 2.5}) {
+    EXPECT_NEAR(wa->hazard(t), w->hazard(t + 0.7), 1e-10);
+  }
+}
+
+TEST(Aged, MeanIsMeanResidualLife) {
+  const DistPtr g = std::make_shared<Gamma>(2.0, 1.5);
+  const double a = 2.0;
+  const DistPtr ga = aged(g, a);
+  const double reference = numerics::integrate_to_infinity(
+                               [&ga](double t) { return ga->sf(t); }, 0.0)
+                               .value;
+  EXPECT_NEAR(ga->mean(), reference, 1e-7);
+  // Increasing-hazard laws have decreasing mean residual life.
+  EXPECT_LT(ga->mean(), g->mean());
+}
+
+TEST(Aged, HeavyTailMeanResidualGrows) {
+  // For Pareto the mean residual life *increases* with age — the
+  // qualitative reason the exponential approximation misjudges heavy-tailed
+  // systems.
+  // For Pareto(xm, α) the mean residual life at age a >= xm is a/(α−1):
+  // strictly increasing in a (and above the unconditional mean for α < 2).
+  const DistPtr p = std::make_shared<Pareto>(1.0, 1.5);
+  EXPECT_GT(aged(p, 5.0)->mean(), aged(p, 2.0)->mean());
+  EXPECT_GT(aged(p, 2.0)->mean(), p->mean());
+  EXPECT_NEAR(aged(p, 2.0)->mean(), 2.0 / 0.5, 1e-9);
+}
+
+TEST(Aged, QuantileRoundTrip) {
+  const DistPtr g = std::make_shared<Gamma>(3.0, 0.5);
+  const DistPtr ga = aged(g, 1.0);
+  for (double p : {0.1, 0.5, 0.95}) {
+    EXPECT_NEAR(ga->cdf(ga->quantile(p)), p, 1e-8);
+  }
+}
+
+TEST(Aged, ShiftedSupportShrinks) {
+  // Uniform(2, 6) aged by 3 lives on [0, 3].
+  const DistPtr u = std::make_shared<Uniform>(2.0, 6.0);
+  const DistPtr ua = aged(u, 3.0);
+  EXPECT_DOUBLE_EQ(ua->lower_bound(), 0.0);
+  EXPECT_DOUBLE_EQ(ua->upper_bound(), 3.0);
+  EXPECT_NEAR(ua->cdf(3.0), 1.0, 1e-12);
+  // Uniform conditioned on survival is uniform on the remainder.
+  EXPECT_NEAR(ua->pdf(1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Aged, AgedUniformBeforeSupportStart) {
+  // Uniform(2, 6) aged by 1: no mass for another 1 unit.
+  const DistPtr u = std::make_shared<Uniform>(2.0, 6.0);
+  const DistPtr ua = aged(u, 1.0);
+  EXPECT_DOUBLE_EQ(ua->cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ua->lower_bound(), 1.0);
+}
+
+TEST(Aged, IntegralSfConsistent) {
+  const DistPtr p = std::make_shared<Pareto>(1.0, 2.5);
+  const DistPtr pa = aged(p, 2.0);
+  for (double t : {0.0, 1.0, 4.0}) {
+    const double reference = numerics::integrate_to_infinity(
+                                 [&pa](double u) { return pa->sf(u); }, t,
+                                 1e-12, 1e-10, 4000)
+                                 .value;
+    EXPECT_NEAR(pa->integral_sf(t), reference, 1e-6);
+  }
+}
+
+TEST(Aged, SamplingMatchesConditionalLaw) {
+  const DistPtr g = std::make_shared<Gamma>(2.0, 1.0);
+  const DistPtr ga = aged(g, 1.0);
+  random::Rng rng(4242);
+  const int n = 50000;
+  double sum = 0.0;
+  int below_median = 0;
+  const double median = ga->quantile(0.5);
+  for (int i = 0; i < n; ++i) {
+    const double x = ga->sample(rng);
+    sum += x;
+    if (x <= median) ++below_median;
+  }
+  EXPECT_NEAR(sum / n, ga->mean(), 0.03 * ga->mean());
+  EXPECT_NEAR(below_median / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(Aged, RejectsImpossibleAge) {
+  const DistPtr u = std::make_shared<Uniform>(0.0, 1.0);
+  EXPECT_THROW(aged(u, 2.0), InvalidArgument);  // S(2) = 0
+  EXPECT_THROW(aged(u, -1.0), InvalidArgument);
+  EXPECT_THROW(aged(nullptr, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::dist

@@ -1,0 +1,91 @@
+// The Table II benchmark machinery: optimal static allocations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+using core::DcsScenario;
+using core::ServerSpec;
+
+DcsScenario heterogeneous(std::vector<int> tasks, std::vector<double> means,
+                          std::vector<double> failures = {}) {
+  std::vector<ServerSpec> servers;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    servers.push_back(
+        {tasks[j], dist::Exponential::with_mean(means[j]),
+         failures.empty() ? nullptr
+                          : dist::Exponential::with_mean(failures[j])});
+  }
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(2.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(AllocationSearch, ConservesTotalTasks) {
+  const DcsScenario s = heterogeneous({30, 0, 0}, {3.0, 2.0, 1.0});
+  AllocationSearchOptions opts;
+  const AllocationSearchResult r = optimal_allocation(s, opts);
+  EXPECT_EQ(std::accumulate(r.allocation.begin(), r.allocation.end(), 0), 30);
+}
+
+TEST(AllocationSearch, EqualServersSplitEvenly) {
+  const DcsScenario s = heterogeneous({24, 0}, {1.0, 1.0});
+  AllocationSearchOptions opts;
+  const AllocationSearchResult r = optimal_allocation(s, opts);
+  EXPECT_NEAR(r.allocation[0], 12, 1);
+  EXPECT_NEAR(r.allocation[1], 12, 1);
+}
+
+TEST(AllocationSearch, FasterServerGetsMore) {
+  const DcsScenario s = heterogeneous({30, 0}, {2.0, 1.0});
+  AllocationSearchOptions opts;
+  const AllocationSearchResult r = optimal_allocation(s, opts);
+  EXPECT_GT(r.allocation[1], r.allocation[0]);
+}
+
+TEST(AllocationSearch, BeatsAllOnSlowServer) {
+  const DcsScenario s = heterogeneous({30, 0}, {3.0, 1.0});
+  AllocationSearchOptions opts;
+  const AllocationSearchResult best = optimal_allocation(s, opts);
+  const double all_slow = score_allocation(s, {30, 0}, opts);
+  EXPECT_LT(best.value, all_slow);
+}
+
+TEST(AllocationSearch, ReliabilityObjectiveAvoidsFragileServer) {
+  const DcsScenario s =
+      heterogeneous({20, 0}, {1.0, 1.0}, {5.0, 500.0});
+  AllocationSearchOptions opts;
+  opts.objective = policy::Objective::kReliability;
+  const AllocationSearchResult r = optimal_allocation(s, opts);
+  EXPECT_GT(r.allocation[1], r.allocation[0]);
+}
+
+TEST(AllocationSearch, McScoringAgreesWithAnalytic) {
+  const DcsScenario s = heterogeneous({10, 6}, {2.0, 1.0});
+  AllocationSearchOptions analytic;
+  AllocationSearchOptions mc;
+  mc.analytic = false;
+  mc.replications = 20'000;
+  const double a = score_allocation(s, {10, 6}, analytic);
+  const double b = score_allocation(s, {10, 6}, mc);
+  EXPECT_NEAR(a, b, 0.05 * a);
+}
+
+TEST(AllocationSearch, RejectsEmptyWorkload) {
+  const DcsScenario s = heterogeneous({0, 0}, {1.0, 1.0});
+  EXPECT_THROW(optimal_allocation(s, {}), InvalidArgument);
+}
+
+TEST(AllocationSearch, RejectsSizeMismatch) {
+  const DcsScenario s = heterogeneous({5, 5}, {1.0, 1.0});
+  EXPECT_THROW(score_allocation(s, {5}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::sim

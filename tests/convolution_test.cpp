@@ -1,0 +1,315 @@
+// The exact non-Markovian ConvolutionSolver: deterministic closed forms,
+// equivalence with the Markovian DP in the exponential case, and agreement
+// with Monte Carlo for every comparison model of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/core/ctmc.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+using dist::ModelFamily;
+
+DcsScenario model_scenario(ModelFamily family, std::vector<int> tasks,
+                           std::vector<double> service_means,
+                           std::vector<double> failure_means,
+                           double transfer_mean) {
+  std::vector<ServerSpec> servers;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    servers.push_back(
+        {tasks[j], dist::make_model_distribution(family, service_means[j]),
+         failure_means.empty()
+             ? nullptr
+             : dist::Exponential::with_mean(failure_means[j])});
+  }
+  return make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(family, transfer_mean),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(Convolution, DeterministicSingleServer) {
+  ServerWorkload w;
+  w.local_tasks = 4;
+  w.service = std::make_shared<dist::Deterministic>(2.0);
+  const ConvolutionSolver solver;
+  EXPECT_NEAR(solver.mean_execution_time({w}), 8.0, 0.02);
+}
+
+TEST(Convolution, DeterministicWithInboundGroup) {
+  // C = max(2·2, 5) + 1·2 = 7.
+  ServerWorkload w;
+  w.local_tasks = 2;
+  w.service = std::make_shared<dist::Deterministic>(2.0);
+  w.inbound.push_back({1, std::make_shared<dist::Deterministic>(5.0)});
+  const ConvolutionSolver solver;
+  EXPECT_NEAR(solver.mean_execution_time({w}), 7.0, 0.02);
+}
+
+TEST(Convolution, DeterministicQosIsStep) {
+  ServerWorkload w;
+  w.local_tasks = 3;
+  w.service = std::make_shared<dist::Deterministic>(1.0);
+  const ConvolutionSolver solver;
+  EXPECT_NEAR(solver.qos({w}, 10.0), 1.0, 1e-9);
+  EXPECT_NEAR(solver.qos({w}, 2.0), 0.0, 1e-9);
+}
+
+TEST(Convolution, EmptyServerContributesNothing) {
+  ServerWorkload busy;
+  busy.local_tasks = 3;
+  busy.service = dist::Exponential::with_mean(1.0);
+  ServerWorkload idle;
+  idle.local_tasks = 0;
+  idle.service = dist::Exponential::with_mean(1.0);
+  const ConvolutionSolver solver;
+  const double with_idle = solver.mean_execution_time({busy, idle});
+  const ConvolutionSolver solver2;
+  const double alone = solver2.mean_execution_time({busy});
+  EXPECT_NEAR(with_idle, alone, 1e-9);
+}
+
+TEST(Convolution, MatchesMarkovianMean) {
+  const DcsScenario s =
+      model_scenario(ModelFamily::kExponential, {12, 6}, {2.0, 1.0}, {}, 1.5);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 4);
+  policy.set(1, 0, 2);
+  const MarkovianSolver markovian(s);
+  const ConvolutionSolver conv;
+  EXPECT_NEAR(conv.mean_execution_time(apply_policy(s, policy)),
+              markovian.mean_execution_time(policy), 0.05);
+}
+
+TEST(Convolution, MatchesMarkovianReliability) {
+  const DcsScenario s = model_scenario(ModelFamily::kExponential, {8, 4},
+                                       {2.0, 1.0}, {60.0, 40.0}, 1.5);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  const MarkovianSolver markovian(s);
+  const ConvolutionSolver conv;
+  EXPECT_NEAR(conv.reliability(apply_policy(s, policy)),
+              markovian.reliability(policy), 2e-3);
+}
+
+TEST(Convolution, MatchesCtmcQos) {
+  const DcsScenario s =
+      model_scenario(ModelFamily::kExponential, {6, 3}, {2.0, 1.0}, {}, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const CtmcTransientSolver ctmc(s, policy);
+  const ConvolutionSolver conv;
+  const auto workloads = apply_policy(s, policy);
+  for (double deadline : {5.0, 12.0, 25.0, 60.0}) {
+    EXPECT_NEAR(conv.qos(workloads, deadline), ctmc.qos(deadline), 3e-3)
+        << "deadline=" << deadline;
+  }
+}
+
+struct ModelVsMcCase {
+  std::string label;
+  ModelFamily family;
+  double mean_tol;  // relative tolerance for the mean (heavy tails relax it)
+};
+
+class ConvolutionVsMc : public ::testing::TestWithParam<ModelVsMcCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ConvolutionVsMc,
+    ::testing::Values(
+        ModelVsMcCase{"Exponential", ModelFamily::kExponential, 0.01},
+        ModelVsMcCase{"Pareto1", ModelFamily::kPareto1, 0.01},
+        ModelVsMcCase{"Pareto2", ModelFamily::kPareto2, 0.05},
+        ModelVsMcCase{"ShiftedExponential",
+                      ModelFamily::kShiftedExponential, 0.01},
+        ModelVsMcCase{"Uniform", ModelFamily::kUniform, 0.01}),
+    [](const ::testing::TestParamInfo<ModelVsMcCase>& info) {
+      return info.param.label;
+    });
+
+TEST_P(ConvolutionVsMc, MeanExecutionTime) {
+  const DcsScenario s =
+      model_scenario(GetParam().family, {20, 10}, {2.0, 1.0}, {}, 3.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 6);
+  policy.set(1, 0, 2);
+  const ConvolutionSolver conv;
+  const double analytic = conv.mean_execution_time(apply_policy(s, policy));
+  sim::MonteCarloOptions mc;
+  mc.replications = 40'000;
+  mc.seed = 99;
+  const auto metrics = sim::run_monte_carlo(s, policy, mc);
+  ASSERT_TRUE(metrics.all_completed);
+  const double tol = std::max(GetParam().mean_tol * analytic,
+                              3.0 * metrics.mean_completion_time.half_width());
+  EXPECT_NEAR(analytic, metrics.mean_completion_time.center, tol);
+}
+
+TEST_P(ConvolutionVsMc, Reliability) {
+  const DcsScenario s = model_scenario(GetParam().family, {20, 10},
+                                       {2.0, 1.0}, {120.0, 80.0}, 3.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 6);
+  const ConvolutionSolver conv;
+  const double analytic = conv.reliability(apply_policy(s, policy));
+  sim::MonteCarloOptions mc;
+  mc.replications = 40'000;
+  mc.seed = 100;
+  const auto metrics = sim::run_monte_carlo(s, policy, mc);
+  EXPECT_NEAR(analytic, metrics.reliability.center,
+              std::max(0.01, 4.0 * metrics.reliability.half_width()));
+}
+
+TEST_P(ConvolutionVsMc, Qos) {
+  const DcsScenario s =
+      model_scenario(GetParam().family, {20, 10}, {2.0, 1.0}, {}, 3.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 6);
+  const ConvolutionSolver conv;
+  const auto workloads = apply_policy(s, policy);
+  const double mean = conv.mean_execution_time(workloads);
+  const double deadline = 1.1 * mean;
+  const double analytic = conv.qos(workloads, deadline);
+  sim::MonteCarloOptions mc;
+  mc.replications = 40'000;
+  mc.seed = 101;
+  mc.deadline = deadline;
+  const auto metrics = sim::run_monte_carlo(s, policy, mc);
+  EXPECT_NEAR(analytic, metrics.qos.center,
+              std::max(0.01, 4.0 * metrics.qos.half_width()));
+}
+
+TEST(Convolution, QosMonotoneAndConvergesToOne) {
+  const DcsScenario s =
+      model_scenario(ModelFamily::kPareto1, {10, 5}, {2.0, 1.0}, {}, 2.0);
+  const ConvolutionSolver conv;
+  const auto workloads = apply_policy(s, DtrPolicy(2));
+  double prev = 0.0;
+  for (double t : {5.0, 15.0, 30.0, 60.0, 200.0}) {
+    const double q = conv.qos(workloads, t);
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(Convolution, QosWithFailuresBelowQosWithout) {
+  const DcsScenario reliable =
+      model_scenario(ModelFamily::kPareto1, {10, 5}, {2.0, 1.0}, {}, 2.0);
+  const DcsScenario failing = model_scenario(ModelFamily::kPareto1, {10, 5},
+                                             {2.0, 1.0}, {50.0, 30.0}, 2.0);
+  const ConvolutionSolver c1, c2;
+  const double q_rel = c1.qos(apply_policy(reliable, DtrPolicy(2)), 30.0);
+  const double q_fail = c2.qos(apply_policy(failing, DtrPolicy(2)), 30.0);
+  EXPECT_LT(q_fail, q_rel);
+}
+
+TEST(Convolution, ReliabilityDecreasesWithLoad) {
+  const ConvolutionSolver conv;
+  std::vector<double> values;
+  for (int m : {5, 10, 20}) {
+    const DcsScenario s = model_scenario(ModelFamily::kUniform, {m, 0},
+                                         {2.0, 1.0}, {50.0, 50.0}, 2.0);
+    values.push_back(conv.reliability(apply_policy(s, DtrPolicy(2))));
+  }
+  EXPECT_GT(values[0], values[1]);
+  EXPECT_GT(values[1], values[2]);
+}
+
+TEST(Convolution, HeavyTailMeanCorrectionIsActive) {
+  // The Pareto 2 model must produce a nonzero beyond-grid correction, and
+  // the corrected mean must exceed the raw grid integral.
+  const DcsScenario s =
+      model_scenario(ModelFamily::kPareto2, {30, 0}, {2.0, 1.0}, {}, 2.0);
+  const ConvolutionSolver conv;
+  const auto workloads = apply_policy(s, DtrPolicy(2));
+  const double mean = conv.mean_execution_time(workloads);
+  const auto completion = conv.completion_density(workloads[0]);
+  const double correction = conv.tail_mean_correction(workloads[0], completion);
+  EXPECT_GT(correction, 0.0);
+  // A single busy server makes T = Σ of 30 service draws: E[T] = 60 exactly,
+  // and the heavy-tail correction is what recovers the beyond-grid part.
+  EXPECT_NEAR(mean, 60.0, 0.3);
+}
+
+TEST(Convolution, MultiGroupBatchModesBracketMc) {
+  // Server 0 receives two groups; the batch-max and batch-min treatments
+  // must bracket the simulated truth.
+  std::vector<ServerSpec> servers = {
+      {2, dist::Exponential::with_mean(1.0), nullptr},
+      {6, dist::Exponential::with_mean(1.0), nullptr},
+      {6, dist::Exponential::with_mean(1.0), nullptr}};
+  const DcsScenario s = make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(4.0),
+      dist::Exponential::with_mean(0.2));
+  DtrPolicy policy(3);
+  policy.set(1, 0, 4);
+  policy.set(2, 0, 4);
+  ConvolutionOptions max_opts;
+  max_opts.multi_group = ConvolutionOptions::MultiGroup::kBatchMax;
+  ConvolutionOptions min_opts;
+  min_opts.multi_group = ConvolutionOptions::MultiGroup::kBatchMin;
+  const double upper =
+      ConvolutionSolver(max_opts).mean_execution_time(apply_policy(s, policy));
+  const double lower =
+      ConvolutionSolver(min_opts).mean_execution_time(apply_policy(s, policy));
+  sim::MonteCarloOptions mc;
+  mc.replications = 30'000;
+  mc.seed = 4;
+  const auto metrics = sim::run_monte_carlo(s, policy, mc);
+  EXPECT_LE(lower - 0.1, metrics.mean_completion_time.center);
+  EXPECT_GE(upper + 0.1, metrics.mean_completion_time.center);
+  EXPECT_LT(lower, upper);
+}
+
+TEST(Convolution, RejectMultiGroupModeThrows) {
+  ServerWorkload w;
+  w.local_tasks = 1;
+  w.service = dist::Exponential::with_mean(1.0);
+  w.inbound.push_back({1, dist::Exponential::with_mean(1.0)});
+  w.inbound.push_back({1, dist::Exponential::with_mean(2.0)});
+  ConvolutionOptions opts;
+  opts.multi_group = ConvolutionOptions::MultiGroup::kReject;
+  const ConvolutionSolver solver(opts);
+  EXPECT_THROW(solver.mean_execution_time({w}), InvalidArgument);
+}
+
+TEST(Convolution, MeanRequiresReliableServers) {
+  ServerWorkload w;
+  w.local_tasks = 1;
+  w.service = dist::Exponential::with_mean(1.0);
+  w.failure = dist::Exponential::with_mean(10.0);
+  const ConvolutionSolver solver;
+  EXPECT_THROW(solver.mean_execution_time({w}), InvalidArgument);
+}
+
+TEST(Convolution, GridIsFrozenAfterFirstUse) {
+  ServerWorkload w;
+  w.local_tasks = 5;
+  w.service = dist::Exponential::with_mean(1.0);
+  const ConvolutionSolver solver;
+  (void)solver.mean_execution_time({w});
+  const double dt1 = solver.dt();
+  (void)solver.qos({w}, 3.0);
+  EXPECT_DOUBLE_EQ(solver.dt(), dt1);
+}
+
+TEST(Convolution, ExplicitGridHonoured) {
+  ConvolutionOptions opts;
+  opts.dt = 0.25;
+  opts.cells = 1024;
+  const ConvolutionSolver solver(opts);
+  EXPECT_DOUBLE_EQ(solver.dt(), 0.25);
+}
+
+}  // namespace
+}  // namespace agedtr::core

@@ -1,0 +1,373 @@
+// Property tests over every distribution family: normalization, CDF/PDF
+// consistency, quantile inversion, moments, analytic tail integrals and
+// Laplace transforms against quadrature, and sampling against the CDF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/empirical.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/lognormal.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/dist/weibull.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+namespace {
+
+struct FamilyCase {
+  std::string label;
+  DistPtr d;
+  bool heavy_tail = false;  // relaxes quadrature-based second-moment checks
+};
+
+std::vector<FamilyCase> continuous_families() {
+  return {
+      {"exponential", std::make_shared<Exponential>(0.5)},
+      {"shifted_exponential", std::make_shared<ShiftedExponential>(1.0, 2.0)},
+      {"uniform", std::make_shared<Uniform>(0.5, 3.5)},
+      {"pareto_finite_var", std::make_shared<Pareto>(1.2, 2.5)},
+      {"pareto_infinite_var", std::make_shared<Pareto>(0.8, 1.5), true},
+      {"lomax", std::make_shared<Lomax>(2.0, 3.0)},
+      {"gamma", std::make_shared<Gamma>(2.5, 0.8)},
+      {"gamma_shape_below_one", std::make_shared<Gamma>(0.7, 1.5)},
+      {"shifted_gamma", std::make_shared<ShiftedGamma>(0.6, 2.0, 0.3)},
+      {"weibull_increasing_hazard", std::make_shared<Weibull>(2.0, 1.5)},
+      {"weibull_decreasing_hazard", std::make_shared<Weibull>(0.8, 2.0)},
+      {"lognormal", std::make_shared<LogNormal>(0.2, 0.6)},
+  };
+}
+
+class FamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyTest, ::testing::ValuesIn(continuous_families()),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.label;
+    });
+
+double integrate_pdf(const Distribution& d, double lo, double hi) {
+  if (std::isfinite(hi)) {
+    return numerics::integrate([&d](double x) { return d.pdf(x); }, lo, hi,
+                               1e-12, 1e-10, 4000)
+        .value;
+  }
+  return numerics::integrate_to_infinity(
+             [&d](double x) { return d.pdf(x); }, lo, 1e-12, 1e-10, 4000)
+      .value;
+}
+
+TEST_P(FamilyTest, PdfIntegratesToOne) {
+  const auto& d = *GetParam().d;
+  const double lo = d.lower_bound() + (d.pdf(d.lower_bound()) > 1e300 ||
+                                               !std::isfinite(d.pdf(
+                                                   d.lower_bound()))
+                                           ? 1e-12
+                                           : 0.0);
+  EXPECT_NEAR(integrate_pdf(d, lo, d.upper_bound()), 1.0, 2e-6);
+}
+
+TEST_P(FamilyTest, CdfIsPdfAntiderivative) {
+  const auto& d = *GetParam().d;
+  for (double p : {0.2, 0.5, 0.8}) {
+    const double x = d.quantile(p);
+    const double mass = integrate_pdf(d, d.lower_bound() + 1e-12, x);
+    EXPECT_NEAR(mass, d.cdf(x), 5e-6) << "p=" << p;
+  }
+}
+
+TEST_P(FamilyTest, CdfMonotoneAndBounded) {
+  const auto& d = *GetParam().d;
+  double prev = -1.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double x = d.quantile(p);
+    const double f = d.cdf(x);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(d.lower_bound() - 1.0), 0.0);
+}
+
+TEST_P(FamilyTest, SurvivalComplementsCdf) {
+  const auto& d = *GetParam().d;
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    const double x = d.quantile(p);
+    EXPECT_NEAR(d.cdf(x) + d.sf(x), 1.0, 1e-10);
+  }
+}
+
+TEST_P(FamilyTest, QuantileInvertsCdf) {
+  const auto& d = *GetParam().d;
+  for (double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST_P(FamilyTest, MeanMatchesQuadrature) {
+  const auto& d = *GetParam().d;
+  // E[X] = lower + ∫_{lower}^∞ S(x) dx.
+  const double lo = d.lower_bound();
+  const double hi = d.upper_bound();
+  double tail_integral;
+  if (std::isfinite(hi)) {
+    tail_integral = numerics::integrate(
+                        [&d](double x) { return d.sf(x); }, lo, hi)
+                        .value;
+  } else {
+    tail_integral = numerics::integrate_to_infinity(
+                        [&d](double x) { return d.sf(x); }, lo, 1e-12, 1e-10,
+                        4000)
+                        .value;
+  }
+  const double tol = GetParam().heavy_tail ? 0.02 * d.mean() : 1e-5 * (1.0 + d.mean());
+  EXPECT_NEAR(d.mean(), lo + tail_integral, tol);
+}
+
+TEST_P(FamilyTest, IntegralSfMatchesQuadrature) {
+  const auto& d = *GetParam().d;
+  for (double p : {0.3, 0.7, 0.95}) {
+    const double t = d.quantile(p);
+    double reference;
+    if (std::isfinite(d.upper_bound())) {
+      reference = numerics::integrate([&d](double x) { return d.sf(x); }, t,
+                                      d.upper_bound())
+                      .value;
+    } else {
+      reference = numerics::integrate_to_infinity(
+                      [&d](double x) { return d.sf(x); }, t, 1e-12, 1e-10,
+                      4000)
+                      .value;
+    }
+    const double tol =
+        (GetParam().heavy_tail ? 2e-2 : 1e-5) * (1.0 + reference);
+    EXPECT_NEAR(d.integral_sf(t), reference, tol) << "p=" << p;
+  }
+}
+
+TEST_P(FamilyTest, IntegralSfBelowSupportAddsGap) {
+  const auto& d = *GetParam().d;
+  // ∫_t^∞ S = (t' − t) + ∫_{t'}^∞ S for any t below the support.
+  const double at_zero = d.integral_sf(0.0);
+  EXPECT_NEAR(d.integral_sf(-2.0), at_zero + 2.0, 1e-9);
+}
+
+TEST_P(FamilyTest, LaplaceMatchesQuadrature) {
+  const auto& d = *GetParam().d;
+  for (double s : {0.0, 0.3, 2.0}) {
+    const auto integrand = [&d, s](double x) {
+      return std::exp(-s * x) * d.pdf(x);
+    };
+    double reference;
+    if (std::isfinite(d.upper_bound())) {
+      reference = numerics::integrate(integrand, d.lower_bound() + 1e-12,
+                                      d.upper_bound())
+                      .value;
+    } else {
+      reference = numerics::integrate_to_infinity(
+                      integrand, d.lower_bound() + 1e-12, 1e-12, 1e-10, 4000)
+                      .value;
+    }
+    EXPECT_NEAR(d.laplace(s), reference, 1e-5) << "s=" << s;
+  }
+}
+
+TEST_P(FamilyTest, SamplingMeanConverges) {
+  const auto& d = *GetParam().d;
+  random::Rng rng(2718);
+  const int n = GetParam().heavy_tail ? 400000 : 60000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  const double tol = GetParam().heavy_tail ? 0.15 * d.mean()
+                                           : 0.03 * (1.0 + d.mean());
+  EXPECT_NEAR(sum / n, d.mean(), tol);
+}
+
+TEST_P(FamilyTest, SamplingMatchesCdfAtQuartiles) {
+  const auto& d = *GetParam().d;
+  random::Rng rng(979);
+  const int n = 40000;
+  const double q1 = d.quantile(0.25);
+  const double q3 = d.quantile(0.75);
+  int below_q1 = 0, below_q3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    if (x <= q1) ++below_q1;
+    if (x <= q3) ++below_q3;
+  }
+  EXPECT_NEAR(below_q1 / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(below_q3 / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST_P(FamilyTest, HazardIsPdfOverSurvival) {
+  const auto& d = *GetParam().d;
+  const double x = d.quantile(0.6);
+  EXPECT_NEAR(d.hazard(x), d.pdf(x) / d.sf(x), 1e-9);
+}
+
+TEST_P(FamilyTest, SamplesRespectSupport) {
+  const auto& d = *GetParam().d;
+  random::Rng rng(55);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, d.lower_bound() - 1e-12);
+    EXPECT_LE(x, d.upper_bound() + 1e-12);
+  }
+}
+
+// --- family-specific behaviour -------------------------------------------
+
+TEST(Exponential, MemorylessFlagAndHazard) {
+  const Exponential e(2.0);
+  EXPECT_TRUE(e.is_memoryless());
+  EXPECT_DOUBLE_EQ(e.hazard(0.1), 2.0);
+  EXPECT_DOUBLE_EQ(e.hazard(10.0), 2.0);
+}
+
+TEST(Exponential, WithMean) {
+  const DistPtr e = Exponential::with_mean(4.0);
+  EXPECT_NEAR(e->mean(), 4.0, 1e-14);
+}
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), InvalidArgument);
+  EXPECT_THROW(Exponential(-1.0), InvalidArgument);
+}
+
+TEST(ShiftedExponential, CapturesMinimumDelay) {
+  const ShiftedExponential se(1.5, 1.0);
+  EXPECT_DOUBLE_EQ(se.cdf(1.4), 0.0);
+  EXPECT_DOUBLE_EQ(se.sf(1.0), 1.0);
+  EXPECT_FALSE(se.is_memoryless());
+  EXPECT_NEAR(se.mean(), 2.5, 1e-14);
+}
+
+TEST(ShiftedExponential, PaperMeanConvention) {
+  const DistPtr se = ShiftedExponential::with_mean(3.0);
+  EXPECT_NEAR(se->mean(), 3.0, 1e-12);
+  EXPECT_NEAR(se->lower_bound(), 1.5, 1e-12);
+}
+
+TEST(Pareto, VarianceClasses) {
+  const Pareto finite(1.0, 2.5);
+  const Pareto infinite(1.0, 1.5);
+  EXPECT_TRUE(std::isfinite(finite.variance()));
+  EXPECT_TRUE(std::isinf(infinite.variance()));
+}
+
+TEST(Pareto, WithMeanHitsTarget) {
+  for (double alpha : {1.5, 2.5}) {
+    const DistPtr p = Pareto::with_mean(2.0, alpha);
+    EXPECT_NEAR(p->mean(), 2.0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(Pareto, RejectsAlphaBelowOne) {
+  EXPECT_THROW(Pareto(1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Pareto(1.0, 0.5), InvalidArgument);
+}
+
+TEST(Uniform, PaperConvention) {
+  const DistPtr u = Uniform::with_mean(2.0);
+  EXPECT_NEAR(u->mean(), 2.0, 1e-14);
+  EXPECT_NEAR(u->upper_bound(), 4.0, 1e-14);
+  EXPECT_NEAR(u->lower_bound(), 0.0, 1e-14);
+}
+
+TEST(Gamma, MomentsClosedForm) {
+  const Gamma g(3.0, 2.0);
+  EXPECT_NEAR(g.mean(), 6.0, 1e-14);
+  EXPECT_NEAR(g.variance(), 12.0, 1e-14);
+}
+
+TEST(Gamma, LaplaceClosedForm) {
+  const Gamma g(2.0, 0.5);
+  EXPECT_NEAR(g.laplace(1.0), std::pow(1.5, -2.0), 1e-12);
+}
+
+TEST(ShiftedGamma, SupportAndMean) {
+  const ShiftedGamma sg(0.5, 2.0, 0.25);
+  EXPECT_DOUBLE_EQ(sg.cdf(0.49), 0.0);
+  EXPECT_NEAR(sg.mean(), 1.0, 1e-14);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 2.0);
+  const Exponential e(0.5);
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(Weibull, WithMean) {
+  const DistPtr w = Weibull::with_mean(3.0, 2.0);
+  EXPECT_NEAR(w->mean(), 3.0, 1e-10);
+}
+
+TEST(Deterministic, PointMassBehaviour) {
+  const Deterministic d(2.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  random::Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 2.0);
+  EXPECT_DOUBLE_EQ(d.integral_sf(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(d.integral_sf(3.0), 0.0);
+}
+
+TEST(Empirical, EcdfAndQuantiles) {
+  const Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(10.0), 1.0);
+  EXPECT_NEAR(e.mean(), 2.5, 1e-14);
+  EXPECT_NEAR(e.quantile(0.5), 2.5, 1e-12);
+}
+
+TEST(Empirical, SamplesComeFromData) {
+  const Empirical e({1.0, 5.0, 9.0});
+  random::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = e.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 5.0 || x == 9.0);
+  }
+}
+
+TEST(Builders, AllFamiliesShareTheMean) {
+  for (const ModelFamily family : all_model_families()) {
+    const DistPtr d = make_model_distribution(family, 2.0);
+    EXPECT_NEAR(d->mean(), 2.0, 1e-9) << model_family_name(family);
+  }
+}
+
+TEST(Builders, VarianceClassesMatchPaper) {
+  const DistPtr p1 = make_model_distribution(ModelFamily::kPareto1, 2.0);
+  const DistPtr p2 = make_model_distribution(ModelFamily::kPareto2, 2.0);
+  EXPECT_TRUE(std::isfinite(p1->variance()));
+  EXPECT_TRUE(std::isinf(p2->variance()));
+}
+
+TEST(Builders, ParseRoundTrips) {
+  for (const ModelFamily family : all_model_families()) {
+    EXPECT_EQ(parse_model_family(model_family_name(family)), family);
+  }
+  EXPECT_EQ(parse_model_family("pareto2"), ModelFamily::kPareto2);
+  EXPECT_THROW(parse_model_family("cauchy"), InvalidArgument);
+}
+
+TEST(Describe, MentionsFamilyAndParameters) {
+  EXPECT_NE(Exponential(2.0).describe().find("rate=2.000"),
+            std::string::npos);
+  EXPECT_NE(Pareto(1.0, 2.5).describe().find("alpha=2.500"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace agedtr::dist

@@ -1,0 +1,218 @@
+// FFT correctness (vs. naive DFT) and the LatticeDensity engine invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/numerics/fft.hpp"
+#include "agedtr/numerics/lattice.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& in) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  std::vector<Complex> data(16);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex(std::sin(0.3 * static_cast<double>(i)),
+                      std::cos(1.7 * static_cast<double>(i)));
+  }
+  std::vector<Complex> expected = naive_dft(data);
+  fft(data, false);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - expected[i]), 0.0, 1e-10) << "bin " << i;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  std::vector<Complex> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex(static_cast<double>(i % 7), static_cast<double>(i % 3));
+  }
+  const std::vector<Complex> original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-11);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft(data, false), agedtr::InvalidArgument);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Convolve, MatchesDirectSmall) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0};
+  const auto c = convolve(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[0], 4.0, 1e-12);
+  EXPECT_NEAR(c[1], 13.0, 1e-12);
+  EXPECT_NEAR(c[2], 22.0, 1e-12);
+  EXPECT_NEAR(c[3], 15.0, 1e-12);
+}
+
+TEST(Convolve, FftPathMatchesDirectPath) {
+  // Force both paths on the same data: sizes above/below the direct cutoff.
+  std::vector<double> a(200), b(200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(0.05 * static_cast<double>(i)) + 1.5;
+    b[i] = std::cos(0.08 * static_cast<double>(i)) + 1.2;
+  }
+  const auto big = convolve(a, b);  // FFT path (200*200 > 4096)
+  // Direct evaluation at a few lags.
+  for (std::size_t lag : {0u, 57u, 199u, 301u, 398u}) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::size_t j = lag - i;
+      if (lag >= i && j < b.size()) direct += a[i] * b[j];
+    }
+    EXPECT_NEAR(big[lag], direct, 1e-8 * (1.0 + std::fabs(direct)));
+  }
+}
+
+class LatticeTest : public ::testing::Test {
+ protected:
+  static constexpr double kDt = 0.01;
+  static constexpr std::size_t kN = 4096;
+};
+
+TEST_F(LatticeTest, DiscretizeConservesMass) {
+  const dist::Exponential exp_law(0.5);
+  const LatticeDensity d = dist::discretize(exp_law, kDt, kN);
+  EXPECT_NEAR(d.total(), 1.0, 1e-9);
+  EXPECT_GT(d.tail(), 0.0);  // exp(−0.5·40.96) tiny but positive
+}
+
+TEST_F(LatticeTest, DiscretizeMatchesCdf) {
+  const dist::Uniform u(0.0, 10.0);
+  const LatticeDensity d = dist::discretize(u, kDt, kN);
+  EXPECT_NEAR(d.cdf_at(5.0), 0.5, 1e-3);
+  EXPECT_NEAR(d.cdf_at(10.0), 1.0, 1e-3);
+  EXPECT_NEAR(d.grid_mean(), 5.0, 1e-2);
+}
+
+TEST_F(LatticeTest, ZeroIsConvolutionIdentity) {
+  const dist::Exponential law(1.0);
+  const LatticeDensity d = dist::discretize(law, kDt, kN);
+  const LatticeDensity z = LatticeDensity::zero(kDt, kN);
+  const LatticeDensity c = d.convolve(z);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(c.mass(i), d.mass(i), 1e-12);
+  }
+}
+
+TEST_F(LatticeTest, ConvolutionMeanAdds) {
+  const dist::Exponential law(1.0);  // mean 1
+  const LatticeDensity d = dist::discretize(law, kDt, kN);
+  const LatticeDensity sum = d.convolve(d);
+  EXPECT_NEAR(sum.grid_mean() + sum.tail() * kDt * static_cast<double>(kN),
+              2.0, 0.02);
+  EXPECT_NEAR(sum.total(), 1.0, 1e-9);
+}
+
+TEST_F(LatticeTest, ConvolvePowerMatchesRepeated) {
+  const dist::Uniform u(0.0, 2.0);
+  const LatticeDensity d = dist::discretize(u, kDt, kN);
+  const LatticeDensity p3 = d.convolve_power(3);
+  const LatticeDensity manual = d.convolve(d).convolve(d);
+  for (std::size_t i = 0; i < kN; i += 37) {
+    EXPECT_NEAR(p3.mass(i), manual.mass(i), 1e-10);
+  }
+  EXPECT_NEAR(p3.tail(), manual.tail(), 1e-10);
+}
+
+TEST_F(LatticeTest, ConvolvePowerZeroIsPointMass) {
+  const dist::Exponential law(1.0);
+  const LatticeDensity d = dist::discretize(law, kDt, kN);
+  const LatticeDensity p0 = d.convolve_power(0);
+  EXPECT_DOUBLE_EQ(p0.mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(p0.tail(), 0.0);
+}
+
+TEST_F(LatticeTest, GammaSumOfExponentials) {
+  // Sum of 4 Exp(1) = Gamma(4, 1): check the CDF at a few quantiles.
+  const dist::Exponential law(1.0);
+  const LatticeDensity d = dist::discretize(law, kDt, kN);
+  const LatticeDensity sum4 = d.convolve_power(4);
+  // P(Gamma(4,1) <= 4) = P(4, 4) — regularized incomplete gamma.
+  EXPECT_NEAR(sum4.cdf_at(4.0), 0.56652987963, 2e-3);
+  EXPECT_NEAR(sum4.cdf_at(8.0), 0.95762, 2e-3);
+}
+
+TEST_F(LatticeTest, MaxOfIndependent) {
+  // max of two Uniform(0, 1): F(t) = t² on [0, 1]; mean 2/3.
+  const dist::Uniform u(0.0, 1.0);
+  const LatticeDensity d = dist::discretize(u, kDt, kN);
+  const LatticeDensity m = LatticeDensity::max_of(d, d);
+  EXPECT_NEAR(m.cdf_at(0.5), 0.25, 5e-3);
+  EXPECT_NEAR(m.grid_mean(), 2.0 / 3.0, 1e-2);
+}
+
+TEST_F(LatticeTest, TailTracksTruncation) {
+  // Heavy Pareto on a short grid: most mass beyond the horizon must land in
+  // the tail, never vanish.
+  const dist::Pareto p(1.0, 1.5);
+  const LatticeDensity d = dist::discretize(p, kDt, 512);  // grid to 5.12
+  EXPECT_NEAR(d.total(), 1.0, 1e-9);
+  EXPECT_GT(d.tail(), 0.05);  // S(5.12) = (1/5.12)^1.5 ≈ 0.086
+  const LatticeDensity sum2 = d.convolve(d);
+  EXPECT_NEAR(sum2.total(), 1.0, 1e-9);
+  EXPECT_GT(sum2.tail(), d.tail());
+}
+
+TEST_F(LatticeTest, ExpectationAgainstFunction) {
+  const dist::Exponential law(2.0);
+  const LatticeDensity d = dist::discretize(law, kDt, kN);
+  // E[e^{−X}] = 2/3 for Exp(2).
+  const double v = d.expect([](double t) { return std::exp(-t); });
+  EXPECT_NEAR(v, 2.0 / 3.0, 2e-3);
+}
+
+TEST_F(LatticeTest, RejectsNegativeMass) {
+  EXPECT_THROW(LatticeDensity(0.1, {0.5, -0.2}, 0.0), agedtr::InvalidArgument);
+}
+
+TEST_F(LatticeTest, RejectsOverUnitMass) {
+  EXPECT_THROW(LatticeDensity(0.1, {0.9, 0.4}, 0.0), agedtr::InvalidArgument);
+}
+
+TEST_F(LatticeTest, SuggestHorizonGrowsWithK) {
+  const dist::Exponential law(0.5);
+  const double h1 = dist::suggest_horizon(law, 1, 1e-6);
+  const double h10 = dist::suggest_horizon(law, 10, 1e-6);
+  EXPECT_GT(h10, h1);
+  EXPECT_GT(h10, 10.0 * law.mean());  // at least the mean of the sum
+}
+
+}  // namespace
+}  // namespace agedtr::numerics

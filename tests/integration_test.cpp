@@ -1,0 +1,221 @@
+// End-to-end integration tests: scaled-down versions of the paper's
+// experiments, checking the *shape* conclusions the full benches reproduce:
+//   - the Markovian approximation is good under low network delay and poor
+//     under severe delay (Figs. 1–2),
+//   - Markovian-devised policies degrade the true metrics (Table I),
+//   - Algorithm 1 beats no reallocation on multi-server systems (Table II),
+//   - the testbed pipeline (measure → fit → optimize → validate) closes the
+//     loop between theory, simulation and "experiment" (Fig. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/testbed/testbed.hpp"
+
+namespace agedtr {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+using dist::ModelFamily;
+
+// Scaled-down Section III-A setup: heterogeneous pair, fixed L21 share.
+DcsScenario paper_like_scenario(ModelFamily family, double transfer_mean,
+                                double fn_mean, bool failures,
+                                int m1 = 20, int m2 = 10) {
+  std::vector<ServerSpec> servers = {
+      {m1, dist::make_model_distribution(family, 2.0),
+       failures ? dist::Exponential::with_mean(200.0) : nullptr},
+      {m2, dist::make_model_distribution(family, 1.0),
+       failures ? dist::Exponential::with_mean(100.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(family, transfer_mean),
+      dist::Exponential::with_mean(fn_mean));
+}
+
+double max_relative_error_over_sweep(ModelFamily family, double transfer_mean,
+                                     int l21) {
+  const DcsScenario truth =
+      paper_like_scenario(family, transfer_mean, 0.2, false);
+  const policy::PolicyEvaluator exact = policy::make_age_dependent_evaluator(
+      truth, policy::Objective::kMeanExecutionTime);
+  const policy::PolicyEvaluator markov = policy::make_age_dependent_evaluator(
+      policy::exponentialized(truth), policy::Objective::kMeanExecutionTime);
+  double worst = 0.0;
+  for (int l12 = 0; l12 <= 20; l12 += 4) {
+    const DtrPolicy p = policy::make_two_server_policy(l12, l21);
+    const double t = exact(p);
+    worst = std::max(worst, std::fabs(markov(p) - t) / t);
+  }
+  return worst;
+}
+
+TEST(Integration, Fig1MarkovianAccuracyDegradesWithDelay) {
+  // Low delay: transfer+service at the fast server ≈ service at the slow
+  // one (Z̄ = 1); severe: ≥ 5× (Z̄ = 9).
+  const double low = max_relative_error_over_sweep(ModelFamily::kPareto1,
+                                                   1.0, 5);
+  const double severe = max_relative_error_over_sweep(ModelFamily::kPareto1,
+                                                      9.0, 5);
+  EXPECT_LT(low, 0.06);
+  EXPECT_GT(severe, 1.5 * low);
+}
+
+TEST(Integration, Fig1ShiftedExponentialSameShape) {
+  const double low = max_relative_error_over_sweep(
+      ModelFamily::kShiftedExponential, 1.0, 5);
+  const double severe = max_relative_error_over_sweep(
+      ModelFamily::kShiftedExponential, 9.0, 5);
+  EXPECT_GT(severe, low);
+}
+
+TEST(Integration, Fig2ReliabilityErrorLargerUnderSevereDelay) {
+  const auto reliability_error = [](double transfer_mean) {
+    const DcsScenario truth = paper_like_scenario(ModelFamily::kPareto1,
+                                                  transfer_mean, 0.2, true);
+    const policy::PolicyEvaluator exact =
+        policy::make_age_dependent_evaluator(truth,
+                                             policy::Objective::kReliability);
+    const policy::PolicyEvaluator markov =
+        policy::make_age_dependent_evaluator(policy::exponentialized(truth),
+                                             policy::Objective::kReliability);
+    double worst = 0.0;
+    for (int l12 = 0; l12 <= 20; l12 += 5) {
+      const DtrPolicy p = policy::make_two_server_policy(l12, 5);
+      const double r = exact(p);
+      if (r > 1e-6) {
+        worst = std::max(worst, std::fabs(markov(p) - r) / r);
+      }
+    }
+    return worst;
+  };
+  EXPECT_GT(reliability_error(9.0), reliability_error(1.0));
+}
+
+TEST(Integration, TableIMarkovianPolicyDegradesTrueMetric) {
+  // Severe delay, infinite-variance service: devise under the exponential
+  // model, evaluate under the truth, compare with the true optimum.
+  const DcsScenario truth =
+      paper_like_scenario(ModelFamily::kPareto2, 9.0, 1.0, false);
+  const policy::PolicyEvaluator exact = policy::make_age_dependent_evaluator(
+      truth, policy::Objective::kMeanExecutionTime);
+  const policy::PolicyEvaluator markov = policy::make_age_dependent_evaluator(
+      policy::exponentialized(truth), policy::Objective::kMeanExecutionTime);
+  const policy::TwoServerPolicySearch search(20, 10);
+  ThreadPool pool(4);
+  const auto best_true = search.optimize(exact, false, &pool);
+  const auto best_markov = search.optimize(markov, false, &pool);
+  const double degraded =
+      exact(policy::make_two_server_policy(best_markov.l12, best_markov.l21));
+  // By optimality the Markovian-devised policy can never beat the true
+  // optimum; the magnitude of the gap at paper scale is the business of
+  // bench/table1_optimal_policies (the paper reports 10-40% there). At this
+  // reduced scale we assert the ordering and that the Markovian model
+  // mis-estimates the metric itself.
+  EXPECT_GE(degraded, best_true.value - 1e-9);
+  const double markov_estimate =
+      markov(policy::make_two_server_policy(best_markov.l12, best_markov.l21));
+  EXPECT_GT(std::fabs(markov_estimate - degraded) / degraded, 0.01);
+}
+
+TEST(Integration, TableIQosOptimumNearMeanOptimum) {
+  const DcsScenario truth =
+      paper_like_scenario(ModelFamily::kPareto1, 1.0, 0.2, false);
+  const policy::PolicyEvaluator mean_eval =
+      policy::make_age_dependent_evaluator(
+          truth, policy::Objective::kMeanExecutionTime);
+  const policy::TwoServerPolicySearch search(20, 10);
+  ThreadPool pool(4);
+  const auto best_mean = search.optimize(mean_eval, false, &pool);
+  const policy::PolicyEvaluator qos_eval =
+      policy::make_age_dependent_evaluator(truth, policy::Objective::kQos,
+                                           1.3 * best_mean.value);
+  const auto best_qos = search.optimize(qos_eval, true, &pool);
+  // Policies optimizing the two metrics should sit in the same
+  // neighbourhood (Fig. 3's observation), and the QoS at its optimum must
+  // be high when the deadline is 30% above the optimal mean.
+  EXPECT_NEAR(best_qos.l12, best_mean.l12, 6);
+  EXPECT_GT(best_qos.value, 0.7);
+}
+
+TEST(Integration, TableIIAlgorithm1BeatsNoReallocationByMc) {
+  // Three heterogeneous servers under severe delay; score by simulation
+  // (the paper's Table II methodology).
+  std::vector<ServerSpec> servers = {
+      {40, dist::make_model_distribution(ModelFamily::kPareto1, 4.0),
+       nullptr},
+      {8, dist::make_model_distribution(ModelFamily::kPareto1, 2.0), nullptr},
+      {2, dist::make_model_distribution(ModelFamily::kPareto1, 1.0),
+       nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(ModelFamily::kPareto1, 5.0),
+      dist::Exponential::with_mean(1.0));
+  policy::Algorithm1Options opts;
+  opts.objective = policy::Objective::kMeanExecutionTime;
+  const auto result = policy::Algorithm1(opts).devise(s);
+  sim::MonteCarloOptions mc;
+  mc.replications = 8'000;
+  mc.seed = 21;
+  const auto with_policy = sim::run_monte_carlo(s, result.policy, mc);
+  const auto without = sim::run_monte_carlo(s, DtrPolicy(3), mc);
+  ASSERT_TRUE(with_policy.all_completed);
+  EXPECT_LT(with_policy.mean_completion_time.center,
+            without.mean_completion_time.center);
+}
+
+TEST(Integration, Fig4PipelineTheorySimulationExperimentAgree) {
+  // The full Section III-B loop at reduced replication counts.
+  const testbed::CharacterizedTestbed ct = testbed::characterize_testbed(
+      3000, 31);
+  // Theory (fitted laws) for the paper's policy neighbourhood.
+  const core::ConvolutionSolver theory;
+  const DtrPolicy paper_policy = policy::make_two_server_policy(26, 0);
+  const double predicted =
+      theory.reliability(core::apply_policy(ct.fitted, paper_policy));
+  // MC at the fitted laws.
+  sim::MonteCarloOptions mc;
+  mc.replications = 10'000;
+  mc.seed = 32;
+  const auto simulated = sim::run_monte_carlo(ct.fitted, paper_policy, mc);
+  EXPECT_NEAR(predicted, simulated.reliability.center,
+              std::max(0.02, 4.0 * simulated.reliability.half_width()));
+  // "Experiment" on the ground truth: the paper saw < 7% relative error
+  // between prediction and experiment; grant a similar budget plus the
+  // finite-sample fitting error.
+  const auto experiment = testbed::run_experiment(
+      testbed::make_testbed_scenario(), paper_policy, 500, 33);
+  EXPECT_NEAR(predicted, experiment.center, 0.10);
+}
+
+TEST(Integration, Fig4OptimalPolicyNeighbourhood) {
+  // The fitted-model optimum should land near the paper's L12 = 26 (about
+  // half the slow server's queue) with L21 = 0.
+  const testbed::CharacterizedTestbed ct =
+      testbed::characterize_testbed(3000, 41);
+  const policy::PolicyEvaluator eval = policy::make_age_dependent_evaluator(
+      ct.fitted, policy::Objective::kReliability);
+  const policy::TwoServerPolicySearch search(50, 25);
+  ThreadPool pool(4);
+  // Search the L21 = 0 line (the paper's optimum has L21 = 0).
+  const auto line = search.sweep_l12(eval, 0, &pool);
+  const auto best = std::max_element(
+      line.begin(), line.end(),
+      [](const auto& a, const auto& b) { return a.value < b.value; });
+  // The landscape is a knife-edge (see testbed_test): rather than pin the
+  // argmax, require the paper's policy to sit within 0.03 of the optimum
+  // and reallocation to beat doing nothing.
+  EXPECT_GE(line[26].value, best->value - 0.03);
+  EXPECT_GE(best->value, line[0].value);
+}
+
+}  // namespace
+}  // namespace agedtr

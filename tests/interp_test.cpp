@@ -1,0 +1,94 @@
+// Interpolation: linear and monotone PCHIP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/numerics/interp.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+TEST(LinearInterp, ExactAtKnotsAndMidpoints) {
+  const LinearInterpolator f({0.0, 1.0, 3.0}, {0.0, 2.0, 6.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+}
+
+TEST(LinearInterp, ClampsOutsideRange) {
+  const LinearInterpolator f({0.0, 1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(-2.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 7.0);
+}
+
+TEST(LinearInterp, RejectsUnsortedKnots) {
+  EXPECT_THROW(LinearInterpolator({0.0, 0.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(LinearInterpolator({1.0, 0.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(LinearInterp, RejectsSizeMismatch) {
+  EXPECT_THROW(LinearInterpolator({0.0, 1.0, 2.0}, {1.0, 2.0}),
+               InvalidArgument);
+}
+
+TEST(PchipInterp, ReproducesKnots) {
+  const PchipInterpolator f({0.0, 1.0, 2.0, 4.0}, {1.0, 3.0, 2.0, 5.0});
+  EXPECT_NEAR(f(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(f(1.0), 3.0, 1e-14);
+  EXPECT_NEAR(f(4.0), 5.0, 1e-14);
+}
+
+TEST(PchipInterp, PreservesMonotonicity) {
+  // Monotone data: the interpolant must not overshoot anywhere.
+  const PchipInterpolator f({0.0, 1.0, 2.0, 3.0, 4.0},
+                            {0.0, 0.1, 0.5, 0.95, 1.0});
+  double prev = -1.0;
+  for (double x = 0.0; x <= 4.0; x += 0.01) {
+    const double y = f(x);
+    EXPECT_GE(y, prev - 1e-12) << "x=" << x;
+    EXPECT_GE(y, -1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    prev = y;
+  }
+}
+
+TEST(PchipInterp, LinearDataStaysLinear) {
+  const PchipInterpolator f({0.0, 1.0, 2.0, 3.0}, {1.0, 2.0, 3.0, 4.0});
+  for (double x = 0.0; x <= 3.0; x += 0.1) {
+    EXPECT_NEAR(f(x), 1.0 + x, 1e-12);
+  }
+}
+
+TEST(PchipInterp, DerivativeMatchesSlopeOnLinearData) {
+  const PchipInterpolator f({0.0, 1.0, 2.0}, {0.0, 2.0, 4.0});
+  EXPECT_NEAR(f.derivative(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(f.derivative(1.5), 2.0, 1e-12);
+}
+
+TEST(PchipInterp, DerivativeIsZeroOutsideSupport) {
+  const PchipInterpolator f({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.derivative(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(2.0), 0.0);
+}
+
+TEST(PchipInterp, TwoKnotsReducesToLinear) {
+  const PchipInterpolator f({0.0, 2.0}, {1.0, 5.0});
+  EXPECT_NEAR(f(1.0), 3.0, 1e-12);
+}
+
+TEST(PchipInterp, ApproximatesSmoothFunction) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(static_cast<double>(i) * 0.1);
+    y.push_back(std::sin(x.back()));
+  }
+  const PchipInterpolator f(std::move(x), std::move(y));
+  for (double q = 0.05; q < 2.0; q += 0.1) {
+    EXPECT_NEAR(f(q), std::sin(q), 1e-3) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace agedtr::numerics

@@ -1,0 +1,186 @@
+// The Markovian baseline of [2],[7]: DP recursions against closed forms and
+// against the independent CTMC uniformization solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/ctmc.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+DcsScenario exp_scenario(std::vector<int> tasks,
+                         std::vector<double> service_means,
+                         std::vector<double> failure_means,
+                         double transfer_mean) {
+  std::vector<ServerSpec> servers;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    servers.push_back(
+        {tasks[j], dist::Exponential::with_mean(service_means[j]),
+         failure_means.empty()
+             ? nullptr
+             : dist::Exponential::with_mean(failure_means[j])});
+  }
+  return make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(transfer_mean),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(Markovian, SingleServerMeanIsLittleLaw) {
+  // One server, m tasks, rate μ: T̄ = m/μ exactly.
+  DcsScenario s;
+  s.servers = {{7, dist::Exponential::with_mean(2.0), nullptr}};
+  s.transfer = {{nullptr}};
+  const MarkovianSolver solver(s);
+  EXPECT_NEAR(solver.mean_execution_time(DtrPolicy(1)), 14.0, 1e-12);
+}
+
+TEST(Markovian, SingleServerReliabilityClosedForm) {
+  // m sequential μ-vs-λ races: R = (μ/(μ+λ))^m.
+  DcsScenario s;
+  s.servers = {{5, dist::Exponential::with_mean(1.0),
+                dist::Exponential::with_mean(10.0)}};
+  s.transfer = {{nullptr}};
+  const MarkovianSolver solver(s);
+  EXPECT_NEAR(solver.reliability(DtrPolicy(1)), std::pow(10.0 / 11.0, 5),
+              1e-12);
+}
+
+TEST(Markovian, TwoServerMeanMatchesCtmc) {
+  const DcsScenario s = exp_scenario({6, 4}, {2.0, 1.0}, {}, 1.5);
+  const MarkovianSolver solver(s);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  policy.set(1, 0, 1);
+  const CtmcTransientSolver ctmc(s, policy);
+  EXPECT_NEAR(solver.mean_execution_time(policy),
+              ctmc.mean_absorption_time(), 1e-9);
+}
+
+TEST(Markovian, TwoServerReliabilityMatchesCtmc) {
+  const DcsScenario s = exp_scenario({5, 3}, {2.0, 1.0}, {50.0, 30.0}, 1.5);
+  const MarkovianSolver solver(s);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const CtmcTransientSolver ctmc(s, policy);
+  EXPECT_NEAR(solver.reliability(policy), ctmc.reliability(), 1e-9);
+}
+
+TEST(Markovian, ReliabilityOneWithoutFailures) {
+  const DcsScenario s = exp_scenario({5, 3}, {2.0, 1.0}, {}, 1.0);
+  const MarkovianSolver solver(s);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  EXPECT_DOUBLE_EQ(solver.reliability(policy), 1.0);
+}
+
+TEST(Markovian, TransfersDelayCompletion) {
+  // Moving work across a slow network must not beat keeping it local when
+  // the receiving server is the same speed.
+  const DcsScenario s = exp_scenario({6, 6}, {1.0, 1.0}, {}, 10.0);
+  const MarkovianSolver solver(s);
+  DtrPolicy keep(2);
+  DtrPolicy move(2);
+  move.set(0, 1, 3);
+  EXPECT_LT(solver.mean_execution_time(keep),
+            solver.mean_execution_time(move));
+}
+
+TEST(Markovian, OffloadingToFastServerHelps) {
+  // Slow server holds everything; the fast idle server is 10× faster and
+  // the network is quick: offloading should cut the mean execution time.
+  const DcsScenario s = exp_scenario({10, 0}, {10.0, 1.0}, {}, 0.1);
+  const MarkovianSolver solver(s);
+  DtrPolicy keep(2);
+  DtrPolicy offload(2);
+  offload.set(0, 1, 8);
+  EXPECT_GT(solver.mean_execution_time(keep),
+            solver.mean_execution_time(offload));
+}
+
+TEST(Markovian, MeanRequiresReliableServers) {
+  const DcsScenario s = exp_scenario({3, 2}, {1.0, 1.0}, {100.0, 100.0}, 1.0);
+  const MarkovianSolver solver(s);
+  EXPECT_THROW(solver.mean_execution_time(DtrPolicy(2)), InvalidArgument);
+}
+
+TEST(Markovian, RejectsNonExponentialLaws) {
+  DcsScenario s = exp_scenario({3, 2}, {1.0, 1.0}, {}, 1.0);
+  s.servers[0].service = std::make_shared<dist::Uniform>(0.0, 2.0);
+  EXPECT_THROW(MarkovianSolver{s}, InvalidArgument);
+}
+
+TEST(Markovian, ThreeServerSymmetryOfRelabeling) {
+  // Permuting two identical servers must not change the metric.
+  const DcsScenario s = exp_scenario({9, 3, 3}, {1.0, 2.0, 2.0}, {}, 1.0);
+  const MarkovianSolver solver(s);
+  DtrPolicy to_second(3);
+  to_second.set(0, 1, 4);
+  DtrPolicy to_third(3);
+  to_third.set(0, 2, 4);
+  EXPECT_NEAR(solver.mean_execution_time(to_second),
+              solver.mean_execution_time(to_third), 1e-10);
+}
+
+TEST(Ctmc, QosMonotoneInDeadline) {
+  const DcsScenario s = exp_scenario({4, 2}, {2.0, 1.0}, {}, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  const CtmcTransientSolver ctmc(s, policy);
+  double prev = 0.0;
+  for (double t : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double q = ctmc.qos(t);
+    EXPECT_GE(q, prev - 1e-12);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    prev = q;
+  }
+}
+
+TEST(Ctmc, QosApproachesReliability) {
+  const DcsScenario s = exp_scenario({4, 2}, {2.0, 1.0}, {80.0, 60.0}, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  const CtmcTransientSolver ctmc(s, policy);
+  EXPECT_NEAR(ctmc.qos(5000.0), ctmc.reliability(), 1e-6);
+}
+
+TEST(Ctmc, QosZeroAtZeroDeadline) {
+  const DcsScenario s = exp_scenario({2, 1}, {1.0, 1.0}, {}, 1.0);
+  const CtmcTransientSolver ctmc(s, DtrPolicy(2));
+  EXPECT_NEAR(ctmc.qos(0.0), 0.0, 1e-12);
+}
+
+TEST(Ctmc, QosAtMedianIsInterior) {
+  const DcsScenario s = exp_scenario({4, 2}, {2.0, 1.0}, {}, 1.0);
+  const CtmcTransientSolver ctmc(s, DtrPolicy(2));
+  const double mean = ctmc.mean_absorption_time();
+  const double q = ctmc.qos(mean);
+  EXPECT_GT(q, 0.2);
+  EXPECT_LT(q, 0.9);
+}
+
+TEST(Ctmc, EmptyWorkloadIsImmediatelyDone) {
+  const DcsScenario s = exp_scenario({0, 0}, {1.0, 1.0}, {10.0, 10.0}, 1.0);
+  const CtmcTransientSolver ctmc(s, DtrPolicy(2));
+  EXPECT_DOUBLE_EQ(ctmc.qos(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ctmc.reliability(), 1.0);
+}
+
+TEST(Ctmc, StateCountIsReasonable) {
+  const DcsScenario s = exp_scenario({10, 5}, {2.0, 1.0}, {}, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  policy.set(1, 0, 2);
+  const CtmcTransientSolver ctmc(s, policy);
+  // (m1+L21+1)·(m2+L12+1)·group subsets, plus absorbing states.
+  EXPECT_GT(ctmc.state_count(), 50u);
+  EXPECT_LT(ctmc.state_count(), 10u * 9u * 4u + 3u);
+}
+
+}  // namespace
+}  // namespace agedtr::core

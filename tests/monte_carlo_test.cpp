@@ -1,0 +1,136 @@
+// The parallel Monte-Carlo runner: agreement with analytic values,
+// thread-count invariance, and CI semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+
+DcsScenario exp_scenario(int m1, int m2, bool failures) {
+  std::vector<ServerSpec> servers = {
+      {m1, dist::Exponential::with_mean(2.0),
+       failures ? dist::Exponential::with_mean(100.0) : nullptr},
+      {m2, dist::Exponential::with_mean(1.0),
+       failures ? dist::Exponential::with_mean(80.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(2.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(MonteCarlo, MeanMatchesMarkovianSolver) {
+  const DcsScenario s = exp_scenario(10, 5, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  const core::MarkovianSolver solver(s);
+  const double exact = solver.mean_execution_time(policy);
+  MonteCarloOptions opts;
+  opts.replications = 30'000;
+  opts.seed = 7;
+  const MonteCarloMetrics m = run_monte_carlo(s, policy, opts);
+  ASSERT_TRUE(m.all_completed);
+  EXPECT_NEAR(m.mean_completion_time.center, exact,
+              3.5 * m.mean_completion_time.half_width());
+}
+
+TEST(MonteCarlo, ReliabilityMatchesMarkovianSolver) {
+  const DcsScenario s = exp_scenario(10, 5, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  const core::MarkovianSolver solver(s);
+  const double exact = solver.reliability(policy);
+  MonteCarloOptions opts;
+  opts.replications = 30'000;
+  opts.seed = 8;
+  const MonteCarloMetrics m = run_monte_carlo(s, policy, opts);
+  EXPECT_FALSE(m.all_completed);
+  EXPECT_NEAR(m.reliability.center, exact,
+              std::max(4.0 * m.reliability.half_width(), 0.01));
+}
+
+TEST(MonteCarlo, DeterministicRegardlessOfPool) {
+  const DcsScenario s = exp_scenario(8, 4, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  MonteCarloOptions serial;
+  serial.replications = 2'000;
+  serial.seed = 11;
+  ThreadPool one(1);
+  serial.pool = &one;
+  MonteCarloOptions parallel = serial;
+  ThreadPool many(8);
+  parallel.pool = &many;
+  const MonteCarloMetrics a = run_monte_carlo(s, policy, serial);
+  const MonteCarloMetrics b = run_monte_carlo(s, policy, parallel);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_completion_time.center,
+                   b.mean_completion_time.center);
+}
+
+TEST(MonteCarlo, QosCountsDeadline) {
+  const DcsScenario s = exp_scenario(6, 3, false);
+  const DtrPolicy policy(2);
+  const core::ConvolutionSolver conv;
+  const auto workloads = core::apply_policy(s, policy);
+  const double mean = conv.mean_execution_time(workloads);
+  MonteCarloOptions opts;
+  opts.replications = 20'000;
+  opts.seed = 12;
+  opts.deadline = mean;
+  const MonteCarloMetrics m = run_monte_carlo(s, policy, opts);
+  EXPECT_NEAR(m.qos.center, conv.qos(workloads, mean),
+              std::max(4.0 * m.qos.half_width(), 0.01));
+}
+
+TEST(MonteCarlo, QosNeverExceedsReliability) {
+  const DcsScenario s = exp_scenario(10, 5, true);
+  MonteCarloOptions opts;
+  opts.replications = 5'000;
+  opts.deadline = 20.0;
+  const MonteCarloMetrics m = run_monte_carlo(s, DtrPolicy(2), opts);
+  EXPECT_LE(m.qos.center, m.reliability.center + 1e-12);
+}
+
+TEST(MonteCarlo, BusyTimeDiagnostics) {
+  const DcsScenario s = exp_scenario(10, 5, false);
+  MonteCarloOptions opts;
+  opts.replications = 2'000;
+  const MonteCarloMetrics m = run_monte_carlo(s, DtrPolicy(2), opts);
+  ASSERT_EQ(m.mean_busy_time.size(), 2u);
+  // Busy time ≈ tasks × mean service.
+  EXPECT_NEAR(m.mean_busy_time[0], 20.0, 1.0);
+  EXPECT_NEAR(m.mean_busy_time[1], 5.0, 0.5);
+}
+
+TEST(MonteCarlo, RejectsTooFewReplications) {
+  const DcsScenario s = exp_scenario(1, 1, false);
+  MonteCarloOptions opts;
+  opts.replications = 1;
+  EXPECT_THROW(run_monte_carlo(s, DtrPolicy(2), opts), InvalidArgument);
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  const DcsScenario s = exp_scenario(5, 2, false);
+  MonteCarloOptions a;
+  a.replications = 500;
+  a.seed = 1;
+  MonteCarloOptions b = a;
+  b.seed = 2;
+  const MonteCarloMetrics ma = run_monte_carlo(s, DtrPolicy(2), a);
+  const MonteCarloMetrics mb = run_monte_carlo(s, DtrPolicy(2), b);
+  EXPECT_NE(ma.mean_completion_time.center, mb.mean_completion_time.center);
+}
+
+}  // namespace
+}  // namespace agedtr::sim

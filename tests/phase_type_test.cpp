@@ -1,0 +1,235 @@
+// Dense matrix substrate and the phase-type distribution family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/hyperexponential.hpp"
+#include "agedtr/dist/phase_type.hpp"
+#include "agedtr/numerics/matrix.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+using numerics::Matrix;
+
+TEST(Matrix, ProductAgainstHandComputation) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const Matrix sq = a * a;
+  EXPECT_DOUBLE_EQ(sq(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq(1, 1), 22.0);
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  Matrix a(3, 3);
+  a(0, 1) = 2.5;
+  a(2, 0) = -1.0;
+  a(1, 1) = 4.0;
+  const Matrix i = Matrix::identity(3);
+  const Matrix left = i * a;
+  const Matrix right = a * i;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(left(r, c), a(r, c));
+      EXPECT_DOUBLE_EQ(right(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(Matrix, VectorProducts) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 5.0;
+  a(1, 2) = 6.0;
+  const auto row = a.left_multiply({1.0, 2.0});     // [9, 12, 15]
+  const auto col = a.right_multiply({1.0, 1.0, 1.0});  // [6, 15]
+  EXPECT_DOUBLE_EQ(row[0], 9.0);
+  EXPECT_DOUBLE_EQ(row[2], 15.0);
+  EXPECT_DOUBLE_EQ(col[0], 6.0);
+  EXPECT_DOUBLE_EQ(col[1], 15.0);
+}
+
+TEST(Matrix, SolveDenseRoundTrip) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0;
+  a(0, 1) = 1.0;
+  a(0, 2) = -1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 7.0;
+  a(1, 2) = 1.0;
+  a(2, 0) = 1.0;
+  a(2, 1) = -3.0;
+  a(2, 2) = 12.0;
+  const std::vector<double> x_true = {1.5, -2.0, 0.25};
+  const std::vector<double> b = a.right_multiply(x_true);
+  const std::vector<double> x = numerics::solve_dense(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-12);
+  }
+}
+
+TEST(Matrix, SolveDenseRejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(numerics::solve_dense(a, {1.0, 1.0}), InvalidArgument);
+}
+
+TEST(MatrixExponential, ScalarCase) {
+  Matrix a(1, 1);
+  a(0, 0) = -1.7;
+  const Matrix e = numerics::matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), std::exp(-1.7), 1e-12);
+}
+
+TEST(MatrixExponential, DiagonalCase) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -3.0;
+  const Matrix e = numerics::matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-11);
+  EXPECT_NEAR(e(1, 1), std::exp(-3.0), 1e-11);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+}
+
+TEST(MatrixExponential, NilpotentCase) {
+  // exp([[0, 1], [0, 0]]) = [[1, 1], [0, 1]] exactly.
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  const Matrix e = numerics::matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-13);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-13);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-13);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-13);
+}
+
+TEST(MatrixExponential, SemigroupProperty) {
+  Matrix a(2, 2);
+  a(0, 0) = -2.0;
+  a(0, 1) = 1.5;
+  a(1, 0) = 0.5;
+  a(1, 1) = -1.0;
+  const Matrix whole = numerics::matrix_exponential(a);
+  const Matrix half = numerics::matrix_exponential(a.scaled(0.5));
+  const Matrix composed = half * half;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(composed(r, c), whole(r, c), 1e-11);
+    }
+  }
+}
+
+// ---- PhaseType --------------------------------------------------------------
+
+TEST(PhaseType, SinglePhaseIsExponential) {
+  Matrix t(1, 1);
+  t(0, 0) = -0.5;
+  const dist::PhaseType ph({1.0}, t);
+  const dist::Exponential e(0.5);
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(ph.pdf(x), e.pdf(x), 1e-10) << "x=" << x;
+    EXPECT_NEAR(ph.cdf(x), e.cdf(x), 1e-10) << "x=" << x;
+  }
+  EXPECT_NEAR(ph.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(ph.variance(), 4.0, 1e-12);
+}
+
+TEST(PhaseType, ErlangMatchesGamma) {
+  const dist::DistPtr erl = dist::PhaseType::erlang(4, 2.0);
+  const dist::Gamma gamma(4.0, 0.5);
+  EXPECT_NEAR(erl->mean(), 2.0, 1e-12);
+  EXPECT_NEAR(erl->variance(), 1.0, 1e-12);
+  for (double x : {0.5, 2.0, 5.0}) {
+    EXPECT_NEAR(erl->pdf(x), gamma.pdf(x), 1e-9) << "x=" << x;
+    EXPECT_NEAR(erl->sf(x), gamma.sf(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(PhaseType, HyperexponentialAsPhaseType) {
+  // Two parallel phases with no cross transitions = mixture of
+  // exponentials.
+  Matrix t(2, 2);
+  t(0, 0) = -1.0;
+  t(1, 1) = -4.0;
+  const dist::PhaseType ph({0.3, 0.7}, t);
+  const dist::HyperExponential h({0.3, 0.7}, {1.0, 4.0});
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(ph.pdf(x), h.pdf(x), 1e-9);
+    EXPECT_NEAR(ph.sf(x), h.sf(x), 1e-9);
+  }
+  EXPECT_NEAR(ph.mean(), h.mean(), 1e-12);
+}
+
+TEST(PhaseType, PdfIntegratesToOne) {
+  const dist::DistPtr cox =
+      dist::PhaseType::coxian({2.0, 1.0, 3.0}, {0.8, 0.5});
+  const double total = numerics::integrate_to_infinity(
+                           [&cox](double x) { return cox->pdf(x); }, 0.0)
+                           .value;
+  EXPECT_NEAR(total, 1.0, 1e-7);
+}
+
+TEST(PhaseType, LaplaceMatchesQuadrature) {
+  const dist::DistPtr cox = dist::PhaseType::coxian({1.5, 0.8}, {0.6});
+  for (double s : {0.2, 1.0}) {
+    const double reference =
+        numerics::integrate_to_infinity(
+            [&cox, s](double x) { return std::exp(-s * x) * cox->pdf(x); },
+            0.0)
+            .value;
+    EXPECT_NEAR(cox->laplace(s), reference, 1e-7) << "s=" << s;
+  }
+}
+
+TEST(PhaseType, SamplingMatchesMoments) {
+  const dist::DistPtr erl = dist::PhaseType::erlang(3, 1.5);
+  random::Rng rng(7);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = erl->sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, erl->mean(), 0.02);
+  EXPECT_NEAR(sum2 / n - mean * mean, erl->variance(), 0.05);
+}
+
+TEST(PhaseType, CoxianEarlyExitShortensMean) {
+  // Lower continuation probability ⇒ earlier absorption ⇒ smaller mean.
+  const dist::DistPtr sticky = dist::PhaseType::coxian({1.0, 1.0}, {0.9});
+  const dist::DistPtr leaky = dist::PhaseType::coxian({1.0, 1.0}, {0.2});
+  EXPECT_GT(sticky->mean(), leaky->mean());
+}
+
+TEST(PhaseType, RejectsInvalidGenerators) {
+  Matrix bad_diag(1, 1);
+  bad_diag(0, 0) = 1.0;  // positive diagonal
+  EXPECT_THROW(dist::PhaseType({1.0}, bad_diag), InvalidArgument);
+  Matrix bad_row(2, 2);
+  bad_row(0, 0) = -1.0;
+  bad_row(0, 1) = 2.0;  // row sum positive
+  bad_row(1, 1) = -1.0;
+  EXPECT_THROW(dist::PhaseType({0.5, 0.5}, bad_row), InvalidArgument);
+  Matrix ok(1, 1);
+  ok(0, 0) = -1.0;
+  EXPECT_THROW(dist::PhaseType({0.4}, ok), InvalidArgument);  // α sums to 0.4
+}
+
+}  // namespace
+}  // namespace agedtr

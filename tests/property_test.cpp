@@ -1,0 +1,184 @@
+// Parameterized property sweeps across distribution families: lattice
+// conservation laws, solver monotonicity/invariance properties, and
+// policy-metric sanity relations that must hold for *every* law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/pareto.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/dist/weibull.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+struct LawCase {
+  std::string label;
+  dist::DistPtr law;
+};
+
+std::vector<LawCase> laws() {
+  return {
+      {"exponential", dist::Exponential::with_mean(1.5)},
+      {"pareto_heavy", dist::Pareto::with_mean(1.5, 1.5)},
+      {"pareto_light", dist::Pareto::with_mean(1.5, 3.5)},
+      {"uniform", dist::Uniform::with_mean(1.5)},
+      {"shifted_exponential", dist::ShiftedExponential::with_mean(1.5)},
+      {"gamma", std::make_shared<dist::Gamma>(2.0, 0.75)},
+      {"weibull", dist::Weibull::with_mean(1.5, 1.7)},
+  };
+}
+
+class LatticeProperty : public ::testing::TestWithParam<LawCase> {
+ protected:
+  static constexpr double kDt = 0.005;
+  static constexpr std::size_t kN = 8192;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllLaws, LatticeProperty,
+                         ::testing::ValuesIn(laws()),
+                         [](const ::testing::TestParamInfo<LawCase>& info) {
+                           return info.param.label;
+                         });
+
+TEST_P(LatticeProperty, MassConservedThroughConvolutionChains) {
+  const auto d = dist::discretize(*GetParam().law, kDt, kN);
+  EXPECT_NEAR(d.total(), 1.0, 1e-9);
+  EXPECT_NEAR(d.convolve(d).total(), 1.0, 1e-8);
+  EXPECT_NEAR(d.convolve_power(5).total(), 1.0, 1e-8);
+}
+
+TEST_P(LatticeProperty, GridMeanTracksDistributionMean) {
+  const auto d = dist::discretize(*GetParam().law, kDt, kN);
+  const double horizon = kDt * static_cast<double>(kN);
+  // grid mean + tail-adjusted remainder brackets the true mean.
+  const double lower = d.grid_mean();
+  const double upper = lower + d.tail() * horizon +
+                       GetParam().law->integral_sf(horizon);
+  EXPECT_LE(lower, GetParam().law->mean() + 0.02);
+  EXPECT_GE(upper + 0.05 * GetParam().law->mean(), GetParam().law->mean());
+}
+
+TEST_P(LatticeProperty, ConvolutionCommutes) {
+  const auto a = dist::discretize(*GetParam().law, kDt, kN);
+  const auto b =
+      dist::discretize(dist::Exponential(1.0), kDt, kN);
+  const auto ab = a.convolve(b);
+  const auto ba = b.convolve(a);
+  for (std::size_t i = 0; i < kN; i += 97) {
+    EXPECT_NEAR(ab.mass(i), ba.mass(i), 1e-12);
+  }
+  EXPECT_NEAR(ab.tail(), ba.tail(), 1e-12);
+}
+
+TEST_P(LatticeProperty, MaxOfIsCommutativeAndDominates) {
+  const auto a = dist::discretize(*GetParam().law, kDt, kN);
+  const auto b = dist::discretize(dist::Uniform(0.0, 2.0), kDt, kN);
+  const auto m1 = numerics::LatticeDensity::max_of(a, b);
+  const auto m2 = numerics::LatticeDensity::max_of(b, a);
+  for (std::size_t i = 0; i < kN; i += 131) {
+    EXPECT_NEAR(m1.mass(i), m2.mass(i), 1e-12);
+    // F_max <= min(F_a, F_b): the max is stochastically larger than both.
+    EXPECT_LE(m1.cdf(i), a.cdf(i) + 1e-12);
+    EXPECT_LE(m1.cdf(i), b.cdf(i) + 1e-12);
+  }
+}
+
+TEST_P(LatticeProperty, MaxWithZeroIsIdentity) {
+  const auto a = dist::discretize(*GetParam().law, kDt, kN);
+  const auto z = numerics::LatticeDensity::zero(kDt, kN);
+  const auto m = numerics::LatticeDensity::max_of(a, z);
+  for (std::size_t i = 0; i < kN; i += 61) {
+    EXPECT_NEAR(m.cdf(i), a.cdf(i), 1e-12);
+  }
+}
+
+// ---- solver-level properties ------------------------------------------------
+
+class SolverProperty : public ::testing::TestWithParam<LawCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllLaws, SolverProperty,
+                         ::testing::ValuesIn(laws()),
+                         [](const ::testing::TestParamInfo<LawCase>& info) {
+                           return info.param.label;
+                         });
+
+core::DcsScenario scenario_with(const dist::DistPtr& service, int m1,
+                                int m2) {
+  std::vector<core::ServerSpec> servers = {{m1, service, nullptr},
+                                           {m2, service, nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(1.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST_P(SolverProperty, MeanScalesWithWorkload) {
+  // Adding work can never shrink the mean execution time.
+  const auto s10 = scenario_with(GetParam().law, 10, 5);
+  const auto s14 = scenario_with(GetParam().law, 14, 5);
+  const core::ConvolutionSolver a, b;
+  EXPECT_LE(a.mean_execution_time(
+                core::apply_policy(s10, core::DtrPolicy(2))),
+            b.mean_execution_time(
+                core::apply_policy(s14, core::DtrPolicy(2))) +
+                1e-6);
+}
+
+TEST_P(SolverProperty, SymmetricPolicyInvariance) {
+  // Mirroring a policy across identical servers mirrors nothing: the
+  // metric is invariant under swapping the (equal) servers and the policy.
+  const auto s = scenario_with(GetParam().law, 12, 12);
+  const core::ConvolutionSolver solver;
+  const double forward = solver.mean_execution_time(
+      core::apply_policy(s, policy::make_two_server_policy(4, 1)));
+  const double mirrored = solver.mean_execution_time(
+      core::apply_policy(s, policy::make_two_server_policy(1, 4)));
+  EXPECT_NEAR(forward, mirrored, 1e-9 * (1.0 + forward));
+}
+
+TEST_P(SolverProperty, QosDominatedByWorkloadOrdering) {
+  // More work ⇒ pointwise smaller completion CDF ⇒ smaller QoS.
+  const auto light = scenario_with(GetParam().law, 8, 4);
+  const auto heavy = scenario_with(GetParam().law, 12, 4);
+  const core::ConvolutionSolver a, b;
+  const auto wl = core::apply_policy(light, core::DtrPolicy(2));
+  const auto wh = core::apply_policy(heavy, core::DtrPolicy(2));
+  for (double t : {10.0, 25.0, 50.0}) {
+    EXPECT_GE(a.qos(wl, t) + 1e-9, b.qos(wh, t)) << "t=" << t;
+  }
+}
+
+TEST_P(SolverProperty, ReliabilityImprovesWithSlowerFailures) {
+  auto fragile = scenario_with(GetParam().law, 10, 5);
+  auto robust = fragile;
+  fragile.servers[0].failure = dist::Exponential::with_mean(30.0);
+  fragile.servers[1].failure = dist::Exponential::with_mean(30.0);
+  robust.servers[0].failure = dist::Exponential::with_mean(300.0);
+  robust.servers[1].failure = dist::Exponential::with_mean(300.0);
+  const core::ConvolutionSolver a, b;
+  EXPECT_LT(a.reliability(core::apply_policy(fragile, core::DtrPolicy(2))),
+            b.reliability(core::apply_policy(robust, core::DtrPolicy(2))));
+}
+
+TEST_P(SolverProperty, ExecutionTimeLawQuantilesMonotone) {
+  const auto s = scenario_with(GetParam().law, 10, 5);
+  const core::ConvolutionSolver solver;
+  const auto law =
+      solver.execution_time_law(core::apply_policy(s, core::DtrPolicy(2)));
+  double prev = 0.0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double q = law.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace agedtr

@@ -1,0 +1,111 @@
+// Quadrature kernels: fixed Gauss rules, adaptive GK15, semi-infinite maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+TEST(GaussRule, WeightsSumToTwo) {
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    const GaussRule& rule = gauss_rule(n);
+    double sum = 0.0;
+    for (double w : rule.weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-13) << "n=" << n;
+  }
+}
+
+TEST(GaussRule, NodesSymmetricAndSorted) {
+  const GaussRule& rule = gauss_rule(16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[15 - i], 1e-14);
+    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+  }
+}
+
+TEST(GaussLegendre, ExactForPolynomials) {
+  // n-point Gauss integrates degree 2n−1 exactly: x^7 over [0, 1] with n=4.
+  const double val =
+      gauss_legendre([](double x) { return std::pow(x, 7.0); }, 0.0, 1.0, 4);
+  EXPECT_NEAR(val, 1.0 / 8.0, 1e-14);
+}
+
+TEST(GaussLegendre, SmoothTranscendental) {
+  const double val =
+      gauss_legendre([](double x) { return std::exp(x); }, 0.0, 1.0, 16);
+  EXPECT_NEAR(val, std::exp(1.0) - 1.0, 1e-14);
+}
+
+TEST(AdaptiveIntegrate, SmoothFunction) {
+  const auto r = integrate([](double x) { return std::sin(x); }, 0.0, M_PI);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);
+  EXPECT_LT(r.error, 1e-8);
+}
+
+TEST(AdaptiveIntegrate, HandlesKink) {
+  const auto r =
+      integrate([](double x) { return std::fabs(x - 0.3); }, 0.0, 1.0, 1e-12,
+                1e-10);
+  EXPECT_NEAR(r.value, 0.3 * 0.3 / 2.0 + 0.7 * 0.7 / 2.0, 1e-10);
+}
+
+TEST(AdaptiveIntegrate, NarrowSpike) {
+  // Gaussian spike of width 1e-3 inside [0, 1].
+  const double s = 1e-3;
+  const auto r = integrate(
+      [s](double x) {
+        const double z = (x - 0.5) / s;
+        return std::exp(-0.5 * z * z) / (s * std::sqrt(2.0 * M_PI));
+      },
+      0.0, 1.0, 1e-12, 1e-10, 5000);
+  EXPECT_NEAR(r.value, 1.0, 1e-8);
+}
+
+TEST(AdaptiveIntegrate, ReversedBoundsNegate) {
+  const auto fwd = integrate([](double x) { return x * x; }, 0.0, 2.0);
+  const auto rev = integrate([](double x) { return x * x; }, 2.0, 0.0);
+  EXPECT_NEAR(fwd.value, -rev.value, 1e-12);
+}
+
+TEST(AdaptiveIntegrate, EmptyInterval) {
+  const auto r = integrate([](double) { return 1.0; }, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(AdaptiveIntegrate, RejectsNonFinite) {
+  EXPECT_THROW(integrate([](double) { return 0.0; }, 0.0,
+                         std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  const auto r =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 0.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-10);
+}
+
+TEST(IntegrateToInfinity, ShiftedStart) {
+  const auto r =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 2.0);
+  EXPECT_NEAR(r.value, std::exp(-2.0), 1e-10);
+}
+
+TEST(IntegrateToInfinity, PowerLawTail) {
+  // ∫_1^∞ x^{−2.5} dx = 1/1.5.
+  const auto r = integrate_to_infinity(
+      [](double x) { return std::pow(x, -2.5); }, 1.0, 1e-12, 1e-10, 4000);
+  EXPECT_NEAR(r.value, 1.0 / 1.5, 1e-8);
+}
+
+TEST(IntegrateToInfinity, GammaDensityNormalizes) {
+  // Gamma(3, 2) density integrates to 1.
+  const auto r = integrate_to_infinity(
+      [](double x) { return x * x * std::exp(-x / 2.0) / 16.0; }, 0.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace agedtr::numerics

@@ -1,0 +1,110 @@
+// Root finding and derivative-free minimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/numerics/optimize.hpp"
+#include "agedtr/numerics/roots.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+TEST(BrentRoot, FindsSimpleRoot) {
+  const double r =
+      brent_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-12);
+}
+
+TEST(BrentRoot, Transcendental) {
+  const double r =
+      brent_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-12);
+}
+
+TEST(BrentRoot, RootAtBoundary) {
+  EXPECT_DOUBLE_EQ(brent_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(brent_root([](double x) { return x - 1.0; }, 0.0, 1.0),
+                   1.0);
+}
+
+TEST(BrentRoot, RejectsUnbracketed) {
+  EXPECT_THROW(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(BrentRoot, SteepFunction) {
+  const double r = brent_root(
+      [](double x) { return std::expm1(50.0 * (x - 0.73)); }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.73, 1e-10);
+}
+
+TEST(ExpandBracket, FindsSignChange) {
+  const auto b =
+      expand_bracket([](double x) { return x - 100.0; }, 0.0, 1.0);
+  EXPECT_LE((b.a - 100.0) * (b.b - 100.0), 0.0);
+}
+
+TEST(ExpandBracket, ThrowsWhenNoRoot) {
+  EXPECT_THROW(
+      expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 10),
+      ConvergenceError);
+}
+
+TEST(MinimizeScalar, Quadratic) {
+  const auto r = minimize_scalar(
+      [](double x) { return (x - 1.3) * (x - 1.3) + 2.0; }, -10.0, 10.0);
+  EXPECT_NEAR(r.x, 1.3, 1e-7);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);
+}
+
+TEST(MinimizeScalar, AsymmetricUnimodal) {
+  // f(x) = x − ln x on (0, ∞): minimum at x = 1.
+  const auto r = minimize_scalar(
+      [](double x) { return x - std::log(x); }, 0.01, 10.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+}
+
+TEST(MinimizeScalar, MinimumNearBoundary) {
+  const auto r =
+      minimize_scalar([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-5);
+}
+
+TEST(NelderMead, Rosenbrock2d) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const auto r = nelder_mead(f, {-1.2, 1.0}, {}, 1e-14, 5000);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, SphereConverges) {
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double v : x) s += (v - 2.0) * (v - 2.0);
+    return s;
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_NEAR(v, 2.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimension) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 0.4); },
+      {5.0});
+  EXPECT_NEAR(r.x[0], 0.4, 1e-4);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::numerics

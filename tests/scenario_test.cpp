@@ -1,0 +1,299 @@
+// Scenario/policy plumbing and the hybrid system state, including the
+// competing-risk regeneration machinery (G_X, race survival, transitions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/regeneration.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/core/state.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+DcsScenario two_server_scenario(int m1, int m2, bool with_failures) {
+  std::vector<ServerSpec> servers = {
+      {m1, dist::Exponential::with_mean(2.0),
+       with_failures ? dist::Exponential::with_mean(1000.0) : nullptr},
+      {m2, dist::Exponential::with_mean(1.0),
+       with_failures ? dist::Exponential::with_mean(500.0) : nullptr}};
+  return make_uniform_network_scenario(std::move(servers),
+                                       dist::Exponential::with_mean(1.0),
+                                       dist::Exponential::with_mean(0.2));
+}
+
+TEST(DtrPolicy, AccessorsAndAggregates) {
+  DtrPolicy p(3);
+  p.set(0, 1, 5);
+  p.set(0, 2, 3);
+  p.set(2, 0, 7);
+  EXPECT_EQ(p(0, 1), 5);
+  EXPECT_EQ(p.outgoing(0), 8);
+  EXPECT_EQ(p.incoming(0), 7);
+  EXPECT_EQ(p.incoming(2), 3);
+  EXPECT_FALSE(p.is_identity());
+  EXPECT_TRUE(DtrPolicy(3).is_identity());
+}
+
+TEST(DtrPolicy, RejectsSelfTransferAndNegatives) {
+  DtrPolicy p(2);
+  EXPECT_THROW(p.set(0, 0, 1), InvalidArgument);
+  EXPECT_THROW(p.set(0, 1, -1), InvalidArgument);
+  EXPECT_THROW(p.set(0, 2, 1), InvalidArgument);
+}
+
+TEST(Scenario, ValidateCatchesMissingLaws) {
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.servers[0].service = nullptr;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Scenario, ValidateCatchesShapeMismatch) {
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.transfer.pop_back();
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Scenario, TotalTasks) {
+  EXPECT_EQ(two_server_scenario(100, 50, false).total_tasks(), 150);
+}
+
+TEST(ApplyPolicy, MovesTasksIntoGroups) {
+  const DcsScenario s = two_server_scenario(100, 50, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 30);
+  policy.set(1, 0, 25);
+  const auto w = apply_policy(s, policy);
+  EXPECT_EQ(w[0].local_tasks, 70);
+  EXPECT_EQ(w[1].local_tasks, 25);
+  ASSERT_EQ(w[0].inbound.size(), 1u);
+  EXPECT_EQ(w[0].inbound[0].tasks, 25);
+  EXPECT_EQ(w[1].inbound[0].tasks, 30);
+  EXPECT_EQ(w[0].total_tasks(), 95);
+  EXPECT_EQ(w[1].total_tasks(), 55);
+}
+
+TEST(ApplyPolicy, RejectsOverdraft) {
+  const DcsScenario s = two_server_scenario(10, 5, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 11);
+  EXPECT_THROW(apply_policy(s, policy), InvalidArgument);
+}
+
+TEST(SystemState, InitialConfiguration) {
+  const DcsScenario s = two_server_scenario(100, 50, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 30);
+  const SystemState st = SystemState::initial(s, policy);
+  EXPECT_EQ(st.tasks[0], 70);
+  EXPECT_EQ(st.tasks[1], 50);
+  ASSERT_EQ(st.groups.size(), 1u);
+  EXPECT_EQ(st.groups[0].tasks, 30);
+  EXPECT_EQ(st.groups[0].to, 1u);
+  EXPECT_FALSE(st.workload_done());
+  EXPECT_FALSE(st.workload_lost());
+  for (double a : st.service_age) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(SystemState, DoneAndLostPredicates) {
+  const DcsScenario s = two_server_scenario(1, 0, true);
+  SystemState st = SystemState::initial(s, DtrPolicy(2));
+  EXPECT_FALSE(st.workload_done());
+  st.tasks[0] = 0;
+  EXPECT_TRUE(st.workload_done());
+  st.tasks[0] = 1;
+  st.up[0] = 0;
+  EXPECT_TRUE(st.workload_lost());
+  // A group bound for a dead server also loses the workload.
+  st.up[0] = 1;
+  st.tasks[0] = 0;
+  st.groups.push_back({1, 0, 3, s.transfer[1][0], 0.0});
+  st.up[0] = 0;
+  EXPECT_TRUE(st.workload_lost());
+}
+
+TEST(SystemState, AdvanceAges) {
+  const DcsScenario s = two_server_scenario(2, 2, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  SystemState st = SystemState::initial(s, policy);
+  st.advance_ages(2.5);
+  EXPECT_DOUBLE_EQ(st.service_age[0], 2.5);
+  EXPECT_DOUBLE_EQ(st.failure_age[1], 2.5);
+  EXPECT_DOUBLE_EQ(st.groups[0].age, 2.5);
+  EXPECT_THROW(st.advance_ages(-1.0), InvalidArgument);
+}
+
+TEST(Regeneration, ClockInventory) {
+  const DcsScenario s = two_server_scenario(5, 0, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const SystemState st = SystemState::initial(s, policy);
+  const RegenerationAnalysis analysis(s, st);
+  // Server 1: service (3 left) + failure; server 2: failure only (no tasks
+  // yet); one group in transit.
+  EXPECT_EQ(analysis.clocks().size(), 4u);
+}
+
+TEST(Regeneration, WinProbabilitiesSumToOne) {
+  const DcsScenario s = two_server_scenario(3, 2, true);
+  DtrPolicy policy(2);
+  policy.set(1, 0, 1);
+  const SystemState st = SystemState::initial(s, policy);
+  const RegenerationAnalysis analysis(s, st);
+  double total = 0.0;
+  for (std::size_t e = 0; e < analysis.clocks().size(); ++e) {
+    total += analysis.win_probability(e);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Regeneration, ExponentialRaceMatchesClosedForm) {
+  // All-exponential race: P{service_1 wins} = μ1/(μ1+μ2+λ1+λ2+γ) and
+  // E[τ] = 1/Σrates.
+  const DcsScenario s = two_server_scenario(3, 2, true);
+  DtrPolicy policy(2);
+  policy.set(1, 0, 1);
+  const SystemState st = SystemState::initial(s, policy);
+  const RegenerationAnalysis analysis(s, st);
+  const double total_rate = 0.5 + 1.0 + 1e-3 + 2e-3 + 1.0;
+  EXPECT_NEAR(analysis.expected_minimum(), 1.0 / total_rate, 1e-6);
+  for (std::size_t e = 0; e < analysis.clocks().size(); ++e) {
+    const Clock& c = analysis.clocks()[e];
+    const double rate = 1.0 / c.law->mean();
+    EXPECT_NEAR(analysis.win_probability(e), rate / total_rate, 1e-6);
+  }
+}
+
+TEST(Regeneration, RegenerationPdfIntegratesToOne) {
+  // Mixed laws: uniform service, exponential failure.
+  std::vector<ServerSpec> servers = {
+      {2, std::make_shared<dist::Uniform>(0.5, 2.5),
+       dist::Exponential::with_mean(100.0)}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr}};
+  const SystemState st = SystemState::initial(s, DtrPolicy(1));
+  const RegenerationAnalysis analysis(s, st);
+  const double h = analysis.horizon();
+  const double total =
+      numerics::integrate([&](double t) { return analysis.regeneration_pdf(t); },
+                          0.0, h)
+          .value;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Regeneration, HorizonRespectsBoundedSupport) {
+  std::vector<ServerSpec> servers = {
+      {1, std::make_shared<dist::Uniform>(0.0, 3.0), nullptr}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr}};
+  const SystemState st = SystemState::initial(s, DtrPolicy(1));
+  const RegenerationAnalysis analysis(s, st);
+  EXPECT_LE(analysis.horizon(), 3.0 + 1e-12);
+}
+
+TEST(Regeneration, ServiceEventTransition) {
+  const DcsScenario s = two_server_scenario(3, 2, true);
+  const SystemState st = SystemState::initial(s, DtrPolicy(2));
+  const RegenerationAnalysis analysis(s, st);
+  // Find the service clock of server 0.
+  for (const Clock& c : analysis.clocks()) {
+    if (c.kind == Clock::Kind::kService && c.index == 0) {
+      const SystemState next = apply_regeneration_event(s, st, c, 1.5);
+      EXPECT_EQ(next.tasks[0], 2);
+      EXPECT_DOUBLE_EQ(next.service_age[0], 0.0);  // fresh task
+      EXPECT_DOUBLE_EQ(next.service_age[1], 1.5);  // aged by the event time
+      EXPECT_DOUBLE_EQ(next.failure_age[0], 1.5);
+      return;
+    }
+  }
+  FAIL() << "service clock not found";
+}
+
+TEST(Regeneration, FailureSpawnsFnPackets) {
+  const DcsScenario s = two_server_scenario(3, 2, true);
+  const SystemState st = SystemState::initial(s, DtrPolicy(2));
+  const RegenerationAnalysis analysis(s, st);
+  for (const Clock& c : analysis.clocks()) {
+    if (c.kind == Clock::Kind::kFailure && c.index == 1) {
+      const SystemState next = apply_regeneration_event(s, st, c, 0.7);
+      EXPECT_FALSE(static_cast<bool>(next.up[1]));
+      ASSERT_EQ(next.fn_packets.size(), 1u);
+      EXPECT_EQ(next.fn_packets[0].from, 1u);
+      EXPECT_EQ(next.fn_packets[0].to, 0u);
+      EXPECT_TRUE(next.workload_lost());  // server 1 still had tasks
+      return;
+    }
+  }
+  FAIL() << "failure clock not found";
+}
+
+TEST(Regeneration, GroupArrivalStartsIdleServer) {
+  const DcsScenario s = two_server_scenario(5, 0, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  SystemState st = SystemState::initial(s, policy);
+  st.advance_ages(1.0);
+  const RegenerationAnalysis analysis(s, st);
+  for (const Clock& c : analysis.clocks()) {
+    if (c.kind == Clock::Kind::kGroupArrival) {
+      const SystemState next = apply_regeneration_event(s, st, c, 0.5);
+      EXPECT_EQ(next.tasks[1], 2);
+      EXPECT_TRUE(next.groups.empty());
+      // Server 2 was idle: its service clock starts fresh.
+      EXPECT_DOUBLE_EQ(next.service_age[1], 0.0);
+      // Server 1 keeps serving its aged task.
+      EXPECT_DOUBLE_EQ(next.service_age[0], 1.5);
+      return;
+    }
+  }
+  FAIL() << "group arrival clock not found";
+}
+
+TEST(Regeneration, FnArrivalUpdatesPerceivedState) {
+  const DcsScenario s = two_server_scenario(1, 1, true);
+  SystemState st = SystemState::initial(s, DtrPolicy(2));
+  st.up[0] = 0;
+  st.tasks[0] = 0;
+  st.fn_packets.push_back({0, 1, s.fn_transfer[0][1], 0.0});
+  const RegenerationAnalysis analysis(s, st);
+  for (const Clock& c : analysis.clocks()) {
+    if (c.kind == Clock::Kind::kFnArrival) {
+      const SystemState next = apply_regeneration_event(s, st, c, 0.1);
+      EXPECT_TRUE(next.fn_packets.empty());
+      EXPECT_FALSE(static_cast<bool>(next.perceived[1][0]));
+      EXPECT_TRUE(static_cast<bool>(next.perceived[0][1]));
+      return;
+    }
+  }
+  FAIL() << "FN clock not found";
+}
+
+TEST(Regeneration, AgedClocksChangeTheRace) {
+  // Uniform(0,3) service aged by 2 must win against a fresh Uniform(0,3)
+  // more than half the time.
+  std::vector<ServerSpec> servers = {
+      {1, std::make_shared<dist::Uniform>(0.0, 3.0), nullptr},
+      {1, std::make_shared<dist::Uniform>(0.0, 3.0), nullptr}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr, dist::Exponential::with_mean(1.0)},
+                {dist::Exponential::with_mean(1.0), nullptr}};
+  SystemState st = SystemState::initial(s, DtrPolicy(2));
+  st.service_age[0] = 2.0;
+  const RegenerationAnalysis analysis(s, st);
+  ASSERT_EQ(analysis.clocks().size(), 2u);
+  const double p0 = analysis.win_probability(0);
+  const double p1 = analysis.win_probability(1);
+  EXPECT_GT(p0, 0.7);
+  EXPECT_NEAR(p0 + p1, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace agedtr::core

@@ -1,0 +1,217 @@
+// The discrete-event simulator: deterministic laws give hand-computable
+// trajectories; failure/FN semantics follow the paper's model contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+
+dist::DistPtr det(double c) { return std::make_shared<dist::Deterministic>(c); }
+
+DcsScenario deterministic_scenario(int m1, int m2, double w1, double w2,
+                                   double z, double y1 = 0.0,
+                                   double y2 = 0.0) {
+  std::vector<ServerSpec> servers = {
+      {m1, det(w1), y1 > 0.0 ? det(y1) : nullptr},
+      {m2, det(w2), y2 > 0.0 ? det(y2) : nullptr}};
+  return core::make_uniform_network_scenario(std::move(servers), det(z),
+                                             det(0.1));
+}
+
+TEST(Simulator, DeterministicNoPolicy) {
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 5.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  ASSERT_TRUE(r.completed);
+  // Server 1 finishes at 6, server 2 at 2.
+  EXPECT_NEAR(r.completion_time, 6.0, 1e-12);
+  EXPECT_EQ(r.tasks_served[0], 3);
+  EXPECT_EQ(r.tasks_served[1], 2);
+  EXPECT_NEAR(r.busy_time[0], 6.0, 1e-12);
+  EXPECT_NEAR(r.busy_time[1], 2.0, 1e-12);
+}
+
+TEST(Simulator, DeterministicWithTransfer) {
+  // Move 2 tasks from server 1 to server 2: they arrive at t = 5 after
+  // server 2 drained its own queue at t = 2; it then works 5 → 7.
+  // Server 1 finishes its single remaining task at t = 2.
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 5.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(policy, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.completion_time, 7.0, 1e-12);
+  EXPECT_EQ(r.tasks_served[0], 1);
+  EXPECT_EQ(r.tasks_served[1], 4);
+}
+
+TEST(Simulator, ArrivalDuringBusyPeriodAppendsToQueue) {
+  // Transfer arrives at t = 1 while server 2 still works: no idle gap, so
+  // server 2 finishes at 2·1 + 2·1 = 4.
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(policy, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.completion_time, 4.0, 1e-12);
+}
+
+TEST(Simulator, FailureStrandsQueuedTasks) {
+  // Server 1 fails at t = 3 with tasks left (needs 6 s of work).
+  const DcsScenario s = deterministic_scenario(3, 0, 2.0, 1.0, 5.0, 3.0, 0.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(std::isinf(r.completion_time));
+  EXPECT_EQ(r.tasks_lost[0], 2);  // one task served at t = 2, two stranded
+  EXPECT_NEAR(r.failure_time[0], 3.0, 1e-12);
+}
+
+TEST(Simulator, FailureAfterDrainIsHarmless) {
+  const DcsScenario s = deterministic_scenario(2, 0, 1.0, 1.0, 5.0, 10.0, 0.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.completion_time, 2.0, 1e-12);
+}
+
+TEST(Simulator, GroupBoundForDeadServerIsLost) {
+  // Server 2 fails at t = 1; the group sent to it arrives at t = 5 and the
+  // workload is stranded (reliable message passing, no recovery).
+  const DcsScenario s =
+      deterministic_scenario(3, 0, 2.0, 1.0, 5.0, 0.0, 1.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 1);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(policy, rng);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.tasks_lost[1], 1);
+}
+
+TEST(Simulator, FnPacketsDeliveredOnFailure) {
+  const DcsScenario s = deterministic_scenario(1, 1, 1.0, 4.0, 5.0, 0.0, 2.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  // Server 2 fails at t = 2 mid-service: workload lost, but the FN packet
+  // to server 1 was scheduled (delivered at 2.1 — before the early stop
+  // only if the loss hadn't already ended the run; here loss is immediate,
+  // so we only require the failure to be recorded).
+  EXPECT_FALSE(r.completed);
+  EXPECT_NEAR(r.failure_time[1], 2.0, 1e-12);
+}
+
+TEST(Simulator, FnDeliveryObservableWhenWorkloadSurvives) {
+  // Server 2 has nothing and fails at t = 2; server 1 works until t = 4.
+  // The FN packet 2 → 1 (delay 0.1) must be delivered at 2.1.
+  const DcsScenario s = deterministic_scenario(4, 0, 1.0, 1.0, 5.0, 0.0, 2.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.fn_deliveries.size(), 1u);
+  EXPECT_EQ(r.fn_deliveries[0].from, 1u);
+  EXPECT_EQ(r.fn_deliveries[0].to, 0u);
+  EXPECT_NEAR(r.fn_deliveries[0].time, 2.1, 1e-12);
+}
+
+TEST(Simulator, EmptyWorkloadCompletesAtZero) {
+  const DcsScenario s = deterministic_scenario(0, 0, 1.0, 1.0, 5.0);
+  const DcsSimulator sim(s);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.completion_time, 0.0);
+}
+
+TEST(Simulator, ReproducibleForSameSeed) {
+  std::vector<ServerSpec> servers = {
+      {20, dist::Exponential::with_mean(2.0),
+       dist::Exponential::with_mean(100.0)},
+      {10, dist::Exponential::with_mean(1.0),
+       dist::Exponential::with_mean(80.0)}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(3.0),
+      dist::Exponential::with_mean(0.2));
+  DtrPolicy policy(2);
+  policy.set(0, 1, 5);
+  const DcsSimulator sim(s);
+  random::Rng rng1(42), rng2(42);
+  const SimResult a = sim.run(policy, rng1);
+  const SimResult b = sim.run(policy, rng2);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Simulator, QueueInfoBroadcastsRun) {
+  std::vector<ServerSpec> servers = {
+      {5, dist::Exponential::with_mean(1.0), nullptr},
+      {5, dist::Exponential::with_mean(1.0), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(1.0),
+      dist::Exponential::with_mean(0.1));
+  SimulatorOptions opts;
+  opts.queue_info_period = 0.5;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(3);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  EXPECT_TRUE(r.completed);
+  // Info broadcasts add events beyond the 10 services.
+  EXPECT_GT(r.events_processed, 12u);
+}
+
+TEST(Simulator, EventBudgetGuards) {
+  std::vector<ServerSpec> servers = {
+      {100, dist::Exponential::with_mean(1.0), nullptr}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr}};
+  SimulatorOptions opts;
+  opts.max_events = 10;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(1);
+  EXPECT_THROW(sim.run(DtrPolicy(1), rng), InvalidArgument);
+}
+
+TEST(Simulator, BusyTimeNeverExceedsCompletionTime) {
+  std::vector<ServerSpec> servers = {
+      {15, dist::Exponential::with_mean(1.0), nullptr},
+      {5, dist::Exponential::with_mean(0.5), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(2.0),
+      dist::Exponential::with_mean(0.1));
+  DtrPolicy policy(2);
+  policy.set(0, 1, 5);
+  const DcsSimulator sim(s);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    random::Rng rng(seed);
+    const SimResult r = sim.run(policy, rng);
+    ASSERT_TRUE(r.completed);
+    for (double b : r.busy_time) {
+      EXPECT_LE(b, r.completion_time + 1e-9);
+      EXPECT_GE(b, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agedtr::sim

@@ -1,0 +1,129 @@
+// Special functions against closed-form reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/numerics/special.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::numerics {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-13);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-13);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-11);
+}
+
+TEST(LogGamma, HalfInteger) {
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  EXPECT_NEAR(log_gamma(1.5), std::log(0.5 * std::sqrt(M_PI)), 1e-12);
+}
+
+TEST(LogGamma, ReflectionBranch) {
+  // Γ(0.25)·Γ(0.75) = π/sin(π/4).
+  const double sum = log_gamma(0.25) + log_gamma(0.75);
+  EXPECT_NEAR(sum, std::log(M_PI / std::sin(M_PI * 0.25)), 1e-12);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+  EXPECT_THROW(log_gamma(-1.0), InvalidArgument);
+}
+
+TEST(IncompleteGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 − e^{−x}.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGamma, ErfSpecialCase) {
+  // P(1/2, x) = erf(√x).
+  for (double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGamma, ComplementsSumToOne) {
+  for (double a : {0.3, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.01, 0.5, 2.0, 50.0, 200.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(IncompleteGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  EXPECT_NEAR(gamma_p(2.0, 1e4), 1.0, 1e-14);
+}
+
+TEST(IncompleteGammaInverse, RoundTrip) {
+  for (double a : {0.5, 1.0, 2.5, 17.0}) {
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+      const double x = gamma_p_inv(a, p);
+      EXPECT_NEAR(gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(IncompleteGammaInverse, ZeroAtZero) {
+  EXPECT_DOUBLE_EQ(gamma_p_inv(3.0, 0.0), 0.0);
+}
+
+TEST(Digamma, ReferenceValues) {
+  constexpr double kEulerMascheroni = 0.57721566490153286;
+  EXPECT_NEAR(digamma(1.0), -kEulerMascheroni, 1e-11);
+  // ψ(2) = 1 − γ.
+  EXPECT_NEAR(digamma(2.0), 1.0 - kEulerMascheroni, 1e-11);
+  // ψ(1/2) = −γ − 2 ln 2.
+  EXPECT_NEAR(digamma(0.5), -kEulerMascheroni - 2.0 * std::log(2.0), 1e-11);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  // ψ(x+1) = ψ(x) + 1/x.
+  for (double x : {0.3, 1.7, 8.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-11);
+  }
+}
+
+TEST(Trigamma, ReferenceValues) {
+  EXPECT_NEAR(trigamma(1.0), M_PI * M_PI / 6.0, 1e-10);
+  // ψ′(1/2) = π²/2.
+  EXPECT_NEAR(trigamma(0.5), M_PI * M_PI / 2.0, 1e-10);
+}
+
+TEST(Trigamma, RecurrenceHolds) {
+  for (double x : {0.4, 2.2, 9.0}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-10);
+  }
+}
+
+TEST(NormalCdf, SymmetryAndReference) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0) + normal_cdf(1.0), 1.0, 1e-14);
+}
+
+TEST(NormalQuantile, RoundTrip) {
+  for (double p : {1e-6, 0.025, 0.5, 0.8413447460685429, 0.999999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, ReferenceValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::numerics

@@ -1,0 +1,156 @@
+// Histograms, summaries, confidence intervals and KS distance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/random/rng.hpp"
+#include "agedtr/stats/histogram.hpp"
+#include "agedtr/stats/summary.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::stats {
+namespace {
+
+TEST(Histogram, CountsAndNormalization) {
+  const std::vector<double> samples = {0.1, 0.2, 0.3, 1.1, 1.2, 1.9};
+  const Histogram h(samples, 0.0, 2.0, 2);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(1), 3u);
+  // Density integrates to 1: Σ density·width = 1.
+  double total = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    total += h.density(i) * h.bin_width();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  const std::vector<double> samples = {-5.0, 0.5, 99.0};
+  const Histogram h(samples, 0.0, 1.0, 2);
+  EXPECT_EQ(h.count(0), 1u);  // −5 clamps into the first bin
+  EXPECT_EQ(h.count(1), 2u);  // 0.5 lands in bin 1; 99 clamps into the last
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h({0.0, 1.0}, 0.0, 1.0, 4);
+  EXPECT_NEAR(h.bin_center(0), 0.125, 1e-14);
+  EXPECT_NEAR(h.bin_center(3), 0.875, 1e-14);
+  EXPECT_THROW(h.bin_center(4), InvalidArgument);
+}
+
+TEST(Histogram, AutoRangeCoversData) {
+  std::vector<double> samples;
+  random::Rng rng(11);
+  const dist::Uniform u(2.0, 5.0);
+  for (int i = 0; i < 500; ++i) samples.push_back(u.sample(rng));
+  const Histogram h(samples);
+  EXPECT_LE(h.lo(), 2.1);
+  EXPECT_GE(h.hi(), 4.9);
+  EXPECT_GE(h.bins(), 4u);
+}
+
+TEST(Histogram, SquaredErrorDiscriminates) {
+  // Data from Uniform(0, 1): the uniform pdf must beat an exponential pdf.
+  std::vector<double> samples;
+  random::Rng rng(7);
+  const dist::Uniform u(0.0, 1.0);
+  for (int i = 0; i < 2000; ++i) samples.push_back(u.sample(rng));
+  const Histogram h(samples, 0.0, 1.0, 16);
+  const dist::Uniform candidate_u(0.0, 1.0);
+  const dist::Exponential candidate_e(2.0);
+  EXPECT_LT(h.squared_error_vs(candidate_u), h.squared_error_vs(candidate_e));
+}
+
+TEST(Summary, MatchesHandComputation) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.mean, 2.5, 1e-14);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summary, SingleSample) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Summary, RejectsEmpty) { EXPECT_THROW(summarize({}), InvalidArgument); }
+
+TEST(MeanCi, CoversTrueMeanAtNominalRate) {
+  // 200 independent CIs for the mean of Exp(1): ~95% should cover 1.0.
+  const dist::Exponential e(1.0);
+  int covered = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    random::Rng rng(static_cast<std::uint64_t>(trial) + 1000);
+    std::vector<double> samples(400);
+    for (double& x : samples) x = e.sample(rng);
+    const ConfidenceInterval ci = mean_confidence_interval(samples);
+    if (ci.lower <= 1.0 && 1.0 <= ci.upper) ++covered;
+  }
+  EXPECT_GE(covered, 180);  // binomial(200, 0.95): P(<180) ≈ 2e−4
+  EXPECT_LE(covered, 200);
+}
+
+TEST(MeanCi, WidthShrinksWithSamples) {
+  const dist::Exponential e(1.0);
+  random::Rng rng(5);
+  std::vector<double> small(100), large(10000);
+  for (double& x : small) x = e.sample(rng);
+  for (double& x : large) x = e.sample(rng);
+  EXPECT_GT(mean_confidence_interval(small).half_width(),
+            mean_confidence_interval(large).half_width());
+}
+
+TEST(ProportionCi, WilsonBasics) {
+  const ConfidenceInterval ci = proportion_confidence_interval(60, 100);
+  EXPECT_NEAR(ci.center, 0.6, 1e-12);
+  EXPECT_GT(ci.lower, 0.49);
+  EXPECT_LT(ci.upper, 0.70);
+  EXPECT_LT(ci.lower, 0.6);
+  EXPECT_GT(ci.upper, 0.6);
+}
+
+TEST(ProportionCi, ExtremesStayInUnitInterval) {
+  const ConfidenceInterval zero = proportion_confidence_interval(0, 50);
+  EXPECT_GE(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);  // Wilson never collapses to a point at 0
+  const ConfidenceInterval one = proportion_confidence_interval(50, 50);
+  EXPECT_LE(one.upper, 1.0);
+  EXPECT_LT(one.lower, 1.0);
+}
+
+TEST(ProportionCi, RejectsInvalid) {
+  EXPECT_THROW(proportion_confidence_interval(5, 4), InvalidArgument);
+  EXPECT_THROW(proportion_confidence_interval(0, 0), InvalidArgument);
+}
+
+TEST(KsDistance, ZeroForPerfectEcdf) {
+  // Samples at exact quantiles of Uniform(0,1) give the minimal KS value.
+  std::vector<double> samples;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back((i + 0.5) / n);
+  }
+  const double d = ks_distance(samples, [](double x) { return x; });
+  EXPECT_LT(d, 0.006);
+}
+
+TEST(KsDistance, DetectsWrongModel) {
+  const dist::Exponential e(1.0);
+  random::Rng rng(17);
+  std::vector<double> samples(2000);
+  for (double& x : samples) x = e.sample(rng);
+  const double d_right =
+      ks_distance(samples, [&e](double x) { return e.cdf(x); });
+  const double d_wrong =
+      ks_distance(samples, [](double x) { return std::min(x / 3.0, 1.0); });
+  EXPECT_LT(d_right, 0.03);
+  EXPECT_GT(d_wrong, 0.1);
+}
+
+}  // namespace
+}  // namespace agedtr::stats

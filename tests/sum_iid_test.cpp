@@ -1,0 +1,214 @@
+// SumIid (L-fold i.i.d. sums) and the per-task transfer scaling mode
+// threaded through apply_policy, the solvers and the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/core/regen_solver.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/gamma.hpp"
+#include "agedtr/dist/sum_iid.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+TEST(SumIid, MomentsAreLinear) {
+  const dist::SumIid s(std::make_shared<dist::Gamma>(2.0, 0.5), 7);
+  EXPECT_NEAR(s.mean(), 7.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 7 * 2.0 * 0.25, 1e-12);
+  EXPECT_NEAR(s.lower_bound(), 0.0, 1e-12);
+}
+
+TEST(SumIid, SumOfExponentialsIsErlang) {
+  // Sum of 3 Exp(1) = Gamma(3, 1): compare CDFs.
+  const dist::SumIid s(dist::Exponential::with_mean(1.0), 3);
+  const dist::Gamma erlang(3.0, 1.0);
+  for (double x : {1.0, 3.0, 6.0, 10.0}) {
+    EXPECT_NEAR(s.cdf(x), erlang.cdf(x), 2e-3) << "x=" << x;
+    EXPECT_NEAR(s.sf(x), erlang.sf(x), 2e-3) << "x=" << x;
+  }
+}
+
+TEST(SumIid, PdfMatchesErlang) {
+  const dist::SumIid s(dist::Exponential::with_mean(1.0), 3);
+  const dist::Gamma erlang(3.0, 1.0);
+  for (double x : {1.0, 2.5, 5.0}) {
+    EXPECT_NEAR(s.pdf(x), erlang.pdf(x), 5e-3) << "x=" << x;
+  }
+}
+
+TEST(SumIid, LaplaceIsPower) {
+  const dist::DistPtr base = dist::Exponential::with_mean(2.0);
+  const dist::SumIid s(base, 4);
+  for (double q : {0.1, 1.0}) {
+    EXPECT_NEAR(s.laplace(q), std::pow(base->laplace(q), 4.0), 1e-12);
+  }
+}
+
+TEST(SumIid, SamplingIsExact) {
+  // Sum of deterministic values has zero variance.
+  const dist::SumIid s(std::make_shared<dist::Deterministic>(1.5), 4);
+  random::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(s.sample(rng), 6.0);
+}
+
+TEST(SumIid, SamplingMeanConverges) {
+  const dist::SumIid s(std::make_shared<dist::Uniform>(0.0, 2.0), 5);
+  random::Rng rng(2);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += s.sample(rng);
+  EXPECT_NEAR(total / n, 5.0, 0.05);
+}
+
+TEST(SumIid, QuantileRoundTrip) {
+  const dist::SumIid s(std::make_shared<dist::Gamma>(1.5, 1.0), 4);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(s.cdf(s.quantile(p)), p, 1e-4);
+  }
+}
+
+TEST(SumIid, FactoryCollapsesCountOne) {
+  const dist::DistPtr base = dist::Exponential::with_mean(1.0);
+  EXPECT_EQ(dist::sum_iid(base, 1).get(), base.get());
+  EXPECT_NE(dist::sum_iid(base, 2).get(), base.get());
+  EXPECT_THROW(dist::sum_iid(base, 0), InvalidArgument);
+  EXPECT_THROW(dist::sum_iid(nullptr, 2), InvalidArgument);
+}
+
+TEST(SumIid, IntegralSfConsistent) {
+  const dist::SumIid s(dist::Exponential::with_mean(1.0), 3);
+  const dist::Gamma erlang(3.0, 1.0);
+  for (double t : {0.0, 2.0, 6.0}) {
+    EXPECT_NEAR(s.integral_sf(t), erlang.integral_sf(t), 0.02) << "t=" << t;
+  }
+}
+
+// ---- per-task transfer scaling through the model stack --------------------
+
+core::DcsScenario per_task_scenario(int m1, int m2, double z_per_task) {
+  std::vector<core::ServerSpec> servers = {
+      {m1, dist::Exponential::with_mean(2.0), nullptr},
+      {m2, dist::Exponential::with_mean(1.0), nullptr}};
+  core::DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(z_per_task),
+      dist::Exponential::with_mean(0.2));
+  s.transfer_scaling = core::TransferScaling::kPerTask;
+  return s;
+}
+
+TEST(PerTaskScaling, ApplyPolicyMarksInbound) {
+  const core::DcsScenario s = per_task_scenario(10, 5, 1.0);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 4);
+  const auto w = core::apply_policy(s, policy);
+  ASSERT_EQ(w[1].inbound.size(), 1u);
+  EXPECT_TRUE(w[1].inbound[0].per_task);
+  EXPECT_NEAR(w[1].inbound[0].group_transfer_law()->mean(), 4.0, 1e-9);
+}
+
+TEST(PerTaskScaling, DeterministicTransferExactCompletion) {
+  // Deterministic per-task transfer 2 s: group of 3 arrives at t = 6.
+  std::vector<core::ServerSpec> servers = {
+      {3, std::make_shared<dist::Deterministic>(1.0), nullptr},
+      {0, std::make_shared<dist::Deterministic>(1.0), nullptr}};
+  core::DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), std::make_shared<dist::Deterministic>(2.0),
+      std::make_shared<dist::Deterministic>(0.1));
+  s.transfer_scaling = core::TransferScaling::kPerTask;
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  const sim::DcsSimulator simulator(s);
+  random::Rng rng(1);
+  const auto r = simulator.run(policy, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.completion_time, 6.0 + 3.0, 1e-12);
+}
+
+TEST(PerTaskScaling, ConvolutionMatchesMonteCarlo) {
+  const core::DcsScenario s = per_task_scenario(16, 8, 1.5);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 6);
+  const core::ConvolutionSolver solver;
+  const double analytic =
+      solver.mean_execution_time(core::apply_policy(s, policy));
+  sim::MonteCarloOptions mc;
+  mc.replications = 30'000;
+  mc.seed = 77;
+  const auto metrics = sim::run_monte_carlo(s, policy, mc);
+  ASSERT_TRUE(metrics.all_completed);
+  EXPECT_NEAR(analytic, metrics.mean_completion_time.center,
+              std::max(0.01 * analytic,
+                       3.5 * metrics.mean_completion_time.half_width()));
+}
+
+TEST(PerTaskScaling, MarkovianSolverUsesGroupMean) {
+  // All-exponential per-task scenario: the Markovian solver's group rate
+  // must be 1/(L·z̄); verify against Monte Carlo of an equivalent scenario
+  // whose group transfer is a single exponential with mean L·z̄.
+  const core::DcsScenario s = per_task_scenario(6, 3, 1.0);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 4);
+  const core::MarkovianSolver solver(s);
+  const double markov_mean = solver.mean_execution_time(policy);
+  std::vector<core::ServerSpec> servers = {
+      {6, dist::Exponential::with_mean(2.0), nullptr},
+      {3, dist::Exponential::with_mean(1.0), nullptr}};
+  core::DcsScenario grouped = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(4.0),
+      dist::Exponential::with_mean(0.2));
+  const core::MarkovianSolver grouped_solver(grouped);
+  EXPECT_NEAR(markov_mean, grouped_solver.mean_execution_time(policy), 1e-9);
+}
+
+TEST(PerTaskScaling, MarkovianEvaluatorMatchesMarkovianSolver) {
+  const core::DcsScenario s = per_task_scenario(8, 4, 1.0);
+  const auto evaluator = policy::make_markovian_evaluator(
+      s, policy::Objective::kMeanExecutionTime);
+  const core::MarkovianSolver solver(s);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  EXPECT_NEAR(evaluator(policy), solver.mean_execution_time(policy), 0.1);
+}
+
+TEST(PerTaskScaling, RegenSolverUsesSumLaw) {
+  // Small per-task configuration against the convolution solver.
+  const core::DcsScenario s = per_task_scenario(2, 1, 1.0);
+  core::DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const core::RegenerativeSolver regen(s);
+  const core::ConvolutionSolver conv;
+  const double reference =
+      conv.mean_execution_time(core::apply_policy(s, policy));
+  EXPECT_NEAR(regen.mean_execution_time(policy), reference, 0.03 * reference);
+}
+
+TEST(PerTaskScaling, SevereDelayShrinksOptimalReallocation) {
+  // The paper's central qualitative conclusion: as the per-task transfer
+  // delay grows, the optimal number of reallocated tasks falls.
+  const auto optimum = [](double z_per_task) {
+    const core::DcsScenario s = per_task_scenario(30, 0, z_per_task);
+    const auto eval = policy::make_age_dependent_evaluator(
+        s, policy::Objective::kMeanExecutionTime);
+    const policy::TwoServerPolicySearch search(30, 0);
+    ThreadPool pool(4);
+    return search
+        .optimize(eval, policy::Objective::kMeanExecutionTime, &pool)
+        .l12;
+  };
+  const int low = optimum(0.2);
+  const int severe = optimum(9.0);
+  EXPECT_GT(low, severe);
+  EXPECT_GT(low, 8);  // fast network: offload a sizeable share
+}
+
+}  // namespace
+}  // namespace agedtr

@@ -1,0 +1,150 @@
+// The emulated Internet testbed and its characterization pipeline
+// (Section III-B / Fig. 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/stats/summary.hpp"
+#include "agedtr/testbed/testbed.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::testbed {
+namespace {
+
+TEST(Testbed, ScenarioMatchesPaperMeans) {
+  const core::DcsScenario s = make_testbed_scenario();
+  EXPECT_NEAR(s.servers[0].service->mean(), 4.858, 1e-9);
+  EXPECT_NEAR(s.servers[1].service->mean(), 2.357, 1e-9);
+  EXPECT_NEAR(s.transfer[0][1]->mean(), 1.207, 1e-9);
+  EXPECT_NEAR(s.transfer[1][0]->mean(), 0.803, 1e-9);
+  EXPECT_NEAR(s.fn_transfer[0][1]->mean(), 0.313, 1e-9);
+  EXPECT_NEAR(s.fn_transfer[1][0]->mean(), 0.145, 1e-9);
+  EXPECT_NEAR(s.servers[0].failure->mean(), 300.0, 1e-9);
+  EXPECT_NEAR(s.servers[1].failure->mean(), 150.0, 1e-9);
+  EXPECT_EQ(s.servers[0].initial_tasks, 50);
+  EXPECT_EQ(s.servers[1].initial_tasks, 25);
+}
+
+TEST(Testbed, ScenarioFamiliesMatchPaperFits) {
+  const core::DcsScenario s = make_testbed_scenario();
+  EXPECT_EQ(s.servers[0].service->name(), "pareto");
+  EXPECT_EQ(s.transfer[0][1]->name(), "shifted_gamma");
+  EXPECT_EQ(s.fn_transfer[1][0]->name(), "shifted_gamma");
+  EXPECT_TRUE(s.servers[0].failure->is_memoryless());
+}
+
+TEST(Testbed, MeasurementsHaveRoughlyTheRightMean) {
+  // The service law is heavy-tailed (α = 1.2), so finite-sample means are
+  // biased low with large fluctuations; bound loosely and check the bulk
+  // via the median, which concentrates fast.
+  const core::DcsScenario truth = make_testbed_scenario();
+  auto samples = measure(truth, MeasuredTime::kService1, 5000, 42);
+  const auto summary = stats::summarize(samples);
+  EXPECT_GT(summary.mean, 2.0);
+  EXPECT_LT(summary.mean, 12.0);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2],
+              truth.servers[0].service->quantile(0.5), 0.15);
+  for (double x : samples) EXPECT_GT(x, 0.0);
+}
+
+TEST(Testbed, MeasurementJitterCanBeDisabled) {
+  TestbedOptions opts;
+  opts.measurement_jitter_sigma = 0.0;
+  const core::DcsScenario truth = make_testbed_scenario(opts);
+  const auto samples =
+      measure(truth, MeasuredTime::kTransfer12, 2000, 7, opts);
+  // Without jitter no sample can undercut the shifted-Gamma shift.
+  const double shift = truth.transfer[0][1]->lower_bound();
+  for (double x : samples) EXPECT_GE(x, shift - 1e-12);
+}
+
+TEST(Testbed, MeasurementsAreDeterministicPerSeed) {
+  const core::DcsScenario truth = make_testbed_scenario();
+  const auto a = measure(truth, MeasuredTime::kFn12, 100, 5);
+  const auto b = measure(truth, MeasuredTime::kFn12, 100, 5);
+  EXPECT_EQ(a, b);
+  const auto c = measure(truth, MeasuredTime::kFn21, 100, 5);
+  EXPECT_NE(a, c);
+}
+
+TEST(Testbed, CharacterizationRecoversMeans) {
+  const CharacterizedTestbed ct = characterize_testbed(4000, 11);
+  // Heavy-tailed service: the *derived* mean of the fitted Pareto is noisy
+  // (it hinges on α̂ − 1); grant ±40%. Transfer laws are light-tailed and
+  // recover tightly.
+  EXPECT_NEAR(ct.fitted.servers[0].service->mean(), 4.858, 0.4 * 4.858);
+  EXPECT_NEAR(ct.fitted.servers[1].service->mean(), 2.357, 0.4 * 2.357);
+  EXPECT_NEAR(ct.fitted.transfer[0][1]->mean(), 1.207, 0.1);
+  EXPECT_NEAR(ct.fitted.transfer[1][0]->mean(), 0.803, 0.1);
+}
+
+TEST(Testbed, CharacterizationKeepsWorkloadAndFailures) {
+  const CharacterizedTestbed ct = characterize_testbed(2000, 12);
+  EXPECT_EQ(ct.fitted.servers[0].initial_tasks, 50);
+  EXPECT_NEAR(ct.fitted.servers[0].failure->mean(), 300.0, 1e-9);
+}
+
+TEST(Testbed, SelectionProducesGoodFitsPerQuantity) {
+  // Shape families can be confusable at finite samples (the paper itself
+  // selected by histogram distance); we require the *fit quality* to be
+  // good rather than the label to be exact.
+  const CharacterizedTestbed ct = characterize_testbed(4000, 13);
+  for (const Characterization* c :
+       {&ct.service1, &ct.service2, &ct.transfer12, &ct.transfer21}) {
+    EXPECT_LT(c->selection.best().ks, 0.08);
+  }
+}
+
+TEST(Testbed, ExperimentReliabilityIsAProbability) {
+  const core::DcsScenario truth = make_testbed_scenario();
+  const auto ci =
+      run_experiment(truth, policy::make_two_server_policy(26, 0), 500, 3);
+  EXPECT_GE(ci.center, 0.0);
+  EXPECT_LE(ci.center, 1.0);
+  EXPECT_GT(ci.upper, ci.lower);
+}
+
+TEST(Testbed, PaperPolicyBeatsNoReallocation) {
+  // Fig. 4(c): the paper's policy (L12 = 26) beats doing nothing. Note the
+  // paper's parameters balance the per-task reliability costs almost
+  // exactly (4.858/300 ≈ 2.357/150), so the landscape is nearly flat; the
+  // paper's reported ~15% no-reallocation penalty implies an imbalance its
+  // unstated shape parameters carried (recorded in EXPERIMENTS.md). Here we
+  // assert the direction and the knife-edge flatness.
+  const core::DcsScenario truth = make_testbed_scenario();
+  const core::ConvolutionSolver solver;
+  const double with_policy = solver.reliability(
+      core::apply_policy(truth, policy::make_two_server_policy(26, 0)));
+  const double without = solver.reliability(
+      core::apply_policy(truth, policy::make_two_server_policy(0, 0)));
+  EXPECT_GT(with_policy, without);
+  EXPECT_LT(with_policy - without, 0.10);  // knife-edge: gains are small
+}
+
+TEST(Testbed, TheoreticalReliabilityNearPaperValue) {
+  // The paper predicts R_∞ ≈ 0.6007 at (L12, L21) = (26, 0). Our unstated
+  // shape parameters differ from the authors', so demand the right
+  // neighbourhood rather than the exact figure.
+  const core::DcsScenario truth = make_testbed_scenario();
+  const core::ConvolutionSolver solver;
+  const double r = solver.reliability(
+      core::apply_policy(truth, policy::make_two_server_policy(26, 0)));
+  EXPECT_GT(r, 0.35);
+  EXPECT_LT(r, 0.80);
+}
+
+TEST(Testbed, RejectsBadConfiguration) {
+  TestbedOptions opts;
+  opts.transfer_shift_fraction = 1.5;
+  EXPECT_THROW(make_testbed_scenario(opts), InvalidArgument);
+  const core::DcsScenario truth = make_testbed_scenario();
+  EXPECT_THROW(measure(truth, MeasuredTime::kService1, 1, 1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::testbed

@@ -1,0 +1,108 @@
+// The speed/reliability trade-off machinery (the paper's Section III-A
+// closing proposal).
+#include <gtest/gtest.h>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/tradeoff.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+core::DcsScenario conflicted_scenario() {
+  // Server 1: slow but dependable; server 2: fast but fragile — the exact
+  // conflict the paper describes between speed and reliability policies.
+  std::vector<core::ServerSpec> servers = {
+      {24, dist::make_model_distribution(dist::ModelFamily::kPareto1, 2.0),
+       dist::Exponential::with_mean(500.0)},
+      {6, dist::make_model_distribution(dist::ModelFamily::kPareto1, 0.5),
+       dist::Exponential::with_mean(25.0)}};
+  return core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(dist::ModelFamily::kPareto1, 0.5),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(Tradeoff, FrontierIsMonotone) {
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 2);
+  ASSERT_GE(analysis.frontier.size(), 2u);
+  for (std::size_t i = 1; i < analysis.frontier.size(); ++i) {
+    // Sorted by ascending time; reliability must strictly improve (that is
+    // what being on the frontier means).
+    EXPECT_GE(analysis.frontier[i].mean_execution_time,
+              analysis.frontier[i - 1].mean_execution_time);
+    EXPECT_GT(analysis.frontier[i].reliability,
+              analysis.frontier[i - 1].reliability);
+  }
+}
+
+TEST(Tradeoff, FrontierDominatesInteriorPoints) {
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 3);
+  for (const TradeoffPoint& p : analysis.points) {
+    bool dominated_or_on_frontier = false;
+    for (const TradeoffPoint& f : analysis.frontier) {
+      if (f.mean_execution_time <= p.mean_execution_time + 1e-12 &&
+          f.reliability >= p.reliability - 1e-12) {
+        dominated_or_on_frontier = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_or_on_frontier)
+        << "point (" << p.l12 << "," << p.l21 << ") undominated but absent";
+  }
+}
+
+TEST(Tradeoff, SpeedAndReliabilityGenuinelyConflict) {
+  // The fastest policy and the most reliable policy must differ — the
+  // premise of the paper's trade-off discussion.
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 2);
+  const TradeoffPoint& fastest = analysis.frontier.front();
+  const TradeoffPoint& most_reliable = analysis.frontier.back();
+  EXPECT_GT(most_reliable.mean_execution_time,
+            fastest.mean_execution_time);
+  EXPECT_GT(most_reliable.reliability, fastest.reliability);
+  EXPECT_TRUE(fastest.l12 != most_reliable.l12 ||
+              fastest.l21 != most_reliable.l21);
+}
+
+TEST(Tradeoff, WeightedCompromiseSpansTheFrontier) {
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 2);
+  const TradeoffPoint& speedy = analysis.weighted_compromise(1.0);
+  const TradeoffPoint& dependable = analysis.weighted_compromise(0.0);
+  EXPECT_NEAR(speedy.mean_execution_time,
+              analysis.frontier.front().mean_execution_time, 1e-9);
+  EXPECT_NEAR(dependable.reliability, analysis.frontier.back().reliability,
+              1e-9);
+  // An interior λ gives something between the extremes.
+  const TradeoffPoint& mid = analysis.weighted_compromise(0.5);
+  EXPECT_GE(mid.mean_execution_time,
+            speedy.mean_execution_time - 1e-9);
+  EXPECT_LE(mid.mean_execution_time,
+            dependable.mean_execution_time + 1e-9);
+}
+
+TEST(Tradeoff, TimeBudgetSelection) {
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 2);
+  const TradeoffPoint& within_5pct = analysis.best_within_time_budget(1.05);
+  const TradeoffPoint& within_50pct = analysis.best_within_time_budget(1.50);
+  EXPECT_LE(within_5pct.mean_execution_time,
+            1.05 * analysis.frontier.front().mean_execution_time + 1e-9);
+  EXPECT_GE(within_50pct.reliability, within_5pct.reliability - 1e-12);
+  EXPECT_THROW(analysis.best_within_time_budget(0.9), InvalidArgument);
+}
+
+TEST(Tradeoff, RequiresFailureLaws) {
+  core::DcsScenario reliable = conflicted_scenario();
+  for (auto& s : reliable.servers) s.failure = nullptr;
+  EXPECT_THROW(tradeoff_analysis(reliable, 2), InvalidArgument);
+}
+
+TEST(Tradeoff, RejectsBadArguments) {
+  EXPECT_THROW(tradeoff_analysis(conflicted_scenario(), 0), InvalidArgument);
+  const auto analysis = tradeoff_analysis(conflicted_scenario(), 6);
+  EXPECT_THROW(analysis.weighted_compromise(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace agedtr::policy

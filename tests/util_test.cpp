@@ -1,0 +1,201 @@
+// Unit tests for agedtr_util: strings, tables, CLI parsing, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimRemovesWhitespaceBothSides) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, FormatDoubleFixedRange) {
+  EXPECT_EQ(format_double(1.5, 3), "1.50");
+  EXPECT_EQ(format_double(0.0), "0.0000");
+  EXPECT_EQ(format_double(140.11, 5), "140.11");
+}
+
+TEST(Strings, FormatDoubleSpecials) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(Strings, FormatDoubleScientificForExtremes) {
+  EXPECT_NE(format_double(1e-9).find('e'), std::string::npos);
+  EXPECT_NE(format_double(1e12).find('e'), std::string::npos);
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad("x", 3, true), "  x");
+  EXPECT_EQ(pad("x", 3, false), "x  ");
+  EXPECT_EQ(pad("xyz", 2, true), "xyz");
+}
+
+TEST(Table, RowBuilderAndShape) {
+  Table t({"a", "b"});
+  t.begin_row().cell("x").cell(1.25, 3);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.data()[0][1], "1.25");
+}
+
+TEST(Table, RejectsWrongRowSize) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"h"});
+  t.add_row({"va\"l,ue"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "h\n\"va\"\"l,ue\"\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "22.75"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  // Numeric column is right-aligned.
+  EXPECT_NE(out.find("|   1.5 |"), std::string::npos);
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("test");
+  cli.add_option("alpha", "1.5", "tail index");
+  cli.add_option("name", "x", "label");
+  cli.add_flag("verbose", "extra output");
+  const char* argv[] = {"prog", "--alpha=2.5", "--name", "y", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 2.5);
+  EXPECT_EQ(cli.get_string("name"), "y");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("test");
+  cli.add_option("n", "100", "count");
+  cli.add_flag("fast", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 100);
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, RejectsBadNumber) {
+  CliParser cli("test");
+  cli.add_option("n", "1", "");
+  const char* argv[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("n"), InvalidArgument);
+}
+
+TEST(Cli, PositionalArguments) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "input.csv", "out.csv"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FuturePropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 1.0);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    AGEDTR_REQUIRE(1 == 2, "impossible");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace agedtr
