@@ -1,0 +1,274 @@
+// Graceful-degradation sweep: how the paper-optimal reliability policy
+// holds up as the paper's model assumptions are violated.
+//
+// Stage 1 finds the reliability-optimal (L12, L21) on the Section III
+// two-server system through the ResilientEvaluator fallback chain
+// (Regenerative → Convolution → Markovian → Monte-Carlo) and reports which
+// tier answered each policy evaluation — on paper-scale workloads the
+// reference recursion declines its depth budget and the convolution tier
+// answers, with no exception escaping the search.
+//
+// Stage 2 scales a FaultPlan (lossy network with retransmissions,
+// common-cause shocks, transient stalls) by an intensity λ and Monte-Carlo
+// re-estimates, at every λ:
+//   * R̂_∞ of the paper-optimal policy (at λ = 0 this reproduces the seed
+//     model's Table-I reliability, cross-checked against the analytic
+//     solver), and
+//   * the best policy on a coarse (L12, L21) grid under the faults, giving
+//     the regret of shipping the paper-optimal policy into the faulty
+//     world.
+//
+// Output: tier-usage table, per-intensity table, degradation_sweep.csv.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "agedtr/policy/resilient_eval.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using dist::ModelFamily;
+
+namespace {
+
+/// The λ = 1 fault mix; scale_fault_plan produces every other intensity.
+sim::FaultPlan base_fault_plan() {
+  sim::FaultPlan plan;
+  plan.group_channel.drop_probability = 0.05;
+  plan.group_channel.retransmit_timeout = 10.0;
+  plan.group_channel.backoff_factor = 2.0;
+  plan.group_channel.max_retries = 5;
+  plan.fn_channel.drop_probability = 0.10;
+  plan.fn_channel.retransmit_timeout = 1.0;
+  plan.fn_channel.max_retries = 3;
+  plan.shock_rate = 1.0 / 1500.0;
+  plan.shock_kill_probability = 0.3;
+  plan.stall_rate = 1.0 / 400.0;
+  plan.stall_duration = dist::Exponential::with_mean(30.0);
+  return plan;
+}
+
+struct GridPoint {
+  int l12 = 0;
+  int l21 = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "degradation sweep: reliability and regret of the paper-optimal "
+      "policy as model-assumption violations intensify");
+  cli.add_option("model", "exponential", "service/transfer model family");
+  cli.add_option("delay", "severe", "network delay regime (low|severe)");
+  cli.add_option("step", "5", "policy grid step for the optimal search");
+  cli.add_option("coarse-step", "25",
+                 "policy grid step for the under-fault search");
+  cli.add_option("replications", "4000",
+                 "Monte-Carlo replications for the headline estimates");
+  cli.add_option("search-replications", "1000",
+                 "replications per policy in the under-fault search");
+  cli.add_option("intensities", "0,0.5,1,2,4",
+                 "comma-separated fault intensities (0 = the seed model)");
+  cli.add_option("seed", "20100913", "Monte-Carlo seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
+  const bench::Delay delay = cli.get_string("delay") == "low"
+                                 ? bench::Delay::kLow
+                                 : bench::Delay::kSevere;
+  const int step = static_cast<int>(cli.get_int("step"));
+  const int coarse_step = static_cast<int>(cli.get_int("coarse-step"));
+  const auto replications =
+      static_cast<std::size_t>(cli.get_int("replications"));
+  const auto search_replications =
+      static_cast<std::size_t>(cli.get_int("search-replications"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<double> intensities;
+  for (const std::string& tok : split(cli.get_string("intensities"), ',')) {
+    intensities.push_back(std::stod(tok));
+  }
+
+  Stopwatch watch;
+  ThreadPool& pool = ThreadPool::global();
+  const core::DcsScenario scenario =
+      bench::two_server_scenario(family, delay, /*failures=*/true);
+  const int m1 = scenario.servers[0].initial_tasks;
+  const int m2 = scenario.servers[1].initial_tasks;
+
+  // --- Stage 1: paper-optimal policy through the fallback chain. ---------
+  policy::ResilientEvalOptions eval_options;
+  eval_options.objective = policy::Objective::kReliability;
+  const policy::ResilientEvaluator resilient(scenario, eval_options);
+
+  std::vector<GridPoint> grid;
+  for (int l12 = 0; l12 <= m1; l12 += step) {
+    for (int l21 = 0; l21 <= m2; l21 += step) {
+      grid.push_back({l12, l21});
+    }
+  }
+  std::vector<policy::EvalOutcome> outcomes(grid.size());
+  pool.parallel_for(0, grid.size(), [&](std::size_t i) {
+    outcomes[i] = resilient.evaluate(
+        policy::make_two_server_policy(grid[i].l12, grid[i].l21));
+  });
+
+  policy::EvalTally tally;
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    tally.record(outcomes[i]);
+    if (outcomes[i].ok &&
+        (!outcomes[best_index].ok ||
+         outcomes[i].value > outcomes[best_index].value)) {
+      best_index = i;
+    }
+  }
+  const GridPoint paper_opt = grid[best_index];
+  const double paper_opt_analytic = outcomes[best_index].value;
+
+  std::cout << "Paper-optimal reliability policy (" << bench::delay_name(delay)
+            << " delay, " << dist::model_family_name(family)
+            << "): L12 = " << paper_opt.l12 << ", L21 = " << paper_opt.l21
+            << ", R-inf = " << format_double(paper_opt_analytic, 4) << "\n\n";
+
+  Table tier_table({"tier", "answered", "declined"});
+  for (std::size_t t = 0; t < policy::kEvalTierCount; ++t) {
+    tier_table.begin_row()
+        .cell(policy::eval_tier_name(static_cast<policy::EvalTier>(t)))
+        .cell(static_cast<long long>(tally.answered[t]))
+        .cell(static_cast<long long>(tally.declined[t]));
+  }
+  std::cout << "Fallback-chain usage over " << tally.evaluations
+            << " policy evaluations (failures: " << tally.total_failures
+            << "):\n";
+  tier_table.print(std::cout);
+
+  // --- Stage 2: the degradation sweep. -----------------------------------
+  const sim::FaultPlan base = base_fault_plan();
+  const core::DtrPolicy paper_policy =
+      policy::make_two_server_policy(paper_opt.l12, paper_opt.l21);
+
+  std::vector<GridPoint> coarse;
+  for (int l12 = 0; l12 <= m1; l12 += coarse_step) {
+    for (int l21 = 0; l21 <= m2; l21 += coarse_step) {
+      coarse.push_back({l12, l21});
+    }
+  }
+  // The paper-optimal point joins the coarse grid so the regret estimate
+  // compares like with like (same replication count, same streams).
+  if (std::none_of(coarse.begin(), coarse.end(), [&](const GridPoint& p) {
+        return p.l12 == paper_opt.l12 && p.l21 == paper_opt.l21;
+      })) {
+    coarse.push_back(paper_opt);
+  }
+
+  Table sweep({"intensity", "R-inf paper-opt", "ci half-width",
+               "R-inf fault-best", "best L12", "best L21", "regret",
+               "truncated", "retransmissions", "shocks", "stalls"});
+  Table csv({"intensity", "r_paper_opt", "r_lower", "r_upper", "r_fault_best",
+             "best_l12", "best_l21", "regret", "truncated",
+             "group_retransmissions", "tasks_lost_in_network", "shocks",
+             "shock_failures", "stalls", "total_stall_time"});
+
+  double previous_r = 1.0;
+  bool monotone = true;
+  for (const double intensity : intensities) {
+    const sim::FaultPlan plan = scale_fault_plan(base, intensity);
+
+    sim::MonteCarloOptions mc;
+    mc.replications = replications;
+    mc.seed = seed;
+    mc.pool = &pool;
+    mc.simulator.faults = plan;
+    const sim::MonteCarloMetrics headline =
+        sim::run_monte_carlo(scenario, paper_policy, mc);
+
+    // Under-fault policy search on the coarse grid (sequential over
+    // policies; each run_monte_carlo fans replications over the pool).
+    sim::MonteCarloOptions search_mc = mc;
+    search_mc.replications = search_replications;
+    double best_r = -1.0;
+    double paper_r_search = 0.0;
+    GridPoint best = paper_opt;
+    for (const GridPoint& p : coarse) {
+      const double r =
+          sim::run_monte_carlo(
+              scenario, policy::make_two_server_policy(p.l12, p.l21),
+              search_mc)
+              .reliability.center;
+      if (p.l12 == paper_opt.l12 && p.l21 == paper_opt.l21) {
+        paper_r_search = r;
+      }
+      if (r > best_r) {
+        best_r = r;
+        best = p;
+      }
+    }
+    const double regret = best_r - paper_r_search;
+
+    const double r = headline.reliability.center;
+    if (r > previous_r + 1e-9) monotone = false;
+    previous_r = r;
+
+    const sim::FaultStats& f = headline.fault_totals;
+    sweep.begin_row()
+        .cell(intensity, 2)
+        .cell(r)
+        .cell(headline.reliability.half_width())
+        .cell(best_r)
+        .cell(best.l12)
+        .cell(best.l21)
+        .cell(regret)
+        .cell(static_cast<long long>(headline.truncated))
+        .cell(static_cast<long long>(f.group_retransmissions +
+                                     f.fn_retransmissions))
+        .cell(static_cast<long long>(f.shocks))
+        .cell(static_cast<long long>(f.stalls));
+    csv.begin_row()
+        .cell(intensity, 4)
+        .cell(r, 6)
+        .cell(headline.reliability.lower, 6)
+        .cell(headline.reliability.upper, 6)
+        .cell(best_r, 6)
+        .cell(best.l12)
+        .cell(best.l21)
+        .cell(regret, 6)
+        .cell(static_cast<long long>(headline.truncated))
+        .cell(static_cast<long long>(f.group_retransmissions))
+        .cell(static_cast<long long>(f.tasks_lost_in_network))
+        .cell(static_cast<long long>(f.shocks))
+        .cell(static_cast<long long>(f.shock_failures))
+        .cell(static_cast<long long>(f.stalls))
+        .cell(f.total_stall_time, 2);
+
+    if (intensity == 0.0) {
+      std::cout << "\nZero-fault cross-check: analytic R-inf = "
+                << format_double(paper_opt_analytic, 4)
+                << ", Monte-Carlo R-inf = " << format_double(r, 4)
+                << " (|diff| = "
+                << format_double(std::fabs(r - paper_opt_analytic), 4)
+                << ", CI half-width = "
+                << format_double(headline.reliability.half_width(), 4)
+                << ")\n";
+    }
+  }
+
+  std::cout << "\nDegradation of the paper-optimal policy (L12 = "
+            << paper_opt.l12 << ", L21 = " << paper_opt.l21 << "):\n";
+  sweep.print(std::cout);
+  std::cout << (monotone ? "R-inf degrades monotonically with intensity.\n"
+                         : "WARNING: R-inf is not monotone in intensity "
+                           "(raise --replications).\n");
+  csv.write_csv_file("degradation_sweep.csv");
+  std::cout << "CSV series written to degradation_sweep.csv ("
+            << format_double(watch.elapsed_seconds(), 1) << " s total)\n";
+  return 0;
+}

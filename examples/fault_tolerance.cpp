@@ -1,0 +1,112 @@
+// Fault tolerance walkthrough: (1) evaluate a policy through the
+// graceful-degradation fallback chain and watch the tiers decline under
+// ever-tighter budgets; (2) inject network loss, common-cause shocks, and
+// transient stalls into the simulator and watch the reliability of the
+// paper-optimal policy erode as the fault intensity grows.
+//
+//   ./fault_tolerance [--reps=2000 --l12=40 --l21=0]
+#include <iostream>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/resilient_eval.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+
+using namespace agedtr;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fault tolerance: the solver fallback chain and the fault-injection "
+      "simulator on the paper's two-server system");
+  cli.add_option("reps", "2000", "Monte-Carlo replications per estimate");
+  cli.add_option("l12", "40", "tasks reallocated from server 1 to 2");
+  cli.add_option("l21", "0", "tasks reallocated from server 2 to 1");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const int l12 = static_cast<int>(cli.get_int("l12"));
+  const int l21 = static_cast<int>(cli.get_int("l21"));
+
+  // The paper's severe-delay two-server system (Section III-A1) with
+  // exponentially failing servers.
+  std::vector<core::ServerSpec> servers = {
+      {100, dist::Exponential::with_mean(2.0),
+       dist::Exponential::with_mean(1000.0)},
+      {50, dist::Exponential::with_mean(1.0),
+       dist::Exponential::with_mean(500.0)}};
+  core::DcsScenario scenario = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(9.0),
+      dist::Exponential::with_mean(1.0));
+  scenario.transfer_scaling = core::TransferScaling::kPerTask;
+  const core::DtrPolicy policy = policy::make_two_server_policy(l12, l21);
+
+  // --- 1. The fallback chain under three budget regimes. -----------------
+  // Default budgets: the reference recursion declines (the 150-task system
+  // is far past its depth budget) and the convolution tier answers.
+  std::cout << "=== Fallback chain ===\n";
+  {
+    policy::ResilientEvaluator eval(scenario, {});
+    std::cout << "default budgets      : "
+              << eval.evaluate(policy).describe() << "\n";
+  }
+  // Starve the convolution tier too (1 microsecond of wall clock): the
+  // chain degrades to the Markovian baseline.
+  {
+    policy::ResilientEvalOptions options;
+    options.convolution.budget.max_seconds = 1e-6;
+    policy::ResilientEvaluator eval(scenario, options);
+    std::cout << "starved convolution  : "
+              << eval.evaluate(policy).describe() << "\n";
+  }
+  // Cap the Markovian state space at 1: only Monte-Carlo remains.
+  {
+    policy::ResilientEvalOptions options;
+    options.convolution.budget.max_seconds = 1e-6;
+    options.markovian_max_states = 1;
+    options.monte_carlo.replications = reps;
+    policy::ResilientEvaluator eval(scenario, options);
+    const policy::EvalOutcome outcome = eval.evaluate(policy);
+    std::cout << "capped markovian     : " << outcome.describe() << "\n";
+    std::cout << "last-resort estimate : R-inf = "
+              << format_double(outcome.value, 4) << "\n\n";
+  }
+
+  // --- 2. Fault injection: reliability under growing fault intensity. ----
+  sim::FaultPlan base;
+  base.group_channel.drop_probability = 0.05;
+  base.group_channel.retransmit_timeout = 10.0;
+  base.group_channel.max_retries = 5;
+  base.fn_channel.drop_probability = 0.10;
+  base.fn_channel.retransmit_timeout = 1.0;
+  base.shock_rate = 1.0 / 1500.0;
+  base.shock_kill_probability = 0.3;
+  base.stall_rate = 1.0 / 400.0;
+  base.stall_duration = dist::Exponential::with_mean(30.0);
+
+  std::cout << "=== Fault injection (policy L12=" << l12 << ", L21=" << l21
+            << ", " << reps << " replications) ===\n";
+  Table table({"intensity", "R-inf", "95% CI half-width", "retransmissions",
+               "shock failures", "stalls"});
+  for (const double intensity : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    sim::MonteCarloOptions mc;
+    mc.replications = reps;
+    mc.simulator.faults = scale_fault_plan(base, intensity);
+    const sim::MonteCarloMetrics metrics =
+        sim::run_monte_carlo(scenario, policy, mc);
+    table.begin_row()
+        .cell(intensity, 2)
+        .cell(metrics.reliability.center)
+        .cell(metrics.reliability.half_width())
+        .cell(static_cast<long long>(
+            metrics.fault_totals.group_retransmissions +
+            metrics.fault_totals.fn_retransmissions))
+        .cell(static_cast<long long>(metrics.fault_totals.shock_failures))
+        .cell(static_cast<long long>(metrics.fault_totals.stalls));
+  }
+  table.print(std::cout);
+  std::cout << "At intensity 0 the injectors are inert and the simulator "
+               "reproduces the seed model exactly.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Builds the full tree under ASan+UBSan and (optionally) TSan and runs the
+# test suite under each. Usage:
+#
+#   scripts/run_sanitizers.sh            # address+undefined only
+#   scripts/run_sanitizers.sh --tsan     # also the thread-sanitizer pass
+#   scripts/run_sanitizers.sh -j 8       # cap build/test parallelism
+#
+# Each configuration builds out-of-tree in build-asan/ / build-tsan/ so the
+# regular build/ directory is left untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+run_tsan=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tsan) run_tsan=1 ;;
+    -j) jobs="$2"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+run_config() {
+  local name="$1" sanitizers="$2" env_setup="$3"
+  echo "=== ${name}: configure (-DAGEDTR_SANITIZE=${sanitizers}) ==="
+  cmake -B "build-${name}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAGEDTR_SANITIZE="${sanitizers}" >/dev/null
+  echo "=== ${name}: build ==="
+  cmake --build "build-${name}" -j "${jobs}"
+  echo "=== ${name}: ctest ==="
+  (cd "build-${name}" && eval "${env_setup}" && ctest --output-on-failure -j "${jobs}")
+}
+
+# halt_on_error keeps the first report, abort_on_error gives ctest a
+# nonzero exit; detect_leaks needs ptrace, which some CI sandboxes deny.
+run_config asan "address;undefined" \
+  "export ASAN_OPTIONS=abort_on_error=1:detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1"
+
+if [[ "${run_tsan}" -eq 1 ]]; then
+  run_config tsan "thread" \
+    "export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1"
+fi
+
+echo "All sanitizer passes clean."

@@ -225,11 +225,13 @@ double ConvolutionSolver::mean_execution_time(
                    "defined for completely reliable servers");
   }
   ensure_grid(workloads);
+  const BudgetTimer timer(options_.budget);
   std::vector<LatticeDensity> completions;
   completions.reserve(workloads.size());
   double correction = 0.0;
   for (const ServerWorkload& w : workloads) {
     if (w.total_tasks() == 0) continue;  // contributes F ≡ 1
+    timer.check("ConvolutionSolver");
     completions.push_back(completion_density(w));
     correction += tail_mean_correction(w, completions.back());
   }
@@ -273,10 +275,12 @@ ConvolutionSolver::ExecutionTimeLaw ConvolutionSolver::execution_time_law(
     }
   }
   ensure_grid(workloads);
+  const BudgetTimer timer(options_.budget);
   std::vector<LatticeDensity> completions;
   double correction = 0.0;
   for (const ServerWorkload& w : workloads) {
     if (w.total_tasks() == 0) continue;
+    timer.check("ConvolutionSolver");
     completions.push_back(completion_density(w));
     correction += tail_mean_correction(w, completions.back());
   }
@@ -317,10 +321,12 @@ std::vector<ConvolutionSolver::ServerUsage> ConvolutionSolver::server_usage(
     const std::vector<ServerWorkload>& workloads) const {
   AGEDTR_REQUIRE(!workloads.empty(), "server_usage: no servers");
   ensure_grid(workloads);
+  const BudgetTimer timer(options_.budget);
   std::vector<ServerUsage> usage(workloads.size());
   for (std::size_t j = 0; j < workloads.size(); ++j) {
     const ServerWorkload& w = workloads[j];
     if (w.total_tasks() == 0) continue;
+    timer.check("ConvolutionSolver");
     usage[j].expected_busy_time =
         static_cast<double>(w.total_tasks()) * w.service->mean();
     const LatticeDensity completion = completion_density(w);
@@ -357,9 +363,11 @@ double ConvolutionSolver::qos(const std::vector<ServerWorkload>& workloads,
   AGEDTR_REQUIRE(!workloads.empty(), "qos: no servers");
   AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
   ensure_grid(workloads);
+  const BudgetTimer timer(options_.budget);
   double prob = 1.0;
   for (const ServerWorkload& w : workloads) {
     if (w.total_tasks() == 0) continue;
+    timer.check("ConvolutionSolver");
     const LatticeDensity c = completion_density(w);
     const auto limit = static_cast<std::size_t>(
         std::min(deadline / c.dt(), static_cast<double>(c.size())));
@@ -383,10 +391,12 @@ double ConvolutionSolver::reliability(
     const std::vector<ServerWorkload>& workloads) const {
   AGEDTR_REQUIRE(!workloads.empty(), "reliability: no servers");
   ensure_grid(workloads);
+  const BudgetTimer timer(options_.budget);
   double prob = 1.0;
   for (const ServerWorkload& w : workloads) {
     if (w.total_tasks() == 0) continue;  // nothing to lose on this server
     if (!w.failure) continue;            // reliable server always finishes
+    timer.check("ConvolutionSolver");
     const LatticeDensity c = completion_density(w);
     const dist::Distribution& y = *w.failure;
     double factor = 0.0;

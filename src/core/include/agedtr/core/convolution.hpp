@@ -33,6 +33,7 @@
 
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/numerics/lattice.hpp"
+#include "agedtr/util/budget.hpp"
 
 namespace agedtr::core {
 
@@ -50,6 +51,12 @@ struct ConvolutionOptions {
   /// How servers with more than one inbound group are treated.
   enum class MultiGroup { kBatchMax, kBatchMin, kReject } multi_group =
       MultiGroup::kBatchMax;
+  /// Per-call resource caps: budget.max_seconds bounds the wall clock of
+  /// each public metric call (checked between per-server convolution
+  /// stages), throwing BudgetExceeded on overrun so fallback layers can
+  /// degrade instead of hanging. budget.max_depth is ignored (the solver is
+  /// not recursive).
+  EvalBudget budget;
 };
 
 class ConvolutionSolver {

@@ -22,6 +22,7 @@
 
 #include "agedtr/core/regeneration.hpp"
 #include "agedtr/core/scenario.hpp"
+#include "agedtr/util/budget.hpp"
 
 namespace agedtr::core {
 
@@ -31,8 +32,14 @@ struct RegenSolverOptions {
   /// Race-survival level treated as zero when choosing the horizon.
   double survival_eps = 1e-9;
   /// Recursion depth guard; exceeding it indicates a configuration too large
-  /// for the reference solver.
+  /// for the reference solver and throws BudgetExceeded.
   int max_depth = 48;
+  /// Per-call resource caps: budget.max_depth (when > 0) overrides
+  /// max_depth, budget.max_seconds caps the wall clock of each public
+  /// metric call. Overruns throw BudgetExceeded, which the
+  /// policy::ResilientEvaluator fallback chain catches to degrade to a
+  /// cheaper solver.
+  EvalBudget budget;
 };
 
 class RegenerativeSolver {
@@ -58,9 +65,13 @@ class RegenerativeSolver {
   [[nodiscard]] const DcsScenario& scenario() const { return scenario_; }
 
  private:
-  double mean_rec(const SystemState& state, int depth) const;
+  double mean_rec(const SystemState& state, int depth,
+                  const BudgetTimer& timer) const;
   /// `deadline` = +inf computes R_∞.
-  double prob_rec(const SystemState& state, double deadline, int depth) const;
+  double prob_rec(const SystemState& state, double deadline, int depth,
+                  const BudgetTimer& timer) const;
+  /// options_.budget.max_depth (when set) wins over options_.max_depth.
+  [[nodiscard]] int effective_max_depth() const;
 
   /// Evaluates Σ_e ∫_0^{cap} G_e(s)·value(e, s) ds by Gauss–Legendre in the
   /// *probability domain*: substituting u = F_τ(s) places the nodes exactly

@@ -138,17 +138,23 @@ double RegenerativeSolver::reliability(const DtrPolicy& policy) const {
 }
 
 double RegenerativeSolver::mean_execution_time(const SystemState& state) const {
-  return mean_rec(state, 0);
+  return mean_rec(state, 0, BudgetTimer(options_.budget));
 }
 
 double RegenerativeSolver::qos(const SystemState& state,
                                double deadline) const {
   AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
-  return prob_rec(state, deadline, 0);
+  return prob_rec(state, deadline, 0, BudgetTimer(options_.budget));
 }
 
 double RegenerativeSolver::reliability(const SystemState& state) const {
-  return prob_rec(state, std::numeric_limits<double>::infinity(), 0);
+  return prob_rec(state, std::numeric_limits<double>::infinity(), 0,
+                  BudgetTimer(options_.budget));
+}
+
+int RegenerativeSolver::effective_max_depth() const {
+  return options_.budget.max_depth > 0 ? options_.budget.max_depth
+                                       : options_.max_depth;
 }
 
 double RegenerativeSolver::integrate_over_regeneration(
@@ -158,12 +164,15 @@ double RegenerativeSolver::integrate_over_regeneration(
   return quad.integrate(value);
 }
 
-double RegenerativeSolver::mean_rec(const SystemState& state,
-                                    int depth) const {
+double RegenerativeSolver::mean_rec(const SystemState& state, int depth,
+                                    const BudgetTimer& timer) const {
   if (state.workload_done()) return 0.0;
-  AGEDTR_REQUIRE(depth < options_.max_depth,
-                 "RegenerativeSolver: configuration exceeds the reference "
-                 "solver's depth budget (use ConvolutionSolver)");
+  if (depth >= effective_max_depth()) {
+    throw BudgetExceeded(
+        "RegenerativeSolver: configuration exceeds the reference solver's "
+        "depth budget (use ConvolutionSolver)");
+  }
+  timer.check("RegenerativeSolver");
   const RegenerationAnalysis analysis(scenario_, state);
   AGEDTR_ASSERT(!analysis.empty());
   const double horizon = analysis.horizon(options_.survival_eps);
@@ -174,18 +183,22 @@ double RegenerativeSolver::mean_rec(const SystemState& state,
   return analysis.expected_minimum() +
          quad.integrate([&](const Clock& clock, double s) {
            return mean_rec(apply_regeneration_event(scenario_, state, clock, s),
-                           depth + 1);
+                           depth + 1, timer);
          });
 }
 
 double RegenerativeSolver::prob_rec(const SystemState& state, double deadline,
-                                    int depth) const {
+                                    int depth,
+                                    const BudgetTimer& timer) const {
   if (state.workload_lost()) return 0.0;
   if (state.workload_done()) return 1.0;
   if (deadline <= 0.0) return 0.0;
-  AGEDTR_REQUIRE(depth < options_.max_depth,
-                 "RegenerativeSolver: configuration exceeds the reference "
-                 "solver's depth budget (use ConvolutionSolver)");
+  if (depth >= effective_max_depth()) {
+    throw BudgetExceeded(
+        "RegenerativeSolver: configuration exceeds the reference solver's "
+        "depth budget (use ConvolutionSolver)");
+  }
+  timer.check("RegenerativeSolver");
   const RegenerationAnalysis analysis(scenario_, state);
   AGEDTR_ASSERT(!analysis.empty());
   const double horizon = analysis.horizon(options_.survival_eps);
@@ -194,7 +207,7 @@ double RegenerativeSolver::prob_rec(const SystemState& state, double deadline,
   const RegenerationQuadrature quad(analysis, cap, options_.quad_nodes);
   return quad.integrate([&](const Clock& clock, double s) {
     return prob_rec(apply_regeneration_event(scenario_, state, clock, s),
-                    deadline - s, depth + 1);
+                    deadline - s, depth + 1, timer);
   });
 }
 

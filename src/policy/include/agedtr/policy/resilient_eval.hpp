@@ -1,0 +1,141 @@
+// Graceful-degradation metric evaluation: a fallback chain over the four
+// solver families, ordered from most trusted to most robust,
+//
+//   Regenerative (Theorem 1, reference)  →  Convolution (exact, scalable)
+//     →  Markovian ([2],[7] baseline on the exponentialized scenario)
+//       →  Monte-Carlo (simulation estimate; never refuses),
+//
+// where each tier's ConvergenceError / BudgetExceeded / InvalidArgument is
+// caught, recorded, and answered by the next tier instead of propagating
+// out of a policy search. The chain returns a structured EvalOutcome naming
+// the tier that answered and why every earlier tier declined, so a
+// degradation sweep can report per-tier counts and a non-converging solver
+// can never kill an evaluation sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/regen_solver.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+
+namespace agedtr::policy {
+
+/// The solver families of the fallback chain, in descending trust order.
+enum class EvalTier : int {
+  kRegenerative = 0,
+  kConvolution = 1,
+  kMarkovian = 2,
+  kMonteCarlo = 3,
+};
+inline constexpr std::size_t kEvalTierCount = 4;
+
+[[nodiscard]] std::string eval_tier_name(EvalTier tier);
+
+struct ResilientEvalOptions {
+  Objective objective = Objective::kReliability;
+  /// Deadline for Objective::kQos (must be positive then).
+  double deadline = 0.0;
+
+  /// The reference recursion costs exp(total events), so it is attempted
+  /// only under a tight budget and expected to decline on paper-scale
+  /// configurations; disable to start the chain at the convolution tier.
+  bool try_regenerative = true;
+  core::RegenSolverOptions regenerative = [] {
+    core::RegenSolverOptions o;
+    o.budget.max_seconds = 0.5;
+    o.budget.max_depth = 12;
+    return o;
+  }();
+
+  core::ConvolutionOptions convolution;
+
+  /// The Markovian tier replaces every law by an exponential of equal mean
+  /// (the approximation the paper benchmarks against). When false the tier
+  /// refuses scenarios that are not already memoryless instead of silently
+  /// approximating them.
+  bool allow_markovian_approximation = true;
+  /// DP/uniformization state-count guard for the Markovian tier; larger
+  /// configurations decline with BudgetExceeded and fall to Monte-Carlo.
+  std::size_t markovian_max_states = 2'000'000;
+
+  sim::MonteCarloOptions monte_carlo = [] {
+    sim::MonteCarloOptions o;
+    o.replications = 4'000;
+    return o;
+  }();
+};
+
+struct TierFailure {
+  EvalTier tier = EvalTier::kRegenerative;
+  std::string reason;
+};
+
+/// What one resilient evaluation produced.
+struct EvalOutcome {
+  /// False only when every tier (including Monte-Carlo) failed.
+  bool ok = false;
+  double value = 0.0;
+  /// The tier that produced `value` (meaningful when ok).
+  EvalTier tier = EvalTier::kMonteCarlo;
+  /// Why each earlier tier declined, in chain order.
+  std::vector<TierFailure> failures;
+
+  /// One-line human-readable account ("convolution answered; regenerative
+  /// declined: ...").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Running tally of outcomes for sweep reporting.
+struct EvalTally {
+  std::size_t evaluations = 0;
+  /// answered[t]: evaluations tier t answered.
+  std::size_t answered[kEvalTierCount] = {0, 0, 0, 0};
+  /// declined[t]: evaluations tier t failed/declined in.
+  std::size_t declined[kEvalTierCount] = {0, 0, 0, 0};
+  std::size_t total_failures = 0;  // evaluations no tier could answer
+
+  void record(const EvalOutcome& outcome);
+};
+
+/// Evaluates one metric of DTR policies against a scenario through the
+/// fallback chain. Thread-safe: evaluate() may be called concurrently (the
+/// underlying convolution solvers are shared and thread-safe).
+class ResilientEvaluator {
+ public:
+  explicit ResilientEvaluator(core::DcsScenario scenario,
+                              ResilientEvalOptions options = {});
+
+  /// Runs the chain. Never throws: every solver failure is captured in the
+  /// outcome, and an all-tiers failure is reported with ok == false.
+  [[nodiscard]] EvalOutcome evaluate(const core::DtrPolicy& policy) const;
+
+  /// Adapter for TwoServerPolicySearch and friends: returns outcome.value.
+  /// For evaluations where no tier answered, returns the objective's worst
+  /// value (+inf for minimization, -inf for maximization) so the search
+  /// simply avoids the policy.
+  [[nodiscard]] PolicyEvaluator as_policy_evaluator() const;
+
+  [[nodiscard]] const core::DcsScenario& scenario() const {
+    return *scenario_;
+  }
+  [[nodiscard]] const ResilientEvalOptions& options() const {
+    return options_;
+  }
+
+ private:
+  double evaluate_regenerative(const core::DtrPolicy& policy) const;
+  double evaluate_convolution(const core::DtrPolicy& policy) const;
+  double evaluate_markovian(const core::DtrPolicy& policy) const;
+  double evaluate_monte_carlo(const core::DtrPolicy& policy) const;
+
+  std::shared_ptr<const core::DcsScenario> scenario_;
+  std::shared_ptr<const core::DcsScenario> exponentialized_;
+  ResilientEvalOptions options_;
+  std::shared_ptr<core::ConvolutionSolver> convolution_;
+};
+
+}  // namespace agedtr::policy

@@ -1,0 +1,234 @@
+#include "agedtr/policy/resilient_eval.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "agedtr/core/ctmc.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool scenario_is_memoryless(const core::DcsScenario& scenario) {
+  const auto memoryless = [](const dist::DistPtr& law) {
+    return !law || law->is_memoryless();
+  };
+  for (const core::ServerSpec& s : scenario.servers) {
+    if (!memoryless(s.service) || !memoryless(s.failure)) return false;
+  }
+  for (const auto& row : scenario.transfer) {
+    for (const auto& law : row) {
+      if (!memoryless(law)) return false;
+    }
+  }
+  for (const auto& row : scenario.fn_transfer) {
+    for (const auto& law : row) {
+      if (!memoryless(law)) return false;
+    }
+  }
+  return true;
+}
+
+/// Upper bound on the Markovian DP/CTMC state count under the policy:
+/// task counters × up flags × in-transit group subsets.
+double markovian_state_estimate(const core::DcsScenario& scenario,
+                                const core::DtrPolicy& policy) {
+  const std::vector<core::ServerWorkload> workloads =
+      core::apply_policy(scenario, policy);
+  double states = 1.0;
+  double groups = 0.0;
+  for (const core::ServerWorkload& w : workloads) {
+    states *= static_cast<double>(w.total_tasks() + 1);
+    groups += static_cast<double>(w.inbound.size());
+  }
+  states *= std::pow(2.0, static_cast<double>(workloads.size()));
+  states *= std::pow(2.0, groups);
+  return states;
+}
+
+}  // namespace
+
+std::string eval_tier_name(EvalTier tier) {
+  switch (tier) {
+    case EvalTier::kRegenerative:
+      return "regenerative";
+    case EvalTier::kConvolution:
+      return "convolution";
+    case EvalTier::kMarkovian:
+      return "markovian";
+    case EvalTier::kMonteCarlo:
+      return "monte-carlo";
+  }
+  throw LogicError("eval_tier_name: unknown tier");
+}
+
+std::string EvalOutcome::describe() const {
+  std::string text = ok ? eval_tier_name(tier) + " answered"
+                        : "no tier answered";
+  for (const TierFailure& f : failures) {
+    text += "; " + eval_tier_name(f.tier) + " declined: " + f.reason;
+  }
+  return text;
+}
+
+void EvalTally::record(const EvalOutcome& outcome) {
+  ++evaluations;
+  if (outcome.ok) {
+    ++answered[static_cast<int>(outcome.tier)];
+  } else {
+    ++total_failures;
+  }
+  for (const TierFailure& f : outcome.failures) {
+    ++declined[static_cast<int>(f.tier)];
+  }
+}
+
+ResilientEvaluator::ResilientEvaluator(core::DcsScenario scenario,
+                                       ResilientEvalOptions options)
+    : options_(std::move(options)) {
+  scenario.validate();
+  if (options_.objective == Objective::kQos) {
+    AGEDTR_REQUIRE(options_.deadline > 0.0,
+                   "ResilientEvaluator: QoS needs a positive deadline");
+  }
+  AGEDTR_REQUIRE(options_.monte_carlo.replications >= 2,
+                 "ResilientEvaluator: Monte-Carlo tier needs >= 2 "
+                 "replications");
+  scenario_ =
+      std::make_shared<const core::DcsScenario>(std::move(scenario));
+  exponentialized_ =
+      std::make_shared<const core::DcsScenario>(exponentialized(*scenario_));
+  convolution_ =
+      std::make_shared<core::ConvolutionSolver>(options_.convolution);
+}
+
+double ResilientEvaluator::evaluate_regenerative(
+    const core::DtrPolicy& policy) const {
+  // Constructed per call: the solver is cheap to build, and the tight
+  // budget lives in its options.
+  const core::RegenerativeSolver solver(*scenario_, options_.regenerative);
+  switch (options_.objective) {
+    case Objective::kMeanExecutionTime:
+      return solver.mean_execution_time(policy);
+    case Objective::kQos:
+      return solver.qos(policy, options_.deadline);
+    case Objective::kReliability:
+      return solver.reliability(policy);
+  }
+  throw LogicError("evaluate_regenerative: unknown objective");
+}
+
+double ResilientEvaluator::evaluate_convolution(
+    const core::DtrPolicy& policy) const {
+  const auto workloads = core::apply_policy(*scenario_, policy);
+  switch (options_.objective) {
+    case Objective::kMeanExecutionTime:
+      return convolution_->mean_execution_time(workloads);
+    case Objective::kQos:
+      return convolution_->qos(workloads, options_.deadline);
+    case Objective::kReliability:
+      return convolution_->reliability(workloads);
+  }
+  throw LogicError("evaluate_convolution: unknown objective");
+}
+
+double ResilientEvaluator::evaluate_markovian(
+    const core::DtrPolicy& policy) const {
+  if (!options_.allow_markovian_approximation &&
+      !scenario_is_memoryless(*scenario_)) {
+    throw InvalidArgument(
+        "Markovian tier: scenario has non-exponential laws and "
+        "allow_markovian_approximation is off");
+  }
+  const double states = markovian_state_estimate(*exponentialized_, policy);
+  if (states > static_cast<double>(options_.markovian_max_states)) {
+    throw BudgetExceeded(
+        "Markovian tier: DP state space exceeds markovian_max_states");
+  }
+  switch (options_.objective) {
+    case Objective::kMeanExecutionTime:
+      return core::MarkovianSolver(*exponentialized_)
+          .mean_execution_time(policy);
+    case Objective::kQos:
+      return core::CtmcTransientSolver(*exponentialized_, policy)
+          .qos(options_.deadline);
+    case Objective::kReliability:
+      return core::MarkovianSolver(*exponentialized_).reliability(policy);
+  }
+  throw LogicError("evaluate_markovian: unknown objective");
+}
+
+double ResilientEvaluator::evaluate_monte_carlo(
+    const core::DtrPolicy& policy) const {
+  sim::MonteCarloOptions mc = options_.monte_carlo;
+  if (options_.objective == Objective::kQos) mc.deadline = options_.deadline;
+  const sim::MonteCarloMetrics metrics =
+      sim::run_monte_carlo(*scenario_, policy, mc);
+  switch (options_.objective) {
+    case Objective::kMeanExecutionTime: {
+      // The paper defines T̄ over runs that complete; refuse estimates with
+      // no support rather than returning a silent 0.
+      if (metrics.completed < 2) {
+        throw ConvergenceError(
+            "Monte-Carlo tier: too few completed replications to estimate "
+            "the mean execution time");
+      }
+      return metrics.mean_completion_time.center;
+    }
+    case Objective::kQos:
+      return metrics.qos.center;
+    case Objective::kReliability:
+      return metrics.reliability.center;
+  }
+  throw LogicError("evaluate_monte_carlo: unknown objective");
+}
+
+EvalOutcome ResilientEvaluator::evaluate(
+    const core::DtrPolicy& policy) const {
+  EvalOutcome outcome;
+  const auto attempt = [&](EvalTier tier, auto&& body) {
+    try {
+      outcome.value = body();
+      outcome.tier = tier;
+      outcome.ok = true;
+      return true;
+    } catch (const std::exception& e) {
+      outcome.failures.push_back({tier, e.what()});
+      return false;
+    }
+  };
+  if (options_.try_regenerative &&
+      attempt(EvalTier::kRegenerative,
+              [&] { return evaluate_regenerative(policy); })) {
+    return outcome;
+  }
+  if (attempt(EvalTier::kConvolution,
+              [&] { return evaluate_convolution(policy); })) {
+    return outcome;
+  }
+  if (attempt(EvalTier::kMarkovian,
+              [&] { return evaluate_markovian(policy); })) {
+    return outcome;
+  }
+  attempt(EvalTier::kMonteCarlo,
+          [&] { return evaluate_monte_carlo(policy); });
+  return outcome;
+}
+
+PolicyEvaluator ResilientEvaluator::as_policy_evaluator() const {
+  // The evaluator object outlives typical searches; share ownership of the
+  // pieces so the closure stays valid even if this wrapper is destroyed.
+  auto self = std::make_shared<ResilientEvaluator>(*this);
+  const double worst =
+      is_maximization(options_.objective) ? -kInf : kInf;
+  return [self, worst](const core::DtrPolicy& policy) {
+    const EvalOutcome outcome = self->evaluate(policy);
+    return outcome.ok ? outcome.value : worst;
+  };
+}
+
+}  // namespace agedtr::policy

@@ -1,0 +1,81 @@
+#include "agedtr/sim/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+
+namespace {
+
+void validate_channel(const ChannelFaults& channel, const char* name) {
+  AGEDTR_REQUIRE(channel.drop_probability >= 0.0 &&
+                     channel.drop_probability <= 1.0,
+                 std::string("FaultPlan: ") + name +
+                     " drop probability must lie in [0, 1]");
+  if (!channel.active()) return;
+  AGEDTR_REQUIRE(channel.retransmit_timeout > 0.0,
+                 std::string("FaultPlan: ") + name +
+                     " retransmit timeout must be positive");
+  AGEDTR_REQUIRE(channel.backoff_factor >= 1.0,
+                 std::string("FaultPlan: ") + name +
+                     " backoff factor must be >= 1");
+  AGEDTR_REQUIRE(channel.max_retries >= 0,
+                 std::string("FaultPlan: ") + name +
+                     " retry count must be nonnegative");
+}
+
+}  // namespace
+
+bool FaultPlan::is_null() const {
+  return !group_channel.active() && !fn_channel.active() &&
+         shock_rate <= 0.0 && stall_rate <= 0.0;
+}
+
+void FaultPlan::validate() const {
+  validate_channel(group_channel, "group channel");
+  validate_channel(fn_channel, "FN channel");
+  AGEDTR_REQUIRE(shock_rate >= 0.0, "FaultPlan: shock rate must be >= 0");
+  AGEDTR_REQUIRE(
+      shock_kill_probability >= 0.0 && shock_kill_probability <= 1.0,
+      "FaultPlan: shock kill probability must lie in [0, 1]");
+  if (shock_rate > 0.0) {
+    AGEDTR_REQUIRE(shock_kill_probability > 0.0,
+                   "FaultPlan: shocks need a positive kill probability");
+  }
+  AGEDTR_REQUIRE(stall_rate >= 0.0, "FaultPlan: stall rate must be >= 0");
+  if (stall_rate > 0.0) {
+    AGEDTR_REQUIRE(stall_duration != nullptr,
+                   "FaultPlan: stalls need a duration law");
+  }
+}
+
+FaultPlan scale_fault_plan(const FaultPlan& base, double intensity) {
+  AGEDTR_REQUIRE(intensity >= 0.0,
+                 "scale_fault_plan: intensity must be nonnegative");
+  base.validate();
+  FaultPlan plan = base;
+  const auto clamp01 = [](double p) { return std::min(p, 1.0); };
+  plan.group_channel.drop_probability =
+      clamp01(base.group_channel.drop_probability * intensity);
+  plan.fn_channel.drop_probability =
+      clamp01(base.fn_channel.drop_probability * intensity);
+  plan.shock_rate = base.shock_rate * intensity;
+  plan.shock_kill_probability = base.shock_kill_probability;
+  plan.stall_rate = base.stall_rate * intensity;
+  return plan;
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  group_retransmissions += other.group_retransmissions;
+  fn_retransmissions += other.fn_retransmissions;
+  tasks_lost_in_network += other.tasks_lost_in_network;
+  fn_packets_dropped += other.fn_packets_dropped;
+  shocks += other.shocks;
+  shock_failures += other.shock_failures;
+  stalls += other.stalls;
+  total_stall_time += other.total_stall_time;
+  return *this;
+}
+
+}  // namespace agedtr::sim

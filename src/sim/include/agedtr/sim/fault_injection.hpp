@@ -1,0 +1,110 @@
+// Controlled violations of the paper's model assumptions, injected into the
+// discrete-event simulator.
+//
+// The analytical solvers rest on three idealizations: a perfectly reliable
+// network (every task group and FN packet is delivered), mutually
+// independent failure clocks (Assumption A2), and permanent crash-only
+// failures. A FaultPlan relaxes each one in a parameterized way:
+//
+//   (a) Unreliable network — every transmission attempt on a channel is
+//       dropped with probability p. The sender recovers by timeout: after
+//       an RTO that grows by `backoff_factor` per retry it retransmits, up
+//       to `max_retries` times; if every attempt is dropped, a task group's
+//       tasks are stranded in the network (the workload is lost) and an FN
+//       packet is silently never delivered.
+//   (b) Correlated failures — a common-cause shock process (Poisson with
+//       rate `shock_rate`) strikes the whole system; each functioning
+//       server dies with probability `shock_kill_probability` per shock,
+//       violating A2's independence across servers.
+//   (c) Transient stalls — each server is hit by a Poisson process of rate
+//       `stall_rate`; a stall pauses service (in-flight work resumes, it is
+//       not lost) for a random duration, violating the crash-only model.
+//
+// A FaultPlan with every intensity at zero is the exact seed model: the
+// simulator's fault hooks are engineered to draw nothing from the RNG and
+// schedule no events in that case, so fault-free runs are bit-identical to
+// the pre-fault-injection simulator (guarded by a regression test).
+//
+// docs/FAULT_MODEL.md tabulates which paper assumption each injector
+// relaxes and the expected qualitative effect on R_∞.
+#pragma once
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::sim {
+
+/// Drop/retransmission model for one logical channel.
+struct ChannelFaults {
+  /// Probability that one transmission attempt is lost, in [0, 1].
+  double drop_probability = 0.0;
+  /// Sender RTO before the first retransmission (seconds).
+  double retransmit_timeout = 1.0;
+  /// RTO multiplier per successive retry (>= 1).
+  double backoff_factor = 2.0;
+  /// Retransmissions after the initial attempt; when all
+  /// 1 + max_retries attempts drop, the payload is lost for good.
+  int max_retries = 3;
+
+  [[nodiscard]] bool active() const { return drop_probability > 0.0; }
+};
+
+/// The full set of injected faults. Default-constructed = no faults.
+struct FaultPlan {
+  /// Task-group transfers: dropped groups strand their tasks after the
+  /// retry budget (the workload is then lost).
+  ChannelFaults group_channel;
+  /// Failure-notice packets: dropped FNs are simply never delivered.
+  ChannelFaults fn_channel;
+
+  /// Rate of system-wide common-cause shocks (per second); 0 disables.
+  double shock_rate = 0.0;
+  /// Probability a shock kills each individual functioning server.
+  double shock_kill_probability = 0.0;
+
+  /// Per-server rate of transient stalls (per second); 0 disables.
+  double stall_rate = 0.0;
+  /// Law of a stall's duration; required when stall_rate > 0.
+  dist::DistPtr stall_duration;
+
+  /// True when the plan injects nothing: the simulator then follows the
+  /// fault-free code path exactly (no extra RNG draws, no extra events).
+  [[nodiscard]] bool is_null() const;
+
+  /// Throws InvalidArgument on malformed parameters (probabilities outside
+  /// [0, 1], negative rates/timeouts, missing stall law, ...).
+  void validate() const;
+};
+
+/// Scales the *frequency* of every fault by `intensity` >= 0: drop
+/// probabilities are multiplied (clamped to 1) and shock/stall rates are
+/// multiplied, while per-event severity (the shock kill probability, the
+/// stall-duration law) and the retransmission parameters are kept as in
+/// `base` so intensity acts linearly, not quadratically. intensity == 0
+/// yields a null plan (the seed model) — the abscissa of the degradation
+/// sweep.
+[[nodiscard]] FaultPlan scale_fault_plan(const FaultPlan& base,
+                                         double intensity);
+
+/// Per-realization fault/bookkeeping counters reported by the simulator.
+struct FaultStats {
+  /// Group retransmissions actually sent (attempts beyond each first try).
+  std::size_t group_retransmissions = 0;
+  /// FN retransmissions actually sent.
+  std::size_t fn_retransmissions = 0;
+  /// Tasks stranded in the network after exhausting the retry budget.
+  int tasks_lost_in_network = 0;
+  /// FN packets never delivered (retry budget exhausted).
+  std::size_t fn_packets_dropped = 0;
+  /// Common-cause shocks that struck while the run was live.
+  std::size_t shocks = 0;
+  /// Servers killed by shocks (failures violating A2).
+  std::size_t shock_failures = 0;
+  /// Transient stalls that hit a functioning server.
+  std::size_t stalls = 0;
+  /// Total stall time injected (sum of effective pause extensions).
+  double total_stall_time = 0.0;
+
+  FaultStats& operator+=(const FaultStats& other);
+};
+
+}  // namespace agedtr::sim

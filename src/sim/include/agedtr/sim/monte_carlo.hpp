@@ -28,6 +28,11 @@ struct MonteCarloOptions {
 struct MonteCarloMetrics {
   std::size_t replications = 0;
   std::size_t completed = 0;
+  /// Replications that hit the simulator's event budget and stopped early.
+  /// They count as not-completed in the reliability estimate (a truncated
+  /// run never finished) but are reported separately so a runaway
+  /// configuration is visible instead of masquerading as failures.
+  std::size_t truncated = 0;
 
   /// R̂_∞ with Wilson 95% CI.
   stats::ConfidenceInterval reliability;
@@ -42,6 +47,9 @@ struct MonteCarloMetrics {
   /// Mean per-server busy time over completed runs (resource-usage
   /// diagnostics).
   std::vector<double> mean_busy_time;
+  /// Fault-injection counters summed over every replication (all zero when
+  /// SimulatorOptions::faults is the null plan).
+  FaultStats fault_totals;
 };
 
 [[nodiscard]] MonteCarloMetrics run_monte_carlo(

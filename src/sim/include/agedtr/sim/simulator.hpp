@@ -14,6 +14,7 @@
 
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/random/rng.hpp"
+#include "agedtr/sim/fault_injection.hpp"
 
 namespace agedtr::sim {
 
@@ -25,8 +26,13 @@ struct SimulatorOptions {
   /// Delay law for info packets (defaults to the scenario's FN laws when
   /// empty and info exchange is enabled).
   dist::DistPtr info_transfer;
-  /// Hard cap on simulated events (guards against configuration mistakes).
+  /// Hard cap on simulated events. Exceeding it does not throw: the run
+  /// returns early with truncated == true (and completed == false) so one
+  /// runaway replication cannot abort a whole Monte-Carlo sweep.
   std::size_t max_events = 50'000'000;
+  /// Injected model-assumption violations; the default plan is null and
+  /// leaves the fault-free path bit-identical to the seed simulator.
+  FaultPlan faults;
 };
 
 /// Outcome of one simulated realization.
@@ -51,6 +57,12 @@ struct SimResult {
   };
   std::vector<FnDelivery> fn_deliveries;
   std::size_t events_processed = 0;
+  /// True when the run hit SimulatorOptions::max_events and stopped early;
+  /// the realization is then neither a success nor a failure observation
+  /// and Monte-Carlo layers count it separately.
+  bool truncated = false;
+  /// Fault-injection counters (all zero under a null FaultPlan).
+  FaultStats faults;
 };
 
 class DcsSimulator {

@@ -17,7 +17,9 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
 
   std::vector<double> times(reps, 0.0);
   std::vector<char> completed(reps, 0);
+  std::vector<char> truncated(reps, 0);
   std::vector<double> busy(reps * n, 0.0);
+  std::vector<FaultStats> fault_stats(reps);
 
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
   pool.parallel_for(0, reps, [&](std::size_t r) {
@@ -25,14 +27,20 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
         random::make_replication_rng(options.seed, static_cast<std::uint64_t>(r));
     const SimResult result = simulator.run(policy, rng);
     completed[r] = result.completed ? 1 : 0;
+    truncated[r] = result.truncated ? 1 : 0;
     times[r] = result.completion_time;
     for (std::size_t j = 0; j < n; ++j) {
       busy[r * n + j] = result.busy_time[j];
     }
+    fault_stats[r] = result.faults;
   });
 
   MonteCarloMetrics metrics;
   metrics.replications = reps;
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (truncated[r]) ++metrics.truncated;
+    metrics.fault_totals += fault_stats[r];
+  }
   std::vector<double> finished_times;
   finished_times.reserve(reps);
   std::size_t within_deadline = 0;

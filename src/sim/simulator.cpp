@@ -1,6 +1,7 @@
 #include "agedtr/sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -16,15 +17,19 @@ struct Event {
     kServiceComplete,
     kFailure,
     kGroupArrival,
+    kGroupExpired,  // sender exhausted the retransmission budget
     kFnArrival,
     kInfoBroadcast,
     kInfoArrival,
+    kShock,       // common-cause failure shock (fault injection)
+    kStallBegin,  // transient service stall (fault injection)
   };
   double time = 0.0;
   Kind kind = Kind::kServiceComplete;
   std::size_t a = 0;  // server (service/failure/broadcast), sender otherwise
   std::size_t b = 0;  // receiver for transfers
   int payload = 0;    // tasks in a group / queue length in an info packet
+  std::uint64_t gen = 0;  // service generation (stale-completion filter)
   std::uint64_t seq = 0;  // FIFO tie-break for equal times
 
   bool operator>(const Event& other) const {
@@ -33,11 +38,38 @@ struct Event {
   }
 };
 
+/// Result of pushing one payload through a lossy channel: when delivered,
+/// the delivering attempt starts `start_offset` after the logical send time
+/// (the dropped attempts' RTOs); when not, `start_offset` is when the
+/// sender gives up. Draws nothing from the RNG on an inactive channel.
+struct SendOutcome {
+  bool delivered = true;
+  double start_offset = 0.0;
+  std::size_t retries = 0;
+};
+
+SendOutcome attempt_send(const ChannelFaults& channel, random::Rng& rng) {
+  SendOutcome out;
+  if (!channel.active()) return out;
+  double rto = channel.retransmit_timeout;
+  for (int attempt = 0;; ++attempt) {
+    if (rng.next_double() >= channel.drop_probability) return out;
+    out.start_offset += rto;  // sender notices the loss after the RTO
+    rto *= channel.backoff_factor;
+    if (attempt == channel.max_retries) {
+      out.delivered = false;
+      return out;
+    }
+    ++out.retries;
+  }
+}
+
 }  // namespace
 
 DcsSimulator::DcsSimulator(core::DcsScenario scenario, SimulatorOptions options)
     : scenario_(std::move(scenario)), options_(std::move(options)) {
   scenario_.validate();
+  options_.faults.validate();
   if (options_.queue_info_period > 0.0 && !options_.info_transfer) {
     AGEDTR_REQUIRE(!scenario_.fn_transfer.empty(),
                    "DcsSimulator: queue-info exchange needs a delay law "
@@ -50,6 +82,7 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
   const std::size_t n = scenario_.size();
   const std::vector<core::ServerWorkload> workloads =
       core::apply_policy(scenario_, policy);
+  const FaultPlan& faults = options_.faults;
 
   SimResult result;
   result.tasks_lost.assign(n, 0);
@@ -61,6 +94,13 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
   std::vector<char> up(n, 1);
   std::vector<char> serving(n, 0);
   std::vector<double> service_started(n, 0.0);
+  // Fault-injection state. All of it stays at its initial value under a
+  // null plan, in which case every fault hook below reduces to the seed
+  // simulator's behavior without consuming RNG draws.
+  std::vector<double> stall_until(n, 0.0);
+  std::vector<double> service_pause(n, 0.0);
+  std::vector<double> pending_completion(n, 0.0);
+  std::vector<std::uint64_t> service_gen(n, 0);
   int groups_in_flight = 0;
   int remaining_tasks = 0;
 
@@ -70,6 +110,37 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     e.seq = seq++;
     events.push(e);
   };
+  const auto exp_sample = [&rng](double rate) {
+    return -std::log1p(-rng.next_double()) / rate;
+  };
+
+  bool lost = false;
+  const auto emit_fn_packets = [&](std::size_t j, double now) {
+    if (!options_.model_fn_packets || scenario_.fn_transfer.empty()) return;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == j || !scenario_.fn_transfer[j][k]) continue;
+      const SendOutcome send = attempt_send(faults.fn_channel, rng);
+      result.faults.fn_retransmissions += send.retries;
+      if (!send.delivered) {
+        ++result.faults.fn_packets_dropped;
+        continue;
+      }
+      push({now + send.start_offset + scenario_.fn_transfer[j][k]->sample(rng),
+            Event::Kind::kFnArrival, j, k, 0, 0});
+    }
+  };
+  // Shared by natural failures and common-cause shocks.
+  const auto fail_server = [&](std::size_t j, double now) {
+    if (!up[j]) return;
+    up[j] = 0;
+    serving[j] = 0;
+    result.failure_time[j] = now;
+    if (queue[j] > 0) {
+      result.tasks_lost[j] += queue[j];
+      lost = true;
+    }
+    emit_fn_packets(j, now);
+  };
 
   // --- t = 0: queues after the policy, groups in flight, failure clocks.
   for (std::size_t j = 0; j < n; ++j) {
@@ -77,13 +148,21 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     remaining_tasks += workloads[j].total_tasks();
     for (const core::ServerWorkload::Inbound& g : workloads[j].inbound) {
       ++groups_in_flight;
+      const SendOutcome send = attempt_send(faults.group_channel, rng);
+      result.faults.group_retransmissions += send.retries;
+      if (!send.delivered) {
+        push({send.start_offset, Event::Kind::kGroupExpired, 0, j, g.tasks,
+              0});
+        continue;
+      }
       double transfer_time = g.transfer->sample(rng);
       if (g.per_task) {
         for (int t = 1; t < g.tasks; ++t) {
           transfer_time += g.transfer->sample(rng);
         }
       }
-      push({transfer_time, Event::Kind::kGroupArrival, 0, j, g.tasks, 0});
+      push({send.start_offset + transfer_time, Event::Kind::kGroupArrival, 0,
+            j, g.tasks, 0});
     }
     if (scenario_.servers[j].failure) {
       push({scenario_.servers[j].failure->sample(rng), Event::Kind::kFailure,
@@ -91,10 +170,16 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     }
   }
   const auto start_service = [&](std::size_t j, double now) {
+    // A stalled server starts (or resumes accepting) work only once the
+    // stall clears; under a null plan stall_until is 0 and begin_at == now.
+    const double begin_at = std::max(now, stall_until[j]);
     serving[j] = 1;
-    service_started[j] = now;
-    push({now + scenario_.servers[j].service->sample(rng),
-          Event::Kind::kServiceComplete, j, 0, 0, 0});
+    service_started[j] = begin_at;
+    service_pause[j] = 0.0;
+    pending_completion[j] =
+        begin_at + scenario_.servers[j].service->sample(rng);
+    push({pending_completion[j], Event::Kind::kServiceComplete, j, 0, 0,
+          service_gen[j]});
   };
   for (std::size_t j = 0; j < n; ++j) {
     if (queue[j] > 0) start_service(j, 0.0);
@@ -105,23 +190,36 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
             0});
     }
   }
+  if (faults.shock_rate > 0.0) {
+    push({exp_sample(faults.shock_rate), Event::Kind::kShock, 0, 0, 0, 0});
+  }
+  if (faults.stall_rate > 0.0) {
+    for (std::size_t j = 0; j < n; ++j) {
+      push({exp_sample(faults.stall_rate), Event::Kind::kStallBegin, j, 0, 0,
+            0});
+    }
+  }
 
   double last_progress_time = 0.0;
-  bool lost = false;
   while (!events.empty()) {
-    AGEDTR_REQUIRE(result.events_processed < options_.max_events,
-                   "DcsSimulator: event budget exhausted");
+    if (result.events_processed >= options_.max_events) {
+      // A runtime budget, not a precondition: report the truncation and let
+      // the caller decide (Monte-Carlo sweeps count these separately).
+      result.truncated = true;
+      break;
+    }
     const Event e = events.top();
     events.pop();
     ++result.events_processed;
     switch (e.kind) {
       case Event::Kind::kServiceComplete: {
         const std::size_t j = e.a;
-        if (!up[j] || !serving[j]) break;  // stale completion after failure
+        // Stale after a failure, or superseded by a stall reschedule.
+        if (!up[j] || !serving[j] || e.gen != service_gen[j]) break;
         --queue[j];
         --remaining_tasks;
         ++result.tasks_served[j];
-        result.busy_time[j] += e.time - service_started[j];
+        result.busy_time[j] += e.time - service_started[j] - service_pause[j];
         last_progress_time = e.time;
         if (queue[j] > 0) {
           start_service(j, e.time);
@@ -131,22 +229,7 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         break;
       }
       case Event::Kind::kFailure: {
-        const std::size_t j = e.a;
-        if (!up[j]) break;
-        up[j] = 0;
-        serving[j] = 0;
-        result.failure_time[j] = e.time;
-        if (queue[j] > 0) {
-          result.tasks_lost[j] += queue[j];
-          lost = true;
-        }
-        if (options_.model_fn_packets && !scenario_.fn_transfer.empty()) {
-          for (std::size_t k = 0; k < n; ++k) {
-            if (k == j || !scenario_.fn_transfer[j][k]) continue;
-            push({e.time + scenario_.fn_transfer[j][k]->sample(rng),
-                  Event::Kind::kFnArrival, j, k, 0, 0});
-          }
-        }
+        fail_server(e.a, e.time);
         break;
       }
       case Event::Kind::kGroupArrival: {
@@ -162,6 +245,14 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         }
         queue[j] += e.payload;
         if (!serving[j]) start_service(j, e.time);
+        break;
+      }
+      case Event::Kind::kGroupExpired: {
+        // Every transmission attempt was dropped: the group's tasks are
+        // stranded in the network and the workload cannot complete.
+        --groups_in_flight;
+        result.faults.tasks_lost_in_network += e.payload;
+        lost = true;
         break;
       }
       case Event::Kind::kFnArrival: {
@@ -187,6 +278,48 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       }
       case Event::Kind::kInfoArrival:
         break;  // estimates are not consumed mid-run (policies act at t = 0)
+      case Event::Kind::kShock: {
+        ++result.faults.shocks;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!up[j]) continue;
+          if (rng.next_double() < faults.shock_kill_probability) {
+            ++result.faults.shock_failures;
+            fail_server(j, e.time);
+          }
+        }
+        // Reschedule only while somebody is left to strike, so a dead
+        // system does not generate events forever.
+        if (std::any_of(up.begin(), up.end(), [](char u) { return u != 0; })) {
+          push({e.time + exp_sample(faults.shock_rate), Event::Kind::kShock,
+                0, 0, 0, 0});
+        }
+        break;
+      }
+      case Event::Kind::kStallBegin: {
+        const std::size_t j = e.a;
+        if (!up[j]) break;  // dead servers stall no more (stop the stream)
+        ++result.faults.stalls;
+        const double duration = faults.stall_duration->sample(rng);
+        // Overlapping stalls merge: only time beyond the current stall
+        // horizon extends the pause.
+        const double extension = std::max(
+            0.0, e.time + duration - std::max(e.time, stall_until[j]));
+        stall_until[j] = std::max(stall_until[j], e.time + duration);
+        result.faults.total_stall_time += extension;
+        if (serving[j] && extension > 0.0) {
+          // In-flight work pauses and resumes: push the pending completion
+          // out by the added pause and retire the stale event via the
+          // generation counter.
+          pending_completion[j] += extension;
+          service_pause[j] += extension;
+          ++service_gen[j];
+          push({pending_completion[j], Event::Kind::kServiceComplete, j, 0,
+                0, service_gen[j]});
+        }
+        push({e.time + exp_sample(faults.stall_rate),
+              Event::Kind::kStallBegin, j, 0, 0, 0});
+        break;
+      }
     }
     if (lost) break;
     if (remaining_tasks == 0 && groups_in_flight == 0) {
@@ -195,7 +328,8 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       return result;
     }
   }
-  result.completed = !lost && remaining_tasks == 0 && groups_in_flight == 0;
+  result.completed = !lost && !result.truncated && remaining_tasks == 0 &&
+                     groups_in_flight == 0;
   result.completion_time = result.completed ? last_progress_time : kInf;
   return result;
 }

@@ -1,0 +1,61 @@
+// Resource budgets for metric evaluations.
+//
+// An EvalBudget caps what a single solver call may consume; a BudgetTimer
+// materializes the wall-clock part into a deadline at evaluation entry and
+// turns overruns into agedtr::BudgetExceeded. Solvers accept an EvalBudget
+// through their options (RegenSolverOptions::budget,
+// ConvolutionOptions::budget) and check the timer at coarse-grained points
+// — once per recursion node or per convolution stage — so the overhead of a
+// steady_clock read is amortized over real numerical work.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+
+/// Caps for one metric evaluation. Zero values mean "no cap" (for
+/// max_depth: "use the solver's own default").
+struct EvalBudget {
+  /// Wall-clock cap in seconds; 0 = unlimited.
+  double max_seconds = 0.0;
+  /// Recursion-depth cap; 0 = the solver's default. Only meaningful for
+  /// recursive solvers (the RegenerativeSolver).
+  int max_depth = 0;
+
+  [[nodiscard]] bool limits_time() const { return max_seconds > 0.0; }
+};
+
+/// A deadline derived from an EvalBudget when an evaluation starts.
+/// Copyable and cheap; pass by const reference down recursions.
+class BudgetTimer {
+ public:
+  explicit BudgetTimer(const EvalBudget& budget)
+      : limited_(budget.limits_time()) {
+    if (limited_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(budget.max_seconds));
+    }
+  }
+
+  [[nodiscard]] bool expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws BudgetExceeded (prefixed with `who`) once the deadline passed.
+  void check(const char* who) const {
+    if (expired()) {
+      throw BudgetExceeded(std::string(who) +
+                           ": wall-clock evaluation budget exhausted");
+    }
+  }
+
+ private:
+  bool limited_;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace agedtr

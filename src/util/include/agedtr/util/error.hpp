@@ -30,6 +30,18 @@ class ConvergenceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when an evaluation exhausts a caller-supplied resource budget
+/// (wall-clock time, recursion depth, event count). Unlike InvalidArgument
+/// this is not a precondition violation and unlike LogicError it is not a
+/// bug: it signals "this configuration is too expensive for the requested
+/// method under the granted budget", and callers (notably the
+/// policy::ResilientEvaluator fallback chain) are expected to catch it and
+/// degrade to a cheaper method.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_invalid_argument(const char* cond,

@@ -49,7 +49,10 @@ class ThreadPool {
 
   /// Runs body(i) for i in [begin, end) across the pool, blocking until all
   /// iterations finish. Work is split into size()*4 contiguous chunks.
-  /// The first exception thrown by any iteration is rethrown here.
+  /// The first exception thrown by any iteration is rethrown here; it also
+  /// cancels the sweep cooperatively — chunks that have not yet started an
+  /// iteration when the flag is observed skip their remaining work, so a
+  /// failing sweep drains promptly instead of running to completion.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,6 +1,7 @@
 #include "agedtr/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "agedtr/util/error.hpp"
 
@@ -46,14 +47,28 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  // Cooperative cancellation: the first iteration to throw flips the flag
+  // and every chunk (including the thrower's own remainder) stops before
+  // its next iteration, so a failing sweep drains promptly instead of
+  // executing to completion. Safe to capture by reference: parallel_for
+  // blocks on every future before returning.
+  std::atomic<bool> cancel{false};
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    futures.push_back(submit([lo, hi = std::min(end, lo + chunk_size), &body,
+                              &cancel] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (cancel.load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          cancel.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
     }));
   }
   std::exception_ptr first_error;

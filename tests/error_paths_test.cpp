@@ -1,0 +1,78 @@
+// Error-path coverage for the numeric kernels the fallback chain leans on:
+// every failure mode here must surface as the documented exception type,
+// because the resilient evaluator's catch logic dispatches on exactly these
+// contracts (ConvergenceError / BudgetExceeded vs InvalidArgument).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/hyperexponential.hpp"
+#include "agedtr/numerics/roots.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+TEST(ErrorPaths, HyperexponentialEmThrowsConvergenceOnDegenerateLikelihood) {
+  // ~2000 near-zero samples put the initial EM rates in the thousands; the
+  // lone sample at 1.0 then underflows every phase density to exactly zero
+  // and the responsibilities' denominator degenerates on the first sweep.
+  std::vector<double> samples(2000, 1e-6);
+  samples.push_back(1.0);
+  EXPECT_THROW(dist::fit_hyperexponential_em(samples, 2),
+               ConvergenceError);
+}
+
+TEST(ErrorPaths, HyperexponentialEmFitsBenignData) {
+  // Control: a well-separated two-mode sample set converges fine.
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(0.5 + 0.001 * i);
+    samples.push_back(5.0 + 0.01 * i);
+  }
+  const dist::DistPtr fit = dist::fit_hyperexponential_em(samples, 2);
+  ASSERT_NE(fit, nullptr);
+  EXPECT_NEAR(fit->mean(), 3.25, 0.5);
+}
+
+TEST(ErrorPaths, BrentRootThrowsConvergenceWhenIterationsExhausted) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  EXPECT_THROW(numerics::brent_root(f, 0.0, 2.0, 1e-15, 0),
+               ConvergenceError);
+  // The same bracket with the default budget converges.
+  EXPECT_NEAR(numerics::brent_root(f, 0.0, 2.0), 1.2599210498948732, 1e-9);
+}
+
+TEST(ErrorPaths, BrentRootRejectsUnbracketedInterval) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(numerics::brent_root(f, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(ErrorPaths, ExpandBracketThrowsConvergenceWithoutSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };  // always positive
+  EXPECT_THROW(numerics::expand_bracket(f, -1.0, 1.0), ConvergenceError);
+}
+
+TEST(ErrorPaths, ExpandBracketFindsSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  const numerics::Bracket b = numerics::expand_bracket(f, 0.0, 1.0);
+  EXPECT_LE(f(b.a) * f(b.b), 0.0);
+}
+
+TEST(ErrorPaths, ParseModelFamilyThrowsInvalidArgumentOnUnknownName) {
+  EXPECT_THROW(dist::parse_model_family("nope"), InvalidArgument);
+  EXPECT_THROW(dist::parse_model_family(""), InvalidArgument);
+}
+
+TEST(ErrorPaths, ParseModelFamilyAcceptsKnownNames) {
+  for (dist::ModelFamily family : dist::all_model_families()) {
+    EXPECT_EQ(dist::parse_model_family(dist::model_family_name(family)),
+              family);
+  }
+  EXPECT_EQ(dist::parse_model_family("exponential"),
+            dist::ModelFamily::kExponential);
+}
+
+}  // namespace
+}  // namespace agedtr

@@ -1,0 +1,381 @@
+// Fault injection: plan validation/scaling, retransmission semantics,
+// common-cause shocks, transient stalls, the event-budget truncation
+// contract, and the zero-fault bit-identical regression against the
+// fault-free simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+
+dist::DistPtr det(double c) { return std::make_shared<dist::Deterministic>(c); }
+
+DcsScenario deterministic_scenario(int m1, int m2, double w1, double w2,
+                                   double z, double y1 = 0.0,
+                                   double y2 = 0.0) {
+  std::vector<ServerSpec> servers = {
+      {m1, det(w1), y1 > 0.0 ? det(y1) : nullptr},
+      {m2, det(w2), y2 > 0.0 ? det(y2) : nullptr}};
+  return core::make_uniform_network_scenario(std::move(servers), det(z),
+                                             det(0.1));
+}
+
+DcsScenario stochastic_scenario() {
+  std::vector<ServerSpec> servers = {
+      {20, dist::Exponential::with_mean(2.0),
+       dist::Exponential::with_mean(100.0)},
+      {10, dist::Exponential::with_mean(1.0),
+       dist::Exponential::with_mean(80.0)}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(3.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+TEST(FaultPlan, DefaultIsNullAndValid) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.is_null());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedParameters) {
+  {
+    FaultPlan p;
+    p.group_channel.drop_probability = -0.1;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    FaultPlan p;
+    p.fn_channel.drop_probability = 1.5;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    FaultPlan p;
+    p.group_channel.drop_probability = 0.5;
+    p.group_channel.retransmit_timeout = -1.0;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    FaultPlan p;
+    p.shock_rate = 0.1;  // shock with no kill probability is meaningless
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    FaultPlan p;
+    p.stall_rate = 0.1;  // stall with no duration law
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+}
+
+TEST(FaultPlan, SimulatorCtorValidatesPlan) {
+  const DcsScenario s = deterministic_scenario(1, 1, 1.0, 1.0, 5.0);
+  SimulatorOptions opts;
+  opts.faults.stall_rate = 0.1;
+  EXPECT_THROW(DcsSimulator(s, opts), InvalidArgument);
+}
+
+TEST(FaultPlan, ScaleByZeroIsNull) {
+  FaultPlan base;
+  base.group_channel.drop_probability = 0.5;
+  base.fn_channel.drop_probability = 0.2;
+  base.shock_rate = 0.01;
+  base.shock_kill_probability = 0.3;
+  base.stall_rate = 0.02;
+  base.stall_duration = det(5.0);
+  const FaultPlan zero = scale_fault_plan(base, 0.0);
+  EXPECT_TRUE(zero.is_null());
+  EXPECT_NO_THROW(zero.validate());
+}
+
+TEST(FaultPlan, ScaleClampsProbabilitiesAndKeepsRetryParameters) {
+  FaultPlan base;
+  base.group_channel.drop_probability = 0.3;
+  base.group_channel.retransmit_timeout = 7.0;
+  base.group_channel.backoff_factor = 1.5;
+  base.group_channel.max_retries = 4;
+  base.shock_rate = 0.01;
+  base.shock_kill_probability = 0.4;
+  const FaultPlan big = scale_fault_plan(base, 10.0);
+  EXPECT_DOUBLE_EQ(big.group_channel.drop_probability, 1.0);
+  // Severity is not scaled — only frequency — so intensity acts linearly.
+  EXPECT_DOUBLE_EQ(big.shock_kill_probability, 0.4);
+  EXPECT_DOUBLE_EQ(big.shock_rate, 0.1);
+  EXPECT_DOUBLE_EQ(big.group_channel.retransmit_timeout, 7.0);
+  EXPECT_DOUBLE_EQ(big.group_channel.backoff_factor, 1.5);
+  EXPECT_EQ(big.group_channel.max_retries, 4);
+  const FaultPlan half = scale_fault_plan(base, 0.5);
+  EXPECT_DOUBLE_EQ(half.group_channel.drop_probability, 0.15);
+  EXPECT_DOUBLE_EQ(half.shock_rate, 0.005);
+}
+
+// --- The zero-fault regression: a null plan must be byte-for-byte the ----
+// --- fault-free simulator (same RNG stream, same events, same result). ---
+
+TEST(FaultInjection, NullPlanIsBitIdenticalToFaultFreeRun) {
+  const DcsScenario s = stochastic_scenario();
+  DtrPolicy policy(2);
+  policy.set(0, 1, 5);
+
+  const DcsSimulator plain(s);
+  // Non-trivial retransmission parameters, but inactive channels and zero
+  // rates: the hooks must neither draw from the RNG nor schedule events.
+  SimulatorOptions opts;
+  opts.faults.group_channel.retransmit_timeout = 123.0;
+  opts.faults.group_channel.max_retries = 9;
+  opts.faults.fn_channel.backoff_factor = 4.0;
+  ASSERT_TRUE(opts.faults.is_null());
+  const DcsSimulator nulled(s, opts);
+
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    random::Rng rng1(seed), rng2(seed);
+    const SimResult a = plain.run(policy, rng1);
+    const SimResult b = nulled.run(policy, rng2);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.completion_time, b.completion_time);  // bitwise, no NEAR
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.busy_time, b.busy_time);
+    EXPECT_EQ(a.tasks_served, b.tasks_served);
+    // And the streams advanced identically: the next draw agrees.
+    EXPECT_EQ(rng1.next_double(), rng2.next_double());
+  }
+}
+
+TEST(FaultInjection, NullPlanMonteCarloMetricsAreBitIdentical) {
+  const DcsScenario s = stochastic_scenario();
+  DtrPolicy policy(2);
+  policy.set(0, 1, 5);
+
+  MonteCarloOptions plain;
+  plain.replications = 500;
+  plain.seed = 77;
+  MonteCarloOptions nulled = plain;
+  nulled.simulator.faults.group_channel.retransmit_timeout = 55.0;
+  ASSERT_TRUE(nulled.simulator.faults.is_null());
+
+  const MonteCarloMetrics a = run_monte_carlo(s, policy, plain);
+  const MonteCarloMetrics b = run_monte_carlo(s, policy, nulled);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.reliability.center, b.reliability.center);
+  EXPECT_EQ(a.mean_completion_time.center, b.mean_completion_time.center);
+  EXPECT_EQ(b.fault_totals.group_retransmissions, 0u);
+  EXPECT_EQ(b.fault_totals.shocks, 0u);
+  EXPECT_EQ(b.fault_totals.stalls, 0u);
+}
+
+// --- Retransmission semantics. ------------------------------------------
+
+TEST(FaultInjection, CertainGroupDropStrandsTasksAfterRetryBudget) {
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 5.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  SimulatorOptions opts;
+  opts.faults.group_channel.drop_probability = 1.0;
+  opts.faults.group_channel.max_retries = 2;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(1);
+  const SimResult r = sim.run(policy, rng);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(std::isinf(r.completion_time));
+  EXPECT_EQ(r.faults.tasks_lost_in_network, 2);
+  // Retransmissions actually sent: the retry budget, not the attempts.
+  EXPECT_EQ(r.faults.group_retransmissions, 2u);
+}
+
+TEST(FaultInjection, CertainFnDropIsSilentAndHarmless) {
+  // Same setup as Simulator.FnDeliveryObservableWhenWorkloadSurvives, but
+  // the FN channel drops everything: the workload still completes, just
+  // without the notice.
+  const DcsScenario s = deterministic_scenario(4, 0, 1.0, 1.0, 5.0, 0.0, 2.0);
+  SimulatorOptions opts;
+  opts.faults.fn_channel.drop_probability = 1.0;
+  opts.faults.fn_channel.max_retries = 3;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.fn_deliveries.empty());
+  EXPECT_EQ(r.faults.fn_packets_dropped, 1u);
+  EXPECT_EQ(r.faults.fn_retransmissions, 3u);
+}
+
+TEST(FaultInjection, LossyChannelProducesAllThreeOutcomes) {
+  // drop = 0.5 with one retry and a huge RTO separates the outcomes by
+  // completion time: clean delivery completes early, a retransmitted
+  // delivery completes after the RTO, exhaustion loses the workload.
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 5.0);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  SimulatorOptions opts;
+  opts.faults.group_channel.drop_probability = 0.5;
+  opts.faults.group_channel.retransmit_timeout = 100.0;
+  opts.faults.group_channel.max_retries = 1;
+  const DcsSimulator sim(s, opts);
+
+  int clean = 0, retried = 0, lost = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    random::Rng rng(seed);
+    const SimResult r = sim.run(policy, rng);
+    if (!r.completed) {
+      ++lost;
+      EXPECT_EQ(r.faults.tasks_lost_in_network, 2);
+    } else if (r.faults.group_retransmissions == 1) {
+      ++retried;
+      // Delivery waited out the 100 s RTO before the 5 s transfer.
+      EXPECT_GE(r.completion_time, 100.0);
+    } else {
+      ++clean;
+      EXPECT_NEAR(r.completion_time, 7.0, 1e-12);  // the fault-free answer
+    }
+  }
+  EXPECT_GT(clean, 0);
+  EXPECT_GT(retried, 0);
+  EXPECT_GT(lost, 0);
+  EXPECT_EQ(clean + retried + lost, 200);
+}
+
+// --- Common-cause shocks (correlated failures, violating A2). -----------
+
+TEST(FaultInjection, LethalShockKillsEveryServerTogether) {
+  // Service takes 200 s per task; the first shock (mean 1 s) strikes long
+  // before any completion and kills both servers at the same instant.
+  const DcsScenario s = deterministic_scenario(3, 2, 200.0, 200.0, 5.0);
+  SimulatorOptions opts;
+  opts.faults.shock_rate = 1.0;
+  opts.faults.shock_kill_probability = 1.0;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(7);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GE(r.faults.shocks, 1u);
+  EXPECT_EQ(r.faults.shock_failures, 2u);
+  // Correlated: both failure times equal — impossible under A2's
+  // independent clocks with continuous laws.
+  EXPECT_EQ(r.failure_time[0], r.failure_time[1]);
+  EXPECT_TRUE(std::isfinite(r.failure_time[0]));
+}
+
+TEST(FaultInjection, GentleShocksDegradeReliability) {
+  const DcsScenario s = stochastic_scenario();
+  DtrPolicy policy(2);
+
+  MonteCarloOptions clean;
+  clean.replications = 800;
+  clean.seed = 11;
+  MonteCarloOptions shocked = clean;
+  shocked.simulator.faults.shock_rate = 1.0 / 50.0;
+  shocked.simulator.faults.shock_kill_probability = 0.5;
+
+  const double r_clean = run_monte_carlo(s, policy, clean).reliability.center;
+  const MonteCarloMetrics m = run_monte_carlo(s, policy, shocked);
+  EXPECT_LT(m.reliability.center, r_clean);
+  EXPECT_GT(m.fault_totals.shock_failures, 0u);
+}
+
+// --- Transient stalls (non-crash interruption of service). --------------
+
+TEST(FaultInjection, StallsPauseServiceWithoutLosingWork) {
+  // One server, one task, deterministic 10 s service. Every stall that
+  // lands before completion pauses the in-flight service; the task still
+  // completes, shifted by exactly the injected stall time, and the busy
+  // time excludes the pauses.
+  DcsScenario s;
+  s.servers = {{1, det(10.0), nullptr}};
+  s.transfer = {{nullptr}};
+  SimulatorOptions opts;
+  opts.faults.stall_rate = 0.2;
+  opts.faults.stall_duration = det(3.0);
+  const DcsSimulator sim(s, opts);
+  bool saw_stall = false;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    random::Rng rng(seed);
+    const SimResult r = sim.run(DtrPolicy(1), rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.tasks_served[0], 1);
+    EXPECT_NEAR(r.completion_time, 10.0 + r.faults.total_stall_time, 1e-9);
+    EXPECT_NEAR(r.busy_time[0], 10.0, 1e-9);
+    saw_stall = saw_stall || r.faults.stalls > 0;
+  }
+  EXPECT_TRUE(saw_stall);  // rate 0.2 over >= 10 s: virtually certain
+}
+
+TEST(FaultInjection, OverlappingStallsMergeInsteadOfStacking) {
+  // Without overlap every stall of the deterministic 0.4 s duration
+  // contributes exactly 0.4 s; a stall landing inside an active stall
+  // contributes strictly less. Stacking would always give 0.4 x stalls.
+  DcsScenario s;
+  s.servers = {{1, det(4.0), nullptr}};
+  s.transfer = {{nullptr}};
+  SimulatorOptions opts;
+  opts.faults.stall_rate = 1.0;
+  opts.faults.stall_duration = det(0.4);
+  const DcsSimulator sim(s, opts);
+  bool saw_merge = false;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    random::Rng rng(seed);
+    const SimResult r = sim.run(DtrPolicy(1), rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_NEAR(r.completion_time, 4.0 + r.faults.total_stall_time, 1e-9);
+    EXPECT_LE(r.faults.total_stall_time,
+              0.4 * static_cast<double>(r.faults.stalls) + 1e-9);
+    if (r.faults.stalls >= 2 &&
+        r.faults.total_stall_time <
+            0.4 * static_cast<double>(r.faults.stalls) - 1e-9) {
+      saw_merge = true;
+    }
+  }
+  EXPECT_TRUE(saw_merge);  // P(two stalls within 0.4 s) ~ 1 over 40 runs
+}
+
+// --- Monte-Carlo aggregation of fault runs. -----------------------------
+
+TEST(FaultInjection, MonteCarloCountsTruncatedRunsSeparately) {
+  // Failure-free, so no run can end early by losing its workload: all 30
+  // tasks need far more than 5 events and every replication truncates.
+  std::vector<ServerSpec> servers = {
+      {20, dist::Exponential::with_mean(2.0), nullptr},
+      {10, dist::Exponential::with_mean(1.0), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(3.0),
+      dist::Exponential::with_mean(0.2));
+  MonteCarloOptions mc;
+  mc.replications = 100;
+  mc.simulator.max_events = 5;  // every run truncates
+  const MonteCarloMetrics m = run_monte_carlo(s, DtrPolicy(2), mc);
+  EXPECT_EQ(m.truncated, 100u);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_FALSE(m.all_completed);
+  // Truncated runs count against reliability (they never finished).
+  EXPECT_LT(m.reliability.center, 0.1);
+}
+
+TEST(FaultInjection, MonteCarloAggregatesFaultTotals) {
+  const DcsScenario s = stochastic_scenario();
+  DtrPolicy policy(2);
+  policy.set(0, 1, 5);
+  MonteCarloOptions mc;
+  mc.replications = 300;
+  mc.simulator.faults.group_channel.drop_probability = 0.3;
+  mc.simulator.faults.group_channel.retransmit_timeout = 0.5;
+  mc.simulator.faults.stall_rate = 1.0 / 20.0;
+  mc.simulator.faults.stall_duration = dist::Exponential::with_mean(2.0);
+  const MonteCarloMetrics m = run_monte_carlo(s, policy, mc);
+  // With 300 draws at p = 0.3 the expectation is ~90 first-drop events;
+  // zero would mean the counters are not wired through.
+  EXPECT_GT(m.fault_totals.group_retransmissions, 0u);
+  EXPECT_GT(m.fault_totals.stalls, 0u);
+  EXPECT_GT(m.fault_totals.total_stall_time, 0.0);
+}
+
+}  // namespace
+}  // namespace agedtr::sim

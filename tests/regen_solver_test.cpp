@@ -227,6 +227,8 @@ TEST(RegenSolver, QosConvergesToReliability) {
 }
 
 TEST(RegenSolver, DepthGuardTriggersOnLargeConfigurations) {
+  // Exceeding the recursion depth is a budget condition a fallback chain
+  // recovers from, not a precondition violation.
   const DcsScenario s =
       small_scenario(dist::Exponential::with_mean(2.0),
                      dist::Exponential::with_mean(1.0), 100, 50,
@@ -234,7 +236,31 @@ TEST(RegenSolver, DepthGuardTriggersOnLargeConfigurations) {
   RegenSolverOptions opts;
   opts.max_depth = 8;
   const RegenerativeSolver regen(s, opts);
-  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), InvalidArgument);
+  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), BudgetExceeded);
+}
+
+TEST(RegenSolver, BudgetDepthOverridesMaxDepth) {
+  const DcsScenario s =
+      small_scenario(dist::Exponential::with_mean(2.0),
+                     dist::Exponential::with_mean(1.0), 100, 50,
+                     dist::Exponential::with_mean(1.5));
+  RegenSolverOptions opts;
+  opts.budget.max_depth = 8;  // tighter than the default max_depth
+  const RegenerativeSolver regen(s, opts);
+  EXPECT_THROW(regen.reliability(DtrPolicy(2)), BudgetExceeded);
+}
+
+TEST(RegenSolver, WallClockBudgetExhaustsOnSlowConfigurations) {
+  // 6 + 5 tasks is within the depth guard but far too slow for a
+  // microsecond of wall clock.
+  const DcsScenario s =
+      small_scenario(dist::Exponential::with_mean(2.0),
+                     dist::Exponential::with_mean(1.0), 6, 5,
+                     dist::Exponential::with_mean(1.5));
+  RegenSolverOptions opts;
+  opts.budget.max_seconds = 1e-6;
+  const RegenerativeSolver regen(s, opts);
+  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), BudgetExceeded);
 }
 
 TEST(RegenSolver, ThreeServerMeanMatchesConvolution) {

@@ -1,0 +1,215 @@
+// The graceful-degradation fallback chain: tier selection, downgrade on
+// each failure class (depth budget, wall-clock budget, state-space cap,
+// non-memoryless refusal, no-support Monte-Carlo), value agreement with the
+// direct solvers, and the no-throw contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/markovian.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/policy/resilient_eval.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+
+DcsScenario tiny_scenario() {
+  // Small enough for the reference recursion's default 0.5 s budget (a
+  // 2+1-task system with a transfer group already exceeds it).
+  std::vector<ServerSpec> servers = {
+      {1, dist::Exponential::with_mean(2.0),
+       dist::Exponential::with_mean(50.0)},
+      {1, dist::Exponential::with_mean(1.0),
+       dist::Exponential::with_mean(40.0)}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(1.5),
+      dist::Exponential::with_mean(0.2));
+}
+
+DcsScenario paper_scale_scenario() {
+  std::vector<ServerSpec> servers = {
+      {100, dist::Exponential::with_mean(2.0),
+       dist::Exponential::with_mean(1000.0)},
+      {50, dist::Exponential::with_mean(1.0),
+       dist::Exponential::with_mean(500.0)}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(9.0),
+      dist::Exponential::with_mean(1.0));
+}
+
+bool tier_declined(const EvalOutcome& outcome, EvalTier tier) {
+  for (const TierFailure& f : outcome.failures) {
+    if (f.tier == tier) return true;
+  }
+  return false;
+}
+
+TEST(ResilientEval, RegenerativeAnswersTinyConfigurations) {
+  const ResilientEvaluator eval(tiny_scenario(), {});
+  const EvalOutcome outcome = eval.evaluate(DtrPolicy(2));
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kRegenerative);
+  EXPECT_TRUE(outcome.failures.empty());
+  EXPECT_GT(outcome.value, 0.0);
+  EXPECT_LE(outcome.value, 1.0);
+}
+
+TEST(ResilientEval, PaperScaleFallsBackToConvolution) {
+  const DcsScenario s = paper_scale_scenario();
+  const ResilientEvaluator eval(s, {});
+  const DtrPolicy policy = make_two_server_policy(20, 0);
+  const EvalOutcome outcome = eval.evaluate(policy);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kConvolution);
+  EXPECT_TRUE(tier_declined(outcome, EvalTier::kRegenerative));
+  // The fallback answer is the exact solver's answer, not an approximation.
+  const core::ConvolutionSolver direct;
+  EXPECT_NEAR(outcome.value,
+              direct.reliability(core::apply_policy(s, policy)), 1e-9);
+}
+
+TEST(ResilientEval, StarvedConvolutionFallsBackToMarkovian) {
+  const DcsScenario s = paper_scale_scenario();
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  const ResilientEvaluator eval(s, options);
+  const DtrPolicy policy = make_two_server_policy(0, 0);
+  const EvalOutcome outcome = eval.evaluate(policy);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kMarkovian);
+  EXPECT_TRUE(tier_declined(outcome, EvalTier::kRegenerative));
+  EXPECT_TRUE(tier_declined(outcome, EvalTier::kConvolution));
+  // All laws are exponential, so the Markovian tier is exact here.
+  const core::MarkovianSolver direct(s);
+  EXPECT_NEAR(outcome.value, direct.reliability(policy), 1e-9);
+}
+
+TEST(ResilientEval, StateCapFallsBackToMonteCarlo) {
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 400;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(0, 0));
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kMonteCarlo);
+  EXPECT_EQ(outcome.failures.size(), 3u);
+  EXPECT_GT(outcome.value, 0.0);
+  EXPECT_LT(outcome.value, 1.0);
+}
+
+TEST(ResilientEval, MarkovianRefusesNonMemorylessWhenApproximationOff) {
+  // Uniform service is not memoryless: with the approximation disallowed
+  // the Markovian tier must decline rather than silently exponentialize.
+  std::vector<ServerSpec> servers = {
+      {30, std::make_shared<dist::Uniform>(0.0, 4.0),
+       dist::Exponential::with_mean(100.0)},
+      {20, std::make_shared<dist::Uniform>(0.0, 2.0),
+       dist::Exponential::with_mean(80.0)}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(2.0),
+      dist::Exponential::with_mean(0.2));
+  ResilientEvalOptions options;
+  options.try_regenerative = false;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.allow_markovian_approximation = false;
+  options.monte_carlo.replications = 300;
+  const ResilientEvaluator eval(s, options);
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(5, 0));
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kMonteCarlo);
+  EXPECT_FALSE(tier_declined(outcome, EvalTier::kRegenerative));  // skipped
+  EXPECT_TRUE(tier_declined(outcome, EvalTier::kMarkovian));
+}
+
+TEST(ResilientEval, TotalFailureReportsOkFalseWithoutThrowing) {
+  // Deterministic failure at t = 1 before any 2 s service completes: no
+  // replication ever finishes, so the mean execution time has no support
+  // and even the Monte-Carlo tier declines.
+  std::vector<ServerSpec> servers = {
+      {3, std::make_shared<dist::Deterministic>(2.0),
+       std::make_shared<dist::Deterministic>(1.0)}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr}};
+  ResilientEvalOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  options.try_regenerative = false;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 50;
+  const ResilientEvaluator eval(s, options);
+  EvalOutcome outcome;
+  ASSERT_NO_THROW(outcome = eval.evaluate(DtrPolicy(1)));
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.failures.size(), 3u);
+
+  // The search adapter turns total failure into the worst value so a
+  // minimizing sweep simply avoids the policy.
+  const PolicyEvaluator as_eval = eval.as_policy_evaluator();
+  EXPECT_TRUE(std::isinf(as_eval(DtrPolicy(1))));
+  EXPECT_GT(as_eval(DtrPolicy(1)), 0.0);
+}
+
+TEST(ResilientEval, QosObjectiveRequiresDeadline) {
+  ResilientEvalOptions options;
+  options.objective = Objective::kQos;
+  EXPECT_THROW(ResilientEvaluator(tiny_scenario(), options),
+               InvalidArgument);
+  options.deadline = 10.0;
+  EXPECT_NO_THROW(ResilientEvaluator(tiny_scenario(), options));
+}
+
+TEST(ResilientEval, QosAgreesAcrossChainOnTinyScenario) {
+  const DcsScenario s = tiny_scenario();
+  ResilientEvalOptions options;
+  options.objective = Objective::kQos;
+  options.deadline = 6.0;
+  const ResilientEvaluator eval(s, options);
+  const EvalOutcome outcome = eval.evaluate(DtrPolicy(2));
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.tier, EvalTier::kRegenerative);
+  EXPECT_GT(outcome.value, 0.0);
+  EXPECT_LT(outcome.value, 1.0);
+}
+
+TEST(ResilientEval, TallyAccumulatesAnswersAndDeclines) {
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 200;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  EvalTally tally;
+  for (int l12 = 0; l12 <= 10; l12 += 5) {
+    tally.record(eval.evaluate(make_two_server_policy(l12, 0)));
+  }
+  EXPECT_EQ(tally.evaluations, 3u);
+  EXPECT_EQ(tally.answered[static_cast<int>(EvalTier::kMonteCarlo)], 3u);
+  EXPECT_EQ(tally.declined[static_cast<int>(EvalTier::kRegenerative)], 3u);
+  EXPECT_EQ(tally.declined[static_cast<int>(EvalTier::kConvolution)], 3u);
+  EXPECT_EQ(tally.declined[static_cast<int>(EvalTier::kMarkovian)], 3u);
+  EXPECT_EQ(tally.total_failures, 0u);
+}
+
+TEST(ResilientEval, DescribeNamesAnsweringTierAndReasons) {
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  const std::string text =
+      eval.evaluate(make_two_server_policy(0, 0)).describe();
+  EXPECT_NE(text.find("markovian answered"), std::string::npos);
+  EXPECT_NE(text.find("regenerative declined"), std::string::npos);
+  EXPECT_NE(text.find("convolution declined"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agedtr::policy

@@ -179,7 +179,7 @@ TEST(Simulator, QueueInfoBroadcastsRun) {
   EXPECT_GT(r.events_processed, 12u);
 }
 
-TEST(Simulator, EventBudgetGuards) {
+TEST(Simulator, EventBudgetTruncatesInsteadOfThrowing) {
   std::vector<ServerSpec> servers = {
       {100, dist::Exponential::with_mean(1.0), nullptr}};
   DcsScenario s;
@@ -189,7 +189,21 @@ TEST(Simulator, EventBudgetGuards) {
   opts.max_events = 10;
   const DcsSimulator sim(s, opts);
   random::Rng rng(1);
-  EXPECT_THROW(sim.run(DtrPolicy(1), rng), InvalidArgument);
+  const SimResult r = sim.run(DtrPolicy(1), rng);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.events_processed, 10u);
+}
+
+TEST(Simulator, EventBudgetLargeEnoughDoesNotTruncate) {
+  const DcsScenario s = deterministic_scenario(3, 2, 2.0, 1.0, 5.0);
+  SimulatorOptions opts;
+  opts.max_events = 100;
+  const DcsSimulator sim(s, opts);
+  random::Rng rng(1);
+  const SimResult r = sim.run(DtrPolicy(2), rng);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.completed);
 }
 
 TEST(Simulator, BusyTimeNeverExceedsCompletionTime) {

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "agedtr/util/budget.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/stopwatch.hpp"
@@ -178,6 +179,64 @@ TEST(ThreadPool, FuturePropagatesException) {
   ThreadPool pool(1);
   auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
   EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForCancelsRemainingWorkOnThrow) {
+  // A throwing iteration trips the cooperative cancel flag; later
+  // iterations in other chunks are skipped, not run to completion.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(0, 100'000,
+                                 [&](std::size_t) {
+                                   executed.fetch_add(1);
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // At most one iteration per chunk can start before the flag is seen.
+  EXPECT_LE(executed.load(), 1000);
+}
+
+TEST(ThreadPool, ReusableAfterCancelledParallelFor) {
+  // Regression: an exception mid-sweep must not wedge the pool (workers
+  // stuck, futures unfulfilled, deadlock on the next call).
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 1000,
+                                   [&](std::size_t i) {
+                                     if (i % 97 == 3) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 1000, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 1000);
+  }
+}
+
+TEST(EvalBudget, UnlimitedByDefault) {
+  const EvalBudget budget;
+  EXPECT_FALSE(budget.limits_time());
+  const BudgetTimer timer(budget);
+  EXPECT_FALSE(timer.expired());
+  EXPECT_NO_THROW(timer.check("test"));
+}
+
+TEST(EvalBudget, ExpiredTimerThrowsBudgetExceeded) {
+  EvalBudget budget;
+  budget.max_seconds = 1e-9;
+  const BudgetTimer timer(budget);
+  // A nanosecond is over by the time we get here.
+  EXPECT_TRUE(timer.expired());
+  EXPECT_THROW(timer.check("test"), BudgetExceeded);
+}
+
+TEST(EvalBudget, GenerousDeadlineDoesNotTrip) {
+  EvalBudget budget;
+  budget.max_seconds = 3600.0;
+  const BudgetTimer timer(budget);
+  EXPECT_FALSE(timer.expired());
+  EXPECT_NO_THROW(timer.check("test"));
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {
