@@ -1,0 +1,184 @@
+// Policy-search benchmark: Algorithm 1 on the Table II five-server system,
+// timing three devise() configurations that produce bit-identical policies:
+//
+//   baseline — share_workspace=false: every 2-server subproblem solve
+//              rebuilds its lattice discretizations from scratch (the
+//              pre-engine per-solver cache behaviour);
+//   cold     — one shared LatticeWorkspace per devise(): subproblems of the
+//              same pair (and pairs sharing laws/grids) reuse each other's
+//              lattice work;
+//   warm     — a second devise() on the same workspace: all lattice state
+//              is already resident, only the policy sweeps are recomputed.
+//
+// Emits BENCH_policy_search.json (timings, speedups, workspace counters) so
+// the perf trajectory of the evaluation engine is tracked, and exits
+// nonzero if the three devised policies ever diverge — the equivalence is
+// the refactor's contract, not an aspiration.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "agedtr/util/thread_pool.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using dist::ModelFamily;
+
+namespace {
+
+std::string policy_to_string(const core::DtrPolicy& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (i != j && p(i, j) > 0) {
+        if (!out.empty()) out += " ";
+        out += std::to_string(i + 1) + ">" + std::to_string(j + 1) + ":" +
+               std::to_string(p(i, j));
+      }
+    }
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+bool same_policy(const core::DtrPolicy& a, const core::DtrPolicy& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      if (a(i, j) != b(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "policy_search_bench: Algorithm 1 on the Table II five-server "
+      "system, cold vs warm LatticeWorkspace vs per-solve baseline");
+  cli.add_option("model", "exponential",
+                 "distribution model family for every law");
+  cli.add_option("cells", "4096", "lattice cells per 2-server solve");
+  cli.add_option("iterations", "3", "Algorithm 1 iteration cap");
+  cli.add_option("out", "BENCH_policy_search.json",
+                 "where to write the JSON record");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
+  const core::DcsScenario scenario =
+      bench::five_server_scenario(family, /*failures=*/false);
+  ThreadPool& pool = ThreadPool::global();
+
+  policy::Algorithm1Options options;
+  options.objective = policy::Objective::kMeanExecutionTime;
+  options.max_iterations = static_cast<int>(cli.get_int("iterations"));
+  options.conv.cells = static_cast<std::size_t>(cli.get_int("cells"));
+  options.pool = &pool;
+
+  Stopwatch watch;
+
+  // Baseline: a fresh private workspace per 2-server solve.
+  policy::Algorithm1Options baseline_options = options;
+  baseline_options.share_workspace = false;
+  watch.reset();
+  const auto baseline = policy::Algorithm1(baseline_options).devise(scenario);
+  const double t_baseline = watch.elapsed_seconds();
+
+  // Cold: one shared workspace, first devise() populates it.
+  const auto workspace = std::make_shared<core::LatticeWorkspace>();
+  policy::Algorithm1Options shared_options = options;
+  shared_options.workspace = workspace;
+  const policy::Algorithm1 shared_search(shared_options);
+  watch.reset();
+  const auto cold = shared_search.devise(scenario);
+  const double t_cold = watch.elapsed_seconds();
+  const core::WorkspaceStats cold_stats = workspace->stats();
+
+  // Warm: second devise() against the now-populated workspace.
+  watch.reset();
+  const auto warm = shared_search.devise(scenario);
+  const double t_warm = watch.elapsed_seconds();
+  const core::WorkspaceStats warm_stats = workspace->stats();
+
+  if (!same_policy(baseline.policy, cold.policy) ||
+      !same_policy(cold.policy, warm.policy)) {
+    std::cerr << "FAIL: devised policies diverge across configurations\n"
+              << "  baseline: " << policy_to_string(baseline.policy) << "\n"
+              << "  cold:     " << policy_to_string(cold.policy) << "\n"
+              << "  warm:     " << policy_to_string(warm.policy) << "\n";
+    return EXIT_FAILURE;
+  }
+
+  const double speedup_cold = t_baseline / t_cold;
+  const double speedup_warm = t_baseline / t_warm;
+
+  std::cout << "=== policy search | " << dist::model_family_name(family)
+            << " | M = 200 on 5 servers | cells = " << options.conv.cells
+            << " ===\n"
+            << "policy: " << policy_to_string(cold.policy) << " ("
+            << cold.iterations << " iterations"
+            << (cold.converged ? ", converged" : "") << ")\n\n";
+  Table table({"configuration", "devise (s)", "speedup vs baseline",
+               "cache hits", "cache misses"});
+  table.begin_row()
+      .cell("baseline (workspace per solve)")
+      .cell(t_baseline)
+      .cell("1.000x")
+      .cell("-")
+      .cell("-");
+  table.begin_row()
+      .cell("cold shared workspace")
+      .cell(t_cold)
+      .cell(format_double(speedup_cold, 3) + "x")
+      .cell(static_cast<double>(cold_stats.hits()))
+      .cell(static_cast<double>(cold_stats.misses()));
+  table.begin_row()
+      .cell("warm shared workspace")
+      .cell(t_warm)
+      .cell(format_double(speedup_warm, 3) + "x")
+      .cell(static_cast<double>(warm_stats.hits() - cold_stats.hits()))
+      .cell(static_cast<double>(warm_stats.misses() - cold_stats.misses()));
+  table.print(std::cout);
+  std::cout << "\nworkspace after warm pass: " << warm_stats.laws
+            << " cached laws, " << warm_stats.bytes << " bytes\n";
+
+  const std::string out_path = cli.get_string("out");
+  {
+    std::ofstream out(out_path);
+    out.precision(6);
+    out << "{\n"
+        << "  \"bench\": \"policy_search\",\n"
+        << "  \"model\": \"" << dist::model_family_name(family) << "\",\n"
+        << "  \"cells\": " << options.conv.cells << ",\n"
+        << "  \"iterations\": " << cold.iterations << ",\n"
+        << "  \"converged\": " << (cold.converged ? "true" : "false") << ",\n"
+        << "  \"policy\": \"" << policy_to_string(cold.policy) << "\",\n"
+        << "  \"baseline_seconds\": " << t_baseline << ",\n"
+        << "  \"cold_seconds\": " << t_cold << ",\n"
+        << "  \"warm_seconds\": " << t_warm << ",\n"
+        << "  \"speedup_cold\": " << speedup_cold << ",\n"
+        << "  \"speedup_warm\": " << speedup_warm << ",\n"
+        << "  \"workspace\": {\n"
+        << "    \"base_hits\": " << warm_stats.base_hits << ",\n"
+        << "    \"base_misses\": " << warm_stats.base_misses << ",\n"
+        << "    \"sum_hits\": " << warm_stats.sum_hits << ",\n"
+        << "    \"sum_misses\": " << warm_stats.sum_misses << ",\n"
+        << "    \"laws\": " << warm_stats.laws << ",\n"
+        << "    \"bytes\": " << warm_stats.bytes << "\n"
+        << "  }\n"
+        << "}\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+
+  if (warm_stats.hits() == 0) {
+    std::cerr << "FAIL: shared workspace never served a hit\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Builds the full tree under ASan+UBSan and (optionally) TSan and runs the
-# test suite under each. Usage:
+# Builds the full tree under ASan+UBSan and under TSan and runs the test
+# suite under each. TSan matters since the lattice workspace and the
+# evaluation engine share mutable cache state across pool threads; the
+# concurrency-heavy suites (lattice_workspace_test, evaluation_engine_test,
+# util_test) are its primary targets. Usage:
 #
-#   scripts/run_sanitizers.sh            # address+undefined only
-#   scripts/run_sanitizers.sh --tsan     # also the thread-sanitizer pass
+#   scripts/run_sanitizers.sh            # address+undefined, then thread
+#   scripts/run_sanitizers.sh --no-tsan  # address+undefined only
+#   scripts/run_sanitizers.sh --tsan     # accepted for compatibility (tsan
+#                                        # is on by default now)
 #   scripts/run_sanitizers.sh -j 8       # cap build/test parallelism
 #
 # Each configuration builds out-of-tree in build-asan/ / build-tsan/ so the
@@ -13,10 +18,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
-run_tsan=0
+run_tsan=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --tsan) run_tsan=1 ;;
+    --no-tsan) run_tsan=0 ;;
     -j) jobs="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
-#include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::core {
@@ -38,12 +38,14 @@ LatticeDensity lattice_min(const std::vector<LatticeDensity>& parts) {
 
 }  // namespace
 
-ConvolutionSolver::ConvolutionSolver(ConvolutionOptions options)
-    : options_(options) {
+ConvolutionSolver::ConvolutionSolver(
+    ConvolutionOptions options, std::shared_ptr<LatticeWorkspace> workspace)
+    : options_(options), workspace_(std::move(workspace)) {
   AGEDTR_REQUIRE(options_.cells >= 64,
                  "ConvolutionSolver: need at least 64 lattice cells");
   AGEDTR_REQUIRE(options_.horizon_multiple >= 1.0,
                  "ConvolutionSolver: horizon multiple must be >= 1");
+  if (workspace_ == nullptr) workspace_ = std::make_shared<LatticeWorkspace>();
   if (options_.dt > 0.0) dt_ = options_.dt;
 }
 
@@ -83,56 +85,24 @@ void ConvolutionSolver::ensure_grid(
 
 const LatticeDensity& ConvolutionSolver::base_lattice(
     const dist::DistPtr& law) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  AGEDTR_ASSERT(dt_ > 0.0);
-  const auto it = base_cache_.find(law.get());
-  if (it != base_cache_.end()) return it->second;
-  auto [ins, ok] = base_cache_.emplace(
-      law.get(), dist::discretize(*law, dt_, options_.cells));
-  (void)ok;
-  // Pre-build the lazy CDF while the lock is held: cached densities are
-  // shared across threads and ensure_cdf() mutates on first use.
-  ins->second.ensure_cdf();
-  return ins->second;
+  double dt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AGEDTR_ASSERT(dt_ > 0.0);
+    dt = dt_;
+  }
+  return workspace_->base(law, dt, options_.cells);
 }
 
 LatticeDensity ConvolutionSolver::service_sum(const dist::DistPtr& service,
                                               unsigned k) const {
-  const LatticeDensity& base = base_lattice(service);
-  if (k == 0) return LatticeDensity::zero(base.dt(), base.size());
-  if (k == 1) return base;
+  double dt;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = sum_cache_.find({service.get(), k});
-    if (it != sum_cache_.end()) return it->second;
+    AGEDTR_ASSERT(dt_ > 0.0);
+    dt = dt_;
   }
-  unsigned needed_levels = 0;
-  for (unsigned kk = k; kk > 1; kk >>= 1u) ++needed_levels;
-  // Copy the needed ladder rungs W^{*2^i} under the lock (extending the
-  // ladder if required), then compose outside it so concurrent sweeps do
-  // not serialize on the convolution work.
-  std::vector<LatticeDensity> rungs;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& powers = power_cache_[service.get()];
-    if (powers.empty()) powers.push_back(base);
-    while (powers.size() <= needed_levels) {
-      powers.push_back(powers.back().convolve(powers.back()));
-    }
-    for (unsigned bit = 0; (1u << bit) <= k; ++bit) {
-      if (k & (1u << bit)) rungs.push_back(powers[bit]);
-    }
-  }
-  LatticeDensity result = std::move(rungs.front());
-  for (std::size_t i = 1; i < rungs.size(); ++i) {
-    result = result.convolve(rungs[i]);
-  }
-  result.ensure_cdf();  // cached entries are shared across threads
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sum_cache_.emplace(std::make_pair(service.get(), k), result);
-  }
-  return result;
+  return workspace_->sum(service, k, dt, options_.cells);
 }
 
 LatticeDensity ConvolutionSolver::completion_density(

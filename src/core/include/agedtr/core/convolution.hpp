@@ -26,11 +26,11 @@
 // arrival law (max or min of the transfer times, bracketing the truth).
 #pragma once
 
-#include <map>
+#include <memory>
 #include <mutex>
-#include <utility>
 #include <vector>
 
+#include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/numerics/lattice.hpp"
 #include "agedtr/util/budget.hpp"
@@ -61,7 +61,13 @@ struct ConvolutionOptions {
 
 class ConvolutionSolver {
  public:
-  explicit ConvolutionSolver(ConvolutionOptions options = {});
+  /// `workspace` is the cache substrate for discretizations and k-fold
+  /// sums; pass a shared one to reuse lattice work across solver instances
+  /// (entries are keyed by grid, so solvers with different dt coexist).
+  /// nullptr gives the solver a private workspace.
+  explicit ConvolutionSolver(
+      ConvolutionOptions options = {},
+      std::shared_ptr<LatticeWorkspace> workspace = nullptr);
 
   /// T̄(L; S₀). Requires every failure law empty (the paper defines the
   /// metric for completely reliable servers). Includes the analytic
@@ -89,6 +95,11 @@ class ConvolutionSolver {
 
   /// The lattice step in use (after auto-derivation).
   [[nodiscard]] double dt() const;
+
+  /// The cache substrate this solver draws from (never null).
+  [[nodiscard]] const std::shared_ptr<LatticeWorkspace>& workspace() const {
+    return workspace_;
+  }
 
   /// The full law of the workload execution time T = max_j C_j for
   /// completely reliable servers: CDF samples on the lattice plus moments
@@ -129,7 +140,8 @@ class ConvolutionSolver {
 
  private:
   void ensure_grid(const std::vector<ServerWorkload>& workloads) const;
-  /// k-fold service convolution with a per-distribution power-of-two cache.
+  /// k-fold service convolution, served from the workspace's power-of-two
+  /// ladder and exact-sum caches.
   [[nodiscard]] numerics::LatticeDensity service_sum(
       const dist::DistPtr& service, unsigned k) const;
   [[nodiscard]] const numerics::LatticeDensity& base_lattice(
@@ -137,20 +149,12 @@ class ConvolutionSolver {
 
   ConvolutionOptions options_;
 
-  mutable std::mutex mutex_;
+  // Discretization and k-fold-sum caches live in the (possibly shared)
+  // workspace, keyed by (law, dt, cells); the solver itself only freezes
+  // the grid.
+  std::shared_ptr<LatticeWorkspace> workspace_;
+  mutable std::mutex mutex_;  // guards dt_
   mutable double dt_ = 0.0;
-  // Discretization cache (per distribution object) and binary-power cache
-  // for service sums; both valid for the frozen grid.
-  mutable std::map<const dist::Distribution*, numerics::LatticeDensity>
-      base_cache_;
-  mutable std::map<const dist::Distribution*,
-                   std::vector<numerics::LatticeDensity>>
-      power_cache_;
-  // Exact k-fold results, keyed (law, k): policy sweeps revisit the same
-  // counts constantly and each composition costs several FFTs.
-  mutable std::map<std::pair<const dist::Distribution*, unsigned>,
-                   numerics::LatticeDensity>
-      sum_cache_;
 };
 
 }  // namespace agedtr::core

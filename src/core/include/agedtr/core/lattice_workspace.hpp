@@ -1,0 +1,126 @@
+// LatticeWorkspace: the shared cache substrate every lattice-based solver
+// draws from.
+//
+// A ConvolutionSolver spends almost all of its time in two places: the
+// discretization of a continuous law onto a lattice grid, and the k-fold
+// FFT power ladder behind i.i.d. service sums. Both depend only on
+// (distribution identity, grid) — not on which solver, policy, or scenario
+// asked — so hoisting them out of the solver lets every evaluation that
+// shares a grid share the work: the (i, j) subproblems of Algorithm 1, the
+// two engines of a trade-off analysis, the candidate scenarios of an
+// allocation search, and repeated devise() calls all hit the same tables.
+//
+// Keying and identity. Entries are keyed by (distribution object, dt,
+// cells, k). Identity is the distribution *object*, matching the solvers'
+// contract that equal pointers mean equal laws; to make that sound across
+// the workspace's longer lifetime, every entry pins its law with a
+// shared_ptr. A pinned address can never be recycled for a different
+// distribution, so the raw-pointer key cannot alias (the classic ABA
+// hazard of caching by address) for as long as the entry lives.
+//
+// Thread safety. All public methods are safe to call concurrently; one
+// mutex guards the tables. Ladder extension (the W^{*2^i} doublings)
+// happens under the lock — the rungs are shared state — while the final
+// per-k composition runs outside it so concurrent sweeps do not serialize
+// on each other's FFTs. Cached densities have their CDF prefix sums built
+// before they are published, making subsequent reads lock-free and const.
+//
+// Accounting. Hit/miss counters (split by base-discretization and k-fold
+// lookups) and an approximate resident-byte count let benches and servers
+// watch cache effectiveness; see WorkspaceStats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+#include "agedtr/numerics/lattice.hpp"
+
+namespace agedtr::core {
+
+/// Cache-effectiveness counters for a LatticeWorkspace.
+struct WorkspaceStats {
+  /// Base-discretization lookups served from / missing in the cache.
+  std::uint64_t base_hits = 0;
+  std::uint64_t base_misses = 0;
+  /// Exact k-fold-sum lookups (k >= 2) served from / missing in the cache.
+  std::uint64_t sum_hits = 0;
+  std::uint64_t sum_misses = 0;
+  /// Approximate bytes resident in cached densities (mass + CDF arrays).
+  std::uint64_t bytes = 0;
+  /// Distinct (law, grid) entries.
+  std::uint64_t laws = 0;
+
+  [[nodiscard]] std::uint64_t hits() const { return base_hits + sum_hits; }
+  [[nodiscard]] std::uint64_t misses() const {
+    return base_misses + sum_misses;
+  }
+};
+
+/// Thread-safe cache of lattice discretizations and k-fold i.i.d. sums,
+/// shared across solver instances via shared_ptr.
+class LatticeWorkspace {
+ public:
+  LatticeWorkspace() = default;
+  LatticeWorkspace(const LatticeWorkspace&) = delete;
+  LatticeWorkspace& operator=(const LatticeWorkspace&) = delete;
+
+  /// The discretization of `law` on the grid {0, dt, …, (cells−1)·dt}.
+  /// The reference stays valid (and its CDF pre-built) for the workspace's
+  /// lifetime; the law is pinned alive by the entry.
+  [[nodiscard]] const numerics::LatticeDensity& base(const dist::DistPtr& law,
+                                                     double dt,
+                                                     std::size_t cells);
+
+  /// The law of the k-fold i.i.d. sum of `law` on the same grid (k == 0 is
+  /// the point mass at zero, k == 1 the base discretization). Exact k-fold
+  /// results and the binary power ladder behind them are cached.
+  [[nodiscard]] numerics::LatticeDensity sum(const dist::DistPtr& law,
+                                             unsigned k, double dt,
+                                             std::size_t cells);
+
+  [[nodiscard]] WorkspaceStats stats() const;
+
+  /// Drops every cached density (counters are reset too).
+  void clear();
+
+ private:
+  struct GridKey {
+    const dist::Distribution* law = nullptr;
+    double dt = 0.0;
+    std::size_t cells = 0;
+    [[nodiscard]] bool operator<(const GridKey& o) const {
+      if (law != o.law) return law < o.law;
+      if (dt != o.dt) return dt < o.dt;
+      return cells < o.cells;
+    }
+  };
+  struct LawEntry {
+    dist::DistPtr pin;  // keeps the keyed address from being recycled
+    numerics::LatticeDensity base;
+    /// powers[i] = the 2^i-fold sum (powers[0] == base).
+    std::vector<numerics::LatticeDensity> powers;
+    /// Exact k-fold sums for the k's actually requested.
+    std::map<unsigned, numerics::LatticeDensity> sums;
+  };
+
+  /// Locates (creating on miss) the entry for (law, dt, cells). Caller must
+  /// hold `mutex_`.
+  LawEntry& entry_locked(const dist::DistPtr& law, double dt,
+                         std::size_t cells);
+
+  [[nodiscard]] static std::uint64_t density_bytes(
+      const numerics::LatticeDensity& d) {
+    // mass + (lazily materialized, but always pre-built here) cdf arrays.
+    return static_cast<std::uint64_t>(d.size()) * 2u * sizeof(double);
+  }
+
+  mutable std::mutex mutex_;
+  std::map<GridKey, LawEntry> entries_;
+  WorkspaceStats stats_;
+};
+
+}  // namespace agedtr::core

@@ -1,0 +1,98 @@
+#include "agedtr/core/lattice_workspace.hpp"
+
+#include <utility>
+
+#include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+using numerics::LatticeDensity;
+
+LatticeWorkspace::LawEntry& LatticeWorkspace::entry_locked(
+    const dist::DistPtr& law, double dt, std::size_t cells) {
+  const GridKey key{law.get(), dt, cells};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  LawEntry entry{law, dist::discretize(*law, dt, cells), {}, {}};
+  // Publish with the CDF prefix sums in place: cached densities are shared
+  // across threads and ensure_cdf() mutates on first use.
+  entry.base.ensure_cdf();
+  stats_.bytes += density_bytes(entry.base);
+  ++stats_.laws;
+  return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+const LatticeDensity& LatticeWorkspace::base(const dist::DistPtr& law,
+                                             double dt, std::size_t cells) {
+  AGEDTR_REQUIRE(law != nullptr, "LatticeWorkspace::base: null law");
+  AGEDTR_REQUIRE(dt > 0.0, "LatticeWorkspace::base: dt must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool known =
+      entries_.find(GridKey{law.get(), dt, cells}) != entries_.end();
+  if (known) {
+    ++stats_.base_hits;
+  } else {
+    ++stats_.base_misses;
+  }
+  return entry_locked(law, dt, cells).base;
+}
+
+LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
+                                     double dt, std::size_t cells) {
+  AGEDTR_REQUIRE(law != nullptr, "LatticeWorkspace::sum: null law");
+  AGEDTR_REQUIRE(dt > 0.0, "LatticeWorkspace::sum: dt must be positive");
+  if (k == 0) return LatticeDensity::zero(dt, cells);
+  if (k == 1) return base(law, dt, cells);
+
+  unsigned needed_levels = 0;
+  for (unsigned kk = k; kk > 1; kk >>= 1u) ++needed_levels;
+  // Copy the needed ladder rungs W^{*2^i} under the lock (extending the
+  // ladder if required), then compose outside it so concurrent sweeps do
+  // not serialize on the per-k convolution work.
+  std::vector<LatticeDensity> rungs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LawEntry& entry = entry_locked(law, dt, cells);
+    const auto it = entry.sums.find(k);
+    if (it != entry.sums.end()) {
+      ++stats_.sum_hits;
+      return it->second;
+    }
+    ++stats_.sum_misses;
+    if (entry.powers.empty()) entry.powers.push_back(entry.base);
+    while (entry.powers.size() <= needed_levels) {
+      entry.powers.push_back(entry.powers.back().convolve(entry.powers.back()));
+      entry.powers.back().ensure_cdf();
+      stats_.bytes += density_bytes(entry.powers.back());
+    }
+    for (unsigned bit = 0; (1u << bit) <= k; ++bit) {
+      if (k & (1u << bit)) rungs.push_back(entry.powers[bit]);
+    }
+  }
+  LatticeDensity result = std::move(rungs.front());
+  for (std::size_t i = 1; i < rungs.size(); ++i) {
+    result = result.convolve(rungs[i]);
+  }
+  result.ensure_cdf();  // cached entries are shared across threads
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LawEntry& entry = entry_locked(law, dt, cells);
+    const auto [ins, fresh] = entry.sums.emplace(k, result);
+    if (fresh) stats_.bytes += density_bytes(ins->second);
+  }
+  return result;
+}
+
+WorkspaceStats LatticeWorkspace::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void LatticeWorkspace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = WorkspaceStats{};
+}
+
+}  // namespace agedtr::core

@@ -1,8 +1,13 @@
 #include "agedtr/policy/algorithm1.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/util/error.hpp"
 
@@ -17,16 +22,16 @@ Algorithm1::Algorithm1(Algorithm1Options options)
   }
 }
 
-int Algorithm1::solve_pair(const core::DcsScenario& scenario, std::size_t i,
-                           std::size_t j, int m1, int m2) const {
-  // Build the 2-server instance (sender i, candidate recipient j). The
-  // queue sizes enter only through the policies evaluated below, so the
-  // instance is built with the *full* queues and the search range carries
-  // (m1, m2); this lets the evaluator (and its lattice caches) be reused
-  // across iterations for the same (i, j) pair.
+namespace {
+
+/// The 2-server instance for sender i pledging to recipient j: m1 of i's
+/// tasks against j's estimated m2, connected by the i↔j transfer laws.
+core::DcsScenario make_pair_scenario(const core::DcsScenario& scenario,
+                                     const Algorithm1Options& options,
+                                     std::size_t i, std::size_t j, int m1,
+                                     int m2) {
   core::DcsScenario pair;
-  pair.servers = {core::ServerSpec{scenario.servers[i].initial_tasks,
-                                   scenario.servers[i].service,
+  pair.servers = {core::ServerSpec{m1, scenario.servers[i].service,
                                    scenario.servers[i].failure},
                   core::ServerSpec{m2, scenario.servers[j].service,
                                    scenario.servers[j].failure}};
@@ -40,22 +45,55 @@ int Algorithm1::solve_pair(const core::DcsScenario& scenario, std::size_t i,
   // The average execution time is defined for reliable servers; when the
   // subproblem optimizes it, drop the failure laws (Table II's T̄ column
   // follows the paper in devising policies under the reliable model).
-  if (options_.objective == Objective::kMeanExecutionTime) {
+  if (options.objective == Objective::kMeanExecutionTime) {
     pair.servers[0].failure = nullptr;
     pair.servers[1].failure = nullptr;
   }
-  pair.servers[0].initial_tasks = m1;
-  const PolicyEvaluator evaluator =
-      options_.markovian
-          ? make_markovian_evaluator(pair, options_.objective,
-                                     options_.deadline)
-          : make_age_dependent_evaluator(pair, options_.objective,
-                                         options_.deadline, options_.conv);
+  return pair;
+}
+
+/// An m1-invariant lattice horizon for the (i, j) subproblems: i's full
+/// queue plus j's estimate served at the slower of the two, plus the i→j
+/// transfer mean (the only in-transit group the L21 = 0 sweeps create),
+/// times the safety multiple. Freezing it up front keeps every engine of
+/// the pair on one grid — so a shared workspace serves all iterations and
+/// remaining-queue sizes — and makes the grid independent of which policy
+/// a pool thread happens to evaluate first.
+double pair_horizon(const core::DcsScenario& scenario,
+                    const core::ConvolutionOptions& conv, std::size_t i,
+                    std::size_t j, int m2) {
+  const int worst_queue = scenario.servers[i].initial_tasks + m2;
+  const double service_mean = std::max(scenario.servers[i].service->mean(),
+                                       scenario.servers[j].service->mean());
+  const double transfer_mean =
+      scenario.transfer[i][j] ? scenario.transfer[i][j]->mean() : 0.0;
+  return conv.horizon_multiple * (worst_queue * service_mean + transfer_mean);
+}
+
+}  // namespace
+
+EvaluationEngine Algorithm1::make_pair_engine(
+    const core::DcsScenario& scenario, std::size_t i, std::size_t j, int m1,
+    int m2, std::shared_ptr<core::LatticeWorkspace> workspace) const {
+  EvaluationEngineOptions engine_options;
+  engine_options.objective = options_.objective;
+  engine_options.deadline = options_.deadline;
+  engine_options.markovian = options_.markovian;
+  engine_options.conv = options_.conv;
+  engine_options.pool = options_.pool;
+  if (engine_options.conv.dt <= 0.0 && engine_options.conv.horizon <= 0.0) {
+    engine_options.conv.horizon =
+        pair_horizon(scenario, engine_options.conv, i, j, m2);
+  }
+  return EvaluationEngine(make_pair_scenario(scenario, options_, i, j, m1, m2),
+                          std::move(engine_options), std::move(workspace));
+}
+
+int Algorithm1::solve_pair(const EvaluationEngine& engine, int m1, int m2) {
   // Sender i controls only L12; sweep it with L21 = 0.
   const TwoServerPolicySearch search(m1, m2);
-  const std::vector<PolicyPoint> line =
-      search.sweep_l12(evaluator, /*l21=*/0, options_.pool);
-  const bool maximize = is_maximization(options_.objective);
+  const std::vector<PolicyPoint> line = search.sweep_l12(engine, /*l21=*/0);
+  const bool maximize = is_maximization(engine.options().objective);
   const PolicyPoint* best = &line.front();
   for (const PolicyPoint& p : line) {
     const bool better =
@@ -71,6 +109,37 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
   const std::size_t n = scenario.size();
   const core::DtrPolicy l0 =
       initial_policy(scenario, estimates, options_.criterion);
+
+  // One workspace spans every subproblem of this devise() (and outlives it
+  // when the caller supplied options_.workspace). The (i, j) grids are
+  // m1-invariant, so iterations k ≥ 2 re-solve their pairs against warm
+  // lattice caches; identical (i, j, m1) subproblems are not re-solved at
+  // all (m2 is fixed by the estimates, so m1 is the only moving part).
+  std::shared_ptr<core::LatticeWorkspace> workspace;
+  if (options_.share_workspace) {
+    workspace = options_.workspace
+                    ? options_.workspace
+                    : std::make_shared<core::LatticeWorkspace>();
+  }
+  std::map<std::tuple<std::size_t, std::size_t, int>, int> solved;
+  const auto pledge = [&](std::size_t i, std::size_t j, int m1) -> int {
+    const int m2 = estimates[i][j];
+    if (!options_.share_workspace) {
+      // Baseline mode: a fresh engine with a private workspace per solve,
+      // on the same fixed grids — identical policies, lattice work redone.
+      return solve_pair(make_pair_engine(scenario, i, j, m1, m2, nullptr),
+                        m1, m2);
+    }
+    const std::tuple<std::size_t, std::size_t, int> key{i, j, m1};
+    if (const auto it = solved.find(key); it != solved.end()) {
+      return it->second;
+    }
+    const int best =
+        solve_pair(make_pair_engine(scenario, i, j, m1, m2, workspace), m1,
+                   m2);
+    solved.emplace(key, best);
+    return best;
+  };
 
   Algorithm1Result result{core::DtrPolicy(n), 0, false};
   // previous[i][j]: L_ij from the prior iteration (starts at Eq. (5)).
@@ -101,8 +170,7 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
           pledged_elsewhere += updated[k2] ? current[i][k2] : previous[i][k2];
         }
         const int m1 = std::max(m_i - pledged_elsewhere, 0);
-        const int m2 = estimates[i][j];
-        current[i][j] = std::min(solve_pair(scenario, i, j, m1, m2), m1);
+        current[i][j] = std::min(pledge(i, j, m1), m1);
         updated[j] = 1;
       }
     }
@@ -122,18 +190,43 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
 
   // Clamp total outflow to the available queue (the per-pair solves bound
   // each pledge but the sum can still exceed m_i if estimates shifted).
+  std::vector<int> queues(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    int budget = scenario.servers[i].initial_tasks;
+    queues[i] = scenario.servers[i].initial_tasks;
+  }
+  result.policy = clamp_pledges(previous, queues);
+  return result;
+}
+
+core::DtrPolicy clamp_pledges(const std::vector<std::vector<int>>& pledges,
+                              const std::vector<int>& queues) {
+  const std::size_t n = queues.size();
+  AGEDTR_REQUIRE(pledges.size() == n,
+                 "clamp_pledges: pledge matrix / queue size mismatch");
+  core::DtrPolicy policy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AGEDTR_REQUIRE(pledges[i].size() == n,
+                   "clamp_pledges: pledge matrix is not square");
+    // Grant the largest pledges first (stable sort: ties fall back to the
+    // smaller recipient index) so truncation does not privilege whichever
+    // recipient happened to come first.
+    std::vector<std::size_t> order;
     for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const int l = std::min(previous[i][j], budget);
-      if (l > 0) {
-        result.policy.set(i, j, l);
-        budget -= l;
-      }
+      if (j != i && pledges[i][j] > 0) order.push_back(j);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return pledges[i][a] > pledges[i][b];
+                     });
+    int budget = queues[i];
+    for (std::size_t j : order) {
+      if (budget == 0) break;
+      const int l = std::min(pledges[i][j], budget);
+      policy.set(i, j, l);
+      budget -= l;
     }
   }
-  return result;
+  return policy;
 }
 
 }  // namespace agedtr::policy

@@ -1,0 +1,128 @@
+#include "agedtr/policy/evaluation_engine.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+
+struct EvaluationEngine::Impl {
+  std::shared_ptr<const core::DcsScenario> scenario;
+  EvaluationEngineOptions options;
+  std::shared_ptr<core::LatticeWorkspace> workspace;
+  std::shared_ptr<const core::ConvolutionSolver> solver;
+
+  // Markovian group-transfer memo: (per-task base law, group size) -> the
+  // flattened exponential. Stable identities keep the workspace's
+  // identity-keyed cache effective across evaluations.
+  mutable std::mutex law_mutex;
+  mutable std::map<std::pair<const dist::Distribution*, int>, dist::DistPtr>
+      group_laws;
+
+  [[nodiscard]] dist::DistPtr flattened_group_law(const dist::DistPtr& base,
+                                                  int tasks) const {
+    std::lock_guard<std::mutex> lock(law_mutex);
+    auto& law = group_laws[{base.get(), tasks}];
+    if (law == nullptr) {
+      law = dist::Exponential::with_mean(base->mean() * tasks);
+    }
+    return law;
+  }
+
+  [[nodiscard]] std::vector<core::ServerWorkload> workloads_for(
+      const core::DtrPolicy& policy) const {
+    std::vector<core::ServerWorkload> workloads =
+        core::apply_policy(*scenario, policy);
+    if (options.markovian) {
+      // The Markovian model of [2],[7] has no per-task sums: a group's
+      // transfer is one exponential with the group's true mean (L·z̄).
+      for (core::ServerWorkload& w : workloads) {
+        for (core::ServerWorkload::Inbound& g : w.inbound) {
+          if (g.per_task) {
+            g.transfer = flattened_group_law(g.transfer, g.tasks);
+            g.per_task = false;
+          }
+        }
+      }
+    }
+    return workloads;
+  }
+
+  [[nodiscard]] double evaluate(const core::DtrPolicy& policy) const {
+    const std::vector<core::ServerWorkload> workloads = workloads_for(policy);
+    switch (options.objective) {
+      case Objective::kMeanExecutionTime:
+        return solver->mean_execution_time(workloads);
+      case Objective::kQos:
+        return solver->qos(workloads, options.deadline);
+      case Objective::kReliability:
+        return solver->reliability(workloads);
+    }
+    throw LogicError("EvaluationEngine: unknown objective");
+  }
+};
+
+EvaluationEngine::EvaluationEngine(
+    core::DcsScenario scenario, EvaluationEngineOptions options,
+    std::shared_ptr<core::LatticeWorkspace> workspace)
+    : impl_(std::make_shared<Impl>()) {
+  scenario.validate();
+  if (options.objective == Objective::kQos) {
+    AGEDTR_REQUIRE(options.deadline > 0.0,
+                   "EvaluationEngine: QoS needs a positive deadline");
+  }
+  impl_->options = std::move(options);
+  impl_->scenario = std::make_shared<const core::DcsScenario>(
+      impl_->options.markovian ? exponentialized(scenario)
+                               : std::move(scenario));
+  impl_->workspace = workspace != nullptr
+                         ? std::move(workspace)
+                         : std::make_shared<core::LatticeWorkspace>();
+  impl_->solver = std::make_shared<const core::ConvolutionSolver>(
+      impl_->options.conv, impl_->workspace);
+}
+
+double EvaluationEngine::evaluate(const core::DtrPolicy& policy) const {
+  return impl_->evaluate(policy);
+}
+
+std::vector<double> EvaluationEngine::evaluate(
+    std::span<const core::DtrPolicy> policies) const {
+  std::vector<double> values(policies.size(), 0.0);
+  const Impl& impl = *impl_;
+  const auto body = [&](std::size_t i) { values[i] = impl.evaluate(policies[i]); };
+  if (impl.options.pool != nullptr) {
+    impl.options.pool->parallel_for(0, policies.size(), body);
+  } else {
+    for (std::size_t i = 0; i < policies.size(); ++i) body(i);
+  }
+  return values;
+}
+
+PolicyEvaluator EvaluationEngine::as_policy_evaluator() const {
+  return [impl = impl_](const core::DtrPolicy& policy) {
+    return impl->evaluate(policy);
+  };
+}
+
+const core::DcsScenario& EvaluationEngine::scenario() const {
+  return *impl_->scenario;
+}
+
+const EvaluationEngineOptions& EvaluationEngine::options() const {
+  return impl_->options;
+}
+
+const std::shared_ptr<core::LatticeWorkspace>& EvaluationEngine::workspace()
+    const {
+  return impl_->workspace;
+}
+
+core::WorkspaceStats EvaluationEngine::workspace_stats() const {
+  return impl_->workspace->stats();
+}
+
+}  // namespace agedtr::policy

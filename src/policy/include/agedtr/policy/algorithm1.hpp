@@ -13,12 +13,21 @@
 // algorithm.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/initial_policy.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/util/thread_pool.hpp"
 
+namespace agedtr::core {
+class LatticeWorkspace;
+}  // namespace agedtr::core
+
 namespace agedtr::policy {
+
+class EvaluationEngine;
 
 struct Algorithm1Options {
   /// K: iteration cap.
@@ -32,8 +41,20 @@ struct Algorithm1Options {
   /// Devise under the Markovian (exponentialized) model instead of the true
   /// laws — the comparison column of Table II.
   bool markovian = false;
-  /// Lattice options for the age-dependent subproblem evaluators.
+  /// Lattice options for the subproblem evaluators (both models: the
+  /// Markovian path discretizes the exponentialized laws on the same grid,
+  /// and honours the same conv.budget caps).
   core::ConvolutionOptions conv;
+  /// Cache substrate for every 2-server subproblem engine of a devise()
+  /// call. nullptr → each devise() creates its own; pass one to keep
+  /// lattice work warm across devise() calls (the policy-search bench's
+  /// warm mode).
+  std::shared_ptr<core::LatticeWorkspace> workspace;
+  /// false reverts to a fresh private workspace per 2-server solve — the
+  /// pre-engine behaviour, kept on the same fixed per-pair grids so the
+  /// devised policies are identical and only the lattice work is redone.
+  /// The policy-search bench's baseline mode.
+  bool share_workspace = true;
   /// Parallelizes the subproblem policy grids (nullptr = serial).
   ThreadPool* pool = nullptr;
 };
@@ -60,13 +81,31 @@ class Algorithm1 {
   }
 
  private:
-  /// Solves the (3)/(4) subproblem for sender resources m1 at server i and
-  /// estimated m2 at server j; returns the optimal L_ij.
-  [[nodiscard]] int solve_pair(const core::DcsScenario& scenario,
-                               std::size_t i, std::size_t j, int m1,
-                               int m2) const;
+  /// Builds the engine for the (3)/(4) subproblem between sender i (m1 of
+  /// its tasks remaining) and recipient j (estimated m2 tasks). The lattice
+  /// horizon is frozen to an m1-invariant per-pair value so every engine of
+  /// the same (i, j) shares one grid — and hence one set of workspace
+  /// entries.
+  [[nodiscard]] EvaluationEngine make_pair_engine(
+      const core::DcsScenario& scenario, std::size_t i, std::size_t j,
+      int m1, int m2,
+      std::shared_ptr<core::LatticeWorkspace> workspace) const;
+
+  /// Sweeps L12 ∈ [0, m1] at L21 = 0 through the engine; returns the
+  /// optimal L_ij.
+  [[nodiscard]] static int solve_pair(const EvaluationEngine& engine, int m1,
+                                      int m2);
 
   Algorithm1Options options_;
 };
+
+/// Clamps each sender's pledges to its available queue. Truncation is
+/// deterministic by construction: pledges are granted in descending size
+/// (ties broken toward the smaller recipient index), so the result is a
+/// property of the pledge values alone, never of the order recipients were
+/// produced in. Exposed for tests; devise() applies it as its final step.
+[[nodiscard]] core::DtrPolicy clamp_pledges(
+    const std::vector<std::vector<int>>& pledges,
+    const std::vector<int>& queues);
 
 }  // namespace agedtr::policy

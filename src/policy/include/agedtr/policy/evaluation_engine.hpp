@@ -1,0 +1,94 @@
+// EvaluationEngine: the scenario-scoped policy-evaluation layer every
+// search in the stack runs on.
+//
+// A policy search — the 2-server exhaustive grids, Algorithm 1's (i, j)
+// subproblems, trade-off frontiers — evaluates thousands of DTR policies
+// against one scenario, and each evaluation needs the same lattice
+// substrate: discretized laws and k-fold service sums on a fixed grid. The
+// engine binds {scenario, objective, solver options} once, borrows a
+// core::LatticeWorkspace (its own or a caller-shared one), and answers
+//   * scalar queries  — evaluate(policy), and the PolicyEvaluator adapter
+//     that keeps every pre-engine call site compiling, and
+//   * batched queries — evaluate(span<policies>) -> vector<double>, fanned
+//     over a ThreadPool internally, the form the searches actually want.
+//
+// Both the age-dependent path (the scenario's true laws through the
+// ConvolutionSolver) and the Markovian path (every law replaced by an
+// exponential of equal mean — the [2],[7] baseline) run through the same
+// engine, so ConvolutionOptions tuning and the util::EvalBudget wall-clock
+// cap apply uniformly; a budget overrun surfaces as agedtr::BudgetExceeded
+// from whichever evaluation tripped it (a pooled batch cancels
+// cooperatively and rethrows the first one).
+//
+// Markovian group laws: per-task inbound groups are flattened to a single
+// exponential with the group's total mean (L·z̄). The flattened laws are
+// memoized per (base law, group size), which both reuses the workspace
+// cache across evaluations and keeps cache identities stable — allocating
+// a fresh exponential per evaluation would churn addresses under an
+// identity-keyed cache.
+//
+// The engine is a cheap shared handle: copies share one workspace, solver,
+// and memo, and every method is safe to call concurrently.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+struct EvaluationEngineOptions {
+  Objective objective = Objective::kMeanExecutionTime;
+  /// Deadline for Objective::kQos (must be positive then).
+  double deadline = 0.0;
+  /// Evaluate under the Markovian (exponentialized) model instead of the
+  /// scenario's true laws.
+  bool markovian = false;
+  /// Lattice tuning and the per-evaluation EvalBudget (options.conv.budget)
+  /// — honored by the Markovian and age-dependent paths alike.
+  core::ConvolutionOptions conv;
+  /// Fans batched evaluate() calls over this pool (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+class EvaluationEngine {
+ public:
+  /// Validates the scenario and freezes the model (exponentialized when
+  /// options.markovian). `workspace` is the shared lattice substrate;
+  /// nullptr gives the engine a private one.
+  EvaluationEngine(core::DcsScenario scenario, EvaluationEngineOptions options,
+                   std::shared_ptr<core::LatticeWorkspace> workspace = nullptr);
+
+  /// The objective value of one policy.
+  [[nodiscard]] double evaluate(const core::DtrPolicy& policy) const;
+
+  /// The objective values of a batch, index-aligned with the input. Runs
+  /// through options.pool when set; results are identical to calling the
+  /// scalar form per policy either way.
+  [[nodiscard]] std::vector<double> evaluate(
+      std::span<const core::DtrPolicy> policies) const;
+
+  /// Compatibility adapter for call sites written against PolicyEvaluator.
+  /// The closure shares the engine's state and stays valid after this
+  /// handle is destroyed.
+  [[nodiscard]] PolicyEvaluator as_policy_evaluator() const;
+
+  /// The model actually evaluated (exponentialized under markovian).
+  [[nodiscard]] const core::DcsScenario& scenario() const;
+  [[nodiscard]] const EvaluationEngineOptions& options() const;
+  [[nodiscard]] const std::shared_ptr<core::LatticeWorkspace>& workspace()
+      const;
+  [[nodiscard]] core::WorkspaceStats workspace_stats() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace agedtr::policy

@@ -32,15 +32,20 @@ using PolicyEvaluator = std::function<double(const core::DtrPolicy&)>;
 
 /// Evaluator backed by the age-dependent ConvolutionSolver. The solver is
 /// shared (and its lattice caches reused) across calls; it is thread-safe.
+/// A thin adapter over policy::EvaluationEngine, which call sites wanting
+/// batched evaluation or a shared LatticeWorkspace should use directly.
 [[nodiscard]] PolicyEvaluator make_age_dependent_evaluator(
     core::DcsScenario scenario, Objective objective, double deadline = 0.0,
     core::ConvolutionOptions options = {});
 
 /// Evaluator backed by the Markovian model: every law in the scenario is
-/// replaced by an exponential of equal mean, then solved exactly
-/// (DP recursion for T̄/R_∞, uniformization for R_TM).
+/// replaced by an exponential of equal mean, then solved exactly. Accepts
+/// the same lattice tuning and per-evaluation EvalBudget
+/// (options.budget) as the age-dependent factory, so both paths degrade
+/// identically under wall-clock caps.
 [[nodiscard]] PolicyEvaluator make_markovian_evaluator(
-    core::DcsScenario scenario, Objective objective, double deadline = 0.0);
+    core::DcsScenario scenario, Objective objective, double deadline = 0.0,
+    core::ConvolutionOptions options = {});
 
 /// The scenario with every service/failure/transfer law replaced by an
 /// exponential with the same mean — the Markovian approximation of a

@@ -13,12 +13,14 @@
 // can never kill an evaluation sweep.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/regen_solver.hpp"
 #include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 
@@ -52,6 +54,11 @@ struct ResilientEvalOptions {
   }();
 
   core::ConvolutionOptions convolution;
+  /// Lattice workspace for the convolution tier's evaluation engine;
+  /// nullptr → a private one. Pass a shared workspace to reuse
+  /// discretizations and k-fold sums with other evaluators or searches
+  /// over the same scenario.
+  std::shared_ptr<core::LatticeWorkspace> workspace;
 
   /// The Markovian tier replaces every law by an exponential of equal mean
   /// (the approximation the paper benchmarks against). When false the tier
@@ -125,6 +132,9 @@ class ResilientEvaluator {
   [[nodiscard]] const ResilientEvalOptions& options() const {
     return options_;
   }
+  /// The lattice workspace behind the convolution tier (never null).
+  [[nodiscard]] const std::shared_ptr<core::LatticeWorkspace>& workspace()
+      const;
 
  private:
   double evaluate_regenerative(const core::DtrPolicy& policy) const;
@@ -135,7 +145,9 @@ class ResilientEvaluator {
   std::shared_ptr<const core::DcsScenario> scenario_;
   std::shared_ptr<const core::DcsScenario> exponentialized_;
   ResilientEvalOptions options_;
-  std::shared_ptr<core::ConvolutionSolver> convolution_;
+  /// The convolution tier, engine-backed: objective dispatch, lattice
+  /// caching, and the conv budget all live behind it.
+  std::shared_ptr<const EvaluationEngine> convolution_;
 };
 
 }  // namespace agedtr::policy

@@ -1,7 +1,9 @@
 // Optimal 2-server DTR policies (Section II-D): exhaustive search over
 // (L₁₂, L₂₁) ∈ [0, m₁] × [0, m₂] of the chosen metric — problems (3)/(4).
 // The search parallelizes over the policy grid (evaluators are thread-safe)
-// and can sweep a single axis for the Fig. 1/2 curves.
+// and can sweep a single axis for the Fig. 1/2 curves. Grids can run
+// against a plain PolicyEvaluator or, preferably, batched through an
+// EvaluationEngine (one lattice workspace, pool-parallel internally).
 #pragma once
 
 #include <optional>
@@ -12,6 +14,8 @@
 #include "agedtr/util/thread_pool.hpp"
 
 namespace agedtr::policy {
+
+class EvaluationEngine;
 
 struct PolicyPoint {
   int l12 = 0;
@@ -50,6 +54,16 @@ class TwoServerPolicySearch {
   /// Full surface, row-major in l12 — the Fig. 3 data.
   [[nodiscard]] std::vector<PolicyPoint> surface(
       const PolicyEvaluator& evaluator, ThreadPool* pool = nullptr) const;
+
+  /// Engine-backed forms: the grid runs through the engine's batched
+  /// evaluate (parallelized by the engine's pool), bit-identical to the
+  /// PolicyEvaluator forms over the same model.
+  [[nodiscard]] PolicyPoint optimize(const EvaluationEngine& engine,
+                                     bool maximize) const;
+  [[nodiscard]] std::vector<PolicyPoint> sweep_l12(
+      const EvaluationEngine& engine, int l21) const;
+  [[nodiscard]] std::vector<PolicyPoint> surface(
+      const EvaluationEngine& engine) const;
 
  private:
   int m1_;

@@ -102,8 +102,17 @@ ResilientEvaluator::ResilientEvaluator(core::DcsScenario scenario,
       std::make_shared<const core::DcsScenario>(std::move(scenario));
   exponentialized_ =
       std::make_shared<const core::DcsScenario>(exponentialized(*scenario_));
-  convolution_ =
-      std::make_shared<core::ConvolutionSolver>(options_.convolution);
+  EvaluationEngineOptions engine_options;
+  engine_options.objective = options_.objective;
+  engine_options.deadline = options_.deadline;
+  engine_options.conv = options_.convolution;
+  convolution_ = std::make_shared<const EvaluationEngine>(
+      *scenario_, std::move(engine_options), options_.workspace);
+}
+
+const std::shared_ptr<core::LatticeWorkspace>&
+ResilientEvaluator::workspace() const {
+  return convolution_->workspace();
 }
 
 double ResilientEvaluator::evaluate_regenerative(
@@ -124,16 +133,7 @@ double ResilientEvaluator::evaluate_regenerative(
 
 double ResilientEvaluator::evaluate_convolution(
     const core::DtrPolicy& policy) const {
-  const auto workloads = core::apply_policy(*scenario_, policy);
-  switch (options_.objective) {
-    case Objective::kMeanExecutionTime:
-      return convolution_->mean_execution_time(workloads);
-    case Objective::kQos:
-      return convolution_->qos(workloads, options_.deadline);
-    case Objective::kReliability:
-      return convolution_->reliability(workloads);
-  }
-  throw LogicError("evaluate_convolution: unknown objective");
+  return convolution_->evaluate(policy);
 }
 
 double ResilientEvaluator::evaluate_markovian(

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "agedtr/core/convolution.hpp"
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/util/error.hpp"
 
@@ -71,33 +75,57 @@ TradeoffAnalysis tradeoff_analysis(const core::DcsScenario& scenario,
                  "tradeoff_analysis: the scenario needs failure laws "
                  "(reliability is trivially 1 otherwise)");
 
-  // Two evaluators over the same grid: T̄ on the reliable system, R_∞ on
-  // the failing one.
+  // Two engines over one lattice workspace: T̄ on the reliable system, R_∞
+  // on the failing one. The systems differ only in failure laws — which
+  // never enter the lattice — so with a common policy-invariant horizon
+  // every discretization and k-fold sum is computed once and serves both
+  // metrics.
+  core::ConvolutionOptions conv = options;
+  if (conv.dt <= 0.0 && conv.horizon <= 0.0) {
+    double max_service_mean = 0.0;
+    double max_transfer_mean = 0.0;
+    for (const core::ServerSpec& s : scenario.servers) {
+      max_service_mean = std::max(max_service_mean, s.service->mean());
+    }
+    for (const auto& row : scenario.transfer) {
+      for (const auto& law : row) {
+        if (law != nullptr) {
+          max_transfer_mean = std::max(max_transfer_mean, law->mean());
+        }
+      }
+    }
+    conv.horizon =
+        conv.horizon_multiple *
+        (scenario.total_tasks() * max_service_mean + max_transfer_mean);
+  }
+  const auto workspace = std::make_shared<core::LatticeWorkspace>();
   core::DcsScenario reliable = scenario;
   for (core::ServerSpec& s : reliable.servers) s.failure = nullptr;
-  const PolicyEvaluator time_eval = make_age_dependent_evaluator(
-      reliable, Objective::kMeanExecutionTime, 0.0, options);
-  const PolicyEvaluator rel_eval = make_age_dependent_evaluator(
-      scenario, Objective::kReliability, 0.0, options);
+  EvaluationEngineOptions time_options;
+  time_options.objective = Objective::kMeanExecutionTime;
+  time_options.conv = conv;
+  time_options.pool = pool;
+  EvaluationEngineOptions rel_options = time_options;
+  rel_options.objective = Objective::kReliability;
+  const EvaluationEngine time_engine(std::move(reliable), time_options,
+                                     workspace);
+  const EvaluationEngine rel_engine(scenario, rel_options, workspace);
 
   TradeoffAnalysis analysis;
   const int m1 = scenario.servers[0].initial_tasks;
   const int m2 = scenario.servers[1].initial_tasks;
+  std::vector<core::DtrPolicy> policies;
   for (int l12 = 0; l12 <= m1; l12 += step) {
     for (int l21 = 0; l21 <= m2; l21 += step) {
       analysis.points.push_back({l12, l21, 0.0, 0.0});
+      policies.push_back(make_two_server_policy(l12, l21));
     }
   }
-  const auto evaluate = [&](std::size_t i) {
-    TradeoffPoint& p = analysis.points[i];
-    const core::DtrPolicy policy = make_two_server_policy(p.l12, p.l21);
-    p.mean_execution_time = time_eval(policy);
-    p.reliability = rel_eval(policy);
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(0, analysis.points.size(), evaluate);
-  } else {
-    for (std::size_t i = 0; i < analysis.points.size(); ++i) evaluate(i);
+  const std::vector<double> times = time_engine.evaluate(policies);
+  const std::vector<double> reliabilities = rel_engine.evaluate(policies);
+  for (std::size_t i = 0; i < analysis.points.size(); ++i) {
+    analysis.points[i].mean_execution_time = times[i];
+    analysis.points[i].reliability = reliabilities[i];
   }
 
   // Pareto extraction: sort by (T̄ asc, R desc) and keep strictly improving

@@ -1,7 +1,9 @@
 #include "agedtr/policy/two_server.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::policy {
@@ -36,12 +38,21 @@ std::vector<PolicyPoint> evaluate_grid(const PolicyEvaluator& evaluator,
   return out;
 }
 
-}  // namespace
+std::vector<PolicyPoint> evaluate_grid(const EvaluationEngine& engine,
+                                       std::vector<PolicyPoint> grid) {
+  std::vector<core::DtrPolicy> policies;
+  policies.reserve(grid.size());
+  for (const PolicyPoint& p : grid) {
+    policies.push_back(make_two_server_policy(p.l12, p.l21));
+  }
+  const std::vector<double> values = engine.evaluate(policies);
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i].value = values[i];
+  return grid;
+}
 
-PolicyPoint TwoServerPolicySearch::optimize(const PolicyEvaluator& evaluator,
-                                            bool maximize,
-                                            ThreadPool* pool) const {
-  const std::vector<PolicyPoint> points = surface(evaluator, pool);
+/// Smallest-(l12, l21)-on-ties argmin/argmax shared by both optimize forms.
+const PolicyPoint& pick_best(const std::vector<PolicyPoint>& points,
+                             bool maximize) {
   AGEDTR_ASSERT(!points.empty());
   const PolicyPoint* best = &points.front();
   for (const PolicyPoint& p : points) {
@@ -50,6 +61,19 @@ PolicyPoint TwoServerPolicySearch::optimize(const PolicyEvaluator& evaluator,
     if (better) best = &p;
   }
   return *best;
+}
+
+}  // namespace
+
+PolicyPoint TwoServerPolicySearch::optimize(const PolicyEvaluator& evaluator,
+                                            bool maximize,
+                                            ThreadPool* pool) const {
+  return pick_best(surface(evaluator, pool), maximize);
+}
+
+PolicyPoint TwoServerPolicySearch::optimize(const EvaluationEngine& engine,
+                                            bool maximize) const {
+  return pick_best(surface(engine), maximize);
 }
 
 std::vector<PolicyPoint> TwoServerPolicySearch::sweep_l12(
@@ -71,6 +95,27 @@ std::vector<PolicyPoint> TwoServerPolicySearch::surface(
     for (int l21 = 0; l21 <= m2_; ++l21) grid.push_back({l12, l21, 0.0});
   }
   return evaluate_grid(evaluator, grid, pool);
+}
+
+std::vector<PolicyPoint> TwoServerPolicySearch::sweep_l12(
+    const EvaluationEngine& engine, int l21) const {
+  AGEDTR_REQUIRE(l21 >= 0 && l21 <= m2_,
+                 "sweep_l12: l21 outside [0, m2]");
+  std::vector<PolicyPoint> grid;
+  grid.reserve(static_cast<std::size_t>(m1_) + 1);
+  for (int l12 = 0; l12 <= m1_; ++l12) grid.push_back({l12, l21, 0.0});
+  return evaluate_grid(engine, std::move(grid));
+}
+
+std::vector<PolicyPoint> TwoServerPolicySearch::surface(
+    const EvaluationEngine& engine) const {
+  std::vector<PolicyPoint> grid;
+  grid.reserve(static_cast<std::size_t>(m1_ + 1) *
+               static_cast<std::size_t>(m2_ + 1));
+  for (int l12 = 0; l12 <= m1_; ++l12) {
+    for (int l21 = 0; l21 <= m2_; ++l21) grid.push_back({l12, l21, 0.0});
+  }
+  return evaluate_grid(engine, std::move(grid));
 }
 
 }  // namespace agedtr::policy

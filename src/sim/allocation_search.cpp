@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "agedtr/core/convolution.hpp"
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::sim {
@@ -22,12 +25,13 @@ core::DcsScenario with_allocation(const core::DcsScenario& scenario,
 
 namespace {
 
-// Shared-solver scoring: allocations reuse one lattice cache (the grid is
-// allocation-invariant because the auto horizon depends only on totals).
-double score_allocation_with(const core::DcsScenario& scenario,
-                             const std::vector<int>& allocation,
-                             const AllocationSearchOptions& options,
-                             const core::ConvolutionSolver& solver) {
+// Shared-workspace scoring: every analytically scored candidate hits the
+// same lattice cache entries (the grid is allocation-invariant because the
+// auto horizon depends only on totals).
+double score_allocation_with(
+    const core::DcsScenario& scenario, const std::vector<int>& allocation,
+    const AllocationSearchOptions& options,
+    const std::shared_ptr<core::LatticeWorkspace>& workspace) {
   AGEDTR_REQUIRE(allocation.size() == scenario.size(),
                  "score_allocation: allocation size mismatch");
   core::DcsScenario placed = with_allocation(scenario, allocation);
@@ -36,16 +40,14 @@ double score_allocation_with(const core::DcsScenario& scenario,
   }
   const core::DtrPolicy identity(placed.size());
   if (options.analytic) {
-    const auto workloads = core::apply_policy(placed, identity);
-    switch (options.objective) {
-      case policy::Objective::kMeanExecutionTime:
-        return solver.mean_execution_time(workloads);
-      case policy::Objective::kQos:
-        return solver.qos(workloads, options.deadline);
-      case policy::Objective::kReliability:
-        return solver.reliability(workloads);
-    }
-    throw LogicError("score_allocation: unknown objective");
+    policy::EvaluationEngineOptions engine_options;
+    engine_options.objective = options.objective;
+    engine_options.deadline = options.deadline;
+    engine_options.conv = options.conv;
+    const policy::EvaluationEngine engine(std::move(placed),
+                                          std::move(engine_options),
+                                          workspace);
+    return engine.evaluate(identity);
   }
   MonteCarloOptions mc;
   mc.replications = options.replications;
@@ -69,8 +71,10 @@ double score_allocation_with(const core::DcsScenario& scenario,
 double score_allocation(const core::DcsScenario& scenario,
                         const std::vector<int>& allocation,
                         const AllocationSearchOptions& options) {
-  const core::ConvolutionSolver solver;
-  return score_allocation_with(scenario, allocation, options, solver);
+  const auto workspace = options.workspace
+                             ? options.workspace
+                             : std::make_shared<core::LatticeWorkspace>();
+  return score_allocation_with(scenario, allocation, options, workspace);
 }
 
 AllocationSearchResult optimal_allocation(
@@ -103,8 +107,10 @@ AllocationSearchResult optimal_allocation(
     ++assigned;
   }
 
-  const core::ConvolutionSolver shared_solver;
-  double best = score_allocation_with(scenario, alloc, options, shared_solver);
+  const auto workspace = options.workspace
+                             ? options.workspace
+                             : std::make_shared<core::LatticeWorkspace>();
+  double best = score_allocation_with(scenario, alloc, options, workspace);
   result.evaluations = 1;
   const auto better = [maximize](double candidate, double incumbent) {
     return maximize ? candidate > incumbent : candidate < incumbent;
@@ -124,7 +130,7 @@ AllocationSearchResult optimal_allocation(
         candidate[i] -= moved;
         candidate[j] += moved;
         const double value =
-            score_allocation_with(scenario, candidate, options, shared_solver);
+            score_allocation_with(scenario, candidate, options, workspace);
         ++result.evaluations;
         if (better(value, best)) {
           best = value;

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "agedtr/core/convolution.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
@@ -23,9 +25,17 @@ struct AllocationSearchOptions {
   /// Replications per candidate when scoring by Monte Carlo.
   std::size_t replications = 2'000;
   std::uint64_t seed = 0xa110c;
-  /// Score analytically (ConvolutionSolver) instead of by MC — faster and
-  /// noise-free; MC scoring reproduces the paper's procedure literally.
+  /// Score analytically (the evaluation engine over the ConvolutionSolver)
+  /// instead of by MC — faster and noise-free; MC scoring reproduces the
+  /// paper's procedure literally.
   bool analytic = true;
+  /// Lattice tuning (and conv.budget caps) for analytic scoring.
+  core::ConvolutionOptions conv;
+  /// Lattice workspace shared by every analytically scored candidate —
+  /// the grid is allocation-invariant (the auto horizon depends only on
+  /// totals), so all candidates hit the same cache entries. nullptr → the
+  /// search creates its own.
+  std::shared_ptr<core::LatticeWorkspace> workspace;
   /// Coarse pass step as a fraction of M (then halved until 1).
   double coarse_step_fraction = 0.10;
   int max_rounds = 64;

@@ -1,0 +1,350 @@
+// policy::EvaluationEngine: the scenario-scoped evaluation layer — batched
+// vs scalar bit-identity, workspace sharing and its counters, uniform
+// budget handling, the adapter's lifetime guarantee, the deterministic
+// clamp, and the engine-backed Algorithm 1 reproducing the pre-engine
+// (per-pair-solver) policies on the Table II scenarios.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+using dist::ModelFamily;
+
+DcsScenario scenario_2(ModelFamily family, int m1, int m2, double w1,
+                       double w2, double z) {
+  std::vector<ServerSpec> servers = {
+      {m1, dist::make_model_distribution(family, w1), nullptr},
+      {m2, dist::make_model_distribution(family, w2), nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::make_model_distribution(family, z),
+      dist::Exponential::with_mean(0.2));
+}
+
+/// The Table II five-server severe-delay system (M = 200, per-task
+/// transfers of mean 24), at reduced lattice scale for test runtimes.
+DcsScenario five_server(ModelFamily family, bool failures) {
+  const std::vector<double> service_means = {5.0, 4.0, 3.0, 2.0, 1.0};
+  const std::vector<double> failure_means = {1000.0, 800.0, 600.0, 500.0,
+                                             400.0};
+  std::vector<ServerSpec> servers;
+  for (std::size_t j = 0; j < 5; ++j) {
+    servers.push_back(
+        {40, dist::make_model_distribution(family, service_means[j]),
+         failures ? dist::Exponential::with_mean(failure_means[j]) : nullptr});
+  }
+  DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), dist::make_model_distribution(family, 24.0),
+      dist::Exponential::with_mean(1.0));
+  s.transfer_scaling = core::TransferScaling::kPerTask;
+  return s;
+}
+
+TEST(EvaluationEngine, BatchedMatchesScalarBitForBit) {
+  const DcsScenario s = scenario_2(ModelFamily::kUniform, 6, 3, 2.0, 1.0, 1.0);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  const EvaluationEngine engine(s, options);
+
+  std::vector<DtrPolicy> policies;
+  for (int l12 = 0; l12 <= 6; ++l12) {
+    for (int l21 = 0; l21 <= 3; ++l21) {
+      policies.push_back(make_two_server_policy(l12, l21));
+    }
+  }
+  const std::vector<double> batched = engine.evaluate(policies);
+  ASSERT_EQ(batched.size(), policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.evaluate(policies[i])) << "policy " << i;
+  }
+}
+
+TEST(EvaluationEngine, PooledBatchMatchesSerialBatch) {
+  const DcsScenario s =
+      scenario_2(ModelFamily::kExponential, 5, 4, 2.0, 1.0, 1.5);
+  std::vector<DtrPolicy> policies;
+  for (int l12 = 0; l12 <= 5; ++l12) {
+    policies.push_back(make_two_server_policy(l12, 1));
+  }
+  EvaluationEngineOptions serial_options;
+  serial_options.objective = Objective::kMeanExecutionTime;
+  const EvaluationEngine serial(s, serial_options);
+
+  ThreadPool pool(4);
+  EvaluationEngineOptions pooled_options = serial_options;
+  pooled_options.pool = &pool;
+  const EvaluationEngine pooled(s, pooled_options);
+
+  const std::vector<double> a = serial.evaluate(policies);
+  const std::vector<double> b = pooled.evaluate(policies);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(EvaluationEngine, TwoServerSearchEngineFormMatchesEvaluatorForm) {
+  const DcsScenario s =
+      scenario_2(ModelFamily::kShiftedExponential, 5, 3, 2.0, 1.0, 1.0);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  const EvaluationEngine engine(s, options);
+  // A second engine with its own private workspace, driven through the
+  // PolicyEvaluator adapter: same model, so bit-identical values.
+  const PolicyEvaluator eval =
+      EvaluationEngine(s, options).as_policy_evaluator();
+
+  const TwoServerPolicySearch search(5, 3);
+  const auto via_engine = search.surface(engine);
+  const auto via_eval = search.surface(eval);
+  ASSERT_EQ(via_engine.size(), via_eval.size());
+  for (std::size_t i = 0; i < via_engine.size(); ++i) {
+    EXPECT_EQ(via_engine[i].l12, via_eval[i].l12);
+    EXPECT_EQ(via_engine[i].l21, via_eval[i].l21);
+    EXPECT_EQ(via_engine[i].value, via_eval[i].value);
+  }
+  const auto best_engine = search.optimize(engine, false);
+  const auto best_eval = search.optimize(eval, false);
+  EXPECT_EQ(best_engine.l12, best_eval.l12);
+  EXPECT_EQ(best_engine.l21, best_eval.l21);
+}
+
+TEST(EvaluationEngine, SharedWorkspaceAccumulatesHitsAcrossEngines) {
+  const DcsScenario s =
+      scenario_2(ModelFamily::kExponential, 6, 2, 2.0, 1.0, 1.5);
+  const auto workspace = std::make_shared<core::LatticeWorkspace>();
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+
+  const EvaluationEngine first(s, options, workspace);
+  const DtrPolicy policy = make_two_server_policy(3, 0);
+  const double a = first.evaluate(policy);
+  const core::WorkspaceStats after_first = first.workspace_stats();
+  EXPECT_GT(after_first.misses(), 0u);
+
+  const EvaluationEngine second(s, options, workspace);
+  const double b = second.evaluate(policy);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(second.workspace_stats().misses(), after_first.misses());
+  EXPECT_GT(second.workspace_stats().hits(), after_first.hits());
+}
+
+TEST(EvaluationEngine, MarkovianPathIsStableAndMatchesFactory) {
+  // Per-task groups flatten through the engine's memo: repeated
+  // evaluations must agree exactly with each other and with the factory
+  // adapter (which is the same engine underneath).
+  DcsScenario s = scenario_2(ModelFamily::kPareto1, 8, 4, 2.0, 1.0, 1.5);
+  s.transfer_scaling = core::TransferScaling::kPerTask;
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  options.markovian = true;
+  const EvaluationEngine engine(s, options);
+  EXPECT_TRUE(engine.scenario().servers[0].service->is_memoryless());
+
+  const DtrPolicy policy = make_two_server_policy(3, 1);
+  const double first = engine.evaluate(policy);
+  EXPECT_EQ(first, engine.evaluate(policy));
+  const PolicyEvaluator factory =
+      make_markovian_evaluator(s, Objective::kMeanExecutionTime);
+  EXPECT_NEAR(factory(policy), first, 1e-12);
+}
+
+TEST(EvaluationEngine, BudgetAppliesToBothModelPaths) {
+  const DcsScenario s =
+      scenario_2(ModelFamily::kPareto1, 10, 5, 2.0, 1.0, 1.5);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  options.conv.budget.max_seconds = 1e-9;
+  const DtrPolicy policy = make_two_server_policy(4, 0);
+
+  const EvaluationEngine aged(s, options);
+  EXPECT_THROW((void)aged.evaluate(policy), BudgetExceeded);
+
+  // Satellite of the refactor: the Markovian factory now takes
+  // ConvolutionOptions, so the same wall-clock cap reaches that path too.
+  const PolicyEvaluator markov = make_markovian_evaluator(
+      s, Objective::kMeanExecutionTime, 0.0, options.conv);
+  EXPECT_THROW((void)markov(policy), BudgetExceeded);
+}
+
+TEST(EvaluationEngine, AdapterOutlivesEngineHandle) {
+  PolicyEvaluator eval;
+  {
+    const DcsScenario s =
+        scenario_2(ModelFamily::kExponential, 4, 2, 2.0, 1.0, 1.0);
+    EvaluationEngineOptions options;
+    options.objective = Objective::kMeanExecutionTime;
+    const EvaluationEngine engine(s, options);
+    eval = engine.as_policy_evaluator();
+  }  // engine handle destroyed; the closure keeps the shared state alive
+  EXPECT_GT(eval(make_two_server_policy(1, 0)), 0.0);
+}
+
+TEST(EvaluationEngine, QosRequiresDeadline) {
+  const DcsScenario s =
+      scenario_2(ModelFamily::kExponential, 4, 2, 2.0, 1.0, 1.0);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kQos;
+  EXPECT_THROW(EvaluationEngine(s, options), InvalidArgument);
+}
+
+TEST(ClampPledges, GrantsLargestPledgesFirst) {
+  // Sender 0 pledges {5, 3, 5} against a queue of 10: the two 5s win and
+  // the 3 is starved, regardless of recipient order.
+  std::vector<std::vector<int>> pledges(4, std::vector<int>(4, 0));
+  pledges[0][1] = 5;
+  pledges[0][2] = 3;
+  pledges[0][3] = 5;
+  const DtrPolicy policy = clamp_pledges(pledges, {10, 0, 0, 0});
+  EXPECT_EQ(policy(0, 1), 5);
+  EXPECT_EQ(policy(0, 2), 0);
+  EXPECT_EQ(policy(0, 3), 5);
+}
+
+TEST(ClampPledges, TiesBreakTowardSmallerRecipient) {
+  std::vector<std::vector<int>> pledges(4, std::vector<int>(4, 0));
+  pledges[0][1] = 4;
+  pledges[0][2] = 4;
+  pledges[0][3] = 4;
+  const DtrPolicy policy = clamp_pledges(pledges, {10, 0, 0, 0});
+  EXPECT_EQ(policy(0, 1), 4);
+  EXPECT_EQ(policy(0, 2), 4);
+  EXPECT_EQ(policy(0, 3), 2);
+}
+
+TEST(ClampPledges, NoTruncationWhenPledgesFit) {
+  std::vector<std::vector<int>> pledges(3, std::vector<int>(3, 0));
+  pledges[0][1] = 2;
+  pledges[0][2] = 3;
+  pledges[2][0] = 1;
+  const DtrPolicy policy = clamp_pledges(pledges, {5, 0, 4});
+  EXPECT_EQ(policy(0, 1), 2);
+  EXPECT_EQ(policy(0, 2), 3);
+  EXPECT_EQ(policy(2, 0), 1);
+}
+
+TEST(ClampPledges, RejectsShapeMismatch) {
+  EXPECT_THROW(clamp_pledges({{0, 1}}, {5, 5}), InvalidArgument);
+  EXPECT_THROW(clamp_pledges({{0}, {0}}, {5, 5}), InvalidArgument);
+}
+
+/// The policies Algorithm 1 devised before the engine refactor (captured
+/// from the per-pair-solver implementation at these exact settings); the
+/// engine-backed path must reproduce them entry for entry.
+struct ExpectedPledge {
+  std::size_t from;
+  std::size_t to;
+  int tasks;
+};
+
+void expect_policy(const DtrPolicy& policy,
+                   const std::vector<ExpectedPledge>& expected) {
+  DtrPolicy want(policy.size());
+  for (const ExpectedPledge& p : expected) want.set(p.from, p.to, p.tasks);
+  for (std::size_t i = 0; i < policy.size(); ++i) {
+    for (std::size_t j = 0; j < policy.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(policy(i, j), want(i, j)) << i << " -> " << j;
+    }
+  }
+}
+
+Algorithm1Options table2_options(Objective objective) {
+  Algorithm1Options options;
+  options.objective = objective;
+  options.criterion = objective == Objective::kReliability
+                          ? ReallocationCriterion::kReliability
+                          : ReallocationCriterion::kSpeed;
+  options.max_iterations = 3;
+  options.conv.cells = 4096;
+  return options;
+}
+
+TEST(Algorithm1Engine, ReproducesSeedPoliciesExponentialMeanTime) {
+  const auto r = Algorithm1(table2_options(Objective::kMeanExecutionTime))
+                     .devise(five_server(ModelFamily::kExponential, false));
+  EXPECT_EQ(r.iterations, 3);
+  EXPECT_TRUE(r.converged);
+  expect_policy(r.policy,
+                {{0, 3, 4}, {0, 4, 4}, {1, 3, 3}, {1, 4, 3}, {2, 4, 2}});
+}
+
+TEST(Algorithm1Engine, ReproducesSeedPoliciesPareto1MeanTime) {
+  const auto r = Algorithm1(table2_options(Objective::kMeanExecutionTime))
+                     .devise(five_server(ModelFamily::kPareto1, false));
+  EXPECT_EQ(r.iterations, 3);
+  EXPECT_TRUE(r.converged);
+  expect_policy(r.policy,
+                {{0, 3, 4}, {0, 4, 5}, {1, 3, 4}, {1, 4, 4}, {2, 4, 3}});
+}
+
+TEST(Algorithm1Engine, ReproducesSeedPoliciesReliability) {
+  // Under severe delays the reliability objective keeps every task local.
+  for (const ModelFamily family :
+       {ModelFamily::kExponential, ModelFamily::kPareto1}) {
+    const auto r = Algorithm1(table2_options(Objective::kReliability))
+                       .devise(five_server(family, true));
+    EXPECT_EQ(r.iterations, 2);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.policy.is_identity());
+  }
+}
+
+TEST(Algorithm1Engine, BaselineModeMatchesSharedWorkspace) {
+  // share_workspace = false re-does every subproblem's lattice work on the
+  // same fixed grids: the devised policy must be bit-identical — this is
+  // the equivalence the policy-search bench's speedup claim rests on.
+  Algorithm1Options shared = table2_options(Objective::kMeanExecutionTime);
+  shared.conv.cells = 2048;
+  Algorithm1Options baseline = shared;
+  baseline.share_workspace = false;
+
+  const DcsScenario s = five_server(ModelFamily::kExponential, false);
+  const auto a = Algorithm1(shared).devise(s);
+  const auto b = Algorithm1(baseline).devise(s);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      if (i != j) EXPECT_EQ(a.policy(i, j), b.policy(i, j));
+    }
+  }
+}
+
+TEST(Algorithm1Engine, CallerWorkspaceIsReusedAcrossDevises) {
+  Algorithm1Options options = table2_options(Objective::kMeanExecutionTime);
+  options.conv.cells = 2048;
+  options.workspace = std::make_shared<core::LatticeWorkspace>();
+  const DcsScenario s = five_server(ModelFamily::kExponential, false);
+
+  const Algorithm1 algorithm(options);
+  const auto cold = algorithm.devise(s);
+  const core::WorkspaceStats after_cold = options.workspace->stats();
+  EXPECT_GT(after_cold.hits(), 0u);
+  EXPECT_GT(after_cold.misses(), 0u);
+
+  const auto warm = algorithm.devise(s);
+  // The warm pass adds no lattice work — every grid was already resident —
+  // and lands on the same policy.
+  EXPECT_EQ(options.workspace->stats().misses(), after_cold.misses());
+  EXPECT_GT(options.workspace->stats().hits(), after_cold.hits());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      if (i != j) EXPECT_EQ(cold.policy(i, j), warm.policy(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agedtr::policy

@@ -1,0 +1,167 @@
+// core::LatticeWorkspace: the shared cache substrate under every
+// lattice-based solver — counter accounting, grid keying, the lifetime
+// pinning that makes address keys sound, and coherence under concurrent
+// access (the ThreadSanitizer target of scripts/run_sanitizers.sh).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/numerics/lattice.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::core {
+namespace {
+
+using numerics::LatticeDensity;
+
+TEST(LatticeWorkspace, BaseHitMissAccounting) {
+  LatticeWorkspace ws;
+  const auto law = dist::Exponential::with_mean(2.0);
+  const LatticeDensity& a = ws.base(law, 0.1, 256);
+  EXPECT_EQ(ws.stats().base_misses, 1u);
+  EXPECT_EQ(ws.stats().base_hits, 0u);
+  const LatticeDensity& b = ws.base(law, 0.1, 256);
+  EXPECT_EQ(&a, &b);  // the reference is stable across lookups
+  EXPECT_EQ(ws.stats().base_hits, 1u);
+  EXPECT_EQ(ws.stats().base_misses, 1u);
+  // A different grid is a different entry, even for the same law.
+  (void)ws.base(law, 0.2, 256);
+  (void)ws.base(law, 0.1, 512);
+  EXPECT_EQ(ws.stats().base_misses, 3u);
+  EXPECT_EQ(ws.stats().laws, 3u);
+  EXPECT_GT(ws.stats().bytes, 0u);
+}
+
+TEST(LatticeWorkspace, SumMatchesDirectConvolutionPower) {
+  LatticeWorkspace ws;
+  const auto law = dist::Exponential::with_mean(1.0);
+  const LatticeDensity direct = ws.base(law, 0.05, 512).convolve_power(5);
+  const LatticeDensity cached = ws.sum(law, 5, 0.05, 512);
+  ASSERT_EQ(cached.size(), direct.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_NEAR(cached.mass(i), direct.mass(i), 1e-12);
+  }
+  EXPECT_NEAR(cached.tail(), direct.tail(), 1e-12);
+  // The second identical lookup is a pure hit: no new bytes.
+  const WorkspaceStats before = ws.stats();
+  (void)ws.sum(law, 5, 0.05, 512);
+  EXPECT_EQ(ws.stats().sum_hits, before.sum_hits + 1);
+  EXPECT_EQ(ws.stats().sum_misses, before.sum_misses);
+  EXPECT_EQ(ws.stats().bytes, before.bytes);
+}
+
+TEST(LatticeWorkspace, TrivialFoldCounts) {
+  LatticeWorkspace ws;
+  const auto law = dist::Exponential::with_mean(1.0);
+  const LatticeDensity zero = ws.sum(law, 0, 0.1, 128);
+  EXPECT_NEAR(zero.mass(0), 1.0, 1e-15);
+  EXPECT_NEAR(zero.grid_mean(), 0.0, 1e-15);
+  const LatticeDensity one = ws.sum(law, 1, 0.1, 128);
+  const LatticeDensity& base = ws.base(law, 0.1, 128);
+  ASSERT_EQ(one.size(), base.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one.mass(i), base.mass(i));
+  }
+}
+
+TEST(LatticeWorkspace, ClearDropsEntriesAndCounters) {
+  LatticeWorkspace ws;
+  const auto law = dist::Exponential::with_mean(1.5);
+  (void)ws.sum(law, 3, 0.1, 256);
+  EXPECT_GT(ws.stats().bytes, 0u);
+  ws.clear();
+  const WorkspaceStats cleared = ws.stats();
+  EXPECT_EQ(cleared.hits() + cleared.misses(), 0u);
+  EXPECT_EQ(cleared.bytes, 0u);
+  EXPECT_EQ(cleared.laws, 0u);
+  // Re-querying after clear() is a miss again, not stale state.
+  (void)ws.base(law, 0.1, 256);
+  EXPECT_EQ(ws.stats().base_misses, 1u);
+}
+
+TEST(LatticeWorkspace, PinsLawsAgainstAddressReuse) {
+  // Entries key on the law's address; the entry's shared_ptr pin is what
+  // makes that sound: a pinned address cannot be handed to a new
+  // distribution while the entry lives, so churned allocations can never
+  // alias a cached key (the ABA hazard the pre-workspace per-solver caches
+  // were exposed to through short-lived exponentials).
+  LatticeWorkspace ws;
+  const dist::Distribution* pinned = nullptr;
+  {
+    const auto law = dist::Exponential::with_mean(3.0);
+    pinned = law.get();
+    (void)ws.base(law, 0.1, 256);
+  }  // caller's last reference dropped; only the workspace pin remains
+  for (int i = 0; i < 64; ++i) {
+    const auto churn = dist::Exponential::with_mean(9.0);
+    EXPECT_NE(churn.get(), pinned);
+  }
+  EXPECT_EQ(ws.stats().laws, 1u);
+}
+
+TEST(LatticeWorkspace, SharedAcrossSolversServesHits) {
+  // Two solvers on one workspace: the second does no lattice work of its
+  // own and reproduces the first's metric bit-identically.
+  const auto ws = std::make_shared<LatticeWorkspace>();
+  ConvolutionOptions options;
+  options.cells = 1024;
+  options.horizon = 50.0;
+  ServerWorkload w;
+  w.local_tasks = 6;
+  w.service = dist::Exponential::with_mean(1.0);
+  const std::vector<ServerWorkload> workloads = {w};
+
+  const ConvolutionSolver first(options, ws);
+  const double a = first.mean_execution_time(workloads);
+  const WorkspaceStats after_first = ws->stats();
+  EXPECT_GT(after_first.misses(), 0u);
+
+  const ConvolutionSolver second(options, ws);
+  const double b = second.mean_execution_time(workloads);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ws->stats().misses(), after_first.misses());
+  EXPECT_GT(ws->stats().hits(), after_first.hits());
+}
+
+TEST(LatticeWorkspace, ConcurrentMixedAccessIsCoherent) {
+  // The TSan target: four threads hammer one workspace with overlapping
+  // base/sum queries across interleaved grids and fold counts while also
+  // reading stats(). Every answer must match a serial recomputation.
+  const auto workspace = std::make_shared<LatticeWorkspace>();
+  const auto fast = dist::Exponential::with_mean(1.0);
+  const auto slow = dist::Exponential::with_mean(4.0);
+  // Explicit 4-thread pool: the global pool is sized by hardware
+  // concurrency and may be a single worker on small CI machines.
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  std::vector<double> means(kTasks, 0.0);
+  pool.parallel_for(0, kTasks, [&](std::size_t t) {
+    const auto& law = (t % 2 == 0) ? fast : slow;
+    const double dt = (t % 3 == 0) ? 0.05 : 0.1;
+    const unsigned k = static_cast<unsigned>(1 + t % 7);
+    means[t] = workspace->sum(law, k, dt, 512).grid_mean();
+    (void)workspace->base(law, dt, 512);
+    (void)workspace->stats();
+  });
+
+  LatticeWorkspace serial;
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    const auto& law = (t % 2 == 0) ? fast : slow;
+    const double dt = (t % 3 == 0) ? 0.05 : 0.1;
+    const unsigned k = static_cast<unsigned>(1 + t % 7);
+    EXPECT_NEAR(means[t], serial.sum(law, k, dt, 512).grid_mean(), 1e-12)
+        << "task " << t;
+  }
+  const WorkspaceStats stats = workspace->stats();
+  EXPECT_EQ(stats.laws, 4u);  // 2 laws × 2 grids
+  // One sum + one base lookup per task (k == 1 sums count as base
+  // lookups), each a hit or a miss — nothing lost under contention.
+  EXPECT_EQ(stats.hits() + stats.misses(), 2 * kTasks);
+}
+
+}  // namespace
+}  // namespace agedtr::core
