@@ -18,16 +18,25 @@
 //     the regret of shipping the paper-optimal policy into the faulty
 //     world.
 //
-// Output: tier-usage table, per-intensity table, degradation_sweep.csv.
+// Output: tier-usage table, per-intensity table, and a CSV series under
+// bench_results/. With --checkpoint the stage-1 search and every intensity
+// row are journaled as they complete; --resume replays finished units, so a
+// killed sweep restarted with the same options reproduces the same tables
+// bit for bit without redoing the finished Monte-Carlo work.
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "agedtr/policy/resilient_eval.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/cli.hpp"
+#include "agedtr/util/supervisor.hpp"
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
@@ -60,6 +69,87 @@ struct GridPoint {
   int l21 = 0;
 };
 
+/// Stage-1 outcome: the paper-optimal policy and the fallback-chain tally.
+struct Stage1Record {
+  GridPoint paper_opt;
+  double analytic = 0.0;
+  policy::EvalTally tally;
+};
+
+std::string pack_stage1(const Stage1Record& s) {
+  std::vector<std::string> fields = {
+      std::to_string(s.paper_opt.l12), std::to_string(s.paper_opt.l21),
+      format_double(s.analytic, 17), std::to_string(s.tally.evaluations),
+      std::to_string(s.tally.total_failures)};
+  for (std::size_t t = 0; t < policy::kEvalTierCount; ++t) {
+    fields.push_back(std::to_string(s.tally.answered[t]));
+    fields.push_back(std::to_string(s.tally.declined[t]));
+  }
+  return join_fields(fields);
+}
+
+Stage1Record unpack_stage1(const std::string& payload) {
+  const std::vector<std::string> f = split_fields(payload);
+  Stage1Record s;
+  s.paper_opt.l12 = std::stoi(f.at(0));
+  s.paper_opt.l21 = std::stoi(f.at(1));
+  s.analytic = std::stod(f.at(2));
+  s.tally.evaluations = std::stoull(f.at(3));
+  s.tally.total_failures = std::stoull(f.at(4));
+  for (std::size_t t = 0; t < policy::kEvalTierCount; ++t) {
+    s.tally.answered[t] = std::stoull(f.at(5 + 2 * t));
+    s.tally.declined[t] = std::stoull(f.at(6 + 2 * t));
+  }
+  return s;
+}
+
+/// Everything one intensity contributes to the tables and the CSV.
+struct IntensityRecord {
+  double r = 0.0, lower = 0.0, upper = 0.0;
+  double best_r = 0.0;
+  GridPoint best;
+  double paper_r_search = 0.0;
+  std::size_t truncated = 0;
+  sim::FaultStats faults;
+};
+
+std::string pack_intensity(const IntensityRecord& x) {
+  const auto f = [](double v) { return format_double(v, 17); };
+  return join_fields(
+      {f(x.r), f(x.lower), f(x.upper), f(x.best_r),
+       std::to_string(x.best.l12), std::to_string(x.best.l21),
+       f(x.paper_r_search), std::to_string(x.truncated),
+       std::to_string(x.faults.group_retransmissions),
+       std::to_string(x.faults.fn_retransmissions),
+       std::to_string(x.faults.tasks_lost_in_network),
+       std::to_string(x.faults.fn_packets_dropped),
+       std::to_string(x.faults.shocks),
+       std::to_string(x.faults.shock_failures),
+       std::to_string(x.faults.stalls), f(x.faults.total_stall_time)});
+}
+
+IntensityRecord unpack_intensity(const std::string& payload) {
+  const std::vector<std::string> f = split_fields(payload);
+  IntensityRecord x;
+  x.r = std::stod(f.at(0));
+  x.lower = std::stod(f.at(1));
+  x.upper = std::stod(f.at(2));
+  x.best_r = std::stod(f.at(3));
+  x.best.l12 = std::stoi(f.at(4));
+  x.best.l21 = std::stoi(f.at(5));
+  x.paper_r_search = std::stod(f.at(6));
+  x.truncated = std::stoull(f.at(7));
+  x.faults.group_retransmissions = std::stoull(f.at(8));
+  x.faults.fn_retransmissions = std::stoull(f.at(9));
+  x.faults.tasks_lost_in_network = std::stoi(f.at(10));
+  x.faults.fn_packets_dropped = std::stoull(f.at(11));
+  x.faults.shocks = std::stoull(f.at(12));
+  x.faults.shock_failures = std::stoull(f.at(13));
+  x.faults.stalls = std::stoull(f.at(14));
+  x.faults.total_stall_time = std::stod(f.at(15));
+  return x;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +168,16 @@ int main(int argc, char** argv) {
   cli.add_option("intensities", "0,0.5,1,2,4",
                  "comma-separated fault intensities (0 = the seed model)");
   cli.add_option("seed", "20100913", "Monte-Carlo seed");
+  cli.add_option("out", "bench_results/degradation_sweep.csv",
+                 "where to write the CSV series");
+  cli.add_option("checkpoint", "",
+                 "journal completed work units (the stage-1 search, each "
+                 "intensity row) to this file; empty = off");
+  cli.add_flag("resume", "replay units already journaled in --checkpoint");
+  cli.add_flag("supervise",
+               "run every Monte-Carlo batch under a util::Supervisor "
+               "(retry/quarantine failed replications; a healthy sweep is "
+               "bit-identical to the unsupervised one)");
   if (!cli.parse(argc, argv)) return 0;
 
   const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
@@ -91,6 +191,7 @@ int main(int argc, char** argv) {
   const auto search_replications =
       static_cast<std::size_t>(cli.get_int("search-replications"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bool supervise = cli.get_flag("supervise");
 
   std::vector<double> intensities;
   for (const std::string& tok : split(cli.get_string("intensities"), ',')) {
@@ -104,35 +205,59 @@ int main(int argc, char** argv) {
   const int m1 = scenario.servers[0].initial_tasks;
   const int m2 = scenario.servers[1].initial_tasks;
 
+  std::unique_ptr<Checkpoint> journal;
+  if (!cli.get_string("checkpoint").empty()) {
+    journal = std::make_unique<Checkpoint>(
+        cli.get_string("checkpoint"),
+        "degradation_sweep model=" + dist::model_family_name(family) +
+            " delay=" + bench::delay_name(delay) +
+            " step=" + std::to_string(step) +
+            " coarse=" + std::to_string(coarse_step) +
+            " reps=" + std::to_string(replications) +
+            " search_reps=" + std::to_string(search_replications) +
+            " seed=" + std::to_string(seed),
+        cli.get_flag("resume"));
+  }
+  const auto journaled = [&](const std::string& key,
+                             const std::function<std::string()>& compute) {
+    return journal ? journal->run_unit(key, compute) : compute();
+  };
+
   // --- Stage 1: paper-optimal policy through the fallback chain. ---------
-  policy::ResilientEvalOptions eval_options;
-  eval_options.objective = policy::Objective::kReliability;
-  const policy::ResilientEvaluator resilient(scenario, eval_options);
+  const Stage1Record stage1 = unpack_stage1(journaled("stage1", [&] {
+    policy::ResilientEvalOptions eval_options;
+    eval_options.objective = policy::Objective::kReliability;
+    const policy::ResilientEvaluator resilient(scenario, eval_options);
 
-  std::vector<GridPoint> grid;
-  for (int l12 = 0; l12 <= m1; l12 += step) {
-    for (int l21 = 0; l21 <= m2; l21 += step) {
-      grid.push_back({l12, l21});
+    std::vector<GridPoint> grid;
+    for (int l12 = 0; l12 <= m1; l12 += step) {
+      for (int l21 = 0; l21 <= m2; l21 += step) {
+        grid.push_back({l12, l21});
+      }
     }
-  }
-  std::vector<policy::EvalOutcome> outcomes(grid.size());
-  pool.parallel_for(0, grid.size(), [&](std::size_t i) {
-    outcomes[i] = resilient.evaluate(
-        policy::make_two_server_policy(grid[i].l12, grid[i].l21));
-  });
+    std::vector<policy::EvalOutcome> outcomes(grid.size());
+    pool.parallel_for(0, grid.size(), [&](std::size_t i) {
+      outcomes[i] = resilient.evaluate(
+          policy::make_two_server_policy(grid[i].l12, grid[i].l21));
+    });
 
-  policy::EvalTally tally;
-  std::size_t best_index = 0;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    tally.record(outcomes[i]);
-    if (outcomes[i].ok &&
-        (!outcomes[best_index].ok ||
-         outcomes[i].value > outcomes[best_index].value)) {
-      best_index = i;
+    Stage1Record s;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      s.tally.record(outcomes[i]);
+      if (outcomes[i].ok &&
+          (!outcomes[best_index].ok ||
+           outcomes[i].value > outcomes[best_index].value)) {
+        best_index = i;
+      }
     }
-  }
-  const GridPoint paper_opt = grid[best_index];
-  const double paper_opt_analytic = outcomes[best_index].value;
+    s.paper_opt = grid[best_index];
+    s.analytic = outcomes[best_index].value;
+    return pack_stage1(s);
+  }));
+  const GridPoint paper_opt = stage1.paper_opt;
+  const double paper_opt_analytic = stage1.analytic;
+  const policy::EvalTally& tally = stage1.tally;
 
   std::cout << "Paper-optimal reliability policy (" << bench::delay_name(delay)
             << " delay, " << dist::model_family_name(family)
@@ -180,54 +305,70 @@ int main(int argc, char** argv) {
 
   double previous_r = 1.0;
   bool monotone = true;
+  SupervisionReport supervision_total;
   for (const double intensity : intensities) {
-    const sim::FaultPlan plan = scale_fault_plan(base, intensity);
+    const IntensityRecord row = unpack_intensity(
+        journaled("intensity " + format_double(intensity, 17), [&] {
+          const sim::FaultPlan plan = scale_fault_plan(base, intensity);
 
-    sim::MonteCarloOptions mc;
-    mc.replications = replications;
-    mc.seed = seed;
-    mc.pool = &pool;
-    mc.simulator.faults = plan;
-    const sim::MonteCarloMetrics headline =
-        sim::run_monte_carlo(scenario, paper_policy, mc);
+          sim::MonteCarloOptions mc;
+          mc.replications = replications;
+          mc.seed = seed;
+          mc.pool = &pool;
+          mc.simulator.faults = plan;
+          if (supervise) {
+            SupervisorOptions sup;
+            sup.pool = &pool;
+            mc.supervise = sup;
+          }
+          const sim::MonteCarloMetrics headline =
+              sim::run_monte_carlo(scenario, paper_policy, mc);
+          if (supervise) supervision_total.absorb(headline.supervision);
 
-    // Under-fault policy search on the coarse grid (sequential over
-    // policies; each run_monte_carlo fans replications over the pool).
-    sim::MonteCarloOptions search_mc = mc;
-    search_mc.replications = search_replications;
-    double best_r = -1.0;
-    double paper_r_search = 0.0;
-    GridPoint best = paper_opt;
-    for (const GridPoint& p : coarse) {
-      const double r =
-          sim::run_monte_carlo(
-              scenario, policy::make_two_server_policy(p.l12, p.l21),
-              search_mc)
-              .reliability.center;
-      if (p.l12 == paper_opt.l12 && p.l21 == paper_opt.l21) {
-        paper_r_search = r;
-      }
-      if (r > best_r) {
-        best_r = r;
-        best = p;
-      }
-    }
-    const double regret = best_r - paper_r_search;
-
-    const double r = headline.reliability.center;
+          // Under-fault policy search on the coarse grid (sequential over
+          // policies; each run_monte_carlo fans replications over the pool).
+          sim::MonteCarloOptions search_mc = mc;
+          search_mc.replications = search_replications;
+          IntensityRecord x;
+          x.best_r = -1.0;
+          x.best = paper_opt;
+          for (const GridPoint& p : coarse) {
+            const sim::MonteCarloMetrics candidate = sim::run_monte_carlo(
+                scenario, policy::make_two_server_policy(p.l12, p.l21),
+                search_mc);
+            if (supervise) supervision_total.absorb(candidate.supervision);
+            const double r = candidate.reliability.center;
+            if (p.l12 == paper_opt.l12 && p.l21 == paper_opt.l21) {
+              x.paper_r_search = r;
+            }
+            if (r > x.best_r) {
+              x.best_r = r;
+              x.best = p;
+            }
+          }
+          x.r = headline.reliability.center;
+          x.lower = headline.reliability.lower;
+          x.upper = headline.reliability.upper;
+          x.truncated = headline.truncated;
+          x.faults = headline.fault_totals;
+          return pack_intensity(x);
+        }));
+    const double regret = row.best_r - row.paper_r_search;
+    const double r = row.r;
+    const double half_width = 0.5 * (row.upper - row.lower);
     if (r > previous_r + 1e-9) monotone = false;
     previous_r = r;
 
-    const sim::FaultStats& f = headline.fault_totals;
+    const sim::FaultStats& f = row.faults;
     sweep.begin_row()
         .cell(intensity, 2)
         .cell(r)
-        .cell(headline.reliability.half_width())
-        .cell(best_r)
-        .cell(best.l12)
-        .cell(best.l21)
+        .cell(half_width)
+        .cell(row.best_r)
+        .cell(row.best.l12)
+        .cell(row.best.l21)
         .cell(regret)
-        .cell(static_cast<long long>(headline.truncated))
+        .cell(static_cast<long long>(row.truncated))
         .cell(static_cast<long long>(f.group_retransmissions +
                                      f.fn_retransmissions))
         .cell(static_cast<long long>(f.shocks))
@@ -235,13 +376,13 @@ int main(int argc, char** argv) {
     csv.begin_row()
         .cell(intensity, 4)
         .cell(r, 6)
-        .cell(headline.reliability.lower, 6)
-        .cell(headline.reliability.upper, 6)
-        .cell(best_r, 6)
-        .cell(best.l12)
-        .cell(best.l21)
+        .cell(row.lower, 6)
+        .cell(row.upper, 6)
+        .cell(row.best_r, 6)
+        .cell(row.best.l12)
+        .cell(row.best.l21)
         .cell(regret, 6)
-        .cell(static_cast<long long>(headline.truncated))
+        .cell(static_cast<long long>(row.truncated))
         .cell(static_cast<long long>(f.group_retransmissions))
         .cell(static_cast<long long>(f.tasks_lost_in_network))
         .cell(static_cast<long long>(f.shocks))
@@ -255,8 +396,7 @@ int main(int argc, char** argv) {
                 << ", Monte-Carlo R-inf = " << format_double(r, 4)
                 << " (|diff| = "
                 << format_double(std::fabs(r - paper_opt_analytic), 4)
-                << ", CI half-width = "
-                << format_double(headline.reliability.half_width(), 4)
+                << ", CI half-width = " << format_double(half_width, 4)
                 << ")\n";
     }
   }
@@ -267,8 +407,24 @@ int main(int argc, char** argv) {
   std::cout << (monotone ? "R-inf degrades monotonically with intensity.\n"
                          : "WARNING: R-inf is not monotone in intensity "
                            "(raise --replications).\n");
-  csv.write_csv_file("degradation_sweep.csv");
-  std::cout << "CSV series written to degradation_sweep.csv ("
+  if (supervise) {
+    std::cout << "supervision: " << supervision_total.tasks
+              << " replications supervised, " << supervision_total.retries
+              << " retries, " << supervision_total.watchdog_cancellations
+              << " watchdog cancellations, "
+              << supervision_total.quarantined.size() << " quarantined\n";
+  }
+  const std::string out_path = cli.get_string("out");
+  const std::filesystem::path out_dir =
+      std::filesystem::path(out_path).parent_path();
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  csv.write_csv_file(out_path);
+  std::cout << "CSV series written to " << out_path << " ("
             << format_double(watch.elapsed_seconds(), 1) << " s total)\n";
+  if (journal) {
+    std::cout << "checkpoint: " << journal->stats().hits << " of "
+              << journal->size() << " units replayed from "
+              << journal->path() << "\n";
+  }
   return 0;
 }

@@ -16,10 +16,13 @@
 // the refactor's contract, not an aspiration.
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 
 #include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
@@ -56,6 +59,57 @@ bool same_policy(const core::DtrPolicy& a, const core::DtrPolicy& b) {
   return true;
 }
 
+// Everything a journaled phase contributes to the report. The cold and warm
+// passes form ONE unit: a warm pass replayed without its cold pass would run
+// against an unwarmed workspace, so they complete (and journal) together.
+struct PhaseRecord {
+  std::string policy;
+  int iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;        // baseline / cold
+  double warm_seconds = 0.0;   // shared unit only
+  core::WorkspaceStats cold_stats;
+  core::WorkspaceStats warm_stats;
+};
+
+std::string pack_phase(const PhaseRecord& p) {
+  const auto f = [](double v) { return format_double(v, 17); };
+  return join_fields(
+      {p.policy, std::to_string(p.iterations), p.converged ? "1" : "0",
+       f(p.seconds), f(p.warm_seconds),
+       std::to_string(p.cold_stats.base_hits),
+       std::to_string(p.cold_stats.base_misses),
+       std::to_string(p.cold_stats.sum_hits),
+       std::to_string(p.cold_stats.sum_misses),
+       std::to_string(p.warm_stats.base_hits),
+       std::to_string(p.warm_stats.base_misses),
+       std::to_string(p.warm_stats.sum_hits),
+       std::to_string(p.warm_stats.sum_misses),
+       std::to_string(p.warm_stats.laws),
+       std::to_string(p.warm_stats.bytes)});
+}
+
+PhaseRecord unpack_phase(const std::string& payload) {
+  const std::vector<std::string> f = split_fields(payload);
+  PhaseRecord p;
+  p.policy = f.at(0);
+  p.iterations = std::stoi(f.at(1));
+  p.converged = f.at(2) == "1";
+  p.seconds = std::stod(f.at(3));
+  p.warm_seconds = std::stod(f.at(4));
+  p.cold_stats.base_hits = std::stoull(f.at(5));
+  p.cold_stats.base_misses = std::stoull(f.at(6));
+  p.cold_stats.sum_hits = std::stoull(f.at(7));
+  p.cold_stats.sum_misses = std::stoull(f.at(8));
+  p.warm_stats.base_hits = std::stoull(f.at(9));
+  p.warm_stats.base_misses = std::stoull(f.at(10));
+  p.warm_stats.sum_hits = std::stoull(f.at(11));
+  p.warm_stats.sum_misses = std::stoull(f.at(12));
+  p.warm_stats.laws = std::stoull(f.at(13));
+  p.warm_stats.bytes = std::stoull(f.at(14));
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +122,10 @@ int main(int argc, char** argv) {
   cli.add_option("iterations", "3", "Algorithm 1 iteration cap");
   cli.add_option("out", "BENCH_policy_search.json",
                  "where to write the JSON record");
+  cli.add_option("checkpoint", "",
+                 "journal completed phases to this file (crash-consistent; "
+                 "empty = off)");
+  cli.add_flag("resume", "replay phases already journaled in --checkpoint");
   if (!cli.parse(argc, argv)) return 0;
 
   const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
@@ -81,37 +139,73 @@ int main(int argc, char** argv) {
   options.conv.cells = static_cast<std::size_t>(cli.get_int("cells"));
   options.pool = &pool;
 
+  std::unique_ptr<Checkpoint> journal;
+  if (!cli.get_string("checkpoint").empty()) {
+    journal = std::make_unique<Checkpoint>(
+        cli.get_string("checkpoint"),
+        "policy_search model=" + dist::model_family_name(family) +
+            " cells=" + std::to_string(options.conv.cells) +
+            " iterations=" + std::to_string(options.max_iterations),
+        cli.get_flag("resume"));
+  }
+  const auto run_phase = [&](const std::string& key,
+                             const std::function<PhaseRecord()>& compute) {
+    if (!journal) return compute();
+    return unpack_phase(
+        journal->run_unit(key, [&] { return pack_phase(compute()); }));
+  };
+
   Stopwatch watch;
 
   // Baseline: a fresh private workspace per 2-server solve.
-  policy::Algorithm1Options baseline_options = options;
-  baseline_options.share_workspace = false;
-  watch.reset();
-  const auto baseline = policy::Algorithm1(baseline_options).devise(scenario);
-  const double t_baseline = watch.elapsed_seconds();
+  const PhaseRecord baseline = run_phase("baseline", [&] {
+    policy::Algorithm1Options baseline_options = options;
+    baseline_options.share_workspace = false;
+    watch.reset();
+    const auto devised = policy::Algorithm1(baseline_options).devise(scenario);
+    PhaseRecord p;
+    p.policy = policy_to_string(devised.policy);
+    p.iterations = devised.iterations;
+    p.converged = devised.converged;
+    p.seconds = watch.elapsed_seconds();
+    return p;
+  });
+  const double t_baseline = baseline.seconds;
 
-  // Cold: one shared workspace, first devise() populates it.
-  const auto workspace = std::make_shared<core::LatticeWorkspace>();
-  policy::Algorithm1Options shared_options = options;
-  shared_options.workspace = workspace;
-  const policy::Algorithm1 shared_search(shared_options);
-  watch.reset();
-  const auto cold = shared_search.devise(scenario);
-  const double t_cold = watch.elapsed_seconds();
-  const core::WorkspaceStats cold_stats = workspace->stats();
+  // Cold + warm: one shared workspace; the first devise() populates it, the
+  // second reuses every lattice.
+  const PhaseRecord shared = run_phase("shared", [&] {
+    const auto workspace = std::make_shared<core::LatticeWorkspace>();
+    policy::Algorithm1Options shared_options = options;
+    shared_options.workspace = workspace;
+    const policy::Algorithm1 shared_search(shared_options);
+    PhaseRecord p;
+    watch.reset();
+    const auto cold = shared_search.devise(scenario);
+    p.seconds = watch.elapsed_seconds();
+    p.cold_stats = workspace->stats();
+    watch.reset();
+    const auto warm = shared_search.devise(scenario);
+    p.warm_seconds = watch.elapsed_seconds();
+    p.warm_stats = workspace->stats();
+    p.policy = policy_to_string(cold.policy);
+    p.iterations = cold.iterations;
+    p.converged = cold.converged;
+    if (!same_policy(cold.policy, warm.policy)) p.policy.clear();
+    return p;
+  });
+  const double t_cold = shared.seconds;
+  const double t_warm = shared.warm_seconds;
+  const core::WorkspaceStats cold_stats = shared.cold_stats;
+  const core::WorkspaceStats warm_stats = shared.warm_stats;
 
-  // Warm: second devise() against the now-populated workspace.
-  watch.reset();
-  const auto warm = shared_search.devise(scenario);
-  const double t_warm = watch.elapsed_seconds();
-  const core::WorkspaceStats warm_stats = workspace->stats();
-
-  if (!same_policy(baseline.policy, cold.policy) ||
-      !same_policy(cold.policy, warm.policy)) {
+  if (shared.policy.empty() || baseline.policy != shared.policy) {
     std::cerr << "FAIL: devised policies diverge across configurations\n"
-              << "  baseline: " << policy_to_string(baseline.policy) << "\n"
-              << "  cold:     " << policy_to_string(cold.policy) << "\n"
-              << "  warm:     " << policy_to_string(warm.policy) << "\n";
+              << "  baseline: " << baseline.policy << "\n"
+              << "  shared:   "
+              << (shared.policy.empty() ? "(cold/warm diverged)"
+                                        : shared.policy)
+              << "\n";
     return EXIT_FAILURE;
   }
 
@@ -121,9 +215,9 @@ int main(int argc, char** argv) {
   std::cout << "=== policy search | " << dist::model_family_name(family)
             << " | M = 200 on 5 servers | cells = " << options.conv.cells
             << " ===\n"
-            << "policy: " << policy_to_string(cold.policy) << " ("
-            << cold.iterations << " iterations"
-            << (cold.converged ? ", converged" : "") << ")\n\n";
+            << "policy: " << shared.policy << " (" << shared.iterations
+            << " iterations" << (shared.converged ? ", converged" : "")
+            << ")\n\n";
   Table table({"configuration", "devise (s)", "speedup vs baseline",
                "cache hits", "cache misses"});
   table.begin_row()
@@ -156,9 +250,10 @@ int main(int argc, char** argv) {
         << "  \"bench\": \"policy_search\",\n"
         << "  \"model\": \"" << dist::model_family_name(family) << "\",\n"
         << "  \"cells\": " << options.conv.cells << ",\n"
-        << "  \"iterations\": " << cold.iterations << ",\n"
-        << "  \"converged\": " << (cold.converged ? "true" : "false") << ",\n"
-        << "  \"policy\": \"" << policy_to_string(cold.policy) << "\",\n"
+        << "  \"iterations\": " << shared.iterations << ",\n"
+        << "  \"converged\": " << (shared.converged ? "true" : "false")
+        << ",\n"
+        << "  \"policy\": \"" << shared.policy << "\",\n"
         << "  \"baseline_seconds\": " << t_baseline << ",\n"
         << "  \"cold_seconds\": " << t_cold << ",\n"
         << "  \"warm_seconds\": " << t_warm << ",\n"
@@ -175,6 +270,11 @@ int main(int argc, char** argv) {
         << "}\n";
   }
   std::cout << "wrote " << out_path << "\n";
+  if (journal) {
+    std::cout << "checkpoint: " << journal->stats().hits << " of "
+              << journal->size() << " phases replayed from "
+              << journal->path() << "\n";
+  }
 
   if (warm_stats.hits() == 0) {
     std::cerr << "FAIL: shared workspace never served a hit\n";

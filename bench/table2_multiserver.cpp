@@ -9,11 +9,15 @@
 // allocation (tasks already in place, found by the allocation search),
 // matching the paper's "initial allocation is actually the optimal
 // allocation" row.
+#include <functional>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "agedtr/policy/algorithm1.hpp"
 #include "agedtr/sim/allocation_search.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
@@ -46,6 +50,11 @@ int main(int argc, char** argv) {
   cli.add_option("reps", "10000", "Monte-Carlo replications per entry");
   cli.add_option("cells", "32768", "lattice cells for the 2-server solves");
   cli.add_option("seed", "2010", "Monte-Carlo seed");
+  cli.add_option("checkpoint", "",
+                 "journal each completed table entry (one per model family "
+                 "and part, plus the benchmark rows) to this file; empty = "
+                 "off");
+  cli.add_flag("resume", "replay entries already journaled in --checkpoint");
   if (!cli.parse(argc, argv)) return 0;
 
   Stopwatch watch;
@@ -57,53 +66,83 @@ int main(int argc, char** argv) {
   mc.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   mc.pool = &pool;
 
+  std::unique_ptr<Checkpoint> journal;
+  if (!cli.get_string("checkpoint").empty()) {
+    journal = std::make_unique<Checkpoint>(
+        cli.get_string("checkpoint"),
+        "table2 reps=" + std::to_string(mc.replications) +
+            " cells=" + std::to_string(conv.cells) +
+            " seed=" + std::to_string(mc.seed),
+        cli.get_flag("resume"));
+  }
+  // Replay-or-compute one table entry packed as U+001F-joined fields.
+  const auto entry =
+      [&](const std::string& key,
+          const std::function<std::vector<std::string>()>& compute) {
+        if (!journal) return compute();
+        return split_fields(
+            journal->run_unit(key, [&] { return join_fields(compute()); }));
+      };
+
   // ---------- part (a): average execution time, reliable servers ----------
   Table mean_table({"model", "policy (age-dependent)",
                     "T-bar, age-dependent policy (s)",
                     "T-bar, exponential policy (s)", "rel. difference"});
   for (ModelFamily family : dist::all_model_families()) {
-    const core::DcsScenario scenario =
-        bench::five_server_scenario(family, /*failures=*/false);
-    policy::Algorithm1Options age_opts;
-    age_opts.objective = policy::Objective::kMeanExecutionTime;
-    age_opts.max_iterations = 4;
-    age_opts.conv = conv;
-    age_opts.pool = &pool;
-    policy::Algorithm1Options markov_opts = age_opts;
-    markov_opts.markovian = true;
-    const auto age = policy::Algorithm1(age_opts).devise(scenario);
-    const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
-    const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
-    const auto m_markov = sim::run_monte_carlo(scenario, markov.policy, mc);
-    const double t_age = m_age.mean_completion_time.center;
-    const double t_markov = m_markov.mean_completion_time.center;
+    const std::vector<std::string> row = entry(
+        "mean " + dist::model_family_name(family), [&] {
+          const core::DcsScenario scenario =
+              bench::five_server_scenario(family, /*failures=*/false);
+          policy::Algorithm1Options age_opts;
+          age_opts.objective = policy::Objective::kMeanExecutionTime;
+          age_opts.max_iterations = 4;
+          age_opts.conv = conv;
+          age_opts.pool = &pool;
+          policy::Algorithm1Options markov_opts = age_opts;
+          markov_opts.markovian = true;
+          const auto age = policy::Algorithm1(age_opts).devise(scenario);
+          const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+          const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
+          const auto m_markov =
+              sim::run_monte_carlo(scenario, markov.policy, mc);
+          return std::vector<std::string>{
+              policy_to_string(age.policy),
+              format_double(m_age.mean_completion_time.center, 17),
+              format_double(m_markov.mean_completion_time.center, 17)};
+        });
+    const double t_age = std::stod(row.at(1));
+    const double t_markov = std::stod(row.at(2));
     mean_table.begin_row()
         .cell(dist::model_family_name(family))
-        .cell(policy_to_string(age.policy))
+        .cell(row.at(0))
         .cell(t_age)
         .cell(t_markov)
         .cell(format_double(100.0 * (t_markov - t_age) / t_age, 3) + "%");
   }
   // Benchmark row: optimal static allocation (no transfers needed).
   {
-    const core::DcsScenario scenario = bench::five_server_scenario(
-        ModelFamily::kPareto1, /*failures=*/false);
-    sim::AllocationSearchOptions alloc_opts;
-    alloc_opts.objective = policy::Objective::kMeanExecutionTime;
-    const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
-    core::DcsScenario placed = scenario;
-    for (std::size_t j = 0; j < 5; ++j) {
-      placed.servers[j].initial_tasks = alloc.allocation[j];
-    }
-    const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
-    std::string alloc_str;
-    for (int a : alloc.allocation) {
-      alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
-    }
+    const std::vector<std::string> row = entry("mean benchmark", [&] {
+      const core::DcsScenario scenario = bench::five_server_scenario(
+          ModelFamily::kPareto1, /*failures=*/false);
+      sim::AllocationSearchOptions alloc_opts;
+      alloc_opts.objective = policy::Objective::kMeanExecutionTime;
+      const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+      core::DcsScenario placed = scenario;
+      for (std::size_t j = 0; j < 5; ++j) {
+        placed.servers[j].initial_tasks = alloc.allocation[j];
+      }
+      const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
+      std::string alloc_str;
+      for (int a : alloc.allocation) {
+        alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
+      }
+      return std::vector<std::string>{
+          alloc_str, format_double(m.mean_completion_time.center, 17)};
+    });
     mean_table.begin_row()
         .cell("benchmark: optimal allocation (Pareto 1)")
-        .cell("m* = (" + alloc_str + ")")
-        .cell(m.mean_completion_time.center)
+        .cell("m* = (" + row.at(0) + ")")
+        .cell(std::stod(row.at(1)))
         .cell("-")
         .cell("-");
   }
@@ -117,25 +156,33 @@ int main(int argc, char** argv) {
                    "R-inf, age-dependent policy",
                    "R-inf, exponential policy", "rel. difference"});
   for (ModelFamily family : dist::all_model_families()) {
-    const core::DcsScenario scenario =
-        bench::five_server_scenario(family, /*failures=*/true);
-    policy::Algorithm1Options age_opts;
-    age_opts.objective = policy::Objective::kReliability;
-    age_opts.criterion = policy::ReallocationCriterion::kReliability;
-    age_opts.max_iterations = 4;
-    age_opts.conv = conv;
-    age_opts.pool = &pool;
-    policy::Algorithm1Options markov_opts = age_opts;
-    markov_opts.markovian = true;
-    const auto age = policy::Algorithm1(age_opts).devise(scenario);
-    const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
-    const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
-    const auto m_markov = sim::run_monte_carlo(scenario, markov.policy, mc);
-    const double r_age = m_age.reliability.center;
-    const double r_markov = m_markov.reliability.center;
+    const std::vector<std::string> row = entry(
+        "rel " + dist::model_family_name(family), [&] {
+          const core::DcsScenario scenario =
+              bench::five_server_scenario(family, /*failures=*/true);
+          policy::Algorithm1Options age_opts;
+          age_opts.objective = policy::Objective::kReliability;
+          age_opts.criterion = policy::ReallocationCriterion::kReliability;
+          age_opts.max_iterations = 4;
+          age_opts.conv = conv;
+          age_opts.pool = &pool;
+          policy::Algorithm1Options markov_opts = age_opts;
+          markov_opts.markovian = true;
+          const auto age = policy::Algorithm1(age_opts).devise(scenario);
+          const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+          const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
+          const auto m_markov =
+              sim::run_monte_carlo(scenario, markov.policy, mc);
+          return std::vector<std::string>{
+              policy_to_string(age.policy),
+              format_double(m_age.reliability.center, 17),
+              format_double(m_markov.reliability.center, 17)};
+        });
+    const double r_age = std::stod(row.at(1));
+    const double r_markov = std::stod(row.at(2));
     rel_table.begin_row()
         .cell(dist::model_family_name(family))
-        .cell(policy_to_string(age.policy))
+        .cell(row.at(0))
         .cell(r_age)
         .cell(r_markov)
         .cell(format_double(
@@ -144,24 +191,28 @@ int main(int argc, char** argv) {
               "%");
   }
   {
-    const core::DcsScenario scenario =
-        bench::five_server_scenario(ModelFamily::kPareto1, /*failures=*/true);
-    sim::AllocationSearchOptions alloc_opts;
-    alloc_opts.objective = policy::Objective::kReliability;
-    const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
-    core::DcsScenario placed = scenario;
-    for (std::size_t j = 0; j < 5; ++j) {
-      placed.servers[j].initial_tasks = alloc.allocation[j];
-    }
-    const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
-    std::string alloc_str;
-    for (int a : alloc.allocation) {
-      alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
-    }
+    const std::vector<std::string> row = entry("rel benchmark", [&] {
+      const core::DcsScenario scenario = bench::five_server_scenario(
+          ModelFamily::kPareto1, /*failures=*/true);
+      sim::AllocationSearchOptions alloc_opts;
+      alloc_opts.objective = policy::Objective::kReliability;
+      const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+      core::DcsScenario placed = scenario;
+      for (std::size_t j = 0; j < 5; ++j) {
+        placed.servers[j].initial_tasks = alloc.allocation[j];
+      }
+      const auto m = sim::run_monte_carlo(placed, core::DtrPolicy(5), mc);
+      std::string alloc_str;
+      for (int a : alloc.allocation) {
+        alloc_str += (alloc_str.empty() ? "" : ",") + std::to_string(a);
+      }
+      return std::vector<std::string>{
+          alloc_str, format_double(m.reliability.center, 17)};
+    });
     rel_table.begin_row()
         .cell("benchmark: optimal allocation (Pareto 1)")
-        .cell("m* = (" + alloc_str + ")")
-        .cell(m.reliability.center)
+        .cell("m* = (" + row.at(0) + ")")
+        .cell(std::stod(row.at(1)))
         .cell("-")
         .cell("-");
   }
@@ -172,5 +223,10 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: exponential-model policies err by 5-45% at this "
                "scale)\nElapsed: "
             << format_double(watch.elapsed_seconds(), 3) << " s\n";
+  if (journal) {
+    std::cout << "checkpoint: " << journal->stats().hits << " of "
+              << journal->size() << " entries replayed from "
+              << journal->path() << "\n";
+  }
   return 0;
 }

@@ -10,6 +10,13 @@
 #   scripts/run_sanitizers.sh --tsan     # accepted for compatibility (tsan
 #                                        # is on by default now)
 #   scripts/run_sanitizers.sh -j 8       # cap build/test parallelism
+#   scripts/run_sanitizers.sh \
+#     --tsan-regex 'workspace|engine|supervisor'
+#                                        # restrict the TSan ctest pass to
+#                                        # tests matching the regex (the
+#                                        # whole tree still builds); TSan
+#                                        # runs ~10x slow, so CI points it
+#                                        # at the concurrency-heavy suites
 #
 # Each configuration builds out-of-tree in build-asan/ / build-tsan/ so the
 # regular build/ directory is left untouched.
@@ -19,10 +26,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
+tsan_regex=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --tsan) run_tsan=1 ;;
     --no-tsan) run_tsan=0 ;;
+    --tsan-regex) tsan_regex="$2"; shift ;;
     -j) jobs="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -31,6 +40,7 @@ done
 
 run_config() {
   local name="$1" sanitizers="$2" env_setup="$3"
+  shift 3
   echo "=== ${name}: configure (-DAGEDTR_SANITIZE=${sanitizers}) ==="
   cmake -B "build-${name}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -38,7 +48,7 @@ run_config() {
   echo "=== ${name}: build ==="
   cmake --build "build-${name}" -j "${jobs}"
   echo "=== ${name}: ctest ==="
-  (cd "build-${name}" && eval "${env_setup}" && ctest --output-on-failure -j "${jobs}")
+  (cd "build-${name}" && eval "${env_setup}" && ctest --output-on-failure -j "${jobs}" "$@")
 }
 
 # halt_on_error keeps the first report, abort_on_error gives ctest a
@@ -47,8 +57,11 @@ run_config asan "address;undefined" \
   "export ASAN_OPTIONS=abort_on_error=1:detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1"
 
 if [[ "${run_tsan}" -eq 1 ]]; then
+  tsan_ctest_args=()
+  [[ -n "${tsan_regex}" ]] && tsan_ctest_args=(-R "${tsan_regex}")
   run_config tsan "thread" \
-    "export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1"
+    "export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1" \
+    ${tsan_ctest_args[@]+"${tsan_ctest_args[@]}"}
 fi
 
 echo "All sanitizer passes clean."

@@ -67,11 +67,19 @@ struct DcsScenario {
   /// FN packets do not change the Section III metrics (reallocation happens
   /// only at t = 0) but are modelled for fidelity.
   std::vector<std::vector<dist::DistPtr>> fn_transfer;
+  /// The intended total workload M. Optional cross-check: when set,
+  /// validate() requires Σ m_j to equal it, so a config whose per-server
+  /// loads drifted out of sync with its declared M fails with a file:line
+  /// message instead of silently optimizing the wrong system.
+  std::optional<int> declared_total_tasks;
 
   [[nodiscard]] std::size_t size() const { return servers.size(); }
   [[nodiscard]] int total_tasks() const;
-  /// Throws InvalidArgument if the matrices are inconsistent with the
-  /// server count or required laws are missing.
+  /// Throws InvalidArgument (with a file:line message) if the instance is
+  /// malformed: empty server set, negative task counts, matrices
+  /// inconsistent with the server count, missing laws, laws with
+  /// non-positive or NaN rates/means, or a declared_total_tasks that
+  /// disagrees with the per-server loads.
   void validate() const;
 };
 

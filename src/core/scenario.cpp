@@ -1,6 +1,7 @@
 #include "agedtr/core/scenario.hpp"
 
 #include <numeric>
+#include <string>
 
 #include "agedtr/dist/sum_iid.hpp"
 #include "agedtr/util/error.hpp"
@@ -48,14 +49,44 @@ int DcsScenario::total_tasks() const {
   return sum;
 }
 
+namespace {
+
+/// A degenerate law — non-positive or NaN mean — produces NaNs deep inside
+/// the solvers; reject it here with a name attached instead. Infinite
+/// means are legitimate (Pareto with α <= 1).
+void require_positive_mean(const dist::DistPtr& law, const std::string& what) {
+  const double mean = law->mean();
+  AGEDTR_REQUIRE(mean > 0.0, "DcsScenario: " + what + " law (" + law->name() +
+                                 ") has non-positive or NaN mean " +
+                                 std::to_string(mean));
+}
+
+}  // namespace
+
 void DcsScenario::validate() const {
   const std::size_t n = servers.size();
   AGEDTR_REQUIRE(n >= 1, "DcsScenario: need at least one server");
   for (std::size_t j = 0; j < n; ++j) {
     AGEDTR_REQUIRE(servers[j].initial_tasks >= 0,
-                   "DcsScenario: negative initial task count");
+                   "DcsScenario: server " + std::to_string(j) +
+                       " has a negative initial task count (" +
+                       std::to_string(servers[j].initial_tasks) + ")");
     AGEDTR_REQUIRE(servers[j].service != nullptr,
-                   "DcsScenario: every server needs a service-time law");
+                   "DcsScenario: server " + std::to_string(j) +
+                       " needs a service-time law");
+    require_positive_mean(servers[j].service,
+                          "server " + std::to_string(j) + " service");
+    if (servers[j].failure != nullptr) {
+      require_positive_mean(servers[j].failure,
+                            "server " + std::to_string(j) + " failure");
+    }
+  }
+  if (declared_total_tasks.has_value()) {
+    AGEDTR_REQUIRE(*declared_total_tasks == total_tasks(),
+                   "DcsScenario: declared workload M = " +
+                       std::to_string(*declared_total_tasks) +
+                       " disagrees with the per-server loads (sum = " +
+                       std::to_string(total_tasks()) + ")");
   }
   AGEDTR_REQUIRE(transfer.size() == n,
                  "DcsScenario: transfer matrix has wrong row count");
@@ -65,16 +96,27 @@ void DcsScenario::validate() const {
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j) {
         AGEDTR_REQUIRE(transfer[i][j] != nullptr,
-                       "DcsScenario: missing transfer law between servers");
+                       "DcsScenario: missing transfer law between servers " +
+                           std::to_string(i) + " and " + std::to_string(j));
+        require_positive_mean(transfer[i][j],
+                              "transfer " + std::to_string(i) + "->" +
+                                  std::to_string(j));
       }
     }
   }
   if (!fn_transfer.empty()) {
     AGEDTR_REQUIRE(fn_transfer.size() == n,
                    "DcsScenario: FN matrix has wrong row count");
-    for (const auto& row : fn_transfer) {
-      AGEDTR_REQUIRE(row.size() == n,
+    for (std::size_t i = 0; i < n; ++i) {
+      AGEDTR_REQUIRE(fn_transfer[i].size() == n,
                      "DcsScenario: FN matrix has wrong column count");
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j && fn_transfer[i][j] != nullptr) {
+          require_positive_mean(fn_transfer[i][j],
+                                "FN transfer " + std::to_string(i) + "->" +
+                                    std::to_string(j));
+        }
+      }
     }
   }
 }

@@ -1,7 +1,11 @@
 #include "agedtr/policy/algorithm1.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -9,6 +13,7 @@
 #include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::policy {
@@ -70,7 +75,99 @@ double pair_horizon(const core::DcsScenario& scenario,
   return conv.horizon_multiple * (worst_queue * service_mean + transfer_mean);
 }
 
+std::string fmt_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Identity of a law as far as the devised policy is concerned: family,
+/// mean, variance. Two laws agreeing on all three could in principle still
+/// differ, but within this library a family is parameterized by at most two
+/// moments, so the triple pins the law.
+std::string law_fingerprint(const dist::DistPtr& law) {
+  if (law == nullptr) return "-";
+  return law->name() + ":" + fmt_double(law->mean()) + ":" +
+         fmt_double(law->variance());
+}
+
+std::string serialize_pledges(const std::vector<std::vector<int>>& pledges) {
+  std::string out;
+  for (const auto& row : pledges) {
+    for (const int l : row) {
+      if (!out.empty()) out += ' ';
+      out += std::to_string(l);
+    }
+  }
+  return out;
+}
+
+std::string serialize_result(const Algorithm1Result& result) {
+  std::string out = std::to_string(result.policy.size()) + ";" +
+                    std::to_string(result.iterations) + ";" +
+                    (result.converged ? "1" : "0") + ";";
+  for (std::size_t i = 0; i < result.policy.size(); ++i) {
+    for (std::size_t j = 0; j < result.policy.size(); ++j) {
+      out += std::to_string(result.policy(i, j)) + " ";
+    }
+  }
+  return out;
+}
+
+Algorithm1Result parse_result(const std::string& payload) {
+  std::istringstream in(payload);
+  std::size_t n = 0;
+  int iterations = 0;
+  int converged = 0;
+  char sep = 0;
+  in >> n >> sep >> iterations >> sep >> converged >> sep;
+  AGEDTR_REQUIRE(in && n >= 1,
+                 "Algorithm1: corrupt journaled result payload");
+  Algorithm1Result result{core::DtrPolicy(n), iterations, converged != 0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      int l = 0;
+      in >> l;
+      AGEDTR_REQUIRE(in, "Algorithm1: corrupt journaled result payload");
+      if (i != j && l > 0) result.policy.set(i, j, l);
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+std::string algorithm1_checkpoint_tag(const core::DcsScenario& scenario,
+                                      const QueueEstimates& estimates,
+                                      const Algorithm1Options& options) {
+  std::string tag = "algorithm1 v1|n=" + std::to_string(scenario.size());
+  for (const core::ServerSpec& s : scenario.servers) {
+    tag += "|srv " + std::to_string(s.initial_tasks) + " " +
+           law_fingerprint(s.service) + " " + law_fingerprint(s.failure);
+  }
+  tag += "|scaling=" +
+         std::to_string(static_cast<int>(scenario.transfer_scaling));
+  for (const auto& row : scenario.transfer) {
+    for (const dist::DistPtr& z : row) tag += "|z " + law_fingerprint(z);
+  }
+  for (const auto& row : scenario.fn_transfer) {
+    for (const dist::DistPtr& x : row) tag += "|x " + law_fingerprint(x);
+  }
+  tag += "|est";
+  for (const auto& row : estimates) {
+    for (const int e : row) tag += " " + std::to_string(e);
+  }
+  tag += "|opts " + std::to_string(options.max_iterations) + " " +
+         std::to_string(static_cast<int>(options.criterion)) + " " +
+         std::to_string(static_cast<int>(options.objective)) + " " +
+         fmt_double(options.deadline) + " " +
+         (options.markovian ? "m" : "a") + "|conv " +
+         fmt_double(options.conv.dt) + " " +
+         std::to_string(options.conv.cells) + " " +
+         fmt_double(options.conv.horizon) + " " +
+         fmt_double(options.conv.horizon_multiple);
+  return tag;
+}
 
 EvaluationEngine Algorithm1::make_pair_engine(
     const core::DcsScenario& scenario, std::size_t i, std::size_t j, int m1,
@@ -107,6 +204,27 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
                                     const QueueEstimates& estimates) const {
   scenario.validate();
   const std::size_t n = scenario.size();
+
+  // Crash-consistent journal: solved subproblems and completed iterations
+  // are persisted as they finish, so a killed devise() restarted with the
+  // same inputs replays them instead of re-solving.
+  std::unique_ptr<Checkpoint> journal;
+  if (!options_.checkpoint_path.empty()) {
+    journal = std::make_unique<Checkpoint>(
+        options_.checkpoint_path,
+        algorithm1_checkpoint_tag(scenario, estimates, options_),
+        options_.checkpoint_resume);
+    if (options_.checkpoint_crash_after_units > 0) {
+      journal->crash_after_records_for_testing(
+          options_.checkpoint_crash_after_units);
+    }
+    if (const std::string* done = journal->find("result")) {
+      Algorithm1Result resumed = parse_result(*done);
+      resumed.journal_hits = journal->stats().hits;
+      return resumed;
+    }
+  }
+
   const core::DtrPolicy l0 =
       initial_policy(scenario, estimates, options_.criterion);
 
@@ -124,11 +242,25 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
   std::map<std::tuple<std::size_t, std::size_t, int>, int> solved;
   const auto pledge = [&](std::size_t i, std::size_t j, int m1) -> int {
     const int m2 = estimates[i][j];
+    // Subproblem results depend only on (i, j, m1) — m2 is pinned by the
+    // estimates, which the journal tag fingerprints — so the journal key
+    // mirrors the in-memory memo and replays across iterations and runs.
+    const std::string unit =
+        journal ? "pair " + std::to_string(i) + " " + std::to_string(j) +
+                      " " + std::to_string(m1)
+                : std::string();
+    if (journal) {
+      if (const std::string* replay = journal->find(unit)) {
+        return std::stoi(*replay);
+      }
+    }
     if (!options_.share_workspace) {
       // Baseline mode: a fresh engine with a private workspace per solve,
       // on the same fixed grids — identical policies, lattice work redone.
-      return solve_pair(make_pair_engine(scenario, i, j, m1, m2, nullptr),
-                        m1, m2);
+      const int best = solve_pair(
+          make_pair_engine(scenario, i, j, m1, m2, nullptr), m1, m2);
+      if (journal) journal->record(unit, std::to_string(best));
+      return best;
     }
     const std::tuple<std::size_t, std::size_t, int> key{i, j, m1};
     if (const auto it = solved.find(key); it != solved.end()) {
@@ -138,6 +270,7 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
         solve_pair(make_pair_engine(scenario, i, j, m1, m2, workspace), m1,
                    m2);
     solved.emplace(key, best);
+    if (journal) journal->record(unit, std::to_string(best));
     return best;
   };
 
@@ -182,6 +315,13 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
       }
     }
     previous = current;
+    // Journal the iteration's pledge state. A resumed run replays the same
+    // iterations (the pair units above make that cheap), so the unit may
+    // already exist; re-recording it would be a duplicate-key error.
+    if (journal && !journal->contains("iter " + std::to_string(k))) {
+      journal->record("iter " + std::to_string(k),
+                      serialize_pledges(previous));
+    }
     if (!changed) {
       result.converged = true;
       break;
@@ -195,6 +335,10 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
     queues[i] = scenario.servers[i].initial_tasks;
   }
   result.policy = clamp_pledges(previous, queues);
+  if (journal) {
+    journal->record("result", serialize_result(result));
+    result.journal_hits = journal->stats().hits;
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "agedtr/policy/evaluation_engine.hpp"
 
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -92,14 +93,51 @@ double EvaluationEngine::evaluate(const core::DtrPolicy& policy) const {
 std::vector<double> EvaluationEngine::evaluate(
     std::span<const core::DtrPolicy> policies) const {
   std::vector<double> values(policies.size(), 0.0);
+  // Per-element error capture: one failing policy must not poison the
+  // rest of the batch, and the rethrown error must say which index failed.
+  std::vector<std::exception_ptr> errors(policies.size());
   const Impl& impl = *impl_;
-  const auto body = [&](std::size_t i) { values[i] = impl.evaluate(policies[i]); };
+  const auto body = [&](std::size_t i) {
+    try {
+      values[i] = impl.evaluate(policies[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
   if (impl.options.pool != nullptr) {
     impl.options.pool->parallel_for(0, policies.size(), body);
   } else {
     for (std::size_t i = 0; i < policies.size(); ++i) body(i);
   }
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (!errors[i]) continue;
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const BudgetExceeded& e) {
+      throw BatchElementBudgetExceeded(i, e.what());
+    }
+  }
   return values;
+}
+
+SupervisedBatchResult EvaluationEngine::evaluate_supervised(
+    std::span<const core::DtrPolicy> policies,
+    const SupervisorOptions& options) const {
+  SupervisorOptions supervise = options;
+  if (supervise.deadline_seconds <= 0.0) {
+    supervise.deadline_seconds =
+        supervisor_for_budget(impl_->options.conv.budget).deadline_seconds;
+  }
+  SupervisedBatchResult result;
+  result.values.assign(policies.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  const Impl& impl = *impl_;
+  result.supervision = Supervisor(supervise).run(
+      policies.size(), [&](std::size_t i, const CancelToken& token) {
+        token.check("EvaluationEngine::evaluate_supervised");
+        result.values[i] = impl.evaluate(policies[i]);
+      });
+  return result;
 }
 
 PolicyEvaluator EvaluationEngine::as_policy_evaluator() const {

@@ -57,12 +57,32 @@ struct Algorithm1Options {
   bool share_workspace = true;
   /// Parallelizes the subproblem policy grids (nullptr = serial).
   ThreadPool* pool = nullptr;
+
+  /// Crash-consistent journal for this devise() (empty = off). Every solved
+  /// (i, j, m1) subproblem, every completed iteration's pledge matrix, and
+  /// the final result are journaled to this path as they complete; a run
+  /// killed partway and restarted with the same inputs replays the
+  /// journaled units instead of re-solving them and produces a bit-identical
+  /// result. The journal's tag fingerprints the scenario, the estimates and
+  /// every policy-affecting option, so a stale file from a different
+  /// configuration is discarded, never replayed.
+  std::string checkpoint_path;
+  /// false ignores an existing journal (the run starts fresh and overwrites
+  /// it on the first completed unit).
+  bool checkpoint_resume = true;
+  /// Kill-and-resume test hook: after this many journal records, the next
+  /// record throws CheckpointError mid-devise (0 = off). See
+  /// Checkpoint::crash_after_records_for_testing.
+  std::size_t checkpoint_crash_after_units = 0;
 };
 
 struct Algorithm1Result {
   core::DtrPolicy policy;
   int iterations = 0;
   bool converged = false;
+  /// Units answered from a resumed checkpoint journal (0 when
+  /// checkpointing is off or the journal was empty/discarded).
+  std::size_t journal_hits = 0;
 };
 
 class Algorithm1 {
@@ -98,6 +118,14 @@ class Algorithm1 {
 
   Algorithm1Options options_;
 };
+
+/// The checkpoint tag devise() journals under: a fingerprint of the
+/// scenario (sizes, law families and means), the estimates, and every
+/// option that influences the devised policy. Exposed so operators and
+/// tests can open an Algorithm 1 journal directly.
+[[nodiscard]] std::string algorithm1_checkpoint_tag(
+    const core::DcsScenario& scenario, const QueueEstimates& estimates,
+    const Algorithm1Options& options);
 
 /// Clamps each sender's pledges to its available queue. Truncation is
 /// deterministic by construction: pledges are granted in descending size

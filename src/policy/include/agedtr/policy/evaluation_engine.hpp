@@ -17,8 +17,10 @@
 // exponential of equal mean — the [2],[7] baseline) run through the same
 // engine, so ConvolutionOptions tuning and the util::EvalBudget wall-clock
 // cap apply uniformly; a budget overrun surfaces as agedtr::BudgetExceeded
-// from whichever evaluation tripped it (a pooled batch cancels
-// cooperatively and rethrows the first one).
+// from whichever evaluation tripped it (a batch finishes its other
+// elements first, then throws BatchElementBudgetExceeded carrying the
+// failing index — or runs under a Supervisor via evaluate_supervised,
+// where poison policies are quarantined instead of thrown).
 //
 // Markovian group laws: per-task inbound groups are flattened to a single
 // exponential with the group's total mean (L·z̄). The flattened laws are
@@ -39,9 +41,33 @@
 #include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/objective.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/supervisor.hpp"
 #include "agedtr/util/thread_pool.hpp"
 
 namespace agedtr::policy {
+
+/// BudgetExceeded raised by one element of a batched evaluate(). Carries
+/// the index of the policy whose evaluation tripped its budget; the rest of
+/// the batch still ran to completion before this was thrown, so a caller
+/// that catches it has not lost the other evaluations' lattice work (it is
+/// resident in the workspace) — and still degrades exactly like the scalar
+/// form's BudgetExceeded if it only handles the base type.
+class BatchElementBudgetExceeded : public BudgetExceeded {
+ public:
+  BatchElementBudgetExceeded(std::size_t index, const std::string& what)
+      : BudgetExceeded("policy " + std::to_string(index) + ": " + what),
+        policy_index(index) {}
+
+  std::size_t policy_index;
+};
+
+/// The outcome of a supervised batch: index-aligned values (quiet NaN for
+/// quarantined policies) plus the supervision report naming them.
+struct SupervisedBatchResult {
+  std::vector<double> values;
+  SupervisionReport supervision;
+};
 
 struct EvaluationEngineOptions {
   Objective objective = Objective::kMeanExecutionTime;
@@ -70,9 +96,24 @@ class EvaluationEngine {
 
   /// The objective values of a batch, index-aligned with the input. Runs
   /// through options.pool when set; results are identical to calling the
-  /// scalar form per policy either way.
+  /// scalar form per policy either way. A failing element does not poison
+  /// the rest of the batch: every other policy is still evaluated, and only
+  /// then is the smallest failing index's error rethrown — as
+  /// BatchElementBudgetExceeded when it was a budget overrun, verbatim
+  /// otherwise.
   [[nodiscard]] std::vector<double> evaluate(
       std::span<const core::DtrPolicy> policies) const;
+
+  /// The batch under full supervision (retry with backoff, watchdog
+  /// deadlines, quarantine) instead of fail-on-first-error: policies whose
+  /// evaluations keep failing come back as NaN entries listed in the
+  /// supervision report, and nothing throws. When
+  /// `options.deadline_seconds` is 0 a deadline is derived from the
+  /// engine's conv.budget (supervisor_for_budget); attempts run on the
+  /// supervisor's pool (the engine's options.pool is not consulted here).
+  [[nodiscard]] SupervisedBatchResult evaluate_supervised(
+      std::span<const core::DtrPolicy> policies,
+      const SupervisorOptions& options = {}) const;
 
   /// Compatibility adapter for call sites written against PolicyEvaluator.
   /// The closure shares the engine's state and stays valid after this

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "agedtr/core/convolution.hpp"
@@ -66,6 +68,32 @@ double score_allocation_with(
   throw LogicError("score_allocation: unknown objective");
 }
 
+// Supervised scoring: the candidate's evaluation is retried/quarantined by
+// a Supervisor, and a quarantined candidate comes back as nullopt (the
+// search skips it). `ordinal` is the candidate-evaluation index recorded in
+// the aggregate report. Without options.supervise this is the plain
+// fail-fast call.
+std::optional<double> supervised_score(
+    const core::DcsScenario& scenario, const std::vector<int>& allocation,
+    const AllocationSearchOptions& options,
+    const std::shared_ptr<core::LatticeWorkspace>& workspace,
+    std::size_t ordinal, SupervisionReport& aggregate) {
+  if (!options.supervise.has_value()) {
+    return score_allocation_with(scenario, allocation, options, workspace);
+  }
+  std::optional<double> value;
+  const SupervisionReport report =
+      Supervisor(*options.supervise)
+          .run(1, [&](std::size_t, const CancelToken& token) {
+            token.check("optimal_allocation");
+            value = score_allocation_with(scenario, allocation, options,
+                                          workspace);
+          });
+  aggregate.absorb(report, ordinal);
+  if (!report.all_succeeded()) return std::nullopt;
+  return value;
+}
+
 }  // namespace
 
 double score_allocation(const core::DcsScenario& scenario,
@@ -110,8 +138,18 @@ AllocationSearchResult optimal_allocation(
   const auto workspace = options.workspace
                              ? options.workspace
                              : std::make_shared<core::LatticeWorkspace>();
-  double best = score_allocation_with(scenario, alloc, options, workspace);
+  // A quarantined incumbent (supervised mode only) leaves `best` invalid:
+  // the first candidate that scores successfully then takes over.
+  bool best_valid = false;
+  double best = 0.0;
+  const std::optional<double> seed_value = supervised_score(
+      scenario, alloc, options, workspace,
+      static_cast<std::size_t>(result.evaluations), result.supervision);
   result.evaluations = 1;
+  if (seed_value.has_value()) {
+    best = *seed_value;
+    best_valid = true;
+  }
   const auto better = [maximize](double candidate, double incumbent) {
     return maximize ? candidate > incumbent : candidate < incumbent;
   };
@@ -129,11 +167,14 @@ AllocationSearchResult optimal_allocation(
         std::vector<int> candidate = alloc;
         candidate[i] -= moved;
         candidate[j] += moved;
-        const double value =
-            score_allocation_with(scenario, candidate, options, workspace);
+        const std::optional<double> value = supervised_score(
+            scenario, candidate, options, workspace,
+            static_cast<std::size_t>(result.evaluations), result.supervision);
         ++result.evaluations;
-        if (better(value, best)) {
-          best = value;
+        if (!value.has_value()) continue;  // quarantined: not an improvement
+        if (!best_valid || better(*value, best)) {
+          best = *value;
+          best_valid = true;
           alloc = std::move(candidate);
           improved = true;
         }
@@ -145,7 +186,8 @@ AllocationSearchResult optimal_allocation(
     }
   }
   result.allocation = std::move(alloc);
-  result.value = best;
+  result.value =
+      best_valid ? best : std::numeric_limits<double>::quiet_NaN();
   return result;
 }
 

@@ -10,12 +10,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/supervisor.hpp"
 
 namespace agedtr::sim {
 
@@ -40,6 +42,12 @@ struct AllocationSearchOptions {
   double coarse_step_fraction = 0.10;
   int max_rounds = 64;
   ThreadPool* pool = nullptr;
+  /// Scores every candidate through a util::Supervisor: a candidate whose
+  /// evaluation keeps failing is quarantined and skipped (treated as
+  /// not-improving, listed in AllocationSearchResult::supervision) instead
+  /// of aborting the search. Disengaged (the default) keeps the plain
+  /// fail-fast path, bit-identical to before.
+  std::optional<SupervisorOptions> supervise;
 };
 
 struct AllocationSearchResult {
@@ -47,6 +55,10 @@ struct AllocationSearchResult {
   std::vector<int> allocation;
   double value = 0.0;
   int evaluations = 0;
+  /// Aggregated supervision outcome when AllocationSearchOptions::supervise
+  /// is engaged; quarantine indices are candidate-evaluation ordinals (the
+  /// order score calls were issued in, starting at the seed allocation).
+  SupervisionReport supervision;
 };
 
 /// Searches for the allocation of the scenario's total workload over its

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "agedtr/sim/simulator.hpp"
 #include "agedtr/stats/summary.hpp"
+#include "agedtr/util/supervisor.hpp"
 #include "agedtr/util/thread_pool.hpp"
 
 namespace agedtr::sim {
@@ -23,6 +25,14 @@ struct MonteCarloOptions {
   /// Worker pool; nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
   SimulatorOptions simulator;
+  /// Runs the replications under a util::Supervisor: a replication whose
+  /// simulation throws is retried with backoff, and one that keeps failing
+  /// is quarantined — excluded from every estimate and listed in
+  /// MonteCarloMetrics::supervision — instead of sinking the whole run.
+  /// Disengaged (the default) reproduces the unsupervised path bit for bit.
+  /// The supervisor runs on its own options' pool; `pool` above is ignored
+  /// while supervised.
+  std::optional<SupervisorOptions> supervise;
 };
 
 struct MonteCarloMetrics {
@@ -50,6 +60,11 @@ struct MonteCarloMetrics {
   /// Fault-injection counters summed over every replication (all zero when
   /// SimulatorOptions::faults is the null plan).
   FaultStats fault_totals;
+  /// Supervision outcome when MonteCarloOptions::supervise is engaged
+  /// (default-constructed otherwise). Quarantined replications are excluded
+  /// from every estimate's denominator — they were never simulated, so
+  /// counting them as failures would bias reliability downward.
+  SupervisionReport supervision;
 };
 
 [[nodiscard]] MonteCarloMetrics run_monte_carlo(

@@ -21,8 +21,9 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
   std::vector<double> busy(reps * n, 0.0);
   std::vector<FaultStats> fault_stats(reps);
 
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
-  pool.parallel_for(0, reps, [&](std::size_t r) {
+  // Replication r always uses stream r, supervised or not, retried or not —
+  // results stay bit-identical regardless of scheduling or retry history.
+  const auto simulate_one = [&](std::size_t r) {
     random::Rng rng =
         random::make_replication_rng(options.seed, static_cast<std::uint64_t>(r));
     const SimResult result = simulator.run(policy, rng);
@@ -33,11 +34,33 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
       busy[r * n + j] = result.busy_time[j];
     }
     fault_stats[r] = result.faults;
-  });
+  };
 
   MonteCarloMetrics metrics;
+  if (options.supervise.has_value()) {
+    metrics.supervision = Supervisor(*options.supervise)
+                              .run(reps, [&](std::size_t r,
+                                             const CancelToken& token) {
+                                token.check("run_monte_carlo");
+                                simulate_one(r);
+                              });
+  } else {
+    ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
+    pool.parallel_for(0, reps, simulate_one);
+  }
+
+  // Quarantined replications were never simulated: exclude them from every
+  // denominator instead of letting them masquerade as failures.
+  std::vector<char> quarantined(reps, 0);
+  for (const QuarantineEntry& q : metrics.supervision.quarantined) {
+    quarantined[q.index] = 1;
+  }
+  const std::size_t effective =
+      reps - metrics.supervision.quarantined.size();
+
   metrics.replications = reps;
   for (std::size_t r = 0; r < reps; ++r) {
+    if (quarantined[r]) continue;
     if (truncated[r]) ++metrics.truncated;
     metrics.fault_totals += fault_stats[r];
   }
@@ -46,7 +69,7 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
   std::size_t within_deadline = 0;
   metrics.mean_busy_time.assign(n, 0.0);
   for (std::size_t r = 0; r < reps; ++r) {
-    if (!completed[r]) continue;
+    if (quarantined[r] || !completed[r]) continue;
     ++metrics.completed;
     finished_times.push_back(times[r]);
     if (options.deadline > 0.0 && times[r] < options.deadline) {
@@ -57,10 +80,13 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
     }
   }
   metrics.all_completed = metrics.completed == reps;
-  metrics.reliability =
-      stats::proportion_confidence_interval(metrics.completed, reps);
-  if (options.deadline > 0.0) {
-    metrics.qos = stats::proportion_confidence_interval(within_deadline, reps);
+  if (effective > 0) {
+    metrics.reliability =
+        stats::proportion_confidence_interval(metrics.completed, effective);
+    if (options.deadline > 0.0) {
+      metrics.qos =
+          stats::proportion_confidence_interval(within_deadline, effective);
+    }
   }
   if (finished_times.size() >= 2) {
     metrics.mean_completion_time =

@@ -1,0 +1,299 @@
+#include "agedtr/util/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "agedtr/util/error.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace agedtr {
+
+namespace {
+
+constexpr char kFieldSeparator = '\x1f';
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Keys and payloads are arbitrary bytes; the journal is line-oriented, so
+/// escape the line/field structure characters.
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& escaped, std::string& out) {
+  out.clear();
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (++i == escaped.size()) return false;
+    switch (escaped[i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+/// fsyncs an open stdio handle (POSIX; a no-op elsewhere). Returns false on
+/// failure.
+bool flush_and_sync(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if !defined(_WIN32)
+  return ::fsync(::fileno(file)) == 0;
+#else
+  return true;
+#endif
+}
+
+void sync_parent_directory(const std::string& path) {
+#if !defined(_WIN32)
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+Checkpoint::Checkpoint(std::string path, std::string tag, bool resume)
+    : path_(std::move(path)), tag_(std::move(tag)) {
+  AGEDTR_REQUIRE(!path_.empty(), "Checkpoint: path must not be empty");
+  load(resume);
+}
+
+void Checkpoint::load(bool resume) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no journal yet — fresh run
+  const auto discard = [this](std::string reason) {
+    units_.clear();
+    stats_.loaded_units = 0;
+    stats_.discarded = true;
+    stats_.discard_reason = std::move(reason);
+  };
+  if (!resume) {
+    discard("resume disabled; existing journal ignored");
+    return;
+  }
+
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // The `end` line seals the snapshot: everything above it is checksummed.
+  const std::size_t end_pos = content.rfind("\nend ");
+  if (end_pos == std::string::npos) {
+    discard("missing end line");
+    return;
+  }
+  const std::string body = content.substr(0, end_pos + 1);
+  std::istringstream trailer(content.substr(end_pos + 1));
+  std::string word;
+  std::size_t declared_units = 0;
+  std::string declared_checksum;
+  if (!(trailer >> word >> declared_units >> declared_checksum) ||
+      word != "end") {
+    discard("malformed end line");
+    return;
+  }
+  if (declared_checksum != to_hex(fnv1a64(body))) {
+    discard("checksum mismatch");
+    return;
+  }
+
+  std::istringstream lines(body);
+  std::string line;
+  if (!std::getline(lines, line) ||
+      line != "agedtr-checkpoint " + std::to_string(kFormatVersion)) {
+    discard("unsupported format version");
+    return;
+  }
+  if (!std::getline(lines, line) || line.rfind("tag ", 0) != 0) {
+    discard("missing tag line");
+    return;
+  }
+  std::string stored_tag;
+  if (!unescape(line.substr(4), stored_tag) || stored_tag != tag_) {
+    discard("tag mismatch (checkpoint from a different configuration)");
+    return;
+  }
+  while (std::getline(lines, line)) {
+    if (line.rfind("unit ", 0) != 0) {
+      discard("malformed unit line");
+      return;
+    }
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      discard("malformed unit line");
+      return;
+    }
+    std::string key;
+    std::string payload;
+    if (!unescape(line.substr(5, tab - 5), key) ||
+        !unescape(line.substr(tab + 1), payload)) {
+      discard("malformed unit escaping");
+      return;
+    }
+    units_.emplace_back(std::move(key), std::move(payload));
+  }
+  if (units_.size() != declared_units) {
+    discard("unit count mismatch");
+    return;
+  }
+  stats_.loaded_units = units_.size();
+}
+
+const std::string* Checkpoint::find(const std::string& key) {
+  for (const auto& [k, payload] : units_) {
+    if (k == key) {
+      ++stats_.hits;
+      return &payload;
+    }
+  }
+  return nullptr;
+}
+
+bool Checkpoint::contains(const std::string& key) const {
+  for (const auto& [k, payload] : units_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Checkpoint::record(const std::string& key, const std::string& payload) {
+  AGEDTR_REQUIRE(!contains(key),
+                 "Checkpoint: unit '" + key + "' recorded twice");
+  if (crash_after_ != 0 && records_until_crash_ == 0) {
+    throw CheckpointError("Checkpoint: injected crash after " +
+                          std::to_string(crash_after_) + " records (" +
+                          path_ + ")");
+  }
+  units_.emplace_back(key, payload);
+  try {
+    persist();
+  } catch (...) {
+    units_.pop_back();  // the snapshot on disk does not include this unit
+    throw;
+  }
+  ++stats_.recorded_units;
+  if (crash_after_ != 0) --records_until_crash_;
+}
+
+std::string Checkpoint::run_unit(const std::string& key,
+                                 const std::function<std::string()>& compute) {
+  if (const std::string* payload = find(key)) return *payload;
+  std::string payload = compute();
+  record(key, payload);
+  return payload;
+}
+
+void Checkpoint::crash_after_records_for_testing(std::size_t n) {
+  crash_after_ = n;
+  records_until_crash_ = n;
+}
+
+void Checkpoint::persist() const {
+  std::string body = "agedtr-checkpoint " + std::to_string(kFormatVersion) +
+                     "\ntag " + escape(tag_) + "\n";
+  for (const auto& [key, payload] : units_) {
+    body += "unit " + escape(key) + "\t" + escape(payload) + "\n";
+  }
+  const std::string content = body + "end " + std::to_string(units_.size()) +
+                              " " + to_hex(fnv1a64(body)) + "\n";
+
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw CheckpointError("Checkpoint: cannot open " + tmp + " for writing");
+  }
+  const bool written =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size() &&
+      flush_and_sync(file);
+  std::fclose(file);
+  if (!written) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("Checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("Checkpoint: cannot rename " + tmp + " over " +
+                          path_);
+  }
+  sync_parent_directory(path_);
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += kFieldSeparator;
+    out += fields[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& payload) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : payload) {
+    if (c == kFieldSeparator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace agedtr

@@ -1,0 +1,111 @@
+// Crash-consistent checkpoint journals for long runs.
+//
+// A Checkpoint is an ordered key → payload journal of completed work units
+// (a solved Algorithm 1 subproblem, one bench sweep row). Every record()
+// rewrites the whole journal to `<path>.tmp`, fsyncs it, and renames it
+// over `<path>` (then fsyncs the directory), so the on-disk file is always
+// a complete, internally consistent snapshot: a crash at any instant leaves
+// either the previous snapshot or the new one, never a torn file.
+//
+// The format is versioned and checksummed (see docs/OPERATIONS.md):
+//
+//   agedtr-checkpoint <format-version>
+//   tag <escaped producer tag>
+//   unit <escaped key>\t<escaped payload>
+//   ...
+//   end <unit-count> <fnv1a64-of-everything-above>
+//
+// On open, a journal is restored only if the version, the producer tag, the
+// unit count and the checksum all match; anything else (corruption, a
+// checkpoint from a different configuration, a future format) is *silently
+// discarded* — the run starts fresh and the stats record why. Load-side
+// problems are never exceptions: a stale checkpoint must not be able to
+// fail a healthy run.
+//
+// The tag is the producer's contract: it must fingerprint every input that
+// influences a unit's payload (scenario, options, seeds), so that a
+// checkpoint can never leak results across configurations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agedtr {
+
+struct CheckpointStats {
+  /// Units restored from the on-disk journal at open.
+  std::size_t loaded_units = 0;
+  /// Units persisted by this process.
+  std::size_t recorded_units = 0;
+  /// find()/run_unit() calls answered from the journal.
+  std::size_t hits = 0;
+  /// True when an on-disk file existed but was rejected at open.
+  bool discarded = false;
+  std::string discard_reason;
+};
+
+class Checkpoint {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens the journal at `path` for the producer identified by `tag`,
+  /// restoring any valid matching snapshot. `resume = false` ignores
+  /// whatever is on disk (the first record() then overwrites it).
+  Checkpoint(std::string path, std::string tag, bool resume = true);
+
+  /// The payload journaled under `key`, or nullptr. Counts a hit.
+  [[nodiscard]] const std::string* find(const std::string& key);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Journals a completed unit and atomically persists the snapshot.
+  /// Re-recording an existing key is a producer bug (InvalidArgument). Throws
+  /// CheckpointError if the snapshot cannot be persisted — a checkpointed
+  /// run that cannot checkpoint should fail loudly, not silently lose its
+  /// crash consistency.
+  void record(const std::string& key, const std::string& payload);
+
+  /// Replay-or-compute: the journaled payload if present, otherwise
+  /// compute() is run and its result journaled. The unit of every
+  /// checkpointed sweep loop.
+  std::string run_unit(const std::string& key,
+                       const std::function<std::string()>& compute);
+
+  [[nodiscard]] std::size_t size() const { return units_.size(); }
+  /// Units in insertion order (the order they were completed in).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& units()
+      const {
+    return units_;
+  }
+  [[nodiscard]] const CheckpointStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+
+  /// Crash-injection hook for kill-and-resume tests: after `n` further
+  /// successful record() persists, every subsequent record() throws
+  /// CheckpointError *after* having persisted nothing — simulating a
+  /// process killed between completing unit n and starting unit n+1. 0
+  /// disables the hook.
+  void crash_after_records_for_testing(std::size_t n);
+
+ private:
+  void load(bool resume);
+  void persist() const;
+
+  std::string path_;
+  std::string tag_;
+  std::vector<std::pair<std::string, std::string>> units_;
+  CheckpointStats stats_;
+  std::size_t crash_after_ = 0;  // 0 = disabled
+  std::size_t records_until_crash_ = 0;
+};
+
+/// Field packing for multi-value unit payloads: joins with U+001F (unit
+/// separator), which the journal's own escaping keeps intact.
+[[nodiscard]] std::string join_fields(const std::vector<std::string>& fields);
+[[nodiscard]] std::vector<std::string> split_fields(const std::string& payload);
+
+}  // namespace agedtr

@@ -42,6 +42,36 @@ class BudgetExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by a supervised task that observes its CancelToken after the
+/// Supervisor's watchdog marked the attempt overdue. Cancellation is
+/// cooperative: the task must poll the token (directly or through a budget
+/// check) for the cancellation to take effect. Always transient — the
+/// Supervisor retries a cancelled attempt with backoff.
+class TaskCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the checkpoint layer on I/O failures while persisting a
+/// journal (and by the crash-injection test hook). A *load*-side problem —
+/// corruption, version or tag mismatch — is never an exception: a journal
+/// that cannot be trusted is discarded and the run starts fresh.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Failure taxonomy for supervision. Permanent failures — precondition
+/// violations (InvalidArgument) and internal bugs (LogicError) — are
+/// deterministic properties of the input: retrying cannot change the
+/// outcome, so the Supervisor quarantines them immediately. Everything
+/// else (BudgetExceeded, TaskCancelled, ConvergenceError, generic runtime
+/// errors) counts as transient and is retried with backoff.
+[[nodiscard]] inline bool is_permanent_failure(const std::exception& error) {
+  return dynamic_cast<const std::invalid_argument*>(&error) != nullptr ||
+         dynamic_cast<const std::logic_error*>(&error) != nullptr;
+}
+
 namespace detail {
 
 [[noreturn]] inline void throw_invalid_argument(const char* cond,

@@ -1,0 +1,142 @@
+// Task supervision for long-running batches: per-task deadlines, bounded
+// retry with exponential backoff + deterministic jitter, a watchdog thread
+// that detects stalled attempts and cancels-and-requeues them, and a
+// quarantine list for poison tasks.
+//
+// The Supervisor wraps a ThreadPool fan-out: run(n, body) executes body(i)
+// for every index, but a failing index is retried (with backoff) instead of
+// sinking the batch, and an index that keeps failing lands in the
+// quarantine report — with its error — instead of being retried forever or
+// hanging the run. Permanent failures (see is_permanent_failure in
+// error.hpp) skip the retry loop entirely.
+//
+// Cancellation is cooperative: every attempt receives a CancelToken, and
+// the watchdog flips it once the attempt outlives its deadline. Tasks that
+// poll the token (directly via CancelToken::check, or indirectly because
+// their EvalBudget expires on the same wall clock) abandon the attempt with
+// TaskCancelled; the Supervisor counts the cancellation and requeues. Tasks
+// that never poll cannot be interrupted mid-flight — the watchdog still
+// flags them as overdue, but the retry only starts once the attempt
+// returns. Deadlines are typically derived from the evaluation's EvalBudget
+// via supervisor_for_budget().
+//
+// EvaluationEngine::evaluate_supervised, sim::run_monte_carlo (via
+// MonteCarloOptions::supervise) and sim::optimal_allocation (via
+// AllocationSearchOptions::supervise) all route through this layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agedtr/util/budget.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr {
+
+/// Shared cooperative-cancellation flag between the watchdog and one task
+/// attempt. Copyable; copies observe the same flag.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  /// Throws TaskCancelled (prefixed with `who`) once the watchdog cancelled
+  /// this attempt. Cheap; call at loop boundaries of long computations.
+  void check(const char* who) const;
+
+  /// Flips the flag (watchdog side).
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct SupervisorOptions {
+  /// Per-attempt wall-clock deadline in seconds; 0 = no deadline (the
+  /// watchdog stays idle).
+  double deadline_seconds = 0.0;
+  /// Retries granted after the first attempt; a task failing all
+  /// 1 + max_retries attempts is quarantined.
+  int max_retries = 2;
+  /// First retry delay; subsequent delays grow by backoff_factor.
+  double backoff_initial_seconds = 0.02;
+  double backoff_factor = 2.0;
+  /// Uniform jitter fraction added on top of the exponential delay
+  /// (delay *= 1 + jitter * u, u in [0, 1) deterministic per
+  /// (jitter_seed, index, attempt)), decorrelating retry storms without
+  /// sacrificing reproducibility.
+  double backoff_jitter = 0.25;
+  std::uint64_t jitter_seed = 0x5afe;
+  /// Watchdog scan cadence; 0 = auto (deadline/4, clamped to [1 ms, 50 ms]).
+  double watchdog_period_seconds = 0.0;
+  /// Pool the attempts run on; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Supervision options whose deadline polices a task evaluated under
+/// `budget`: the deadline is the budget's wall-clock cap times `slack`
+/// (the task should normally self-limit via its own BudgetTimer; the
+/// watchdog is the backstop for evaluations that stop polling). An
+/// unlimited budget yields no deadline.
+[[nodiscard]] SupervisorOptions supervisor_for_budget(const EvalBudget& budget,
+                                                      double slack = 4.0);
+
+/// One poison task: its index, how many attempts it burned, and the error
+/// message of the last attempt.
+struct QuarantineEntry {
+  std::size_t index = 0;
+  int attempts = 0;
+  std::string error;
+};
+
+struct SupervisionReport {
+  std::size_t tasks = 0;
+  std::size_t succeeded = 0;
+  /// Re-executed attempts beyond each task's first.
+  std::size_t retries = 0;
+  /// Attempts the watchdog flagged overdue and cancelled.
+  std::size_t watchdog_cancellations = 0;
+  std::vector<QuarantineEntry> quarantined;
+
+  [[nodiscard]] bool all_succeeded() const { return succeeded == tasks; }
+  [[nodiscard]] bool is_quarantined(std::size_t index) const;
+  /// Merges `other` into this report, shifting its task indices by
+  /// `index_offset` (for callers that supervise work in several calls).
+  void absorb(const SupervisionReport& other, std::size_t index_offset = 0);
+  /// Human-readable one-block summary (quarantine entries included).
+  [[nodiscard]] std::string summary() const;
+};
+
+class Supervisor {
+ public:
+  /// body(index, token): performs task `index`, polling `token` at
+  /// convenient boundaries. Success = normal return; any exception is a
+  /// failure of this attempt.
+  using Task = std::function<void(std::size_t, const CancelToken&)>;
+
+  explicit Supervisor(SupervisorOptions options = {});
+
+  /// Runs tasks [0, count) over the pool under supervision and blocks until
+  /// every task either succeeded or was quarantined. Never throws for task
+  /// failures — they are the report's job.
+  [[nodiscard]] SupervisionReport run(std::size_t count, const Task& body) const;
+
+  [[nodiscard]] const SupervisorOptions& options() const { return options_; }
+
+  /// The deterministic delay before retry number `attempt` (1-based) of
+  /// task `index`. Exposed so tests can assert the backoff schedule.
+  [[nodiscard]] static double backoff_delay(const SupervisorOptions& options,
+                                            std::size_t index, int attempt);
+
+ private:
+  SupervisorOptions options_;
+};
+
+}  // namespace agedtr

@@ -1,0 +1,249 @@
+#include "agedtr/util/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// In-flight attempts the watchdog scans. One slot per task index (at most
+/// one attempt of a task runs at a time).
+struct InflightRegistry {
+  struct Attempt {
+    Clock::time_point deadline;
+    CancelToken token;
+    bool cancelled = false;
+  };
+
+  std::mutex mutex;
+  std::unordered_map<std::size_t, Attempt> attempts;
+  std::condition_variable cv;
+  bool done = false;
+
+  void admit(std::size_t index, Clock::time_point deadline,
+             const CancelToken& token) {
+    std::lock_guard<std::mutex> lock(mutex);
+    attempts[index] = Attempt{deadline, token, false};
+  }
+
+  /// Removes the slot; returns true if the watchdog had cancelled it.
+  bool retire(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = attempts.find(index);
+    const bool cancelled = it != attempts.end() && it->second.cancelled;
+    if (it != attempts.end()) attempts.erase(it);
+    return cancelled;
+  }
+
+  /// Cancels every attempt whose deadline has passed; returns how many were
+  /// newly cancelled in this scan.
+  std::size_t cancel_overdue(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t cancelled = 0;
+    for (auto& [index, attempt] : attempts) {
+      if (!attempt.cancelled && now >= attempt.deadline) {
+        attempt.token.cancel();
+        attempt.cancelled = true;
+        ++cancelled;
+      }
+    }
+    return cancelled;
+  }
+};
+
+}  // namespace
+
+void CancelToken::check(const char* who) const {
+  if (cancelled()) {
+    throw TaskCancelled(std::string(who) +
+                        ": attempt cancelled by the supervisor watchdog");
+  }
+}
+
+SupervisorOptions supervisor_for_budget(const EvalBudget& budget,
+                                        double slack) {
+  AGEDTR_REQUIRE(slack > 0.0, "supervisor_for_budget: slack must be positive");
+  SupervisorOptions options;
+  if (budget.limits_time()) {
+    options.deadline_seconds = budget.max_seconds * slack;
+  }
+  return options;
+}
+
+bool SupervisionReport::is_quarantined(std::size_t index) const {
+  return std::any_of(
+      quarantined.begin(), quarantined.end(),
+      [index](const QuarantineEntry& q) { return q.index == index; });
+}
+
+void SupervisionReport::absorb(const SupervisionReport& other,
+                               std::size_t index_offset) {
+  tasks += other.tasks;
+  succeeded += other.succeeded;
+  retries += other.retries;
+  watchdog_cancellations += other.watchdog_cancellations;
+  for (QuarantineEntry q : other.quarantined) {
+    q.index += index_offset;
+    quarantined.push_back(std::move(q));
+  }
+}
+
+std::string SupervisionReport::summary() const {
+  std::string out = "supervision: " + std::to_string(succeeded) + "/" +
+                    std::to_string(tasks) + " tasks succeeded, " +
+                    std::to_string(retries) + " retries, " +
+                    std::to_string(watchdog_cancellations) +
+                    " watchdog cancellations, " +
+                    std::to_string(quarantined.size()) + " quarantined";
+  for (const QuarantineEntry& q : quarantined) {
+    out += "\n  quarantined task " + std::to_string(q.index) + " after " +
+           std::to_string(q.attempts) + " attempts: " + q.error;
+  }
+  return out;
+}
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(options) {
+  AGEDTR_REQUIRE(options_.deadline_seconds >= 0.0,
+                 "Supervisor: deadline must be nonnegative");
+  AGEDTR_REQUIRE(options_.max_retries >= 0,
+                 "Supervisor: max_retries must be nonnegative");
+  AGEDTR_REQUIRE(options_.backoff_initial_seconds >= 0.0 &&
+                     options_.backoff_factor >= 1.0 &&
+                     options_.backoff_jitter >= 0.0,
+                 "Supervisor: malformed backoff schedule");
+}
+
+double Supervisor::backoff_delay(const SupervisorOptions& options,
+                                 std::size_t index, int attempt) {
+  AGEDTR_REQUIRE(attempt >= 1, "backoff_delay: attempt is 1-based");
+  double delay = options.backoff_initial_seconds;
+  for (int k = 1; k < attempt; ++k) delay *= options.backoff_factor;
+  const std::uint64_t word =
+      splitmix64(options.jitter_seed ^
+                 splitmix64((static_cast<std::uint64_t>(index) << 16) ^
+                            static_cast<std::uint64_t>(attempt)));
+  const double u =
+      static_cast<double>(word >> 11) / 9007199254740992.0;  // [0, 1)
+  return delay * (1.0 + options.backoff_jitter * u);
+}
+
+SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
+  SupervisionReport report;
+  report.tasks = count;
+  if (count == 0) return report;
+
+  InflightRegistry registry;
+  std::mutex report_mutex;  // guards the mutable report fields below
+  std::atomic<std::size_t> succeeded{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> cancellations{0};
+
+  const bool watched = options_.deadline_seconds > 0.0;
+  std::thread watchdog;
+  if (watched) {
+    double period = options_.watchdog_period_seconds;
+    if (period <= 0.0) {
+      period = std::clamp(options_.deadline_seconds / 4.0, 0.001, 0.05);
+    }
+    watchdog = std::thread([&registry, &cancellations, period] {
+      const auto tick = std::chrono::duration<double>(period);
+      std::unique_lock<std::mutex> lock(registry.mutex);
+      while (!registry.done) {
+        registry.cv.wait_for(lock, tick);
+        if (registry.done) break;
+        lock.unlock();
+        cancellations.fetch_add(registry.cancel_overdue(Clock::now()),
+                                std::memory_order_relaxed);
+        lock.lock();
+      }
+    });
+  }
+
+  const auto supervised = [&](std::size_t index) {
+    const int attempts_allowed = 1 + options_.max_retries;
+    for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+      CancelToken token;
+      if (watched) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.deadline_seconds));
+        registry.admit(index, deadline, token);
+      }
+      std::string error;
+      bool permanent = false;
+      try {
+        body(index, token);
+        if (watched) registry.retire(index);
+        succeeded.fetch_add(1, std::memory_order_relaxed);
+        return;
+      } catch (const std::exception& e) {
+        error = e.what();
+        permanent = is_permanent_failure(e);
+      } catch (...) {
+        error = "(non-standard exception)";
+      }
+      if (watched) registry.retire(index);
+      if (permanent || attempt == attempts_allowed) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.quarantined.push_back({index, attempt, std::move(error)});
+        return;
+      }
+      retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff_delay(options_, index, attempt)));
+    }
+  };
+
+  ThreadPool& pool = options_.pool ? *options_.pool : ThreadPool::global();
+  try {
+    pool.parallel_for(0, count, supervised);
+  } catch (...) {
+    // supervised() swallows task exceptions by design; anything escaping
+    // parallel_for is a harness bug — still stop the watchdog first.
+    if (watched) {
+      {
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        registry.done = true;
+      }
+      registry.cv.notify_all();
+      watchdog.join();
+    }
+    throw;
+  }
+  if (watched) {
+    {
+      std::lock_guard<std::mutex> lock(registry.mutex);
+      registry.done = true;
+    }
+    registry.cv.notify_all();
+    watchdog.join();
+  }
+
+  report.succeeded = succeeded.load();
+  report.retries = retries.load();
+  report.watchdog_cancellations = cancellations.load();
+  std::sort(report.quarantined.begin(), report.quarantined.end(),
+            [](const QuarantineEntry& a, const QuarantineEntry& b) {
+              return a.index < b.index;
+            });
+  return report;
+}
+
+}  // namespace agedtr

@@ -1,0 +1,295 @@
+// util::Checkpoint: crash-consistent journal roundtrips, the discard rules
+// (tag/version/corruption/truncation), the duplicate-key contract, the
+// crash-injection hook, field packing — and the tentpole's acceptance
+// criterion: an Algorithm 1 devise() killed between journal records and
+// restarted with --resume semantics produces a bit-identical policy while
+// replaying the finished subproblems from the journal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/util/checkpoint.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+using core::DcsScenario;
+using core::ServerSpec;
+using dist::ModelFamily;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "agedtr_" + name + ".ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(Checkpoint, RoundtripsUnitsAcrossInstances) {
+  const std::string path = temp_path("roundtrip");
+  {
+    Checkpoint journal(path, "tag-v1");
+    EXPECT_EQ(journal.size(), 0u);
+    journal.record("unit a", "payload a");
+    journal.record("unit b", "payload with\nnewline\tand tab \\ backslash");
+    EXPECT_EQ(journal.stats().recorded_units, 2u);
+  }
+  Checkpoint reopened(path, "tag-v1");
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.stats().loaded_units, 2u);
+  EXPECT_FALSE(reopened.stats().discarded);
+  EXPECT_TRUE(reopened.contains("unit a"));
+  const std::string* b = reopened.find("unit b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b, "payload with\nnewline\tand tab \\ backslash");
+  EXPECT_EQ(reopened.stats().hits, 1u);
+  // Insertion order survives the roundtrip.
+  EXPECT_EQ(reopened.units()[0].first, "unit a");
+  EXPECT_EQ(reopened.units()[1].first, "unit b");
+}
+
+TEST(Checkpoint, RunUnitComputesOnceThenReplays) {
+  const std::string path = temp_path("run_unit");
+  int computations = 0;
+  const auto compute = [&] {
+    ++computations;
+    return std::string("expensive result");
+  };
+  {
+    Checkpoint journal(path, "t");
+    EXPECT_EQ(journal.run_unit("k", compute), "expensive result");
+    EXPECT_EQ(journal.run_unit("k", compute), "expensive result");
+    EXPECT_EQ(computations, 1);  // second call replayed in-memory
+  }
+  Checkpoint reopened(path, "t");
+  EXPECT_EQ(reopened.run_unit("k", compute), "expensive result");
+  EXPECT_EQ(computations, 1);  // replayed from disk
+  EXPECT_EQ(reopened.stats().hits, 1u);
+}
+
+TEST(Checkpoint, TagMismatchDiscardsTheJournal) {
+  const std::string path = temp_path("tag");
+  { Checkpoint(path, "config A").record("k", "v"); }
+  Checkpoint other(path, "config B");
+  EXPECT_EQ(other.size(), 0u);
+  EXPECT_TRUE(other.stats().discarded);
+  EXPECT_NE(other.stats().discard_reason.find("tag"), std::string::npos);
+}
+
+TEST(Checkpoint, CorruptionAndTruncationDiscardTheJournal) {
+  const std::string path = temp_path("corrupt");
+  { Checkpoint(path, "t").record("k", "value"); }
+  const std::string good = read_file(path);
+  ASSERT_FALSE(good.empty());
+
+  std::string flipped = good;
+  flipped[flipped.find("value")] = 'V';
+  write_file(path, flipped);
+  EXPECT_TRUE(Checkpoint(path, "t").stats().discarded);
+
+  write_file(path, good.substr(0, good.size() / 2));
+  EXPECT_TRUE(Checkpoint(path, "t").stats().discarded);
+
+  // The pristine bytes still load (the discards above didn't poison
+  // anything outside the file).
+  write_file(path, good);
+  EXPECT_EQ(Checkpoint(path, "t").size(), 1u);
+}
+
+TEST(Checkpoint, FutureFormatVersionIsDiscardedNotParsed) {
+  const std::string path = temp_path("version");
+  { Checkpoint(path, "t").record("k", "v"); }
+  std::string bumped = read_file(path);
+  const std::string header = "agedtr-checkpoint 1";
+  bumped.replace(bumped.find(header), header.size(), "agedtr-checkpoint 2");
+  write_file(path, bumped);
+  Checkpoint reopened(path, "t");
+  EXPECT_EQ(reopened.size(), 0u);
+  EXPECT_TRUE(reopened.stats().discarded);
+}
+
+TEST(Checkpoint, ResumeFalseIgnoresWhatIsOnDisk) {
+  const std::string path = temp_path("fresh");
+  { Checkpoint(path, "t").record("old", "stale"); }
+  Checkpoint fresh(path, "t", /*resume=*/false);
+  EXPECT_EQ(fresh.size(), 0u);
+  EXPECT_TRUE(fresh.stats().discarded);
+  EXPECT_NE(fresh.stats().discard_reason.find("resume disabled"),
+            std::string::npos);
+  fresh.record("new", "current");
+  Checkpoint reopened(path, "t");
+  EXPECT_FALSE(reopened.contains("old"));
+  EXPECT_TRUE(reopened.contains("new"));
+}
+
+TEST(Checkpoint, ReRecordingAKeyIsAProducerBug) {
+  Checkpoint journal(temp_path("dup"), "t");
+  journal.record("k", "v");
+  EXPECT_THROW(journal.record("k", "v2"), InvalidArgument);
+}
+
+TEST(Checkpoint, CrashHookLeavesAConsistentPrefixOnDisk) {
+  const std::string path = temp_path("crash");
+  {
+    Checkpoint journal(path, "t");
+    journal.crash_after_records_for_testing(2);
+    journal.record("u1", "a");
+    journal.record("u2", "b");
+    EXPECT_THROW(journal.record("u3", "c"), CheckpointError);
+  }
+  // The "killed" run left the last completed snapshot: exactly two units.
+  Checkpoint reopened(path, "t");
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_TRUE(reopened.contains("u1"));
+  EXPECT_TRUE(reopened.contains("u2"));
+  EXPECT_FALSE(reopened.contains("u3"));
+}
+
+TEST(Checkpoint, FieldPackingRoundtripsAwkwardStrings) {
+  const std::vector<std::string> fields = {
+      "plain", "", "with spaces", "1>2:50 3>4:7", "line\nbreak\ttab"};
+  EXPECT_EQ(split_fields(join_fields(fields)), fields);
+  // An empty payload is one empty field (join/split roundtrip from {""}).
+  EXPECT_EQ(split_fields(join_fields({""})), std::vector<std::string>{""});
+  EXPECT_EQ(split_fields(""), std::vector<std::string>{""});
+}
+
+// --- Algorithm 1 kill-and-resume (the tentpole's acceptance test) --------
+
+DcsScenario small_scenario() {
+  std::vector<ServerSpec> servers = {
+      {8, dist::make_model_distribution(ModelFamily::kExponential, 2.0),
+       nullptr},
+      {4, dist::make_model_distribution(ModelFamily::kExponential, 1.0),
+       nullptr},
+      {3, dist::make_model_distribution(ModelFamily::kExponential, 0.5),
+       nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(ModelFamily::kExponential, 1.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+policy::Algorithm1Options small_options() {
+  policy::Algorithm1Options options;
+  options.objective = policy::Objective::kMeanExecutionTime;
+  options.max_iterations = 2;
+  options.conv.cells = 1024;
+  return options;
+}
+
+void expect_same_policy(const core::DtrPolicy& a, const core::DtrPolicy& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << i << " -> " << j;
+    }
+  }
+}
+
+TEST(Algorithm1Checkpoint, KilledAndResumedDeviseIsBitIdentical) {
+  const DcsScenario scenario = small_scenario();
+  const policy::Algorithm1Result reference =
+      policy::Algorithm1(small_options()).devise(scenario);
+
+  // "Kill" the run between journal records: the crash hook lets three units
+  // persist, then throws out of devise() exactly as a process death between
+  // unit n and unit n+1 would leave things.
+  const std::string path = temp_path("a1_resume");
+  policy::Algorithm1Options crashing = small_options();
+  crashing.checkpoint_path = path;
+  crashing.checkpoint_crash_after_units = 3;
+  EXPECT_THROW((void)policy::Algorithm1(crashing).devise(scenario),
+               CheckpointError);
+
+  // Resume: same inputs, same journal. The finished subproblems replay and
+  // the result matches the uncheckpointed reference bit for bit.
+  policy::Algorithm1Options resuming = small_options();
+  resuming.checkpoint_path = path;
+  const policy::Algorithm1Result resumed =
+      policy::Algorithm1(resuming).devise(scenario);
+  EXPECT_GT(resumed.journal_hits, 0u);
+  EXPECT_EQ(resumed.iterations, reference.iterations);
+  EXPECT_EQ(resumed.converged, reference.converged);
+  expect_same_policy(resumed.policy, reference.policy);
+
+  // A third run finds the journaled final result and short-circuits.
+  const policy::Algorithm1Result replayed =
+      policy::Algorithm1(resuming).devise(scenario);
+  EXPECT_GT(replayed.journal_hits, 0u);
+  EXPECT_EQ(replayed.iterations, reference.iterations);
+  expect_same_policy(replayed.policy, reference.policy);
+}
+
+TEST(Algorithm1Checkpoint, TagFingerprintsPolicyAffectingOptions) {
+  const DcsScenario scenario = small_scenario();
+  const policy::QueueEstimates estimates =
+      policy::perfect_estimates(scenario);
+  const policy::Algorithm1Options base = small_options();
+
+  policy::Algorithm1Options more_cells = base;
+  more_cells.conv.cells = 2048;
+  policy::Algorithm1Options markovian = base;
+  markovian.markovian = true;
+
+  const std::string tag =
+      policy::algorithm1_checkpoint_tag(scenario, estimates, base);
+  EXPECT_NE(tag,
+            policy::algorithm1_checkpoint_tag(scenario, estimates, more_cells));
+  EXPECT_NE(tag,
+            policy::algorithm1_checkpoint_tag(scenario, estimates, markovian));
+
+  // A journal produced under different options is discarded on open, so a
+  // resumed run can never replay foreign results.
+  const std::string path = temp_path("a1_tag");
+  { Checkpoint(path, tag).record("pair 0 1 4", "2"); }
+  Checkpoint other(
+      path, policy::algorithm1_checkpoint_tag(scenario, estimates, markovian));
+  EXPECT_EQ(other.size(), 0u);
+  EXPECT_TRUE(other.stats().discarded);
+}
+
+TEST(Algorithm1Checkpoint, StaleJournalFromOtherScenarioIsIgnoredSafely) {
+  const DcsScenario scenario = small_scenario();
+  const std::string path = temp_path("a1_stale");
+  // Plant garbage that is a *valid* journal for a different tag.
+  { Checkpoint(path, "not an algorithm1 tag").record("result", "junk"); }
+
+  policy::Algorithm1Options options = small_options();
+  options.checkpoint_path = path;
+  const policy::Algorithm1Result devised =
+      policy::Algorithm1(options).devise(scenario);
+  const policy::Algorithm1Result reference =
+      policy::Algorithm1(small_options()).devise(scenario);
+  expect_same_policy(devised.policy, reference.policy);
+
+  // The foreign journal was discarded and overwritten: the file now holds
+  // this run's own units under the Algorithm 1 tag, junk gone.
+  Checkpoint reopened(
+      path, policy::algorithm1_checkpoint_tag(
+                scenario, policy::perfect_estimates(scenario), options));
+  EXPECT_FALSE(reopened.stats().discarded);
+  const std::string* result = reopened.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_NE(*result, "junk");
+}
+
+}  // namespace
+}  // namespace agedtr

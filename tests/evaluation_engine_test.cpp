@@ -5,6 +5,7 @@
 // (per-pair-solver) policies on the Table II scenarios.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -176,6 +177,64 @@ TEST(EvaluationEngine, BudgetAppliesToBothModelPaths) {
   const PolicyEvaluator markov = make_markovian_evaluator(
       s, Objective::kMeanExecutionTime, 0.0, options.conv);
   EXPECT_THROW((void)markov(policy), BudgetExceeded);
+}
+
+TEST(EvaluationEngine, BudgetFailureMidBatchCarriesThePolicyIndex) {
+  // Every element of this batch trips the (immediately exhausted) budget;
+  // the batch still runs to completion and the error rethrown is the
+  // first *by index*, wrapped with that index — deterministic regardless
+  // of pool scheduling.
+  const DcsScenario s =
+      scenario_2(ModelFamily::kPareto1, 10, 5, 2.0, 1.0, 1.5);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  options.conv.budget.max_seconds = 1e-9;
+  const EvaluationEngine engine(s, options);
+
+  const std::vector<DtrPolicy> policies = {make_two_server_policy(4, 0),
+                                           make_two_server_policy(3, 1),
+                                           make_two_server_policy(2, 2)};
+  try {
+    (void)engine.evaluate(policies);
+    FAIL() << "expected BatchElementBudgetExceeded";
+  } catch (const BatchElementBudgetExceeded& e) {
+    EXPECT_EQ(e.policy_index, 0u);
+    EXPECT_NE(std::string(e.what()).find("policy 0"), std::string::npos);
+  }
+  // The wrapper stays catchable as plain BudgetExceeded, so existing
+  // degradation paths (the ResilientEvaluator chain) keep working.
+  EXPECT_THROW((void)engine.evaluate(policies), BudgetExceeded);
+}
+
+TEST(EvaluationEngine, FailingElementDoesNotPoisonTheRestOfTheBatch) {
+  // policies[2] overdraws server 0's queue (7 > 6): a deterministic
+  // per-element InvalidArgument. Under supervision the batch completes,
+  // the bad element is quarantined under its index without retry (the
+  // failure is permanent), and every healthy element's value matches the
+  // scalar path bit for bit.
+  const DcsScenario s = scenario_2(ModelFamily::kUniform, 6, 3, 2.0, 1.0, 1.0);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  const EvaluationEngine engine(s, options);
+
+  const std::vector<DtrPolicy> policies = {
+      make_two_server_policy(1, 0), make_two_server_policy(2, 1),
+      make_two_server_policy(7, 0), make_two_server_policy(0, 3)};
+  const SupervisedBatchResult result = engine.evaluate_supervised(policies);
+  ASSERT_EQ(result.values.size(), policies.size());
+  ASSERT_EQ(result.supervision.quarantined.size(), 1u);
+  EXPECT_EQ(result.supervision.quarantined[0].index, 2u);
+  EXPECT_EQ(result.supervision.quarantined[0].attempts, 1);
+  EXPECT_EQ(result.supervision.succeeded, 3u);
+  EXPECT_TRUE(std::isnan(result.values[2]));
+  for (const std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_EQ(result.values[i], engine.evaluate(policies[i])) << "policy "
+                                                              << i;
+  }
+
+  // The plain batch also completes every element before failing: the
+  // rethrown error is the bad element's own InvalidArgument, verbatim.
+  EXPECT_THROW((void)engine.evaluate(policies), InvalidArgument);
 }
 
 TEST(EvaluationEngine, AdapterOutlivesEngineHandle) {

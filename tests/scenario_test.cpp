@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "agedtr/core/regeneration.hpp"
 #include "agedtr/core/scenario.hpp"
@@ -50,6 +53,96 @@ TEST(Scenario, ValidateCatchesMissingLaws) {
   DcsScenario s = two_server_scenario(10, 5, false);
   s.servers[0].service = nullptr;
   EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+/// A syntactically valid law with a planted (possibly degenerate) mean, for
+/// exercising the construction-time validation.
+class PlantedMeanDist : public dist::Distribution {
+ public:
+  explicit PlantedMeanDist(double mean) : mean_(mean) {}
+  [[nodiscard]] double pdf(double) const override { return 0.0; }
+  [[nodiscard]] double cdf(double) const override { return 0.0; }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return 1.0; }
+  [[nodiscard]] std::string name() const override { return "planted"; }
+  [[nodiscard]] std::string describe() const override { return "planted"; }
+
+ private:
+  double mean_;
+};
+
+TEST(Scenario, ValidateRejectsDegenerateLawMeans) {
+  const auto planted = [](double mean) {
+    return std::make_shared<const PlantedMeanDist>(mean);
+  };
+  for (const double bad : {-1.0, 0.0, std::nan("")}) {
+    DcsScenario s = two_server_scenario(10, 5, true);
+    s.servers[1].service = planted(bad);
+    EXPECT_THROW(s.validate(), InvalidArgument) << "service mean " << bad;
+
+    DcsScenario f = two_server_scenario(10, 5, true);
+    f.servers[0].failure = planted(bad);
+    EXPECT_THROW(f.validate(), InvalidArgument) << "failure mean " << bad;
+
+    DcsScenario t = two_server_scenario(10, 5, true);
+    t.transfer[0][1] = planted(bad);
+    EXPECT_THROW(t.validate(), InvalidArgument) << "transfer mean " << bad;
+
+    DcsScenario n = two_server_scenario(10, 5, true);
+    n.fn_transfer[1][0] = planted(bad);
+    EXPECT_THROW(n.validate(), InvalidArgument) << "FN mean " << bad;
+  }
+  // The message carries the offender's name and a file:line prefix.
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.servers[1].service = planted(-1.0);
+  try {
+    s.validate();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("planted"), std::string::npos) << what;
+    EXPECT_NE(what.find("server 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("scenario.cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, ValidateAllowsInfiniteMeans) {
+  // Pareto with α <= 1 has E[X] = ∞; that is a legitimate model, not a
+  // configuration error.
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.servers[0].service = std::make_shared<const PlantedMeanDist>(
+      std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scenario, ValidateCrossChecksDeclaredWorkload) {
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.declared_total_tasks = 15;
+  EXPECT_NO_THROW(s.validate());
+  s.declared_total_tasks = 200;
+  try {
+    s.validate();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("200"), std::string::npos) << what;
+    EXPECT_NE(what.find("15"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, ValidateRejectsEmptyServerSetAndNegativeLoads) {
+  DcsScenario empty;
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+
+  DcsScenario s = two_server_scenario(10, 5, false);
+  s.servers[1].initial_tasks = -3;
+  try {
+    s.validate();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("server 1"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Scenario, ValidateCatchesShapeMismatch) {

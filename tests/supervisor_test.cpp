@@ -1,0 +1,233 @@
+// util::Supervisor: deadline/retry/quarantine task supervision — success
+// passthrough, transient-failure retry with deterministic backoff, poison
+// tasks quarantined with their error, permanent failures skipping the retry
+// loop, the watchdog cancelling a stalled attempt, and the supervised
+// entry points (EvaluationEngine::evaluate_supervised, run_monte_carlo)
+// reproducing their unsupervised results bit for bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/supervisor.hpp"
+
+namespace agedtr {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+using dist::ModelFamily;
+
+DcsScenario scenario_2(ModelFamily family, int m1, int m2, double w1,
+                       double w2, double z, bool failures = false) {
+  std::vector<ServerSpec> servers = {
+      {m1, dist::make_model_distribution(family, w1),
+       failures ? dist::Exponential::with_mean(50.0) : nullptr},
+      {m2, dist::make_model_distribution(family, w2),
+       failures ? dist::Exponential::with_mean(40.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::make_model_distribution(family, z),
+      dist::Exponential::with_mean(0.2));
+}
+
+SupervisorOptions fast_retry_options(int max_retries) {
+  SupervisorOptions options;
+  options.max_retries = max_retries;
+  options.backoff_initial_seconds = 1e-4;  // keep test retries snappy
+  return options;
+}
+
+TEST(Supervisor, AllTasksSucceedingProduceCleanReport) {
+  std::atomic<int> executions{0};
+  const SupervisionReport report =
+      Supervisor().run(16, [&](std::size_t, const CancelToken& token) {
+        token.check("test");
+        executions.fetch_add(1);
+      });
+  EXPECT_EQ(executions.load(), 16);
+  EXPECT_EQ(report.tasks, 16u);
+  EXPECT_EQ(report.succeeded, 16u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.watchdog_cancellations, 0u);
+  EXPECT_TRUE(report.all_succeeded());
+  EXPECT_TRUE(report.quarantined.empty());
+}
+
+TEST(Supervisor, TransientFailureIsRetriedUntilItSucceeds) {
+  std::atomic<int> attempts_of_3{0};
+  const SupervisionReport report = Supervisor(fast_retry_options(2)).run(
+      8, [&](std::size_t i, const CancelToken&) {
+        if (i == 3 && attempts_of_3.fetch_add(1) < 2) {
+          throw std::runtime_error("transient glitch");
+        }
+      });
+  EXPECT_EQ(attempts_of_3.load(), 3);  // two failures, then success
+  EXPECT_TRUE(report.all_succeeded());
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_TRUE(report.quarantined.empty());
+}
+
+TEST(Supervisor, PoisonTaskIsQuarantinedWithItsError) {
+  std::atomic<int> attempts_of_5{0};
+  const SupervisionReport report = Supervisor(fast_retry_options(2)).run(
+      8, [&](std::size_t i, const CancelToken&) {
+        if (i == 5) {
+          attempts_of_5.fetch_add(1);
+          throw std::runtime_error("poison payload");
+        }
+      });
+  EXPECT_EQ(attempts_of_5.load(), 3);  // 1 + max_retries attempts burned
+  EXPECT_FALSE(report.all_succeeded());
+  EXPECT_EQ(report.succeeded, 7u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].index, 5u);
+  EXPECT_EQ(report.quarantined[0].attempts, 3);
+  EXPECT_NE(report.quarantined[0].error.find("poison payload"),
+            std::string::npos);
+  EXPECT_TRUE(report.is_quarantined(5));
+  EXPECT_FALSE(report.is_quarantined(4));
+  EXPECT_NE(report.summary().find("poison payload"), std::string::npos);
+}
+
+TEST(Supervisor, PermanentFailureSkipsTheRetryLoop) {
+  std::atomic<int> attempts{0};
+  const SupervisionReport report = Supervisor(fast_retry_options(5)).run(
+      3, [&](std::size_t i, const CancelToken&) {
+        if (i == 1) {
+          attempts.fetch_add(1);
+          throw InvalidArgument("malformed input never fixes itself");
+        }
+      });
+  EXPECT_EQ(attempts.load(), 1);  // no retries for a permanent failure
+  EXPECT_EQ(report.retries, 0u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].index, 1u);
+  EXPECT_EQ(report.quarantined[0].attempts, 1);
+}
+
+TEST(Supervisor, WatchdogCancelsStalledAttemptAndRetrySucceeds) {
+  SupervisorOptions options = fast_retry_options(2);
+  options.deadline_seconds = 0.05;
+  std::atomic<int> attempts_of_0{0};
+  const SupervisionReport report = Supervisor(options).run(
+      4, [&](std::size_t i, const CancelToken& token) {
+        if (i == 0 && attempts_of_0.fetch_add(1) == 0) {
+          // Stall (cooperatively): poll the token until the watchdog
+          // cancels the attempt. Bounded so a watchdog bug fails the test
+          // instead of hanging it.
+          const auto give_up =
+              std::chrono::steady_clock::now() + std::chrono::seconds(10);
+          while (std::chrono::steady_clock::now() < give_up) {
+            token.check("stalled task");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          FAIL() << "watchdog never cancelled the stalled attempt";
+        }
+      });
+  EXPECT_GE(attempts_of_0.load(), 2);
+  EXPECT_TRUE(report.all_succeeded());
+  EXPECT_GE(report.watchdog_cancellations, 1u);
+  EXPECT_GE(report.retries, 1u);
+}
+
+TEST(Supervisor, BackoffScheduleIsDeterministicAndGrows) {
+  const SupervisorOptions options;  // initial 0.02, factor 2, jitter 0.25
+  const double first = Supervisor::backoff_delay(options, 7, 1);
+  const double second = Supervisor::backoff_delay(options, 7, 2);
+  EXPECT_EQ(first, Supervisor::backoff_delay(options, 7, 1));
+  // Jitter stretches each delay by at most 25%, so consecutive attempts
+  // stay strictly ordered: [0.02, 0.025) < [0.04, 0.05).
+  EXPECT_GE(first, 0.02);
+  EXPECT_LT(first, 0.025);
+  EXPECT_GE(second, 0.04);
+  EXPECT_LT(second, 0.05);
+
+  SupervisorOptions reseeded = options;
+  reseeded.jitter_seed = 0xdead;
+  EXPECT_NE(Supervisor::backoff_delay(reseeded, 7, 1), first);
+}
+
+TEST(Supervisor, BudgetDerivedDeadlineUsesSlack) {
+  EvalBudget budget;
+  budget.max_seconds = 1.5;
+  const SupervisorOptions derived = supervisor_for_budget(budget, 4.0);
+  EXPECT_DOUBLE_EQ(derived.deadline_seconds, 6.0);
+
+  const SupervisorOptions unlimited = supervisor_for_budget(EvalBudget{});
+  EXPECT_DOUBLE_EQ(unlimited.deadline_seconds, 0.0);
+}
+
+TEST(SupervisionReport, AbsorbShiftsIndicesAndAccumulates) {
+  SupervisionReport total;
+  SupervisionReport part;
+  part.tasks = 2;
+  part.succeeded = 1;
+  part.retries = 3;
+  part.watchdog_cancellations = 1;
+  part.quarantined.push_back({1, 4, "boom"});
+  total.absorb(part, 10);
+  EXPECT_EQ(total.tasks, 2u);
+  EXPECT_EQ(total.retries, 3u);
+  EXPECT_EQ(total.watchdog_cancellations, 1u);
+  ASSERT_EQ(total.quarantined.size(), 1u);
+  EXPECT_EQ(total.quarantined[0].index, 11u);
+  EXPECT_TRUE(total.is_quarantined(11));
+}
+
+TEST(SupervisedMonteCarlo, MatchesUnsupervisedBitForBit) {
+  const DcsScenario s = scenario_2(ModelFamily::kExponential, 10, 5, 2.0,
+                                   1.0, 1.0, /*failures=*/true);
+  const DtrPolicy policy = policy::make_two_server_policy(3, 0);
+
+  sim::MonteCarloOptions plain;
+  plain.replications = 400;
+  plain.seed = 99;
+  const sim::MonteCarloMetrics a = sim::run_monte_carlo(s, policy, plain);
+
+  sim::MonteCarloOptions supervised = plain;
+  supervised.supervise = SupervisorOptions{};
+  const sim::MonteCarloMetrics b = sim::run_monte_carlo(s, policy, supervised);
+
+  EXPECT_TRUE(b.supervision.all_succeeded());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.reliability.center, b.reliability.center);
+  EXPECT_EQ(a.reliability.lower, b.reliability.lower);
+  EXPECT_EQ(a.mean_completion_time.center, b.mean_completion_time.center);
+  ASSERT_EQ(a.mean_busy_time.size(), b.mean_busy_time.size());
+  for (std::size_t j = 0; j < a.mean_busy_time.size(); ++j) {
+    EXPECT_EQ(a.mean_busy_time[j], b.mean_busy_time[j]);
+  }
+}
+
+TEST(SupervisedEngine, EvaluateSupervisedMatchesBatch) {
+  const DcsScenario s = scenario_2(ModelFamily::kUniform, 6, 3, 2.0, 1.0, 1.0);
+  policy::EvaluationEngineOptions options;
+  options.objective = policy::Objective::kMeanExecutionTime;
+  const policy::EvaluationEngine engine(s, options);
+
+  std::vector<DtrPolicy> policies;
+  for (int l12 = 0; l12 <= 6; ++l12) {
+    policies.push_back(policy::make_two_server_policy(l12, 1));
+  }
+  const std::vector<double> batch = engine.evaluate(policies);
+  const policy::SupervisedBatchResult supervised =
+      engine.evaluate_supervised(policies);
+  EXPECT_TRUE(supervised.supervision.all_succeeded());
+  ASSERT_EQ(supervised.values.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(supervised.values[i], batch[i]) << "policy " << i;
+  }
+}
+
+}  // namespace
+}  // namespace agedtr
