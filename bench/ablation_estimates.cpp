@@ -15,6 +15,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -41,7 +42,11 @@ policy::QueueEstimates noisy_estimates(const core::DcsScenario& scenario,
 int main(int argc, char** argv) {
   CliParser cli("ablation_estimates: Algorithm 1 vs stale queue estimates");
   cli.add_option("seeds", "2", "noise seeds per staleness level");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   const core::DcsScenario scenario =

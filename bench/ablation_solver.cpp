@@ -24,6 +24,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -33,7 +34,11 @@ int main(int argc, char** argv) {
   CliParser cli("ablation_solver: solver design-choice ablations");
   cli.add_option("reference-cells", "262144",
                  "lattice cells for the reference solution");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   const core::DcsScenario scenario = bench::two_server_scenario(
       ModelFamily::kPareto1, bench::Delay::kSevere, false);

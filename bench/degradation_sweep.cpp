@@ -40,6 +40,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -178,7 +179,11 @@ int main(int argc, char** argv) {
                "run every Monte-Carlo batch under a util::Supervisor "
                "(retry/quarantine failed replications; a healthy sweep is "
                "bit-identical to the unsupervised one)");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
   const bench::Delay delay = cli.get_string("delay") == "low"

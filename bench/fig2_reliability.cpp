@@ -14,6 +14,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -25,7 +26,11 @@ int main(int argc, char** argv) {
   cli.add_option("step", "5", "L12 sweep step");
   cli.add_option("l21", "25", "tasks reallocated from server 2 to 1");
   cli.add_option("cells", "32768", "lattice cells for the solver");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const int step = static_cast<int>(cli.get_int("step"));
   const int l21 = static_cast<int>(cli.get_int("l21"));
 

@@ -14,6 +14,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -23,7 +24,11 @@ int main(int argc, char** argv) {
   cli.add_option("step", "2", "surface grid step in both L12 and L21");
   cli.add_option("deadline", "180", "QoS deadline (s)");
   cli.add_option("cells", "32768", "lattice cells for the solver");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const int step = static_cast<int>(cli.get_int("step"));
   const double deadline = cli.get_double("deadline");
 

@@ -25,6 +25,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -52,7 +53,11 @@ int main(int argc, char** argv) {
   cli.add_option("exp-reps", "500", "experiment replications (paper: 500)");
   cli.add_option("l12-step", "5", "L12 sweep step for Fig. 4(c)");
   cli.add_option("seed", "1987", "pipeline seed");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   Stopwatch watch;

@@ -20,6 +20,7 @@
 #include "agedtr/numerics/fft.hpp"
 #include "agedtr/random/rng.hpp"
 #include "agedtr/sim/simulator.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 namespace {
@@ -199,6 +200,94 @@ void BM_RngThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngThroughput);
+
+// ---- metrics overhead ------------------------------------------------------
+// The cost-model claim of util::metrics: a site with metrics disabled is one
+// relaxed load plus a branch. Compare Disabled variants against BM_MetricsOff
+// (the uninstrumented floor) and against the Enabled variants.
+
+void BM_MetricsOff(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_MetricsOff);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  metrics::set_enabled(false);
+  metrics::Counter& counter = metrics::MetricsRegistry::global().counter(
+      "bench.overhead_counter");
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  metrics::set_enabled(true);
+  metrics::Counter& counter = metrics::MetricsRegistry::global().counter(
+      "bench.overhead_counter");
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(++x);
+  }
+  metrics::set_enabled(false);
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_MetricsHistogramDisabled(benchmark::State& state) {
+  metrics::set_enabled(false);
+  metrics::Histogram& histogram =
+      metrics::MetricsRegistry::global().histogram(
+          "bench.overhead_histogram",
+          metrics::exponential_buckets(1e-6, 4.0, 12));
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram.observe(v);
+    benchmark::DoNotOptimize(v += 1e-6);
+  }
+}
+BENCHMARK(BM_MetricsHistogramDisabled);
+
+void BM_MetricsHistogramEnabled(benchmark::State& state) {
+  metrics::set_enabled(true);
+  metrics::Histogram& histogram =
+      metrics::MetricsRegistry::global().histogram(
+          "bench.overhead_histogram",
+          metrics::exponential_buckets(1e-6, 4.0, 12));
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram.observe(v);
+    benchmark::DoNotOptimize(v += 1e-6);
+  }
+  metrics::set_enabled(false);
+}
+BENCHMARK(BM_MetricsHistogramEnabled);
+
+void BM_MetricsSpanDisabled(benchmark::State& state) {
+  metrics::set_enabled(false);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    metrics::TraceSpan span("bench.overhead_span", "bench");
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_MetricsSpanDisabled);
+
+void BM_MetricsSpanEnabled(benchmark::State& state) {
+  metrics::set_enabled(true);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    metrics::TraceSpan span("bench.overhead_span", "bench");
+    benchmark::DoNotOptimize(++x);
+  }
+  metrics::set_enabled(false);
+}
+BENCHMARK(BM_MetricsSpanEnabled);
 
 }  // namespace
 

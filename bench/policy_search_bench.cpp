@@ -28,6 +28,7 @@
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
 #include "agedtr/util/thread_pool.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -126,7 +127,11 @@ int main(int argc, char** argv) {
                  "journal completed phases to this file (crash-consistent; "
                  "empty = off)");
   cli.add_flag("resume", "replay phases already journaled in --checkpoint");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
   const core::DcsScenario scenario =

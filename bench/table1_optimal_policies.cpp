@@ -18,6 +18,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -72,7 +73,11 @@ int main(int argc, char** argv) {
   cli.add_option("cells", "32768", "lattice cells for the solver");
   cli.add_option("deadline-low", "150", "QoS deadline, low delay (s)");
   cli.add_option("deadline-severe", "180", "QoS deadline, severe delay (s)");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const int coarse = static_cast<int>(cli.get_int("coarse-step"));
 
   Stopwatch watch;

@@ -22,6 +22,7 @@
 #include "agedtr/util/stopwatch.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 #include "paper_setup.hpp"
 
 using namespace agedtr;
@@ -55,7 +56,11 @@ int main(int argc, char** argv) {
                  "and part, plus the benchmark rows) to this file; empty = "
                  "off");
   cli.add_flag("resume", "replay entries already journaled in --checkpoint");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   Stopwatch watch;
   ThreadPool& pool = ThreadPool::global();

@@ -13,6 +13,7 @@
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -20,7 +21,11 @@ int main(int argc, char** argv) {
   CliParser cli("cluster_rebalance: Algorithm 1 on a 5-node cluster");
   cli.add_option("objective", "mean", "mean | reliability");
   cli.add_option("reps", "4000", "Monte-Carlo replications");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const bool reliability = cli.get_string("objective") == "reliability";
 
   // The Table II cluster: service means 5..1 s, failure means 1000..400 s,

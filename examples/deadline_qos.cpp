@@ -16,6 +16,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -27,7 +28,11 @@ int main(int argc, char** argv) {
   cli.add_option("m2", "30", "frames queued at the fast node");
   cli.add_option("deadline", "1.25",
                  "deadline as a multiple of the optimal mean");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const int m1 = static_cast<int>(cli.get_int("m1"));
   const int m2 = static_cast<int>(cli.get_int("m2"));
 

@@ -14,6 +14,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -24,7 +25,11 @@ int main(int argc, char** argv) {
   cli.add_option("reps", "2000", "Monte-Carlo replications per estimate");
   cli.add_option("l12", "40", "tasks reallocated from server 1 to 2");
   cli.add_option("l21", "0", "tasks reallocated from server 2 to 1");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
   const int l12 = static_cast<int>(cli.get_int("l12"));
   const int l21 = static_cast<int>(cli.get_int("l21"));

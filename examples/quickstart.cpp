@@ -14,6 +14,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -25,7 +26,11 @@ int main(int argc, char** argv) {
   cli.add_option("m2", "50", "tasks initially queued at server 2");
   cli.add_option("transfer-mean", "1.0", "mean task-transfer delay (s)");
   cli.add_option("mc-reps", "5000", "Monte-Carlo replications");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   const int m1 = static_cast<int>(cli.get_int("m1"));
   const int m2 = static_cast<int>(cli.get_int("m2"));

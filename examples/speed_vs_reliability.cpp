@@ -14,6 +14,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -22,7 +23,11 @@ int main(int argc, char** argv) {
   cli.add_option("step", "2", "policy grid step");
   cli.add_option("budget", "1.15",
                  "time budget as a multiple of the fastest policy");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   // Reserved node: slow (2 s/task), dependable (MTTF 600 s). Spot node:
   // 4x faster but with an MTTF of 40 s. The batch starts on the reserved

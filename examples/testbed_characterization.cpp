@@ -13,6 +13,7 @@
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
+#include "agedtr/util/metrics.hpp"
 
 using namespace agedtr;
 
@@ -34,7 +35,11 @@ int main(int argc, char** argv) {
   cli.add_option("experiment-reps", "500",
                  "testbed experiment replications (paper: 500)");
   cli.add_option("seed", "2010", "measurement seed");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
 
   const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -6,12 +6,29 @@
 #include <utility>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::core {
 
 using numerics::LatticeDensity;
 
 namespace {
+
+metrics::Histogram& conv_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "convolution.call_seconds",
+      metrics::exponential_buckets(1e-5, 4.0, 12),
+      "wall time of one ConvolutionSolver metric call");
+  return h;
+}
+
+metrics::Histogram& lattice_cells() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "convolution.lattice_cells",
+      metrics::exponential_buckets(64.0, 2.0, 12),
+      "lattice size (cells) of the grids metric calls run on");
+  return h;
+}
 
 /// Lattice law of min(X₁, …, X_k) for independent lattice variables:
 /// S_min(t) = Π S_i(t).
@@ -194,6 +211,9 @@ double ConvolutionSolver::mean_execution_time(
                    "mean_execution_time: the average execution time is "
                    "defined for completely reliable servers");
   }
+  metrics::TraceSpan span("conv.mean_execution_time", "solver",
+                          &conv_seconds());
+  lattice_cells().observe(static_cast<double>(options_.cells));
   ensure_grid(workloads);
   const BudgetTimer timer(options_.budget);
   std::vector<LatticeDensity> completions;
@@ -244,6 +264,9 @@ ConvolutionSolver::ExecutionTimeLaw ConvolutionSolver::execution_time_law(
       if (!std::isfinite(g.transfer->variance())) infinite_variance = true;
     }
   }
+  metrics::TraceSpan span("conv.execution_time_law", "solver",
+                          &conv_seconds());
+  lattice_cells().observe(static_cast<double>(options_.cells));
   ensure_grid(workloads);
   const BudgetTimer timer(options_.budget);
   std::vector<LatticeDensity> completions;
@@ -290,6 +313,8 @@ ConvolutionSolver::ExecutionTimeLaw ConvolutionSolver::execution_time_law(
 std::vector<ConvolutionSolver::ServerUsage> ConvolutionSolver::server_usage(
     const std::vector<ServerWorkload>& workloads) const {
   AGEDTR_REQUIRE(!workloads.empty(), "server_usage: no servers");
+  metrics::TraceSpan span("conv.server_usage", "solver", &conv_seconds());
+  lattice_cells().observe(static_cast<double>(options_.cells));
   ensure_grid(workloads);
   const BudgetTimer timer(options_.budget);
   std::vector<ServerUsage> usage(workloads.size());
@@ -332,6 +357,8 @@ double ConvolutionSolver::qos(const std::vector<ServerWorkload>& workloads,
                               double deadline) const {
   AGEDTR_REQUIRE(!workloads.empty(), "qos: no servers");
   AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
+  metrics::TraceSpan span("conv.qos", "solver", &conv_seconds());
+  lattice_cells().observe(static_cast<double>(options_.cells));
   ensure_grid(workloads);
   const BudgetTimer timer(options_.budget);
   double prob = 1.0;
@@ -360,6 +387,8 @@ double ConvolutionSolver::qos(const std::vector<ServerWorkload>& workloads,
 double ConvolutionSolver::reliability(
     const std::vector<ServerWorkload>& workloads) const {
   AGEDTR_REQUIRE(!workloads.empty(), "reliability: no servers");
+  metrics::TraceSpan span("conv.reliability", "solver", &conv_seconds());
+  lattice_cells().observe(static_cast<double>(options_.cells));
   ensure_grid(workloads);
   const BudgetTimer timer(options_.budget);
   double prob = 1.0;

@@ -4,10 +4,36 @@
 
 #include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::core {
 
 using numerics::LatticeDensity;
+
+namespace {
+
+// Process-wide mirrors of the per-instance WorkspaceStats: the instance
+// stats feed assertions and bench tables for one workspace; the metrics
+// aggregate across every workspace in the process for the --metrics report.
+metrics::Counter& hits_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "workspace.hits_total", "lattice cache hits (base + k-fold sums)");
+  return c;
+}
+
+metrics::Counter& misses_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "workspace.misses_total", "lattice cache misses (base + k-fold sums)");
+  return c;
+}
+
+metrics::Counter& ws_bytes_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "workspace.bytes_total", "bytes of lattice densities materialized");
+  return c;
+}
+
+}  // namespace
 
 LatticeWorkspace::LawEntry& LatticeWorkspace::entry_locked(
     const dist::DistPtr& law, double dt, std::size_t cells) {
@@ -19,6 +45,7 @@ LatticeWorkspace::LawEntry& LatticeWorkspace::entry_locked(
   // across threads and ensure_cdf() mutates on first use.
   entry.base.ensure_cdf();
   stats_.bytes += density_bytes(entry.base);
+  ws_bytes_counter().add(density_bytes(entry.base));
   ++stats_.laws;
   return entries_.emplace(key, std::move(entry)).first->second;
 }
@@ -32,8 +59,10 @@ const LatticeDensity& LatticeWorkspace::base(const dist::DistPtr& law,
       entries_.find(GridKey{law.get(), dt, cells}) != entries_.end();
   if (known) {
     ++stats_.base_hits;
+    hits_counter().add();
   } else {
     ++stats_.base_misses;
+    misses_counter().add();
   }
   return entry_locked(law, dt, cells).base;
 }
@@ -57,14 +86,17 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
     const auto it = entry.sums.find(k);
     if (it != entry.sums.end()) {
       ++stats_.sum_hits;
+      hits_counter().add();
       return it->second;
     }
     ++stats_.sum_misses;
+    misses_counter().add();
     if (entry.powers.empty()) entry.powers.push_back(entry.base);
     while (entry.powers.size() <= needed_levels) {
       entry.powers.push_back(entry.powers.back().convolve(entry.powers.back()));
       entry.powers.back().ensure_cdf();
       stats_.bytes += density_bytes(entry.powers.back());
+      ws_bytes_counter().add(density_bytes(entry.powers.back()));
     }
     for (unsigned bit = 0; (1u << bit) <= k; ++bit) {
       if (k & (1u << bit)) rungs.push_back(entry.powers[bit]);
@@ -79,7 +111,10 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
     std::lock_guard<std::mutex> lock(mutex_);
     LawEntry& entry = entry_locked(law, dt, cells);
     const auto [ins, fresh] = entry.sums.emplace(k, result);
-    if (fresh) stats_.bytes += density_bytes(ins->second);
+    if (fresh) {
+      stats_.bytes += density_bytes(ins->second);
+      ws_bytes_counter().add(density_bytes(ins->second));
+    }
   }
   return result;
 }

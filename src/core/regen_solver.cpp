@@ -6,9 +6,34 @@
 
 #include "agedtr/numerics/quadrature.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::core {
 namespace {
+
+/// Observability of the reference recursion: how deep the event tree goes
+/// and how long one metric call takes (the fallback chain's first tier).
+metrics::Histogram& depth_histogram() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "regen_solver.recursion_depth", metrics::linear_buckets(1.0, 1.0, 16),
+      "recursion depth at which regeneration branches terminate");
+  return h;
+}
+
+metrics::Histogram& regen_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "regen_solver.call_seconds",
+      metrics::exponential_buckets(1e-4, 4.0, 12),
+      "wall time of one RegenerativeSolver metric call");
+  return h;
+}
+
+metrics::Counter& depth_exhausted_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "regen_solver.depth_budget_exhausted",
+      "RegenerativeSolver calls aborted by the recursion-depth cap");
+  return c;
+}
 
 /// Per-state integration context shared by the mean and probability
 /// recursions: Gauss–Legendre nodes in the probability domain u = F_τ(s),
@@ -138,16 +163,20 @@ double RegenerativeSolver::reliability(const DtrPolicy& policy) const {
 }
 
 double RegenerativeSolver::mean_execution_time(const SystemState& state) const {
+  metrics::TraceSpan span("regen.mean_execution_time", "solver",
+                          &regen_seconds());
   return mean_rec(state, 0, BudgetTimer(options_.budget));
 }
 
 double RegenerativeSolver::qos(const SystemState& state,
                                double deadline) const {
   AGEDTR_REQUIRE(deadline >= 0.0, "qos: deadline must be nonnegative");
+  metrics::TraceSpan span("regen.qos", "solver", &regen_seconds());
   return prob_rec(state, deadline, 0, BudgetTimer(options_.budget));
 }
 
 double RegenerativeSolver::reliability(const SystemState& state) const {
+  metrics::TraceSpan span("regen.reliability", "solver", &regen_seconds());
   return prob_rec(state, std::numeric_limits<double>::infinity(), 0,
                   BudgetTimer(options_.budget));
 }
@@ -166,9 +195,13 @@ double RegenerativeSolver::integrate_over_regeneration(
 
 double RegenerativeSolver::mean_rec(const SystemState& state, int depth,
                                     const BudgetTimer& timer) const {
-  if (state.workload_done()) return 0.0;
+  if (state.workload_done()) {
+    depth_histogram().observe(static_cast<double>(depth));
+    return 0.0;
+  }
   if (depth >= effective_max_depth()) {
-    throw BudgetExceeded(
+    depth_exhausted_counter().add();
+    throw DepthBudgetExceeded(
         "RegenerativeSolver: configuration exceeds the reference solver's "
         "depth budget (use ConvolutionSolver)");
   }
@@ -190,11 +223,17 @@ double RegenerativeSolver::mean_rec(const SystemState& state, int depth,
 double RegenerativeSolver::prob_rec(const SystemState& state, double deadline,
                                     int depth,
                                     const BudgetTimer& timer) const {
-  if (state.workload_lost()) return 0.0;
-  if (state.workload_done()) return 1.0;
-  if (deadline <= 0.0) return 0.0;
+  if (state.workload_lost() || state.workload_done() || deadline <= 0.0) {
+    depth_histogram().observe(static_cast<double>(depth));
+    // Terminal order matters: a lost workload never completes, a completed
+    // one did so within the time already consumed regardless of what is
+    // left of the deadline.
+    if (state.workload_lost()) return 0.0;
+    return state.workload_done() ? 1.0 : 0.0;
+  }
   if (depth >= effective_max_depth()) {
-    throw BudgetExceeded(
+    depth_exhausted_counter().add();
+    throw DepthBudgetExceeded(
         "RegenerativeSolver: configuration exceeds the reference solver's "
         "depth budget (use ConvolutionSolver)");
   }

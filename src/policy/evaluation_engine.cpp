@@ -7,8 +7,33 @@
 
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::policy {
+
+namespace {
+
+metrics::Counter& evaluations_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "engine.evaluations_total", "policy evaluations served by the engine");
+  return c;
+}
+
+metrics::Histogram& batch_size_histogram() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "engine.batch_size", metrics::exponential_buckets(1.0, 2.0, 14),
+      "policies per batched evaluate() call");
+  return h;
+}
+
+metrics::Histogram& batch_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "engine.batch_seconds", metrics::exponential_buckets(1e-4, 4.0, 12),
+      "wall time of one batched evaluate() call");
+  return h;
+}
+
+}  // namespace
 
 struct EvaluationEngine::Impl {
   std::shared_ptr<const core::DcsScenario> scenario;
@@ -53,6 +78,7 @@ struct EvaluationEngine::Impl {
   }
 
   [[nodiscard]] double evaluate(const core::DtrPolicy& policy) const {
+    evaluations_counter().add();
     const std::vector<core::ServerWorkload> workloads = workloads_for(policy);
     switch (options.objective) {
       case Objective::kMeanExecutionTime:
@@ -92,6 +118,8 @@ double EvaluationEngine::evaluate(const core::DtrPolicy& policy) const {
 
 std::vector<double> EvaluationEngine::evaluate(
     std::span<const core::DtrPolicy> policies) const {
+  metrics::TraceSpan span("engine.evaluate_batch", "engine", &batch_seconds());
+  batch_size_histogram().observe(static_cast<double>(policies.size()));
   std::vector<double> values(policies.size(), 0.0);
   // Per-element error capture: one failing policy must not poison the
   // rest of the batch, and the rethrown error must say which index failed.
@@ -128,6 +156,9 @@ SupervisedBatchResult EvaluationEngine::evaluate_supervised(
     supervise.deadline_seconds =
         supervisor_for_budget(impl_->options.conv.budget).deadline_seconds;
   }
+  metrics::TraceSpan span("engine.evaluate_supervised", "engine",
+                          &batch_seconds());
+  batch_size_histogram().observe(static_cast<double>(policies.size()));
   SupervisedBatchResult result;
   result.values.assign(policies.size(),
                        std::numeric_limits<double>::quiet_NaN());

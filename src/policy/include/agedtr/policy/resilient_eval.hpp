@@ -76,8 +76,28 @@ struct ResilientEvalOptions {
   }();
 };
 
+/// Why a tier declined, classified from the exception type. Distinguishing
+/// the two budget axes matters for tuning: a wall overrun says "grant more
+/// time or accept the fallback", a depth overrun says "this configuration
+/// is structurally too large for the tier — no time budget will help".
+enum class FailureCause : int {
+  /// WallBudgetExceeded: the wall-clock cap (EvalBudget::max_seconds)
+  /// expired mid-evaluation.
+  kWallBudget = 0,
+  /// DepthBudgetExceeded: a structural cap — recursion depth or the
+  /// Markovian state-count guard — ruled the configuration out.
+  kDepthBudget = 1,
+  /// A plain BudgetExceeded that carries no axis information.
+  kOtherBudget = 2,
+  /// Anything else (InvalidArgument, ConvergenceError, runtime errors).
+  kOther = 3,
+};
+
+[[nodiscard]] std::string failure_cause_name(FailureCause cause);
+
 struct TierFailure {
   EvalTier tier = EvalTier::kRegenerative;
+  FailureCause cause = FailureCause::kOther;
   std::string reason;
 };
 
@@ -103,6 +123,10 @@ struct EvalTally {
   std::size_t answered[kEvalTierCount] = {0, 0, 0, 0};
   /// declined[t]: evaluations tier t failed/declined in.
   std::size_t declined[kEvalTierCount] = {0, 0, 0, 0};
+  /// Declines broken down by budget axis (wall-clock vs structural depth);
+  /// declines with other causes appear only in declined[].
+  std::size_t declined_wall_budget = 0;
+  std::size_t declined_depth_budget = 0;
   std::size_t total_failures = 0;  // evaluations no tier could answer
 
   void record(const EvalOutcome& outcome);

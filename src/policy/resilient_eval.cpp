@@ -6,12 +6,76 @@
 #include "agedtr/core/ctmc.hpp"
 #include "agedtr/core/markovian.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::policy {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+metrics::Counter& answered_counter(EvalTier tier) {
+  static metrics::Counter* counters[kEvalTierCount] = {
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.answered.regenerative",
+          "evaluations the regenerative tier answered"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.answered.convolution",
+          "evaluations the convolution tier answered"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.answered.markovian",
+          "evaluations the markovian tier answered"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.answered.monte_carlo",
+          "evaluations the monte-carlo tier answered"),
+  };
+  return *counters[static_cast<int>(tier)];
+}
+
+metrics::Counter& declined_counter(EvalTier tier) {
+  static metrics::Counter* counters[kEvalTierCount] = {
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.declined.regenerative",
+          "evaluations the regenerative tier declined"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.declined.convolution",
+          "evaluations the convolution tier declined"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.declined.markovian",
+          "evaluations the markovian tier declined"),
+      &metrics::MetricsRegistry::global().counter(
+          "resilient.declined.monte_carlo",
+          "evaluations the monte-carlo tier declined"),
+  };
+  return *counters[static_cast<int>(tier)];
+}
+
+metrics::Counter& wall_fallback_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "resilient.fallback_wall_budget_total",
+      "tier declines caused by the wall-clock budget");
+  return c;
+}
+
+metrics::Counter& depth_fallback_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "resilient.fallback_depth_budget_total",
+      "tier declines caused by a structural depth/state cap");
+  return c;
+}
+
+FailureCause classify_failure(const std::exception& e) {
+  if (dynamic_cast<const WallBudgetExceeded*>(&e) != nullptr) {
+    return FailureCause::kWallBudget;
+  }
+  if (dynamic_cast<const DepthBudgetExceeded*>(&e) != nullptr) {
+    return FailureCause::kDepthBudget;
+  }
+  if (dynamic_cast<const BudgetExceeded*>(&e) != nullptr) {
+    return FailureCause::kOtherBudget;
+  }
+  return FailureCause::kOther;
+}
 
 bool scenario_is_memoryless(const core::DcsScenario& scenario) {
   const auto memoryless = [](const dist::DistPtr& law) {
@@ -66,11 +130,26 @@ std::string eval_tier_name(EvalTier tier) {
   throw LogicError("eval_tier_name: unknown tier");
 }
 
+std::string failure_cause_name(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kWallBudget:
+      return "wall budget";
+    case FailureCause::kDepthBudget:
+      return "depth budget";
+    case FailureCause::kOtherBudget:
+      return "budget";
+    case FailureCause::kOther:
+      return "error";
+  }
+  throw LogicError("failure_cause_name: unknown cause");
+}
+
 std::string EvalOutcome::describe() const {
   std::string text = ok ? eval_tier_name(tier) + " answered"
                         : "no tier answered";
   for (const TierFailure& f : failures) {
-    text += "; " + eval_tier_name(f.tier) + " declined: " + f.reason;
+    text += "; " + eval_tier_name(f.tier) + " declined [" +
+            failure_cause_name(f.cause) + "]: " + f.reason;
   }
   return text;
 }
@@ -84,6 +163,8 @@ void EvalTally::record(const EvalOutcome& outcome) {
   }
   for (const TierFailure& f : outcome.failures) {
     ++declined[static_cast<int>(f.tier)];
+    if (f.cause == FailureCause::kWallBudget) ++declined_wall_budget;
+    if (f.cause == FailureCause::kDepthBudget) ++declined_depth_budget;
   }
 }
 
@@ -146,7 +227,9 @@ double ResilientEvaluator::evaluate_markovian(
   }
   const double states = markovian_state_estimate(*exponentialized_, policy);
   if (states > static_cast<double>(options_.markovian_max_states)) {
-    throw BudgetExceeded(
+    // Structural, like a recursion-depth overrun: the state space is a
+    // deterministic function of the configuration.
+    throw DepthBudgetExceeded(
         "Markovian tier: DP state space exceeds markovian_max_states");
   }
   switch (options_.objective) {
@@ -195,9 +278,14 @@ EvalOutcome ResilientEvaluator::evaluate(
       outcome.value = body();
       outcome.tier = tier;
       outcome.ok = true;
+      answered_counter(tier).add();
       return true;
     } catch (const std::exception& e) {
-      outcome.failures.push_back({tier, e.what()});
+      const FailureCause cause = classify_failure(e);
+      declined_counter(tier).add();
+      if (cause == FailureCause::kWallBudget) wall_fallback_counter().add();
+      if (cause == FailureCause::kDepthBudget) depth_fallback_counter().add();
+      outcome.failures.push_back({tier, cause, e.what()});
       return false;
     }
   };

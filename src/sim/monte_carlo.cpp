@@ -3,14 +3,33 @@
 #include <algorithm>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::sim {
+
+namespace {
+
+metrics::Counter& replications_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "montecarlo.replications_total", "simulation replications executed");
+  return c;
+}
+
+metrics::Histogram& run_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "montecarlo.run_seconds", metrics::exponential_buckets(1e-3, 4.0, 10),
+      "wall time of one run_monte_carlo call (all replications)");
+  return h;
+}
+
+}  // namespace
 
 MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
                                   const core::DtrPolicy& policy,
                                   const MonteCarloOptions& options) {
   AGEDTR_REQUIRE(options.replications >= 2,
                  "run_monte_carlo: need at least two replications");
+  metrics::TraceSpan span("montecarlo.run", "sim", &run_seconds());
   const DcsSimulator simulator(scenario, options.simulator);
   const std::size_t reps = options.replications;
   const std::size_t n = scenario.size();
@@ -24,6 +43,7 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
   // Replication r always uses stream r, supervised or not, retried or not —
   // results stay bit-identical regardless of scheduling or retry history.
   const auto simulate_one = [&](std::size_t r) {
+    replications_counter().add();
     random::Rng rng =
         random::make_replication_rng(options.seed, static_cast<std::uint64_t>(r));
     const SimResult result = simulator.run(policy, rng);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -19,6 +20,26 @@ namespace agedtr {
 namespace {
 
 constexpr char kFieldSeparator = '\x1f';
+
+metrics::Counter& units_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "checkpoint.units_total", "work units journaled");
+  return c;
+}
+
+metrics::Counter& bytes_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "checkpoint.bytes_total", "journal bytes written (whole snapshots)");
+  return c;
+}
+
+metrics::Histogram& persist_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "checkpoint.persist_seconds",
+      metrics::exponential_buckets(1e-5, 4.0, 12),
+      "wall time of one journal persist (write + fsync + rename)");
+  return h;
+}
 
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -220,6 +241,7 @@ void Checkpoint::record(const std::string& key, const std::string& payload) {
     units_.pop_back();  // the snapshot on disk does not include this unit
     throw;
   }
+  units_counter().add();
   ++stats_.recorded_units;
   if (crash_after_ != 0) --records_until_crash_;
 }
@@ -238,6 +260,7 @@ void Checkpoint::crash_after_records_for_testing(std::size_t n) {
 }
 
 void Checkpoint::persist() const {
+  metrics::TraceSpan span("checkpoint.persist", "io", &persist_seconds());
   std::string body = "agedtr-checkpoint " + std::to_string(kFormatVersion) +
                      "\ntag " + escape(tag_) + "\n";
   for (const auto& [key, payload] : units_) {
@@ -270,6 +293,7 @@ void Checkpoint::persist() const {
                           path_);
   }
   sync_parent_directory(path_);
+  bytes_counter().add(content.size());
 }
 
 std::string join_fields(const std::vector<std::string>& fields) {

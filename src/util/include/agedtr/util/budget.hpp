@@ -45,11 +45,12 @@ class BudgetTimer {
     return limited_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
-  /// Throws BudgetExceeded (prefixed with `who`) once the deadline passed.
+  /// Throws WallBudgetExceeded (prefixed with `who`) once the deadline
+  /// passed.
   void check(const char* who) const {
     if (expired()) {
-      throw BudgetExceeded(std::string(who) +
-                           ": wall-clock evaluation budget exhausted");
+      throw WallBudgetExceeded(std::string(who) +
+                               ": wall-clock evaluation budget exhausted");
     }
   }
 

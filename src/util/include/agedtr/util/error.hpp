@@ -42,6 +42,25 @@ class BudgetExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// BudgetExceeded because the wall-clock cap (EvalBudget::max_seconds)
+/// expired. Kept as a distinct type so fallback layers can report *which*
+/// budget pushed an evaluation down the chain — a wall overrun says "too
+/// slow here, maybe fine elsewhere", a depth overrun says "structurally too
+/// large for this solver".
+class WallBudgetExceeded : public BudgetExceeded {
+ public:
+  using BudgetExceeded::BudgetExceeded;
+};
+
+/// BudgetExceeded because a structural cap — recursion depth
+/// (EvalBudget::max_depth / RegenSolverOptions::max_depth) or a state-count
+/// guard — was exceeded. Deterministic for a given configuration, unlike a
+/// wall overrun.
+class DepthBudgetExceeded : public BudgetExceeded {
+ public:
+  using BudgetExceeded::BudgetExceeded;
+};
+
 /// Thrown by a supervised task that observes its CancelToken after the
 /// Supervisor's watchdog marked the attempt overdue. Cancellation is
 /// cooperative: the task must poll the token (directly or through a budget

@@ -1,0 +1,357 @@
+// util::metrics — the process-wide observability layer.
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Hot-path writes are sharded: every metric owns a small array
+// of cache-line-padded atomic cells and a writer picks its cell by thread
+// identity, so concurrent increments from pool workers never contend on
+// one cache line and never take a lock; readers merge the shards. RAII
+// ScopedTimer records a duration into a histogram; TraceSpan additionally
+// appends a begin/end event to a bounded trace ring exportable as
+// chrome://tracing JSON. The registry renders a Prometheus-style text dump
+// (text_report) for the benches' --metrics flag.
+//
+// Cost model. Instrumentation is compiled into the hot paths permanently
+// and gated by one process-wide atomic flag (metrics::enabled(), default
+// off). On the disabled path a site costs one relaxed atomic load and a
+// predictable branch — no clock read, no allocation, no lock — which the
+// micro_kernels suite verifies stays within noise of uninstrumented code.
+// Handles (Counter&, Histogram&) are resolved once per site (typically a
+// function-local static) so name lookup never recurs on a hot path.
+//
+// Naming. Metric names are dot-separated, lowercase, unit-suffixed where
+// applicable ("checkpoint.persist_seconds"); docs/OBSERVABILITY.md lists
+// every metric the stack emits and its meaning.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace agedtr::metrics {
+
+/// Process-wide instrumentation gate. Relaxed reads: a toggle is only
+/// required to be seen "soon", not synchronized with any data.
+[[nodiscard]] bool enabled();
+/// Flips the gate (benches: on when --metrics is given; tests: around the
+/// assertions). Counters keep their values across toggles.
+void set_enabled(bool on);
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+/// One cache-line-padded atomic cell; an array of these forms a metric's
+/// shard set.
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> bits{0};
+};
+
+/// Stable small shard index for the calling thread.
+[[nodiscard]] std::size_t shard_index();
+
+[[nodiscard]] inline std::uint64_t double_bits(double v) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(v));
+  __builtin_memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+[[nodiscard]] inline double bits_double(std::uint64_t u) {
+  double v;
+  __builtin_memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+}  // namespace detail
+
+/// Monotone event count. add() is lock-free and wait-free per shard.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].bits.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.bits.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard. Test isolation only (counters are monotone in
+  /// production); not atomic against concurrent writers.
+  void reset_for_testing() {
+    for (auto& s : shards_) s.bits.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedCell, detail::kShards> shards_;
+};
+
+/// Last-write-wins scalar (set) plus a sharded delta ledger (add), so both
+/// "current queue depth" (+1/−1 from many threads) and "resident bytes"
+/// (absolute set) map onto one type. value() = last set + Σ deltas since.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    base_.store(detail::double_bits(v), std::memory_order_relaxed);
+    for (auto& s : deltas_) s.bits.store(0, std::memory_order_relaxed);
+  }
+
+  void add(double delta) {
+    if (!enabled()) return;
+    auto& cell = deltas_[detail::shard_index()].bits;
+    std::uint64_t observed = cell.load(std::memory_order_relaxed);
+    for (;;) {
+      const double updated = detail::bits_double(observed) + delta;
+      if (cell.compare_exchange_weak(observed, detail::double_bits(updated),
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    double total = detail::bits_double(base_.load(std::memory_order_relaxed));
+    for (const auto& s : deltas_) {
+      total += detail::bits_double(s.bits.load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+
+  /// Test isolation only; not atomic against concurrent writers.
+  void reset_for_testing() {
+    base_.store(0, std::memory_order_relaxed);
+    for (auto& s : deltas_) s.bits.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> base_{0};
+  std::array<detail::PaddedCell, detail::kShards> deltas_;
+};
+
+/// Merged read of one histogram.
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets; an implicit +inf bucket follows.
+  std::vector<double> bounds;
+  /// counts[i] = observations with value <= bounds[i] (non-cumulative);
+  /// counts.back() is the +inf bucket. counts.size() == bounds.size() + 1.
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket histogram. Bucket bounds are frozen at registration;
+/// observe() is a branchless-gated binary search plus two sharded atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Test isolation only; not atomic against concurrent writers.
+  void reset_for_testing();
+
+ private:
+  struct alignas(64) Shard {
+    // unique_ptr<atomic[]>: atomics are neither movable nor copyable, so a
+    // vector could never be sized after the array-of-shards is built.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;  // bounds+1 cells
+    std::atomic<std::uint64_t> sum_bits{0};  // double bits, CAS-added
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Exponential bucket ladder `start, start·factor, …` (count bounds) — the
+/// default shape for latency histograms.
+[[nodiscard]] std::vector<double> exponential_buckets(double start,
+                                                      double factor,
+                                                      std::size_t count);
+/// Linear ladder `start, start+width, …` — for small integer-ish ranges
+/// (recursion depths, batch sizes).
+[[nodiscard]] std::vector<double> linear_buckets(double start, double width,
+                                                 std::size_t count);
+
+/// One completed span in the trace ring.
+struct TraceEvent {
+  /// Static strings only: sites pass literals, so no allocation or copy
+  /// happens on the hot path and events stay POD.
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t start_us = 0;  // since process trace epoch
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread = 0;
+};
+
+/// Bounded MPSC-ish trace ring: writers reserve slots with one fetch_add
+/// and overwrite the oldest events once full, so memory stays O(capacity)
+/// forever. drain() (export time) takes the ring lock; concurrent writers
+/// spin only on their own slot's publication flag.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 1u << 16);
+
+  void record(const TraceEvent& event);
+
+  /// Events currently resident, oldest first. Not linearizable against
+  /// concurrent writers (export happens at quiescent points).
+  [[nodiscard]] std::vector<TraceEvent> drain() const;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Spans recorded since construction (>= capacity() means wrap-around
+  /// discarded the oldest).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the ring. Test isolation only.
+  void clear();
+
+ private:
+  struct Slot {
+    std::mutex mutex;  // uncontended except on wrap collisions
+    TraceEvent event;
+    bool full = false;
+  };
+
+  mutable std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// The process-wide registry: name → metric, plus the trace ring.
+/// Registration is mutex-guarded (cold); returned references are stable
+/// for the registry's lifetime, so sites cache them in function-local
+/// statics and the hot path never touches the map again.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  MetricsRegistry();
+
+  /// Idempotent by name; help is kept from the first registration.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// Re-registering a histogram name with different bounds is an error
+  /// (InvalidArgument): bucket layouts are part of the metric's contract.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  [[nodiscard]] TraceRing& trace() { return trace_; }
+
+  /// Prometheus-style text exposition (counters, gauges, histograms with
+  /// cumulative `_bucket{le=...}` lines, `_sum`, `_count`).
+  [[nodiscard]] std::string text_report() const;
+
+  /// chrome://tracing "traceEvents" JSON of the trace ring.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Zeroes every counter/gauge/histogram and empties the trace ring
+  /// (metric registrations survive). Test isolation only — never called on
+  /// production paths.
+  void reset();
+
+  /// Looks up an existing metric for assertions; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  struct Entry;
+
+  mutable std::mutex mutex_;
+  // std::map: stable iteration order makes text reports diffable.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  TraceRing trace_;
+};
+
+/// Microseconds since the process trace epoch (first use).
+[[nodiscard]] std::uint64_t trace_now_us();
+
+/// RAII duration recorder: observes elapsed seconds into a histogram at
+/// scope exit. Zero work (not even a clock read) while metrics are
+/// disabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(enabled() ? &sink : nullptr),
+        start_(sink_ ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ == nullptr) return;
+    sink_->observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII trace span: appends a TraceEvent to the global trace ring at scope
+/// exit (and optionally observes the duration into a histogram). `name`
+/// and `category` must be string literals or otherwise outlive the
+/// registry. Zero work while metrics are disabled at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "agedtr",
+                     Histogram* also_observe = nullptr);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan();
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* histogram_;
+  bool armed_;
+  std::uint64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Bench/example plumbing for the `--metrics <path>` flag: when `path` is
+/// non-empty, enables metrics on construction and, on destruction, writes
+/// the text report to `path` and the trace JSON to `path` +
+/// ".trace.json" (creating parent directories). Empty path = inert.
+class ScopedExport {
+ public:
+  explicit ScopedExport(std::string path);
+  ~ScopedExport();
+
+  ScopedExport(const ScopedExport&) = delete;
+  ScopedExport& operator=(const ScopedExport&) = delete;
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace agedtr::metrics

@@ -43,6 +43,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
+    note_enqueued();
     cv_.notify_one();
     return fut;
   }
@@ -61,6 +62,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Non-template metrics hook so submit() stays header-only without
+  /// dragging the metrics header into every includer.
+  static void note_enqueued();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,438 @@
+#include "agedtr/util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Round-robin thread→shard assignment: consecutive pool workers land on
+/// distinct cells, which is all the de-contention the sharding needs.
+std::size_t next_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+/// JSON string escaping for trace names (literals in practice, but the
+/// export must never emit malformed JSON).
+std::string json_escape(const char* raw) {
+  std::string out;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  trace_epoch();  // pin the epoch no later than the first enablement
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t shard_index() {
+  thread_local const std::size_t index = next_thread_slot() % kShards;
+  return index;
+}
+
+}  // namespace detail
+
+std::uint64_t trace_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  AGEDTR_REQUIRE(
+      std::is_sorted(bounds_.begin(), bounds_.end()) &&
+          std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "Histogram: bucket bounds must be strictly increasing");
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  if (!enabled()) return;
+  // Prometheus `le` semantics: a value equal to a bound belongs to that
+  // bound's bucket, so find the first bound >= value.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[detail::shard_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t observed = shard.sum_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = detail::bits_double(observed) + value;
+    if (shard.sum_bits.compare_exchange_weak(observed,
+                                             detail::double_bits(updated),
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += detail::bits_double(
+        shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  for (const std::uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::reset_for_testing() {
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+    shard.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  AGEDTR_REQUIRE(start > 0.0 && factor > 1.0 && count > 0,
+                 "exponential_buckets: need start > 0, factor > 1, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> linear_buckets(double start, double width,
+                                   std::size_t count) {
+  AGEDTR_REQUIRE(width > 0.0 && count > 0,
+                 "linear_buckets: need width > 0, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+// ---- TraceRing -------------------------------------------------------------
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::record(const TraceEvent& event) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(ticket % slots_.size())];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.event = event;
+  slot.full = true;
+}
+
+std::vector<TraceEvent> TraceRing::drain() const {
+  std::vector<TraceEvent> events;
+  events.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.full) events.push_back(slot.event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return events;
+}
+
+void TraceRing::clear() {
+  for (Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.full = false;
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+struct MetricsRegistry::Entry {
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  std::string help;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  if (entry == nullptr) {
+    entry = std::make_unique<Entry>();
+    entry->kind = Entry::Kind::kCounter;
+    entry->help = help;
+    entry->counter = std::make_unique<Counter>();
+  }
+  AGEDTR_REQUIRE(entry->kind == Entry::Kind::kCounter,
+                 "MetricsRegistry: '" + name +
+                     "' is already registered with a different type");
+  return *entry->counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  if (entry == nullptr) {
+    entry = std::make_unique<Entry>();
+    entry->kind = Entry::Kind::kGauge;
+    entry->help = help;
+    entry->gauge = std::make_unique<Gauge>();
+  }
+  AGEDTR_REQUIRE(entry->kind == Entry::Kind::kGauge,
+                 "MetricsRegistry: '" + name +
+                     "' is already registered with a different type");
+  return *entry->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[name];
+  if (entry == nullptr) {
+    entry = std::make_unique<Entry>();
+    entry->kind = Entry::Kind::kHistogram;
+    entry->help = help;
+    entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+    return *entry->histogram;
+  }
+  AGEDTR_REQUIRE(entry->kind == Entry::Kind::kHistogram,
+                 "MetricsRegistry: '" + name +
+                     "' is already registered with a different type");
+  AGEDTR_REQUIRE(entry->histogram->bounds() == bounds,
+                 "MetricsRegistry: histogram '" + name +
+                     "' re-registered with different bucket bounds");
+  return *entry->histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second->kind == Entry::Kind::kCounter
+             ? it->second->counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second->kind == Entry::Kind::kGauge
+             ? it->second->gauge.get()
+             : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second->kind == Entry::Kind::kHistogram
+             ? it->second->histogram.get()
+             : nullptr;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sites cache references to the metric objects, so reset() zeroes their
+  // contents in place — the objects themselves are never replaced.
+  for (auto& [name, entry] : entries_) {
+    switch (entry->kind) {
+      case Entry::Kind::kCounter:
+        entry->counter->reset_for_testing();
+        break;
+      case Entry::Kind::kGauge:
+        entry->gauge->reset_for_testing();
+        break;
+      case Entry::Kind::kHistogram:
+        entry->histogram->reset_for_testing();
+        break;
+    }
+  }
+  trace_.clear();
+}
+
+std::string MetricsRegistry::text_report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry->help.empty()) {
+      out << "# HELP " << name << " " << entry->help << "\n";
+    }
+    switch (entry->kind) {
+      case Entry::Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << entry->counter->value() << "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << format_number(entry->gauge->value()) << "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        const HistogramSnapshot snap = entry->histogram->snapshot();
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.counts[i];
+          out << name << "_bucket{le=\"" << format_number(snap.bounds[i])
+              << "\"} " << cumulative << "\n";
+        }
+        cumulative += snap.counts.back();
+        out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << name << "_sum " << format_number(snap.sum) << "\n";
+        out << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = trace_.drain();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.thread
+        << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+// ---- TraceSpan -------------------------------------------------------------
+
+namespace {
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     Histogram* also_observe)
+    : name_(name),
+      category_(category),
+      histogram_(also_observe),
+      armed_(enabled()) {
+  if (!armed_) return;
+  start_ = std::chrono::steady_clock::now();
+  start_us_ = trace_now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_us = start_us_;
+  event.duration_us =
+      static_cast<std::uint64_t>(std::max(seconds, 0.0) * 1e6);
+  event.thread = trace_thread_id();
+  MetricsRegistry::global().trace().record(event);
+  if (histogram_ != nullptr) histogram_->observe(seconds);
+}
+
+// ---- ScopedExport ----------------------------------------------------------
+
+ScopedExport::ScopedExport(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) set_enabled(true);
+}
+
+ScopedExport::~ScopedExport() {
+  if (path_.empty()) return;
+  set_enabled(false);
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << MetricsRegistry::global().text_report();
+  }
+  {
+    std::ofstream out(path_ + ".trace.json", std::ios::binary);
+    out << MetricsRegistry::global().chrome_trace_json();
+  }
+}
+
+}  // namespace agedtr::metrics

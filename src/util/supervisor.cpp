@@ -8,12 +8,33 @@
 #include <unordered_map>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+metrics::Counter& retries_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "supervisor.retries_total", "transient task failures retried");
+  return c;
+}
+
+metrics::Counter& cancellations_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "supervisor.watchdog_cancellations_total",
+      "attempts cancelled by the watchdog for exceeding the deadline");
+  return c;
+}
+
+metrics::Counter& quarantined_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "supervisor.quarantined_total",
+      "tasks quarantined (permanent failure or retries exhausted)");
+  return c;
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -168,8 +189,9 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
         registry.cv.wait_for(lock, tick);
         if (registry.done) break;
         lock.unlock();
-        cancellations.fetch_add(registry.cancel_overdue(Clock::now()),
-                                std::memory_order_relaxed);
+        const std::size_t newly = registry.cancel_overdue(Clock::now());
+        cancellations.fetch_add(newly, std::memory_order_relaxed);
+        cancellations_counter().add(newly);
         lock.lock();
       }
     });
@@ -201,11 +223,13 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
       }
       if (watched) registry.retire(index);
       if (permanent || attempt == attempts_allowed) {
+        quarantined_counter().add();
         std::lock_guard<std::mutex> lock(report_mutex);
         report.quarantined.push_back({index, attempt, std::move(error)});
         return;
       }
       retries.fetch_add(1, std::memory_order_relaxed);
+      retries_counter().add();
       std::this_thread::sleep_for(std::chrono::duration<double>(
           backoff_delay(options_, index, attempt)));
     }

@@ -4,8 +4,33 @@
 #include <atomic>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr {
+
+namespace {
+
+metrics::Gauge& queue_depth_gauge() {
+  static metrics::Gauge& g = metrics::MetricsRegistry::global().gauge(
+      "threadpool.queue_depth", "tasks enqueued but not yet picked up");
+  return g;
+}
+
+metrics::Counter& tasks_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "threadpool.tasks_total", "tasks executed by pool workers");
+  return c;
+}
+
+metrics::Histogram& task_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "threadpool.task_seconds",
+      metrics::exponential_buckets(1e-5, 4.0, 14),
+      "execution time of one pool task (dequeue to completion)");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -36,9 +61,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_gauge().add(-1.0);
+    tasks_counter().add();
+    {
+      metrics::ScopedTimer timer(task_seconds());
+      task();
+    }
   }
 }
+
+void ThreadPool::note_enqueued() { queue_depth_gauge().add(1.0); }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {

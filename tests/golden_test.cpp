@@ -1,0 +1,222 @@
+// Golden regression tests: a miniature Fig. 1 / Table I grid — a scaled-down
+// two-server system on a coarse lattice — evaluated with the
+// ConvolutionSolver and compared against checked-in CSVs. The goldens pin
+// the numerical outputs of the full stack (model builders → discretization
+// → k-fold sums → solver metrics): an unintended change anywhere in that
+// chain shows up as a drift here before it shows up in a paper figure.
+//
+// Regenerating: build, then run this binary with AGEDTR_REGEN_GOLDEN=1 —
+// the CSVs under AGEDTR_GOLDEN_DIR are rewritten from the current code and
+// the tests pass trivially. Commit regenerated goldens only with a
+// justification for the numerical change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/two_server.hpp"
+
+#ifndef AGEDTR_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define AGEDTR_GOLDEN_DIR"
+#endif
+
+namespace agedtr {
+namespace {
+
+using core::DcsScenario;
+using core::ServerSpec;
+using dist::ModelFamily;
+
+/// Miniature two-server system in the image of the paper's Section III-A1
+/// setup (same structure and delay-regime rules, 1/5 of the task load) so
+/// the grid evaluates in milliseconds on a coarse lattice.
+DcsScenario mini_two_server(ModelFamily family, bool severe, bool failures) {
+  std::vector<ServerSpec> servers = {
+      {20, dist::make_model_distribution(family, 2.0),
+       failures ? dist::Exponential::with_mean(200.0) : nullptr},
+      {10, dist::make_model_distribution(family, 1.0),
+       failures ? dist::Exponential::with_mean(100.0) : nullptr}};
+  DcsScenario scenario = core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(family, severe ? 9.0 : 1.0),
+      dist::Exponential::with_mean(severe ? 1.0 : 0.2));
+  scenario.transfer_scaling = core::TransferScaling::kPerTask;
+  return scenario;
+}
+
+core::ConvolutionSolver coarse_solver() {
+  core::ConvolutionOptions options;
+  options.cells = 4096;  // coarse: golden values bake in this lattice
+  return core::ConvolutionSolver(options);
+}
+
+const std::vector<ModelFamily>& golden_families() {
+  static const std::vector<ModelFamily> families = {
+      ModelFamily::kExponential, ModelFamily::kPareto1,
+      ModelFamily::kUniform};
+  return families;
+}
+
+constexpr int kL12Values[] = {0, 4, 8, 12, 16, 20};
+
+struct GoldenRow {
+  std::string family;
+  std::string delay;
+  int l12 = 0;
+  double value = 0.0;
+};
+
+std::string golden_path(const std::string& name) {
+  return std::string(AGEDTR_GOLDEN_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("AGEDTR_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void write_golden(const std::string& name,
+                  const std::vector<GoldenRow>& rows) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "family,delay,l12,value\n";
+  for (const GoldenRow& r : rows) {
+    char value[32];
+    std::snprintf(value, sizeof(value), "%.12g", r.value);
+    out << r.family << "," << r.delay << "," << r.l12 << "," << value
+        << "\n";
+  }
+}
+
+std::vector<GoldenRow> read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good())
+      << "missing golden " << golden_path(name)
+      << " (regenerate with AGEDTR_REGEN_GOLDEN=1)";
+  std::vector<GoldenRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    GoldenRow row;
+    std::string l12;
+    std::string value;
+    std::getline(fields, row.family, ',');
+    std::getline(fields, row.delay, ',');
+    std::getline(fields, l12, ',');
+    std::getline(fields, value, ',');
+    row.l12 = std::stoi(l12);
+    row.value = std::stod(value);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Computes the grid, then either rewrites the golden (regen mode) or
+/// compares row-by-row within `rtol`.
+void run_golden_case(const std::string& name, bool failures,
+                     const std::function<double(
+                         const core::ConvolutionSolver&,
+                         const std::vector<core::ServerWorkload>&)>& metric,
+                     double rtol) {
+  std::vector<GoldenRow> rows;
+  for (const ModelFamily family : golden_families()) {
+    for (const bool severe : {false, true}) {
+      const DcsScenario scenario = mini_two_server(family, severe, failures);
+      const core::ConvolutionSolver solver = coarse_solver();
+      for (const int l12 : kL12Values) {
+        GoldenRow row;
+        row.family = dist::model_family_name(family);
+        row.delay = severe ? "severe" : "low";
+        row.l12 = l12;
+        row.value = metric(
+            solver, core::apply_policy(
+                        scenario, policy::make_two_server_policy(l12, 0)));
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  if (regen_requested()) {
+    write_golden(name, rows);
+    return;
+  }
+  const std::vector<GoldenRow> golden = read_golden(name);
+  ASSERT_EQ(golden.size(), rows.size())
+      << name << ": grid shape changed; regenerate the golden";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE(name + ": " + rows[i].family + "/" + rows[i].delay +
+                 " L12=" + std::to_string(rows[i].l12));
+    EXPECT_EQ(rows[i].family, golden[i].family);
+    EXPECT_EQ(rows[i].delay, golden[i].delay);
+    EXPECT_EQ(rows[i].l12, golden[i].l12);
+    const double scale = std::max(std::abs(golden[i].value), 1e-12);
+    EXPECT_NEAR(rows[i].value, golden[i].value, rtol * scale);
+  }
+}
+
+TEST(Golden, MiniFig1MeanExecutionTime) {
+  // Fig. 1 analogue: T̄(L12) per family and delay regime, reliable servers.
+  run_golden_case("fig1_mini_mean.csv", /*failures=*/false,
+                  [](const core::ConvolutionSolver& solver,
+                     const std::vector<core::ServerWorkload>& workloads) {
+                    return solver.mean_execution_time(workloads);
+                  },
+                  /*rtol=*/1e-9);
+}
+
+TEST(Golden, MiniTable1Reliability) {
+  // Table I analogue: R(L12) with exponential failures.
+  run_golden_case("table1_mini_reliability.csv", /*failures=*/true,
+                  [](const core::ConvolutionSolver& solver,
+                     const std::vector<core::ServerWorkload>& workloads) {
+                    return solver.reliability(workloads);
+                  },
+                  /*rtol=*/1e-9);
+}
+
+TEST(Golden, MiniQos) {
+  // QoS at a mid-range deadline exercises the truncated-CDF path.
+  run_golden_case("qos_mini.csv", /*failures=*/true,
+                  [](const core::ConvolutionSolver& solver,
+                     const std::vector<core::ServerWorkload>& workloads) {
+                    return solver.qos(workloads, 60.0);
+                  },
+                  /*rtol=*/1e-9);
+}
+
+/// Structural sanity on top of the numeric pins: the mean sweep must be
+/// finite and positive, and reliability must stay in (0, 1]. Runs on the
+/// freshly computed values, so it holds in regen mode too.
+TEST(Golden, GoldenValuesAreWellFormed) {
+  for (const char* name :
+       {"fig1_mini_mean.csv", "table1_mini_reliability.csv",
+        "qos_mini.csv"}) {
+    if (regen_requested()) continue;  // previous tests just rewrote them
+    const std::vector<GoldenRow> rows = read_golden(name);
+    EXPECT_EQ(rows.size(), golden_families().size() * 2 *
+                               std::size(kL12Values))
+        << name;
+    for (const GoldenRow& r : rows) {
+      EXPECT_TRUE(std::isfinite(r.value)) << name;
+      EXPECT_GT(r.value, 0.0) << name;
+      if (name != std::string("fig1_mini_mean.csv")) {
+        EXPECT_LE(r.value, 1.0) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agedtr

@@ -14,6 +14,7 @@
 #include "agedtr/policy/resilient_eval.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
 
 namespace agedtr::policy {
 namespace {
@@ -198,6 +199,95 @@ TEST(ResilientEval, TallyAccumulatesAnswersAndDeclines) {
   EXPECT_EQ(tally.declined[static_cast<int>(EvalTier::kConvolution)], 3u);
   EXPECT_EQ(tally.declined[static_cast<int>(EvalTier::kMarkovian)], 3u);
   EXPECT_EQ(tally.total_failures, 0u);
+}
+
+const TierFailure* find_failure(const EvalOutcome& outcome, EvalTier tier) {
+  for (const TierFailure& f : outcome.failures) {
+    if (f.tier == tier) return &f;
+  }
+  return nullptr;
+}
+
+TEST(ResilientEval, DepthBudgetDeclineIsClassifiedAsDepth) {
+  // Paper scale exceeds the regenerative tier's depth cap long before its
+  // 0.5 s wall budget: the decline must name the structural axis.
+  const ResilientEvaluator eval(paper_scale_scenario(), {});
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(20, 0));
+  ASSERT_TRUE(outcome.ok);
+  const TierFailure* regen = find_failure(outcome, EvalTier::kRegenerative);
+  ASSERT_NE(regen, nullptr);
+  EXPECT_EQ(regen->cause, FailureCause::kDepthBudget);
+  EXPECT_NE(outcome.describe().find("regenerative declined [depth budget]"),
+            std::string::npos);
+}
+
+TEST(ResilientEval, WallBudgetDeclineIsClassifiedAsWall) {
+  ResilientEvalOptions options;
+  options.try_regenerative = false;
+  options.convolution.budget.max_seconds = 1e-7;  // starved: wall overrun
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(0, 0));
+  ASSERT_TRUE(outcome.ok);
+  const TierFailure* conv = find_failure(outcome, EvalTier::kConvolution);
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->cause, FailureCause::kWallBudget);
+  EXPECT_NE(outcome.describe().find("convolution declined [wall budget]"),
+            std::string::npos);
+}
+
+TEST(ResilientEval, StateCapDeclineIsClassifiedAsDepth) {
+  ResilientEvalOptions options;
+  options.try_regenerative = false;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 200;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(0, 0));
+  ASSERT_TRUE(outcome.ok);
+  const TierFailure* markov = find_failure(outcome, EvalTier::kMarkovian);
+  ASSERT_NE(markov, nullptr);
+  EXPECT_EQ(markov->cause, FailureCause::kDepthBudget);
+}
+
+TEST(ResilientEval, TallySplitsDeclinesByBudgetAxis) {
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 200;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  EvalTally tally;
+  tally.record(eval.evaluate(make_two_server_policy(10, 0)));
+  // regenerative: depth cap; convolution: wall starvation; markovian:
+  // state cap (structural, i.e. depth axis).
+  EXPECT_EQ(tally.declined_depth_budget, 2u);
+  EXPECT_EQ(tally.declined_wall_budget, 1u);
+}
+
+TEST(ResilientEval, FallbackCausesAreCountedAsMetrics) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::global();
+  ResilientEvalOptions options;
+  options.convolution.budget.max_seconds = 1e-7;
+  options.markovian_max_states = 1;
+  options.monte_carlo.replications = 200;
+  const ResilientEvaluator eval(paper_scale_scenario(), options);
+  metrics::set_enabled(true);
+  registry.reset();
+  const EvalOutcome outcome = eval.evaluate(make_two_server_policy(0, 0));
+  metrics::set_enabled(false);
+  ASSERT_TRUE(outcome.ok);
+  const metrics::Counter* wall =
+      registry.find_counter("resilient.fallback_wall_budget_total");
+  const metrics::Counter* depth =
+      registry.find_counter("resilient.fallback_depth_budget_total");
+  const metrics::Counter* answered =
+      registry.find_counter("resilient.answered.monte_carlo");
+  ASSERT_NE(wall, nullptr);
+  ASSERT_NE(depth, nullptr);
+  ASSERT_NE(answered, nullptr);
+  EXPECT_EQ(wall->value(), 1u);   // convolution starved on wall clock
+  EXPECT_EQ(depth->value(), 2u);  // regen depth cap + markovian state cap
+  EXPECT_EQ(answered->value(), 1u);
+  registry.reset();
 }
 
 TEST(ResilientEval, DescribeNamesAnsweringTierAndReasons) {
