@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+"""agedtr-lint: repo-specific determinism and contract checker.
+
+A libclang-free, regex-based linter that enforces the agedtr source
+contracts that neither the compiler nor clang-tidy can check:
+
+  entropy             no rand()/srand()/time()/std::random_device outside
+                      src/random — all randomness flows through the seeded
+                      agedtr RNG so runs stay reproducible.
+  naked-new           no naked new/delete — ownership lives in containers
+                      and smart pointers (the one sanctioned leak, the
+                      never-destroyed metrics registry, carries an inline
+                      allow).
+  no-float            no `float` in library code — every numeric path is
+                      double-precision by contract (docs/NUMERICS).
+  nodiscard-factory   every `make_*` factory declared in a public header
+                      is [[nodiscard]] — discarding a freshly built
+                      distribution/policy is always a bug.
+  require-not-throw   precondition failures at public API boundaries use
+                      AGEDTR_REQUIRE (which stamps file:line), never a bare
+                      `throw InvalidArgument(...)`.
+  include-hygiene     src/<mod>/foo.cpp includes its own header
+                      "agedtr/<mod>/foo.hpp" first, and files directly
+                      include the std headers for the std symbols they
+                      use (IWYU-lite; no transitive-only includes).
+  mutex-annotation    no raw std::mutex / std::condition_variable /
+                      std::lock_guard / std::unique_lock in src/ outside
+                      util/thread_annotations.hpp — use the annotated
+                      agedtr::Mutex / MutexLock / CondVar wrappers so
+                      Clang's -Wthread-safety analysis sees every lock.
+
+Suppression: append `agedtr-lint: allow(<rule>)` in a comment on the
+violating line or the line directly above it. Suppressions are expected to
+carry a justification in the surrounding comment (docs/STATIC_ANALYSIS.md).
+
+Usage:
+  scripts/agedtr_lint.py [paths...]   lint (default: src/)
+  scripts/agedtr_lint.py --self-test  seed one violation per rule in a
+                                      temp tree and verify each is caught
+Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+ALLOW_RE = re.compile(r"agedtr-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals and char literals, preserving
+    line structure and column positions so reported locations stay exact."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules_for_line(raw_lines: list[str], lineno: int) -> set[str]:
+    """Rules suppressed for 1-based `lineno` via same-line or preceding-line
+    `agedtr-lint: allow(rule[, rule])` comments."""
+    rules: set[str] = set()
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[idx])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations. Each takes (path, raw_lines, stripped_lines) and
+# yields Violation objects; suppression is applied by the driver.
+# ---------------------------------------------------------------------------
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"std::random_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "C rand()/srand() bypasses the seeded RNG"),
+    (re.compile(r"(?<![\w:.>])(?:std::)?time\s*\("), "wall-clock time() breaks run reproducibility"),
+]
+
+
+def rule_entropy(path, raw_lines, stripped_lines):
+    if f"{os.sep}src{os.sep}random{os.sep}" in path:
+        return
+    for lineno, line in enumerate(stripped_lines, start=1):
+        for pattern, why in ENTROPY_PATTERNS:
+            if pattern.search(line):
+                yield Violation(path, lineno, "entropy",
+                                f"{why}; route randomness through agedtr/random/rng.hpp")
+
+
+NEW_RE = re.compile(r"(?<![\w:])new\s+[\w:<(]")
+DELETE_RE = re.compile(r"(?<![\w:])delete(?:\s*\[\s*\])?\s+[\w:*(]|(?<![\w:])delete\s+\[")
+
+
+def rule_naked_new(path, raw_lines, stripped_lines):
+    for lineno, line in enumerate(stripped_lines, start=1):
+        m = NEW_RE.search(line)
+        if m:
+            yield Violation(path, lineno, "naked-new",
+                            "naked `new`; use std::make_unique/make_shared or a container")
+            continue
+        m = DELETE_RE.search(line)
+        if m:
+            # `= delete;` (deleted special member) is not a deallocation.
+            before = line[: m.start()].rstrip()
+            if before.endswith("="):
+                continue
+            yield Violation(path, lineno, "naked-new",
+                            "naked `delete`; ownership belongs to a smart pointer or container")
+
+
+FLOAT_RE = re.compile(r"(?<![\w.])float\b")
+
+
+def rule_no_float(path, raw_lines, stripped_lines):
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if FLOAT_RE.search(line):
+            yield Violation(path, lineno, "no-float",
+                            "`float` in library code; all numeric paths are double by contract")
+
+
+FACTORY_RE = re.compile(r"(?<![.\w>])(make_\w+)\s*\(")
+
+
+def rule_nodiscard_factory(path, raw_lines, stripped_lines):
+    if not path.endswith((".hpp", ".h")):
+        return
+    for lineno, line in enumerate(stripped_lines, start=1):
+        m = FACTORY_RE.search(line)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in ("make_unique", "make_shared", "make_pair", "make_tuple"):
+            continue
+        # Skip call sites: returns, assignments, and arguments.
+        prefix = line[: m.start()].rstrip()
+        if prefix.endswith(("return", "=", "(", ",", "{")) or "return " in prefix:
+            continue
+        window = stripped_lines[max(0, lineno - 3): lineno]
+        if not any("[[nodiscard]]" in w for w in window):
+            yield Violation(path, lineno, "nodiscard-factory",
+                            f"factory `{name}` declared without [[nodiscard]]")
+
+
+THROW_INVALID_RE = re.compile(r"\bthrow\s+(?:agedtr::)?InvalidArgument\s*\(")
+
+
+def rule_require_not_throw(path, raw_lines, stripped_lines):
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if THROW_INVALID_RE.search(line):
+            yield Violation(path, lineno, "require-not-throw",
+                            "bare `throw InvalidArgument`; use AGEDTR_REQUIRE so the "
+                            "message carries file:line")
+
+
+# IWYU-lite: std symbol -> the header that must be directly included.
+IWYU_MAP = {
+    "vector": r"std::vector\b",
+    "string": r"std::(?:string|to_string)\b",
+    "optional": r"std::(?:optional|nullopt)\b",
+    "functional": r"std::function\b",
+    "unordered_map": r"std::unordered_map\b",
+    "map": r"std::map\b",
+    "deque": r"std::deque\b",
+    "array": r"std::array\b",
+    "memory": r"std::(?:unique_ptr|shared_ptr|weak_ptr|make_unique|make_shared)\b",
+    "thread": r"std::thread\b",
+    "atomic": r"std::atomic\b",
+    "utility": r"std::(?:pair|move|swap|exchange)\b",
+    "algorithm": r"std::(?:sort|stable_sort|any_of|all_of|none_of|clamp|min_element|max_element|find_if|count_if|fill|copy|transform|lower_bound|upper_bound)\b",
+    "cstdint": r"std::u?int(?:8|16|32|64)_t\b",
+    "chrono": r"std::chrono\b",
+    "sstream": r"std::[io]?stringstream\b",
+    "fstream": r"std::[io]?fstream\b",
+    "limits": r"std::numeric_limits\b",
+    "complex": r"std::complex\b",
+    "future": r"std::(?:future|promise|packaged_task)\b",
+    "stdexcept": r"std::(?:runtime_error|logic_error|invalid_argument|out_of_range)\b",
+    "cmath": r"std::(?:sqrt|cbrt|exp|expm1|log|log1p|log2|pow|sin|cos|tan|atan2?|isfinite|isnan|isinf|floor|ceil|round|lround|fabs|fmod|hypot|erfc?|tgamma|lgamma)\b",
+}
+IWYU_COMPILED = {hdr: re.compile(pat) for hdr, pat in IWYU_MAP.items()}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+[<"]([^">]+)[">]')
+
+
+def rule_include_hygiene(path, raw_lines, stripped_lines):
+    includes = []  # (lineno, header)
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            includes.append((lineno, m.group(1)))
+    included = {h for _, h in includes}
+
+    # Own-header-first: src/<mod>/foo.cpp must include agedtr/<mod>/foo.hpp
+    # before anything else, so every public header is verified self-contained.
+    rel = os.path.relpath(path, REPO_ROOT)
+    m = re.match(r"src/(\w+)/([\w.]+)\.cpp$", rel.replace(os.sep, "/"))
+    if m and includes:
+        module, stem = m.group(1), m.group(2)
+        own = f"agedtr/{module}/{stem}.hpp"
+        own_disk = os.path.join(REPO_ROOT, "src", module, "include", "agedtr",
+                                module, stem + ".hpp")
+        if os.path.exists(own_disk):
+            first_line, first_header = includes[0]
+            if first_header != own:
+                yield Violation(path, first_line, "include-hygiene",
+                                f'own header "{own}" must be the first include')
+
+    # IWYU-lite: each std symbol used requires its header included directly.
+    body = "\n".join(stripped_lines)
+    for header, pattern in IWYU_COMPILED.items():
+        if header in included:
+            continue
+        m = pattern.search(body)
+        if m:
+            lineno = body.count("\n", 0, m.start()) + 1
+            yield Violation(path, lineno, "include-hygiene",
+                            f"uses `{m.group(0)}` but does not include <{header}> "
+                            "directly (transitive-only include)")
+
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:mutex|condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|shared_mutex|shared_lock)\b")
+
+
+def rule_mutex_annotation(path, raw_lines, stripped_lines):
+    if path.endswith(os.path.join("util", "thread_annotations.hpp")):
+        return
+    for lineno, line in enumerate(stripped_lines, start=1):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            yield Violation(path, lineno, "mutex-annotation",
+                            f"raw `{m.group(0)}`; use the annotated agedtr::Mutex/"
+                            "MutexLock/CondVar (util/thread_annotations.hpp) so "
+                            "-Wthread-safety sees the lock")
+
+
+RULES = [
+    rule_entropy,
+    rule_naked_new,
+    rule_no_float,
+    rule_nodiscard_factory,
+    rule_require_not_throw,
+    rule_include_hygiene,
+    rule_mutex_annotation,
+]
+
+RULE_IDS = ["entropy", "naked-new", "no-float", "nodiscard-factory",
+            "require-not-throw", "include-hygiene", "mutex-annotation"]
+
+
+def lint_file(path: str) -> list[Violation]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    # Keep the two views line-aligned even for files with odd trailing state.
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+    violations = []
+    for rule in RULES:
+        for v in rule(path, raw_lines, stripped_lines):
+            if v.rule not in allowed_rules_for_line(raw_lines, v.line):
+                violations.append(v)
+    return violations
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(SOURCE_EXTENSIONS):
+                files.append(os.path.abspath(p))
+        else:
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(set(files))
+
+
+def run_lint(paths: list[str]) -> int:
+    files = collect_files(paths)
+    if not files:
+        print("agedtr-lint: no source files found under given paths",
+              file=sys.stderr)
+        return 2
+    violations = []
+    for path in files:
+        violations.extend(lint_file(path))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"agedtr-lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    print(f"agedtr-lint: OK ({len(files)} files clean)", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one violation per rule class in a temp tree and verify the
+# linter catches each — and that allow() comments suppress them.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_SEEDS = {
+    "entropy": "void f() { std::random_device rd; }\n",
+    "naked-new": "int* p = new int(3);\n",
+    "no-float": "float x = 1.0f;\n",
+    "require-not-throw":
+        'void f() { throw InvalidArgument("bad"); }\n',
+    "mutex-annotation": "std::mutex m_;\n",
+}
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="agedtr-lint-selftest-") as tmp:
+        seeded = {}
+        for rule, body in SELF_TEST_SEEDS.items():
+            path = os.path.join(tmp, f"{rule.replace('-', '_')}.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(body)
+            seeded[rule] = path
+        # nodiscard-factory needs a header.
+        hdr = os.path.join(tmp, "factory.hpp")
+        with open(hdr, "w", encoding="utf-8") as f:
+            f.write("DistPtr make_exponential(double rate);\n")
+        seeded["nodiscard-factory"] = hdr
+        # include-hygiene: std symbol with no matching include.
+        inc = os.path.join(tmp, "hygiene.cpp")
+        with open(inc, "w", encoding="utf-8") as f:
+            f.write("#include <string>\nstd::vector<int> v;\n")
+        seeded["include-hygiene"] = inc
+
+        for rule, path in seeded.items():
+            found = [v for v in lint_file(path) if v.rule == rule]
+            if not found:
+                failures.append(f"rule `{rule}` missed its seeded violation")
+
+        # A violation inside a comment or string must NOT fire.
+        quiet = os.path.join(tmp, "quiet.cpp")
+        with open(quiet, "w", encoding="utf-8") as f:
+            f.write('// float in a comment\nconst char* s = "new int";\n')
+        if lint_file(quiet):
+            failures.append("violation reported inside a comment or string")
+
+        # allow() on the same line and on the preceding line both suppress.
+        allowed = os.path.join(tmp, "allowed.cpp")
+        with open(allowed, "w", encoding="utf-8") as f:
+            f.write("int* p = new int(3);  // agedtr-lint: allow(naked-new)\n"
+                    "// justified: never destroyed. agedtr-lint: allow(naked-new)\n"
+                    "int* q = new int(4);\n")
+        if lint_file(allowed):
+            failures.append("allow() comment failed to suppress")
+
+        # `= delete;` (deleted member) must not trip naked-new.
+        deleted = os.path.join(tmp, "deleted.hpp")
+        with open(deleted, "w", encoding="utf-8") as f:
+            f.write("struct S { S(const S&) = delete;\n"
+                    "  S& operator=(const S&) =\n      delete; };\n")
+        if [v for v in lint_file(deleted) if v.rule == "naked-new"]:
+            failures.append("`= delete;` misreported as naked delete")
+
+    if failures:
+        for f_ in failures:
+            print(f"agedtr-lint self-test FAIL: {f_}", file=sys.stderr)
+        return 1
+    print(f"agedtr-lint self-test OK ({len(SELF_TEST_SEEDS) + 2} rule classes, "
+          "suppression, and comment/string stripping verified)", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--help" in args or "-h" in args:
+        print(__doc__)
+        return 0
+    if "--self-test" in args:
+        return self_test()
+    paths = args or [os.path.join(REPO_ROOT, "src")]
+    return run_lint(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

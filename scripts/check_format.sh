@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# clang-format conformance check (docs/STATIC_ANALYSIS.md).
+#
+# Usage:
+#   scripts/check_format.sh          check every tracked C++ file
+#   scripts/check_format.sh --diff   check only files changed vs the
+#                                    merge-base with origin/main (or HEAD~1
+#                                    when origin/main is absent)
+#
+# Prints a unified diff of what clang-format would change; exits 1 if any
+# file is misformatted, 0 when clean. Skips with a notice (exit 0) when
+# clang-format is not installed, so local runs without the LLVM toolchain
+# are not blocked — CI installs it and enforces for real.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: SKIP (clang-format not installed)" >&2
+  exit 0
+fi
+
+cd "$ROOT"
+
+if [ "${1:-}" = "--diff" ]; then
+  base="$(git merge-base HEAD origin/main 2>/dev/null ||
+          git rev-parse HEAD~1 2>/dev/null || echo HEAD)"
+  files="$(git diff --name-only --diff-filter=d "$base" -- \
+             '*.cpp' '*.hpp' '*.h' '*.cc')"
+else
+  files="$(git ls-files '*.cpp' '*.hpp' '*.h' '*.cc')"
+fi
+
+if [ -z "$files" ]; then
+  echo "check_format: no C++ files to check" >&2
+  exit 0
+fi
+
+status=0
+bad=0
+total=0
+while read -r f; do
+  [ -f "$f" ] || continue
+  total=$((total + 1))
+  if ! diff -u --label "$f (tracked)" --label "$f (clang-format)" \
+       "$f" <(clang-format --style=file "$f"); then
+    bad=$((bad + 1))
+    status=1
+  fi
+done <<EOF
+$files
+EOF
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: $bad of $total file(s) misformatted" >&2
+else
+  echo "check_format: OK ($total files)" >&2
+fi
+exit "$status"

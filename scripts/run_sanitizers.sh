@@ -17,6 +17,14 @@
 #                                        # whole tree still builds); TSan
 #                                        # runs ~10x slow, so CI points it
 #                                        # at the concurrency-heavy suites
+#   scripts/run_sanitizers.sh --ubsan-strict
+#                                        # add -fsanitize=integer,implicit-conversion
+#                                        # to the ASan+UBSan pass. Clang-only
+#                                        # (GCC's UBSan has no such groups;
+#                                        # the script refuses early). The
+#                                        # tree is expected clean: every
+#                                        # numeric narrowing is an explicit
+#                                        # static_cast (docs/STATIC_ANALYSIS.md)
 #
 # Each configuration builds out-of-tree in build-asan/ / build-tsan/ so the
 # regular build/ directory is left untouched.
@@ -27,16 +35,31 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
 tsan_regex=""
+ubsan_strict=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --tsan) run_tsan=1 ;;
     --no-tsan) run_tsan=0 ;;
     --tsan-regex) tsan_regex="$2"; shift ;;
+    --ubsan-strict) ubsan_strict=1 ;;
     -j) jobs="$2"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+ubsan_list="address;undefined"
+if [[ "${ubsan_strict}" -eq 1 ]]; then
+  # The integer/implicit-conversion groups only exist in Clang's UBSan;
+  # fail fast with a real explanation instead of a cryptic cc1 error.
+  compiler_id=$("${CXX:-c++}" --version 2>/dev/null | head -1 || true)
+  if [[ "${compiler_id}" != *clang* ]]; then
+    echo "--ubsan-strict needs Clang (CXX=${CXX:-c++} is: ${compiler_id:-unknown})." >&2
+    echo "GCC's UBSan has no integer/implicit-conversion groups; set CXX=clang++." >&2
+    exit 2
+  fi
+  ubsan_list="address;undefined;integer;implicit-conversion"
+fi
 
 run_config() {
   local name="$1" sanitizers="$2" env_setup="$3"
@@ -53,7 +76,7 @@ run_config() {
 
 # halt_on_error keeps the first report, abort_on_error gives ctest a
 # nonzero exit; detect_leaks needs ptrace, which some CI sandboxes deny.
-run_config asan "address;undefined" \
+run_config asan "${ubsan_list}" \
   "export ASAN_OPTIONS=abort_on_error=1:detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1"
 
 if [[ "${run_tsan}" -eq 1 ]]; then

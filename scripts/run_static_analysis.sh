@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Single entry point for the agedtr static-analysis gate (docs/STATIC_ANALYSIS.md).
+#
+# Stages, in order:
+#   1. agedtr-lint        determinism/contract checker (python3; always runs)
+#   2. format             clang-format dry-run over the tree (skips with a
+#                         notice when clang-format is not installed)
+#   3. clang-tidy         curated .clang-tidy profile against a checked-in
+#                         baseline; only NEW findings fail the gate (skips
+#                         with a notice when clang-tidy is not installed)
+#
+# Usage:
+#   scripts/run_static_analysis.sh [--regen-baseline] [--report FILE]
+#
+#   --regen-baseline   rewrite scripts/clang_tidy_baseline.txt from the
+#                      current tree (use after deliberately accepting a
+#                      finding; justify in the commit message)
+#   --report FILE      also write the raw clang-tidy output to FILE
+#                      (uploaded as a CI artifact)
+#
+# Exit status: 0 = clean (skipped stages do not fail), 1 = violations.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BASELINE="$ROOT/scripts/clang_tidy_baseline.txt"
+BUILD_DIR="${AGEDTR_TIDY_BUILD_DIR:-$ROOT/build-tidy}"
+REGEN=0
+REPORT=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --regen-baseline) REGEN=1 ;;
+    --report) REPORT="$2"; shift ;;
+    -h|--help) sed -n '2,22p' "$0"; exit 0 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+failures=0
+
+note() { printf '== %s\n' "$*"; }
+
+# ---------------------------------------------------------------- agedtr-lint
+note "agedtr-lint (determinism/contract checker)"
+if python3 "$ROOT/scripts/agedtr_lint.py" "$ROOT/src"; then
+  :
+else
+  failures=$((failures + 1))
+fi
+
+# --------------------------------------------------------------------- format
+note "clang-format check"
+if command -v clang-format >/dev/null 2>&1; then
+  if "$ROOT/scripts/check_format.sh"; then
+    :
+  else
+    failures=$((failures + 1))
+  fi
+else
+  note "SKIP: clang-format not installed (see docs/STATIC_ANALYSIS.md)"
+fi
+
+# ----------------------------------------------------------------- clang-tidy
+note "clang-tidy (curated profile, baseline-gated)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    note "configuring $BUILD_DIR for compile_commands.json"
+    cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 2
+  fi
+
+  tidy_raw="$(mktemp)"
+  # run-clang-tidy parallelizes across the compilation database; fall back
+  # to a serial loop when only the bare binary is present.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "$ROOT/(src|bench|tests)/" \
+      >"$tidy_raw" 2>/dev/null
+  else
+    git -C "$ROOT" ls-files 'src/**/*.cpp' 'bench/*.cpp' 'tests/*.cpp' |
+      while read -r f; do
+        clang-tidy -quiet -p "$BUILD_DIR" "$ROOT/$f" 2>/dev/null
+      done >"$tidy_raw"
+  fi
+  [ -n "$REPORT" ] && cp "$tidy_raw" "$REPORT"
+
+  # Fingerprint findings as file:[check] message — line numbers are dropped
+  # so unrelated edits above a known finding do not churn the baseline.
+  fingerprints="$(mktemp)"
+  sed -nE "s|^$ROOT/([^:]+):[0-9]+:[0-9]+: (warning\|error): (.*) (\[[a-z0-9.,-]+\])\$|\1: \4 \3|p" \
+    "$tidy_raw" | LC_ALL=C sort -u >"$fingerprints"
+
+  if [ "$REGEN" -eq 1 ]; then
+    {
+      echo "# clang-tidy accepted-findings baseline (docs/STATIC_ANALYSIS.md)."
+      echo "# Regenerate with scripts/run_static_analysis.sh --regen-baseline."
+      echo "# Every entry is a deliberately accepted finding; new findings"
+      echo "# (anything not listed here) fail the static-analysis gate."
+      cat "$fingerprints"
+    } >"$BASELINE"
+    note "baseline regenerated: $(grep -cv '^#' "$BASELINE") finding(s)"
+  else
+    new_findings="$(grep -v '^#' "$BASELINE" 2>/dev/null |
+      LC_ALL=C comm -13 - "$fingerprints")"
+    if [ -n "$new_findings" ]; then
+      echo "new clang-tidy findings (not in $BASELINE):"
+      echo "$new_findings"
+      failures=$((failures + 1))
+    else
+      note "clang-tidy: no findings beyond baseline"
+    fi
+  fi
+  rm -f "$tidy_raw" "$fingerprints"
+else
+  note "SKIP: clang-tidy not installed (see docs/STATIC_ANALYSIS.md)"
+fi
+
+# ---------------------------------------------------------------------- total
+if [ "$failures" -gt 0 ]; then
+  note "static analysis FAILED ($failures stage(s))"
+  exit 1
+fi
+note "static analysis OK"

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
@@ -63,18 +65,21 @@ ConvolutionSolver::ConvolutionSolver(
   AGEDTR_REQUIRE(options_.horizon_multiple >= 1.0,
                  "ConvolutionSolver: horizon multiple must be >= 1");
   if (workspace_ == nullptr) workspace_ = std::make_shared<LatticeWorkspace>();
-  if (options_.dt > 0.0) dt_ = options_.dt;
+  if (options_.dt > 0.0) {
+    MutexLock lock(&mutex_);  // uncontended; satisfies dt_'s capability
+    dt_ = options_.dt;
+  }
 }
 
 double ConvolutionSolver::dt() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   AGEDTR_REQUIRE(dt_ > 0.0, "ConvolutionSolver: grid not yet derived");
   return dt_;
 }
 
 void ConvolutionSolver::ensure_grid(
     const std::vector<ServerWorkload>& workloads) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (dt_ > 0.0) return;
   double horizon = options_.horizon;
   if (horizon <= 0.0) {
@@ -104,7 +109,7 @@ const LatticeDensity& ConvolutionSolver::base_lattice(
     const dist::DistPtr& law) const {
   double dt;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     AGEDTR_ASSERT(dt_ > 0.0);
     dt = dt_;
   }
@@ -115,7 +120,7 @@ LatticeDensity ConvolutionSolver::service_sum(const dist::DistPtr& service,
                                               unsigned k) const {
   double dt;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     AGEDTR_ASSERT(dt_ > 0.0);
     dt = dt_;
   }
@@ -129,7 +134,7 @@ LatticeDensity ConvolutionSolver::completion_density(
   AGEDTR_REQUIRE(workload.local_tasks >= 0,
                  "completion_density: negative local task count");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     AGEDTR_REQUIRE(dt_ > 0.0,
                    "completion_density: call a metric first or set dt "
                    "explicitly (the grid must be frozen)");

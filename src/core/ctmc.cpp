@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

@@ -27,13 +27,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/numerics/lattice.hpp"
 #include "agedtr/util/budget.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::core {
 
@@ -153,8 +153,8 @@ class ConvolutionSolver {
   // workspace, keyed by (law, dt, cells); the solver itself only freezes
   // the grid.
   std::shared_ptr<LatticeWorkspace> workspace_;
-  mutable std::mutex mutex_;  // guards dt_
-  mutable double dt_ = 0.0;
+  mutable Mutex mutex_;
+  mutable double dt_ AGEDTR_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace agedtr::core

@@ -32,12 +32,11 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "agedtr/dist/distribution.hpp"
 #include "agedtr/numerics/lattice.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::core {
 
@@ -108,9 +107,9 @@ class LatticeWorkspace {
   };
 
   /// Locates (creating on miss) the entry for (law, dt, cells). Caller must
-  /// hold `mutex_`.
+  /// hold `mutex_` (compile-time enforced under Clang).
   LawEntry& entry_locked(const dist::DistPtr& law, double dt,
-                         std::size_t cells);
+                         std::size_t cells) AGEDTR_REQUIRES(mutex_);
 
   [[nodiscard]] static std::uint64_t density_bytes(
       const numerics::LatticeDensity& d) {
@@ -118,9 +117,9 @@ class LatticeWorkspace {
     return static_cast<std::uint64_t>(d.size()) * 2u * sizeof(double);
   }
 
-  mutable std::mutex mutex_;
-  std::map<GridKey, LawEntry> entries_;
-  WorkspaceStats stats_;
+  mutable Mutex mutex_;
+  std::map<GridKey, LawEntry> entries_ AGEDTR_GUARDED_BY(mutex_);
+  WorkspaceStats stats_ AGEDTR_GUARDED_BY(mutex_);
 };
 
 }  // namespace agedtr::core

@@ -1,6 +1,7 @@
 #include "agedtr/core/lattice_workspace.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/util/error.hpp"
@@ -54,7 +55,7 @@ const LatticeDensity& LatticeWorkspace::base(const dist::DistPtr& law,
                                              double dt, std::size_t cells) {
   AGEDTR_REQUIRE(law != nullptr, "LatticeWorkspace::base: null law");
   AGEDTR_REQUIRE(dt > 0.0, "LatticeWorkspace::base: dt must be positive");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const bool known =
       entries_.find(GridKey{law.get(), dt, cells}) != entries_.end();
   if (known) {
@@ -81,7 +82,7 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
   // not serialize on the per-k convolution work.
   std::vector<LatticeDensity> rungs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     LawEntry& entry = entry_locked(law, dt, cells);
     const auto it = entry.sums.find(k);
     if (it != entry.sums.end()) {
@@ -108,7 +109,7 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
   }
   result.ensure_cdf();  // cached entries are shared across threads
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     LawEntry& entry = entry_locked(law, dt, cells);
     const auto [ins, fresh] = entry.sums.emplace(k, result);
     if (fresh) {
@@ -120,12 +121,12 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
 }
 
 WorkspaceStats LatticeWorkspace::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
 void LatticeWorkspace::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   entries_.clear();
   stats_ = WorkspaceStats{};
 }

@@ -1,6 +1,10 @@
 #include "agedtr/core/markovian.hpp"
 
 #include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/util/error.hpp"

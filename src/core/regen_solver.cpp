@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "agedtr/numerics/quadrature.hpp"
 #include "agedtr/util/error.hpp"

@@ -2,6 +2,8 @@
 
 #include <numeric>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/dist/sum_iid.hpp"
 #include "agedtr/util/error.hpp"

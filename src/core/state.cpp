@@ -1,5 +1,8 @@
 #include "agedtr/core/state.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "agedtr/dist/sum_iid.hpp"
 #include "agedtr/util/error.hpp"
 

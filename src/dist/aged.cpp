@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "agedtr/numerics/quadrature.hpp"
 #include "agedtr/util/error.hpp"

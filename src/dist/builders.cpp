@@ -1,5 +1,8 @@
 #include "agedtr/dist/builders.hpp"
 
+#include <string>
+#include <vector>
+
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/dist/pareto.hpp"
 #include "agedtr/dist/uniform.hpp"
@@ -39,7 +42,7 @@ ModelFamily parse_model_family(const std::string& name) {
   if (name == "pareto2") return ModelFamily::kPareto2;
   if (name == "shifted_exponential") return ModelFamily::kShiftedExponential;
   if (name == "uniform") return ModelFamily::kUniform;
-  throw InvalidArgument("parse_model_family: unknown family: " + name);
+  AGEDTR_REQUIRE(false, "parse_model_family: unknown family: " + name);
 }
 
 DistPtr make_model_distribution(ModelFamily family, double mean) {

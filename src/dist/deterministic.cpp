@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

@@ -1,6 +1,7 @@
 #include "agedtr/dist/distribution.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "agedtr/numerics/quadrature.hpp"
 #include "agedtr/numerics/roots.hpp"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

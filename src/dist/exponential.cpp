@@ -1,6 +1,8 @@
 #include "agedtr/dist/exponential.hpp"
 
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

@@ -1,6 +1,8 @@
 #include "agedtr/dist/gamma.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "agedtr/numerics/special.hpp"
 #include "agedtr/util/error.hpp"

@@ -7,6 +7,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 class Aged final : public Distribution {

@@ -6,6 +6,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 class Deterministic final : public Distribution {

@@ -4,6 +4,7 @@
 // and the best fit drives the solvers.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "agedtr/dist/distribution.hpp"

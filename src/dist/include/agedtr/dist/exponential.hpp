@@ -8,6 +8,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 class Exponential final : public Distribution {

@@ -6,6 +6,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 /// Gamma(shape k, scale θ): pdf x^{k−1} e^{−x/θ} / (Γ(k) θ^k), x >= 0.

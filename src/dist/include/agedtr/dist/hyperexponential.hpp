@@ -6,6 +6,7 @@
 // zoo for ablations on tail weight at fixed mean.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "agedtr/dist/distribution.hpp"

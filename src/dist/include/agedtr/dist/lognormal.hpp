@@ -4,6 +4,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 /// LogNormal(mu, sigma): ln X ~ N(mu, sigma²).

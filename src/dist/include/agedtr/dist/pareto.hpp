@@ -6,6 +6,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 /// Pareto type I: S(x) = (xm/x)^α for x >= xm > 0.

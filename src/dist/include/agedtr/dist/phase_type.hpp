@@ -10,6 +10,9 @@
 #pragma once
 
 #include "agedtr/dist/distribution.hpp"
+
+#include <string>
+#include <vector>
 #include "agedtr/numerics/matrix.hpp"
 
 namespace agedtr::dist {

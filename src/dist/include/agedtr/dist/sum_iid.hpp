@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "agedtr/dist/distribution.hpp"
 #include "agedtr/numerics/interp.hpp"

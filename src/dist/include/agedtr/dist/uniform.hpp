@@ -5,6 +5,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 class Uniform final : public Distribution {

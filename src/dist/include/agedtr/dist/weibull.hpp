@@ -5,6 +5,8 @@
 
 #include "agedtr/dist/distribution.hpp"
 
+#include <string>
+
 namespace agedtr::dist {
 
 /// Weibull(shape k, scale λ): S(x) = exp(−(x/λ)^k), x >= 0.

@@ -1,6 +1,9 @@
 #include "agedtr/dist/pareto.hpp"
 
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

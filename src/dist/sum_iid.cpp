@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::dist {
 namespace {
 
-std::mutex g_lattice_mutex;  // guards the lazy lattice build
+Mutex g_lattice_mutex;  // guards the lazy lattice build
 
 }  // namespace
 
@@ -22,7 +26,7 @@ SumIid::SumIid(DistPtr base, unsigned count, std::size_t cells)
 }
 
 void SumIid::ensure_lattice() const {
-  std::lock_guard<std::mutex> lock(g_lattice_mutex);
+  MutexLock lock(&g_lattice_mutex);
   if (lattice_) return;
   const double horizon =
       suggest_horizon(*base_, count_, /*tail_budget=*/1e-9) * 1.5;

@@ -1,6 +1,9 @@
 #include "agedtr/dist/weibull.hpp"
 
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "agedtr/numerics/special.hpp"
 #include "agedtr/util/error.hpp"

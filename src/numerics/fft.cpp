@@ -1,6 +1,9 @@
 #include "agedtr/numerics/fft.hpp"
 
 #include <cmath>
+#include <complex>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

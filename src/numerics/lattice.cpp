@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "agedtr/numerics/fft.hpp"
 #include "agedtr/util/error.hpp"

@@ -1,6 +1,8 @@
 #include "agedtr/numerics/matrix.hpp"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

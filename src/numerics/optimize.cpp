@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::numerics {
 namespace {
@@ -64,8 +65,8 @@ Interval gk15(const Integrand& f, double a, double b) {
 const GaussRule& gauss_rule(int n) {
   AGEDTR_REQUIRE(n >= 2 && n <= 256, "gauss_rule: order must be in [2, 256]");
   static std::map<int, GaussRule> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  static Mutex mutex;
+  MutexLock lock(&mutex);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   GaussRule rule;

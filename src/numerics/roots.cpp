@@ -1,6 +1,7 @@
 #include "agedtr/numerics/roots.hpp"
 
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "agedtr/util/error.hpp"

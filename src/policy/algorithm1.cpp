@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -155,7 +156,12 @@ std::string algorithm1_checkpoint_tag(const core::DcsScenario& scenario,
   }
   tag += "|est";
   for (const auto& row : estimates) {
-    for (const int e : row) tag += " " + std::to_string(e);
+    // Append in two steps: `tag += " " + std::to_string(e)` trips GCC 12's
+    // -Wrestrict false positive (PR105651) on the concatenation temporary.
+    for (const int e : row) {
+      tag += ' ';
+      tag += std::to_string(e);
+    }
   }
   tag += "|opts " + std::to_string(options.max_iterations) + " " +
          std::to_string(static_cast<int>(options.criterion)) + " " +
@@ -218,7 +224,7 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
       journal->crash_after_records_for_testing(
           options_.checkpoint_crash_after_units);
     }
-    if (const std::string* done = journal->find("result")) {
+    if (const std::optional<std::string> done = journal->find("result")) {
       Algorithm1Result resumed = parse_result(*done);
       resumed.journal_hits = journal->stats().hits;
       return resumed;
@@ -250,7 +256,7 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
                       " " + std::to_string(m1)
                 : std::string();
     if (journal) {
-      if (const std::string* replay = journal->find(unit)) {
+      if (const std::optional<std::string> replay = journal->find(unit)) {
         return std::stoi(*replay);
       }
     }

@@ -2,12 +2,14 @@
 
 #include <limits>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::policy {
 
@@ -44,13 +46,13 @@ struct EvaluationEngine::Impl {
   // Markovian group-transfer memo: (per-task base law, group size) -> the
   // flattened exponential. Stable identities keep the workspace's
   // identity-keyed cache effective across evaluations.
-  mutable std::mutex law_mutex;
+  mutable Mutex law_mutex;
   mutable std::map<std::pair<const dist::Distribution*, int>, dist::DistPtr>
-      group_laws;
+      group_laws AGEDTR_GUARDED_BY(law_mutex);
 
   [[nodiscard]] dist::DistPtr flattened_group_law(const dist::DistPtr& base,
                                                   int tasks) const {
-    std::lock_guard<std::mutex> lock(law_mutex);
+    MutexLock lock(&law_mutex);
     auto& law = group_laws[{base.get(), tasks}];
     if (law == nullptr) {
       law = dist::Exponential::with_mean(base->mean() * tasks);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "agedtr/core/scenario.hpp"

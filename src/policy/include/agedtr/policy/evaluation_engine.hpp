@@ -35,6 +35,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "agedtr/core/convolution.hpp"

@@ -1,6 +1,7 @@
 #include "agedtr/policy/initial_policy.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

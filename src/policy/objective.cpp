@@ -1,5 +1,6 @@
 #include "agedtr/policy/objective.hpp"
 
+#include <string>
 #include <utility>
 
 #include "agedtr/dist/exponential.hpp"

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/core/ctmc.hpp"
 #include "agedtr/core/markovian.hpp"
@@ -219,12 +223,10 @@ double ResilientEvaluator::evaluate_convolution(
 
 double ResilientEvaluator::evaluate_markovian(
     const core::DtrPolicy& policy) const {
-  if (!options_.allow_markovian_approximation &&
-      !scenario_is_memoryless(*scenario_)) {
-    throw InvalidArgument(
-        "Markovian tier: scenario has non-exponential laws and "
-        "allow_markovian_approximation is off");
-  }
+  AGEDTR_REQUIRE(options_.allow_markovian_approximation ||
+                     scenario_is_memoryless(*scenario_),
+                 "Markovian tier: scenario has non-exponential laws and "
+                 "allow_markovian_approximation is off");
   const double states = markovian_state_estimate(*exponentialized_, policy);
   if (states > static_cast<double>(options_.markovian_max_states)) {
     // Structural, like a recursion-depth overrun: the state space is a

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/lattice_workspace.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/util/error.hpp"

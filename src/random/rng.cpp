@@ -1,5 +1,8 @@
 #include "agedtr/random/rng.hpp"
 
+#include <array>
+#include <cstdint>
+
 namespace agedtr::random {
 namespace {
 

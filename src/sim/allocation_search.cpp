@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/lattice_workspace.hpp"

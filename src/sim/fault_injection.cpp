@@ -1,6 +1,7 @@
 #include "agedtr/sim/fault_injection.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "agedtr/util/error.hpp"
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "agedtr/sim/simulator.hpp"
 #include "agedtr/stats/summary.hpp"

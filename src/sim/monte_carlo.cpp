@@ -1,6 +1,8 @@
 #include "agedtr/sim/monte_carlo.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/dist/gamma.hpp"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/stats/fit.hpp"
 #include "agedtr/stats/summary.hpp"

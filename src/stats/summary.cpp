@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <vector>
 
 #include "agedtr/numerics/special.hpp"
 #include "agedtr/util/error.hpp"

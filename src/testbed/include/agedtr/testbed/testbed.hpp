@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/sim/monte_carlo.hpp"

@@ -1,6 +1,9 @@
 #include "agedtr/testbed/testbed.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/dist/gamma.hpp"

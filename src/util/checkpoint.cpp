@@ -1,18 +1,21 @@
 #include "agedtr/util/checkpoint.hpp"
 
-#include <cstdint>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <utility>
-
-#include "agedtr/util/error.hpp"
-#include "agedtr/util/metrics.hpp"
 
 #if !defined(_WIN32)
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+#include <cstdint>
+#include <cstdio>
 #include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <unistd.h>
+#include <utility>
+#include <vector>
 #endif
 
 namespace agedtr {
@@ -125,6 +128,7 @@ void sync_parent_directory(const std::string& path) {
 Checkpoint::Checkpoint(std::string path, std::string tag, bool resume)
     : path_(std::move(path)), tag_(std::move(tag)) {
   AGEDTR_REQUIRE(!path_.empty(), "Checkpoint: path must not be empty");
+  MutexLock lock(&mutex_);  // uncontended; satisfies load()'s capability
   load(resume);
 }
 
@@ -209,25 +213,30 @@ void Checkpoint::load(bool resume) {
   stats_.loaded_units = units_.size();
 }
 
-const std::string* Checkpoint::find(const std::string& key) {
+const std::string* Checkpoint::find_locked(const std::string& key) const {
   for (const auto& [k, payload] : units_) {
-    if (k == key) {
-      ++stats_.hits;
-      return &payload;
-    }
+    if (k == key) return &payload;
   }
   return nullptr;
 }
 
-bool Checkpoint::contains(const std::string& key) const {
-  for (const auto& [k, payload] : units_) {
-    if (k == key) return true;
+std::optional<std::string> Checkpoint::find(const std::string& key) {
+  MutexLock lock(&mutex_);
+  if (const std::string* payload = find_locked(key)) {
+    ++stats_.hits;
+    return *payload;
   }
-  return false;
+  return std::nullopt;
 }
 
-void Checkpoint::record(const std::string& key, const std::string& payload) {
-  AGEDTR_REQUIRE(!contains(key),
+bool Checkpoint::contains(const std::string& key) const {
+  MutexLock lock(&mutex_);
+  return find_locked(key) != nullptr;
+}
+
+void Checkpoint::record_locked(const std::string& key,
+                               const std::string& payload) {
+  AGEDTR_REQUIRE(find_locked(key) == nullptr,
                  "Checkpoint: unit '" + key + "' recorded twice");
   if (crash_after_ != 0 && records_until_crash_ == 0) {
     throw CheckpointError("Checkpoint: injected crash after " +
@@ -246,17 +255,51 @@ void Checkpoint::record(const std::string& key, const std::string& payload) {
   if (crash_after_ != 0) --records_until_crash_;
 }
 
+void Checkpoint::record(const std::string& key, const std::string& payload) {
+  MutexLock lock(&mutex_);
+  record_locked(key, payload);
+}
+
 std::string Checkpoint::run_unit(const std::string& key,
                                  const std::function<std::string()>& compute) {
-  if (const std::string* payload = find(key)) return *payload;
+  {
+    MutexLock lock(&mutex_);
+    if (const std::string* payload = find_locked(key)) {
+      ++stats_.hits;
+      return *payload;
+    }
+  }
+  // compute() runs outside the lock: units are expensive (a whole solved
+  // subproblem) and must not serialize the journal for other workers.
   std::string payload = compute();
-  record(key, payload);
+  MutexLock lock(&mutex_);
+  if (const std::string* existing = find_locked(key)) {
+    ++stats_.hits;  // another worker raced us to this unit; its result wins
+    return *existing;
+  }
+  record_locked(key, payload);
   return payload;
 }
 
 void Checkpoint::crash_after_records_for_testing(std::size_t n) {
+  MutexLock lock(&mutex_);
   crash_after_ = n;
   records_until_crash_ = n;
+}
+
+std::size_t Checkpoint::size() const {
+  MutexLock lock(&mutex_);
+  return units_.size();
+}
+
+std::vector<std::pair<std::string, std::string>> Checkpoint::units() const {
+  MutexLock lock(&mutex_);
+  return units_;
+}
+
+CheckpointStats Checkpoint::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
 }
 
 void Checkpoint::persist() const {

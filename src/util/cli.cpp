@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/strings.hpp"

@@ -25,13 +25,21 @@
 // The tag is the producer's contract: it must fingerprint every input that
 // influences a unit's payload (scenario, options, seeds), so that a
 // checkpoint can never leak results across configurations.
+//
+// Thread safety. All methods are safe to call concurrently (supervised
+// batches record units from pool workers); one annotated mutex guards the
+// journal, and record()/run_unit() persist while holding it so the on-disk
+// snapshot order always matches the in-memory journal order.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr {
 
@@ -56,8 +64,10 @@ class Checkpoint {
   /// whatever is on disk (the first record() then overwrites it).
   Checkpoint(std::string path, std::string tag, bool resume = true);
 
-  /// The payload journaled under `key`, or nullptr. Counts a hit.
-  [[nodiscard]] const std::string* find(const std::string& key);
+  /// The payload journaled under `key`, or nullopt. Counts a hit. Returns
+  /// a copy: concurrent record() calls may grow the journal, so references
+  /// into it must not escape the lock.
+  [[nodiscard]] std::optional<std::string> find(const std::string& key);
 
   [[nodiscard]] bool contains(const std::string& key) const;
 
@@ -69,18 +79,17 @@ class Checkpoint {
   void record(const std::string& key, const std::string& payload);
 
   /// Replay-or-compute: the journaled payload if present, otherwise
-  /// compute() is run and its result journaled. The unit of every
-  /// checkpointed sweep loop.
+  /// compute() is run (outside the lock) and its result journaled. The unit
+  /// of every checkpointed sweep loop. If two threads race to compute the
+  /// same key, the first recording wins and both return its payload.
   std::string run_unit(const std::string& key,
                        const std::function<std::string()>& compute);
 
-  [[nodiscard]] std::size_t size() const { return units_.size(); }
-  /// Units in insertion order (the order they were completed in).
-  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& units()
-      const {
-    return units_;
-  }
-  [[nodiscard]] const CheckpointStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Units in insertion order (the order they were completed in), copied
+  /// under the lock.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> units() const;
+  [[nodiscard]] CheckpointStats stats() const;
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] const std::string& tag() const { return tag_; }
 
@@ -92,15 +101,23 @@ class Checkpoint {
   void crash_after_records_for_testing(std::size_t n);
 
  private:
-  void load(bool resume);
-  void persist() const;
+  /// Constructor-only; takes the (uncontended) lock so the analysis sees
+  /// the guarded members initialized under their capability.
+  void load(bool resume) AGEDTR_REQUIRES(mutex_);
+  void persist() const AGEDTR_REQUIRES(mutex_);
+  [[nodiscard]] const std::string* find_locked(const std::string& key) const
+      AGEDTR_REQUIRES(mutex_);
+  void record_locked(const std::string& key, const std::string& payload)
+      AGEDTR_REQUIRES(mutex_);
 
-  std::string path_;
-  std::string tag_;
-  std::vector<std::pair<std::string, std::string>> units_;
-  CheckpointStats stats_;
-  std::size_t crash_after_ = 0;  // 0 = disabled
-  std::size_t records_until_crash_ = 0;
+  std::string path_;  // immutable after construction
+  std::string tag_;   // immutable after construction
+  mutable Mutex mutex_;
+  std::vector<std::pair<std::string, std::string>> units_
+      AGEDTR_GUARDED_BY(mutex_);
+  CheckpointStats stats_ AGEDTR_GUARDED_BY(mutex_);
+  std::size_t crash_after_ AGEDTR_GUARDED_BY(mutex_) = 0;  // 0 = disabled
+  std::size_t records_until_crash_ AGEDTR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Field packing for multi-value unit payloads: joins with U+001F (unit

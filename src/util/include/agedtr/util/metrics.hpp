@@ -29,9 +29,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::metrics {
 
@@ -230,9 +231,9 @@ class TraceRing {
 
  private:
   struct Slot {
-    std::mutex mutex;  // uncontended except on wrap collisions
-    TraceEvent event;
-    bool full = false;
+    Mutex mutex;  // uncontended except on wrap collisions
+    TraceEvent event AGEDTR_GUARDED_BY(mutex);
+    bool full AGEDTR_GUARDED_BY(mutex) = false;
   };
 
   mutable std::vector<Slot> slots_;
@@ -279,9 +280,10 @@ class MetricsRegistry {
  private:
   struct Entry;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: stable iteration order makes text reports diffable.
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_
+      AGEDTR_GUARDED_BY(mutex_);
   TraceRing trace_;
 };
 

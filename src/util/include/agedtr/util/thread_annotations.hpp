@@ -1,0 +1,133 @@
+// Clang thread-safety annotations plus the annotated synchronization
+// primitives the rest of the tree locks with.
+//
+// The AGEDTR_* macros wrap Clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html): under a Clang
+// build they turn `-Wthread-safety` into a compile-time proof that every
+// access to a `AGEDTR_GUARDED_BY(mutex_)` member happens with `mutex_`
+// held, and CMake promotes the diagnostic to `-Werror=thread-safety` so a
+// wrong-lock access cannot merge. Under GCC (which has no such analysis)
+// every macro expands to nothing, so the annotations are zero-cost
+// documentation and the build is unchanged.
+//
+// std::mutex itself carries no capability attributes with libstdc++, which
+// would blind the analysis to every lock_guard acquisition. Mutex and
+// MutexLock below are thin annotated wrappers (same fast path: Mutex is
+// exactly a std::mutex; MutexLock is exactly a lock_guard) that make the
+// acquire/release visible to the analysis. CondVar wraps
+// std::condition_variable_any waiting directly on a Mutex; the analysis
+// treats the capability as held across the wait, which matches the caller's
+// view (the lock is reacquired before wait() returns).
+//
+// agedtr-lint enforces the pairing: raw std::mutex members are rejected in
+// src/ headers (rule mutex-annotation) precisely so the capability analysis
+// can never be silently bypassed by a new class.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define AGEDTR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef AGEDTR_THREAD_ANNOTATION
+#define AGEDTR_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define AGEDTR_CAPABILITY(x) AGEDTR_THREAD_ANNOTATION(capability(x))
+#define AGEDTR_SCOPED_CAPABILITY AGEDTR_THREAD_ANNOTATION(scoped_lockable)
+#define AGEDTR_GUARDED_BY(x) AGEDTR_THREAD_ANNOTATION(guarded_by(x))
+#define AGEDTR_PT_GUARDED_BY(x) AGEDTR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define AGEDTR_REQUIRES(...) \
+  AGEDTR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AGEDTR_EXCLUDES(...) \
+  AGEDTR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define AGEDTR_ACQUIRE(...) \
+  AGEDTR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AGEDTR_TRY_ACQUIRE(...) \
+  AGEDTR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define AGEDTR_RELEASE(...) \
+  AGEDTR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AGEDTR_RETURN_CAPABILITY(x) AGEDTR_THREAD_ANNOTATION(lock_returned(x))
+#define AGEDTR_NO_THREAD_SAFETY_ANALYSIS \
+  AGEDTR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace agedtr {
+
+/// std::mutex with its acquire/release surface visible to Clang's
+/// capability analysis.
+class AGEDTR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AGEDTR_ACQUIRE() { impl_.lock(); }
+  void unlock() AGEDTR_RELEASE() { impl_.unlock(); }
+  [[nodiscard]] bool try_lock() AGEDTR_TRY_ACQUIRE(true) {
+    return impl_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // waits on the raw std::mutex underneath
+  std::mutex impl_;
+};
+
+/// RAII lock (the annotated std::lock_guard). Takes a pointer so the
+/// capability expression at the call site names the mutex being acquired.
+class AGEDTR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) AGEDTR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->lock();
+  }
+  ~MutexLock() AGEDTR_RELEASE() { mutex_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mutex_;
+};
+
+/// Condition variable paired with Mutex. wait()/wait_for() are called with
+/// the mutex held (enforced by AGEDTR_REQUIRES); the analysis models the
+/// capability as held across the wait, which is the caller-visible
+/// contract — the lock is always reacquired before control returns.
+/// Internally the wait adopts the already-held raw std::mutex so no
+/// annotated lock call ever happens inside unannotated std code. Callers
+/// wrap the wait in a predicate loop (`while (!ready) cv.wait(mutex);`)
+/// rather than passing a predicate lambda — lambda bodies carry no
+/// REQUIRES context, so guarded accesses inside them would defeat the
+/// analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) AGEDTR_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.impl_, std::adopt_lock);
+    impl_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <typename Rep, typename Period>
+  void wait_for(Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& timeout)
+      AGEDTR_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.impl_, std::adopt_lock);
+    impl_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { impl_.notify_one(); }
+  void notify_all() { impl_.notify_all(); }
+
+ private:
+  std::condition_variable impl_;
+};
+
+}  // namespace agedtr

@@ -7,14 +7,16 @@
 // parallel_for.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr {
 
@@ -40,7 +42,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     note_enqueued();
@@ -67,10 +69,10 @@ class ThreadPool {
   static void note_enqueued();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AGEDTR_GUARDED_BY(mutex_);
+  bool stopping_ AGEDTR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace agedtr

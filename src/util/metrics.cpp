@@ -1,10 +1,17 @@
 #include "agedtr/util/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 
@@ -177,7 +184,7 @@ TraceRing::TraceRing(std::size_t capacity)
 void TraceRing::record(const TraceEvent& event) {
   const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[static_cast<std::size_t>(ticket % slots_.size())];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  MutexLock lock(&slot.mutex);
   slot.event = event;
   slot.full = true;
 }
@@ -186,7 +193,7 @@ std::vector<TraceEvent> TraceRing::drain() const {
   std::vector<TraceEvent> events;
   events.reserve(slots_.size());
   for (Slot& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot.mutex);
+    MutexLock lock(&slot.mutex);
     if (slot.full) events.push_back(slot.event);
   }
   std::sort(events.begin(), events.end(),
@@ -198,7 +205,7 @@ std::vector<TraceEvent> TraceRing::drain() const {
 
 void TraceRing::clear() {
   for (Slot& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot.mutex);
+    MutexLock lock(&slot.mutex);
     slot.full = false;
   }
   next_.store(0, std::memory_order_relaxed);
@@ -217,13 +224,15 @@ struct MetricsRegistry::Entry {
 MetricsRegistry::MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  // Leaked on purpose so metrics outlive every static destructor (counters
+  // are touched from other objects' teardown). agedtr-lint: allow(naked-new)
+  static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& entry = entries_[name];
   if (entry == nullptr) {
     entry = std::make_unique<Entry>();
@@ -239,7 +248,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& entry = entries_[name];
   if (entry == nullptr) {
     entry = std::make_unique<Entry>();
@@ -256,7 +265,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& entry = entries_[name];
   if (entry == nullptr) {
     entry = std::make_unique<Entry>();
@@ -275,7 +284,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second->kind == Entry::Kind::kCounter
              ? it->second->counter.get()
@@ -283,7 +292,7 @@ const Counter* MetricsRegistry::find_counter(const std::string& name) const {
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second->kind == Entry::Kind::kGauge
              ? it->second->gauge.get()
@@ -292,7 +301,7 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second->kind == Entry::Kind::kHistogram
              ? it->second->histogram.get()
@@ -300,7 +309,7 @@ const Histogram* MetricsRegistry::find_histogram(
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Sites cache references to the metric objects, so reset() zeroes their
   // contents in place — the objects themselves are never replaced.
   for (auto& [name, entry] : entries_) {
@@ -320,7 +329,7 @@ void MetricsRegistry::reset() {
 }
 
 std::string MetricsRegistry::text_report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::ostringstream out;
   for (const auto& [name, entry] : entries_) {
     if (!entry->help.empty()) {

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace agedtr {
 

@@ -1,14 +1,17 @@
 #include "agedtr/util/supervisor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr {
 
@@ -52,20 +55,20 @@ struct InflightRegistry {
     bool cancelled = false;
   };
 
-  std::mutex mutex;
-  std::unordered_map<std::size_t, Attempt> attempts;
-  std::condition_variable cv;
-  bool done = false;
+  Mutex mutex;
+  CondVar cv;
+  std::unordered_map<std::size_t, Attempt> attempts AGEDTR_GUARDED_BY(mutex);
+  bool done AGEDTR_GUARDED_BY(mutex) = false;
 
   void admit(std::size_t index, Clock::time_point deadline,
              const CancelToken& token) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     attempts[index] = Attempt{deadline, token, false};
   }
 
   /// Removes the slot; returns true if the watchdog had cancelled it.
   bool retire(std::size_t index) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     const auto it = attempts.find(index);
     const bool cancelled = it != attempts.end() && it->second.cancelled;
     if (it != attempts.end()) attempts.erase(it);
@@ -75,7 +78,7 @@ struct InflightRegistry {
   /// Cancels every attempt whose deadline has passed; returns how many were
   /// newly cancelled in this scan.
   std::size_t cancel_overdue(Clock::time_point now) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     std::size_t cancelled = 0;
     for (auto& [index, attempt] : attempts) {
       if (!attempt.cancelled && now >= attempt.deadline) {
@@ -170,7 +173,7 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
   if (count == 0) return report;
 
   InflightRegistry registry;
-  std::mutex report_mutex;  // guards the mutable report fields below
+  Mutex report_mutex;  // guards the mutable report fields below
   std::atomic<std::size_t> succeeded{0};
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> cancellations{0};
@@ -184,15 +187,18 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
     }
     watchdog = std::thread([&registry, &cancellations, period] {
       const auto tick = std::chrono::duration<double>(period);
-      std::unique_lock<std::mutex> lock(registry.mutex);
-      while (!registry.done) {
-        registry.cv.wait_for(lock, tick);
-        if (registry.done) break;
-        lock.unlock();
+      for (;;) {
+        {
+          MutexLock lock(&registry.mutex);
+          if (registry.done) return;
+          registry.cv.wait_for(registry.mutex, tick);
+          if (registry.done) return;
+        }
+        // cancel_overdue() takes the registry lock itself; scan outside the
+        // wait scope so admit()/retire() never block on a full sweep.
         const std::size_t newly = registry.cancel_overdue(Clock::now());
         cancellations.fetch_add(newly, std::memory_order_relaxed);
         cancellations_counter().add(newly);
-        lock.lock();
       }
     });
   }
@@ -224,7 +230,7 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
       if (watched) registry.retire(index);
       if (permanent || attempt == attempts_allowed) {
         quarantined_counter().add();
-        std::lock_guard<std::mutex> lock(report_mutex);
+        MutexLock lock(&report_mutex);
         report.quarantined.push_back({index, attempt, std::move(error)});
         return;
       }
@@ -243,7 +249,7 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
     // parallel_for is a harness bug — still stop the watchdog first.
     if (watched) {
       {
-        std::lock_guard<std::mutex> lock(registry.mutex);
+        MutexLock lock(&registry.mutex);
         registry.done = true;
       }
       registry.cv.notify_all();
@@ -253,7 +259,7 @@ SupervisionReport Supervisor::run(std::size_t count, const Task& body) const {
   }
   if (watched) {
     {
-      std::lock_guard<std::mutex> lock(registry.mutex);
+      MutexLock lock(&registry.mutex);
       registry.done = true;
     }
     registry.cv.notify_all();

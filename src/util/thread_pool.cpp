@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
@@ -44,7 +49,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -55,8 +60,10 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Explicit predicate loop (not a wait lambda): guarded accesses in a
+      // lambda body would escape the thread-safety analysis.
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -84,7 +84,7 @@ TEST(AllocationSearch, RejectsEmptyWorkload) {
 
 TEST(AllocationSearch, RejectsSizeMismatch) {
   const DcsScenario s = heterogeneous({5, 5}, {1.0, 1.0});
-  EXPECT_THROW(score_allocation(s, {5}, {}), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(score_allocation(s, {5}, {})), InvalidArgument);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,8 +57,8 @@ TEST(Checkpoint, RoundtripsUnitsAcrossInstances) {
   EXPECT_EQ(reopened.stats().loaded_units, 2u);
   EXPECT_FALSE(reopened.stats().discarded);
   EXPECT_TRUE(reopened.contains("unit a"));
-  const std::string* b = reopened.find("unit b");
-  ASSERT_NE(b, nullptr);
+  const std::optional<std::string> b = reopened.find("unit b");
+  ASSERT_TRUE(b.has_value());
   EXPECT_EQ(*b, "payload with\nnewline\tand tab \\ backslash");
   EXPECT_EQ(reopened.stats().hits, 1u);
   // Insertion order survives the roundtrip.
@@ -286,8 +287,8 @@ TEST(Algorithm1Checkpoint, StaleJournalFromOtherScenarioIsIgnoredSafely) {
       path, policy::algorithm1_checkpoint_tag(
                 scenario, policy::perfect_estimates(scenario), options));
   EXPECT_FALSE(reopened.stats().discarded);
-  const std::string* result = reopened.find("result");
-  ASSERT_NE(result, nullptr);
+  const std::optional<std::string> result = reopened.find("result");
+  ASSERT_TRUE(result.has_value());
   EXPECT_NE(*result, "junk");
 }
 

@@ -132,8 +132,8 @@ INSTANTIATE_TEST_SUITE_P(
         ModelVsMcCase{"ShiftedExponential",
                       ModelFamily::kShiftedExponential, 0.01},
         ModelVsMcCase{"Uniform", ModelFamily::kUniform, 0.01}),
-    [](const ::testing::TestParamInfo<ModelVsMcCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<ModelVsMcCase>& param_info) {
+      return param_info.param.label;
     });
 
 TEST_P(ConvolutionVsMc, MeanExecutionTime) {
@@ -280,7 +280,7 @@ TEST(Convolution, RejectMultiGroupModeThrows) {
   ConvolutionOptions opts;
   opts.multi_group = ConvolutionOptions::MultiGroup::kReject;
   const ConvolutionSolver solver(opts);
-  EXPECT_THROW(solver.mean_execution_time({w}), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(solver.mean_execution_time({w})), InvalidArgument);
 }
 
 TEST(Convolution, MeanRequiresReliableServers) {
@@ -289,7 +289,7 @@ TEST(Convolution, MeanRequiresReliableServers) {
   w.service = dist::Exponential::with_mean(1.0);
   w.failure = dist::Exponential::with_mean(10.0);
   const ConvolutionSolver solver;
-  EXPECT_THROW(solver.mean_execution_time({w}), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(solver.mean_execution_time({w})), InvalidArgument);
 }
 
 TEST(Convolution, GridIsFrozenAfterFirstUse) {

@@ -47,8 +47,8 @@ class FamilyTest : public ::testing::TestWithParam<FamilyCase> {};
 
 INSTANTIATE_TEST_SUITE_P(
     AllFamilies, FamilyTest, ::testing::ValuesIn(continuous_families()),
-    [](const ::testing::TestParamInfo<FamilyCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<FamilyCase>& param_info) {
+      return param_info.param.label;
     });
 
 double integrate_pdf(const Distribution& d, double lo, double hi) {
@@ -359,7 +359,7 @@ TEST(Builders, ParseRoundTrips) {
     EXPECT_EQ(parse_model_family(model_family_name(family)), family);
   }
   EXPECT_EQ(parse_model_family("pareto2"), ModelFamily::kPareto2);
-  EXPECT_THROW(parse_model_family("cauchy"), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_model_family("cauchy")), InvalidArgument);
 }
 
 TEST(Describe, MentionsFamilyAndParameters) {

@@ -38,7 +38,7 @@ TEST(ErrorPaths, HyperexponentialEmFitsBenignData) {
 
 TEST(ErrorPaths, BrentRootThrowsConvergenceWhenIterationsExhausted) {
   const auto f = [](double x) { return x * x * x - 2.0; };
-  EXPECT_THROW(numerics::brent_root(f, 0.0, 2.0, 1e-15, 0),
+  EXPECT_THROW(static_cast<void>(numerics::brent_root(f, 0.0, 2.0, 1e-15, 0)),
                ConvergenceError);
   // The same bracket with the default budget converges.
   EXPECT_NEAR(numerics::brent_root(f, 0.0, 2.0), 1.2599210498948732, 1e-9);
@@ -46,12 +46,12 @@ TEST(ErrorPaths, BrentRootThrowsConvergenceWhenIterationsExhausted) {
 
 TEST(ErrorPaths, BrentRootRejectsUnbracketedInterval) {
   const auto f = [](double x) { return x * x + 1.0; };
-  EXPECT_THROW(numerics::brent_root(f, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(numerics::brent_root(f, -1.0, 1.0)), InvalidArgument);
 }
 
 TEST(ErrorPaths, ExpandBracketThrowsConvergenceWithoutSignChange) {
   const auto f = [](double x) { return x * x + 1.0; };  // always positive
-  EXPECT_THROW(numerics::expand_bracket(f, -1.0, 1.0), ConvergenceError);
+  EXPECT_THROW(static_cast<void>(numerics::expand_bracket(f, -1.0, 1.0)), ConvergenceError);
 }
 
 TEST(ErrorPaths, ExpandBracketFindsSignChange) {
@@ -61,8 +61,8 @@ TEST(ErrorPaths, ExpandBracketFindsSignChange) {
 }
 
 TEST(ErrorPaths, ParseModelFamilyThrowsInvalidArgumentOnUnknownName) {
-  EXPECT_THROW(dist::parse_model_family("nope"), InvalidArgument);
-  EXPECT_THROW(dist::parse_model_family(""), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(dist::parse_model_family("nope")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(dist::parse_model_family("")), InvalidArgument);
 }
 
 TEST(ErrorPaths, ParseModelFamilyAcceptsKnownNames) {

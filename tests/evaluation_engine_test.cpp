@@ -376,7 +376,9 @@ TEST(Algorithm1Engine, BaselineModeMatchesSharedWorkspace) {
   EXPECT_EQ(a.converged, b.converged);
   for (std::size_t i = 0; i < s.size(); ++i) {
     for (std::size_t j = 0; j < s.size(); ++j) {
-      if (i != j) EXPECT_EQ(a.policy(i, j), b.policy(i, j));
+      if (i != j) {
+        EXPECT_EQ(a.policy(i, j), b.policy(i, j));
+      }
     }
   }
 }
@@ -400,7 +402,9 @@ TEST(Algorithm1Engine, CallerWorkspaceIsReusedAcrossDevises) {
   EXPECT_GT(options.workspace->stats().hits(), after_cold.hits());
   for (std::size_t i = 0; i < s.size(); ++i) {
     for (std::size_t j = 0; j < s.size(); ++j) {
-      if (i != j) EXPECT_EQ(cold.policy(i, j), warm.policy(i, j));
+      if (i != j) {
+        EXPECT_EQ(cold.policy(i, j), warm.policy(i, j));
+      }
     }
   }
 }

@@ -140,7 +140,9 @@ TEST(ExecutionTimeLaw, QuantileInvertsCdf) {
   const double q90 = law.quantile(0.9);
   const auto idx = static_cast<std::size_t>(q90 / law.dt);
   EXPECT_GE(law.cdf[idx], 0.9);
-  if (idx > 0) EXPECT_LT(law.cdf[idx - 1], 0.9 + 1e-12);
+  if (idx > 0) {
+    EXPECT_LT(law.cdf[idx - 1], 0.9 + 1e-12);
+  }
   EXPECT_GT(law.quantile(0.99), law.quantile(0.5));
 }
 

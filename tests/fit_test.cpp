@@ -164,8 +164,8 @@ INSTANTIATE_TEST_SUITE_P(
         SelectionCase{"exponential",
                       std::make_shared<dist::Exponential>(0.8),
                       "exponential"}),
-    [](const ::testing::TestParamInfo<SelectionCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<SelectionCase>& param_info) {
+      return param_info.param.label;
     });
 
 TEST_P(ModelSelectionTest, PaperCriterionPicksRightFamily) {

@@ -105,7 +105,7 @@ TEST(Markovian, OffloadingToFastServerHelps) {
 TEST(Markovian, MeanRequiresReliableServers) {
   const DcsScenario s = exp_scenario({3, 2}, {1.0, 1.0}, {100.0, 100.0}, 1.0);
   const MarkovianSolver solver(s);
-  EXPECT_THROW(solver.mean_execution_time(DtrPolicy(2)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(solver.mean_execution_time(DtrPolicy(2))), InvalidArgument);
 }
 
 TEST(Markovian, RejectsNonExponentialLaws) {

@@ -62,8 +62,8 @@ class LatticeProperty : public ::testing::TestWithParam<LawCase> {
 
 INSTANTIATE_TEST_SUITE_P(AllLaws, LatticeProperty,
                          ::testing::ValuesIn(laws()),
-                         [](const ::testing::TestParamInfo<LawCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<LawCase>& param_info) {
+                           return param_info.param.label;
                          });
 
 TEST_P(LatticeProperty, MassConservedThroughConvolutionChains) {
@@ -232,8 +232,8 @@ class SolverProperty : public ::testing::TestWithParam<LawCase> {};
 
 INSTANTIATE_TEST_SUITE_P(AllLaws, SolverProperty,
                          ::testing::ValuesIn(laws()),
-                         [](const ::testing::TestParamInfo<LawCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<LawCase>& param_info) {
+                           return param_info.param.label;
                          });
 
 core::DcsScenario scenario_with(const dist::DistPtr& service, int m1,

@@ -22,7 +22,9 @@ TEST(GaussRule, NodesSymmetricAndSorted) {
   const GaussRule& rule = gauss_rule(16);
   for (int i = 0; i < 16; ++i) {
     EXPECT_NEAR(rule.nodes[i], -rule.nodes[15 - i], 1e-14);
-    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+    if (i > 0) {
+      EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+    }
   }
 }
 
@@ -76,8 +78,8 @@ TEST(AdaptiveIntegrate, EmptyInterval) {
 }
 
 TEST(AdaptiveIntegrate, RejectsNonFinite) {
-  EXPECT_THROW(integrate([](double) { return 0.0; }, 0.0,
-                         std::numeric_limits<double>::infinity()),
+  EXPECT_THROW(static_cast<void>(integrate([](double) { return 0.0; }, 0.0,
+                         std::numeric_limits<double>::infinity())),
                InvalidArgument);
 }
 

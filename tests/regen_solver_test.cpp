@@ -236,7 +236,7 @@ TEST(RegenSolver, DepthGuardTriggersOnLargeConfigurations) {
   RegenSolverOptions opts;
   opts.max_depth = 8;
   const RegenerativeSolver regen(s, opts);
-  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), BudgetExceeded);
+  EXPECT_THROW(static_cast<void>(regen.mean_execution_time(DtrPolicy(2))), BudgetExceeded);
 }
 
 TEST(RegenSolver, BudgetDepthOverridesMaxDepth) {
@@ -247,7 +247,7 @@ TEST(RegenSolver, BudgetDepthOverridesMaxDepth) {
   RegenSolverOptions opts;
   opts.budget.max_depth = 8;  // tighter than the default max_depth
   const RegenerativeSolver regen(s, opts);
-  EXPECT_THROW(regen.reliability(DtrPolicy(2)), BudgetExceeded);
+  EXPECT_THROW(static_cast<void>(regen.reliability(DtrPolicy(2))), BudgetExceeded);
 }
 
 TEST(RegenSolver, WallClockBudgetExhaustsOnSlowConfigurations) {
@@ -260,7 +260,7 @@ TEST(RegenSolver, WallClockBudgetExhaustsOnSlowConfigurations) {
   RegenSolverOptions opts;
   opts.budget.max_seconds = 1e-6;
   const RegenerativeSolver regen(s, opts);
-  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), BudgetExceeded);
+  EXPECT_THROW(static_cast<void>(regen.mean_execution_time(DtrPolicy(2))), BudgetExceeded);
 }
 
 TEST(RegenSolver, ThreeServerMeanMatchesConvolution) {
@@ -290,7 +290,7 @@ TEST(RegenSolver, MeanRequiresReliableServers) {
       1, dist::Exponential::with_mean(1.5),
       dist::Exponential::with_mean(10.0), dist::Exponential::with_mean(8.0));
   const RegenerativeSolver regen(s);
-  EXPECT_THROW(regen.mean_execution_time(DtrPolicy(2)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(regen.mean_execution_time(DtrPolicy(2))), InvalidArgument);
 }
 
 }  // namespace

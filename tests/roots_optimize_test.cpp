@@ -29,7 +29,7 @@ TEST(BrentRoot, RootAtBoundary) {
 }
 
 TEST(BrentRoot, RejectsUnbracketed) {
-  EXPECT_THROW(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+  EXPECT_THROW(static_cast<void>(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0)),
                InvalidArgument);
 }
 
@@ -46,8 +46,7 @@ TEST(ExpandBracket, FindsSignChange) {
 }
 
 TEST(ExpandBracket, ThrowsWhenNoRoot) {
-  EXPECT_THROW(
-      expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 10),
+  EXPECT_THROW(static_cast<void>(expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 10)),
       ConvergenceError);
 }
 

@@ -1,0 +1,160 @@
+// Compile-time and contract lockdown for the agedtr public API.
+//
+// The static_asserts pin type-level contracts other code relies on
+// (non-copyability of lock-holding types, POD-ness of hot-path trace
+// events, pointer identity of DistPtr); breaking one is an API change that
+// must be made deliberately, with this file updated in the same commit.
+// The runtime tests pin the error-reporting contract: AGEDTR_REQUIRE and
+// AGEDTR_ASSERT stamp the throwing file:line into the message, which the
+// require-not-throw lint rule (scripts/agedtr_lint.py) exists to protect.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/dist/distribution.hpp"
+#include "agedtr/util/checkpoint.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/supervisor.hpp"
+#include "agedtr/util/thread_annotations.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-holding and resource-owning types must not be copyable: a copied
+// Mutex would silently split one critical section into two.
+static_assert(!std::is_copy_constructible_v<Mutex>);
+static_assert(!std::is_copy_assignable_v<Mutex>);
+static_assert(!std::is_move_constructible_v<Mutex>);
+static_assert(!std::is_copy_constructible_v<MutexLock>);
+static_assert(!std::is_copy_assignable_v<MutexLock>);
+static_assert(!std::is_copy_constructible_v<CondVar>);
+static_assert(!std::is_copy_constructible_v<ThreadPool>);
+static_assert(!std::is_copy_assignable_v<ThreadPool>);
+static_assert(!std::is_copy_constructible_v<core::LatticeWorkspace>);
+static_assert(!std::is_copy_assignable_v<core::LatticeWorkspace>);
+static_assert(!std::is_copy_constructible_v<Checkpoint>);
+static_assert(!std::is_copy_assignable_v<Checkpoint>);
+
+// CancelToken is the deliberate exception: copies share one flag so the
+// watchdog and the attempt observe the same cancellation.
+static_assert(std::is_copy_constructible_v<CancelToken>);
+
+// TraceEvent stays trivially copyable POD — writers publish into the ring
+// by plain member stores under a slot lock; a nontrivial member would turn
+// every trace site into an allocation.
+static_assert(std::is_trivially_copyable_v<metrics::TraceEvent>);
+static_assert(std::is_standard_layout_v<metrics::TraceEvent>);
+static_assert(std::is_trivially_destructible_v<metrics::TraceEvent>);
+
+// DistPtr is shared_ptr-to-const: distribution identity (the pointer) keys
+// the lattice workspace caches, and const-ness is what makes sharing one
+// law across threads sound.
+static_assert(
+    std::is_same_v<dist::DistPtr, std::shared_ptr<const dist::Distribution>>);
+static_assert(std::is_nothrow_move_constructible_v<dist::DistPtr>);
+
+// Stats snapshots are returned by value from locked getters; they must
+// move without throwing so the copies stay cheap.
+static_assert(std::is_nothrow_move_constructible_v<CheckpointStats>);
+static_assert(std::is_nothrow_move_constructible_v<SupervisionReport>);
+
+// ---------------------------------------------------------------------------
+// AGEDTR_REQUIRE / AGEDTR_ASSERT stamp the throwing file:line.
+
+TEST(StaticContracts, RequireMessageCarriesFileAndLine) {
+  std::string message;
+  const int line = __LINE__ + 2;  // the AGEDTR_REQUIRE below
+  try {
+    AGEDTR_REQUIRE(1 + 1 == 3, "arithmetic still works");
+    FAIL() << "AGEDTR_REQUIRE(false) did not throw";
+  } catch (const InvalidArgument& e) {
+    message = e.what();
+  }
+  const std::string expected =
+      "static_contracts_test.cpp:" + std::to_string(line);
+  EXPECT_NE(message.find(expected), std::string::npos)
+      << "expected \"" << expected << "\" in: " << message;
+  EXPECT_NE(message.find("arithmetic still works"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("1 + 1 == 3"), std::string::npos)
+      << "stringified condition missing from: " << message;
+}
+
+TEST(StaticContracts, AssertMessageCarriesFileAndLine) {
+  std::string message;
+  const int line = __LINE__ + 2;  // the AGEDTR_ASSERT below
+  try {
+    AGEDTR_ASSERT(2 + 2 == 5);
+    FAIL() << "AGEDTR_ASSERT(false) did not throw";
+  } catch (const LogicError& e) {
+    message = e.what();
+  }
+  const std::string expected =
+      "static_contracts_test.cpp:" + std::to_string(line);
+  EXPECT_NE(message.find(expected), std::string::npos)
+      << "expected \"" << expected << "\" in: " << message;
+  EXPECT_NE(message.find("2 + 2 == 5"), std::string::npos) << message;
+}
+
+TEST(StaticContracts, RequirePassesThroughOnTrue) {
+  EXPECT_NO_THROW(AGEDTR_REQUIRE(true, "never thrown"));
+  EXPECT_NO_THROW(AGEDTR_ASSERT(true));
+}
+
+// ---------------------------------------------------------------------------
+// Failure taxonomy: the Supervisor's retry decision is part of the API.
+
+TEST(StaticContracts, PermanentFailureTaxonomy) {
+  EXPECT_TRUE(is_permanent_failure(InvalidArgument("bad input")));
+  EXPECT_TRUE(is_permanent_failure(LogicError("internal bug")));
+  EXPECT_FALSE(is_permanent_failure(ConvergenceError("no convergence")));
+  EXPECT_FALSE(is_permanent_failure(TaskCancelled("overdue")));
+  EXPECT_FALSE(is_permanent_failure(CheckpointError("disk gone")));
+  EXPECT_FALSE(is_permanent_failure(std::runtime_error("generic")));
+}
+
+// ---------------------------------------------------------------------------
+// Annotated Mutex wrapper semantics (the thread-safety analysis itself only
+// runs under Clang; the runtime behavior must hold everywhere).
+
+TEST(StaticContracts, MutexTryLockObservesContention) {
+  Mutex mutex;
+  {
+    MutexLock lock(&mutex);
+    // try_lock from another thread must fail while the lock is held...
+    bool acquired = true;
+    std::thread probe([&] { acquired = mutex.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(acquired);
+  }
+  // ...and succeed once it is released.
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(StaticContracts, CondVarWakesWaiter) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(&mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(&mutex);
+    while (!ready) cv.wait(mutex);
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+}  // namespace
+}  // namespace agedtr

@@ -37,7 +37,7 @@ TEST(Histogram, BinCenters) {
   const Histogram h({0.0, 1.0}, 0.0, 1.0, 4);
   EXPECT_NEAR(h.bin_center(0), 0.125, 1e-14);
   EXPECT_NEAR(h.bin_center(3), 0.875, 1e-14);
-  EXPECT_THROW(h.bin_center(4), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(h.bin_center(4)), InvalidArgument);
 }
 
 TEST(Histogram, AutoRangeCoversData) {
@@ -78,7 +78,7 @@ TEST(Summary, SingleSample) {
   EXPECT_DOUBLE_EQ(s.variance, 0.0);
 }
 
-TEST(Summary, RejectsEmpty) { EXPECT_THROW(summarize({}), InvalidArgument); }
+TEST(Summary, RejectsEmpty) { EXPECT_THROW(static_cast<void>(summarize({})), InvalidArgument); }
 
 TEST(MeanCi, CoversTrueMeanAtNominalRate) {
   // 200 independent CIs for the mean of Exp(1): ~95% should cover 1.0.
@@ -124,8 +124,8 @@ TEST(ProportionCi, ExtremesStayInUnitInterval) {
 }
 
 TEST(ProportionCi, RejectsInvalid) {
-  EXPECT_THROW(proportion_confidence_interval(5, 4), InvalidArgument);
-  EXPECT_THROW(proportion_confidence_interval(0, 0), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(proportion_confidence_interval(5, 4)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(proportion_confidence_interval(0, 0)), InvalidArgument);
 }
 
 TEST(KsDistance, ZeroForPerfectEcdf) {

@@ -89,7 +89,7 @@ TEST(Tradeoff, TimeBudgetSelection) {
   EXPECT_LE(within_5pct.mean_execution_time,
             1.05 * analysis.frontier.front().mean_execution_time + 1e-9);
   EXPECT_GE(within_50pct.reliability, within_5pct.reliability - 1e-12);
-  EXPECT_THROW(analysis.best_within_time_budget(0.9), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(analysis.best_within_time_budget(0.9)), InvalidArgument);
 }
 
 TEST(Tradeoff, RequiresFailureLaws) {
@@ -101,7 +101,7 @@ TEST(Tradeoff, RequiresFailureLaws) {
 TEST(Tradeoff, RejectsBadArguments) {
   EXPECT_THROW(tradeoff_analysis(conflicted_scenario(), 0), InvalidArgument);
   const auto analysis = tradeoff_analysis(conflicted_scenario(), 6);
-  EXPECT_THROW(analysis.weighted_compromise(1.5), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(analysis.weighted_compromise(1.5)), InvalidArgument);
 }
 
 }  // namespace

@@ -134,7 +134,7 @@ TEST(Cli, RejectsBadNumber) {
   cli.add_option("n", "1", "");
   const char* argv[] = {"prog", "--n=abc"};
   ASSERT_TRUE(cli.parse(2, argv));
-  EXPECT_THROW(cli.get_int("n"), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cli.get_int("n")), InvalidArgument);
 }
 
 TEST(Cli, PositionalArguments) {
