@@ -1,0 +1,232 @@
+// Replication tradeoff bench: mean completion time and QoS versus the
+// uniform replication factor r, under increasing slowdown (straggler)
+// intensity — the replication-helps-then-hurts curve.
+//
+// The grid runs through sim::run_replication_study (the same code path the
+// property tests and the golden CSV use): each (r, intensity) cell is a
+// Monte-Carlo estimate under make_uniform_replication with
+// cancel-on-first-completion, bracketed by the analytic min-of-r bounds
+// from core::replication_completion_bounds. The headline qualitative
+// checks:
+//   * at intensity 0 the mean is non-decreasing in r (replication without
+//     stragglers only adds transfer and contention cost), and
+//   * at the highest intensity some r > 1 beats r = 1 while the largest r
+//     is worse than the best (helps, then hurts).
+//
+// Output: a per-cell table, the bracket violations (there must be none),
+// and a CSV series under bench_results/. --smoke shrinks the workload and
+// the replication count for CI.
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/replication_study.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+#include "paper_setup.hpp"
+
+using namespace agedtr;
+using dist::ModelFamily;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "replication tradeoff: mean completion time and QoS vs the uniform "
+      "replication factor under increasing slowdown intensity");
+  cli.add_option("model", "exponential", "service/transfer model family");
+  cli.add_option("delay", "low", "network delay regime (low|severe)");
+  cli.add_option("servers", "5",
+                 "paper scenario size (5 = Table II system, 2 = Fig. 1 "
+                 "system; l12/l21 apply only to the two-server system)");
+  cli.add_option("l12", "25", "tasks reallocated server 1 -> 2");
+  cli.add_option("l21", "0", "tasks reallocated server 2 -> 1");
+  cli.add_option("factors", "1,2,3,4", "comma-separated replication factors");
+  cli.add_option("intensities", "0,0.5,1,2",
+                 "comma-separated slowdown intensities (0 = seed model)");
+  cli.add_option("slowdown-rate", "0.02",
+                 "intensity-1 slowdown onset rate per server (per second)");
+  cli.add_option("slowdown-mean", "40",
+                 "mean slowdown window length (seconds, exponential)");
+  cli.add_option("slowdown-factor", "0.1",
+                 "service-rate multiplier inside a slowdown window");
+  cli.add_option("replications", "3000", "Monte-Carlo replications per cell");
+  cli.add_option("seed", "20100913", "Monte-Carlo seed");
+  cli.add_option("deadline", "300", "QoS deadline (seconds; 0 disables)");
+  cli.add_option("out", "bench_results/replication_tradeoff.csv",
+                 "where to write the CSV series");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
+  cli.add_flag("smoke",
+               "CI-sized run: a scaled-down workload and few replications "
+               "(overrides the workload options; the tradeoff checks relax "
+               "to bracket validity only)");
+  if (!cli.parse(argc, argv)) return 0;
+  const agedtr::metrics::ScopedExport metrics_export(
+      cli.get_string("metrics"));
+  const bool smoke = cli.get_flag("smoke");
+
+  const ModelFamily family = dist::parse_model_family(cli.get_string("model"));
+  const bench::Delay delay = cli.get_string("delay") == "severe"
+                                 ? bench::Delay::kSevere
+                                 : bench::Delay::kLow;
+
+  // The bounds (and the mean itself) are defined for reliable servers; the
+  // slowdown process is the failure mode under study here. The five-server
+  // system gives the mean-vs-r curve room to turn (helps, then hurts); the
+  // two-server system is the CI-sized variant.
+  const bool smoke_grid = smoke;
+  const bool five = !smoke_grid && cli.get_int("servers") == 5;
+  core::DcsScenario scenario =
+      five ? bench::five_server_scenario(family, /*failures=*/false)
+           : bench::two_server_scenario(family, delay, /*failures=*/false);
+  int l12 = static_cast<int>(cli.get_int("l12"));
+  int l21 = static_cast<int>(cli.get_int("l21"));
+
+  sim::ReplicationStudyOptions study;
+  study.base_slowdown.rate = cli.get_double("slowdown-rate");
+  study.base_slowdown.duration =
+      dist::Exponential::with_mean(cli.get_double("slowdown-mean"));
+  study.base_slowdown.factor = cli.get_double("slowdown-factor");
+  study.replications = static_cast<std::size_t>(cli.get_int("replications"));
+  study.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  study.deadline = cli.get_double("deadline");
+  study.pool = &ThreadPool::global();
+  study.factors.clear();
+  for (const std::string& tok : split(cli.get_string("factors"), ',')) {
+    study.factors.push_back(std::stoi(tok));
+  }
+  study.slowdown_intensities.clear();
+  for (const std::string& tok : split(cli.get_string("intensities"), ',')) {
+    study.slowdown_intensities.push_back(std::stod(tok));
+  }
+
+  if (smoke) {
+    // The CI-sized grid: a 12+6-task workload, both factors, the fault-free
+    // and one slowed column, a few hundred replications.
+    scenario.servers[0].initial_tasks = 12;
+    scenario.servers[1].initial_tasks = 6;
+    l12 = 3;
+    l21 = 0;
+    study.factors = {1, 2};
+    study.slowdown_intensities = {0.0, 2.0};
+    study.replications = 300;
+    study.deadline = 60.0;
+  }
+  const core::DtrPolicy policy =
+      five ? core::DtrPolicy(scenario.servers.size())
+           : policy::make_two_server_policy(l12, l21);
+
+  Stopwatch watch;
+  const std::vector<sim::ReplicationStudyRow> rows =
+      sim::run_replication_study(scenario, policy, study);
+
+  Table table({"factor", "intensity", "mc mean", "bound lower", "bound upper",
+               "mc qos", "qos lower", "qos upper", "cancelled", "slowdowns"});
+  Table csv({"factor", "intensity", "mc_mean", "mc_qos", "bound_lower",
+             "bound_upper", "qos_lower", "qos_upper", "replicas_cancelled",
+             "slowdowns", "truncated"});
+  std::size_t bracket_violations = 0;
+  for (const sim::ReplicationStudyRow& row : rows) {
+    // The analytic bracket must contain the Monte-Carlo estimate up to MC
+    // noise: 2% model tolerance plus ~3 standard errors of the estimator
+    // (1.5× the reported CI half-width). The tolerance is generous because
+    // the bench's job is the qualitative curve; the golden test pins the
+    // exact numbers.
+    const double slack =
+        0.02 * std::max(row.mc_mean, 1.0) + 1.5 * row.mc_mean_halfwidth;
+    if (row.mc_mean < row.bound_lower - slack ||
+        row.mc_mean > row.bound_upper + slack) {
+      ++bracket_violations;
+    }
+    table.begin_row()
+        .cell(row.factor)
+        .cell(row.intensity, 2)
+        .cell(row.mc_mean, 2)
+        .cell(row.bound_lower, 2)
+        .cell(row.bound_upper, 2)
+        .cell(row.mc_qos, 4)
+        .cell(row.qos_lower, 4)
+        .cell(row.qos_upper, 4)
+        .cell(static_cast<long long>(row.replicas_cancelled))
+        .cell(static_cast<long long>(row.slowdowns));
+    csv.begin_row()
+        .cell(row.factor)
+        .cell(row.intensity, 4)
+        .cell(row.mc_mean, 6)
+        .cell(row.mc_qos, 6)
+        .cell(row.bound_lower, 6)
+        .cell(row.bound_upper, 6)
+        .cell(row.qos_lower, 6)
+        .cell(row.qos_upper, 6)
+        .cell(static_cast<long long>(row.replicas_cancelled))
+        .cell(static_cast<long long>(row.slowdowns))
+        .cell(static_cast<long long>(row.truncated));
+  }
+  if (five) {
+    std::cout << "Replication tradeoff (five-server system, identity "
+                 "policy, slowdown factor "
+              << format_double(study.base_slowdown.factor, 2) << "):\n";
+  } else {
+    std::cout << "Replication tradeoff (policy L12 = " << l12
+              << ", L21 = " << l21 << ", slowdown factor "
+              << format_double(study.base_slowdown.factor, 2) << "):\n";
+  }
+  table.print(std::cout);
+
+  // --- Qualitative shape of the mean-vs-r curve per intensity column. ----
+  std::map<double, std::map<int, double>> mean_by_intensity;
+  for (const sim::ReplicationStudyRow& row : rows) {
+    mean_by_intensity[row.intensity][row.factor] = row.mc_mean;
+  }
+  for (const auto& [intensity, by_factor] : mean_by_intensity) {
+    if (by_factor.size() < 2) continue;
+    const double at_one = by_factor.count(1) ? by_factor.at(1)
+                                             : by_factor.begin()->second;
+    double best = std::numeric_limits<double>::infinity();
+    int best_factor = by_factor.begin()->first;
+    for (const auto& [factor, mean] : by_factor) {
+      if (mean < best) {
+        best = mean;
+        best_factor = factor;
+      }
+    }
+    const double at_max = by_factor.rbegin()->second;
+    std::cout << "intensity " << format_double(intensity, 2)
+              << ": best factor r = " << best_factor << " (mean "
+              << format_double(best, 2) << " vs "
+              << format_double(at_one, 2) << " at r = 1";
+    if (best_factor > 1 && at_max > best) {
+      std::cout << "; helps then hurts: r = " << by_factor.rbegin()->first
+                << " gives " << format_double(at_max, 2) << ")";
+    } else {
+      std::cout << ")";
+    }
+    std::cout << "\n";
+  }
+
+  if (bracket_violations > 0) {
+    std::cout << "ERROR: " << bracket_violations
+              << " cells fall outside the analytic bracket\n";
+  } else {
+    std::cout << "All " << rows.size()
+              << " cells lie inside their analytic [lower, upper] bracket.\n";
+  }
+
+  const std::string out_path = cli.get_string("out");
+  const std::filesystem::path out_dir =
+      std::filesystem::path(out_path).parent_path();
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  csv.write_csv_file(out_path);
+  std::cout << "CSV series written to " << out_path << " ("
+            << format_double(watch.elapsed_seconds(), 1) << " s total)\n";
+  return bracket_violations > 0 ? 1 : 0;
+}

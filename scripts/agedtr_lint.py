@@ -27,7 +27,13 @@ contracts that neither the compiler nor clang-tidy can check:
                       std::lock_guard / std::unique_lock in src/ outside
                       util/thread_annotations.hpp — use the annotated
                       agedtr::Mutex / MutexLock / CondVar wrappers so
-                      Clang's -Wthread-safety analysis sees every lock.
+                      -Wthread-safety sees every lock.
+  boundary-require    the registered contract surfaces (the replication /
+                      slowdown API boundary: plan validation, the analytic
+                      bounds, the study grid, the joint searches and the
+                      fault plumbing) must call AGEDTR_REQUIRE at least
+                      once — an edit that drops every precondition check
+                      from one of these files is a contract regression.
 
 Suppression: append `agedtr-lint: allow(<rule>)` in a comment on the
 violating line or the line directly above it. Suppressions are expected to
@@ -289,6 +295,34 @@ def rule_mutex_annotation(path, raw_lines, stripped_lines):
                             "-Wthread-safety sees the lock")
 
 
+# Contract surfaces: source files that implement a validated public API
+# boundary and therefore must contain at least one AGEDTR_REQUIRE. Matched
+# on the path suffix so the rule works from any checkout location.
+BOUNDARY_REQUIRE_FILES = (
+    "src/core/replication.cpp",
+    "src/core/replication_bounds.cpp",
+    "src/sim/fault_injection.cpp",
+    "src/sim/monte_carlo.cpp",
+    "src/sim/allocation_search.cpp",
+    "src/sim/replication_study.cpp",
+    "src/policy/two_server.cpp",
+    "src/policy/algorithm1.cpp",
+)
+
+AGEDTR_REQUIRE_RE = re.compile(r"\bAGEDTR_REQUIRE\s*\(")
+
+
+def rule_boundary_require(path, raw_lines, stripped_lines):
+    normalized = path.replace(os.sep, "/")
+    if not normalized.endswith(BOUNDARY_REQUIRE_FILES):
+        return
+    if any(AGEDTR_REQUIRE_RE.search(line) for line in stripped_lines):
+        return
+    yield Violation(path, 1, "boundary-require",
+                    "contract surface has no AGEDTR_REQUIRE left; validate "
+                    "inputs at the API boundary (docs/FAULT_MODEL.md)")
+
+
 RULES = [
     rule_entropy,
     rule_naked_new,
@@ -297,10 +331,12 @@ RULES = [
     rule_require_not_throw,
     rule_include_hygiene,
     rule_mutex_annotation,
+    rule_boundary_require,
 ]
 
 RULE_IDS = ["entropy", "naked-new", "no-float", "nodiscard-factory",
-            "require-not-throw", "include-hygiene", "mutex-annotation"]
+            "require-not-throw", "include-hygiene", "mutex-annotation",
+            "boundary-require"]
 
 
 def lint_file(path: str) -> list[Violation]:
@@ -387,6 +423,15 @@ def self_test() -> int:
         with open(inc, "w", encoding="utf-8") as f:
             f.write("#include <string>\nstd::vector<int> v;\n")
         seeded["include-hygiene"] = inc
+        # boundary-require: a registered contract surface with every
+        # AGEDTR_REQUIRE stripped (a comment mention must not count).
+        boundary_dir = os.path.join(tmp, "src", "sim")
+        os.makedirs(boundary_dir)
+        boundary = os.path.join(boundary_dir, "replication_study.cpp")
+        with open(boundary, "w", encoding="utf-8") as f:
+            f.write("// AGEDTR_REQUIRE( in a comment does not count\n"
+                    "void run_study() {}\n")
+        seeded["boundary-require"] = boundary
 
         for rule, path in seeded.items():
             found = [v for v in lint_file(path) if v.rule == rule]
@@ -421,7 +466,7 @@ def self_test() -> int:
         for f_ in failures:
             print(f"agedtr-lint self-test FAIL: {f_}", file=sys.stderr)
         return 1
-    print(f"agedtr-lint self-test OK ({len(SELF_TEST_SEEDS) + 2} rule classes, "
+    print(f"agedtr-lint self-test OK ({len(SELF_TEST_SEEDS) + 3} rule classes, "
           "suppression, and comment/string stripping verified)", file=sys.stderr)
     return 0
 

@@ -34,6 +34,12 @@ class RegenerationAnalysis {
   ///   - an arrival clock per in-flight FN packet (X aged by a_F).
   RegenerationAnalysis(const DcsScenario& scenario, const SystemState& state);
 
+  /// Races an explicit clock set. This is the entry point the replication
+  /// bounds use: the r replicas of a work unit race as r clocks, and
+  /// race_survival() is then exactly the min-of-r product ∏ S_ρ(s). Every
+  /// law must be non-null.
+  explicit RegenerationAnalysis(std::vector<Clock> clocks);
+
   [[nodiscard]] const std::vector<Clock>& clocks() const { return clocks_; }
   [[nodiscard]] bool empty() const { return clocks_.empty(); }
 

@@ -1,0 +1,69 @@
+// Task-group replication (the redundancy axis the source paper leaves
+// open): a work unit — one server's local block or one in-transit group —
+// may be copied to r servers that race to complete it, with
+// cancel-on-first-completion in the spirit of Wang–Joshi–Wornell's
+// replicated fork-join and Zubeldia's redundancy-under-slowdown models.
+//
+// The contract is layered on top of DtrPolicy rather than woven into it:
+// a policy still decides *where tasks move*; a ReplicationPlan then decides
+// *which servers additionally host a copy of each resulting work unit*.
+// enumerate_work_units() defines the canonical unit order (the same order
+// apply_policy materializes workloads in), and every replica set is indexed
+// against it. An identity plan (every unit hosted only by its primary) is
+// the exact unreplicated model: the simulator's replication hooks draw
+// nothing extra from the RNG and schedule nothing extra in that case, so
+// r = 1 runs stay bit-identical to the seed simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+
+namespace agedtr::core {
+
+/// One schedulable unit of work once a policy is applied: either server
+/// `destination`'s local block (origin == destination) or the group the
+/// policy moves from `origin` to `destination` (origin != destination).
+struct WorkUnit {
+  std::size_t origin = 0;
+  std::size_t destination = 0;
+  int tasks = 0;
+};
+
+/// The canonical unit enumeration for (scenario, policy): for each
+/// destination j in index order, the local block first (omitted when the
+/// policy leaves no local tasks), then one unit per inbound group in
+/// apply_policy's order (sources in ascending index). Replica sets and the
+/// simulator's unit bookkeeping are both indexed against this order.
+[[nodiscard]] std::vector<WorkUnit> enumerate_work_units(
+    const DcsScenario& scenario, const DtrPolicy& policy);
+
+/// Which servers host a copy of each work unit. replica_sets[u] lists the
+/// hosts of unit u with the primary host (the unit's destination) first;
+/// hosts are distinct. Replica k > 0 of a unit with origin i receives its
+/// copy from i over the scenario's i -> host transfer law (no transfer when
+/// the host *is* the origin: the copy never crosses the network).
+struct ReplicationPlan {
+  std::vector<std::vector<std::size_t>> replica_sets;
+
+  /// True when no unit has more than one host — the unreplicated model.
+  [[nodiscard]] bool is_identity() const;
+
+  /// The largest replica-set size (1 for an identity plan, 0 when empty).
+  [[nodiscard]] std::size_t max_factor() const;
+
+  /// Throws InvalidArgument unless the plan matches
+  /// enumerate_work_units(scenario, policy): one non-empty set per unit,
+  /// primary host first, hosts distinct and in range.
+  void validate(const DcsScenario& scenario, const DtrPolicy& policy) const;
+};
+
+/// Builds the plan replicating every work unit to `factor` hosts: the
+/// primary plus the factor - 1 other servers with the smallest mean service
+/// time (ties broken toward the smaller index), clamped to the server
+/// count. factor == 1 yields the identity plan.
+[[nodiscard]] ReplicationPlan make_uniform_replication(
+    const DcsScenario& scenario, const DtrPolicy& policy, int factor);
+
+}  // namespace agedtr::core

@@ -1,0 +1,73 @@
+// Analytic completion-time bounds for a replicated workload, built on the
+// regenerative framework: each work unit's r replicas race as r clocks, so
+// the unit's completion survival is the min-of-r product ∏_ρ S_ρ(s) that
+// RegenerationAnalysis::race_survival computes.
+//
+// Lower bound (no contention, no slowdowns): give every replica a dedicated
+// copy of its host, so replica ρ of a unit with L tasks finishes at
+// transfer_ρ + Σ_{t=1..L} W_{h_ρ}, all draws independent. Removing
+// contention and slowdowns only speeds every unit up on the shared
+// probability space, so E[max_u min_ρ ...] is a true lower bound on E[T]
+// and ∏_u F_u(d) a true upper bound on QoS(d).
+//
+// Upper bound (FIFO work conservation under worst-case slowdowns): every
+// segment hosted at server h completes by B_h = (latest arrival among h's
+// segments) + (total natural work at h) / φ, where φ > 0 is the worst-case
+// service-rate floor a slowdown can impose. A unit therefore completes by
+// min_ρ B_{h_ρ}, and a union bound over units gives
+// E[T] <= ∫ min(1, Σ_u min_ρ S_{B_{h_ρ}}(s)) ds.
+//
+// Validity assumptions (checked where checkable, documented in
+// docs/FAULT_MODEL.md): reliable servers (no failure laws), a reliable
+// network (no channel faults), independent transfer/service draws, and —
+// for finite upper bounds — rate-scaling slowdowns with factor >= φ > 0
+// (permanent stalls admit no finite work-conserving bound).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/replication.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/util/budget.hpp"
+
+namespace agedtr::core {
+
+struct ReplicationBoundsOptions {
+  /// Deadline for the QoS bounds; <= 0 skips them (qos bounds stay [0, 1]).
+  double deadline = 0.0;
+  /// Worst-case service-rate floor φ ∈ (0, 1]: during a slowdown window a
+  /// server still serves at rate >= φ. 1 = no slowdowns.
+  double slowdown_factor = 1.0;
+  /// Survival mass below which the numeric integration horizon is cut.
+  double tail_eps = 1e-9;
+  /// Wall-clock cap for the bound integrals (checked once per work unit).
+  EvalBudget budget;
+};
+
+struct ReplicationBounds {
+  /// E[T] ∈ [mean_lower, mean_upper] (mean_upper may be +inf when no
+  /// finite work-conserving bound exists).
+  double mean_lower = 0.0;
+  double mean_upper = 0.0;
+  /// P{T <= deadline} ∈ [qos_lower, qos_upper] when a deadline was given.
+  double qos_lower = 0.0;
+  double qos_upper = 1.0;
+};
+
+/// The no-contention completion law of one replica of `unit` hosted at
+/// `host`: the group's transfer to `host` (none when host == origin)
+/// convolved with the `tasks`-fold service sum at `host`. This is the law
+/// whose min-of-r products the lower bound races.
+[[nodiscard]] dist::DistPtr replica_completion_law(const DcsScenario& scenario,
+                                                   const WorkUnit& unit,
+                                                   std::size_t host);
+
+/// Completion-time bounds for (scenario, policy, plan). Throws
+/// InvalidArgument when the model assumptions above are violated (failure
+/// laws present, malformed plan, slowdown_factor outside (0, 1]).
+[[nodiscard]] ReplicationBounds replication_completion_bounds(
+    const DcsScenario& scenario, const DtrPolicy& policy,
+    const ReplicationPlan& plan, const ReplicationBoundsOptions& options = {});
+
+}  // namespace agedtr::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "agedtr/dist/aged.hpp"
 #include "agedtr/numerics/quadrature.hpp"
@@ -37,6 +39,14 @@ RegenerationAnalysis::RegenerationAnalysis(const DcsScenario& scenario,
     clocks_.push_back({Clock::Kind::kFnArrival, p,
                        dist::aged(state.fn_packets[p].transfer,
                                   state.fn_packets[p].age)});
+  }
+}
+
+RegenerationAnalysis::RegenerationAnalysis(std::vector<Clock> clocks)
+    : clocks_(std::move(clocks)) {
+  for (const Clock& c : clocks_) {
+    AGEDTR_REQUIRE(c.law != nullptr,
+                   "RegenerationAnalysis: clock law must be non-null");
   }
 }
 

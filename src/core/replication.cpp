@@ -1,0 +1,114 @@
+#include "agedtr/core/replication.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+std::vector<WorkUnit> enumerate_work_units(const DcsScenario& scenario,
+                                           const DtrPolicy& policy) {
+  scenario.validate();
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(policy.size() == n,
+                 "enumerate_work_units: policy size does not match scenario");
+  std::vector<WorkUnit> units;
+  for (std::size_t j = 0; j < n; ++j) {
+    const int local =
+        scenario.servers[j].initial_tasks - policy.outgoing(j);
+    AGEDTR_REQUIRE(local >= 0,
+                   "enumerate_work_units: policy sends more tasks than "
+                   "server " +
+                       std::to_string(j) + " holds");
+    if (local > 0) units.push_back({j, j, local});
+    for (std::size_t i = 0; i < n; ++i) {
+      const int l = (i == j) ? 0 : policy(i, j);
+      if (l > 0) units.push_back({i, j, l});
+    }
+  }
+  return units;
+}
+
+bool ReplicationPlan::is_identity() const {
+  return std::all_of(replica_sets.begin(), replica_sets.end(),
+                     [](const std::vector<std::size_t>& hosts) {
+                       return hosts.size() <= 1;
+                     });
+}
+
+std::size_t ReplicationPlan::max_factor() const {
+  std::size_t factor = 0;
+  for (const std::vector<std::size_t>& hosts : replica_sets) {
+    factor = std::max(factor, hosts.size());
+  }
+  return factor;
+}
+
+void ReplicationPlan::validate(const DcsScenario& scenario,
+                               const DtrPolicy& policy) const {
+  const std::vector<WorkUnit> units = enumerate_work_units(scenario, policy);
+  AGEDTR_REQUIRE(replica_sets.size() == units.size(),
+                 "ReplicationPlan: " + std::to_string(replica_sets.size()) +
+                     " replica sets for " + std::to_string(units.size()) +
+                     " work units");
+  const std::size_t n = scenario.size();
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::vector<std::size_t>& hosts = replica_sets[u];
+    AGEDTR_REQUIRE(!hosts.empty(), "ReplicationPlan: unit " +
+                                       std::to_string(u) +
+                                       " has an empty replica set");
+    AGEDTR_REQUIRE(hosts.front() == units[u].destination,
+                   "ReplicationPlan: unit " + std::to_string(u) +
+                       " must list its primary host (destination) first");
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+      AGEDTR_REQUIRE(hosts[k] < n, "ReplicationPlan: unit " +
+                                       std::to_string(u) +
+                                       " names an out-of-range host");
+      for (std::size_t l = k + 1; l < hosts.size(); ++l) {
+        AGEDTR_REQUIRE(hosts[k] != hosts[l],
+                       "ReplicationPlan: unit " + std::to_string(u) +
+                           " lists host " + std::to_string(hosts[k]) +
+                           " twice");
+      }
+    }
+  }
+}
+
+ReplicationPlan make_uniform_replication(const DcsScenario& scenario,
+                                         const DtrPolicy& policy,
+                                         int factor) {
+  AGEDTR_REQUIRE(factor >= 1,
+                 "make_uniform_replication: factor must be >= 1");
+  const std::vector<WorkUnit> units = enumerate_work_units(scenario, policy);
+  const std::size_t n = scenario.size();
+
+  // Rank candidate hosts once: ascending mean service time, ties toward the
+  // smaller index, so plans are deterministic across platforms.
+  std::vector<std::size_t> ranked(n);
+  std::iota(ranked.begin(), ranked.end(), std::size_t{0});
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scenario.servers[a].service->mean() <
+                            scenario.servers[b].service->mean();
+                   });
+
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(factor), n);
+  ReplicationPlan plan;
+  plan.replica_sets.reserve(units.size());
+  for (const WorkUnit& unit : units) {
+    std::vector<std::size_t> hosts = {unit.destination};
+    for (std::size_t r = 0; r < n && hosts.size() < want; ++r) {
+      if (ranked[r] == unit.destination) continue;
+      hosts.push_back(ranked[r]);
+    }
+    plan.replica_sets.push_back(std::move(hosts));
+  }
+  return plan;
+}
+
+}  // namespace agedtr::core

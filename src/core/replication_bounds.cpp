@@ -1,0 +1,207 @@
+#include "agedtr/core/replication_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/core/regeneration.hpp"
+#include "agedtr/dist/compose.hpp"
+#include "agedtr/dist/sum_iid.hpp"
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The law of one group's transfer from `origin` to `host` under the
+/// scenario's scaling; nullptr when the copy never crosses the network.
+dist::DistPtr group_arrival_law(const DcsScenario& scenario,
+                                std::size_t origin, std::size_t host,
+                                int tasks) {
+  if (origin == host) return nullptr;
+  const dist::DistPtr& base = scenario.transfer[origin][host];
+  AGEDTR_REQUIRE(base != nullptr,
+                 "replication bounds: missing transfer law " +
+                     std::to_string(origin) + " -> " + std::to_string(host));
+  if (scenario.transfer_scaling == TransferScaling::kPerTask) {
+    return dist::sum_iid(base, static_cast<unsigned>(tasks));
+  }
+  return base;
+}
+
+}  // namespace
+
+dist::DistPtr replica_completion_law(const DcsScenario& scenario,
+                                     const WorkUnit& unit, std::size_t host) {
+  AGEDTR_REQUIRE(host < scenario.size(),
+                 "replica_completion_law: host out of range");
+  AGEDTR_REQUIRE(unit.tasks > 0,
+                 "replica_completion_law: unit must hold tasks");
+  const dist::DistPtr service_sum =
+      dist::sum_iid(scenario.servers[host].service,
+                    static_cast<unsigned>(unit.tasks));
+  const dist::DistPtr arrival =
+      group_arrival_law(scenario, unit.origin, host, unit.tasks);
+  if (!arrival) return service_sum;
+  return dist::convolved(arrival, service_sum);
+}
+
+ReplicationBounds replication_completion_bounds(
+    const DcsScenario& scenario, const DtrPolicy& policy,
+    const ReplicationPlan& plan, const ReplicationBoundsOptions& options) {
+  plan.validate(scenario, policy);
+  AGEDTR_REQUIRE(options.slowdown_factor > 0.0 &&
+                     options.slowdown_factor <= 1.0,
+                 "replication bounds: slowdown factor must lie in (0, 1] "
+                 "(permanent stalls admit no finite work-conserving bound)");
+  AGEDTR_REQUIRE(options.tail_eps > 0.0 && options.tail_eps < 1.0,
+                 "replication bounds: tail_eps must lie in (0, 1)");
+  const std::size_t n = scenario.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    AGEDTR_REQUIRE(scenario.servers[j].failure == nullptr,
+                   "replication bounds assume reliable servers; server " +
+                       std::to_string(j) + " has a failure law");
+  }
+  const std::vector<WorkUnit> units = enumerate_work_units(scenario, policy);
+  const BudgetTimer timer(options.budget);
+
+  ReplicationBounds bounds;
+  if (units.empty()) {
+    // No work: T = 0 with certainty.
+    if (options.deadline > 0.0) bounds.qos_lower = 1.0;
+    return bounds;
+  }
+
+  // ---- Lower bound: independent min-of-r races, one per unit.
+  std::vector<RegenerationAnalysis> races;
+  races.reserve(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    timer.check("replication_completion_bounds");
+    std::vector<Clock> clocks;
+    clocks.reserve(plan.replica_sets[u].size());
+    for (const std::size_t host : plan.replica_sets[u]) {
+      clocks.push_back({Clock::Kind::kService, host,
+                        replica_completion_law(scenario, units[u], host)});
+    }
+    races.emplace_back(std::move(clocks));
+  }
+  double lower_horizon = 0.0;
+  for (const RegenerationAnalysis& race : races) {
+    lower_horizon = std::max(lower_horizon, race.horizon(options.tail_eps));
+  }
+  const auto max_survival = [&races](double s) {
+    // P{max_u C_u > s} = 1 − ∏_u F_u(s) with F_u = 1 − ∏_ρ S_ρ.
+    double prod = 1.0;
+    for (const RegenerationAnalysis& race : races) {
+      prod *= 1.0 - race.race_survival(s);
+      if (prod == 0.0) return 1.0;
+    }
+    return 1.0 - prod;
+  };
+  // Truncating the integral at the horizon only drops nonnegative mass, so
+  // the result stays a valid lower bound.
+  bounds.mean_lower =
+      numerics::integrate(max_survival, 0.0, lower_horizon, 1e-10, 1e-8)
+          .value;
+  if (options.deadline > 0.0) {
+    double prod = 1.0;
+    for (const RegenerationAnalysis& race : races) {
+      prod *= 1.0 - race.race_survival(options.deadline);
+    }
+    bounds.qos_upper = std::clamp(prod, 0.0, 1.0);
+  }
+
+  // ---- Upper bound: per-host FIFO work conservation under worst-case
+  // slowdowns. Every segment at host h completes by
+  //   B_h = max(arrivals at h) + (total natural work at h) / φ.
+  std::vector<int> host_work(n, 0);
+  std::vector<std::vector<dist::DistPtr>> host_arrivals(n);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (const std::size_t host : plan.replica_sets[u]) {
+      host_work[host] += units[u].tasks;
+      dist::DistPtr arrival =
+          group_arrival_law(scenario, units[u].origin, host, units[u].tasks);
+      if (arrival) host_arrivals[host].push_back(std::move(arrival));
+    }
+  }
+  std::vector<dist::DistPtr> host_bound(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    if (host_work[h] == 0) continue;
+    timer.check("replication_completion_bounds");
+    dist::DistPtr law = dist::scaled(
+        dist::sum_iid(scenario.servers[h].service,
+                      static_cast<unsigned>(host_work[h])),
+        1.0 / options.slowdown_factor);
+    if (!host_arrivals[h].empty()) {
+      law = dist::convolved(dist::max_of(std::move(host_arrivals[h])),
+                            std::move(law));
+    }
+    host_bound[h] = std::move(law);
+  }
+  const auto unit_upper_survival = [&](std::size_t u, double s) {
+    double surv = 1.0;
+    for (const std::size_t host : plan.replica_sets[u]) {
+      surv = std::min(surv, host_bound[host]->sf(s));
+      if (surv == 0.0) return 0.0;
+    }
+    return surv;
+  };
+  const auto union_survival = [&](double s) {
+    double total = 0.0;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      total += unit_upper_survival(u, s);
+      if (total >= 1.0) return 1.0;
+    }
+    return total;
+  };
+  double upper_horizon = 0.0;
+  for (std::size_t h = 0; h < n; ++h) {
+    if (host_bound[h]) upper_horizon = std::max(upper_horizon,
+                                                host_bound[h]->mean());
+  }
+  upper_horizon = std::max(upper_horizon, 1e-6);
+  bool horizon_found = false;
+  for (int i = 0; i < 200; ++i) {
+    timer.check("replication_completion_bounds");
+    if (union_survival(upper_horizon) <= options.tail_eps) {
+      horizon_found = true;
+      break;
+    }
+    upper_horizon *= 2.0;
+  }
+  if (!horizon_found) {
+    bounds.mean_upper = kInf;  // heavy tails defeated the doubling search
+  } else {
+    double tail = 0.0;
+    std::vector<double> host_tail(n, 0.0);
+    for (std::size_t h = 0; h < n; ++h) {
+      if (host_bound[h]) {
+        timer.check("replication_completion_bounds");
+        host_tail[h] = host_bound[h]->integral_sf(upper_horizon);
+      }
+    }
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      double best = kInf;
+      for (const std::size_t host : plan.replica_sets[u]) {
+        best = std::min(best, host_tail[host]);
+      }
+      tail += best;
+    }
+    bounds.mean_upper =
+        numerics::integrate(union_survival, 0.0, upper_horizon, 1e-10, 1e-8)
+            .value +
+        tail;
+  }
+  if (options.deadline > 0.0) {
+    bounds.qos_lower =
+        std::clamp(1.0 - union_survival(options.deadline), 0.0, 1.0);
+  }
+  return bounds;
+}
+
+}  // namespace agedtr::core

@@ -1,0 +1,336 @@
+#include "agedtr/dist/compose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/numerics/quadrature.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::dist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A law whose support is a single point behaves as an exact shift under
+/// convolution; quadrature over its (delta) density would be meaningless.
+bool is_point_mass(const Distribution& d) {
+  const double lo = d.lower_bound();
+  return std::isfinite(lo) && d.upper_bound() == lo;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Scaled
+
+Scaled::Scaled(DistPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  AGEDTR_REQUIRE(base_ != nullptr, "Scaled: base distribution is null");
+  AGEDTR_REQUIRE(factor_ > 0.0 && std::isfinite(factor_),
+                 "Scaled: factor must be positive and finite");
+}
+
+double Scaled::pdf(double x) const { return base_->pdf(x / factor_) / factor_; }
+double Scaled::cdf(double x) const { return base_->cdf(x / factor_); }
+double Scaled::sf(double x) const { return base_->sf(x / factor_); }
+double Scaled::mean() const { return factor_ * base_->mean(); }
+
+double Scaled::variance() const {
+  return factor_ * factor_ * base_->variance();
+}
+
+double Scaled::quantile(double p) const {
+  return factor_ * base_->quantile(p);
+}
+
+double Scaled::sample(random::Rng& rng) const {
+  return factor_ * base_->sample(rng);
+}
+
+double Scaled::lower_bound() const { return factor_ * base_->lower_bound(); }
+double Scaled::upper_bound() const { return factor_ * base_->upper_bound(); }
+
+bool Scaled::is_memoryless() const {
+  // A scaled exponential is an exponential with rescaled rate.
+  return base_->is_memoryless();
+}
+
+double Scaled::integral_sf(double t) const {
+  // ∫_t^∞ S(u/c) du = c ∫_{t/c}^∞ S(v) dv.
+  return factor_ * base_->integral_sf(t / factor_);
+}
+
+double Scaled::laplace(double s) const { return base_->laplace(factor_ * s); }
+
+std::string Scaled::describe() const {
+  return "scaled(" + base_->describe() +
+         ", factor=" + std::to_string(factor_) + ")";
+}
+
+// ------------------------------------------------------------- Convolved
+
+Convolved::Convolved(DistPtr a, DistPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  AGEDTR_REQUIRE(a_ != nullptr && b_ != nullptr,
+                 "Convolved: operand distribution is null");
+}
+
+double Convolved::pdf(double x) const {
+  if (x < lower_bound()) return 0.0;
+  if (is_point_mass(*a_)) return b_->pdf(x - a_->lower_bound());
+  if (is_point_mass(*b_)) return a_->pdf(x - b_->lower_bound());
+  const double lo = a_->lower_bound();
+  const double hi = std::min(a_->upper_bound(), x - b_->lower_bound());
+  if (hi <= lo) return 0.0;
+  return numerics::integrate(
+             [this, x](double u) { return a_->pdf(u) * b_->pdf(x - u); },
+             lo, hi, 1e-12, 1e-9)
+      .value;
+}
+
+double Convolved::cdf(double x) const {
+  if (x <= lower_bound()) return 0.0;
+  return 1.0 - sf(x);
+}
+
+double Convolved::sf(double x) const {
+  if (x <= lower_bound()) return 1.0;
+  if (is_point_mass(*a_)) return b_->sf(x - a_->lower_bound());
+  if (is_point_mass(*b_)) return a_->sf(x - b_->lower_bound());
+  // P{A + B > x} = S_A(x) + ∫ f_A(u) S_B(x − u) du over A's support below x.
+  const double lo = a_->lower_bound();
+  const double hi = std::min(a_->upper_bound(), x);
+  double value = a_->sf(x);
+  if (hi > lo) {
+    value += numerics::integrate(
+                 [this, x](double u) { return a_->pdf(u) * b_->sf(x - u); },
+                 lo, hi, 1e-12, 1e-9)
+                 .value;
+  }
+  return std::clamp(value, 0.0, 1.0);
+}
+
+double Convolved::mean() const { return a_->mean() + b_->mean(); }
+
+double Convolved::variance() const {
+  return a_->variance() + b_->variance();
+}
+
+double Convolved::sample(random::Rng& rng) const {
+  const double a = a_->sample(rng);
+  return a + b_->sample(rng);
+}
+
+double Convolved::lower_bound() const {
+  return a_->lower_bound() + b_->lower_bound();
+}
+
+double Convolved::upper_bound() const {
+  const double ua = a_->upper_bound();
+  const double ub = b_->upper_bound();
+  if (!std::isfinite(ua) || !std::isfinite(ub)) return kInf;
+  return ua + ub;
+}
+
+double Convolved::laplace(double s) const {
+  return a_->laplace(s) * b_->laplace(s);
+}
+
+std::string Convolved::describe() const {
+  return "convolved(" + a_->describe() + ", " + b_->describe() + ")";
+}
+
+// ----------------------------------------------------------------- MinOf
+
+MinOf::MinOf(std::vector<DistPtr> components)
+    : components_(std::move(components)) {
+  AGEDTR_REQUIRE(!components_.empty(), "MinOf: need at least one component");
+  for (const DistPtr& d : components_) {
+    AGEDTR_REQUIRE(d != nullptr, "MinOf: component distribution is null");
+  }
+}
+
+double MinOf::pdf(double x) const {
+  // f(x) = Σ_i f_i(x) ∏_{j≠i} S_j(x) — the competing-risk density.
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    double term = components_[i]->pdf(x);
+    if (term == 0.0) continue;
+    for (std::size_t j = 0; j < components_.size() && term != 0.0; ++j) {
+      if (j != i) term *= components_[j]->sf(x);
+    }
+    total += term;
+  }
+  return total;
+}
+
+double MinOf::cdf(double x) const { return 1.0 - sf(x); }
+
+double MinOf::sf(double x) const {
+  double surv = 1.0;
+  for (const DistPtr& d : components_) {
+    surv *= d->sf(x);
+    if (surv == 0.0) return 0.0;
+  }
+  return surv;
+}
+
+double MinOf::mean() const {
+  return numerics::integrate_to_infinity(
+             [this](double t) { return sf(t); }, 0.0, 1e-11, 1e-9)
+      .value;
+}
+
+double MinOf::variance() const {
+  // E[X²] = 2 ∫ t·S(t) dt for a nonnegative variable.
+  const double m = mean();
+  const double second =
+      2.0 * numerics::integrate_to_infinity(
+                [this](double t) { return t * sf(t); }, 0.0, 1e-11, 1e-9)
+                .value;
+  return std::max(second - m * m, 0.0);
+}
+
+double MinOf::sample(random::Rng& rng) const {
+  double best = kInf;
+  for (const DistPtr& d : components_) {
+    best = std::min(best, d->sample(rng));
+  }
+  return best;
+}
+
+double MinOf::lower_bound() const {
+  double lo = kInf;
+  for (const DistPtr& d : components_) lo = std::min(lo, d->lower_bound());
+  return lo;
+}
+
+double MinOf::upper_bound() const {
+  double hi = kInf;
+  for (const DistPtr& d : components_) hi = std::min(hi, d->upper_bound());
+  return hi;
+}
+
+bool MinOf::is_memoryless() const {
+  // The minimum of independent exponentials is exponential.
+  return std::all_of(components_.begin(), components_.end(),
+                     [](const DistPtr& d) { return d->is_memoryless(); });
+}
+
+std::string MinOf::describe() const {
+  std::string out = "min_of(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += components_[i]->describe();
+  }
+  return out + ")";
+}
+
+// ----------------------------------------------------------------- MaxOf
+
+MaxOf::MaxOf(std::vector<DistPtr> components)
+    : components_(std::move(components)) {
+  AGEDTR_REQUIRE(!components_.empty(), "MaxOf: need at least one component");
+  for (const DistPtr& d : components_) {
+    AGEDTR_REQUIRE(d != nullptr, "MaxOf: component distribution is null");
+  }
+}
+
+double MaxOf::pdf(double x) const {
+  // f(x) = Σ_i f_i(x) ∏_{j≠i} F_j(x).
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    double term = components_[i]->pdf(x);
+    if (term == 0.0) continue;
+    for (std::size_t j = 0; j < components_.size() && term != 0.0; ++j) {
+      if (j != i) term *= components_[j]->cdf(x);
+    }
+    total += term;
+  }
+  return total;
+}
+
+double MaxOf::cdf(double x) const {
+  double prob = 1.0;
+  for (const DistPtr& d : components_) {
+    prob *= d->cdf(x);
+    if (prob == 0.0) return 0.0;
+  }
+  return prob;
+}
+
+double MaxOf::sf(double x) const { return 1.0 - cdf(x); }
+
+double MaxOf::mean() const {
+  return numerics::integrate_to_infinity(
+             [this](double t) { return sf(t); }, 0.0, 1e-11, 1e-9)
+      .value;
+}
+
+double MaxOf::variance() const {
+  const double m = mean();
+  const double second =
+      2.0 * numerics::integrate_to_infinity(
+                [this](double t) { return t * sf(t); }, 0.0, 1e-11, 1e-9)
+                .value;
+  return std::max(second - m * m, 0.0);
+}
+
+double MaxOf::sample(random::Rng& rng) const {
+  double best = -kInf;
+  for (const DistPtr& d : components_) {
+    best = std::max(best, d->sample(rng));
+  }
+  return best;
+}
+
+double MaxOf::lower_bound() const {
+  double lo = 0.0;
+  for (const DistPtr& d : components_) lo = std::max(lo, d->lower_bound());
+  return lo;
+}
+
+double MaxOf::upper_bound() const {
+  double hi = 0.0;
+  for (const DistPtr& d : components_) hi = std::max(hi, d->upper_bound());
+  return hi;
+}
+
+std::string MaxOf::describe() const {
+  std::string out = "max_of(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += components_[i]->describe();
+  }
+  return out + ")";
+}
+
+// ------------------------------------------------------------- factories
+
+DistPtr scaled(DistPtr base, double factor) {
+  AGEDTR_REQUIRE(base != nullptr, "scaled: base distribution is null");
+  if (factor == 1.0) return base;
+  return std::make_shared<Scaled>(std::move(base), factor);
+}
+
+DistPtr convolved(DistPtr a, DistPtr b) {
+  return std::make_shared<Convolved>(std::move(a), std::move(b));
+}
+
+DistPtr min_of(std::vector<DistPtr> components) {
+  AGEDTR_REQUIRE(!components.empty(), "min_of: need at least one component");
+  if (components.size() == 1) return std::move(components.front());
+  return std::make_shared<MinOf>(std::move(components));
+}
+
+DistPtr max_of(std::vector<DistPtr> components) {
+  AGEDTR_REQUIRE(!components.empty(), "max_of: need at least one component");
+  if (components.size() == 1) return std::move(components.front());
+  return std::make_shared<MaxOf>(std::move(components));
+}
+
+}  // namespace agedtr::dist

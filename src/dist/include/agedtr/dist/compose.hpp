@@ -1,0 +1,142 @@
+// Composition laws for the replication analysis: the scaled law c·X (a
+// service law dilated by a worst-case slowdown factor), the independent sum
+// A + B (a replica's transfer-plus-service completion time), and the
+// minimum of independent laws (the cancel-on-first-completion race, whose
+// survival function is the min-of-r product ∏ S_i the analytic bounds are
+// built from).
+//
+// Scaled has closed forms throughout. Convolved evaluates its integrals by
+// adaptive quadrature over the *first* operand's density, so pass the
+// analytically cheap law (a transfer family) first and the lattice-backed
+// one (a SumIid service sum) second. MinOf multiplies survivals and
+// integrates for its moments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/distribution.hpp"
+
+namespace agedtr::dist {
+
+class Scaled final : public Distribution {
+ public:
+  /// The law of factor·X; factor > 0 and finite.
+  Scaled(DistPtr base, double factor);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] bool is_memoryless() const override;
+  [[nodiscard]] double integral_sf(double t) const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "scaled"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const DistPtr& base() const { return base_; }
+  [[nodiscard]] double factor() const { return factor_; }
+
+ private:
+  DistPtr base_;
+  double factor_;
+};
+
+class Convolved final : public Distribution {
+ public:
+  /// The law of A + B with A, B independent. Quadrature runs over A's
+  /// density; point-mass operands (lower_bound == upper_bound) reduce to
+  /// exact shifts.
+  Convolved(DistPtr a, DistPtr b);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  /// Draws A then B (the order is part of the determinism contract).
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] double laplace(double s) const override;
+  [[nodiscard]] std::string name() const override { return "convolved"; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  DistPtr a_;
+  DistPtr b_;
+};
+
+class MinOf final : public Distribution {
+ public:
+  /// The law of min over independent components; at least one component.
+  explicit MinOf(std::vector<DistPtr> components);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  /// The min-of-r product: S(x) = ∏ S_i(x).
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  /// Draws every component in order and keeps the smallest.
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] bool is_memoryless() const override;
+  [[nodiscard]] std::string name() const override { return "min_of"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::vector<DistPtr>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<DistPtr> components_;
+};
+
+class MaxOf final : public Distribution {
+ public:
+  /// The law of max over independent components; at least one component.
+  explicit MaxOf(std::vector<DistPtr> components);
+
+  [[nodiscard]] double pdf(double x) const override;
+  /// The product of component CDFs: F(x) = ∏ F_i(x).
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  /// Draws every component in order and keeps the largest.
+  [[nodiscard]] double sample(random::Rng& rng) const override;
+  [[nodiscard]] double lower_bound() const override;
+  [[nodiscard]] double upper_bound() const override;
+  [[nodiscard]] std::string name() const override { return "max_of"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::vector<DistPtr>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<DistPtr> components_;
+};
+
+/// factor·X; returns `base` itself when factor == 1.
+[[nodiscard]] DistPtr scaled(DistPtr base, double factor);
+
+/// A + B with A, B independent.
+[[nodiscard]] DistPtr convolved(DistPtr a, DistPtr b);
+
+/// min of independent components; returns the sole component when there is
+/// exactly one.
+[[nodiscard]] DistPtr min_of(std::vector<DistPtr> components);
+
+/// max of independent components; returns the sole component when there is
+/// exactly one.
+[[nodiscard]] DistPtr max_of(std::vector<DistPtr> components);
+
+}  // namespace agedtr::dist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <optional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/core/replication_bounds.hpp"
 #include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/util/checkpoint.hpp"
@@ -26,6 +28,11 @@ Algorithm1::Algorithm1(Algorithm1Options options)
   if (options_.objective == Objective::kQos) {
     AGEDTR_REQUIRE(options_.deadline > 0.0, "Algorithm1: QoS needs a deadline");
   }
+  AGEDTR_REQUIRE(options_.max_replication >= 1,
+                 "Algorithm1: max_replication must be >= 1");
+  AGEDTR_REQUIRE(options_.slowdown_factor > 0.0 &&
+                     options_.slowdown_factor <= 1.0,
+                 "Algorithm1: slowdown_factor must lie in (0, 1]");
 }
 
 namespace {
@@ -113,6 +120,48 @@ std::string serialize_result(const Algorithm1Result& result) {
     }
   }
   return out;
+}
+
+/// Picks the uniform replication factor with the smallest analytic
+/// mean_upper bound on the reliable model (ties and degenerate bounds fall
+/// back to the smaller factor; r = 1 always competes, so the selection can
+/// only improve on no replication as the bounds see it).
+void select_replication(const core::DcsScenario& scenario,
+                        const Algorithm1Options& options,
+                        Algorithm1Result& result) {
+  core::DcsScenario reliable = scenario;
+  for (core::ServerSpec& s : reliable.servers) s.failure = nullptr;
+  core::ReplicationBoundsOptions bounds_options;
+  bounds_options.deadline =
+      options.objective == Objective::kQos ? options.deadline : 0.0;
+  bounds_options.slowdown_factor = options.slowdown_factor;
+  bounds_options.budget = options.conv.budget;
+  const int n = static_cast<int>(scenario.size());
+  const int max_factor = std::min(options.max_replication, n);
+  if (max_factor <= 1) {
+    result.replication_factor = 1;
+    result.replication =
+        core::make_uniform_replication(reliable, result.policy, 1);
+    return;
+  }
+  double best_upper = std::numeric_limits<double>::infinity();
+  for (int r = 1; r <= max_factor; ++r) {
+    const core::ReplicationPlan plan =
+        core::make_uniform_replication(reliable, result.policy, r);
+    const core::ReplicationBounds bounds = core::replication_completion_bounds(
+        reliable, result.policy, plan, bounds_options);
+    if (bounds.mean_upper < best_upper) {
+      best_upper = bounds.mean_upper;
+      result.replication_factor = r;
+      result.replication = plan;
+    }
+  }
+  if (result.replication.replica_sets.empty()) {
+    // Every bound degenerated (all +inf): keep the unreplicated plan.
+    result.replication_factor = 1;
+    result.replication =
+        core::make_uniform_replication(reliable, result.policy, 1);
+  }
 }
 
 Algorithm1Result parse_result(const std::string& payload) {
@@ -227,6 +276,9 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
     if (const std::optional<std::string> done = journal->find("result")) {
       Algorithm1Result resumed = parse_result(*done);
       resumed.journal_hits = journal->stats().hits;
+      // The replication factor is derived from the (journaled) policy, not
+      // journaled itself — recomputing keeps old journals replayable.
+      select_replication(scenario, options_, resumed);
       return resumed;
     }
   }
@@ -345,6 +397,7 @@ Algorithm1Result Algorithm1::devise(const core::DcsScenario& scenario,
     journal->record("result", serialize_result(result));
     result.journal_hits = journal->stats().hits;
   }
+  select_replication(scenario, options_, result);
   return result;
 }
 

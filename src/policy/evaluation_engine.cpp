@@ -173,6 +173,18 @@ SupervisedBatchResult EvaluationEngine::evaluate_supervised(
   return result;
 }
 
+core::ReplicationBounds EvaluationEngine::replication_bounds(
+    const core::DtrPolicy& policy, const core::ReplicationPlan& plan,
+    double slowdown_factor) const {
+  evaluations_counter().add();
+  core::ReplicationBoundsOptions bounds_options;
+  bounds_options.deadline = impl_->options.deadline;
+  bounds_options.slowdown_factor = slowdown_factor;
+  bounds_options.budget = impl_->options.conv.budget;
+  return core::replication_completion_bounds(*impl_->scenario, policy, plan,
+                                             bounds_options);
+}
+
 PolicyEvaluator EvaluationEngine::as_policy_evaluator() const {
   return [impl = impl_](const core::DtrPolicy& policy) {
     return impl->evaluate(policy);

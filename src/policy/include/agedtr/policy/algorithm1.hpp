@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "agedtr/core/replication.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/initial_policy.hpp"
 #include "agedtr/policy/objective.hpp"
@@ -75,6 +76,19 @@ struct Algorithm1Options {
   /// record throws CheckpointError mid-devise (0 = off). See
   /// Checkpoint::crash_after_records_for_testing.
   std::size_t checkpoint_crash_after_units = 0;
+
+  /// Largest uniform replication factor considered after the policy is
+  /// devised (1 = replication off, the historical behaviour). When > 1,
+  /// devise() scores make_uniform_replication(scenario, policy, r) for
+  /// r = 1..max_replication by the analytic mean_upper bound — computed on
+  /// the reliable model (failure laws dropped, as the T̄ subproblems do) —
+  /// and picks the factor with the smallest bound, ties to the smaller r.
+  /// The devised *policy* is unchanged; only the plan rides along.
+  int max_replication = 1;
+  /// Worst-case slowdown factor fed to the bounds while selecting the
+  /// replication factor (in (0, 1]; 1 = no slowdowns). Smaller values model
+  /// heavier straggling and push the selection toward more replication.
+  double slowdown_factor = 1.0;
 };
 
 struct Algorithm1Result {
@@ -84,6 +98,12 @@ struct Algorithm1Result {
   /// Units answered from a resumed checkpoint journal (0 when
   /// checkpointing is off or the journal was empty/discarded).
   std::size_t journal_hits = 0;
+  /// Uniform replication factor selected by the analytic bounds (1 when
+  /// options.max_replication == 1 or the search degenerated).
+  int replication_factor = 1;
+  /// The selected plan, make_uniform_replication(scenario, policy,
+  /// replication_factor) — identity when replication_factor == 1.
+  core::ReplicationPlan replication;
 };
 
 class Algorithm1 {

@@ -40,6 +40,7 @@
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/core/replication_bounds.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/util/error.hpp"
@@ -115,6 +116,16 @@ class EvaluationEngine {
   [[nodiscard]] SupervisedBatchResult evaluate_supervised(
       std::span<const core::DtrPolicy> policies,
       const SupervisorOptions& options = {}) const;
+
+  /// Analytic min-of-r completion-time bounds for `policy` replicated by
+  /// `plan` on the engine's (frozen) scenario, under worst-case slowdowns of
+  /// factor `slowdown_factor` (1 = no slowdowns). The engine's deadline
+  /// feeds the QoS bracket and its conv.budget caps the wall clock — the
+  /// same budget contract every other evaluation path honors. Requires a
+  /// failure-free scenario (the bounds' regenerative argument needs it).
+  [[nodiscard]] core::ReplicationBounds replication_bounds(
+      const core::DtrPolicy& policy, const core::ReplicationPlan& plan,
+      double slowdown_factor = 1.0) const;
 
   /// Compatibility adapter for call sites written against PolicyEvaluator.
   /// The closure shares the engine's state and stays valid after this

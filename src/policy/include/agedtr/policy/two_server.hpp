@@ -6,11 +6,13 @@
 // EvaluationEngine (one lattice workspace, pool-parallel internally).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/policy/objective.hpp"
+#include "agedtr/util/budget.hpp"
 #include "agedtr/util/thread_pool.hpp"
 
 namespace agedtr::policy {
@@ -21,6 +23,46 @@ struct PolicyPoint {
   int l12 = 0;
   int l21 = 0;
   double value = 0.0;
+};
+
+/// One point of the joint (reallocation × replication) search space: the
+/// 2-server policy (l12, l21) replicated uniformly by `factor`.
+struct ReplicatedPolicyPoint {
+  int l12 = 0;
+  int l21 = 0;
+  int factor = 1;
+  double value = 0.0;
+};
+
+/// Scores one (policy, replication factor) pair — typically a Monte-Carlo
+/// mean completion time under make_uniform_replication(·, ·, factor).
+using ReplicatedEvaluator =
+    std::function<double(const core::DtrPolicy&, int factor)>;
+
+struct ReplicatedSearchOptions {
+  /// Largest replication factor tried (clamped to the server count by the
+  /// evaluator's plan construction); factors run 1..max_factor.
+  int max_factor = 1;
+  /// Wall-clock cap for the whole search. Exhaustion does not throw: the
+  /// search stops where it is and reports budget_exhausted, so a partial
+  /// scan still returns its incumbent.
+  EvalBudget budget;
+  /// Optional cheap lower bound on the (minimized) objective; a point whose
+  /// bound is already >= the incumbent value is pruned without calling the
+  /// expensive evaluator. Must be a true lower bound or the search may drop
+  /// the optimum. Only consulted for minimization.
+  ReplicatedEvaluator lower_bound;
+};
+
+struct ReplicatedSearchResult {
+  ReplicatedPolicyPoint best;
+  /// Expensive evaluations actually performed.
+  std::size_t evaluations = 0;
+  /// Points skipped because the lower bound dominated the incumbent.
+  std::size_t pruned = 0;
+  /// True when the wall-clock budget stopped the scan before it covered the
+  /// whole grid (best is then the incumbent of the covered prefix).
+  bool budget_exhausted = false;
 };
 
 /// Builds the 2×2 policy with the given off-diagonal entries.
@@ -64,6 +106,16 @@ class TwoServerPolicySearch {
       const EvaluationEngine& engine, int l21) const;
   [[nodiscard]] std::vector<PolicyPoint> surface(
       const EvaluationEngine& engine) const;
+
+  /// Exhaustive minimization over the joint grid
+  /// (l12, l21, factor) ∈ [0, m1] × [0, m2] × [1, max_factor], scanned
+  /// serially in lexicographic order so ties always resolve to the smallest
+  /// (l12, l21, factor) regardless of pool configuration. Budget-aware:
+  /// options.budget stops the scan gracefully and options.lower_bound
+  /// prunes dominated points (see ReplicatedSearchOptions).
+  [[nodiscard]] ReplicatedSearchResult optimize_replicated(
+      const ReplicatedEvaluator& evaluator,
+      const ReplicatedSearchOptions& options) const;
 
  private:
   int m1_;

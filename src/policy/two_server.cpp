@@ -119,4 +119,47 @@ std::vector<PolicyPoint> TwoServerPolicySearch::surface(
   return evaluate_grid(engine, std::move(grid));
 }
 
+ReplicatedSearchResult TwoServerPolicySearch::optimize_replicated(
+    const ReplicatedEvaluator& evaluator,
+    const ReplicatedSearchOptions& options) const {
+  AGEDTR_REQUIRE(evaluator != nullptr,
+                 "optimize_replicated: evaluator must be callable");
+  AGEDTR_REQUIRE(options.max_factor >= 1,
+                 "optimize_replicated: max_factor must be >= 1");
+  const BudgetTimer timer(options.budget);
+  ReplicatedSearchResult result;
+  bool have_best = false;
+  // Serial lexicographic scan: the incumbent is only displaced by a
+  // strictly better value, so ties resolve to the smallest
+  // (l12, l21, factor) and the outcome is independent of any pool.
+  for (int l12 = 0; l12 <= m1_ && !result.budget_exhausted; ++l12) {
+    for (int l21 = 0; l21 <= m2_ && !result.budget_exhausted; ++l21) {
+      const core::DtrPolicy policy = make_two_server_policy(l12, l21);
+      for (int factor = 1; factor <= options.max_factor; ++factor) {
+        // The first point always evaluates so an exhausted budget still
+        // returns a usable incumbent instead of throwing.
+        if (have_best && timer.expired()) {
+          result.budget_exhausted = true;
+          break;
+        }
+        if (have_best && options.lower_bound != nullptr &&
+            options.lower_bound(policy, factor) >= result.best.value) {
+          ++result.pruned;
+          continue;
+        }
+        const double value = evaluator(policy, factor);
+        ++result.evaluations;
+        if (!have_best || value < result.best.value) {
+          result.best = {l12, l21, factor, value};
+          have_best = true;
+        }
+      }
+    }
+  }
+  AGEDTR_REQUIRE(have_best,
+                 "optimize_replicated: budget exhausted before any "
+                 "evaluation completed");
+  return result;
+}
+
 }  // namespace agedtr::policy

@@ -108,4 +108,11 @@ using Rng = Xoshiro256pp;
 /// deterministic and independent of thread assignment.
 [[nodiscard]] Rng make_replication_rng(std::uint64_t seed, std::uint64_t rep);
 
+/// Counter-based stream derivation: seeds the default engine from
+/// Philox4x32(seed, stream), so the mapping (seed, stream) -> engine state
+/// is a pure function with cryptographic-quality stream separation — no
+/// shared mutable seeding state, no dependence on evaluation order. This is
+/// the sub-stream factory Monte-Carlo uses under StreamSplit::kCounter.
+[[nodiscard]] Rng make_counter_rng(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace agedtr::random

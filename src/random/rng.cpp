@@ -94,4 +94,9 @@ Rng make_replication_rng(std::uint64_t seed, std::uint64_t rep) {
   return Rng(sm());
 }
 
+Rng make_counter_rng(std::uint64_t seed, std::uint64_t stream) {
+  Philox4x32 philox(seed, stream);
+  return Rng(philox());
+}
+
 }  // namespace agedtr::random

@@ -190,6 +190,53 @@ AllocationSearchResult optimal_allocation(
   result.allocation = std::move(alloc);
   result.value =
       best_valid ? best : std::numeric_limits<double>::quiet_NaN();
+  result.replicated_value = std::numeric_limits<double>::quiet_NaN();
+
+  // Replication post-pass: the reallocation winner fixed, sweep the factor
+  // axis by Monte Carlo (common random numbers across factors) and keep the
+  // best — the (reallocation × replication) search's second coordinate.
+  if (!options.replication_factors.empty()) {
+    core::DcsScenario placed = with_allocation(scenario, result.allocation);
+    if (options.objective == policy::Objective::kMeanExecutionTime) {
+      for (core::ServerSpec& s : placed.servers) s.failure = nullptr;
+    }
+    const core::DtrPolicy identity(placed.size());
+    bool have_best = false;
+    double best_replicated = 0.0;
+    for (const int factor : options.replication_factors) {
+      AGEDTR_REQUIRE(factor >= 1,
+                     "optimal_allocation: replication factors must be >= 1");
+      MonteCarloOptions mc;
+      mc.replications = options.replications;
+      mc.seed = options.seed;
+      mc.deadline = options.deadline;
+      mc.pool = options.pool;
+      mc.simulator.faults = options.replication_faults;
+      mc.simulator.replication =
+          core::make_uniform_replication(placed, identity, factor);
+      mc.stream_split = StreamSplit::kCounter;  // same draws for every factor
+      const MonteCarloMetrics metrics = run_monte_carlo(placed, identity, mc);
+      ++result.evaluations;
+      double value = 0.0;
+      switch (options.objective) {
+        case policy::Objective::kMeanExecutionTime:
+          value = metrics.mean_completion_time.center;
+          break;
+        case policy::Objective::kQos:
+          value = metrics.qos.center;
+          break;
+        case policy::Objective::kReliability:
+          value = metrics.reliability.center;
+          break;
+      }
+      if (!have_best || better(value, best_replicated)) {
+        best_replicated = value;
+        have_best = true;
+        result.replication_factor = factor;
+        result.replicated_value = value;
+      }
+    }
+  }
   return result;
 }
 

@@ -28,9 +28,21 @@ void validate_channel(const ChannelFaults& channel, const char* name) {
 
 }  // namespace
 
+void SlowdownProcess::validate(const char* what) const {
+  AGEDTR_REQUIRE(rate >= 0.0,
+                 std::string("FaultPlan: ") + what + " rate must be >= 0");
+  AGEDTR_REQUIRE(factor >= 0.0 && factor < 1.0,
+                 std::string("FaultPlan: ") + what +
+                     " factor must lie in [0, 1)");
+  if (rate > 0.0) {
+    AGEDTR_REQUIRE(duration != nullptr, std::string("FaultPlan: ") + what +
+                                            " needs a duration law");
+  }
+}
+
 bool FaultPlan::is_null() const {
   return !group_channel.active() && !fn_channel.active() &&
-         shock_rate <= 0.0 && stall_rate <= 0.0;
+         shock_rate <= 0.0 && stall_rate <= 0.0 && !slowdown.active();
 }
 
 void FaultPlan::validate() const {
@@ -49,6 +61,8 @@ void FaultPlan::validate() const {
     AGEDTR_REQUIRE(stall_duration != nullptr,
                    "FaultPlan: stalls need a duration law");
   }
+  stall_process().validate("stall");
+  slowdown.validate("slowdown");
 }
 
 FaultPlan scale_fault_plan(const FaultPlan& base, double intensity) {
@@ -64,6 +78,8 @@ FaultPlan scale_fault_plan(const FaultPlan& base, double intensity) {
   plan.shock_rate = base.shock_rate * intensity;
   plan.shock_kill_probability = base.shock_kill_probability;
   plan.stall_rate = base.stall_rate * intensity;
+  // Frequency scales; per-window severity (factor, duration) does not.
+  plan.slowdown.rate = base.slowdown.rate * intensity;
   return plan;
 }
 
@@ -76,6 +92,8 @@ FaultStats& FaultStats::operator+=(const FaultStats& other) {
   shock_failures += other.shock_failures;
   stalls += other.stalls;
   total_stall_time += other.total_stall_time;
+  slowdowns += other.slowdowns;
+  total_slowdown_time += other.total_slowdown_time;
   return *this;
 }
 

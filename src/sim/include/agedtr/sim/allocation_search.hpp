@@ -48,6 +48,19 @@ struct AllocationSearchOptions {
   /// of aborting the search. Disengaged (the default) keeps the plain
   /// fail-fast path, bit-identical to before.
   std::optional<SupervisorOptions> supervise;
+  /// Replication factors tried in a Monte-Carlo post-pass on the best
+  /// allocation (empty = no post-pass, the historical behaviour). Each
+  /// factor r scores the winning allocation under
+  /// make_uniform_replication(·, identity, r) with cancel-on-first-
+  /// completion; the best factor lands in
+  /// AllocationSearchResult::replication_factor. Always scored by MC —
+  /// replication under faults has no analytic engine path — using
+  /// `replications` runs with common random numbers across factors.
+  std::vector<int> replication_factors;
+  /// Faults injected while scoring the replication post-pass (slowdowns are
+  /// the interesting axis: replication pays off only once stragglers bite).
+  /// Null plan = fault-free scoring.
+  FaultPlan replication_faults;
 };
 
 struct AllocationSearchResult {
@@ -59,6 +72,13 @@ struct AllocationSearchResult {
   /// is engaged; quarantine indices are candidate-evaluation ordinals (the
   /// order score calls were issued in, starting at the seed allocation).
   SupervisionReport supervision;
+  /// Best factor of the replication post-pass (1 when replication_factors
+  /// is empty: no replication considered). Ties break toward the smaller
+  /// factor — replicate only when it strictly helps.
+  int replication_factor = 1;
+  /// The post-pass score of `allocation` at replication_factor (NaN when
+  /// the post-pass did not run).
+  double replicated_value = 0.0;
 };
 
 /// Searches for the allocation of the scenario's total workload over its

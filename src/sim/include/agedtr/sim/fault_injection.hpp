@@ -19,6 +19,11 @@
 //   (c) Transient stalls — each server is hit by a Poisson process of rate
 //       `stall_rate`; a stall pauses service (in-flight work resumes, it is
 //       not lost) for a random duration, violating the crash-only model.
+//   (d) Random slowdowns — a rate-scaling generalization of (c): during a
+//       slowdown window the server still serves, but at `factor` times its
+//       natural rate (factor == 0 degenerates to a stall). Stalls and
+//       slowdowns share the SlowdownProcess machinery and its merge
+//       invariant (overlapping windows extend, they never stack).
 //
 // A FaultPlan with every intensity at zero is the exact seed model: the
 // simulator's fault hooks are engineered to draw nothing from the RNG and
@@ -28,6 +33,9 @@
 // docs/FAULT_MODEL.md tabulates which paper assumption each injector
 // relaxes and the expected qualitative effect on R_∞.
 #pragma once
+
+#include <algorithm>
+#include <cstddef>
 
 #include "agedtr/dist/distribution.hpp"
 
@@ -48,6 +56,47 @@ struct ChannelFaults {
   [[nodiscard]] bool active() const { return drop_probability > 0.0; }
 };
 
+/// A Poisson process of transient service-rate degradations on one server:
+/// windows open at rate `rate`, last for a `duration` draw, and scale the
+/// server's service rate by `factor` while open. factor == 0 is a full
+/// stall (FaultPlan's legacy stall fields route through this same struct),
+/// factor in (0, 1) is a straggler-style slowdown.
+struct SlowdownProcess {
+  /// Per-server window onset rate (per second); 0 disables the process.
+  double rate = 0.0;
+  /// Law of a window's length; required when rate > 0.
+  dist::DistPtr duration;
+  /// Service-rate multiplier inside a window, in [0, 1).
+  double factor = 0.0;
+
+  [[nodiscard]] bool active() const { return rate > 0.0; }
+  /// Throws InvalidArgument on malformed parameters; `what` names the
+  /// process in the message.
+  void validate(const char* what) const;
+};
+
+/// Merged-window state for one server under one SlowdownProcess: the shared
+/// invariant of stalls and slowdowns. A window opening at `now` for
+/// `duration` only extends the horizon beyond what is already pending —
+/// overlapping windows merge instead of stacking, so injected degradation
+/// time is additive in *distinct* coverage, never double-counted.
+struct SlowdownWindow {
+  /// Wall-clock time the merged window closes (0 = no window ever opened).
+  double until = 0.0;
+
+  /// Absorbs a window [now, now + duration); returns the horizon extension
+  /// (the freshly covered time, 0 when fully inside the pending window).
+  double extend(double now, double duration) {
+    const double fresh =
+        std::max(0.0, now + duration - std::max(now, until));
+    until = std::max(until, now + duration);
+    return fresh;
+  }
+
+  /// True while the merged window covers `now`.
+  [[nodiscard]] bool covers(double now) const { return now < until; }
+};
+
 /// The full set of injected faults. Default-constructed = no faults.
 struct FaultPlan {
   /// Task-group transfers: dropped groups strand their tasks after the
@@ -65,6 +114,15 @@ struct FaultPlan {
   double stall_rate = 0.0;
   /// Law of a stall's duration; required when stall_rate > 0.
   dist::DistPtr stall_duration;
+
+  /// Rate-scaling slowdowns (stragglers), independent of the stall process;
+  /// both run through the same SlowdownWindow merge machinery.
+  SlowdownProcess slowdown;
+
+  /// The stall fields viewed as the factor-0 SlowdownProcess they are.
+  [[nodiscard]] SlowdownProcess stall_process() const {
+    return {stall_rate, stall_duration, 0.0};
+  }
 
   /// True when the plan injects nothing: the simulator then follows the
   /// fault-free code path exactly (no extra RNG draws, no extra events).
@@ -103,6 +161,10 @@ struct FaultStats {
   std::size_t stalls = 0;
   /// Total stall time injected (sum of effective pause extensions).
   double total_stall_time = 0.0;
+  /// Rate-scaling slowdown windows that hit a functioning server.
+  std::size_t slowdowns = 0;
+  /// Total slowed time injected (merged-window coverage, like stalls).
+  double total_slowdown_time = 0.0;
 
   FaultStats& operator+=(const FaultStats& other);
 };

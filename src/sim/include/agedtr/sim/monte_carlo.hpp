@@ -18,6 +18,20 @@
 
 namespace agedtr::sim {
 
+/// How replication r's RNG sub-stream is derived from (seed, r).
+enum class StreamSplit {
+  /// kSplitMix for bit-compatibility with historical runs, unless the
+  /// simulator options carry a genuinely replicating plan — replicated
+  /// studies are new, so they get the counter-based derivation from day one.
+  kAuto,
+  /// Hash-based: make_replication_rng (the historical derivation).
+  kSplitMix,
+  /// Counter-based: make_counter_rng — (seed, r) -> state is a pure
+  /// function through Philox4x32, giving scheduling-independent streams
+  /// with cryptographic-quality separation between neighbouring indices.
+  kCounter,
+};
+
 struct MonteCarloOptions {
   std::size_t replications = 10'000;
   std::uint64_t seed = 0x5eed;
@@ -34,6 +48,8 @@ struct MonteCarloOptions {
   /// The supervisor runs on its own options' pool; `pool` above is ignored
   /// while supervised.
   std::optional<SupervisorOptions> supervise;
+  /// Sub-stream derivation per replication (pinned by a fixed-seed test).
+  StreamSplit stream_split = StreamSplit::kAuto;
 };
 
 struct MonteCarloMetrics {
@@ -61,6 +77,10 @@ struct MonteCarloMetrics {
   /// Fault-injection counters summed over every replication (all zero when
   /// SimulatorOptions::faults is the null plan).
   FaultStats fault_totals;
+  /// Replicas cancelled by first-completion wins, summed over replications
+  /// (0 without a replicating plan) — the redundant-work cost axis of the
+  /// replication tradeoff.
+  std::size_t replicas_cancelled = 0;
   /// Supervision outcome when MonteCarloOptions::supervise is engaged
   /// (default-constructed otherwise). Quarantined replications are excluded
   /// from every estimate's denominator — they were never simulated, so

@@ -1,0 +1,93 @@
+// The (replication factor × slowdown intensity) study grid behind the
+// replication_bench, the property tests and the golden tradeoff CSV: one
+// shared code path, so the benchmark's published curve, the assertions and
+// the pinned numbers can never drift apart.
+//
+// Each row replicates the policy's work units uniformly by `factor`
+// (make_uniform_replication, cancel-on-first-completion) and injects a
+// slowdown process scaled by `intensity`, then Monte-Carlo estimates the
+// mean completion time and QoS. When analytic bounds are enabled the row
+// also carries the min-of-r bracket from replication_completion_bounds:
+// the lower bound is slowdown-free (slowdowns only delay completion, so it
+// stays valid at every intensity) and the upper bound assumes the server
+// is *always* slowed to the process's factor (worst case, valid for any
+// intensity) — together they must bracket the Monte-Carlo estimate.
+//
+// The qualitative shape this surfaces is the classic replication tradeoff:
+// a small r hedges stragglers (and can even pay off fault-free when the
+// replica lands on a faster server), while large r duplicates so much work
+// that transfer + contention cost drags the mean back up —
+// helps-then-hurts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/sim/fault_injection.hpp"
+#include "agedtr/util/budget.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::sim {
+
+struct ReplicationStudyOptions {
+  /// Uniform replication factors forming the grid's r-axis (each >= 1;
+  /// clamped to the server count by plan construction).
+  std::vector<int> factors = {1, 2};
+  /// Multipliers on base_slowdown.rate forming the intensity axis
+  /// (0 = no slowdowns, the seed model).
+  std::vector<double> slowdown_intensities = {0.0, 1.0};
+  /// The intensity-1 slowdown process; its factor and duration law are
+  /// intensity-invariant (scale_fault_plan semantics). Inactive (rate 0)
+  /// restricts the study to the fault-free row.
+  SlowdownProcess base_slowdown;
+  /// Monte-Carlo replications per grid cell.
+  std::size_t replications = 2'000;
+  /// Seed shared by every cell (counter-based streams: common random
+  /// numbers across the whole grid).
+  std::uint64_t seed = 0x5eed;
+  /// Deadline for the QoS estimates (<= 0 disables them).
+  double deadline = 0.0;
+  /// Attach the analytic min-of-r bounds to every row. Requires a reliable
+  /// scenario and base_slowdown.factor > 0 whenever an intensity is
+  /// positive (a permanent full stall admits no finite upper bound).
+  bool analytic_bounds = true;
+  /// Wall-clock cap for each row's bound computation.
+  EvalBudget budget;
+  /// Fans Monte-Carlo replications (nullptr = ThreadPool::global()).
+  ThreadPool* pool = nullptr;
+};
+
+/// One (factor, intensity) cell of the study grid.
+struct ReplicationStudyRow {
+  int factor = 1;
+  double intensity = 0.0;
+  /// Monte-Carlo mean completion time over completed runs.
+  double mc_mean = 0.0;
+  /// Half-width of the mean's confidence interval — the bracket checks
+  /// against the analytic bounds must allow for this sampling noise.
+  double mc_mean_halfwidth = 0.0;
+  /// Monte-Carlo P{T < deadline} (0 when no deadline was given).
+  double mc_qos = 0.0;
+  /// Analytic bracket (0 / +inf when analytic_bounds is off).
+  double bound_lower = 0.0;
+  double bound_upper = 0.0;
+  double qos_lower = 0.0;
+  double qos_upper = 1.0;
+  /// Replicas cancelled by first-completion wins, summed over replications.
+  std::size_t replicas_cancelled = 0;
+  /// Slowdown windows injected, summed over replications.
+  std::size_t slowdowns = 0;
+  /// Replications that hit the event budget (should be 0; reported so a
+  /// pathological cell is visible in the CSV).
+  std::size_t truncated = 0;
+};
+
+/// Runs the full grid (row order: factors outer, intensities inner —
+/// deterministic, matching the golden CSV). The scenario must be reliable
+/// when options.analytic_bounds is set.
+[[nodiscard]] std::vector<ReplicationStudyRow> run_replication_study(
+    const core::DcsScenario& scenario, const core::DtrPolicy& policy,
+    const ReplicationStudyOptions& options);
+
+}  // namespace agedtr::sim

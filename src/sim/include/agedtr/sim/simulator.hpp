@@ -10,8 +10,10 @@
 // the age-dependent analysis characterizes.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "agedtr/core/replication.hpp"
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/random/rng.hpp"
 #include "agedtr/sim/fault_injection.hpp"
@@ -33,6 +35,13 @@ struct SimulatorOptions {
   /// Injected model-assumption violations; the default plan is null and
   /// leaves the fault-free path bit-identical to the seed simulator.
   FaultPlan faults;
+  /// Replication of the policy's work units with cancel-on-first-completion
+  /// (validated against the policy at run()). Disengaged or identity plans
+  /// draw nothing extra from the RNG and stay bit-identical to the
+  /// unreplicated simulator. When two replicas complete at the same instant
+  /// the one whose completion event was scheduled first wins — a
+  /// deterministic FIFO tie-break, independent of platform.
+  std::optional<core::ReplicationPlan> replication;
 };
 
 /// Outcome of one simulated realization.
@@ -57,6 +66,10 @@ struct SimResult {
   };
   std::vector<FnDelivery> fn_deliveries;
   std::size_t events_processed = 0;
+  /// Replicas cancelled because a sibling completed their unit first (0
+  /// without replication). Cancelled in-flight tasks contribute neither to
+  /// busy_time nor to tasks_served: only completed tasks count as work.
+  std::size_t replicas_cancelled = 0;
   /// True when the run hit SimulatorOptions::max_events and stopped early;
   /// the realization is then neither a success nor a failure observation
   /// and Monte-Carlo layers count it separately.

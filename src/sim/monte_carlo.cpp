@@ -41,13 +41,25 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
   std::vector<char> truncated(reps, 0);
   std::vector<double> busy(reps * n, 0.0);
   std::vector<FaultStats> fault_stats(reps);
+  std::vector<std::size_t> cancelled(reps, 0);
+
+  // kAuto: the historical hash-based streams, unless the run replicates —
+  // replicated studies are new, so they get counter-based streams without
+  // perturbing any pinned unreplicated result.
+  const bool replicating = options.simulator.replication.has_value() &&
+                           !options.simulator.replication->is_identity();
+  const bool counter_streams =
+      options.stream_split == StreamSplit::kCounter ||
+      (options.stream_split == StreamSplit::kAuto && replicating);
 
   // Replication r always uses stream r, supervised or not, retried or not —
   // results stay bit-identical regardless of scheduling or retry history.
   const auto simulate_one = [&](std::size_t r) {
     replications_counter().add();
-    random::Rng rng =
-        random::make_replication_rng(options.seed, static_cast<std::uint64_t>(r));
+    const auto stream = static_cast<std::uint64_t>(r);
+    random::Rng rng = counter_streams
+                          ? random::make_counter_rng(options.seed, stream)
+                          : random::make_replication_rng(options.seed, stream);
     const SimResult result = simulator.run(policy, rng);
     completed[r] = result.completed ? 1 : 0;
     truncated[r] = result.truncated ? 1 : 0;
@@ -56,6 +68,7 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
       busy[r * n + j] = result.busy_time[j];
     }
     fault_stats[r] = result.faults;
+    cancelled[r] = result.replicas_cancelled;
   };
 
   MonteCarloMetrics metrics;
@@ -85,6 +98,7 @@ MonteCarloMetrics run_monte_carlo(const core::DcsScenario& scenario,
     if (quarantined[r]) continue;
     if (truncated[r]) ++metrics.truncated;
     metrics.fault_totals += fault_stats[r];
+    metrics.replicas_cancelled += cancelled[r];
   }
   std::vector<double> finished_times;
   finished_times.reserve(reps);

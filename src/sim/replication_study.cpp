@@ -1,0 +1,136 @@
+#include "agedtr/sim/replication_study.hpp"
+
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "agedtr/core/replication.hpp"
+#include "agedtr/core/replication_bounds.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+
+namespace agedtr::sim {
+
+namespace {
+
+metrics::Histogram& study_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "replication.study_seconds", metrics::exponential_buckets(1e-2, 4.0, 10),
+      "wall time of one run_replication_study call (the full grid)");
+  return h;
+}
+
+}  // namespace
+
+std::vector<ReplicationStudyRow> run_replication_study(
+    const core::DcsScenario& scenario, const core::DtrPolicy& policy,
+    const ReplicationStudyOptions& options) {
+  scenario.validate();
+  AGEDTR_REQUIRE(!options.factors.empty(),
+                 "run_replication_study: need at least one factor");
+  AGEDTR_REQUIRE(!options.slowdown_intensities.empty(),
+                 "run_replication_study: need at least one intensity");
+  for (const int factor : options.factors) {
+    AGEDTR_REQUIRE(factor >= 1,
+                   "run_replication_study: factors must be >= 1");
+  }
+  bool any_slowdown = false;
+  for (const double intensity : options.slowdown_intensities) {
+    AGEDTR_REQUIRE(intensity >= 0.0,
+                   "run_replication_study: intensities must be >= 0");
+    if (intensity > 0.0) any_slowdown = true;
+  }
+  if (any_slowdown) {
+    AGEDTR_REQUIRE(options.base_slowdown.active(),
+                   "run_replication_study: positive intensities need an "
+                   "active base slowdown process");
+    options.base_slowdown.validate("slowdown");
+  }
+  if (options.analytic_bounds) {
+    for (std::size_t j = 0; j < scenario.size(); ++j) {
+      AGEDTR_REQUIRE(scenario.servers[j].failure == nullptr,
+                     "run_replication_study: analytic bounds require a "
+                     "reliable scenario");
+    }
+    if (any_slowdown) {
+      AGEDTR_REQUIRE(options.base_slowdown.factor > 0.0,
+                     "run_replication_study: analytic bounds under "
+                     "slowdowns need factor > 0 (a permanent stall has no "
+                     "finite upper bound)");
+    }
+  }
+  metrics::TraceSpan span("replication.study", "sim", &study_seconds());
+
+  // The bounds depend on (factor, worst-case slowdown factor) only, not on
+  // the intensity itself; memoize so the inner intensity loop is pure MC.
+  std::map<std::pair<int, double>, core::ReplicationBounds> bound_memo;
+  const auto bounds_for = [&](int factor, double phi,
+                              const core::ReplicationPlan& plan) {
+    const std::pair<int, double> key{factor, phi};
+    if (const auto it = bound_memo.find(key); it != bound_memo.end()) {
+      return it->second;
+    }
+    core::ReplicationBoundsOptions bopts;
+    bopts.deadline = options.deadline;
+    bopts.slowdown_factor = phi;
+    bopts.budget = options.budget;
+    const core::ReplicationBounds bounds =
+        core::replication_completion_bounds(scenario, policy, plan, bopts);
+    bound_memo.emplace(key, bounds);
+    return bounds;
+  };
+
+  std::vector<ReplicationStudyRow> rows;
+  rows.reserve(options.factors.size() * options.slowdown_intensities.size());
+  for (const int factor : options.factors) {
+    const core::ReplicationPlan plan =
+        core::make_uniform_replication(scenario, policy, factor);
+    for (const double intensity : options.slowdown_intensities) {
+      ReplicationStudyRow row;
+      row.factor = factor;
+      row.intensity = intensity;
+
+      MonteCarloOptions mc;
+      mc.replications = options.replications;
+      mc.seed = options.seed;
+      mc.deadline = options.deadline;
+      mc.pool = options.pool;
+      mc.simulator.replication = plan;
+      // Counter-based streams for the whole grid: every cell sees the same
+      // draw sequences (common random numbers), so differences across
+      // cells are the treatment, not the noise.
+      mc.stream_split = StreamSplit::kCounter;
+      if (intensity > 0.0) {
+        mc.simulator.faults.slowdown = options.base_slowdown;
+        mc.simulator.faults.slowdown.rate *= intensity;
+      }
+      const MonteCarloMetrics metrics = run_monte_carlo(scenario, policy, mc);
+      row.mc_mean = metrics.mean_completion_time.center;
+      row.mc_mean_halfwidth = metrics.mean_completion_time.half_width();
+      row.mc_qos = metrics.qos.center;
+      row.replicas_cancelled = metrics.replicas_cancelled;
+      row.slowdowns = metrics.fault_totals.slowdowns;
+      row.truncated = metrics.truncated;
+
+      if (options.analytic_bounds) {
+        // The worst case the MC run can experience: never slowed when the
+        // intensity is 0, slowed to the process's factor otherwise.
+        const double phi =
+            intensity > 0.0 ? options.base_slowdown.factor : 1.0;
+        const core::ReplicationBounds bounds = bounds_for(factor, phi, plan);
+        row.bound_lower = bounds.mean_lower;
+        row.bound_upper = bounds.mean_upper;
+        row.qos_lower = bounds.qos_lower;
+        row.qos_upper = bounds.qos_upper;
+      } else {
+        row.bound_upper = std::numeric_limits<double>::infinity();
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace agedtr::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <queue>
 #include <utility>
@@ -24,8 +25,9 @@ struct Event {
     kFnArrival,
     kInfoBroadcast,
     kInfoArrival,
-    kShock,       // common-cause failure shock (fault injection)
-    kStallBegin,  // transient service stall (fault injection)
+    kShock,          // common-cause failure shock (fault injection)
+    kStallBegin,     // transient full service stall (fault injection)
+    kSlowdownBegin,  // transient rate-scaling slowdown (fault injection)
   };
   double time = 0.0;
   Kind kind = Kind::kServiceComplete;
@@ -34,6 +36,8 @@ struct Event {
   int payload = 0;    // tasks in a group / queue length in an info packet
   std::uint64_t gen = 0;  // service generation (stale-completion filter)
   std::uint64_t seq = 0;  // FIFO tie-break for equal times
+  std::uint32_t unit = 0;     // work unit of a group event
+  std::uint32_t replica = 0;  // replica index within the unit's set
 
   bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
@@ -67,6 +71,21 @@ SendOutcome attempt_send(const ChannelFaults& channel, random::Rng& rng) {
   }
 }
 
+/// One replica's share of a work unit sitting in a server's FIFO.
+struct Segment {
+  std::size_t unit = 0;
+  std::size_t replica = 0;
+  int remaining = 0;
+};
+
+/// Race bookkeeping for one work unit across its replica set.
+struct UnitState {
+  bool done = false;
+  int live = 0;                // replicas not yet failed/expired/cancelled
+  std::vector<char> alive;     // per replica
+  std::vector<char> arrived;   // copy materialized in its host's queue
+};
+
 }  // namespace
 
 DcsSimulator::DcsSimulator(core::DcsScenario scenario, SimulatorOptions options)
@@ -87,31 +106,75 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       core::apply_policy(scenario_, policy);
   const FaultPlan& faults = options_.faults;
 
+  // The canonical unit order (enumerate_work_units) interleaves with the
+  // t = 0 loop below: for each destination j, the local block first, then
+  // the inbound groups in apply_policy's source order.
+  const std::vector<core::WorkUnit> units =
+      core::enumerate_work_units(scenario_, policy);
+  std::vector<std::vector<std::size_t>> replica_sets;
+  if (options_.replication.has_value()) {
+    options_.replication->validate(scenario_, policy);
+    replica_sets = options_.replication->replica_sets;
+  } else {
+    replica_sets.resize(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      replica_sets[u] = {units[u].destination};
+    }
+  }
+  // Only a plan that actually replicates draws extra randomness; identity
+  // plans keep this run bit-identical to the unreplicated simulator.
+  bool replicated = false;
+  for (const std::vector<std::size_t>& hosts : replica_sets) {
+    if (hosts.size() > 1) replicated = true;
+  }
+
   SimResult result;
   result.tasks_lost.assign(n, 0);
   result.busy_time.assign(n, 0.0);
   result.tasks_served.assign(n, 0);
   result.failure_time.assign(n, kInf);
 
-  std::vector<int> queue(n);
+  std::vector<std::deque<Segment>> queue(n);
   std::vector<char> up(n, 1);
   std::vector<char> serving(n, 0);
   std::vector<double> service_started(n, 0.0);
+  std::vector<double> service_sample(n, 0.0);
   // Fault-injection state. All of it stays at its initial value under a
   // null plan, in which case every fault hook below reduces to the seed
   // simulator's behavior without consuming RNG draws.
-  std::vector<double> stall_until(n, 0.0);
+  std::vector<SlowdownWindow> stall_win(n);
+  std::vector<SlowdownWindow> slow_win(n);
+  std::vector<double> work_left(n, 0.0);
+  std::vector<double> last_touch(n, 0.0);
   std::vector<double> service_pause(n, 0.0);
   std::vector<double> pending_completion(n, 0.0);
   std::vector<std::uint64_t> service_gen(n, 0);
-  int groups_in_flight = 0;
-  int remaining_tasks = 0;
+
+  std::vector<UnitState> unit_state(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::size_t r = replica_sets[u].size();
+    unit_state[u].live = static_cast<int>(r);
+    unit_state[u].alive.assign(r, 1);
+    unit_state[u].arrived.assign(r, 0);
+  }
+  std::size_t units_pending = units.size();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   std::uint64_t seq = 0;
   const auto push = [&](Event e) {
     e.seq = seq++;
     events.push(e);
+  };
+  const auto push_group = [&](double time, Event::Kind kind, std::size_t to,
+                              int tasks, std::size_t u, std::size_t rep) {
+    Event e;
+    e.time = time;
+    e.kind = kind;
+    e.b = to;
+    e.payload = tasks;
+    e.unit = static_cast<std::uint32_t>(u);
+    e.replica = static_cast<std::uint32_t>(rep);
+    push(e);
   };
   const auto exp_sample = [&rng](double rate) {
     return -std::log1p(-rng.next_double()) / rate;
@@ -132,30 +195,107 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
             Event::Kind::kFnArrival, j, k, 0, 0});
     }
   };
+  // A replica leaves the race: on the unit's last viable replica the
+  // workload is lost (identity plans lose it on the first, exactly the
+  // unreplicated semantics).
+  const auto kill_replica = [&](std::size_t u, std::size_t rep) {
+    UnitState& unit = unit_state[u];
+    if (unit.done || !unit.alive[rep]) return;
+    unit.alive[rep] = 0;
+    if (--unit.live == 0) lost = true;
+  };
   // Shared by natural failures and common-cause shocks.
   const auto fail_server = [&](std::size_t j, double now) {
     if (!up[j]) return;
     up[j] = 0;
     serving[j] = 0;
     result.failure_time[j] = now;
-    if (queue[j] > 0) {
-      result.tasks_lost[j] += queue[j];
-      lost = true;
+    for (const Segment& seg : queue[j]) {
+      result.tasks_lost[j] += seg.remaining;
+      kill_replica(seg.unit, seg.replica);
     }
+    queue[j].clear();
     emit_fn_packets(j, now);
   };
 
+  // Wall-clock completion of `work` natural service units started at `now`
+  // under the pending degradation windows: stalled until the stall horizon,
+  // served at rate `factor` inside the slowdown window, at rate 1 after.
+  // Under a null plan both horizons are 0 and this is now + work — the seed
+  // simulator's arithmetic, bit for bit.
+  const auto completion_after = [&](std::size_t j, double now, double work) {
+    double s = std::max(now, stall_win[j].until);
+    const double slow_end = slow_win[j].until;
+    if (slow_end > s) {
+      const double phi = faults.slowdown.factor;
+      if (phi <= 0.0) {
+        s = slow_end;  // a zero-factor slowdown is a stall
+      } else {
+        const double slowed_capacity = phi * (slow_end - s);
+        if (work <= slowed_capacity) return s + work / phi;
+        work -= slowed_capacity;
+        s = slow_end;
+      }
+    }
+    return s + work;
+  };
+  // Advances server j's in-flight work to `now` using the rate profile in
+  // effect since the last touch. Called before a window extends, so the
+  // horizons seen here are the ones that actually governed the span.
+  const auto update_progress = [&](std::size_t j, double now) {
+    if (serving[j] && now > last_touch[j]) {
+      const double start =
+          std::min(std::max(last_touch[j], stall_win[j].until), now);
+      if (start < now) {
+        const double slow_end =
+            std::min(std::max(slow_win[j].until, start), now);
+        const double done = faults.slowdown.factor * (slow_end - start) +
+                            (now - slow_end);
+        work_left[j] = std::max(work_left[j] - done, 0.0);
+      }
+    }
+    last_touch[j] = now;
+  };
+  const auto start_service = [&](std::size_t j, double now) {
+    serving[j] = 1;
+    service_started[j] = now;
+    service_pause[j] = 0.0;
+    service_sample[j] = scenario_.servers[j].service->sample(rng);
+    work_left[j] = service_sample[j];
+    last_touch[j] = now;
+    pending_completion[j] = completion_after(j, now, work_left[j]);
+    push({pending_completion[j], Event::Kind::kServiceComplete, j, 0, 0,
+          service_gen[j]});
+  };
+  // Re-derives the pending completion after a degradation window extended;
+  // the stale event is retired through the generation counter, and the
+  // accumulated pause keeps busy_time equal to the natural work performed.
+  const auto reschedule_service = [&](std::size_t j, double now) {
+    pending_completion[j] = completion_after(j, now, work_left[j]);
+    service_pause[j] =
+        pending_completion[j] - service_started[j] - service_sample[j];
+    ++service_gen[j];
+    push({pending_completion[j], Event::Kind::kServiceComplete, j, 0, 0,
+          service_gen[j]});
+  };
+
   // --- t = 0: queues after the policy, groups in flight, failure clocks.
+  std::size_t next_unit = 0;
+  std::vector<std::size_t> local_unit(n, 0);
   for (std::size_t j = 0; j < n; ++j) {
-    queue[j] = workloads[j].local_tasks;
-    remaining_tasks += workloads[j].total_tasks();
+    if (workloads[j].local_tasks > 0) {
+      const std::size_t u = next_unit++;
+      local_unit[j] = u;
+      unit_state[u].arrived[0] = 1;
+      queue[j].push_back({u, 0, workloads[j].local_tasks});
+    }
     for (const core::ServerWorkload::Inbound& g : workloads[j].inbound) {
-      ++groups_in_flight;
+      const std::size_t u = next_unit++;
       const SendOutcome send = attempt_send(faults.group_channel, rng);
       result.faults.group_retransmissions += send.retries;
       if (!send.delivered) {
-        push({send.start_offset, Event::Kind::kGroupExpired, 0, j, g.tasks,
-              0});
+        push_group(send.start_offset, Event::Kind::kGroupExpired, j, g.tasks,
+                   u, 0);
         continue;
       }
       double transfer_time = g.transfer->sample(rng);
@@ -164,28 +304,49 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
           transfer_time += g.transfer->sample(rng);
         }
       }
-      push({send.start_offset + transfer_time, Event::Kind::kGroupArrival, 0,
-            j, g.tasks, 0});
+      push_group(send.start_offset + transfer_time,
+                 Event::Kind::kGroupArrival, j, g.tasks, u, 0);
     }
     if (scenario_.servers[j].failure) {
       push({scenario_.servers[j].failure->sample(rng), Event::Kind::kFailure,
             j, 0, 0, 0});
     }
   }
-  const auto start_service = [&](std::size_t j, double now) {
-    // A stalled server starts (or resumes accepting) work only once the
-    // stall clears; under a null plan stall_until is 0 and begin_at == now.
-    const double begin_at = std::max(now, stall_until[j]);
-    serving[j] = 1;
-    service_started[j] = begin_at;
-    service_pause[j] = 0.0;
-    pending_completion[j] =
-        begin_at + scenario_.servers[j].service->sample(rng);
-    push({pending_completion[j], Event::Kind::kServiceComplete, j, 0, 0,
-          service_gen[j]});
-  };
+  AGEDTR_ASSERT(next_unit == units.size());
+  // Replica fan-out: copies of each unit travel from the unit's origin to
+  // their hosts (no transfer when the origin hosts the copy itself). Only a
+  // genuinely replicating plan reaches these draws.
+  if (replicated) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t k = 1; k < replica_sets[u].size(); ++k) {
+        const std::size_t host = replica_sets[u][k];
+        const std::size_t origin = units[u].origin;
+        if (host == origin) {
+          unit_state[u].arrived[k] = 1;
+          queue[host].push_back({u, k, units[u].tasks});
+          continue;
+        }
+        const SendOutcome send = attempt_send(faults.group_channel, rng);
+        result.faults.group_retransmissions += send.retries;
+        if (!send.delivered) {
+          push_group(send.start_offset, Event::Kind::kGroupExpired, host,
+                     units[u].tasks, u, k);
+          continue;
+        }
+        const dist::DistPtr& law = scenario_.transfer[origin][host];
+        double transfer_time = law->sample(rng);
+        if (scenario_.transfer_scaling == core::TransferScaling::kPerTask) {
+          for (int t = 1; t < units[u].tasks; ++t) {
+            transfer_time += law->sample(rng);
+          }
+        }
+        push_group(send.start_offset + transfer_time,
+                   Event::Kind::kGroupArrival, host, units[u].tasks, u, k);
+      }
+    }
+  }
   for (std::size_t j = 0; j < n; ++j) {
-    if (queue[j] > 0) start_service(j, 0.0);
+    if (!queue[j].empty()) start_service(j, 0.0);
   }
   if (options_.queue_info_period > 0.0) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -202,6 +363,45 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
             0});
     }
   }
+  if (faults.slowdown.active()) {
+    for (std::size_t j = 0; j < n; ++j) {
+      push({exp_sample(faults.slowdown.rate), Event::Kind::kSlowdownBegin, j,
+            0, 0, 0});
+    }
+  }
+
+  // First-completion cancellation: replicas leave the race in set order, a
+  // deterministic sweep. A cancelled in-flight task is aborted through the
+  // generation counter and its host immediately starts its next segment.
+  const auto cancel_other_replicas = [&](std::size_t u, std::size_t winner,
+                                         double now) {
+    UnitState& unit = unit_state[u];
+    for (std::size_t k = 0; k < replica_sets[u].size(); ++k) {
+      if (k == winner || !unit.alive[k]) continue;
+      unit.alive[k] = 0;
+      --unit.live;
+      ++result.replicas_cancelled;
+      if (!unit.arrived[k]) continue;  // its arrival event is now stale
+      const std::size_t h = replica_sets[u][k];
+      if (!up[h]) continue;  // the host died and already dropped the queue
+      auto& q = queue[h];
+      bool found = false;
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->unit == u && it->replica == k) {
+          const bool in_service = serving[h] && it == q.begin();
+          q.erase(it);
+          found = true;
+          if (in_service) {
+            ++service_gen[h];
+            serving[h] = 0;
+            if (!q.empty()) start_service(h, now);
+          }
+          break;
+        }
+      }
+      AGEDTR_ASSERT(found);
+    }
+  };
 
   double last_progress_time = 0.0;
   while (!events.empty()) {
@@ -217,18 +417,27 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     switch (e.kind) {
       case Event::Kind::kServiceComplete: {
         const std::size_t j = e.a;
-        // Stale after a failure, or superseded by a stall reschedule.
+        // Stale after a failure, a cancellation, or a window reschedule.
         if (!up[j] || !serving[j] || e.gen != service_gen[j]) break;
-        --queue[j];
-        --remaining_tasks;
+        AGEDTR_ASSERT(!queue[j].empty());
+        Segment& seg = queue[j].front();
+        --seg.remaining;
         ++result.tasks_served[j];
         result.busy_time[j] += e.time - service_started[j] - service_pause[j];
         last_progress_time = e.time;
-        if (queue[j] > 0) {
-          start_service(j, e.time);
-        } else {
-          serving[j] = 0;
+        if (seg.remaining == 0) {
+          // This replica finished its whole unit: first completion wins
+          // (ties broken by event schedule order) and cancels the rest.
+          const std::size_t u = seg.unit;
+          const std::size_t winner = seg.replica;
+          queue[j].pop_front();
+          AGEDTR_ASSERT(!unit_state[u].done);
+          unit_state[u].done = true;
+          --units_pending;
+          cancel_other_replicas(u, winner, e.time);
         }
+        serving[j] = 0;
+        if (!queue[j].empty()) start_service(j, e.time);
         break;
       }
       case Event::Kind::kFailure: {
@@ -237,25 +446,29 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       }
       case Event::Kind::kGroupArrival: {
         const std::size_t j = e.b;
-        --groups_in_flight;
+        const std::size_t u = e.unit;
+        const std::size_t rep = e.replica;
+        if (unit_state[u].done || !unit_state[u].alive[rep]) {
+          break;  // the race ended (or this copy died) while in transit
+        }
         if (!up[j]) {
-          // Delivered to a failed server: the tasks are stranded (reliable
-          // message passing forbids dropping them in the network, and
-          // failed servers provide no recovery).
+          // Delivered to a failed server: the copy is stranded (reliable
+          // message passing forbids dropping it in the network, and failed
+          // servers provide no recovery).
           result.tasks_lost[j] += e.payload;
-          lost = true;
+          kill_replica(u, rep);
           break;
         }
-        queue[j] += e.payload;
+        unit_state[u].arrived[rep] = 1;
+        queue[j].push_back({u, rep, e.payload});
         if (!serving[j]) start_service(j, e.time);
         break;
       }
       case Event::Kind::kGroupExpired: {
-        // Every transmission attempt was dropped: the group's tasks are
-        // stranded in the network and the workload cannot complete.
-        --groups_in_flight;
+        // Every transmission attempt was dropped: this copy's tasks are
+        // stranded in the network; the unit survives iff a sibling does.
         result.faults.tasks_lost_in_network += e.payload;
-        lost = true;
+        kill_replica(e.unit, e.replica);
         break;
       }
       case Event::Kind::kFnArrival: {
@@ -265,6 +478,8 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       case Event::Kind::kInfoBroadcast: {
         const std::size_t j = e.a;
         if (up[j]) {
+          int queue_len = 0;
+          for (const Segment& seg : queue[j]) queue_len += seg.remaining;
           const dist::DistPtr& law = options_.info_transfer;
           for (std::size_t k = 0; k < n; ++k) {
             if (k == j) continue;
@@ -272,7 +487,7 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
                 law ? law : scenario_.fn_transfer[j][k];
             if (!delay) continue;
             push({e.time + delay->sample(rng), Event::Kind::kInfoArrival, j,
-                  k, queue[j], 0});
+                  k, queue_len, 0});
           }
           push({e.time + options_.queue_info_period,
                 Event::Kind::kInfoBroadcast, j, 0, 0, 0});
@@ -303,36 +518,38 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         if (!up[j]) break;  // dead servers stall no more (stop the stream)
         ++result.faults.stalls;
         const double duration = faults.stall_duration->sample(rng);
-        // Overlapping stalls merge: only time beyond the current stall
-        // horizon extends the pause.
-        const double extension = std::max(
-            0.0, e.time + duration - std::max(e.time, stall_until[j]));
-        stall_until[j] = std::max(stall_until[j], e.time + duration);
-        result.faults.total_stall_time += extension;
-        if (serving[j] && extension > 0.0) {
-          // In-flight work pauses and resumes: push the pending completion
-          // out by the added pause and retire the stale event via the
-          // generation counter.
-          pending_completion[j] += extension;
-          service_pause[j] += extension;
-          ++service_gen[j];
-          push({pending_completion[j], Event::Kind::kServiceComplete, j, 0,
-                0, service_gen[j]});
-        }
+        // Progress up to now ran under the old horizons; only then may the
+        // window extend. Overlapping windows merge instead of stacking.
+        update_progress(j, e.time);
+        const double fresh = stall_win[j].extend(e.time, duration);
+        result.faults.total_stall_time += fresh;
+        if (serving[j] && fresh > 0.0) reschedule_service(j, e.time);
         push({e.time + exp_sample(faults.stall_rate),
               Event::Kind::kStallBegin, j, 0, 0, 0});
         break;
       }
+      case Event::Kind::kSlowdownBegin: {
+        const std::size_t j = e.a;
+        if (!up[j]) break;
+        ++result.faults.slowdowns;
+        const double duration = faults.slowdown.duration->sample(rng);
+        update_progress(j, e.time);
+        const double fresh = slow_win[j].extend(e.time, duration);
+        result.faults.total_slowdown_time += fresh;
+        if (serving[j] && fresh > 0.0) reschedule_service(j, e.time);
+        push({e.time + exp_sample(faults.slowdown.rate),
+              Event::Kind::kSlowdownBegin, j, 0, 0, 0});
+        break;
+      }
     }
     if (lost) break;
-    if (remaining_tasks == 0 && groups_in_flight == 0) {
+    if (units_pending == 0) {
       result.completed = true;
       result.completion_time = last_progress_time;
       return result;
     }
   }
-  result.completed = !lost && !result.truncated && remaining_tasks == 0 &&
-                     groups_in_flight == 0;
+  result.completed = !lost && !result.truncated && units_pending == 0;
   result.completion_time = result.completed ? last_progress_time : kInf;
   return result;
 }

@@ -26,6 +26,7 @@
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/policy/two_server.hpp"
+#include "agedtr/sim/replication_study.hpp"
 
 #ifndef AGEDTR_GOLDEN_DIR
 #error "tests/CMakeLists.txt must define AGEDTR_GOLDEN_DIR"
@@ -194,6 +195,129 @@ TEST(Golden, MiniQos) {
                     return solver.qos(workloads, 60.0);
                   },
                   /*rtol=*/1e-9);
+}
+
+// --- Replication tradeoff golden. ----------------------------------------
+//
+// The (factor × slowdown-intensity) grid from sim::run_replication_study on
+// the mini two-server system. Deterministic: the study uses counter-based
+// per-replication streams, so the Monte-Carlo columns are scheduling- and
+// pool-independent and pin at full double precision like the analytic ones.
+
+struct TradeoffRow {
+  int factor = 0;
+  double intensity = 0.0;
+  double mc_mean = 0.0;
+  double mc_qos = 0.0;
+  double bound_lower = 0.0;
+  double bound_upper = 0.0;
+};
+
+std::vector<TradeoffRow> compute_tradeoff_rows() {
+  const DcsScenario scenario =
+      mini_two_server(ModelFamily::kExponential, /*severe=*/false,
+                      /*failures=*/false);
+  sim::ReplicationStudyOptions options;
+  options.factors = {1, 2};
+  options.slowdown_intensities = {0.0, 1.0, 3.0};
+  options.base_slowdown.rate = 0.03;
+  options.base_slowdown.duration = dist::Exponential::with_mean(25.0);
+  options.base_slowdown.factor = 0.1;
+  options.replications = 1'200;
+  options.seed = 0x5eed;
+  options.deadline = 60.0;
+  const std::vector<sim::ReplicationStudyRow> rows =
+      sim::run_replication_study(
+          scenario, policy::make_two_server_policy(4, 0), options);
+  std::vector<TradeoffRow> out;
+  for (const sim::ReplicationStudyRow& row : rows) {
+    out.push_back({row.factor, row.intensity, row.mc_mean, row.mc_qos,
+                   row.bound_lower, row.bound_upper});
+  }
+  return out;
+}
+
+void write_tradeoff_golden(const std::string& name,
+                           const std::vector<TradeoffRow>& rows) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "factor,intensity,mc_mean,mc_qos,bound_lower,bound_upper\n";
+  for (const TradeoffRow& r : rows) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%d,%.12g,%.12g,%.12g,%.12g,%.12g",
+                  r.factor, r.intensity, r.mc_mean, r.mc_qos, r.bound_lower,
+                  r.bound_upper);
+    out << buffer << "\n";
+  }
+}
+
+std::vector<TradeoffRow> read_tradeoff_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good())
+      << "missing golden " << golden_path(name)
+      << " (regenerate with AGEDTR_REGEN_GOLDEN=1)";
+  std::vector<TradeoffRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string token;
+    std::vector<std::string> tokens;
+    while (std::getline(fields, token, ',')) tokens.push_back(token);
+    EXPECT_EQ(tokens.size(), 6u) << name << ": malformed row: " << line;
+    if (tokens.size() != 6u) continue;
+    TradeoffRow row;
+    row.factor = std::stoi(tokens[0]);
+    row.intensity = std::stod(tokens[1]);
+    row.mc_mean = std::stod(tokens[2]);
+    row.mc_qos = std::stod(tokens[3]);
+    row.bound_lower = std::stod(tokens[4]);
+    row.bound_upper = std::stod(tokens[5]);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(Golden, ReplicationTradeoff) {
+  const std::string name = "replication_tradeoff.csv";
+  const std::vector<TradeoffRow> rows = compute_tradeoff_rows();
+
+  // Acceptance invariant, checked on the freshly computed grid so it holds
+  // in regen mode too: the analytic bounds bracket the Monte-Carlo mean up
+  // to sampling noise on every golden cell.
+  for (const TradeoffRow& row : rows) {
+    SCOPED_TRACE("r=" + std::to_string(row.factor) +
+                 " intensity=" + std::to_string(row.intensity));
+    const double slack = 0.05 * std::max(row.mc_mean, 1.0);
+    EXPECT_GE(row.mc_mean, row.bound_lower - slack);
+    EXPECT_LE(row.mc_mean, row.bound_upper + slack);
+    EXPECT_GE(row.mc_qos, 0.0);
+    EXPECT_LE(row.mc_qos, 1.0);
+  }
+
+  if (regen_requested()) {
+    write_tradeoff_golden(name, rows);
+    return;
+  }
+  const std::vector<TradeoffRow> golden = read_tradeoff_golden(name);
+  ASSERT_EQ(golden.size(), rows.size())
+      << name << ": grid shape changed; regenerate the golden";
+  constexpr double kRtol = 1e-9;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE(name + ": r=" + std::to_string(rows[i].factor) +
+                 " intensity=" + std::to_string(rows[i].intensity));
+    EXPECT_EQ(rows[i].factor, golden[i].factor);
+    EXPECT_DOUBLE_EQ(rows[i].intensity, golden[i].intensity);
+    const auto check = [&](double fresh, double pinned) {
+      const double scale = std::max(std::abs(pinned), 1e-12);
+      EXPECT_NEAR(fresh, pinned, kRtol * scale);
+    };
+    check(rows[i].mc_mean, golden[i].mc_mean);
+    check(rows[i].mc_qos, golden[i].mc_qos);
+    check(rows[i].bound_lower, golden[i].bound_lower);
+    check(rows[i].bound_upper, golden[i].bound_upper);
+  }
 }
 
 /// Structural sanity on top of the numeric pins: the mean sweep must be

@@ -1,0 +1,684 @@
+// Replication & slowdown scenario pack: work-unit enumeration and plan
+// construction, cancel-on-first-completion semantics (deterministic wins,
+// ties, cancellation bookkeeping), the r = 1 bit-identity contract, the
+// shared stall/slowdown window machinery, counter-based Monte-Carlo
+// sub-streams, min-of-r laws, the analytic completion-time bounds and the
+// (reallocation × replication) searches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "agedtr/core/replication.hpp"
+#include "agedtr/core/replication_bounds.hpp"
+#include "agedtr/core/regeneration.hpp"
+#include "agedtr/dist/compose.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/dist/uniform.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/random/rng.hpp"
+#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/sim/monte_carlo.hpp"
+#include "agedtr/sim/replication_study.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ReplicationPlan;
+using core::ServerSpec;
+using core::WorkUnit;
+
+dist::DistPtr det(double c) { return std::make_shared<dist::Deterministic>(c); }
+
+DcsScenario deterministic_scenario(int m1, int m2, double w1, double w2,
+                                   double z) {
+  std::vector<ServerSpec> servers = {{m1, det(w1), nullptr},
+                                     {m2, det(w2), nullptr}};
+  return core::make_uniform_network_scenario(std::move(servers), det(z),
+                                             det(0.1));
+}
+
+DcsScenario stochastic_scenario(bool failures = true) {
+  std::vector<ServerSpec> servers = {
+      {8, dist::Exponential::with_mean(2.0),
+       failures ? dist::Exponential::with_mean(100.0) : nullptr},
+      {4, dist::Exponential::with_mean(1.0),
+       failures ? dist::Exponential::with_mean(80.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(3.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+DcsScenario three_server_scenario(std::vector<double> service_means,
+                                  std::vector<int> tasks) {
+  std::vector<ServerSpec> servers;
+  for (std::size_t j = 0; j < service_means.size(); ++j) {
+    servers.push_back(
+        {tasks[j], dist::Exponential::with_mean(service_means[j]), nullptr});
+  }
+  return core::make_uniform_network_scenario(
+      std::move(servers), dist::Exponential::with_mean(2.0),
+      dist::Exponential::with_mean(0.2));
+}
+
+// --- Work units and plans. -----------------------------------------------
+
+TEST(WorkUnits, CanonicalOrderMatchesApplyPolicy) {
+  const DcsScenario s = three_server_scenario({3.0, 1.0, 2.0}, {5, 2, 0});
+  DtrPolicy policy(3);
+  policy.set(0, 1, 2);
+  policy.set(0, 2, 1);
+  policy.set(1, 2, 1);
+  const std::vector<WorkUnit> units = core::enumerate_work_units(s, policy);
+  // Destination 0: local block 5 - 3 = 2. Destination 1: local 2 - 1 = 1,
+  // then inbound 0 -> 1. Destination 2: no local tasks, inbound 0 -> 2 and
+  // 1 -> 2 in source order.
+  ASSERT_EQ(units.size(), 5u);
+  EXPECT_EQ(units[0].origin, 0u);
+  EXPECT_EQ(units[0].destination, 0u);
+  EXPECT_EQ(units[0].tasks, 2);
+  EXPECT_EQ(units[1].origin, 1u);
+  EXPECT_EQ(units[1].destination, 1u);
+  EXPECT_EQ(units[1].tasks, 1);
+  EXPECT_EQ(units[2].origin, 0u);
+  EXPECT_EQ(units[2].destination, 1u);
+  EXPECT_EQ(units[2].tasks, 2);
+  EXPECT_EQ(units[3].origin, 0u);
+  EXPECT_EQ(units[3].destination, 2u);
+  EXPECT_EQ(units[3].tasks, 1);
+  EXPECT_EQ(units[4].origin, 1u);
+  EXPECT_EQ(units[4].destination, 2u);
+  EXPECT_EQ(units[4].tasks, 1);
+}
+
+TEST(ReplicationPlan, UniformPlanRanksHostsBySpeed) {
+  const DcsScenario s = three_server_scenario({3.0, 1.0, 2.0}, {4, 2, 1});
+  const DtrPolicy identity(3);
+  const ReplicationPlan plan =
+      core::make_uniform_replication(s, identity, 2);
+  ASSERT_EQ(plan.replica_sets.size(), 3u);
+  // Primary first, then the fastest other server (mean 1.0 at index 1,
+  // mean 2.0 at index 2).
+  EXPECT_EQ(plan.replica_sets[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.replica_sets[1], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(plan.replica_sets[2], (std::vector<std::size_t>{2, 1}));
+  EXPECT_FALSE(plan.is_identity());
+  EXPECT_EQ(plan.max_factor(), 2u);
+  EXPECT_NO_THROW(plan.validate(s, identity));
+
+  // Factor beyond the server count clamps.
+  const ReplicationPlan all = core::make_uniform_replication(s, identity, 9);
+  EXPECT_EQ(all.max_factor(), 3u);
+
+  const ReplicationPlan one = core::make_uniform_replication(s, identity, 1);
+  EXPECT_TRUE(one.is_identity());
+}
+
+TEST(ReplicationPlan, ValidateRejectsMalformedPlans) {
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const std::vector<WorkUnit> units = core::enumerate_work_units(s, policy);
+  ASSERT_EQ(units.size(), 3u);
+
+  ReplicationPlan wrong_count;
+  wrong_count.replica_sets = {{0}, {1}};
+  EXPECT_THROW(wrong_count.validate(s, policy), InvalidArgument);
+
+  ReplicationPlan wrong_primary;
+  wrong_primary.replica_sets = {{1, 0}, {1}, {1}};
+  EXPECT_THROW(wrong_primary.validate(s, policy), InvalidArgument);
+
+  ReplicationPlan duplicate_host;
+  duplicate_host.replica_sets = {{0, 0}, {1}, {1}};
+  EXPECT_THROW(duplicate_host.validate(s, policy), InvalidArgument);
+
+  ReplicationPlan out_of_range;
+  out_of_range.replica_sets = {{0, 7}, {1}, {1}};
+  EXPECT_THROW(out_of_range.validate(s, policy), InvalidArgument);
+
+  // The simulator validates at run(), not construction.
+  sim::SimulatorOptions opts;
+  opts.replication = wrong_count;
+  const sim::DcsSimulator simulator(s, opts);
+  random::Rng rng(1);
+  EXPECT_THROW((void)simulator.run(policy, rng), InvalidArgument);
+}
+
+// --- r = 1 bit-identity. -------------------------------------------------
+
+TEST(Replication, IdentityPlanIsBitIdenticalToNoPlan) {
+  const DcsScenario s = stochastic_scenario();
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+
+  const sim::DcsSimulator plain(s);
+  sim::SimulatorOptions opts;
+  opts.replication = core::make_uniform_replication(s, policy, 1);
+  ASSERT_TRUE(opts.replication->is_identity());
+  const sim::DcsSimulator replicated(s, opts);
+
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    random::Rng rng1(seed), rng2(seed);
+    const sim::SimResult a = plain.run(policy, rng1);
+    const sim::SimResult b = replicated.run(policy, rng2);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.completion_time, b.completion_time);  // bitwise, no NEAR
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.busy_time, b.busy_time);
+    EXPECT_EQ(a.tasks_served, b.tasks_served);
+    EXPECT_EQ(a.tasks_lost, b.tasks_lost);
+    EXPECT_EQ(b.replicas_cancelled, 0u);
+    // And the streams advanced identically: the next draw agrees.
+    EXPECT_EQ(rng1.next_double(), rng2.next_double());
+  }
+}
+
+// --- Cancel-on-first-completion semantics. -------------------------------
+
+TEST(Replication, ReplicaWinCancelsPrimaryDeterministically) {
+  // Primary (server 0): 2 tasks at 4 s each -> alone it finishes at 8.
+  // Replica at server 1: arrives at 3 (one group transfer), 2 tasks at
+  // 1 s -> finishes at 5 and cancels the primary mid-task.
+  const DcsScenario s = deterministic_scenario(2, 0, 4.0, 1.0, 3.0);
+  const DtrPolicy identity(2);
+  ReplicationPlan plan;
+  plan.replica_sets = {{0, 1}};
+  sim::SimulatorOptions opts;
+  opts.replication = plan;
+  const sim::DcsSimulator simulator(s, opts);
+  random::Rng rng(7);
+  const sim::SimResult r = simulator.run(identity, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.completion_time, 5.0);
+  EXPECT_EQ(r.replicas_cancelled, 1u);
+  // Server 0 completed exactly one task (at t = 4) before the cancellation;
+  // the in-flight second task contributes neither service nor busy time.
+  EXPECT_EQ(r.tasks_served[0], 1);
+  EXPECT_EQ(r.tasks_served[1], 2);
+  EXPECT_DOUBLE_EQ(r.busy_time[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.busy_time[1], 2.0);
+}
+
+TEST(Replication, SimultaneousCompletionBreaksTiesByScheduleOrder) {
+  // Primary finishes its single 4 s task at t = 4; the replica arrives at 3
+  // and finishes its 1 s task at t = 4 too. The primary's completion event
+  // was scheduled first (at t = 0), so it wins the FIFO tie-break.
+  const DcsScenario s = deterministic_scenario(1, 0, 4.0, 1.0, 3.0);
+  const DtrPolicy identity(2);
+  ReplicationPlan plan;
+  plan.replica_sets = {{0, 1}};
+  sim::SimulatorOptions opts;
+  opts.replication = plan;
+  const sim::DcsSimulator simulator(s, opts);
+  random::Rng rng(7);
+  const sim::SimResult r = simulator.run(identity, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.completion_time, 4.0);
+  EXPECT_EQ(r.tasks_served[0], 1);
+  EXPECT_EQ(r.tasks_served[1], 0);  // cancelled in service: not served
+  EXPECT_DOUBLE_EQ(r.busy_time[1], 0.0);
+  EXPECT_EQ(r.replicas_cancelled, 1u);
+}
+
+TEST(Replication, ReplicationRescuesWorkloadFromServerFailure) {
+  // Server 0 dies at t = 1 (before serving anything); without replication
+  // the workload is lost, with a replica at server 1 it completes.
+  std::vector<ServerSpec> servers = {{1, det(4.0), det(1.0)},
+                                     {0, det(1.0), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), det(0.5), det(0.1));
+  const DtrPolicy identity(2);
+
+  const sim::DcsSimulator plain(s);
+  random::Rng rng1(3);
+  EXPECT_FALSE(plain.run(identity, rng1).completed);
+
+  ReplicationPlan plan;
+  plan.replica_sets = {{0, 1}};
+  sim::SimulatorOptions opts;
+  opts.replication = plan;
+  const sim::DcsSimulator replicated(s, opts);
+  random::Rng rng2(3);
+  const sim::SimResult r = replicated.run(identity, rng2);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.completion_time, 1.5);  // 0.5 transfer + 1 s service
+}
+
+// --- Slowdown machinery. -------------------------------------------------
+
+TEST(Slowdown, WindowMergeNeverStacks) {
+  sim::SlowdownWindow w;
+  EXPECT_FALSE(w.covers(0.0));
+  EXPECT_DOUBLE_EQ(w.extend(0.0, 10.0), 10.0);
+  EXPECT_TRUE(w.covers(5.0));
+  // Fully inside the pending window: nothing fresh.
+  EXPECT_DOUBLE_EQ(w.extend(5.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.until, 10.0);
+  // Overlap: only the part beyond the horizon is fresh.
+  EXPECT_DOUBLE_EQ(w.extend(5.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.until, 15.0);
+  // Disjoint window after the horizon.
+  EXPECT_DOUBLE_EQ(w.extend(20.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.until, 22.0);
+  EXPECT_FALSE(w.covers(22.0));
+}
+
+TEST(Slowdown, ValidateRejectsMalformedProcess) {
+  sim::FaultPlan plan;
+  plan.slowdown.rate = 0.1;  // active but no duration law
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan.slowdown.duration = det(5.0);
+  plan.slowdown.factor = 1.0;  // factor must be < 1
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan.slowdown.factor = 0.5;
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_FALSE(plan.is_null());
+}
+
+TEST(Slowdown, FactorZeroSlowdownMatchesStallBitwise) {
+  // The legacy stall process and a factor-0 slowdown are the same model
+  // through the shared SlowdownProcess/SlowdownWindow machinery; with only
+  // one of them active, runs must agree bit for bit.
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+
+  sim::SimulatorOptions stall;
+  stall.faults.stall_rate = 0.05;
+  stall.faults.stall_duration = dist::Exponential::with_mean(10.0);
+  sim::SimulatorOptions slow;
+  slow.faults.slowdown.rate = 0.05;
+  slow.faults.slowdown.duration = dist::Exponential::with_mean(10.0);
+  slow.faults.slowdown.factor = 0.0;
+
+  const sim::DcsSimulator stalled(s, stall);
+  const sim::DcsSimulator slowed(s, slow);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    random::Rng rng1(seed), rng2(seed);
+    const sim::SimResult a = stalled.run(policy, rng1);
+    const sim::SimResult b = slowed.run(policy, rng2);
+    EXPECT_EQ(a.completion_time, b.completion_time);
+    EXPECT_EQ(a.busy_time, b.busy_time);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.faults.stalls, b.faults.slowdowns);
+    EXPECT_EQ(a.faults.total_stall_time, b.faults.total_slowdown_time);
+    EXPECT_EQ(rng1.next_double(), rng2.next_double());
+  }
+}
+
+TEST(Slowdown, PermanentHalfRateSlowdownBoundsCompletion) {
+  // One server, one 10 s task, slowdown windows long enough to cover the
+  // whole run at factor 1/2: completion lies in (10, 20] — the work before
+  // the first (exponentially timed) onset runs at rate 1, the rest at 1/2.
+  std::vector<ServerSpec> servers = {{1, det(10.0), nullptr}};
+  DcsScenario s;
+  s.servers = std::move(servers);
+  s.transfer = {{nullptr}};
+  sim::SimulatorOptions opts;
+  opts.faults.slowdown.rate = 1.0;
+  opts.faults.slowdown.duration = det(1e9);
+  opts.faults.slowdown.factor = 0.5;
+  const sim::DcsSimulator simulator(s, opts);
+  const DtrPolicy identity(1);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    random::Rng rng(seed);
+    const sim::SimResult r = simulator.run(identity, rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.completion_time, 10.0);
+    EXPECT_LE(r.completion_time, 20.0);
+    EXPECT_GE(r.faults.slowdowns, 1u);
+    EXPECT_GT(r.faults.total_slowdown_time, 0.0);
+  }
+}
+
+TEST(Slowdown, ScaleFaultPlanScalesSlowdownFrequencyOnly) {
+  sim::FaultPlan base;
+  base.slowdown.rate = 0.04;
+  base.slowdown.duration = det(5.0);
+  base.slowdown.factor = 0.25;
+  const sim::FaultPlan scaled = scale_fault_plan(base, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.slowdown.rate, 0.12);
+  EXPECT_DOUBLE_EQ(scaled.slowdown.factor, 0.25);
+  EXPECT_TRUE(scale_fault_plan(base, 0.0).is_null());
+}
+
+// --- Counter-based sub-streams. ------------------------------------------
+
+TEST(CounterRng, StreamsAreDeterministicAndSeparated) {
+  random::Rng a = random::make_counter_rng(123, 5);
+  random::Rng b = random::make_counter_rng(123, 5);
+  random::Rng c = random::make_counter_rng(123, 6);
+  random::Rng d = random::make_counter_rng(124, 5);
+  for (int i = 0; i < 8; ++i) {
+    const double va = a.next_double();
+    EXPECT_EQ(va, b.next_double());
+    EXPECT_NE(va, c.next_double());
+    EXPECT_NE(va, d.next_double());
+  }
+}
+
+TEST(CounterRng, MonteCarloCounterSplitPinsReplicationStreams) {
+  // StreamSplit::kCounter must use exactly make_counter_rng(seed, r) for
+  // replication r: a hand-rolled serial loop reproduces the estimates
+  // bit for bit.
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  sim::MonteCarloOptions mc;
+  mc.replications = 64;
+  mc.seed = 0xfeed;
+  mc.stream_split = sim::StreamSplit::kCounter;
+  const sim::MonteCarloMetrics metrics = sim::run_monte_carlo(s, policy, mc);
+
+  const sim::DcsSimulator simulator(s);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    random::Rng rng = random::make_counter_rng(0xfeed, r);
+    const sim::SimResult result = simulator.run(policy, rng);
+    ASSERT_TRUE(result.completed);
+    total += result.completion_time;
+  }
+  EXPECT_DOUBLE_EQ(metrics.mean_completion_time.center, total / 64.0);
+
+  // The historical hash-based derivation is a different stream family.
+  sim::MonteCarloOptions legacy = mc;
+  legacy.stream_split = sim::StreamSplit::kSplitMix;
+  const sim::MonteCarloMetrics legacy_metrics =
+      sim::run_monte_carlo(s, policy, legacy);
+  EXPECT_NE(legacy_metrics.mean_completion_time.center,
+            metrics.mean_completion_time.center);
+}
+
+TEST(CounterRng, AutoSplitPreservesLegacyStreamsUnlessReplicating) {
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  sim::MonteCarloOptions mc;
+  mc.replications = 32;
+  mc.seed = 42;
+
+  // No plan: kAuto == kSplitMix (bit-compatible with historical runs).
+  sim::MonteCarloOptions legacy = mc;
+  legacy.stream_split = sim::StreamSplit::kSplitMix;
+  EXPECT_EQ(sim::run_monte_carlo(s, policy, mc).mean_completion_time.center,
+            sim::run_monte_carlo(s, policy, legacy)
+                .mean_completion_time.center);
+
+  // A replicating plan flips kAuto to counter streams.
+  sim::MonteCarloOptions replicated = mc;
+  replicated.simulator.replication =
+      core::make_uniform_replication(s, policy, 2);
+  sim::MonteCarloOptions replicated_counter = replicated;
+  replicated_counter.stream_split = sim::StreamSplit::kCounter;
+  EXPECT_EQ(sim::run_monte_carlo(s, policy, replicated)
+                .mean_completion_time.center,
+            sim::run_monte_carlo(s, policy, replicated_counter)
+                .mean_completion_time.center);
+}
+
+// --- Min-of-r laws. ------------------------------------------------------
+
+TEST(MinOfR, CdfIsOneMinusSurvivalProduct) {
+  const std::vector<dist::DistPtr> components = {
+      dist::Exponential::with_mean(2.0),
+      std::make_shared<dist::Uniform>(0.5, 4.0),
+      dist::Exponential::with_mean(1.0)};
+  const dist::DistPtr law = dist::min_of(components);
+  for (const double x : {0.0, 0.3, 0.9, 1.7, 3.2, 5.0, 9.0}) {
+    double product = 1.0;
+    for (const dist::DistPtr& c : components) product *= c->sf(x);
+    EXPECT_NEAR(law->cdf(x), 1.0 - product, 1e-12);
+    EXPECT_NEAR(law->sf(x), product, 1e-12);
+  }
+  // The same law through the regenerative race machinery.
+  std::vector<core::Clock> clocks;
+  for (const dist::DistPtr& c : components) {
+    clocks.push_back({core::Clock::Kind::kService, 0, c});
+  }
+  const core::RegenerationAnalysis race(std::move(clocks));
+  for (const double x : {0.4, 1.1, 2.6}) {
+    EXPECT_NEAR(race.race_survival(x), law->sf(x), 1e-12);
+  }
+}
+
+TEST(MinOfR, ExpectedMinimumIsNonIncreasingInR) {
+  // No-cost replication: each added replica clock can only shorten the
+  // race, so E[min] is monotone non-increasing in r.
+  const std::vector<dist::DistPtr> pool = {
+      dist::Exponential::with_mean(3.0), dist::Exponential::with_mean(2.0),
+      std::make_shared<dist::Uniform>(1.0, 5.0),
+      dist::Exponential::with_mean(1.5)};
+  double previous = std::numeric_limits<double>::infinity();
+  std::vector<core::Clock> clocks;
+  for (const dist::DistPtr& c : pool) {
+    clocks.push_back({core::Clock::Kind::kService, 0, c});
+    const core::RegenerationAnalysis race(clocks);
+    const double mean = race.expected_minimum();
+    EXPECT_LE(mean, previous + 1e-9);
+    previous = mean;
+  }
+}
+
+TEST(MinOfR, AnalyticLowerBoundIsNonIncreasingInFactor) {
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  core::ReplicationBoundsOptions options;
+  double previous = std::numeric_limits<double>::infinity();
+  for (int r = 1; r <= 2; ++r) {
+    const core::ReplicationBounds bounds = core::replication_completion_bounds(
+        s, policy, core::make_uniform_replication(s, policy, r), options);
+    EXPECT_GT(bounds.mean_lower, 0.0);
+    EXPECT_LE(bounds.mean_lower, previous + 1e-9);
+    EXPECT_LE(bounds.mean_lower, bounds.mean_upper);
+    previous = bounds.mean_lower;
+  }
+}
+
+TEST(ReplicationBounds, RejectsUnsupportedInputs) {
+  const DcsScenario reliable = stochastic_scenario(false);
+  const DcsScenario failing = stochastic_scenario(true);
+  const DtrPolicy identity(2);
+  const ReplicationPlan plan =
+      core::make_uniform_replication(reliable, identity, 2);
+  core::ReplicationBoundsOptions options;
+  options.slowdown_factor = 0.0;  // permanent stall: no finite bound
+  EXPECT_THROW(core::replication_completion_bounds(reliable, identity, plan,
+                                                   options),
+               InvalidArgument);
+  options.slowdown_factor = 1.0;
+  EXPECT_THROW(core::replication_completion_bounds(failing, identity, plan,
+                                                   options),
+               InvalidArgument);
+}
+
+TEST(ReplicationBounds, EngineBoundsBracketAndOrderQos) {
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  policy::EvaluationEngineOptions options;
+  options.objective = policy::Objective::kQos;
+  options.deadline = 40.0;
+  const policy::EvaluationEngine engine(s, options);
+  const core::ReplicationBounds bounds = engine.replication_bounds(
+      policy, core::make_uniform_replication(s, policy, 2), 0.5);
+  EXPECT_GT(bounds.mean_lower, 0.0);
+  EXPECT_GE(bounds.mean_upper, bounds.mean_lower);
+  EXPECT_GE(bounds.qos_upper, bounds.qos_lower);
+  EXPECT_GE(bounds.qos_lower, 0.0);
+  EXPECT_LE(bounds.qos_upper, 1.0);
+}
+
+// --- The study grid: brackets and the tradeoff. --------------------------
+
+TEST(ReplicationStudy, BoundsBracketMonteCarloAndSlowdownsFlipTheOrder) {
+  const DcsScenario s = stochastic_scenario(false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+
+  sim::ReplicationStudyOptions options;
+  options.factors = {1, 2};
+  options.slowdown_intensities = {0.0, 3.0};
+  options.base_slowdown.rate = 0.05;
+  options.base_slowdown.duration = dist::Exponential::with_mean(30.0);
+  options.base_slowdown.factor = 0.1;
+  options.replications = 1'500;
+  options.seed = 0x5eed;
+  options.deadline = 60.0;
+  const std::vector<sim::ReplicationStudyRow> rows =
+      sim::run_replication_study(s, policy, options);
+  ASSERT_EQ(rows.size(), 4u);
+
+  double mean[3][4];  // [factor][intensity index]
+  for (const sim::ReplicationStudyRow& row : rows) {
+    EXPECT_EQ(row.truncated, 0u);
+    // The analytic bracket holds up to Monte-Carlo noise.
+    const double slack = 0.05 * row.mc_mean + 1.5 * row.mc_mean_halfwidth;
+    EXPECT_GE(row.mc_mean, row.bound_lower - slack)
+        << "r=" << row.factor << " intensity=" << row.intensity;
+    EXPECT_LE(row.mc_mean, row.bound_upper + slack)
+        << "r=" << row.factor << " intensity=" << row.intensity;
+    EXPECT_LE(row.qos_lower, row.mc_qos + 0.05);
+    EXPECT_GE(row.qos_upper, row.mc_qos - 0.05);
+    mean[row.factor][row.intensity > 0.0 ? 1 : 0] = row.mc_mean;
+    if (row.factor == 1) {
+      EXPECT_EQ(row.replicas_cancelled, 0u);
+    } else {
+      EXPECT_GT(row.replicas_cancelled, 0u);
+    }
+    if (row.intensity == 0.0) {
+      EXPECT_EQ(row.slowdowns, 0u);
+    } else {
+      EXPECT_GT(row.slowdowns, 0u);
+    }
+  }
+  // Heavy straggling: hedging the slow replicas wins outright, and by much
+  // more than whatever hedging gains (or contention costs) at intensity 0.
+  EXPECT_LT(mean[2][1], mean[1][1]);
+  EXPECT_GT(mean[1][1] - mean[2][1], mean[1][0] - mean[2][0]);
+}
+
+// --- Joint (reallocation × replication) searches. ------------------------
+
+TEST(ReplicatedSearch, FindsJointOptimumWithDeterministicTies) {
+  const policy::TwoServerPolicySearch search(2, 2);
+  policy::ReplicatedSearchOptions options;
+  options.max_factor = 3;
+  std::size_t calls = 0;
+  const policy::ReplicatedEvaluator evaluator =
+      [&calls](const core::DtrPolicy& p, int factor) {
+        ++calls;
+        const int l12 = p.outgoing(0);
+        const int l21 = p.outgoing(1);
+        return std::abs(l12 - 1) + std::abs(l21 - 1) +
+               std::abs(factor - 2) + 0.0;
+      };
+  const policy::ReplicatedSearchResult result =
+      search.optimize_replicated(evaluator, options);
+  EXPECT_EQ(result.best.l12, 1);
+  EXPECT_EQ(result.best.l21, 1);
+  EXPECT_EQ(result.best.factor, 2);
+  EXPECT_DOUBLE_EQ(result.best.value, 0.0);
+  EXPECT_EQ(result.evaluations, calls);
+  EXPECT_EQ(result.evaluations, 27u);  // 3 × 3 × 3, nothing pruned
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.pruned, 0u);
+}
+
+TEST(ReplicatedSearch, LowerBoundPrunesWithoutChangingTheOptimum) {
+  const policy::TwoServerPolicySearch search(3, 3);
+  const auto objective = [](const core::DtrPolicy& p, int factor) {
+    return 1.0 * p.outgoing(0) + 2.0 * p.outgoing(1) + 0.5 * factor;
+  };
+  policy::ReplicatedSearchOptions plain;
+  plain.max_factor = 2;
+  const policy::ReplicatedSearchResult full =
+      search.optimize_replicated(objective, plain);
+
+  policy::ReplicatedSearchOptions pruned = plain;
+  pruned.lower_bound = objective;  // exact bound: maximal pruning
+  const policy::ReplicatedSearchResult fast =
+      search.optimize_replicated(objective, pruned);
+  EXPECT_EQ(fast.best.l12, full.best.l12);
+  EXPECT_EQ(fast.best.l21, full.best.l21);
+  EXPECT_EQ(fast.best.factor, full.best.factor);
+  EXPECT_DOUBLE_EQ(fast.best.value, full.best.value);
+  EXPECT_GT(fast.pruned, 0u);
+  EXPECT_LT(fast.evaluations, full.evaluations);
+  EXPECT_EQ(fast.evaluations + fast.pruned, full.evaluations);
+}
+
+TEST(ReplicatedSearch, TinyBudgetStillReturnsTheFirstIncumbent) {
+  const policy::TwoServerPolicySearch search(4, 4);
+  policy::ReplicatedSearchOptions options;
+  options.max_factor = 2;
+  options.budget.max_seconds = 1e-9;  // expires immediately
+  std::size_t calls = 0;
+  const policy::ReplicatedSearchResult result = search.optimize_replicated(
+      [&calls](const core::DtrPolicy&, int) {
+        ++calls;
+        return 1.0;
+      },
+      options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_GE(calls, 1u);  // the first point always evaluates
+  EXPECT_LT(calls, 50u);
+  EXPECT_EQ(result.best.l12, 0);
+  EXPECT_EQ(result.best.l21, 0);
+  EXPECT_EQ(result.best.factor, 1);
+}
+
+TEST(Algorithm1, SelectsReplicationFactorFromAnalyticBounds) {
+  const DcsScenario s = stochastic_scenario(false);
+  policy::Algorithm1Options options;
+  options.max_replication = 2;
+  options.slowdown_factor = 0.2;  // heavy straggling: bounds favour hedging
+  const policy::Algorithm1Result result = policy::Algorithm1(options).devise(s);
+  EXPECT_GE(result.replication_factor, 1);
+  EXPECT_LE(result.replication_factor, 2);
+  EXPECT_NO_THROW(result.replication.validate(s, result.policy));
+
+  policy::Algorithm1Options off;
+  off.max_replication = 1;
+  const policy::Algorithm1Result plain = policy::Algorithm1(off).devise(s);
+  EXPECT_EQ(plain.replication_factor, 1);
+  EXPECT_TRUE(plain.replication.is_identity());
+  EXPECT_EQ(plain.policy.size(), result.policy.size());
+}
+
+TEST(AllocationSearch, ReplicationPostPassScoresFactors) {
+  const DcsScenario s = stochastic_scenario(false);
+  sim::AllocationSearchOptions options;
+  options.analytic = true;
+  options.replications = 400;
+  options.replication_factors = {1, 2};
+  options.replication_faults.slowdown.rate = 0.1;
+  options.replication_faults.slowdown.duration =
+      dist::Exponential::with_mean(30.0);
+  options.replication_faults.slowdown.factor = 0.1;
+  const sim::AllocationSearchResult result =
+      sim::optimal_allocation(s, options);
+  EXPECT_GE(result.replication_factor, 1);
+  EXPECT_LE(result.replication_factor, 2);
+  EXPECT_TRUE(std::isfinite(result.replicated_value));
+  EXPECT_GT(result.replicated_value, 0.0);
+
+  sim::AllocationSearchOptions off = options;
+  off.replication_factors.clear();
+  const sim::AllocationSearchResult plain = sim::optimal_allocation(s, off);
+  EXPECT_EQ(plain.replication_factor, 1);
+  EXPECT_TRUE(std::isnan(plain.replicated_value));
+}
+
+}  // namespace
+}  // namespace agedtr
