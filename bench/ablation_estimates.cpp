@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "agedtr/dist/exponential.hpp"
-#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/random/rng.hpp"
 #include "agedtr/util/cli.hpp"
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   policy::Algorithm1Options opts;
   opts.objective = policy::Objective::kMeanExecutionTime;
   opts.pool = &ThreadPool::global();
-  const policy::Algorithm1 algo(opts);
+  const policy::Algorithm1Policy algo(opts);
   const double perfect = evaluator(algo.devise(scenario).policy);
 
   Table table({"estimate staleness", "mean T-bar (s)", "worst T-bar (s)",

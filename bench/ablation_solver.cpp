@@ -17,6 +17,7 @@
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/dist/pareto.hpp"
 #include "agedtr/core/regen_solver.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/policy/objective.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
@@ -123,7 +124,7 @@ int main(int argc, char** argv) {
 
   // ---- 4. transfer scaling ----
   {
-    Table scaling({"transfer scaling", "delay", "optimal L12",
+    Table scaling({"transfer scaling", "delay", "optimal L12", "optimal L21",
                    "optimal T-bar (s)"});
     for (const bool per_task : {false, true}) {
       for (bench::Delay delay : {bench::Delay::kLow, bench::Delay::kSevere}) {
@@ -131,23 +132,24 @@ int main(int argc, char** argv) {
             bench::two_server_scenario(ModelFamily::kPareto1, delay, false);
         s.transfer_scaling = per_task ? core::TransferScaling::kPerTask
                                       : core::TransferScaling::kPerGroup;
+        // The exhaustive 2-server search (one-way offload line) as a
+        // DecisionPolicy on the fresh t = 0 state of the re-scaled scenario.
+        policy::DecisionEngineOptions engine_opts;
+        engine_opts.objective = policy::Objective::kMeanExecutionTime;
+        engine_opts.pool = &ThreadPool::global();
+        const policy::TwoServerSearchPolicy search(
+            {.markovian = false, .max_l21 = 0});
+        const core::DtrPolicy devised = policy::decide_from_state(
+            search, s, core::SystemState::initial(s, core::DtrPolicy(2)),
+            engine_opts);
         const auto eval = policy::make_age_dependent_evaluator(
             s, policy::Objective::kMeanExecutionTime);
-        const policy::TwoServerPolicySearch search(100, 50);
-        int best_l12 = 0;
-        double best = 1e300;
-        for (const auto& pt : search.sweep_l12(eval, 0,
-                                               &ThreadPool::global())) {
-          if (pt.value < best) {
-            best = pt.value;
-            best_l12 = pt.l12;
-          }
-        }
         scaling.begin_row()
             .cell(per_task ? "per-task (L-fold sum)" : "per-group (fixed)")
             .cell(bench::delay_name(delay))
-            .cell(best_l12)
-            .cell(best);
+            .cell(static_cast<int>(devised(0, 1)))
+            .cell(static_cast<int>(devised(1, 0)))
+            .cell(eval(devised));
       }
     }
     std::cout << "\n=== Ablation 4 | transfer scaling: per-task is what "

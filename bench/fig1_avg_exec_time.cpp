@@ -56,7 +56,6 @@ int main(int argc, char** argv) {
           policy::exponentialized(scenario),
           policy::Objective::kMeanExecutionTime, 0.0, conv);
 
-      const policy::TwoServerPolicySearch search(100, 50);
       std::vector<policy::PolicyPoint> grid;
       for (int l12 = 0; l12 <= 100; l12 += step) grid.push_back({l12, l21, 0});
       std::vector<double> exact_vals(grid.size()), markov_vals(grid.size());

@@ -1,0 +1,260 @@
+// Policy-comparison bench: ranks the stack's decision-policy families —
+// Eq. (5) fair share, one-shot Algorithm 1, the Markovian-prescribed
+// baseline, and rolling-horizon Algorithm 1 — against the pinned demo grid
+// under common random numbers (policy::PolicyComparer).
+//
+// Every (policy, scenario) cell replays identical trajectory sub-streams,
+// so differences between rows are policy effects, not sampling noise, and
+// the whole table is bit-identical across thread counts. The CSV under
+// bench_results/ is the same artifact the golden regression test pins;
+// --golden compares this run's numbers against a pinned CSV at rtol 1e-9
+// and exits nonzero on drift. --checkpoint journals each completed cell so
+// a killed run resumes (--resume) instead of recomputing.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/policy/policy_comparer.hpp"
+#include "agedtr/util/checkpoint.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/stopwatch.hpp"
+#include "agedtr/util/strings.hpp"
+#include "agedtr/util/table.hpp"
+
+using namespace agedtr;
+
+namespace {
+
+std::string pack_double(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+std::string pack_assessment(const policy::PolicyAssessment& a) {
+  return join_fields(
+      {std::to_string(a.trajectories), std::to_string(a.completed),
+       std::to_string(a.truncated), pack_double(a.mean_completion_time.center),
+       pack_double(a.mean_completion_time.lower),
+       pack_double(a.mean_completion_time.upper),
+       pack_double(a.reliability.center), pack_double(a.reliability.lower),
+       pack_double(a.reliability.upper), pack_double(a.qos.center),
+       pack_double(a.qos.lower), pack_double(a.qos.upper),
+       std::to_string(a.epochs_fired), std::to_string(a.tasks_reallocated)});
+}
+
+policy::PolicyAssessment unpack_assessment(const std::string& policy_name,
+                                           const std::string& scenario_name,
+                                           const std::string& payload) {
+  const std::vector<std::string> f = split_fields(payload);
+  AGEDTR_REQUIRE(f.size() == 14,
+                 "policy_comparer_bench: malformed journal payload");
+  policy::PolicyAssessment a;
+  a.policy_name = policy_name;
+  a.scenario_name = scenario_name;
+  a.trajectories = std::stoull(f[0]);
+  a.completed = std::stoull(f[1]);
+  a.truncated = std::stoull(f[2]);
+  a.mean_completion_time = {std::stod(f[3]), std::stod(f[4]), std::stod(f[5])};
+  a.reliability = {std::stod(f[6]), std::stod(f[7]), std::stod(f[8])};
+  a.qos = {std::stod(f[9]), std::stod(f[10]), std::stod(f[11])};
+  a.epochs_fired = std::stoull(f[12]);
+  a.tasks_reallocated = std::stoll(f[13]);
+  return a;
+}
+
+/// Loads a CSV produced by PolicyComparer::write_csv as raw cells.
+std::vector<std::vector<std::string>> load_csv(const std::string& path) {
+  std::ifstream is(path);
+  AGEDTR_REQUIRE(is.good(), "policy_comparer_bench: cannot read " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    rows.push_back(split(line, ','));
+  }
+  return rows;
+}
+
+/// Numeric-aware comparison at rtol: cells that parse as doubles must agree
+/// to 1e-9 relative (1e-12 absolute near zero); everything else exactly.
+bool csv_drifted(const std::vector<std::vector<std::string>>& expected,
+                 const std::vector<std::vector<std::string>>& actual,
+                 std::string* why) {
+  if (expected.size() != actual.size()) {
+    *why = "row count " + std::to_string(actual.size()) + " vs pinned " +
+           std::to_string(expected.size());
+    return true;
+  }
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    if (expected[r].size() != actual[r].size()) {
+      *why = "row " + std::to_string(r) + ": column count mismatch";
+      return true;
+    }
+    for (std::size_t c = 0; c < expected[r].size(); ++c) {
+      const std::string& e = expected[r][c];
+      const std::string& a = actual[r][c];
+      if (e == a) continue;
+      char* e_end = nullptr;
+      char* a_end = nullptr;
+      const double ev = std::strtod(e.c_str(), &e_end);
+      const double av = std::strtod(a.c_str(), &a_end);
+      const bool both_numeric = e_end != e.c_str() && *e_end == '\0' &&
+                                a_end != a.c_str() && *a_end == '\0';
+      if (both_numeric) {
+        const double tol = 1e-9 * std::max(std::abs(ev), std::abs(av)) + 1e-12;
+        if (std::abs(ev - av) <= tol) continue;
+      }
+      *why = "row " + std::to_string(r) + " col " + std::to_string(c) + ": '" +
+             a + "' vs pinned '" + e + "'";
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "rank decision-policy families (fair share, Algorithm 1, "
+      "Markovian-prescribed, rolling-horizon) on the pinned comparison grid "
+      "under common random numbers");
+  cli.add_option("trajectories", "400",
+                 "Monte-Carlo trajectories per (policy, scenario) cell");
+  cli.add_option("seed", "0", "CRN seed (0 keeps the grid's pinned seed)");
+  cli.add_option("deadline", "0",
+                 "QoS deadline (0 keeps the grid's pinned deadline)");
+  cli.add_option("model", "",
+                 "override every server's service-law family (exponential, "
+                 "pareto1, pareto2, shifted_exponential, uniform); empty "
+                 "keeps the grid's heterogeneous laws");
+  cli.add_option("out", "bench_results/comparer_rankings.csv",
+                 "where to write the rankings CSV");
+  cli.add_option("json", "", "also write the assessments as JSON here");
+  cli.add_option("golden", "",
+                 "compare this run's CSV against the pinned CSV at this path "
+                 "(rtol 1e-9) and exit nonzero on drift");
+  cli.add_option("checkpoint", "",
+                 "journal each completed cell to this path (crash-consistent "
+                 "resume with --resume)");
+  cli.add_flag("resume",
+               "replay matching cells from an existing --checkpoint journal "
+               "instead of recomputing them");
+  cli.add_option("metrics", "",
+                 "write a metrics report (and .trace.json) to this path");
+  cli.add_flag("smoke",
+               "CI-sized run: the pinned demo grid exactly as the golden "
+               "test runs it (48 trajectories)");
+  if (!cli.parse(argc, argv)) return 0;
+  const metrics::ScopedExport metrics_export(cli.get_string("metrics"));
+  const bool smoke = cli.get_flag("smoke");
+
+  policy::ComparerDemoGrid grid = policy::make_comparer_demo_grid();
+  if (!smoke) {
+    grid.options.trajectories =
+        static_cast<std::size_t>(cli.get_int("trajectories"));
+    if (cli.get_int("seed") != 0) {
+      grid.options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    }
+    if (cli.get_double("deadline") > 0.0) {
+      grid.options.deadline = cli.get_double("deadline");
+    }
+    const std::string model = cli.get_string("model");
+    if (!model.empty()) {
+      const dist::ModelFamily family = dist::parse_model_family(model);
+      for (policy::ComparerScenario& scenario : grid.scenarios) {
+        for (core::ServerSpec& server : scenario.scenario.servers) {
+          server.service =
+              dist::make_model_distribution(family, server.service->mean());
+        }
+      }
+    }
+  }
+  grid.options.pool = &ThreadPool::global();
+
+  Stopwatch watch;
+  std::vector<policy::PolicyAssessment> assessments;
+  const std::string checkpoint_path = cli.get_string("checkpoint");
+  if (checkpoint_path.empty()) {
+    assessments =
+        policy::PolicyComparer(grid.scenarios, grid.policies, grid.options)
+            .compare();
+  } else {
+    // Per-cell journaling: each (scenario, policy) cell is one resumable
+    // unit keyed by its names; the tag fingerprints everything that changes
+    // the numbers so a stale journal is discarded, never replayed.
+    std::ostringstream tag;
+    tag << "policy-comparer-v1|traj=" << grid.options.trajectories
+        << "|seed=" << grid.options.seed
+        << "|deadline=" << pack_double(grid.options.deadline)
+        << "|model=" << cli.get_string("model") << "|smoke=" << smoke;
+    Checkpoint journal(checkpoint_path, tag.str(), cli.get_flag("resume"));
+    for (const policy::ComparerScenario& scenario : grid.scenarios) {
+      for (const policy::ComparerEntry& entry : grid.policies) {
+        const std::string key = scenario.name + "|" + entry.name;
+        const std::string payload = journal.run_unit(key, [&] {
+          const policy::PolicyComparer cell({scenario}, {entry}, grid.options);
+          return pack_assessment(cell.compare().front());
+        });
+        assessments.push_back(
+            unpack_assessment(entry.name, scenario.name, payload));
+      }
+    }
+    policy::PolicyComparer::assign_ranks(assessments);
+    std::cout << "checkpoint: " << journal.stats().hits << " of "
+              << assessments.size() << " cells replayed from "
+              << checkpoint_path << "\n";
+  }
+
+  Table table = policy::PolicyComparer::to_table(assessments);
+  table.print(std::cout);
+  for (const policy::PolicyAssessment& a : assessments) {
+    if (a.rank == 1) {
+      std::cout << "scenario " << a.scenario_name << ": best policy "
+                << a.policy_name << " (mean T "
+                << format_double(a.mean_completion_time.center, 4) << ")\n";
+    }
+  }
+
+  const std::string out_path = cli.get_string("out");
+  const std::filesystem::path out_dir =
+      std::filesystem::path(out_path).parent_path();
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+  policy::PolicyComparer::write_csv(assessments, out_path);
+  std::cout << "rankings written to " << out_path << " ("
+            << format_double(watch.elapsed_seconds(), 1) << " s total)\n";
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    const std::filesystem::path json_dir =
+        std::filesystem::path(json_path).parent_path();
+    if (!json_dir.empty()) std::filesystem::create_directories(json_dir);
+    policy::PolicyComparer::write_json(assessments, json_path);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+
+  const std::string golden_path = cli.get_string("golden");
+  if (!golden_path.empty()) {
+    std::string why;
+    if (csv_drifted(load_csv(golden_path), load_csv(out_path), &why)) {
+      std::cout << "ERROR: rankings drifted from the pinned grid (" << why
+                << "); regenerate " << golden_path
+                << " via the golden test's AGEDTR_REGEN_GOLDEN flow if the "
+                   "change is intended\n";
+      return 1;
+    }
+    std::cout << "rankings match the pinned grid (" << golden_path
+              << ", rtol 1e-9)\n";
+  }
+  return 0;
+}

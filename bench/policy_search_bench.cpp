@@ -21,7 +21,7 @@
 #include <memory>
 
 #include "agedtr/core/lattice_workspace.hpp"
-#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/stopwatch.hpp"
@@ -167,7 +167,8 @@ int main(int argc, char** argv) {
     policy::Algorithm1Options baseline_options = options;
     baseline_options.share_workspace = false;
     watch.reset();
-    const auto devised = policy::Algorithm1(baseline_options).devise(scenario);
+    const auto devised =
+        policy::Algorithm1Policy(baseline_options).devise(scenario);
     PhaseRecord p;
     p.policy = policy_to_string(devised.policy);
     p.iterations = devised.iterations;
@@ -183,7 +184,7 @@ int main(int argc, char** argv) {
     const auto workspace = std::make_shared<core::LatticeWorkspace>();
     policy::Algorithm1Options shared_options = options;
     shared_options.workspace = workspace;
-    const policy::Algorithm1 shared_search(shared_options);
+    const policy::Algorithm1Policy shared_search(shared_options);
     PhaseRecord p;
     watch.reset();
     const auto cold = shared_search.devise(scenario);

@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/sim/allocation_search.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/checkpoint.hpp"
@@ -105,8 +105,9 @@ int main(int argc, char** argv) {
           age_opts.pool = &pool;
           policy::Algorithm1Options markov_opts = age_opts;
           markov_opts.markovian = true;
-          const auto age = policy::Algorithm1(age_opts).devise(scenario);
-          const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+          const auto age = policy::Algorithm1Policy(age_opts).devise(scenario);
+          const auto markov =
+              policy::Algorithm1Policy(markov_opts).devise(scenario);
           const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
           const auto m_markov =
               sim::run_monte_carlo(scenario, markov.policy, mc);
@@ -173,8 +174,9 @@ int main(int argc, char** argv) {
           age_opts.pool = &pool;
           policy::Algorithm1Options markov_opts = age_opts;
           markov_opts.markovian = true;
-          const auto age = policy::Algorithm1(age_opts).devise(scenario);
-          const auto markov = policy::Algorithm1(markov_opts).devise(scenario);
+          const auto age = policy::Algorithm1Policy(age_opts).devise(scenario);
+          const auto markov =
+              policy::Algorithm1Policy(markov_opts).devise(scenario);
           const auto m_age = sim::run_monte_carlo(scenario, age.policy, mc);
           const auto m_markov =
               sim::run_monte_carlo(scenario, markov.policy, mc);

@@ -9,7 +9,7 @@
 
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/exponential.hpp"
-#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/table.hpp"
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   opts.criterion = reliability ? policy::ReallocationCriterion::kReliability
                                : policy::ReallocationCriterion::kSpeed;
   opts.pool = &ThreadPool::global();
-  const auto result = policy::Algorithm1(opts).devise(cluster);
+  const auto result = policy::Algorithm1Policy(opts).devise(cluster);
   std::cout << "Algorithm 1 " << (result.converged ? "converged" : "stopped")
             << " after " << result.iterations << " iteration(s).\n\n";
 

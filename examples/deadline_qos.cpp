@@ -12,7 +12,7 @@
 
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/exponential.hpp"
-#include "agedtr/policy/two_server.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
 #include "agedtr/util/table.hpp"
@@ -50,49 +50,54 @@ int main(int argc, char** argv) {
                                     4.0),
       dist::Exponential::with_mean(0.2));
 
+  // Both policies come from the same exhaustive 2-server search (one-way
+  // offload line, as in problem (3)), devised through the DecisionPolicy
+  // interface on the fresh t = 0 state — only the engine's objective
+  // differs.
   ThreadPool& pool = ThreadPool::global();
-  const policy::TwoServerPolicySearch search(m1, m2);
-  const auto line_optimum = [&](const policy::PolicyEvaluator& eval,
-                                bool maximize) {
-    policy::PolicyPoint best{0, 0,
-                             eval(policy::make_two_server_policy(0, 0))};
-    for (const auto& p : search.sweep_l12(eval, 0, &pool)) {
-      if (maximize ? p.value > best.value : p.value < best.value) best = p;
-    }
-    return best;
+  const policy::TwoServerSearchPolicy search(
+      {.markovian = false, .max_l21 = 0});
+  const auto devise = [&](policy::Objective objective, double deadline) {
+    policy::DecisionEngineOptions engine_opts;
+    engine_opts.objective = objective;
+    engine_opts.deadline = deadline;
+    engine_opts.pool = &pool;
+    return policy::decide_from_state(
+        search, farm, core::SystemState::initial(farm, core::DtrPolicy(2)),
+        engine_opts);
   };
 
-  // Policy A: minimize the average execution time (one-way offload line).
+  // Policy A: minimize the average execution time.
   const auto mean_eval = policy::make_age_dependent_evaluator(
       farm, policy::Objective::kMeanExecutionTime);
-  const auto best_mean = line_optimum(mean_eval, false);
+  const core::DtrPolicy mean_policy =
+      devise(policy::Objective::kMeanExecutionTime, 0.0);
+  const double mean_value = mean_eval(mean_policy);
 
-  const double deadline = cli.get_double("deadline") * best_mean.value;
+  const double deadline = cli.get_double("deadline") * mean_value;
 
   // Policy B: maximize P{T < deadline}.
   const auto qos_eval = policy::make_age_dependent_evaluator(
       farm, policy::Objective::kQos, deadline);
-  const auto best_qos = line_optimum(qos_eval, true);
+  const core::DtrPolicy qos_policy = devise(policy::Objective::kQos, deadline);
 
   std::cout << "Deadline: " << format_double(deadline) << " s ("
             << cli.get_double("deadline") << "x the optimal mean "
-            << format_double(best_mean.value) << " s)\n\n";
+            << format_double(mean_value) << " s)\n\n";
   Table table({"policy", "L12", "L21", "mean exec time (s)",
                "P{T < deadline}"});
   table.begin_row()
       .cell("mean-optimal")
-      .cell(best_mean.l12)
-      .cell(best_mean.l21)
-      .cell(best_mean.value)
-      .cell(qos_eval(policy::make_two_server_policy(best_mean.l12,
-                                                    best_mean.l21)));
+      .cell(static_cast<int>(mean_policy(0, 1)))
+      .cell(static_cast<int>(mean_policy(1, 0)))
+      .cell(mean_value)
+      .cell(qos_eval(mean_policy));
   table.begin_row()
       .cell("QoS-optimal")
-      .cell(best_qos.l12)
-      .cell(best_qos.l21)
-      .cell(mean_eval(policy::make_two_server_policy(best_qos.l12,
-                                                     best_qos.l21)))
-      .cell(best_qos.value);
+      .cell(static_cast<int>(qos_policy(0, 1)))
+      .cell(static_cast<int>(qos_policy(1, 0)))
+      .cell(mean_eval(qos_policy))
+      .cell(qos_eval(qos_policy));
   table.print(std::cout);
   std::cout << "\nThe QoS-optimal policy sacrifices a little average speed "
                "to raise the\nprobability of making the deadline — the "

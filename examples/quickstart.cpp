@@ -9,6 +9,7 @@
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/cli.hpp"
@@ -62,31 +63,32 @@ int main(int argc, char** argv) {
             << format_double(solver.qos(workloads, 1.2 * mean)) << "\n\n";
 
   // --- 3. Find the optimal one-way offload (problem (3) of the paper,
-  //         restricted to the L21 = 0 line; surface() explores the full
-  //         grid when both directions matter).
+  //         restricted to the L21 = 0 line): the exhaustive 2-server search
+  //         behind the DecisionPolicy interface, devised on the fresh t = 0
+  //         state of the scenario (drop max_l21 to search both directions).
   const policy::PolicyEvaluator evaluator =
       policy::make_age_dependent_evaluator(
           scenario, policy::Objective::kMeanExecutionTime);
-  const policy::TwoServerPolicySearch search(m1, m2);
-  policy::PolicyPoint best{0, 0, 0.0};
-  best.value = evaluator(policy::make_two_server_policy(0, 0));
-  for (const auto& p :
-       search.sweep_l12(evaluator, 0, &ThreadPool::global())) {
-    if (p.value < best.value) best = p;
-  }
-  std::cout << "Optimal policy: L12=" << best.l12 << ", L21=" << best.l21
-            << "  ->  T-bar = " << format_double(best.value) << " s\n\n";
+  policy::DecisionEngineOptions engine_opts;
+  engine_opts.objective = policy::Objective::kMeanExecutionTime;
+  engine_opts.pool = &ThreadPool::global();
+  const core::DtrPolicy best = policy::decide_from_state(
+      policy::TwoServerSearchPolicy({.markovian = false, .max_l21 = 0}),
+      scenario, core::SystemState::initial(scenario, core::DtrPolicy(2)),
+      engine_opts);
+  const double best_value = evaluator(best);
+  std::cout << "Optimal policy: L12=" << best(0, 1) << ", L21=" << best(1, 0)
+            << "  ->  T-bar = " << format_double(best_value) << " s\n\n";
 
   // --- 4. Cross-check the optimum by simulation.
   sim::MonteCarloOptions mc;
   mc.replications =
       static_cast<std::size_t>(cli.get_int("mc-reps"));
-  const auto metrics = sim::run_monte_carlo(
-      scenario, policy::make_two_server_policy(best.l12, best.l21), mc);
+  const auto metrics = sim::run_monte_carlo(scenario, best, mc);
   Table table({"source", "mean execution time (s)", "95% CI half-width"});
   table.begin_row()
       .cell("age-dependent theory")
-      .cell(best.value)
+      .cell(best_value)
       .cell("-");
   table.begin_row()
       .cell("Monte-Carlo (" + std::to_string(mc.replications) + " reps)")

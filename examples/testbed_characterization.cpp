@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "agedtr/core/convolution.hpp"
-#include "agedtr/policy/two_server.hpp"
+#include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/testbed/testbed.hpp"
 #include "agedtr/util/cli.hpp"
 #include "agedtr/util/strings.hpp"
@@ -59,17 +59,19 @@ int main(int argc, char** argv) {
                "fitted laws...\n";
   const auto evaluator = policy::make_age_dependent_evaluator(
       ct.fitted, policy::Objective::kReliability);
-  const policy::TwoServerPolicySearch search(
-      ct.fitted.servers[0].initial_tasks, ct.fitted.servers[1].initial_tasks);
-  const auto best = search.optimize(evaluator, policy::Objective::kReliability,
-                                    &ThreadPool::global());
-  std::cout << "  optimal policy: L12=" << best.l12 << ", L21=" << best.l21
-            << "  predicted reliability " << format_double(best.value)
-            << "\n";
+  policy::DecisionEngineOptions engine_opts;
+  engine_opts.objective = policy::Objective::kReliability;
+  engine_opts.pool = &ThreadPool::global();
+  const core::DtrPolicy policy = policy::decide_from_state(
+      policy::TwoServerSearchPolicy(), ct.fitted,
+      core::SystemState::initial(ct.fitted, core::DtrPolicy(2)), engine_opts);
+  const double predicted = evaluator(policy);
+  std::cout << "  optimal policy: L12=" << policy(0, 1)
+            << ", L21=" << policy(1, 0) << "  predicted reliability "
+            << format_double(predicted) << "\n";
 
   std::cout << "\n3. Validating against the (ground-truth) testbed...\n";
   const core::DcsScenario truth = testbed::make_testbed_scenario();
-  const auto policy = policy::make_two_server_policy(best.l12, best.l21);
   const auto experiment = testbed::run_experiment(
       truth, policy,
       static_cast<std::size_t>(cli.get_int("experiment-reps")), seed + 1);
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
       truth_solver.reliability(core::apply_policy(truth, policy));
 
   Table table({"quantity", "reliability"});
-  table.begin_row().cell("prediction (fitted laws)").cell(best.value);
+  table.begin_row().cell("prediction (fitted laws)").cell(predicted);
   table.begin_row().cell("exact (ground-truth laws)").cell(truth_reliability);
   table.begin_row()
       .cell("experiment (" + cli.get_string("experiment-reps") + " runs)")

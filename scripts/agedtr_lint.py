@@ -34,6 +34,12 @@ contracts that neither the compiler nor clang-tidy can check:
                       fault plumbing) must call AGEDTR_REQUIRE at least
                       once — an edit that drops every precondition check
                       from one of these files is a contract regression.
+  decision-policy-require
+                      every DecisionPolicy::decide(const core::SystemState&,
+                      ...) implementation must call AGEDTR_REQUIRE inside
+                      its body — decide() is the uniform decision boundary
+                      (decision_policy.hpp) and each implementation
+                      validates the observed state before acting on it.
 
 Suppression: append `agedtr-lint: allow(<rule>)` in a comment on the
 violating line or the line directly above it. Suppressions are expected to
@@ -323,6 +329,46 @@ def rule_boundary_require(path, raw_lines, stripped_lines):
                     "inputs at the API boundary (docs/FAULT_MODEL.md)")
 
 
+DECIDE_SIG_RE = re.compile(r"::decide\s*\(")
+
+
+def rule_decision_policy_require(path, raw_lines, stripped_lines):
+    """DecisionPolicy::decide bodies must validate their observed state."""
+    if not path.endswith((".cpp", ".cc")):
+        return
+    text = "\n".join(stripped_lines)
+    for m in DECIDE_SIG_RE.finditer(text):
+        close = text.find(")", m.end())
+        if close == -1 or "SystemState" not in text[m.start():close]:
+            continue
+        # An implementation opens a body; a declaration hits `;` first.
+        brace = -1
+        for i in range(close, len(text)):
+            if text[i] == ";":
+                break
+            if text[i] == "{":
+                brace = i
+                break
+        if brace == -1:
+            continue
+        depth = 0
+        end = len(text)
+        for i in range(brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        if not AGEDTR_REQUIRE_RE.search(text[brace:end]):
+            lineno = text.count("\n", 0, m.start()) + 1
+            yield Violation(path, lineno, "decision-policy-require",
+                            "DecisionPolicy::decide implementation without "
+                            "AGEDTR_REQUIRE; validate the observed state at "
+                            "the decision boundary (decision_policy.hpp)")
+
+
 RULES = [
     rule_entropy,
     rule_naked_new,
@@ -332,11 +378,12 @@ RULES = [
     rule_include_hygiene,
     rule_mutex_annotation,
     rule_boundary_require,
+    rule_decision_policy_require,
 ]
 
 RULE_IDS = ["entropy", "naked-new", "no-float", "nodiscard-factory",
             "require-not-throw", "include-hygiene", "mutex-annotation",
-            "boundary-require"]
+            "boundary-require", "decision-policy-require"]
 
 
 def lint_file(path: str) -> list[Violation]:
@@ -401,6 +448,11 @@ SELF_TEST_SEEDS = {
     "require-not-throw":
         'void f() { throw InvalidArgument("bad"); }\n',
     "mutex-annotation": "std::mutex m_;\n",
+    "decision-policy-require":
+        "core::DtrPolicy P::decide(const core::SystemState& observed,\n"
+        "                          EvaluationEngine& engine) const {\n"
+        "  return core::DtrPolicy(observed.size());\n"
+        "}\n",
 }
 
 

@@ -1,0 +1,58 @@
+// Snapshot → scenario re-seeding: the bridge that makes mid-flight
+// re-decisions well-posed. An observed hybrid state S(t) (queue lengths,
+// survivors, in-transit groups, ages — Section II-B) is distilled into a
+// *fresh* DcsScenario over the surviving servers, with every still-running
+// failure clock replaced by its aged view T_a through the aged-pdf
+// machinery (dist::aged). Any one-shot decision maker can then be invoked
+// on the re-seeded scenario exactly as it would be at t = 0 — the device
+// behind policy::RollingHorizonPolicy and sim::DcsSimulator::run_rolling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/core/state.hpp"
+
+namespace agedtr::core {
+
+struct ReseedOptions {
+  /// Credit every in-transit group to its destination's queue (tasks in the
+  /// network are committed: reliable message passing will deliver them, and
+  /// only a later failure can strand them). Groups bound for an already
+  /// failed server are excluded — they are lost, not pending.
+  bool credit_in_transit = true;
+  /// Replace each surviving server's failure law Y_j by its aged view
+  /// aged(Y_j, a_F(j)): the server has already survived to its failure-clock
+  /// age, so the re-seeded problem conditions on that survival. At age 0 (or
+  /// for memoryless laws) the base law is returned unchanged, which makes
+  /// the age-0 re-seed an exact round trip.
+  bool age_failure_laws = true;
+};
+
+/// A re-seeded decision problem: the compacted scenario over survivors plus
+/// the index maps needed to translate decisions back to the full system.
+struct ReseededScenario {
+  /// The fresh t' = 0 scenario: one server per survivor, queues loaded with
+  /// the observed (plus credited in-transit) tasks, failure laws aged.
+  DcsScenario scenario;
+  /// survivors[c] = original index of compact server c (ascending).
+  std::vector<std::size_t> survivors;
+  /// Server count of the original system the snapshot was taken from.
+  std::size_t full_size = 0;
+
+  /// Translates a policy devised on the compact scenario back to the full
+  /// index space (rows/columns of dead servers are all-zero).
+  [[nodiscard]] DtrPolicy expand(const DtrPolicy& compact) const;
+};
+
+/// Distills `observed` (a snapshot of the live system against `base`) into a
+/// fresh decision problem. Requires at least one surviving server, a state
+/// sized to the scenario, and — when age_failure_laws is set — failure
+/// clocks whose survival to their observed age is still numerically
+/// possible (dist::can_age).
+[[nodiscard]] ReseededScenario reseed_scenario(const DcsScenario& base,
+                                               const SystemState& observed,
+                                               const ReseedOptions& options = {});
+
+}  // namespace agedtr::core

@@ -1,0 +1,100 @@
+#include "agedtr/core/reseed.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "agedtr/dist/aged.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::core {
+
+DtrPolicy ReseededScenario::expand(const DtrPolicy& compact) const {
+  AGEDTR_REQUIRE(compact.size() == survivors.size(),
+                 "ReseededScenario::expand: policy size does not match the "
+                 "survivor count");
+  DtrPolicy full(full_size);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      if (i == j) continue;
+      const int l = compact(i, j);
+      if (l > 0) full.set(survivors[i], survivors[j], l);
+    }
+  }
+  return full;
+}
+
+ReseededScenario reseed_scenario(const DcsScenario& base,
+                                 const SystemState& observed,
+                                 const ReseedOptions& options) {
+  const std::size_t n = base.size();
+  AGEDTR_REQUIRE(observed.size() == n,
+                 "reseed_scenario: state size does not match the scenario");
+  AGEDTR_REQUIRE(observed.up.size() == n && observed.failure_age.size() == n,
+                 "reseed_scenario: malformed state (up/failure_age sizes)");
+
+  ReseededScenario out;
+  out.full_size = n;
+  std::vector<std::size_t> compact_of(n, n);  // n = dead / absent
+  for (std::size_t j = 0; j < n; ++j) {
+    if (observed.up[j]) {
+      compact_of[j] = out.survivors.size();
+      out.survivors.push_back(j);
+    }
+  }
+  const std::size_t m = out.survivors.size();
+  AGEDTR_REQUIRE(m > 0, "reseed_scenario: no surviving server to re-seed");
+
+  // In-transit tasks are committed to their destinations; groups bound for a
+  // dead server are stranded on arrival and carry no pending work.
+  std::vector<int> credited(n, 0);
+  if (options.credit_in_transit) {
+    for (const TransitGroup& g : observed.groups) {
+      AGEDTR_REQUIRE(g.to < n && g.tasks >= 0,
+                     "reseed_scenario: malformed in-transit group");
+      if (observed.up[g.to]) credited[g.to] += g.tasks;
+    }
+  }
+
+  out.scenario.transfer_scaling = base.transfer_scaling;
+  out.scenario.declared_total_tasks = std::nullopt;
+  out.scenario.servers.reserve(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    const std::size_t j = out.survivors[c];
+    AGEDTR_REQUIRE(observed.tasks[j] >= 0,
+                   "reseed_scenario: negative queue length");
+    ServerSpec spec;
+    spec.initial_tasks = observed.tasks[j] + credited[j];
+    spec.service = base.servers[j].service;
+    spec.failure = base.servers[j].failure;
+    if (options.age_failure_laws && spec.failure &&
+        observed.failure_age[j] > 0.0) {
+      AGEDTR_REQUIRE(dist::can_age(spec.failure, observed.failure_age[j]),
+                     "reseed_scenario: failure clock cannot survive to the "
+                     "observed age");
+      spec.failure = dist::aged(spec.failure, observed.failure_age[j]);
+    }
+    out.scenario.servers.push_back(std::move(spec));
+  }
+
+  const auto compact_matrix =
+      [&](const std::vector<std::vector<dist::DistPtr>>& full) {
+        std::vector<std::vector<dist::DistPtr>> sub;
+        if (full.empty()) return sub;
+        sub.assign(m, std::vector<dist::DistPtr>(m));
+        for (std::size_t a = 0; a < m; ++a) {
+          for (std::size_t b = 0; b < m; ++b) {
+            if (a == b) continue;
+            sub[a][b] = full[out.survivors[a]][out.survivors[b]];
+          }
+        }
+        return sub;
+      };
+  out.scenario.transfer = compact_matrix(base.transfer);
+  out.scenario.fn_transfer = compact_matrix(base.fn_transfer);
+  out.scenario.validate();
+  return out;
+}
+
+}  // namespace agedtr::core

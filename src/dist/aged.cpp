@@ -86,6 +86,21 @@ std::string Aged::describe() const {
   return "aged(" + base_->describe() + ", age=" + format_double(age_) + ")";
 }
 
+double residual_mean(const DistPtr& base, double age) {
+  AGEDTR_REQUIRE(base != nullptr, "residual_mean: base distribution is null");
+  AGEDTR_REQUIRE(age >= 0.0, "residual_mean: age must be >= 0");
+  if (age == 0.0 || base->is_memoryless()) return base->mean();
+  const double survival = base->sf(age);
+  AGEDTR_REQUIRE(survival > 0.0,
+                 "residual_mean: base distribution cannot survive to this age");
+  return base->integral_sf(age) / survival;
+}
+
+bool can_age(const DistPtr& base, double age) {
+  if (!base || age < 0.0) return false;
+  return age == 0.0 || base->sf(age) > 0.0;
+}
+
 DistPtr aged(DistPtr base, double age) {
   AGEDTR_REQUIRE(base != nullptr, "aged: base distribution is null");
   AGEDTR_REQUIRE(age >= 0.0, "aged: age must be >= 0");

@@ -38,4 +38,14 @@ class Aged final : public Distribution {
   double survival_at_age_;  // S_base(age), cached normalizer
 };
 
+/// E[T − a | T ≥ a] — the mean of aged(base, age) without materializing the
+/// law. The re-seeding path uses this to rank survivors by residual life
+/// (and tests use it to pin the aged-mean identity).
+[[nodiscard]] double residual_mean(const DistPtr& base, double age);
+
+/// True when conditioning `base` on survival to `age` is well-posed
+/// (S_base(age) > 0) — the precondition aged() and the scenario re-seed
+/// machinery require. Age 0 is always admissible.
+[[nodiscard]] bool can_age(const DistPtr& base, double age);
+
 }  // namespace agedtr::dist

@@ -1,0 +1,214 @@
+#include "agedtr/policy/decision_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/core/reseed.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+/// The deep part of the decide() precondition, shared by every adapter:
+/// the state must be fresh (queues matching the engine's scenario, every
+/// server up, no in-flight groups, all ages 0) — the shape decide_from_state
+/// produces and the shape the paper's t = 0 decision problem assumes. The
+/// cheap size check stays inline at each boundary (and under the
+/// decision-policy-require lint rule).
+void require_fresh_state(const core::SystemState& observed,
+                         const EvaluationEngine& engine, const char* who) {
+  const core::DcsScenario& scenario = engine.scenario();
+  const std::size_t n = scenario.size();
+  AGEDTR_REQUIRE(observed.up.size() == n && observed.tasks.size() == n,
+                 std::string(who) + ": malformed state vectors");
+  AGEDTR_REQUIRE(observed.groups.empty() && observed.fn_packets.empty(),
+                 std::string(who) + ": decide() takes a fresh state; "
+                                    "re-seed in-flight work first "
+                                    "(decide_from_state)");
+  for (std::size_t j = 0; j < n; ++j) {
+    AGEDTR_REQUIRE(observed.up[j] != 0,
+                   std::string(who) + ": decide() takes a fresh state; "
+                                      "failed servers must be compacted away "
+                                      "(decide_from_state)");
+    AGEDTR_REQUIRE(observed.tasks[j] == scenario.servers[j].initial_tasks,
+                   std::string(who) +
+                       ": state queues do not match the engine's scenario");
+  }
+}
+
+}  // namespace
+
+QueueEstimates estimates_from_state(const core::SystemState& observed) {
+  const std::size_t n = observed.size();
+  QueueEstimates estimates(n, std::vector<int>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) estimates[i][j] = observed.tasks[j];
+  }
+  return estimates;
+}
+
+core::DtrPolicy decide_from_state(const DecisionPolicy& policy,
+                                  const core::DcsScenario& base,
+                                  const core::SystemState& observed,
+                                  const DecisionEngineOptions& options) {
+  const core::ReseededScenario fresh = core::reseed_scenario(base, observed);
+  if (fresh.scenario.size() < 2) {
+    return core::DtrPolicy(fresh.full_size);  // nowhere to move work
+  }
+  EvaluationEngine engine(
+      fresh.scenario,
+      {options.objective, options.deadline, /*markovian=*/false, options.conv,
+       options.pool},
+      options.workspace);
+  const core::SystemState fresh_state = core::SystemState::initial(
+      fresh.scenario, core::DtrPolicy(fresh.scenario.size()));
+  return fresh.expand(policy.decide(fresh_state, engine));
+}
+
+sim::ReallocationCallback make_reallocation_callback(
+    std::shared_ptr<const DecisionPolicy> policy, core::DcsScenario base,
+    DecisionEngineOptions options) {
+  AGEDTR_REQUIRE(policy != nullptr,
+                 "make_reallocation_callback: null decision policy");
+  return [policy = std::move(policy), base = std::move(base),
+          options = std::move(options)](const core::SystemState& observed) {
+    return decide_from_state(*policy, base, observed, options);
+  };
+}
+
+FairSharePolicy::FairSharePolicy(ReallocationCriterion criterion)
+    : criterion_(criterion) {}
+
+core::DtrPolicy FairSharePolicy::decide(const core::SystemState& observed,
+                                        EvaluationEngine& engine) const {
+  AGEDTR_REQUIRE(observed.size() == engine.scenario().size(),
+                 "FairSharePolicy::decide: state size does not match the "
+                 "engine's scenario");
+  require_fresh_state(observed, engine, "FairSharePolicy::decide");
+  return initial_policy(engine.scenario(), estimates_from_state(observed),
+                        criterion_);
+}
+
+std::string FairSharePolicy::name() const {
+  return criterion_ == ReallocationCriterion::kSpeed
+             ? "fair-share(speed)"
+             : "fair-share(reliability)";
+}
+
+Algorithm1Policy::Algorithm1Policy(Algorithm1Options options)
+    : options_(std::move(options)) {}
+
+core::DtrPolicy Algorithm1Policy::decide(const core::SystemState& observed,
+                                         EvaluationEngine& engine) const {
+  AGEDTR_REQUIRE(observed.size() == engine.scenario().size(),
+                 "Algorithm1Policy::decide: state size does not match the "
+                 "engine's scenario");
+  require_fresh_state(observed, engine, "Algorithm1Policy::decide");
+  Algorithm1Options opts = options_;
+  // Ride the engine's substrate: one workspace (and pool) across every
+  // decision made against it. Journaling is a long-form devise() concern —
+  // a per-epoch decision must not clobber a bench's checkpoint file.
+  opts.workspace = engine.workspace();
+  opts.share_workspace = true;
+  if (engine.options().pool != nullptr) opts.pool = engine.options().pool;
+  opts.checkpoint_path.clear();
+  return Algorithm1(opts)
+      .devise(engine.scenario(), estimates_from_state(observed))
+      .policy;
+}
+
+std::string Algorithm1Policy::name() const {
+  return options_.markovian ? "algorithm1(markovian)" : "algorithm1";
+}
+
+Algorithm1Result Algorithm1Policy::devise(
+    const core::DcsScenario& scenario, const QueueEstimates& estimates) const {
+  return Algorithm1(options_).devise(scenario, estimates);
+}
+
+Algorithm1Result Algorithm1Policy::devise(
+    const core::DcsScenario& scenario) const {
+  return Algorithm1(options_).devise(scenario);
+}
+
+TwoServerSearchPolicy::TwoServerSearchPolicy(TwoServerSearchOptions options)
+    : options_(options) {}
+
+core::DtrPolicy TwoServerSearchPolicy::decide(
+    const core::SystemState& observed, EvaluationEngine& engine) const {
+  AGEDTR_REQUIRE(observed.size() == engine.scenario().size() &&
+                     observed.size() == 2,
+                 "TwoServerSearchPolicy::decide: the exhaustive search is "
+                 "exact for 2-server scenarios only");
+  require_fresh_state(observed, engine, "TwoServerSearchPolicy::decide");
+  const int m2 = options_.max_l21 >= 0
+                     ? std::min(observed.tasks[1], options_.max_l21)
+                     : observed.tasks[1];
+  const TwoServerPolicySearch search(observed.tasks[0], m2);
+  const bool maximize = is_maximization(engine.options().objective);
+  PolicyPoint best;
+  if (options_.markovian) {
+    // Same scenario, same workspace, exponentialized model.
+    EvaluationEngineOptions sub = engine.options();
+    sub.markovian = true;
+    EvaluationEngine markov(engine.scenario(), sub, engine.workspace());
+    best = search.optimize(markov, maximize);
+  } else {
+    best = search.optimize(engine, maximize);
+  }
+  return make_two_server_policy(best.l12, best.l21);
+}
+
+std::string TwoServerSearchPolicy::name() const {
+  std::string name = options_.markovian ? "two-server-search(markovian)"
+                                        : "two-server-search";
+  if (options_.max_l21 >= 0) {
+    name += "[l21<=" + std::to_string(options_.max_l21) + "]";
+  }
+  return name;
+}
+
+std::shared_ptr<const DecisionPolicy> make_markovian_prescribed_policy(
+    Algorithm1Options options) {
+  options.markovian = true;
+  return std::make_shared<Algorithm1Policy>(std::move(options));
+}
+
+RollingHorizonPolicy::RollingHorizonPolicy(
+    std::shared_ptr<const DecisionPolicy> inner, std::vector<double> epochs)
+    : inner_(std::move(inner)), epochs_(std::move(epochs)) {
+  AGEDTR_REQUIRE(inner_ != nullptr,
+                 "RollingHorizonPolicy: null inner decision policy");
+  double prev = 0.0;
+  for (const double epoch : epochs_) {
+    AGEDTR_REQUIRE(std::isfinite(epoch) && epoch >= 0.0,
+                   "RollingHorizonPolicy: epochs must be finite and >= 0");
+    AGEDTR_REQUIRE(epoch >= prev,
+                   "RollingHorizonPolicy: epochs must be sorted ascending");
+    prev = epoch;
+  }
+}
+
+core::DtrPolicy RollingHorizonPolicy::decide(const core::SystemState& observed,
+                                             EvaluationEngine& engine) const {
+  AGEDTR_REQUIRE(observed.size() == engine.scenario().size(),
+                 "RollingHorizonPolicy::decide: state size does not match "
+                 "the engine's scenario");
+  return inner_->decide(observed, engine);
+}
+
+std::string RollingHorizonPolicy::name() const {
+  return "rolling(" + inner_->name() + ")";
+}
+
+std::vector<double> RollingHorizonPolicy::decision_epochs() const {
+  return epochs_;
+}
+
+}  // namespace agedtr::policy

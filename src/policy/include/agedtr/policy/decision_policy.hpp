@@ -1,0 +1,196 @@
+// DecisionPolicy: the uniform interface every decision maker in the stack
+// sits behind — one-shot Algorithm 1, the exact 2-server search, the
+// Eq. (5) fair share, the Markovian-prescribed baseline, and the rolling
+// wrapper that re-invokes any of them mid-run.
+//
+// The contract mirrors the paper's decision problem: a decision maker sees
+// a *fresh* hybrid state S(0) of some scenario (every clock at age 0 —
+// exactly what SystemState::initial produces) together with an evaluation
+// engine frozen on that scenario, and returns a DTR policy in the
+// scenario's index space. Mid-run decisions reach this contract through
+// core::reseed_scenario: the observed aged state is distilled into a fresh
+// scenario over the survivors (failure clocks replaced by their aged
+// views), so a rolling re-decision is *literally* a t = 0 decision on the
+// re-seeded problem. decide_from_state() packages that round trip, and
+// make_reallocation_callback() adapts it to the simulator's
+// sim::ReallocationCallback bridge (the sim layer cannot see this header).
+//
+// Every implementation validates its input state with AGEDTR_REQUIRE at
+// the API boundary — enforced by the decision-policy-require lint rule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/core/state.hpp"
+#include "agedtr/policy/algorithm1.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/initial_policy.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+class DecisionPolicy {
+ public:
+  virtual ~DecisionPolicy() = default;
+
+  /// Devises a DTR policy for the engine's scenario from a fresh state
+  /// S(0) of it (observed.tasks must match the scenario's initial queues;
+  /// every server up, every age 0). The engine is always frozen on the
+  /// true (non-exponentialized) model — implementations that want the
+  /// Markovian model build their own exponentialized view internally.
+  /// Pure: same (state, engine) in, same policy out, no RNG.
+  [[nodiscard]] virtual core::DtrPolicy decide(
+      const core::SystemState& observed, EvaluationEngine& engine) const = 0;
+
+  /// Stable identifier used in comparer tables and CSV output.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decision epochs this policy wants during a simulated run (empty for
+  /// one-shot policies; see RollingHorizonPolicy).
+  [[nodiscard]] virtual std::vector<double> decision_epochs() const {
+    return {};
+  }
+};
+
+/// How decide_from_state() builds the per-decision EvaluationEngine.
+struct DecisionEngineOptions {
+  Objective objective = Objective::kMeanExecutionTime;
+  /// Deadline for Objective::kQos (must be positive then).
+  double deadline = 0.0;
+  /// Lattice tuning and per-evaluation budget for the decision's engine.
+  core::ConvolutionOptions conv;
+  /// Shared lattice substrate across decisions (nullptr = a private
+  /// workspace per decision). Sharing keeps per-pair grids warm across
+  /// rolling epochs and comparer cells.
+  std::shared_ptr<core::LatticeWorkspace> workspace;
+  /// Parallelizes policy grids inside the decision (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+/// The full mid-run decision round trip: re-seed `base` from `observed`
+/// (core::reseed_scenario), build an engine on the fresh compact scenario,
+/// invoke the policy on the fresh state, and expand the answer back to the
+/// full index space. With a single survivor the zero policy is returned
+/// without building an engine (nothing can move). This is also how the
+/// *initial* decision is computed — at t = 0 the re-seed is an exact
+/// round trip, so one code path serves both.
+[[nodiscard]] core::DtrPolicy decide_from_state(
+    const DecisionPolicy& policy, const core::DcsScenario& base,
+    const core::SystemState& observed,
+    const DecisionEngineOptions& options = {});
+
+/// Packages decide_from_state into the simulator's re-decision bridge.
+/// The callback owns shared copies of its inputs, draws no randomness, and
+/// is safe to invoke concurrently from Monte-Carlo worker threads (the
+/// engine workspace, when shared, is thread-safe).
+[[nodiscard]] sim::ReallocationCallback make_reallocation_callback(
+    std::shared_ptr<const DecisionPolicy> policy, core::DcsScenario base,
+    DecisionEngineOptions options = {});
+
+/// Perfect-information queue estimates read off a state snapshot:
+/// estimates[i][j] = observed.tasks[j] (every server sees true queues).
+[[nodiscard]] QueueEstimates estimates_from_state(
+    const core::SystemState& observed);
+
+/// The Eq. (5) fair share as a DecisionPolicy (perfect estimates).
+class FairSharePolicy final : public DecisionPolicy {
+ public:
+  explicit FairSharePolicy(
+      ReallocationCriterion criterion = ReallocationCriterion::kSpeed);
+
+  [[nodiscard]] core::DtrPolicy decide(const core::SystemState& observed,
+                                       EvaluationEngine& engine) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  ReallocationCriterion criterion_;
+};
+
+/// Algorithm 1 as a DecisionPolicy. decide() shares the engine's lattice
+/// workspace and pool and never journals (checkpoint options are for the
+/// long-form devise() below, which benches call for iteration counts,
+/// convergence flags, and crash-consistent journaling).
+class Algorithm1Policy final : public DecisionPolicy {
+ public:
+  explicit Algorithm1Policy(Algorithm1Options options = {});
+
+  [[nodiscard]] core::DtrPolicy decide(const core::SystemState& observed,
+                                       EvaluationEngine& engine) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The full Algorithm 1 run with every knob honored (checkpoints,
+  /// replication selection, …) — the entry point bench harnesses use when
+  /// they need more than the policy matrix.
+  [[nodiscard]] Algorithm1Result devise(const core::DcsScenario& scenario,
+                                        const QueueEstimates& estimates) const;
+  [[nodiscard]] Algorithm1Result devise(
+      const core::DcsScenario& scenario) const;
+
+  [[nodiscard]] const Algorithm1Options& options() const { return options_; }
+
+ private:
+  Algorithm1Options options_;
+};
+
+struct TwoServerSearchOptions {
+  /// Search under the Markovian (exponentialized) model instead of the
+  /// engine's true laws.
+  bool markovian = false;
+  /// Caps the searched L21 axis (negative = the full [0, m2] range). The
+  /// paper's one-way offload line — problem (3) restricted to L21 = 0,
+  /// used when one server is known to be the fast one — is max_l21 = 0.
+  int max_l21 = -1;
+};
+
+/// The exact 2-server exhaustive search as a DecisionPolicy (requires a
+/// 2-server scenario; the grid runs through the engine's batched path).
+class TwoServerSearchPolicy final : public DecisionPolicy {
+ public:
+  explicit TwoServerSearchPolicy(TwoServerSearchOptions options = {});
+
+  [[nodiscard]] core::DtrPolicy decide(const core::SystemState& observed,
+                                       EvaluationEngine& engine) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  TwoServerSearchOptions options_;
+};
+
+/// The [2],[7] comparison baseline: Algorithm 1 devised on the Markovian
+/// (every law exponentialized at equal mean) model.
+[[nodiscard]] std::shared_ptr<const DecisionPolicy>
+make_markovian_prescribed_policy(Algorithm1Options options = {});
+
+/// Rolling-horizon wrapper: delegates every decision to `inner` and
+/// advertises the epoch schedule at which a simulated run should re-invoke
+/// it (through run_rolling + make_reallocation_callback). With an empty
+/// epoch list this is exactly the inner one-shot policy.
+class RollingHorizonPolicy final : public DecisionPolicy {
+ public:
+  /// Epochs must be finite, >= 0, and sorted ascending (run_rolling's
+  /// contract; entries at 0 are legal and coincide with the initial
+  /// decision).
+  RollingHorizonPolicy(std::shared_ptr<const DecisionPolicy> inner,
+                       std::vector<double> epochs);
+
+  [[nodiscard]] core::DtrPolicy decide(const core::SystemState& observed,
+                                       EvaluationEngine& engine) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<double> decision_epochs() const override;
+
+  [[nodiscard]] const std::shared_ptr<const DecisionPolicy>& inner() const {
+    return inner_;
+  }
+
+ private:
+  std::shared_ptr<const DecisionPolicy> inner_;
+  std::vector<double> epochs_;
+};
+
+}  // namespace agedtr::policy

@@ -1,0 +1,133 @@
+// PolicyComparer: the CRN harness that ranks DecisionPolicy implementations
+// against a grid of scenarios by simulated outcome.
+//
+// Every (policy, scenario) cell replays the *same* trajectory sub-streams:
+// trajectory r always draws from random::make_counter_rng(seed, r),
+// independent of the policy, the scenario, and the thread schedule. Common
+// random numbers make the cross-cell comparison a paired experiment — the
+// difference between two policies' columns is never noise from different
+// event draws — and the counter-based derivation keeps every number
+// bit-identical whether the trajectories run serially or on a pool.
+//
+// Per cell the deterministic t = 0 decision is computed once
+// (decide_from_state on the fresh initial state) and shared by all
+// trajectories; policies that advertise decision_epochs() are simulated
+// with DcsSimulator::run_rolling and re-decide mid-run through
+// make_reallocation_callback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/policy/decision_policy.hpp"
+#include "agedtr/sim/simulator.hpp"
+#include "agedtr/stats/summary.hpp"
+#include "agedtr/util/table.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+
+struct ComparerScenario {
+  std::string name;
+  core::DcsScenario scenario;
+};
+
+struct ComparerEntry {
+  std::string name;
+  std::shared_ptr<const DecisionPolicy> policy;
+};
+
+struct PolicyComparerOptions {
+  /// Monte-Carlo trajectories per (policy, scenario) cell.
+  std::size_t trajectories = 1000;
+  /// Seed of the counter-based sub-streams (trajectory r uses stream r).
+  std::uint64_t seed = 0x5eed;
+  /// Deadline for the QoS column (<= 0 leaves the column at 0).
+  double deadline = 0.0;
+  /// How per-cell decisions build their evaluation engines (shared lattice
+  /// workspace, pool, objective). The objective also steers rankings only
+  /// through the policies' decisions — rankings themselves are always by
+  /// simulated mean completion time.
+  DecisionEngineOptions engine;
+  /// Simulator configuration applied to every cell (faults, replication,
+  /// event caps).
+  sim::SimulatorOptions simulator;
+  /// Parallelizes trajectories within a cell (nullptr = serial). Results
+  /// are bit-identical for any pool size.
+  ThreadPool* pool = nullptr;
+};
+
+/// One cell of the comparison grid, plus its per-scenario rank.
+struct PolicyAssessment {
+  std::string policy_name;
+  std::string scenario_name;
+  std::size_t trajectories = 0;
+  std::size_t completed = 0;
+  std::size_t truncated = 0;
+  /// Mean T over completed trajectories, normal 95% CI (center 0 when no
+  /// trajectory completed).
+  stats::ConfidenceInterval mean_completion_time;
+  /// R̂_∞ with Wilson 95% CI.
+  stats::ConfidenceInterval reliability;
+  /// R̂_TM with Wilson 95% CI (all zero without a deadline).
+  stats::ConfidenceInterval qos;
+  /// Rolling-horizon activity summed over trajectories (0 for one-shots).
+  std::size_t epochs_fired = 0;
+  long long tasks_reallocated = 0;
+  /// 1 = best within the scenario by mean completion time (cells where no
+  /// trajectory completed sort last; ties break by policy name).
+  int rank = 0;
+};
+
+class PolicyComparer {
+ public:
+  PolicyComparer(std::vector<ComparerScenario> scenarios,
+                 std::vector<ComparerEntry> policies,
+                 PolicyComparerOptions options = {});
+
+  /// Runs the full grid. Assessments are ordered scenario-major in input
+  /// order (every policy of scenario 0, then scenario 1, …), with ranks
+  /// assigned within each scenario.
+  [[nodiscard]] std::vector<PolicyAssessment> compare() const;
+
+  /// Assigns per-scenario ranks in place (the rule compare() applies):
+  /// smallest mean completion time first, never-completed cells last, ties
+  /// by policy name. Exposed so checkpointed harnesses can re-rank after
+  /// reassembling cells from a journal.
+  static void assign_ranks(std::vector<PolicyAssessment>& assessments);
+
+  /// The canonical tabular form (one row per assessment, deterministic
+  /// columns only — no wall-clock noise).
+  [[nodiscard]] static Table to_table(
+      const std::vector<PolicyAssessment>& assessments);
+  static void write_csv(const std::vector<PolicyAssessment>& assessments,
+                        const std::string& path);
+  static void write_json(const std::vector<PolicyAssessment>& assessments,
+                         const std::string& path);
+
+ private:
+  [[nodiscard]] PolicyAssessment assess(const ComparerScenario& scenario,
+                                        const ComparerEntry& entry) const;
+
+  std::vector<ComparerScenario> scenarios_;
+  std::vector<ComparerEntry> policies_;
+  PolicyComparerOptions options_;
+};
+
+/// The pinned miniature comparison grid shared by `policy_comparer_bench
+/// --smoke` and the golden regression test (tests/golden/
+/// comparer_rankings.csv): two small heterogeneous scenarios × four policy
+/// families (fair share, one-shot Algorithm 1, Markovian-prescribed, and
+/// rolling Algorithm 1). One code path produces the bench output and the
+/// golden pin, so they cannot drift apart.
+struct ComparerDemoGrid {
+  std::vector<ComparerScenario> scenarios;
+  std::vector<ComparerEntry> policies;
+  PolicyComparerOptions options;
+};
+[[nodiscard]] ComparerDemoGrid make_comparer_demo_grid();
+
+}  // namespace agedtr::policy

@@ -1,0 +1,330 @@
+#include "agedtr/policy/policy_comparer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/core/state.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/random/rng.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+/// Everything one trajectory contributes, stored in its pre-allocated slot
+/// so aggregation order — and hence every floating-point sum — is
+/// independent of the thread schedule.
+struct TrajectoryOutcome {
+  bool completed = false;
+  bool truncated = false;
+  double completion_time = 0.0;
+  std::size_t epochs_fired = 0;
+  int tasks_reallocated = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
+}
+
+}  // namespace
+
+PolicyComparer::PolicyComparer(std::vector<ComparerScenario> scenarios,
+                               std::vector<ComparerEntry> policies,
+                               PolicyComparerOptions options)
+    : scenarios_(std::move(scenarios)),
+      policies_(std::move(policies)),
+      options_(std::move(options)) {
+  AGEDTR_REQUIRE(!scenarios_.empty(), "PolicyComparer: no scenarios");
+  AGEDTR_REQUIRE(!policies_.empty(), "PolicyComparer: no policies");
+  AGEDTR_REQUIRE(options_.trajectories > 0,
+                 "PolicyComparer: trajectories must be positive");
+  for (const ComparerEntry& entry : policies_) {
+    AGEDTR_REQUIRE(entry.policy != nullptr,
+                   "PolicyComparer: null policy entry '" + entry.name + "'");
+  }
+}
+
+PolicyAssessment PolicyComparer::assess(const ComparerScenario& scenario,
+                                        const ComparerEntry& entry) const {
+  const std::size_t n = scenario.scenario.size();
+
+  // The deterministic t = 0 decision, once per cell: at age 0 the re-seed
+  // round trip is exact, so this is precisely the one-shot decision the
+  // paper's problem statement asks for.
+  const core::SystemState fresh = core::SystemState::initial(
+      scenario.scenario, core::DtrPolicy(n));
+  const core::DtrPolicy initial =
+      decide_from_state(*entry.policy, scenario.scenario, fresh,
+                        options_.engine);
+
+  sim::RollingOptions rolling;
+  rolling.epochs = entry.policy->decision_epochs();
+  bool rolls = false;
+  for (const double epoch : rolling.epochs) rolls |= epoch > 0.0;
+  if (rolls) {
+    rolling.redecide = make_reallocation_callback(
+        entry.policy, scenario.scenario, options_.engine);
+  }
+
+  const sim::DcsSimulator simulator(scenario.scenario, options_.simulator);
+  std::vector<TrajectoryOutcome> outcomes(options_.trajectories);
+  const auto one_trajectory = [&](std::size_t r) {
+    // CRN: stream r depends on (seed, r) only — not on the policy, the
+    // scenario, or which thread runs it — so every cell replays the same
+    // randomness and the grid is a paired experiment.
+    random::Rng rng =
+        random::make_counter_rng(options_.seed, static_cast<std::uint64_t>(r));
+    const sim::SimResult result = simulator.run_rolling(initial, rolling, rng);
+    TrajectoryOutcome& out = outcomes[r];
+    out.completed = result.completed;
+    out.truncated = result.truncated;
+    out.completion_time = result.completion_time;
+    out.epochs_fired = result.rolling.epochs_fired;
+    out.tasks_reallocated = result.rolling.tasks_reallocated;
+  };
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(0, options_.trajectories, one_trajectory);
+  } else {
+    for (std::size_t r = 0; r < options_.trajectories; ++r) one_trajectory(r);
+  }
+
+  PolicyAssessment a;
+  a.policy_name = entry.name;
+  a.scenario_name = scenario.name;
+  a.trajectories = options_.trajectories;
+  std::vector<double> completion_times;
+  completion_times.reserve(options_.trajectories);
+  std::size_t within_deadline = 0;
+  for (const TrajectoryOutcome& out : outcomes) {
+    if (out.completed) {
+      ++a.completed;
+      completion_times.push_back(out.completion_time);
+      if (options_.deadline > 0.0 && out.completion_time <= options_.deadline) {
+        ++within_deadline;
+      }
+    }
+    if (out.truncated) ++a.truncated;
+    a.epochs_fired += out.epochs_fired;
+    a.tasks_reallocated += out.tasks_reallocated;
+  }
+  if (completion_times.size() >= 2) {
+    a.mean_completion_time = stats::mean_confidence_interval(completion_times);
+  } else if (completion_times.size() == 1) {
+    // A single completion has a mean but no spread estimate.
+    const double t = completion_times.front();
+    a.mean_completion_time = {t, t, t};
+  }
+  a.reliability =
+      stats::proportion_confidence_interval(a.completed, a.trajectories);
+  if (options_.deadline > 0.0) {
+    a.qos =
+        stats::proportion_confidence_interval(within_deadline, a.trajectories);
+  }
+  return a;
+}
+
+std::vector<PolicyAssessment> PolicyComparer::compare() const {
+  std::vector<PolicyAssessment> assessments;
+  assessments.reserve(scenarios_.size() * policies_.size());
+  for (const ComparerScenario& scenario : scenarios_) {
+    for (const ComparerEntry& entry : policies_) {
+      assessments.push_back(assess(scenario, entry));
+    }
+  }
+  assign_ranks(assessments);
+  return assessments;
+}
+
+void PolicyComparer::assign_ranks(std::vector<PolicyAssessment>& assessments) {
+  // Rank within each scenario: smallest simulated mean completion time
+  // first; cells that never completed sort last; ties by name so the order
+  // is total and platform-independent.
+  std::vector<std::string> scenario_names;
+  for (const PolicyAssessment& a : assessments) {
+    if (std::find(scenario_names.begin(), scenario_names.end(),
+                  a.scenario_name) == scenario_names.end()) {
+      scenario_names.push_back(a.scenario_name);
+    }
+  }
+  const auto key = [&](std::size_t idx) {
+    const PolicyAssessment& a = assessments[idx];
+    return a.completed > 0 ? a.mean_completion_time.center
+                           : std::numeric_limits<double>::infinity();
+  };
+  for (const std::string& scenario : scenario_names) {
+    std::vector<std::size_t> order;
+    for (std::size_t idx = 0; idx < assessments.size(); ++idx) {
+      if (assessments[idx].scenario_name == scenario) order.push_back(idx);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t lhs, std::size_t rhs) {
+                const double kl = key(lhs), kr = key(rhs);
+                if (kl != kr) return kl < kr;
+                return assessments[lhs].policy_name <
+                       assessments[rhs].policy_name;
+              });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      assessments[order[k]].rank = static_cast<int>(k + 1);
+    }
+  }
+}
+
+Table PolicyComparer::to_table(
+    const std::vector<PolicyAssessment>& assessments) {
+  Table table({"policy", "scenario", "trajectories", "completed", "truncated",
+               "mean_t", "mean_t_lo", "mean_t_hi", "reliability",
+               "reliability_lo", "reliability_hi", "qos", "qos_lo", "qos_hi",
+               "epochs_fired", "tasks_reallocated", "rank"});
+  for (const PolicyAssessment& a : assessments) {
+    table.begin_row()
+        .cell(a.policy_name)
+        .cell(a.scenario_name)
+        .cell(static_cast<long long>(a.trajectories))
+        .cell(static_cast<long long>(a.completed))
+        .cell(static_cast<long long>(a.truncated))
+        .cell(a.mean_completion_time.center, 12)
+        .cell(a.mean_completion_time.lower, 12)
+        .cell(a.mean_completion_time.upper, 12)
+        .cell(a.reliability.center, 12)
+        .cell(a.reliability.lower, 12)
+        .cell(a.reliability.upper, 12)
+        .cell(a.qos.center, 12)
+        .cell(a.qos.lower, 12)
+        .cell(a.qos.upper, 12)
+        .cell(static_cast<long long>(a.epochs_fired))
+        .cell(a.tasks_reallocated)
+        .cell(a.rank);
+  }
+  return table;
+}
+
+void PolicyComparer::write_csv(const std::vector<PolicyAssessment>& assessments,
+                               const std::string& path) {
+  to_table(assessments).write_csv_file(path);
+}
+
+void PolicyComparer::write_json(
+    const std::vector<PolicyAssessment>& assessments,
+    const std::string& path) {
+  std::ofstream os(path);
+  AGEDTR_REQUIRE(os.good(),
+                 "PolicyComparer::write_json: cannot open " + path);
+  os << "[\n";
+  for (std::size_t k = 0; k < assessments.size(); ++k) {
+    const PolicyAssessment& a = assessments[k];
+    os << "  {\"policy\": \"" << json_escape(a.policy_name)
+       << "\", \"scenario\": \"" << json_escape(a.scenario_name)
+       << "\", \"trajectories\": " << a.trajectories
+       << ", \"completed\": " << a.completed
+       << ", \"truncated\": " << a.truncated
+       << ", \"mean_t\": " << json_number(a.mean_completion_time.center)
+       << ", \"mean_t_lo\": " << json_number(a.mean_completion_time.lower)
+       << ", \"mean_t_hi\": " << json_number(a.mean_completion_time.upper)
+       << ", \"reliability\": " << json_number(a.reliability.center)
+       << ", \"reliability_lo\": " << json_number(a.reliability.lower)
+       << ", \"reliability_hi\": " << json_number(a.reliability.upper)
+       << ", \"qos\": " << json_number(a.qos.center)
+       << ", \"qos_lo\": " << json_number(a.qos.lower)
+       << ", \"qos_hi\": " << json_number(a.qos.upper)
+       << ", \"epochs_fired\": " << a.epochs_fired
+       << ", \"tasks_reallocated\": " << a.tasks_reallocated
+       << ", \"rank\": " << a.rank << "}"
+       << (k + 1 < assessments.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+ComparerDemoGrid make_comparer_demo_grid() {
+  using dist::ModelFamily;
+  ComparerDemoGrid grid;
+
+  // Two small heterogeneous systems: an overloaded fast server feeding a
+  // slow one, and a 3-server system with a skewed load. Non-memoryless
+  // failure laws make the aged re-seeding path do real work in the rolling
+  // cells, and finite deadlines give the QoS column content.
+  {
+    // Expensive, heavy-tailed transfers make the fair share (which ignores
+    // transfer cost) overshoot, and non-exponential services split the
+    // Markovian prescription from the age-dependent one.
+    std::vector<core::ServerSpec> servers(2);
+    servers[0].initial_tasks = 12;
+    servers[0].service =
+        dist::make_model_distribution(ModelFamily::kPareto1, 1.0);
+    servers[0].failure =
+        dist::make_model_distribution(ModelFamily::kUniform, 40.0);
+    servers[1].initial_tasks = 1;
+    servers[1].service =
+        dist::make_model_distribution(ModelFamily::kUniform, 1.8);
+    servers[1].failure =
+        dist::make_model_distribution(ModelFamily::kUniform, 60.0);
+    grid.scenarios.push_back(
+        {"duo", core::make_uniform_network_scenario(
+                    std::move(servers),
+                    dist::make_model_distribution(ModelFamily::kPareto1, 2.5),
+                    dist::make_model_distribution(ModelFamily::kExponential,
+                                                  0.1))});
+  }
+  {
+    std::vector<core::ServerSpec> servers(3);
+    const int tasks[] = {12, 2, 0};
+    const ModelFamily service_families[] = {ModelFamily::kShiftedExponential,
+                                            ModelFamily::kPareto1,
+                                            ModelFamily::kUniform};
+    const double service_means[] = {1.0, 1.5, 2.2};
+    const double failure_means[] = {30.0, 45.0, 60.0};
+    for (std::size_t j = 0; j < 3; ++j) {
+      servers[j].initial_tasks = tasks[j];
+      servers[j].service = dist::make_model_distribution(
+          service_families[j], service_means[j]);
+      servers[j].failure = dist::make_model_distribution(
+          ModelFamily::kUniform, failure_means[j]);
+    }
+    grid.scenarios.push_back(
+        {"trio", core::make_uniform_network_scenario(
+                     std::move(servers),
+                     dist::make_model_distribution(ModelFamily::kPareto1, 1.0),
+                     dist::make_model_distribution(ModelFamily::kExponential,
+                                                   0.1))});
+  }
+
+  const auto algorithm1 = std::make_shared<Algorithm1Policy>();
+  grid.policies.push_back(
+      {"fair-share", std::make_shared<FairSharePolicy>()});
+  grid.policies.push_back({"algorithm1", algorithm1});
+  grid.policies.push_back(
+      {"markovian-prescribed", make_markovian_prescribed_policy()});
+  grid.policies.push_back(
+      {"rolling-algorithm1",
+       std::make_shared<RollingHorizonPolicy>(
+           algorithm1, std::vector<double>{2.0, 5.0})});
+
+  grid.options.trajectories = 48;
+  grid.options.seed = 0x5eedc0de;
+  grid.options.deadline = 16.0;
+  grid.options.engine.workspace = std::make_shared<core::LatticeWorkspace>();
+  return grid;
+}
+
+}  // namespace agedtr::policy

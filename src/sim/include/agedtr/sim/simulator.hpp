@@ -10,15 +10,41 @@
 // the age-dependent analysis characterizes.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "agedtr/core/replication.hpp"
 #include "agedtr/core/scenario.hpp"
+#include "agedtr/core/state.hpp"
 #include "agedtr/random/rng.hpp"
 #include "agedtr/sim/fault_injection.hpp"
 
 namespace agedtr::sim {
+
+/// A mid-run re-decision hook: given the observed hybrid state S(t) at a
+/// decision epoch, returns a fresh DTR policy in the *full* index space
+/// (rows/columns of dead servers must be zero; they are ignored anyway).
+/// The callback must not consume the simulation RNG — re-decisions are
+/// deterministic functions of the snapshot, which is what keeps rolling
+/// runs reproducible and CRN comparisons honest. The sim layer cannot see
+/// policy::DecisionPolicy (layering), so the bridge is this std::function;
+/// policy::make_reallocation_callback builds one from any DecisionPolicy.
+using ReallocationCallback =
+    std::function<core::DtrPolicy(const core::SystemState&)>;
+
+/// Schedule for DcsSimulator::run_rolling. With an empty epoch list the
+/// rolling run is bit-identical to run() — including the RNG stream
+/// position — because no snapshot, re-decision, or extra draw happens.
+struct RollingOptions {
+  /// Decision epochs (absolute times), sorted ascending, each finite and
+  /// >= 0. Entries equal to 0 coincide with the initial decision and are
+  /// skipped: the t = 0 policy already *is* the epoch-0 decision.
+  std::vector<double> epochs;
+  /// Invoked at each epoch > 0 while the workload is still in progress.
+  ReallocationCallback redecide;
+};
 
 struct SimulatorOptions {
   /// Simulate FN packet propagation on failures.
@@ -42,6 +68,10 @@ struct SimulatorOptions {
   /// the one whose completion event was scheduled first wins — a
   /// deterministic FIFO tie-break, independent of platform.
   std::optional<core::ReplicationPlan> replication;
+  /// Populate SimResult::final_state with a snapshot of S(t) at the instant
+  /// the run ends. Off by default: the snapshot allocates and is only
+  /// needed by post-mortem diagnostics and rolling-horizon analyses.
+  bool capture_final_state = false;
 };
 
 /// Outcome of one simulated realization.
@@ -76,6 +106,23 @@ struct SimResult {
   bool truncated = false;
   /// Fault-injection counters (all zero under a null FaultPlan).
   FaultStats faults;
+  /// Rolling-horizon counters (all zero outside run_rolling).
+  struct RollingStats {
+    /// Epochs at which a re-decision actually fired (epochs after the run
+    /// ended, at 0, or with nothing to decide do not count).
+    std::size_t epochs_fired = 0;
+    /// Tasks moved between queues by mid-run re-decisions.
+    int tasks_reallocated = 0;
+    /// Pledged moves that could not be honored (sender dead, queue shorter
+    /// than the plan, task pinned in service, or unit replicated — only
+    /// singleton-replica work may move mid-run).
+    int moves_clamped = 0;
+  };
+  RollingStats rolling;
+  /// Snapshot of the hybrid state S(t) at the instant the run ended, when
+  /// SimulatorOptions::capture_final_state is set: surviving servers,
+  /// per-server remaining work, in-transit groups, clock ages.
+  std::optional<core::SystemState> final_state;
 };
 
 class DcsSimulator {
@@ -89,9 +136,25 @@ class DcsSimulator {
   [[nodiscard]] SimResult run(const core::DtrPolicy& policy,
                               random::Rng& rng) const;
 
+  /// Rolling-horizon variant: starts from `initial` (the t = 0 decision,
+  /// computed by the caller so deterministic work is not repeated per
+  /// trajectory) and at each epoch in `rolling.epochs` snapshots the
+  /// observed hybrid state and asks `rolling.redecide` for a fresh policy.
+  /// Positive entries L(i, j) of the fresh policy move up to L(i, j) tasks
+  /// from the tail of i's queue to j as a new in-flight work unit;
+  /// in-service tasks and replicated units never move. An empty epoch list
+  /// makes this bit-identical to run(), including the RNG stream position.
+  [[nodiscard]] SimResult run_rolling(const core::DtrPolicy& initial,
+                                      const RollingOptions& rolling,
+                                      random::Rng& rng) const;
+
   [[nodiscard]] const core::DcsScenario& scenario() const { return scenario_; }
 
  private:
+  [[nodiscard]] SimResult run_impl(const core::DtrPolicy& policy,
+                                   random::Rng& rng,
+                                   const RollingOptions* rolling) const;
+
   core::DcsScenario scenario_;
   SimulatorOptions options_;
 };

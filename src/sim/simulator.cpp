@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "agedtr/dist/sum_iid.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::sim {
@@ -28,6 +29,7 @@ struct Event {
     kShock,          // common-cause failure shock (fault injection)
     kStallBegin,     // transient full service stall (fault injection)
     kSlowdownBegin,  // transient rate-scaling slowdown (fault injection)
+    kDecisionEpoch,  // rolling-horizon re-decision point
   };
   double time = 0.0;
   Kind kind = Kind::kServiceComplete;
@@ -86,6 +88,26 @@ struct UnitState {
   std::vector<char> arrived;   // copy materialized in its host's queue
 };
 
+/// Ledger entry for one group transmission — enough to reconstruct the
+/// C(t) component of a snapshot without touching the event queue. Recorded
+/// only when a run needs snapshots (rolling or capture_final_state).
+struct Flight {
+  std::size_t unit = 0;
+  std::size_t replica = 0;
+  double depart = 0.0;   // logical send time (ages count from here)
+  double arrival = 0.0;  // delivery time, or give-up time when dropped
+  bool delivered = true;
+};
+
+/// Ledger entry for one FN packet transmission (the off-diagonal F/a_F
+/// reconstruction): delivered packets flip the receiver's perception.
+struct FnFlight {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double depart = 0.0;
+  double arrival = 0.0;
+};
+
 }  // namespace
 
 DcsSimulator::DcsSimulator(core::DcsScenario scenario, SimulatorOptions options)
@@ -101,6 +123,30 @@ DcsSimulator::DcsSimulator(core::DcsScenario scenario, SimulatorOptions options)
 
 SimResult DcsSimulator::run(const core::DtrPolicy& policy,
                             random::Rng& rng) const {
+  return run_impl(policy, rng, nullptr);
+}
+
+SimResult DcsSimulator::run_rolling(const core::DtrPolicy& initial,
+                                    const RollingOptions& rolling,
+                                    random::Rng& rng) const {
+  double prev = 0.0;
+  bool any_positive = false;
+  for (const double epoch : rolling.epochs) {
+    AGEDTR_REQUIRE(std::isfinite(epoch) && epoch >= 0.0,
+                   "run_rolling: decision epochs must be finite and >= 0");
+    AGEDTR_REQUIRE(epoch >= prev,
+                   "run_rolling: decision epochs must be sorted ascending");
+    prev = epoch;
+    if (epoch > 0.0) any_positive = true;
+  }
+  AGEDTR_REQUIRE(!any_positive || static_cast<bool>(rolling.redecide),
+                 "run_rolling: scheduled epochs need a re-decision callback");
+  return run_impl(initial, rng, &rolling);
+}
+
+SimResult DcsSimulator::run_impl(const core::DtrPolicy& policy,
+                                 random::Rng& rng,
+                                 const RollingOptions* rolling) const {
   const std::size_t n = scenario_.size();
   const std::vector<core::ServerWorkload> workloads =
       core::apply_policy(scenario_, policy);
@@ -108,8 +154,9 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
 
   // The canonical unit order (enumerate_work_units) interleaves with the
   // t = 0 loop below: for each destination j, the local block first, then
-  // the inbound groups in apply_policy's source order.
-  const std::vector<core::WorkUnit> units =
+  // the inbound groups in apply_policy's source order. Re-decisions append
+  // fresh singleton units, so the vector is mutable under rolling.
+  std::vector<core::WorkUnit> units =
       core::enumerate_work_units(scenario_, policy);
   std::vector<std::vector<std::size_t>> replica_sets;
   if (options_.replication.has_value()) {
@@ -159,6 +206,15 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
   }
   std::size_t units_pending = units.size();
 
+  // Snapshot support: the flight ledgers cost a push per transmission, so
+  // they are kept only when somebody will actually read a snapshot. They
+  // never touch the RNG, which is what keeps run() and empty-epoch
+  // run_rolling() bit-identical with or without them.
+  const bool track_flights =
+      rolling != nullptr || options_.capture_final_state;
+  std::vector<Flight> flights;
+  std::vector<FnFlight> fn_flights;
+
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   std::uint64_t seq = 0;
   const auto push = [&](Event e) {
@@ -191,8 +247,10 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         ++result.faults.fn_packets_dropped;
         continue;
       }
-      push({now + send.start_offset + scenario_.fn_transfer[j][k]->sample(rng),
-            Event::Kind::kFnArrival, j, k, 0, 0});
+      const double arrival =
+          now + send.start_offset + scenario_.fn_transfer[j][k]->sample(rng);
+      push({arrival, Event::Kind::kFnArrival, j, k, 0, 0});
+      if (track_flights) fn_flights.push_back({j, k, now, arrival});
     }
   };
   // A replica leaves the race: on the unit's last viable replica the
@@ -296,6 +354,8 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       if (!send.delivered) {
         push_group(send.start_offset, Event::Kind::kGroupExpired, j, g.tasks,
                    u, 0);
+        if (track_flights) flights.push_back({u, 0, 0.0, send.start_offset,
+                                              false});
         continue;
       }
       double transfer_time = g.transfer->sample(rng);
@@ -306,6 +366,10 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
       }
       push_group(send.start_offset + transfer_time,
                  Event::Kind::kGroupArrival, j, g.tasks, u, 0);
+      if (track_flights) {
+        flights.push_back({u, 0, 0.0, send.start_offset + transfer_time,
+                           true});
+      }
     }
     if (scenario_.servers[j].failure) {
       push({scenario_.servers[j].failure->sample(rng), Event::Kind::kFailure,
@@ -331,6 +395,8 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         if (!send.delivered) {
           push_group(send.start_offset, Event::Kind::kGroupExpired, host,
                      units[u].tasks, u, k);
+          if (track_flights) flights.push_back({u, k, 0.0, send.start_offset,
+                                                false});
           continue;
         }
         const dist::DistPtr& law = scenario_.transfer[origin][host];
@@ -342,6 +408,10 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
         }
         push_group(send.start_offset + transfer_time,
                    Event::Kind::kGroupArrival, host, units[u].tasks, u, k);
+        if (track_flights) {
+          flights.push_back({u, k, 0.0, send.start_offset + transfer_time,
+                             true});
+        }
       }
     }
   }
@@ -367,6 +437,15 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     for (std::size_t j = 0; j < n; ++j) {
       push({exp_sample(faults.slowdown.rate), Event::Kind::kSlowdownBegin, j,
             0, 0, 0});
+    }
+  }
+  if (rolling != nullptr) {
+    // Epoch 0 coincides with the initial decision (the policy this run
+    // started from *is* the epoch-0 decision), so only positive epochs are
+    // scheduled — which also makes the epoch-at-0 run identical to the
+    // one-shot run by construction.
+    for (const double epoch : rolling->epochs) {
+      if (epoch > 0.0) push({epoch, Event::Kind::kDecisionEpoch, 0, 0, 0, 0});
     }
   }
 
@@ -403,7 +482,151 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     }
   };
 
+  // Reconstructs the hybrid state S(now) of Section II-B from the live
+  // bookkeeping: queue lengths, survivors, perception (via delivered FN
+  // packets), in-transit groups/packets with their ages, and the service /
+  // failure clock ages. Read-only — in particular the service progress is
+  // replayed without committing it, so snapshotting never perturbs later
+  // floating-point accounting.
+  const auto build_state = [&](double now) {
+    core::SystemState snap;
+    snap.tasks.assign(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const Segment& seg : queue[j]) snap.tasks[j] += seg.remaining;
+    }
+    snap.up.assign(up.begin(), up.end());
+    snap.perceived.assign(n, std::vector<char>(n, 1));
+    for (std::size_t j = 0; j < n; ++j) snap.perceived[j][j] = up[j];
+    for (const FnFlight& f : fn_flights) {
+      if (f.arrival <= now) {
+        snap.perceived[f.to][f.from] = 0;
+      } else {
+        snap.fn_packets.push_back(
+            {f.from, f.to, scenario_.fn_transfer[f.from][f.to],
+             now - f.depart});
+      }
+    }
+    for (const Flight& f : flights) {
+      if (!f.delivered || f.arrival <= now) continue;
+      if (unit_state[f.unit].done || !unit_state[f.unit].alive[f.replica]) {
+        continue;
+      }
+      core::TransitGroup g;
+      g.from = units[f.unit].origin;
+      g.to = replica_sets[f.unit][f.replica];
+      g.tasks = units[f.unit].tasks;
+      const dist::DistPtr& base = scenario_.transfer[g.from][g.to];
+      g.transfer =
+          scenario_.transfer_scaling == core::TransferScaling::kPerTask
+              ? dist::sum_iid(base, static_cast<unsigned>(g.tasks))
+              : base;
+      g.age = now - f.depart;
+      snap.groups.push_back(std::move(g));
+    }
+    snap.service_age.assign(n, 0.0);
+    snap.failure_age.assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (up[j] && serving[j]) {
+        // update_progress's arithmetic, replayed without mutation.
+        double left = work_left[j];
+        if (now > last_touch[j]) {
+          const double start =
+              std::min(std::max(last_touch[j], stall_win[j].until), now);
+          if (start < now) {
+            const double slow_end =
+                std::min(std::max(slow_win[j].until, start), now);
+            const double done = faults.slowdown.factor * (slow_end - start) +
+                                (now - slow_end);
+            left = std::max(left - done, 0.0);
+          }
+        }
+        snap.service_age[j] = std::max(service_sample[j] - left, 0.0);
+      }
+      // Forward simulation samples every failure clock once at t = 0, so a
+      // surviving clock has simply been running since then.
+      if (up[j] && scenario_.servers[j].failure) snap.failure_age[j] = now;
+    }
+    return snap;
+  };
+
+  // Applies a mid-run re-decision: for every positive L(i, j) up to
+  // L(i, j) tasks are carved from the *tail* of i's queue (the work that
+  // would be served last) and shipped to j as a fresh singleton work unit
+  // through the usual group channel. Tasks pinned in service and units
+  // under replication never move; pledges that cannot be honored are
+  // counted in rolling.moves_clamped rather than invented.
+  const auto apply_reallocation = [&](const core::DtrPolicy& fresh,
+                                      double now) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        int want = fresh(i, j);
+        if (want <= 0) continue;
+        if (!up[i] || !up[j]) {
+          result.rolling.moves_clamped += want;
+          continue;
+        }
+        int take = 0;
+        for (auto it = queue[i].rbegin();
+             it != queue[i].rend() && want > 0; ++it) {
+          if (replica_sets[it->unit].size() != 1) continue;  // replicated
+          int avail = it->remaining;
+          if (serving[i] && std::next(it) == queue[i].rend()) {
+            avail -= 1;  // the task in service is pinned to its server
+          }
+          if (avail <= 0) continue;
+          const int grab = std::min(avail, want);
+          it->remaining -= grab;
+          take += grab;
+          want -= grab;
+        }
+        result.rolling.moves_clamped += want;
+        // Segments emptied by the carve (never the in-service head) retire
+        // their unit: nothing of it remains anywhere, and the moved tasks
+        // live on as the new unit below.
+        for (auto it = queue[i].begin(); it != queue[i].end();) {
+          if (it->remaining == 0) {
+            AGEDTR_ASSERT(!unit_state[it->unit].done);
+            unit_state[it->unit].done = true;
+            --units_pending;
+            it = queue[i].erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (take == 0) continue;
+        const std::size_t u = units.size();
+        units.push_back({i, j, take});
+        replica_sets.push_back({j});
+        UnitState st;
+        st.live = 1;
+        st.alive.assign(1, 1);
+        st.arrived.assign(1, 0);
+        unit_state.push_back(std::move(st));
+        ++units_pending;
+        result.rolling.tasks_reallocated += take;
+        const SendOutcome send = attempt_send(faults.group_channel, rng);
+        result.faults.group_retransmissions += send.retries;
+        if (!send.delivered) {
+          push_group(now + send.start_offset, Event::Kind::kGroupExpired, j,
+                     take, u, 0);
+          flights.push_back({u, 0, now, now + send.start_offset, false});
+          continue;
+        }
+        const dist::DistPtr& law = scenario_.transfer[i][j];
+        double transfer_time = law->sample(rng);
+        if (scenario_.transfer_scaling == core::TransferScaling::kPerTask) {
+          for (int t = 1; t < take; ++t) transfer_time += law->sample(rng);
+        }
+        const double arrival = now + send.start_offset + transfer_time;
+        push_group(arrival, Event::Kind::kGroupArrival, j, take, u, 0);
+        flights.push_back({u, 0, now, arrival, true});
+      }
+    }
+  };
+
   double last_progress_time = 0.0;
+  double end_time = 0.0;
   while (!events.empty()) {
     if (result.events_processed >= options_.max_events) {
       // A runtime budget, not a precondition: report the truncation and let
@@ -414,6 +637,7 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
     const Event e = events.top();
     events.pop();
     ++result.events_processed;
+    end_time = e.time;
     switch (e.kind) {
       case Event::Kind::kServiceComplete: {
         const std::size_t j = e.a;
@@ -541,16 +765,26 @@ SimResult DcsSimulator::run(const core::DtrPolicy& policy,
               Event::Kind::kSlowdownBegin, j, 0, 0, 0});
         break;
       }
+      case Event::Kind::kDecisionEpoch: {
+        // Only reachable mid-workload: the loop exits right after the event
+        // that completes or loses the run, so a popped epoch always sees
+        // pending work.
+        AGEDTR_ASSERT(rolling != nullptr);
+        ++result.rolling.epochs_fired;
+        const core::SystemState snap = build_state(e.time);
+        const core::DtrPolicy fresh = rolling->redecide(snap);
+        AGEDTR_REQUIRE(fresh.size() == n,
+                       "run_rolling: re-decision policy size mismatch");
+        apply_reallocation(fresh, e.time);
+        break;
+      }
     }
     if (lost) break;
-    if (units_pending == 0) {
-      result.completed = true;
-      result.completion_time = last_progress_time;
-      return result;
-    }
+    if (units_pending == 0) break;
   }
   result.completed = !lost && !result.truncated && units_pending == 0;
   result.completion_time = result.completed ? last_progress_time : kInf;
+  if (options_.capture_final_state) result.final_state = build_state(end_time);
   return result;
 }
 

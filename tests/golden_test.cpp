@@ -25,8 +25,10 @@
 #include "agedtr/core/scenario.hpp"
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/policy_comparer.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/sim/replication_study.hpp"
+#include "agedtr/util/thread_pool.hpp"
 
 #ifndef AGEDTR_GOLDEN_DIR
 #error "tests/CMakeLists.txt must define AGEDTR_GOLDEN_DIR"
@@ -317,6 +319,104 @@ TEST(Golden, ReplicationTradeoff) {
     check(rows[i].mc_qos, golden[i].mc_qos);
     check(rows[i].bound_lower, golden[i].bound_lower);
     check(rows[i].bound_upper, golden[i].bound_upper);
+  }
+}
+
+// --- Comparer rankings golden. --------------------------------------------
+//
+// The PolicyComparer demo grid (the same one `policy_comparer_bench --smoke`
+// runs and pins against tests/golden/comparer_rankings.csv) recomputed here
+// through the library API. CRN trajectory sub-streams are counter-derived,
+// so every column pins at full double precision regardless of the thread
+// pool; regen mode rewrites the same CSV the bench checks, keeping the two
+// gates on one artifact.
+
+std::vector<std::vector<std::string>> read_csv_rows(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good())
+      << "missing golden " << golden_path(name)
+      << " (regenerate with AGEDTR_REGEN_GOLDEN=1)";
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (std::getline(fields, token, ',')) tokens.push_back(token);
+    rows.push_back(std::move(tokens));
+  }
+  return rows;
+}
+
+TEST(Golden, ComparerRankings) {
+  const std::string name = "comparer_rankings.csv";
+  policy::ComparerDemoGrid grid = policy::make_comparer_demo_grid();
+  grid.options.pool = &ThreadPool::global();  // results are pool-independent
+  const std::vector<policy::PolicyAssessment> assessments =
+      policy::PolicyComparer(grid.scenarios, grid.policies, grid.options)
+          .compare();
+
+  // Acceptance invariants on the fresh grid (hold in regen mode too): every
+  // scenario ranks all four policy families 1..4.
+  std::size_t cells_per_scenario = grid.policies.size();
+  ASSERT_EQ(assessments.size(),
+            grid.scenarios.size() * cells_per_scenario);
+  for (std::size_t s = 0; s < grid.scenarios.size(); ++s) {
+    std::vector<int> ranks;
+    for (std::size_t p = 0; p < cells_per_scenario; ++p) {
+      ranks.push_back(assessments[s * cells_per_scenario + p].rank);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      EXPECT_EQ(ranks[r], static_cast<int>(r) + 1)
+          << "scenario " << grid.scenarios[s].name;
+    }
+  }
+
+  if (regen_requested()) {
+    policy::PolicyComparer::write_csv(assessments, golden_path(name));
+    return;
+  }
+  const std::vector<std::vector<std::string>> golden = read_csv_rows(name);
+  std::ostringstream fresh_csv;
+  policy::PolicyComparer::to_table(assessments).write_csv(fresh_csv);
+  std::istringstream fresh_in(fresh_csv.str());
+  std::vector<std::vector<std::string>> fresh;
+  {
+    std::string line;
+    while (std::getline(fresh_in, line)) {
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      std::vector<std::string> tokens;
+      std::string token;
+      while (std::getline(fields, token, ',')) tokens.push_back(token);
+      fresh.push_back(std::move(tokens));
+    }
+  }
+  ASSERT_EQ(golden.size(), fresh.size())
+      << name << ": grid shape changed; regenerate the golden";
+  constexpr double kRtol = 1e-9;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    ASSERT_EQ(golden[i].size(), fresh[i].size()) << name << " row " << i;
+    for (std::size_t c = 0; c < fresh[i].size(); ++c) {
+      SCOPED_TRACE(name + " row " + std::to_string(i) + " col " +
+                   std::to_string(c));
+      char* fresh_end = nullptr;
+      char* golden_end = nullptr;
+      const double f = std::strtod(fresh[i][c].c_str(), &fresh_end);
+      const double g = std::strtod(golden[i][c].c_str(), &golden_end);
+      const bool fresh_numeric =
+          fresh_end != fresh[i][c].c_str() && *fresh_end == '\0';
+      const bool golden_numeric =
+          golden_end != golden[i][c].c_str() && *golden_end == '\0';
+      if (fresh_numeric && golden_numeric) {
+        const double scale = std::max(std::abs(g), 1e-12);
+        EXPECT_NEAR(f, g, kRtol * scale);
+      } else {
+        EXPECT_EQ(fresh[i][c], golden[i][c]);
+      }
+    }
   }
 }
 

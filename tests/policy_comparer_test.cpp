@@ -1,0 +1,257 @@
+// The DecisionPolicy adapters and the CRN PolicyComparer.
+//
+// The adapters must be *transparent*: a decision made through the uniform
+// interface is bit-identical to the legacy entry point it wraps (fair share
+// == initial_policy, Algorithm1Policy == Algorithm1::devise, two-server
+// search == TwoServerPolicySearch::optimize). The comparer must be a fair
+// experiment: trajectory sub-streams are counter-derived, so every cell is
+// bit-identical across thread pools, and ranks follow the documented rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/policy/decision_policy.hpp"
+#include "agedtr/policy/policy_comparer.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+using core::SystemState;
+using dist::ModelFamily;
+
+DcsScenario mini_scenario(bool failures) {
+  std::vector<ServerSpec> servers = {
+      {8, dist::make_model_distribution(ModelFamily::kPareto1, 2.0),
+       failures ? dist::make_model_distribution(ModelFamily::kUniform, 40.0)
+                : nullptr},
+      {3, dist::make_model_distribution(ModelFamily::kUniform, 1.0),
+       failures ? dist::Exponential::with_mean(60.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(ModelFamily::kPareto1, 1.0),
+      dist::Exponential::with_mean(0.1));
+}
+
+void expect_same_policy(const DtrPolicy& a, const DtrPolicy& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << "L(" << i << "," << j << ")";
+    }
+  }
+}
+
+core::ConvolutionOptions coarse_conv() {
+  core::ConvolutionOptions conv;
+  conv.cells = 2048;
+  return conv;
+}
+
+TEST(DecisionPolicyAdapters, FairShareMatchesInitialPolicy) {
+  const DcsScenario s = mini_scenario(false);
+  const DtrPolicy through_adapter = decide_from_state(
+      FairSharePolicy(), s, SystemState::initial(s, DtrPolicy(2)));
+  const DtrPolicy legacy =
+      initial_policy(s, perfect_estimates(s), ReallocationCriterion::kSpeed);
+  expect_same_policy(through_adapter, legacy);
+}
+
+TEST(DecisionPolicyAdapters, Algorithm1MatchesLegacyDevise) {
+  const DcsScenario s = mini_scenario(false);
+  Algorithm1Options opts;
+  opts.max_iterations = 2;
+  opts.conv = coarse_conv();
+  DecisionEngineOptions engine_opts;
+  engine_opts.conv = coarse_conv();
+  const DtrPolicy through_adapter = decide_from_state(
+      Algorithm1Policy(opts), s, SystemState::initial(s, DtrPolicy(2)),
+      engine_opts);
+  const DtrPolicy legacy = Algorithm1(opts).devise(s).policy;
+  expect_same_policy(through_adapter, legacy);
+}
+
+TEST(DecisionPolicyAdapters, TwoServerSearchMatchesLegacyOptimize) {
+  const DcsScenario s = mini_scenario(false);
+  DecisionEngineOptions engine_opts;
+  engine_opts.conv = coarse_conv();
+  const DtrPolicy through_adapter = decide_from_state(
+      TwoServerSearchPolicy(), s, SystemState::initial(s, DtrPolicy(2)),
+      engine_opts);
+
+  EvaluationEngine engine(
+      s,
+      {Objective::kMeanExecutionTime, 0.0, /*markovian=*/false, coarse_conv(),
+       nullptr});
+  const PolicyPoint best = TwoServerPolicySearch(8, 3).optimize(
+      engine, /*maximize=*/false);
+  expect_same_policy(through_adapter,
+                     make_two_server_policy(best.l12, best.l21));
+}
+
+TEST(DecisionPolicyAdapters, MaxL21CapRestrictsTheSearchLine) {
+  const DcsScenario s = mini_scenario(false);
+  DecisionEngineOptions engine_opts;
+  engine_opts.conv = coarse_conv();
+  const DtrPolicy line = decide_from_state(
+      TwoServerSearchPolicy({.markovian = false, .max_l21 = 0}), s,
+      SystemState::initial(s, DtrPolicy(2)), engine_opts);
+  EXPECT_EQ(line(1, 0), 0);
+
+  EvaluationEngine engine(
+      s,
+      {Objective::kMeanExecutionTime, 0.0, /*markovian=*/false, coarse_conv(),
+       nullptr});
+  const PolicyPoint best =
+      TwoServerPolicySearch(8, 0).optimize(engine, /*maximize=*/false);
+  expect_same_policy(line, make_two_server_policy(best.l12, 0));
+}
+
+TEST(DecisionPolicyAdapters, DecideRejectsStaleStates) {
+  const DcsScenario s = mini_scenario(false);
+  EvaluationEngine engine(
+      s,
+      {Objective::kMeanExecutionTime, 0.0, /*markovian=*/false, coarse_conv(),
+       nullptr});
+  SystemState stale = SystemState::initial(s, DtrPolicy(2));
+  stale.tasks[0] -= 1;  // queues no longer match the engine's scenario
+  const FairSharePolicy fair;
+  EXPECT_THROW((void)fair.decide(stale, engine), std::invalid_argument);
+
+  SystemState down = SystemState::initial(s, DtrPolicy(2));
+  down.up[1] = 0;  // failed servers must be compacted away first
+  EXPECT_THROW((void)fair.decide(down, engine), std::invalid_argument);
+}
+
+TEST(DecisionPolicyAdapters, NamesAreStableIdentifiers) {
+  EXPECT_EQ(FairSharePolicy().name(), "fair-share(speed)");
+  EXPECT_EQ(Algorithm1Policy().name(), "algorithm1");
+  EXPECT_EQ(make_markovian_prescribed_policy()->name(),
+            "algorithm1(markovian)");
+  EXPECT_EQ(TwoServerSearchPolicy().name(), "two-server-search");
+  EXPECT_EQ(TwoServerSearchPolicy({.markovian = true, .max_l21 = 0}).name(),
+            "two-server-search(markovian)[l21<=0]");
+  const auto rolling = RollingHorizonPolicy(
+      std::make_shared<FairSharePolicy>(), {1.0, 2.0});
+  EXPECT_EQ(rolling.name(), "rolling(fair-share(speed))");
+  EXPECT_EQ(rolling.decision_epochs(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RollingHorizonPolicy, ValidatesItsEpochList) {
+  const auto inner = std::make_shared<FairSharePolicy>();
+  EXPECT_THROW(RollingHorizonPolicy(nullptr, {1.0}), std::invalid_argument);
+  EXPECT_THROW(RollingHorizonPolicy(inner, {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(RollingHorizonPolicy(inner, {-1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(RollingHorizonPolicy(inner, {}));
+}
+
+// --- The CRN comparer. ----------------------------------------------------
+
+PolicyComparerOptions mini_options(ThreadPool* pool) {
+  PolicyComparerOptions options;
+  options.trajectories = 12;
+  options.seed = 0xfeed;
+  options.deadline = 25.0;
+  options.engine.conv = coarse_conv();
+  options.pool = pool;
+  return options;
+}
+
+std::vector<ComparerEntry> mini_policies() {
+  const auto fair = std::make_shared<FairSharePolicy>();
+  return {{"fair-share", fair},
+          {"rolling-fair-share",
+           std::make_shared<RollingHorizonPolicy>(
+               fair, std::vector<double>{2.0, 6.0})}};
+}
+
+TEST(PolicyComparerTest, BitIdenticalAcrossThreadPools) {
+  const std::vector<ComparerScenario> scenarios = {
+      {"mini", mini_scenario(true)}};
+  const std::vector<PolicyAssessment> serial =
+      PolicyComparer(scenarios, mini_policies(), mini_options(nullptr))
+          .compare();
+  const std::vector<PolicyAssessment> pooled =
+      PolicyComparer(scenarios, mini_policies(),
+                     mini_options(&ThreadPool::global()))
+          .compare();
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].policy_name);
+    EXPECT_EQ(serial[i].policy_name, pooled[i].policy_name);
+    EXPECT_EQ(serial[i].completed, pooled[i].completed);
+    EXPECT_EQ(serial[i].truncated, pooled[i].truncated);
+    // Bitwise equality, not tolerance: CRN sub-streams are counter-derived
+    // per trajectory and aggregation order is fixed.
+    EXPECT_EQ(serial[i].mean_completion_time.center,
+              pooled[i].mean_completion_time.center);
+    EXPECT_EQ(serial[i].mean_completion_time.lower,
+              pooled[i].mean_completion_time.lower);
+    EXPECT_EQ(serial[i].mean_completion_time.upper,
+              pooled[i].mean_completion_time.upper);
+    EXPECT_EQ(serial[i].reliability.center, pooled[i].reliability.center);
+    EXPECT_EQ(serial[i].qos.center, pooled[i].qos.center);
+    EXPECT_EQ(serial[i].epochs_fired, pooled[i].epochs_fired);
+    EXPECT_EQ(serial[i].tasks_reallocated, pooled[i].tasks_reallocated);
+    EXPECT_EQ(serial[i].rank, pooled[i].rank);
+  }
+}
+
+TEST(PolicyComparerTest, RollingPoliciesActuallyReDecide) {
+  const std::vector<ComparerScenario> scenarios = {
+      {"mini", mini_scenario(true)}};
+  const std::vector<PolicyAssessment> assessments =
+      PolicyComparer(scenarios, mini_policies(), mini_options(nullptr))
+          .compare();
+  ASSERT_EQ(assessments.size(), 2u);
+  EXPECT_EQ(assessments[0].epochs_fired, 0u);  // one-shot fair share
+  EXPECT_GT(assessments[1].epochs_fired, 0u);  // rolling wrapper
+}
+
+TEST(PolicyComparerTest, AssignRanksFollowsTheDocumentedRule) {
+  const auto cell = [](const char* policy, const char* scenario,
+                       std::size_t completed, double mean) {
+    PolicyAssessment a;
+    a.policy_name = policy;
+    a.scenario_name = scenario;
+    a.trajectories = 4;
+    a.completed = completed;
+    a.mean_completion_time = {mean, mean, mean};
+    return a;
+  };
+  std::vector<PolicyAssessment> grid = {
+      cell("b", "s1", 4, 10.0), cell("a", "s1", 4, 10.0),
+      cell("c", "s1", 0, 0.0),  cell("d", "s1", 4, 5.0),
+      cell("a", "s2", 4, 3.0),  cell("b", "s2", 4, 2.0)};
+  PolicyComparer::assign_ranks(grid);
+  EXPECT_EQ(grid[0].rank, 3);  // ties break by policy name: a before b
+  EXPECT_EQ(grid[1].rank, 2);
+  EXPECT_EQ(grid[2].rank, 4);  // never completed sorts last
+  EXPECT_EQ(grid[3].rank, 1);
+  EXPECT_EQ(grid[4].rank, 2);  // ranks restart per scenario
+  EXPECT_EQ(grid[5].rank, 1);
+}
+
+TEST(PolicyComparerTest, DemoGridIsWellFormed) {
+  const ComparerDemoGrid grid = make_comparer_demo_grid();
+  EXPECT_EQ(grid.scenarios.size(), 2u);
+  EXPECT_EQ(grid.policies.size(), 4u);  // >= 4 policy families, per contract
+  for (const ComparerEntry& entry : grid.policies) {
+    EXPECT_NE(entry.policy, nullptr) << entry.name;
+  }
+  EXPECT_GT(grid.options.trajectories, 0u);
+  EXPECT_GT(grid.options.deadline, 0.0);
+}
+
+}  // namespace
+}  // namespace agedtr::policy

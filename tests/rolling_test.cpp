@@ -1,0 +1,349 @@
+// Rolling-horizon simulation and snapshot re-seeding.
+//
+// The load-bearing contracts, in order: (1) run_rolling with no epochs is
+// bit-identical to run() — including the RNG stream position — across laws,
+// failures, faults, and replication; (2) an epoch at t = 0 is the one-shot
+// run (the initial decision already IS the epoch-0 decision); (3) a
+// re-decision that moves nothing leaves the trajectory untouched; (4) the
+// age-0 re-seed is an exact round trip through core::reseed_scenario; and
+// (5) mid-run reallocations conserve tasks and honor the
+// only-singleton-unmoved-tail rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "agedtr/core/replication.hpp"
+#include "agedtr/core/reseed.hpp"
+#include "agedtr/dist/aged.hpp"
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/deterministic.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/sim/simulator.hpp"
+
+namespace agedtr::sim {
+namespace {
+
+using core::DcsScenario;
+using core::DtrPolicy;
+using core::ServerSpec;
+using core::SystemState;
+using dist::ModelFamily;
+
+dist::DistPtr det(double c) { return std::make_shared<dist::Deterministic>(c); }
+
+/// Small stochastic two-server system with non-trivial transfers.
+DcsScenario stochastic_scenario(ModelFamily family, bool failures) {
+  std::vector<ServerSpec> servers = {
+      {8, dist::make_model_distribution(family, 2.0),
+       failures ? dist::make_model_distribution(ModelFamily::kUniform, 40.0)
+                : nullptr},
+      {4, dist::make_model_distribution(family, 1.0),
+       failures ? dist::Exponential::with_mean(60.0) : nullptr}};
+  return core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(ModelFamily::kPareto1, 1.5),
+      dist::Exponential::with_mean(0.2));
+}
+
+/// Bitwise comparison of everything a SimResult reports deterministically.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completion_time, b.completion_time);  // exact, not approximate
+  EXPECT_EQ(a.tasks_lost, b.tasks_lost);
+  EXPECT_EQ(a.busy_time, b.busy_time);
+  EXPECT_EQ(a.tasks_served, b.tasks_served);
+  EXPECT_EQ(a.failure_time, b.failure_time);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.replicas_cancelled, b.replicas_cancelled);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.rolling.tasks_reallocated, b.rolling.tasks_reallocated);
+  EXPECT_EQ(a.rolling.moves_clamped, b.rolling.moves_clamped);
+}
+
+TEST(RollingSim, EmptyEpochsBitIdenticalToRun) {
+  for (const ModelFamily family :
+       {ModelFamily::kExponential, ModelFamily::kPareto1,
+        ModelFamily::kUniform}) {
+    for (const bool failures : {false, true}) {
+      const DcsScenario s = stochastic_scenario(family, failures);
+      DtrPolicy policy(2);
+      policy.set(0, 1, 3);
+      const DcsSimulator sim(s);
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("family=" + dist::model_family_name(family) +
+                     " failures=" + std::to_string(failures) +
+                     " seed=" + std::to_string(seed));
+        random::Rng rng_a(seed);
+        random::Rng rng_b(seed);
+        const SimResult one_shot = sim.run(policy, rng_a);
+        const SimResult rolling = sim.run_rolling(policy, {}, rng_b);
+        expect_identical(one_shot, rolling);
+        EXPECT_EQ(rolling.rolling.epochs_fired, 0u);
+        // The RNG stream position must match too: flight bookkeeping is
+        // observation-only and never draws.
+        EXPECT_EQ(rng_a.next_double(), rng_b.next_double());
+      }
+    }
+  }
+}
+
+TEST(RollingSim, EmptyEpochsBitIdenticalUnderFaultsAndReplication) {
+  const DcsScenario s = stochastic_scenario(ModelFamily::kPareto1, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  SimulatorOptions options;
+  options.faults.group_channel.drop_probability = 0.1;
+  options.faults.group_channel.max_retries = 2;
+  options.faults.fn_channel.drop_probability = 0.2;
+  options.replication = core::make_uniform_replication(s, policy, 2);
+  const DcsSimulator sim(s, options);
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    random::Rng rng_a(seed);
+    random::Rng rng_b(seed);
+    const SimResult one_shot = sim.run(policy, rng_a);
+    const SimResult rolling = sim.run_rolling(policy, {}, rng_b);
+    expect_identical(one_shot, rolling);
+    EXPECT_EQ(rng_a.next_double(), rng_b.next_double());
+  }
+}
+
+TEST(RollingSim, EpochAtZeroIsTheOneShotRun) {
+  const DcsScenario s = stochastic_scenario(ModelFamily::kPareto1, true);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 3);
+  const DcsSimulator sim(s);
+  RollingOptions rolling;
+  rolling.epochs = {0.0};
+  rolling.redecide = [](const SystemState&) -> DtrPolicy {
+    ADD_FAILURE() << "an epoch at t = 0 must not re-decide";
+    return DtrPolicy(2);
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    random::Rng rng_a(seed);
+    random::Rng rng_b(seed);
+    const SimResult one_shot = sim.run(policy, rng_a);
+    const SimResult rolled = sim.run_rolling(policy, rolling, rng_b);
+    expect_identical(one_shot, rolled);
+    EXPECT_EQ(rolled.rolling.epochs_fired, 0u);
+    EXPECT_EQ(rng_a.next_double(), rng_b.next_double());
+  }
+}
+
+TEST(RollingSim, ZeroPolicyRedecisionLeavesTrajectoryUntouched) {
+  const DcsScenario s = stochastic_scenario(ModelFamily::kExponential, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  const DcsSimulator sim(s);
+  RollingOptions rolling;
+  rolling.epochs = {1.5, 4.0};
+  std::size_t invocations = 0;
+  rolling.redecide = [&invocations](const SystemState& observed) {
+    ++invocations;
+    return DtrPolicy(observed.size());  // decide to move nothing
+  };
+  random::Rng rng_a(7);
+  random::Rng rng_b(7);
+  const SimResult one_shot = sim.run(policy, rng_a);
+  const SimResult rolled = sim.run_rolling(policy, rolling, rng_b);
+  EXPECT_EQ(one_shot.completed, rolled.completed);
+  EXPECT_EQ(one_shot.completion_time, rolled.completion_time);  // exact
+  EXPECT_EQ(one_shot.tasks_lost, rolled.tasks_lost);
+  EXPECT_EQ(one_shot.busy_time, rolled.busy_time);
+  EXPECT_EQ(one_shot.tasks_served, rolled.tasks_served);
+  EXPECT_EQ(one_shot.failure_time, rolled.failure_time);
+  EXPECT_EQ(one_shot.truncated, rolled.truncated);
+  EXPECT_EQ(rolled.rolling.tasks_reallocated, 0);
+  EXPECT_EQ(rolled.rolling.moves_clamped, 0);
+  // The epoch markers themselves are events; nothing else may differ.
+  EXPECT_EQ(rolled.events_processed,
+            one_shot.events_processed + rolled.rolling.epochs_fired);
+  EXPECT_EQ(rolled.rolling.epochs_fired, invocations);
+  EXPECT_GE(invocations, 1u);
+  EXPECT_EQ(rng_a.next_double(), rng_b.next_double());
+}
+
+TEST(RollingSim, MidRunReallocationMovesAndConservesTasks) {
+  // Deterministic: server 1 needs 2 s per task for 6 tasks, server 2 is
+  // fast and idle after t = 1. A re-decision at t = 3 offloads 2 queued
+  // tasks; they arrive at t = 4 and finish by t = 6, beating the one-shot
+  // completion at t = 12.
+  std::vector<ServerSpec> servers = {{6, det(2.0), nullptr},
+                                     {1, det(1.0), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), det(1.0), det(0.1));
+  const DcsSimulator sim(s);
+  RollingOptions rolling;
+  rolling.epochs = {3.0};
+  rolling.redecide = [](const SystemState& observed) {
+    EXPECT_EQ(observed.tasks[0], 5);  // one served by t = 3, one in service
+    EXPECT_EQ(observed.tasks[1], 0);
+    DtrPolicy fresh(2);
+    fresh.set(0, 1, 2);
+    return fresh;
+  };
+  random::Rng rng(1);
+  const SimResult r = sim.run_rolling(DtrPolicy(2), rolling, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.rolling.epochs_fired, 1u);
+  EXPECT_EQ(r.rolling.tasks_reallocated, 2);
+  EXPECT_EQ(r.rolling.moves_clamped, 0);
+  EXPECT_EQ(r.tasks_served[0] + r.tasks_served[1], 7);
+  EXPECT_EQ(r.tasks_served[1], 3);
+  // 4 tasks remain at server 1 after the move: done at t = 2·4 + 2·2... no —
+  // server 1 serves 1 task by t = 2 and is mid-task until 4; then 3 more:
+  // 2 + 2 + 2·3 = overlap-free timeline ends at t = 10 there, t = 6 at
+  // server 2; the makespan must beat the 12 s one-shot.
+  EXPECT_LT(r.completion_time, 12.0);
+}
+
+TEST(RollingSim, ClampsMovesThePlanCannotHonor) {
+  // The re-decision pledges 10 tasks but only 3 movable ones exist (one of
+  // the 5 remaining is pinned in service).
+  std::vector<ServerSpec> servers = {{5, det(2.0), nullptr},
+                                     {1, det(1.0), nullptr}};
+  const DcsScenario s = core::make_uniform_network_scenario(
+      std::move(servers), det(1.0), det(0.1));
+  const DcsSimulator sim(s);
+  RollingOptions rolling;
+  rolling.epochs = {1.0};
+  rolling.redecide = [](const SystemState&) {
+    DtrPolicy fresh(2);
+    fresh.set(0, 1, 10);
+    return fresh;
+  };
+  random::Rng rng(1);
+  const SimResult r = sim.run_rolling(DtrPolicy(2), rolling, rng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.rolling.tasks_reallocated, 4);  // queue minus the in-service task
+  EXPECT_EQ(r.rolling.moves_clamped, 6);
+  EXPECT_EQ(r.tasks_served[0] + r.tasks_served[1], 6);
+}
+
+TEST(RollingSim, FinalStateSnapshotIsConsistent) {
+  const DcsScenario s = stochastic_scenario(ModelFamily::kExponential, false);
+  DtrPolicy policy(2);
+  policy.set(0, 1, 2);
+  SimulatorOptions options;
+  options.capture_final_state = true;
+  const DcsSimulator sim(s, options);
+  random::Rng rng(3);
+  const SimResult r = sim.run(policy, rng);
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.final_state.has_value());
+  const SystemState& fs = *r.final_state;
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_TRUE(fs.workload_done());
+  EXPECT_EQ(fs.tasks[0], 0);
+  EXPECT_EQ(fs.tasks[1], 0);
+  EXPECT_TRUE(fs.groups.empty());
+  EXPECT_NE(fs.up[0], 0);
+  EXPECT_NE(fs.up[1], 0);
+}
+
+TEST(RollingSim, RunRollingValidatesItsEpochSchedule) {
+  const DcsScenario s = stochastic_scenario(ModelFamily::kExponential, false);
+  const DcsSimulator sim(s);
+  const auto noop = [](const SystemState& observed) {
+    return DtrPolicy(observed.size());
+  };
+  random::Rng rng(1);
+  RollingOptions bad;
+  bad.redecide = noop;
+  bad.epochs = {2.0, 1.0};  // descending
+  EXPECT_THROW((void)sim.run_rolling(DtrPolicy(2), bad, rng),
+               std::invalid_argument);
+  bad.epochs = {-1.0};
+  EXPECT_THROW((void)sim.run_rolling(DtrPolicy(2), bad, rng),
+               std::invalid_argument);
+  RollingOptions no_callback;
+  no_callback.epochs = {1.0};  // positive epoch but nothing to call
+  EXPECT_THROW((void)sim.run_rolling(DtrPolicy(2), no_callback, rng),
+               std::invalid_argument);
+}
+
+// --- Snapshot → scenario re-seeding. --------------------------------------
+
+TEST(RollingReseed, AgeZeroIsAnExactRoundTrip) {
+  const DcsScenario base = stochastic_scenario(ModelFamily::kPareto1, true);
+  const SystemState fresh = SystemState::initial(base, DtrPolicy(2));
+  const core::ReseededScenario r = core::reseed_scenario(base, fresh);
+  ASSERT_EQ(r.scenario.size(), 2u);
+  EXPECT_EQ(r.full_size, 2u);
+  EXPECT_EQ(r.survivors, (std::vector<std::size_t>{0, 1}));
+  for (std::size_t j = 0; j < 2; ++j) {
+    SCOPED_TRACE(j);
+    EXPECT_EQ(r.scenario.servers[j].initial_tasks,
+              base.servers[j].initial_tasks);
+    // dist::aged returns the base law unchanged at age 0, so the round trip
+    // is exact — same distribution objects, not approximations.
+    EXPECT_EQ(r.scenario.servers[j].service.get(),
+              base.servers[j].service.get());
+    EXPECT_EQ(r.scenario.servers[j].failure.get(),
+              base.servers[j].failure.get());
+    EXPECT_NEAR(r.scenario.servers[j].failure->mean(),
+                base.servers[j].failure->mean(),
+                1e-12 * base.servers[j].failure->mean());
+  }
+  // expand() of a compact policy is the identity mapping here.
+  DtrPolicy compact(2);
+  compact.set(0, 1, 4);
+  const DtrPolicy full = r.expand(compact);
+  EXPECT_EQ(full.size(), 2u);
+  EXPECT_EQ(full(0, 1), 4);
+  EXPECT_EQ(full(1, 0), 0);
+}
+
+TEST(RollingReseed, CompactsDeadServersAndCreditsInTransit) {
+  std::vector<ServerSpec> servers = {
+      {5, det(2.0), dist::make_model_distribution(ModelFamily::kUniform, 40.0)},
+      {3, det(1.0), dist::Exponential::with_mean(60.0)},
+      {2, det(1.5),
+       dist::make_model_distribution(ModelFamily::kUniform, 80.0)}};
+  const DcsScenario base = core::make_uniform_network_scenario(
+      std::move(servers), det(1.0), det(0.1));
+
+  SystemState observed = SystemState::initial(base, DtrPolicy(3));
+  observed.up[1] = 0;  // server 2 (index 1) failed
+  observed.tasks = {5, 3, 2};
+  observed.failure_age = {10.0, 0.0, 10.0};
+  core::TransitGroup group;
+  group.from = 0;
+  group.to = 2;
+  group.tasks = 4;
+  group.transfer = det(1.0);
+  group.age = 0.5;
+  observed.groups.push_back(group);
+
+  const core::ReseededScenario r = core::reseed_scenario(base, observed);
+  ASSERT_EQ(r.scenario.size(), 2u);
+  EXPECT_EQ(r.full_size, 3u);
+  EXPECT_EQ(r.survivors, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(r.scenario.servers[0].initial_tasks, 5);
+  EXPECT_EQ(r.scenario.servers[1].initial_tasks, 2 + 4);  // credited group
+
+  // Failure laws are the aged views: mean == residual_mean(base law, age).
+  for (std::size_t c = 0; c < 2; ++c) {
+    const std::size_t j = r.survivors[c];
+    SCOPED_TRACE(j);
+    const double expected =
+        dist::residual_mean(base.servers[j].failure, observed.failure_age[j]);
+    EXPECT_NEAR(r.scenario.servers[c].failure->mean(), expected,
+                1e-9 * expected);
+  }
+
+  // A compact decision maps back through the survivor indices.
+  DtrPolicy compact(2);
+  compact.set(0, 1, 3);
+  const DtrPolicy full = r.expand(compact);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full(0, 2), 3);
+  EXPECT_EQ(full(0, 1), 0);
+  EXPECT_EQ(full(1, 2), 0);
+}
+
+}  // namespace
+}  // namespace agedtr::sim
