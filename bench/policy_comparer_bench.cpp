@@ -86,8 +86,28 @@ std::vector<std::vector<std::string>> load_csv(const std::string& path) {
   return rows;
 }
 
+std::string join_row(const std::vector<std::string>& row) {
+  std::string out;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out += ",";
+    out += row[c];
+  }
+  return out;
+}
+
+/// The (policy, scenario) identity of one rankings row — the first two
+/// columns of PolicyComparer::write_csv — so a drift report names the grid
+/// cell instead of a bare row index.
+std::string cell_id(const std::vector<std::string>& row) {
+  if (row.size() < 2) return "<short row>";
+  return row[0] + "/" + row[1];
+}
+
 /// Numeric-aware comparison at rtol: cells that parse as doubles must agree
 /// to 1e-9 relative (1e-12 absolute near zero); everything else exactly.
+/// On drift, *why carries the first diverging row in full — grid cell id,
+/// the column's header name, and the complete expected and actual rows —
+/// so a --smoke failure in CI is diagnosable from the log alone.
 bool csv_drifted(const std::vector<std::vector<std::string>>& expected,
                  const std::vector<std::vector<std::string>>& actual,
                  std::string* why) {
@@ -96,9 +116,15 @@ bool csv_drifted(const std::vector<std::vector<std::string>>& expected,
            std::to_string(expected.size());
     return true;
   }
+  const std::vector<std::string>* header =
+      expected.empty() ? nullptr : &expected[0];
   for (std::size_t r = 0; r < expected.size(); ++r) {
     if (expected[r].size() != actual[r].size()) {
-      *why = "row " + std::to_string(r) + ": column count mismatch";
+      *why = "cell " + cell_id(actual[r]) + " (row " + std::to_string(r) +
+             "): column count " + std::to_string(actual[r].size()) +
+             " vs pinned " + std::to_string(expected[r].size()) +
+             "\n  expected: " + join_row(expected[r]) +
+             "\n  actual:   " + join_row(actual[r]);
       return true;
     }
     for (std::size_t c = 0; c < expected[r].size(); ++c) {
@@ -115,8 +141,13 @@ bool csv_drifted(const std::vector<std::vector<std::string>>& expected,
         const double tol = 1e-9 * std::max(std::abs(ev), std::abs(av)) + 1e-12;
         if (std::abs(ev - av) <= tol) continue;
       }
-      *why = "row " + std::to_string(r) + " col " + std::to_string(c) + ": '" +
-             a + "' vs pinned '" + e + "'";
+      const std::string column = header != nullptr && c < header->size()
+                                     ? (*header)[c]
+                                     : "col " + std::to_string(c);
+      *why = "cell " + cell_id(actual[r]) + " (row " + std::to_string(r) +
+             "), column '" + column + "': '" + a + "' vs pinned '" + e +
+             "'\n  expected: " + join_row(expected[r]) +
+             "\n  actual:   " + join_row(actual[r]);
       return true;
     }
   }

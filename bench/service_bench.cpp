@@ -1,0 +1,687 @@
+// service_bench — load, fault-injection, and crash-recovery harness for
+// the agedtrd service (ROADMAP item 2; docs/OPERATIONS.md "Running
+// agedtrd").
+//
+// Phase 1 (in-process): floods one Daemon with 10^4..10^5 mixed requests
+// from concurrent closed-loop workers — warm-cache evaluates, searches,
+// pings, malformed bytes, schema violations, flaky/poisoned faults, tiny
+// deadlines, and an open-loop batch-class burst that drives admission
+// control — then checks the exactly-once contract: every future is
+// fulfilled with a status from the reply taxonomy, the counts add up, and
+// the daemon's own counters agree. Reports p50/p99 latency, QPS, shed
+// rate, and engine cache hit rate; --metrics also dumps the
+// MetricsRegistry report.
+//
+// Phase 2 (--daemon <path-to-agedtrd>): spawns the real binary on a UNIX
+// socket with a journal, acknowledges a batch of searches, SIGKILLs the
+// daemon mid-run, restarts it on the same journal, and requires every
+// acknowledged search to replay bit-identically (`replayed: true`). Also
+// exercises a slow client (frame written in delayed chunks) and a
+// malformed frame against the live socket. Skipped with a notice when
+// --daemon is empty (the ctest smoke passes $<TARGET_FILE:agedtrd>).
+//
+// Exit status: 0 when every check holds, 1 on any violation.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agedtr/service/daemon.hpp"
+#include "agedtr/service/json.hpp"
+#include "agedtr/service/protocol.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/thread_annotations.hpp"
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace {
+
+using agedtr::service::Daemon;
+using agedtr::service::DaemonOptions;
+using agedtr::service::DaemonStats;
+using agedtr::service::Json;
+
+// ---------------------------------------------------------------------------
+// Request builders: a small pool of distinct scenarios so the warm-engine
+// cache sees both misses (first touch) and a high hit rate afterwards.
+// ---------------------------------------------------------------------------
+
+struct ScenarioShape {
+  int m1;
+  int m2;
+  double mean1;
+  double mean2;
+};
+
+constexpr ScenarioShape kShapes[] = {
+    {4, 2, 2.0, 1.0},
+    {5, 3, 1.5, 1.0},
+    {6, 2, 2.5, 0.5},
+    {3, 3, 1.0, 1.0},
+};
+constexpr std::size_t kShapeCount = sizeof(kShapes) / sizeof(kShapes[0]);
+
+Json scenario_json(const ScenarioShape& shape) {
+  Json scenario = Json::object();
+  Json servers = Json::array();
+  Json s1 = Json::object();
+  s1.set("tasks", Json::number(shape.m1));
+  s1.set("service_mean", Json::number(shape.mean1));
+  servers.push_back(std::move(s1));
+  Json s2 = Json::object();
+  s2.set("tasks", Json::number(shape.m2));
+  s2.set("service_mean", Json::number(shape.mean2));
+  servers.push_back(std::move(s2));
+  scenario.set("servers", std::move(servers));
+  scenario.set("transfer_mean", Json::number(1.0));
+  return scenario;
+}
+
+Json evaluate_request(const std::string& id, std::size_t shape_index,
+                      int l12) {
+  const ScenarioShape& shape = kShapes[shape_index % kShapeCount];
+  Json request = Json::object();
+  request.set("id", Json::string(id));
+  request.set("kind", Json::string("evaluate"));
+  request.set("scenario", scenario_json(shape));
+  Json policy = Json::array();
+  Json row0 = Json::array();
+  row0.push_back(Json::number(0));
+  row0.push_back(Json::number(l12 % (shape.m1 + 1)));
+  policy.push_back(std::move(row0));
+  Json row1 = Json::array();
+  row1.push_back(Json::number(0));
+  row1.push_back(Json::number(0));
+  policy.push_back(std::move(row1));
+  request.set("policy", std::move(policy));
+  return request;
+}
+
+Json search_request(const std::string& id, std::size_t shape_index) {
+  Json request = Json::object();
+  request.set("id", Json::string(id));
+  request.set("kind", Json::string("search"));
+  request.set("scenario", scenario_json(kShapes[shape_index % kShapeCount]));
+  return request;
+}
+
+/// The deterministic phase-1 request mix, by global request number.
+std::string mixed_request(std::size_t i) {
+  const std::string id = "req-" + std::to_string(i);
+  if (i % 97 == 0) return "this is not json at all (" + id + ")";
+  if (i % 89 == 0) {
+    Json bad = Json::object();
+    bad.set("id", Json::string(id));
+    bad.set("kind", Json::string("teleport"));
+    return bad.dump();
+  }
+  if (i % 83 == 0) {
+    Json flaky = evaluate_request(id, i, static_cast<int>(i));
+    flaky.set("fault", Json::string("flaky:1"));
+    return flaky.dump();
+  }
+  if (i % 79 == 0) {
+    Json rushed = evaluate_request(id, i, static_cast<int>(i));
+    rushed.set("deadline_ms", Json::number(0.001));
+    return rushed.dump();
+  }
+  if (i % 71 == 0) return search_request(id, i).dump();
+  if (i % 13 == 0) {
+    Json ping = Json::object();
+    ping.set("id", Json::string(id));
+    ping.set("kind", Json::string("ping"));
+    return ping.dump();
+  }
+  return evaluate_request(id, i, static_cast<int>(i)).dump();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: in-process load with exactly-once accounting.
+// ---------------------------------------------------------------------------
+
+struct Phase1Tally {
+  agedtr::Mutex mutex;
+  std::map<std::string, std::size_t> statuses AGEDTR_GUARDED_BY(mutex);
+  std::vector<double> latencies AGEDTR_GUARDED_BY(mutex);
+  std::size_t bad_replies AGEDTR_GUARDED_BY(mutex) = 0;
+};
+
+/// Negative `seconds` counts the reply without a latency sample (open-loop
+/// submissions measure admission, not service, so they would skew p50).
+void record_reply(Phase1Tally& tally, const std::string& reply_text,
+                  double seconds) {
+  std::string status;
+  try {
+    const Json reply = Json::parse(reply_text);
+    const Json* found = reply.find("status");
+    if (found != nullptr && found->is_string()) status = found->as_string();
+  } catch (const std::exception&) {
+    // fall through: counted as a bad reply below
+  }
+  agedtr::MutexLock lock(&tally.mutex);
+  if (status.empty()) {
+    ++tally.bad_replies;
+    return;
+  }
+  ++tally.statuses[status];
+  if (seconds >= 0.0) tally.latencies.push_back(seconds);
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+int run_phase1(std::size_t total, std::size_t workers,
+               const std::string& journal_path) {
+  DaemonOptions options;
+  options.conv.cells = 1u << 11;  // bench-sized lattice
+  options.max_eval_seconds = 30.0;
+  options.queue_capacity = 512;
+  options.batch_watermark = 64;
+  options.degrade_watermark = 0;
+  options.enable_test_faults = true;
+  options.max_retries = 1;
+  options.backoff_initial_seconds = 0.0005;
+  options.poison_strikes = 2;
+  if (!journal_path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(journal_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::remove(journal_path.c_str());
+    options.journal_path = journal_path;
+  }
+  Daemon daemon(options);
+  Phase1Tally tally;
+  std::size_t issued = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // Poison storyline: the same always_fail work three times. Two
+  // quarantines earn two strikes; the third is fast-rejected at admission.
+  for (int k = 0; k < 3; ++k) {
+    Json poison = evaluate_request("poison-" + std::to_string(k), 0, 1);
+    poison.set("fault", Json::string("always_fail"));
+    const auto sent = std::chrono::steady_clock::now();
+    const std::string reply = daemon.submit(poison.dump()).get();
+    record_reply(tally, reply,
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - sent)
+                     .count());
+    ++issued;
+  }
+
+  // Closed-loop workers over the deterministic mix. Worker 0 is the slow
+  // client: it sleeps between requests to model a straggling caller.
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w; i < total; i += workers) {
+        if (w == 0 && i % 257 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        const auto sent = std::chrono::steady_clock::now();
+        const std::string reply = daemon.submit(mixed_request(i)).get();
+        record_reply(tally, reply,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sent)
+                         .count());
+      }
+    });
+  }
+
+  // Open-loop burst of batch-class work to drive the queue over the
+  // batch watermark while the workers keep it busy.
+  std::vector<std::future<std::string>> burst;
+  const std::size_t burst_size = std::min<std::size_t>(total / 10, 2000);
+  for (std::size_t b = 0; b < burst_size; ++b) {
+    Json request = evaluate_request("burst-" + std::to_string(b),
+                                    b, static_cast<int>(b));
+    request.set("class", Json::string("batch"));
+    burst.push_back(daemon.submit(request.dump()));
+  }
+  for (std::future<std::string>& f : burst) {
+    record_reply(tally, f.get(), -1.0);
+  }
+  for (std::thread& t : pool) t.join();
+  issued += total + burst_size;
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const DaemonStats stats = daemon.stats_snapshot();
+  daemon.stop();
+
+  // --- Accounting ---------------------------------------------------------
+  std::map<std::string, std::size_t> statuses;
+  std::vector<double> latencies;
+  std::size_t bad_replies = 0;
+  {
+    agedtr::MutexLock lock(&tally.mutex);
+    statuses = tally.statuses;
+    latencies = std::move(tally.latencies);
+    bad_replies = tally.bad_replies;
+  }
+  std::size_t answered = bad_replies;
+  for (const auto& [status, count] : statuses) answered += count;
+  std::sort(latencies.begin(), latencies.end());
+
+  std::cout << "phase 1: " << issued << " requests, " << workers
+            << " workers, " << elapsed << " s ("
+            << static_cast<double>(issued) / elapsed << " QPS)\n";
+  std::cout << "  latency p50 " << percentile(latencies, 0.50) * 1e3
+            << " ms, p99 " << percentile(latencies, 0.99) * 1e3 << " ms\n";
+  std::cout << "  statuses:";
+  for (const auto& [status, count] : statuses) {
+    std::cout << " " << status << "=" << count;
+  }
+  std::cout << "\n";
+  const double shed_rate =
+      static_cast<double>(stats.shed) / static_cast<double>(issued);
+  const std::size_t cache_touches =
+      stats.engine_cache_hits + stats.engine_cache_misses;
+  const double hit_rate =
+      cache_touches == 0
+          ? 0.0
+          : static_cast<double>(stats.engine_cache_hits) /
+                static_cast<double>(cache_touches);
+  std::cout << "  shed rate " << shed_rate * 100.0
+            << " %, engine cache hit rate " << hit_rate * 100.0 << " %\n";
+
+  bool ok = true;
+  if (answered != issued) {
+    std::cout << "ERROR: exactly-once violated: " << answered
+              << " replies for " << issued << " requests\n";
+    ok = false;
+  }
+  if (bad_replies != 0) {
+    std::cout << "ERROR: " << bad_replies
+              << " replies were unparsable or carried no status\n";
+    ok = false;
+  }
+  if (stats.completed != stats.accepted) {
+    std::cout << "ERROR: " << stats.accepted << " accepted but "
+              << stats.completed << " completed — a request was dropped\n";
+    ok = false;
+  }
+  if (statuses["overloaded"] != stats.shed) {
+    std::cout << "ERROR: client saw " << statuses["overloaded"]
+              << " overloaded replies but the daemon shed " << stats.shed
+              << "\n";
+    ok = false;
+  }
+  // The poison storyline is deterministic: 2 quarantines then 1 fast-reject.
+  if (statuses["failed"] < 2 || statuses["poisoned"] < 1) {
+    std::cout << "ERROR: poison storyline missing (failed="
+              << statuses["failed"] << ", poisoned=" << statuses["poisoned"]
+              << ")\n";
+    ok = false;
+  }
+  if (statuses["deadline_exceeded"] == 0) {
+    std::cout << "ERROR: no deadline_exceeded replies despite expired "
+                 "deadlines in the mix\n";
+    ok = false;
+  }
+  if (statuses["invalid_request"] == 0) {
+    std::cout << "ERROR: no invalid_request replies despite malformed "
+                 "requests in the mix\n";
+    ok = false;
+  }
+  std::cout << (ok ? "  exactly-once: OK\n" : "  exactly-once: FAILED\n");
+
+  // Framing layer: one serial session with a malformed tail frame.
+  {
+    Daemon framed(options);
+    std::stringstream in;
+    agedtr::service::write_frame(in, mixed_request(1));
+    in << "garbage-without-a-frame";
+    std::stringstream out;
+    framed.serve_stream(in, out);
+    std::string payload;
+    std::size_t frames = 0;
+    bool saw_malformed = false;
+    while (agedtr::service::read_frame(out, payload) ==
+           agedtr::service::FrameStatus::kOk) {
+      ++frames;
+      const Json reply = Json::parse(payload);
+      const Json* status = reply.find("status");
+      saw_malformed = saw_malformed || (status != nullptr &&
+                                        status->is_string() &&
+                                        status->as_string() ==
+                                            "malformed_frame");
+    }
+    framed.stop();
+    if (frames != 2 || !saw_malformed) {
+      std::cout << "ERROR: framed session expected one reply plus one "
+                   "malformed_frame notice, got "
+                << frames << " frames\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: kill -9 the real binary mid-run, restart, demand replay.
+// ---------------------------------------------------------------------------
+
+#if !defined(_WIN32)
+
+bool write_all_fd(int fd, const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote <= 0) return false;
+    done += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const std::string& payload) {
+  const std::string header = std::to_string(payload.size()) + "\n";
+  return write_all_fd(fd, header.data(), header.size()) &&
+         write_all_fd(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::string& payload) {
+  payload.clear();
+  std::string digits;
+  for (;;) {
+    char c = 0;
+    if (::read(fd, &c, 1) <= 0) return false;
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || digits.size() > 18) return false;
+    digits.push_back(c);
+  }
+  if (digits.empty()) return false;
+  std::size_t length = 0;
+  for (const char d : digits) {
+    length = length * 10 + static_cast<std::size_t>(d - '0');
+  }
+  payload.resize(length);
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t got = ::read(fd, payload.data() + done, length - done);
+    if (got <= 0) return false;
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// Connects to the daemon's socket, retrying while it boots.
+int connect_with_retry(const std::string& path, int attempts) {
+  for (int k = 0; k < attempts; ++k) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_un address{};
+      address.sun_family = AF_UNIX;
+      std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                    sizeof(address)) == 0) {
+        return fd;
+      }
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+pid_t spawn_daemon(const std::string& binary, const std::string& socket_path,
+                   const std::string& journal_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: exec the service binary.
+  std::vector<std::string> args = {binary,
+                                   "--socket", socket_path,
+                                   "--journal", journal_path,
+                                   "--lattice-cells", "2048",
+                                   "--max-eval-seconds", "30"};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), argv.data());
+  std::perror("service_bench: execv agedtrd");
+  ::_exit(127);
+}
+
+struct AckedSearch {
+  std::string request;  // the re-sendable document (new id swapped in)
+  double l12 = 0.0;
+  double l21 = 0.0;
+  double value = 0.0;
+};
+
+int run_phase2(const std::string& binary, std::size_t searches) {
+  const std::string suffix = std::to_string(static_cast<long long>(::getpid()));
+  const std::string socket_path = "/tmp/agedtr-service-bench-" + suffix +
+                                  ".sock";
+  const std::string journal_path = "/tmp/agedtr-service-bench-" + suffix +
+                                   ".journal";
+  std::remove(journal_path.c_str());
+
+  std::cout << "phase 2: SIGKILL/restart against " << binary << "\n";
+  pid_t pid = spawn_daemon(binary, socket_path, journal_path);
+  if (pid < 0) {
+    std::cout << "ERROR: fork failed\n";
+    return 1;
+  }
+  int fd = connect_with_retry(socket_path, 200);
+  if (fd < 0) {
+    std::cout << "ERROR: could not connect to " << socket_path << "\n";
+    ::kill(pid, SIGKILL);
+    return 1;
+  }
+
+  bool ok = true;
+  // Acknowledge a batch of distinct searches (each lands in the journal
+  // before its reply is released), then SIGKILL with the run still "live".
+  std::vector<AckedSearch> acked;
+  for (std::size_t i = 0; i < searches; ++i) {
+    // Distinct work per i: vary the service mean so every search is its
+    // own journal entry.
+    Json request = search_request("kr-" + std::to_string(i), 0);
+    const_cast<Json*>(request.find("scenario"))
+        ->set("transfer_mean", Json::number(1.0 + 0.125 * static_cast<double>(i)));
+    std::string reply_text;
+    if (!send_frame(fd, request.dump()) || !recv_frame(fd, reply_text)) {
+      std::cout << "ERROR: search " << i << " got no reply\n";
+      ok = false;
+      break;
+    }
+    const Json reply = Json::parse(reply_text);
+    if (reply.find("status")->as_string() != "ok" ||
+        reply.find("replayed")->as_bool()) {
+      std::cout << "ERROR: search " << i << " unexpected reply: "
+                << reply_text << "\n";
+      ok = false;
+      break;
+    }
+    AckedSearch entry;
+    request.set("id", Json::string("kr2-" + std::to_string(i)));
+    entry.request = request.dump();
+    entry.l12 = reply.find("l12")->as_number();
+    entry.l21 = reply.find("l21")->as_number();
+    entry.value = reply.find("value")->as_number();
+    acked.push_back(entry);
+  }
+  // Mid-run murder: one more request goes on the wire and the daemon dies
+  // before it can possibly be served.
+  (void)send_frame(fd, search_request("kr-victim", 1).dump());
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  ::close(fd);
+
+  // Restart on the same journal; every acknowledged search must replay
+  // bit-identically.
+  pid = spawn_daemon(binary, socket_path, journal_path);
+  fd = connect_with_retry(socket_path, 200);
+  if (fd < 0) {
+    std::cout << "ERROR: could not reconnect after restart\n";
+    if (pid > 0) ::kill(pid, SIGKILL);
+    return 1;
+  }
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    std::string reply_text;
+    if (!send_frame(fd, acked[i].request) || !recv_frame(fd, reply_text)) {
+      std::cout << "ERROR: replay " << i << " got no reply\n";
+      ok = false;
+      break;
+    }
+    const Json reply = Json::parse(reply_text);
+    const bool was_replayed = reply.find("replayed") != nullptr &&
+                              reply.find("replayed")->as_bool();
+    const bool identical =
+        reply.find("status")->as_string() == "ok" &&
+        reply.find("l12")->as_number() == acked[i].l12 &&
+        reply.find("l21")->as_number() == acked[i].l21 &&
+        reply.find("value")->as_number() == acked[i].value;
+    if (!was_replayed || !identical) {
+      std::cout << "ERROR: acknowledged search " << i
+                << " did not replay bit-identically: " << reply_text << "\n";
+      ok = false;
+    } else {
+      ++replayed;
+    }
+  }
+  std::cout << "  " << replayed << "/" << acked.size()
+            << " acknowledged searches replayed bit-identically after "
+               "SIGKILL\n";
+
+  // Slow client: a valid frame dribbled out in delayed chunks still gets
+  // its answer (the per-connection IO timeout is per read, not per frame).
+  {
+    const std::string doc = search_request("slow-1", 2).dump();
+    const std::string frame = std::to_string(doc.size()) + "\n" + doc;
+    const std::size_t third = frame.size() / 3;
+    bool sent = write_all_fd(fd, frame.data(), third);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    sent = sent && write_all_fd(fd, frame.data() + third, third);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    sent = sent &&
+           write_all_fd(fd, frame.data() + 2 * third, frame.size() - 2 * third);
+    std::string reply_text;
+    if (!sent || !recv_frame(fd, reply_text) ||
+        Json::parse(reply_text).find("status")->as_string() != "ok") {
+      std::cout << "ERROR: slow client was not answered\n";
+      ok = false;
+    } else {
+      std::cout << "  slow client answered\n";
+    }
+  }
+
+  // Malformed frame on a fresh connection: one structured notice, then the
+  // daemon closes that connection and keeps serving others.
+  {
+    const int bad_fd = connect_with_retry(socket_path, 20);
+    if (bad_fd >= 0) {
+      std::string reply_text;
+      if (!write_all_fd(bad_fd, "xyzzy\n", 6) ||
+          !recv_frame(bad_fd, reply_text) ||
+          Json::parse(reply_text).find("status")->as_string() !=
+              "malformed_frame") {
+        std::cout << "ERROR: malformed frame not answered with "
+                     "malformed_frame\n";
+        ok = false;
+      } else {
+        std::cout << "  malformed frame rejected in a structured way\n";
+      }
+      ::close(bad_fd);
+    }
+  }
+
+  // Clean shutdown through the protocol.
+  Json shutdown = Json::object();
+  shutdown.set("id", Json::string("bye"));
+  shutdown.set("kind", Json::string("shutdown"));
+  std::string reply_text;
+  (void)send_frame(fd, shutdown.dump());
+  (void)recv_frame(fd, reply_text);
+  ::close(fd);
+  ::waitpid(pid, nullptr, 0);
+  std::remove(journal_path.c_str());
+  std::remove(socket_path.c_str());
+  return ok ? 0 : 1;
+}
+
+#else  // _WIN32
+
+int run_phase2(const std::string&, std::size_t) {
+  std::cout << "phase 2 skipped: no fork/AF_UNIX on this platform\n";
+  return 0;
+}
+
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agedtr;
+
+  CliParser cli(
+      "load, fault-injection, and SIGKILL-recovery harness for agedtrd");
+  cli.add_option("requests", "50000", "phase-1 request count");
+  cli.add_option("workers", "8", "phase-1 closed-loop client threads");
+  cli.add_option("daemon", "",
+                 "path to the agedtrd binary for the kill/restart phase "
+                 "(empty skips phase 2)");
+  cli.add_option("searches", "10", "phase-2 searches acknowledged per life");
+  cli.add_option("journal", "bench_results/service_bench.journal",
+                 "phase-1 journal path (empty disables journaling)");
+  cli.add_option("metrics", "",
+                 "write the MetricsRegistry report here at exit");
+  cli.add_flag("smoke", "CI-sized run: 10^4 requests, small search batch");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bool smoke = cli.get_flag("smoke");
+    const std::size_t requests =
+        smoke ? 10000 : static_cast<std::size_t>(cli.get_int("requests"));
+    const std::size_t workers =
+        static_cast<std::size_t>(cli.get_int("workers"));
+    const std::size_t searches =
+        smoke ? 8 : static_cast<std::size_t>(cli.get_int("searches"));
+    AGEDTR_REQUIRE(requests >= 1 && workers >= 1,
+                   "service_bench: --requests and --workers must be >= 1");
+
+    metrics::ScopedExport metrics_export(cli.get_string("metrics"));
+
+    int status = run_phase1(requests, workers, cli.get_string("journal"));
+
+    const std::string daemon_binary = cli.get_string("daemon");
+    if (daemon_binary.empty()) {
+      std::cout << "phase 2 skipped: pass --daemon <path-to-agedtrd> to "
+                   "exercise SIGKILL recovery against the real binary\n";
+    } else {
+      const int phase2 = run_phase2(daemon_binary, searches);
+      if (phase2 != 0) status = phase2;
+    }
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "service_bench: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -40,6 +40,15 @@ contracts that neither the compiler nor clang-tidy can check:
                       its body — decide() is the uniform decision boundary
                       (decision_policy.hpp) and each implementation
                       validates the observed state before acting on it.
+  service-boundary-require
+                      every library source under src/service/ must call
+                      AGEDTR_REQUIRE at least once — the service is the
+                      trust boundary for untrusted client bytes (frames,
+                      JSON, request schemas), so a service translation
+                      unit with no precondition check left is a contract
+                      regression. Binary entry points (*_main.cpp) are
+                      exempt: they parse flags through CliParser and hold
+                      no request-validation logic.
 
 Suppression: append `agedtr-lint: allow(<rule>)` in a comment on the
 violating line or the line directly above it. Suppressions are expected to
@@ -329,6 +338,26 @@ def rule_boundary_require(path, raw_lines, stripped_lines):
                     "inputs at the API boundary (docs/FAULT_MODEL.md)")
 
 
+def rule_service_boundary_require(path, raw_lines, stripped_lines):
+    """src/service/ is the daemon's trust boundary: every library TU there
+    validates something (frames, JSON, schemas, options) via
+    AGEDTR_REQUIRE. *_main.cpp entry points are exempt (CliParser owns
+    flag validation)."""
+    normalized = path.replace(os.sep, "/")
+    if "/src/service/" not in normalized:
+        return
+    if not normalized.endswith((".cpp", ".cc")):
+        return
+    if normalized.endswith("_main.cpp"):
+        return
+    if any(AGEDTR_REQUIRE_RE.search(line) for line in stripped_lines):
+        return
+    yield Violation(path, 1, "service-boundary-require",
+                    "service trust-boundary source has no AGEDTR_REQUIRE "
+                    "left; untrusted client input must be validated here "
+                    "(docs/OPERATIONS.md, \"Running agedtrd\")")
+
+
 DECIDE_SIG_RE = re.compile(r"::decide\s*\(")
 
 
@@ -378,12 +407,14 @@ RULES = [
     rule_include_hygiene,
     rule_mutex_annotation,
     rule_boundary_require,
+    rule_service_boundary_require,
     rule_decision_policy_require,
 ]
 
 RULE_IDS = ["entropy", "naked-new", "no-float", "nodiscard-factory",
             "require-not-throw", "include-hygiene", "mutex-annotation",
-            "boundary-require", "decision-policy-require"]
+            "boundary-require", "service-boundary-require",
+            "decision-policy-require"]
 
 
 def lint_file(path: str) -> list[Violation]:
@@ -484,11 +515,27 @@ def self_test() -> int:
             f.write("// AGEDTR_REQUIRE( in a comment does not count\n"
                     "void run_study() {}\n")
         seeded["boundary-require"] = boundary
+        # service-boundary-require: a service library TU with every
+        # AGEDTR_REQUIRE stripped fires; a *_main.cpp next to it is exempt.
+        service_dir = os.path.join(tmp, "src", "service")
+        os.makedirs(service_dir)
+        service = os.path.join(service_dir, "protocol.cpp")
+        with open(service, "w", encoding="utf-8") as f:
+            f.write("// AGEDTR_REQUIRE( in a comment does not count\n"
+                    "void read_frame() {}\n")
+        seeded["service-boundary-require"] = service
+        service_main = os.path.join(service_dir, "agedtrd_main.cpp")
+        with open(service_main, "w", encoding="utf-8") as f:
+            f.write("int main() { return 0; }\n")
 
         for rule, path in seeded.items():
             found = [v for v in lint_file(path) if v.rule == rule]
             if not found:
                 failures.append(f"rule `{rule}` missed its seeded violation")
+        if [v for v in lint_file(service_main)
+                if v.rule == "service-boundary-require"]:
+            failures.append("service-boundary-require fired on an exempt "
+                            "*_main.cpp entry point")
 
         # A violation inside a comment or string must NOT fire.
         quiet = os.path.join(tmp, "quiet.cpp")
@@ -518,7 +565,7 @@ def self_test() -> int:
         for f_ in failures:
             print(f"agedtr-lint self-test FAIL: {f_}", file=sys.stderr)
         return 1
-    print(f"agedtr-lint self-test OK ({len(SELF_TEST_SEEDS) + 3} rule classes, "
+    print(f"agedtr-lint self-test OK ({len(SELF_TEST_SEEDS) + 4} rule classes, "
           "suppression, and comment/string stripping verified)", file=sys.stderr)
     return 0
 

@@ -3,6 +3,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -119,7 +120,11 @@ double EvaluationEngine::evaluate(const core::DtrPolicy& policy) const {
 }
 
 std::vector<double> EvaluationEngine::evaluate(
-    std::span<const core::DtrPolicy> policies) const {
+    std::span<const core::DtrPolicy> policies,
+    std::span<const std::string> labels) const {
+  AGEDTR_REQUIRE(labels.empty() || labels.size() == policies.size(),
+                 "EvaluationEngine::evaluate: labels must be empty or "
+                 "index-aligned with the policy batch");
   metrics::TraceSpan span("engine.evaluate_batch", "engine", &batch_seconds());
   batch_size_histogram().observe(static_cast<double>(policies.size()));
   std::vector<double> values(policies.size(), 0.0);
@@ -144,15 +149,19 @@ std::vector<double> EvaluationEngine::evaluate(
     try {
       std::rethrow_exception(errors[i]);
     } catch (const BudgetExceeded& e) {
-      throw BatchElementBudgetExceeded(i, e.what());
+      throw BatchElementBudgetExceeded(
+          i, labels.empty() ? std::string() : labels[i], e.what());
     }
   }
   return values;
 }
 
 SupervisedBatchResult EvaluationEngine::evaluate_supervised(
-    std::span<const core::DtrPolicy> policies,
-    const SupervisorOptions& options) const {
+    std::span<const core::DtrPolicy> policies, const SupervisorOptions& options,
+    std::span<const std::string> labels) const {
+  AGEDTR_REQUIRE(labels.empty() || labels.size() == policies.size(),
+                 "EvaluationEngine::evaluate_supervised: labels must be empty "
+                 "or index-aligned with the policy batch");
   SupervisorOptions supervise = options;
   if (supervise.deadline_seconds <= 0.0) {
     supervise.deadline_seconds =
@@ -168,7 +177,16 @@ SupervisedBatchResult EvaluationEngine::evaluate_supervised(
   result.supervision = Supervisor(supervise).run(
       policies.size(), [&](std::size_t i, const CancelToken& token) {
         token.check("EvaluationEngine::evaluate_supervised");
-        result.values[i] = impl.evaluate(policies[i]);
+        try {
+          result.values[i] = impl.evaluate(policies[i]);
+        } catch (const BudgetExceeded& e) {
+          // Re-wrap so the quarantine entry (and any caller catching the
+          // supervised batch's errors) names the element — by its label
+          // (the originating request id) when the batch is labelled, not
+          // just its batch position.
+          throw BatchElementBudgetExceeded(
+              i, labels.empty() ? std::string() : labels[i], e.what());
+        }
       });
   return result;
 }

@@ -36,6 +36,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "agedtr/core/convolution.hpp"
@@ -50,18 +51,30 @@
 namespace agedtr::policy {
 
 /// BudgetExceeded raised by one element of a batched evaluate(). Carries
-/// the index of the policy whose evaluation tripped its budget; the rest of
-/// the batch still ran to completion before this was thrown, so a caller
-/// that catches it has not lost the other evaluations' lattice work (it is
-/// resident in the workspace) — and still degrades exactly like the scalar
-/// form's BudgetExceeded if it only handles the base type.
+/// the index of the policy whose evaluation tripped its budget — and, when
+/// the caller labelled the batch, the element's label (a service request
+/// id, a grid-cell name), so the error names the *request* rather than an
+/// opaque batch position. The rest of the batch still ran to completion
+/// before this was thrown, so a caller that catches it has not lost the
+/// other evaluations' lattice work (it is resident in the workspace) — and
+/// still degrades exactly like the scalar form's BudgetExceeded if it only
+/// handles the base type.
 class BatchElementBudgetExceeded : public BudgetExceeded {
  public:
   BatchElementBudgetExceeded(std::size_t index, const std::string& what)
-      : BudgetExceeded("policy " + std::to_string(index) + ": " + what),
-        policy_index(index) {}
+      : BatchElementBudgetExceeded(index, std::string(), what) {}
+
+  BatchElementBudgetExceeded(std::size_t index, std::string label,
+                             const std::string& what)
+      : BudgetExceeded("policy " + std::to_string(index) +
+                       (label.empty() ? std::string() : " [" + label + "]") +
+                       ": " + what),
+        policy_index(index),
+        policy_label(std::move(label)) {}
 
   std::size_t policy_index;
+  /// Caller-supplied element label (empty when the batch was unlabelled).
+  std::string policy_label;
 };
 
 /// The outcome of a supervised batch: index-aligned values (quiet NaN for
@@ -102,9 +115,12 @@ class EvaluationEngine {
   /// the rest of the batch: every other policy is still evaluated, and only
   /// then is the smallest failing index's error rethrown — as
   /// BatchElementBudgetExceeded when it was a budget overrun, verbatim
-  /// otherwise.
+  /// otherwise. `labels`, when non-empty, must be index-aligned with
+  /// `policies`; a failing element's error then carries its label (e.g. the
+  /// service request id it came from) in addition to the batch index.
   [[nodiscard]] std::vector<double> evaluate(
-      std::span<const core::DtrPolicy> policies) const;
+      std::span<const core::DtrPolicy> policies,
+      std::span<const std::string> labels = {}) const;
 
   /// The batch under full supervision (retry with backoff, watchdog
   /// deadlines, quarantine) instead of fail-on-first-error: policies whose
@@ -113,9 +129,14 @@ class EvaluationEngine {
   /// `options.deadline_seconds` is 0 a deadline is derived from the
   /// engine's conv.budget (supervisor_for_budget); attempts run on the
   /// supervisor's pool (the engine's options.pool is not consulted here).
+  /// `labels`, when non-empty, must be index-aligned with `policies`: a
+  /// quarantined element's error is then a BatchElementBudgetExceeded-style
+  /// message naming the element's label (its originating request id), not
+  /// just the batch index.
   [[nodiscard]] SupervisedBatchResult evaluate_supervised(
       std::span<const core::DtrPolicy> policies,
-      const SupervisorOptions& options = {}) const;
+      const SupervisorOptions& options = {},
+      std::span<const std::string> labels = {}) const;
 
   /// Analytic min-of-r completion-time bounds for `policy` replicated by
   /// `plan` on the engine's (frozen) scenario, under worst-case slowdowns of

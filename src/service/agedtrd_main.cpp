@@ -1,0 +1,123 @@
+// agedtrd — the long-running reallocation service binary.
+//
+// Transports: --socket <path> serves a UNIX-domain socket; --stdio serves
+// one framed session on stdin/stdout (also the form a supervisor like
+// systemd's socket activation or an inetd-style runner wants). Exactly one
+// must be chosen.
+//
+// Crash recovery: --journal <path> journals completed searches; restart
+// with the same path and --resume to answer re-sent requests from the
+// journal (docs/OPERATIONS.md, "Running agedtrd").
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "agedtr/service/daemon.hpp"
+#include "agedtr/service/socket.hpp"
+#include "agedtr/util/cli.hpp"
+#include "agedtr/util/metrics.hpp"
+
+namespace {
+
+std::atomic<bool> g_terminate{false};
+
+void handle_signal(int) { g_terminate.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agedtr;
+  using service::Daemon;
+  using service::DaemonOptions;
+
+  CliParser cli(
+      "agedtrd: evaluation/search service over the warm agedtr stack");
+  cli.add_option("socket", "", "UNIX socket path to serve (exclusive with "
+                               "--stdio)");
+  cli.add_flag("stdio", "serve one framed session on stdin/stdout");
+  cli.add_option("journal", "", "crash-recovery journal path (empty = none)");
+  cli.add_flag("no-resume", "ignore an existing journal at start");
+  cli.add_option("queue-capacity", "256", "hard admission queue bound");
+  cli.add_option("batch-watermark", "192",
+                 "queue depth above which batch-class requests are shed");
+  cli.add_option("degrade-watermark", "128",
+                 "queue depth above which requests take the resilient chain "
+                 "(0 = never)");
+  cli.add_option("max-eval-seconds", "2.0",
+                 "server-side wall cap per evaluation (0 = uncapped)");
+  cli.add_option("batch-max", "16", "requests per dispatched batch");
+  cli.add_option("max-retries", "1", "supervisor retries per request");
+  cli.add_option("poison-strikes", "2",
+                 "quarantine strikes before a fingerprint is fast-rejected");
+  cli.add_option("lattice-cells", "0",
+                 "convolution lattice cells (0 = library default)");
+  cli.add_flag("enable-test-faults",
+               "accept the test-only 'fault' request field");
+  cli.add_option("metrics", "",
+                 "write a metrics report here on shutdown (empty = off)");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const std::string socket_path = cli.get_string("socket");
+    const bool stdio = cli.get_flag("stdio");
+    if (stdio == !socket_path.empty()) {
+      std::cerr << "agedtrd: choose exactly one transport: --socket <path> "
+                   "or --stdio\n";
+      return 2;
+    }
+
+    metrics::ScopedExport metrics_export(cli.get_string("metrics"));
+
+    DaemonOptions options;
+    options.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue-capacity"));
+    options.batch_watermark =
+        static_cast<std::size_t>(cli.get_int("batch-watermark"));
+    options.degrade_watermark =
+        static_cast<std::size_t>(cli.get_int("degrade-watermark"));
+    options.max_eval_seconds = cli.get_double("max-eval-seconds");
+    options.batch_max = static_cast<std::size_t>(cli.get_int("batch-max"));
+    options.max_retries = static_cast<int>(cli.get_int("max-retries"));
+    options.poison_strikes =
+        static_cast<int>(cli.get_int("poison-strikes"));
+    options.journal_path = cli.get_string("journal");
+    options.resume = !cli.get_flag("no-resume");
+    options.enable_test_faults = cli.get_flag("enable-test-faults");
+    const long long cells = cli.get_int("lattice-cells");
+    if (cells > 0) options.conv.cells = static_cast<std::size_t>(cells);
+
+    Daemon daemon(options);
+
+    if (stdio) {
+      daemon.serve_stream(std::cin, std::cout);
+      daemon.stop();
+      return 0;
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    service::SocketServerOptions socket_options;
+    socket_options.path = socket_path;
+    service::SocketServer server(daemon, socket_options);
+    std::cerr << "agedtrd: serving on " << socket_path << "\n";
+
+    // serve() returns on stop() or once a `shutdown` request lands; the
+    // main thread watches for signals (a handler must not take locks).
+    std::thread server_thread([&server] { server.serve(); });
+    while (!g_terminate.load() && !daemon.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    server_thread.join();
+    daemon.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "agedtrd: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

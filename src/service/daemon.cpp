@@ -1,0 +1,762 @@
+#include "agedtr/service/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <exception>
+#include <future>
+#include <istream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/objective.hpp"
+#include "agedtr/policy/resilient_eval.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/service/protocol.hpp"
+#include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/supervisor.hpp"
+
+namespace agedtr::service {
+
+namespace {
+
+metrics::Counter& requests_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.requests_total", "requests admitted by agedtrd");
+  return c;
+}
+
+metrics::Counter& shed_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.shed_total", "requests shed by admission control");
+  return c;
+}
+
+metrics::Counter& deadline_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.deadline_exceeded_total",
+      "requests answered deadline_exceeded");
+  return c;
+}
+
+metrics::Counter& degraded_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.degraded_total",
+      "requests answered through the resilient fallback chain");
+  return c;
+}
+
+metrics::Counter& replayed_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.replayed_total",
+      "search requests answered from the crash-recovery journal");
+  return c;
+}
+
+metrics::Counter& poisoned_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.poisoned_total",
+      "requests fast-rejected by the poison fingerprint table");
+  return c;
+}
+
+metrics::Counter& failed_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.failed_total", "requests quarantined after retries");
+  return c;
+}
+
+metrics::Counter& cache_hit_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.engine_cache_hits_total",
+      "requests answered from a warm EvaluationEngine");
+  return c;
+}
+
+metrics::Counter& cache_miss_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "service.engine_cache_misses_total",
+      "requests that built a fresh EvaluationEngine");
+  return c;
+}
+
+metrics::Histogram& request_seconds() {
+  static metrics::Histogram& h = metrics::MetricsRegistry::global().histogram(
+      "service.request_seconds", metrics::exponential_buckets(1e-5, 4.0, 14),
+      "admission-to-reply latency of one request");
+  return h;
+}
+
+metrics::Gauge& queue_depth_gauge() {
+  static metrics::Gauge& g = metrics::MetricsRegistry::global().gauge(
+      "service.queue_depth", "requests waiting for the dispatcher");
+  return g;
+}
+
+constexpr const char* kJournalTag = "agedtrd-journal-v1";
+
+policy::Objective objective_of(const Request& request) {
+  if (request.objective == "qos") return policy::Objective::kQos;
+  if (request.objective == "reliability") {
+    return policy::Objective::kReliability;
+  }
+  return policy::Objective::kMeanExecutionTime;
+}
+
+/// JSON value for a metric result; non-finite values are encoded as
+/// strings because JSON numbers cannot carry them.
+Json json_metric(double value) {
+  if (std::isfinite(value)) return Json::number(value);
+  if (std::isnan(value)) return Json::string("nan");
+  return Json::string(value > 0 ? "inf" : "-inf");
+}
+
+/// Injected test faults: "always_fail" never succeeds, "flaky:<k>" fails
+/// the first k attempts. Both throw transient errors so they exercise the
+/// retry/backoff/quarantine machinery exactly like a real solver hiccup.
+void maybe_inject_fault(const Request& request, int attempt) {
+  if (request.fault.empty()) return;
+  if (request.fault == "always_fail") {
+    throw std::runtime_error("injected fault: always_fail");
+  }
+  const std::string prefix = "flaky:";
+  if (request.fault.compare(0, prefix.size(), prefix) == 0) {
+    const int failures = std::stoi(request.fault.substr(prefix.size()));
+    if (attempt <= failures) {
+      throw std::runtime_error("injected fault: flaky attempt " +
+                               std::to_string(attempt));
+    }
+  }
+}
+
+}  // namespace
+
+/// One warm evaluation substrate: the validated scenario, its shared
+/// lattice workspace, and an engine whose budget is the server-side cap.
+/// Requests with a tighter remaining deadline build a transient engine
+/// over the same workspace, so the lattice work is shared either way.
+struct Daemon::EngineEntry {
+  core::DcsScenario scenario;
+  std::shared_ptr<core::LatticeWorkspace> workspace;
+  std::shared_ptr<const policy::EvaluationEngine> engine;
+  policy::EvaluationEngineOptions engine_options;
+};
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  AGEDTR_REQUIRE(options_.queue_capacity >= 1,
+                 "DaemonOptions: queue_capacity must be >= 1");
+  AGEDTR_REQUIRE(options_.batch_max >= 1,
+                 "DaemonOptions: batch_max must be >= 1");
+  AGEDTR_REQUIRE(options_.poison_strikes >= 1,
+                 "DaemonOptions: poison_strikes must be >= 1");
+  options_.batch_watermark =
+      std::min(options_.batch_watermark, options_.queue_capacity);
+  if (!options_.journal_path.empty()) {
+    journal_.emplace(options_.journal_path, kJournalTag, options_.resume);
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::stop() {
+  {
+    MutexLock lock(&mutex_);
+    stopping_ = true;
+    shutdown_requested_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool Daemon::shutdown_requested() const {
+  MutexLock lock(&mutex_);
+  return shutdown_requested_;
+}
+
+std::size_t Daemon::queue_depth() const {
+  MutexLock lock(&mutex_);
+  return queue_.size();
+}
+
+DaemonStats Daemon::stats_snapshot() const {
+  MutexLock lock(&mutex_);
+  DaemonStats stats = stats_;
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+Json Daemon::reply_skeleton(const Request& request,
+                            const std::string& status) const {
+  Json body = Json::object();
+  body.set("id", Json::string(request.id));
+  body.set("status", Json::string(status));
+  body.set("kind", Json::string(request_kind_name(request.kind)));
+  return body;
+}
+
+std::future<std::string> Daemon::submit(std::string request_text) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+
+  // Trust boundary: malformed bytes become a structured reply, never an
+  // exception out of submit().
+  Request request;
+  try {
+    const Json document = Json::parse(request_text);
+    request = parse_request(document);
+    AGEDTR_REQUIRE(request.fault.empty() || options_.enable_test_faults,
+                   "request field 'fault' is test-only and this daemon does "
+                   "not enable test faults");
+  } catch (const std::exception& e) {
+    Json body = Json::object();
+    // Best effort to echo the id of a request that parsed as JSON but
+    // failed validation.
+    std::string id;
+    try {
+      const Json document = Json::parse(request_text);
+      if (document.is_object()) {
+        const Json* found = document.find("id");
+        if (found != nullptr && found->is_string()) id = found->as_string();
+      }
+    } catch (const std::exception&) {
+      // Not even JSON: reply with an empty id.
+    }
+    body.set("id", Json::string(id));
+    body.set("status", Json::string("invalid_request"));
+    body.set("error", Json::string(e.what()));
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.invalid;
+    }
+    promise->set_value(body.dump());
+    return future;
+  }
+
+  requests_counter().add();
+
+  // Control-plane kinds are answered inline; they must work even when the
+  // queue is saturated (that is when an operator needs `stats` most).
+  if (request.kind == RequestKind::kPing) {
+    promise->set_value(reply_skeleton(request, "ok").dump());
+    return future;
+  }
+  if (request.kind == RequestKind::kStats) {
+    const DaemonStats stats = stats_snapshot();
+    Json body = reply_skeleton(request, "ok");
+    body.set("accepted", Json::number(static_cast<double>(stats.accepted)));
+    body.set("completed", Json::number(static_cast<double>(stats.completed)));
+    body.set("shed", Json::number(static_cast<double>(stats.shed)));
+    body.set("deadline_exceeded",
+             Json::number(static_cast<double>(stats.deadline_exceeded)));
+    body.set("invalid", Json::number(static_cast<double>(stats.invalid)));
+    body.set("failed", Json::number(static_cast<double>(stats.failed)));
+    body.set("poisoned", Json::number(static_cast<double>(stats.poisoned)));
+    body.set("degraded", Json::number(static_cast<double>(stats.degraded)));
+    body.set("replayed", Json::number(static_cast<double>(stats.replayed)));
+    body.set("engine_cache_hits",
+             Json::number(static_cast<double>(stats.engine_cache_hits)));
+    body.set("engine_cache_misses",
+             Json::number(static_cast<double>(stats.engine_cache_misses)));
+    body.set("queue_depth",
+             Json::number(static_cast<double>(stats.queue_depth)));
+    promise->set_value(body.dump());
+    return future;
+  }
+  if (request.kind == RequestKind::kShutdown) {
+    {
+      MutexLock lock(&mutex_);
+      shutdown_requested_ = true;
+    }
+    promise->set_value(reply_skeleton(request, "ok").dump());
+    return future;
+  }
+
+  // Admission. Everything below is decided under the lock and answered
+  // without blocking: shed, fast-reject, or enqueue.
+  const std::string poison_key = work_fingerprint(request);
+  {
+    MutexLock lock(&mutex_);
+    if (stopping_ || shutdown_requested_) {
+      Json body = reply_skeleton(request, "shutting_down");
+      body.set("error", Json::string("daemon is shutting down"));
+      promise->set_value(body.dump());
+      return future;
+    }
+    const auto strikes = strikes_.find(poison_key);
+    if (strikes != strikes_.end() &&
+        strikes->second >= options_.poison_strikes) {
+      ++stats_.poisoned;
+      poisoned_counter().add();
+      Json body = reply_skeleton(request, "poisoned");
+      body.set("error",
+               Json::string("work fingerprint " + poison_key + " reached " +
+                            std::to_string(strikes->second) +
+                            " quarantine strikes; fast-rejected"));
+      body.set("fingerprint", Json::string(poison_key));
+      promise->set_value(body.dump());
+      return future;
+    }
+    const std::size_t depth = queue_.size();
+    const bool shed_hard = depth >= options_.queue_capacity;
+    const bool shed_batch = request.klass == RequestClass::kBatch &&
+                            depth >= options_.batch_watermark;
+    if (shed_hard || shed_batch) {
+      ++stats_.shed;
+      shed_counter().add();
+      Json body = reply_skeleton(request, "overloaded");
+      body.set("error", Json::string(
+                            shed_hard
+                                ? "queue at capacity"
+                                : "queue above the batch-class watermark"));
+      body.set("queue_depth", Json::number(static_cast<double>(depth)));
+      body.set("retry_after_ms", Json::number(50.0));
+      promise->set_value(body.dump());
+      return future;
+    }
+
+    Pending pending;
+    pending.request = std::move(request);
+    pending.promise = promise;
+    pending.admitted = std::chrono::steady_clock::now();
+    pending.has_deadline = pending.request.deadline_ms > 0.0;
+    if (pending.has_deadline) {
+      pending.deadline =
+          pending.admitted +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(pending.request.deadline_ms /
+                                            1000.0));
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.accepted;
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Daemon::dispatcher_loop() {
+  SupervisorOptions supervise;
+  supervise.max_retries = options_.max_retries;
+  supervise.backoff_initial_seconds = options_.backoff_initial_seconds;
+  // Watchdog backstop: generous multiple of the per-evaluation cap, for
+  // evaluations that stop polling their budget. Precise deadlines are the
+  // per-request EvalBudget's job.
+  supervise.deadline_seconds =
+      options_.max_eval_seconds > 0.0
+          ? std::max(8.0 * options_.max_eval_seconds, 1.0)
+          : 0.0;
+
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(&mutex_);
+      while (queue_.empty() && !stopping_) {
+        queue_cv_.wait(mutex_);
+      }
+      if (queue_.empty() && stopping_) break;
+      while (!queue_.empty() && batch.size() < options_.batch_max) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+
+    // One Supervisor run per batch amortizes the watchdog thread over
+    // batch_max requests instead of paying it per request.
+    const SupervisionReport report = Supervisor(supervise).run(
+        batch.size(), [&](std::size_t i, const CancelToken& token) {
+          token.check("agedtrd dispatcher");
+          process(batch[i]);
+        });
+
+    for (const QuarantineEntry& entry : report.quarantined) {
+      Pending& pending = batch[entry.index];
+      if (pending.replied) continue;
+      register_strike(pending.request);
+      failed_counter().add();
+      {
+        MutexLock lock(&mutex_);
+        ++stats_.failed;
+      }
+      Json body = reply_skeleton(pending.request, "failed");
+      body.set("error", Json::string(entry.error));
+      body.set("attempts", Json::number(static_cast<double>(entry.attempts)));
+      body.set("fingerprint", Json::string(work_fingerprint(pending.request)));
+      reply(pending, std::move(body));
+    }
+    // Invariant: the dispatcher owns every drained request until its
+    // promise is set; a batch can leave this loop only fully answered.
+    for (Pending& pending : batch) {
+      AGEDTR_ASSERT(pending.replied);
+    }
+  }
+
+  // Drain on stop(): everything still queued is answered, never dropped.
+  std::deque<Pending> leftover;
+  {
+    MutexLock lock(&mutex_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    Json body = reply_skeleton(pending.request, "shutting_down");
+    body.set("error",
+             Json::string("daemon stopped before the request was served"));
+    reply(pending, std::move(body));
+  }
+}
+
+void Daemon::reply(Pending& pending, Json body) {
+  if (pending.replied) return;
+  pending.replied = true;
+  {
+    MutexLock lock(&mutex_);
+    ++stats_.completed;
+  }
+  request_seconds().observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending.admitted)
+          .count());
+  pending.promise->set_value(body.dump());
+}
+
+void Daemon::process(Pending& pending) {
+  if (pending.replied) return;  // a late retry of an answered request
+  ++pending.attempts;
+  const Request& request = pending.request;
+
+  // Deadline propagation, step 1: a request whose deadline passed while
+  // queued is answered deadline_exceeded, not silently dropped and not
+  // pointlessly evaluated.
+  double remaining = std::numeric_limits<double>::infinity();
+  if (pending.has_deadline) {
+    remaining = std::chrono::duration<double>(
+                    pending.deadline - std::chrono::steady_clock::now())
+                    .count();
+    if (remaining <= 0.0) {
+      deadline_counter().add();
+      {
+        MutexLock lock(&mutex_);
+        ++stats_.deadline_exceeded;
+      }
+      Json body = reply_skeleton(request, "deadline_exceeded");
+      body.set("error", Json::string("deadline expired while queued"));
+      reply(pending, std::move(body));
+      return;
+    }
+  }
+
+  // Injected faults throw transient errors *before* any reply, exercising
+  // the Supervisor's retry/backoff and the quarantine + poison path.
+  maybe_inject_fault(request, pending.attempts);
+
+  // Deadline propagation, step 2: the evaluation budget is the tighter of
+  // the server-side cap and the remaining client deadline.
+  double budget_seconds =
+      options_.max_eval_seconds > 0.0 ? options_.max_eval_seconds : 0.0;
+  if (pending.has_deadline &&
+      (budget_seconds == 0.0 || remaining < budget_seconds)) {
+    budget_seconds = remaining;
+  }
+
+  const bool degrade =
+      request.resilient || (options_.degrade_watermark > 0 &&
+                            queue_depth() >= options_.degrade_watermark);
+
+  try {
+    if (request.kind == RequestKind::kEvaluate) {
+      handle_evaluate(pending, budget_seconds, degrade);
+    } else {
+      handle_search(pending, budget_seconds, degrade);
+    }
+  } catch (const InvalidArgument& e) {
+    // Validation at a deeper layer (scenario/policy feasibility): a
+    // permanent property of the request, answered as such.
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.invalid;
+    }
+    Json body = reply_skeleton(request, "invalid_request");
+    body.set("error", Json::string(e.what()));
+    reply(pending, std::move(body));
+  }
+}
+
+std::shared_ptr<Daemon::EngineEntry> Daemon::engine_for(
+    const Request& request) {
+  const std::string key = scenario_fingerprint(request);
+  MutexLock lock(&mutex_);
+  const auto found = engines_.find(key);
+  if (found != engines_.end()) {
+    ++stats_.engine_cache_hits;
+    cache_hit_counter().add();
+    return found->second;
+  }
+  ++stats_.engine_cache_misses;
+  cache_miss_counter().add();
+  auto entry = std::make_shared<EngineEntry>();
+  entry->scenario = build_scenario(request);
+  entry->workspace = std::make_shared<core::LatticeWorkspace>();
+  policy::EvaluationEngineOptions engine_options;
+  engine_options.objective = objective_of(request);
+  engine_options.deadline = request.qos_deadline;
+  engine_options.markovian = request.markovian;
+  engine_options.conv = options_.conv;
+  engine_options.conv.budget.max_seconds = options_.max_eval_seconds;
+  entry->engine_options = engine_options;
+  entry->engine = std::make_shared<const policy::EvaluationEngine>(
+      entry->scenario, engine_options, entry->workspace);
+  engines_.emplace(key, entry);
+  return entry;
+}
+
+namespace {
+
+/// The resilient fallback chain for one request, sharing the warm
+/// workspace so the chain's convolution tier reuses the fast path's
+/// lattice work.
+policy::ResilientEvaluator make_resilient(
+    const core::DcsScenario& scenario,
+    const policy::EvaluationEngineOptions& engine_options,
+    const std::shared_ptr<core::LatticeWorkspace>& workspace,
+    double budget_seconds) {
+  policy::ResilientEvalOptions resilient;
+  resilient.objective = engine_options.objective;
+  resilient.deadline = engine_options.deadline;
+  // The reference recursion is a reproduction tool, not a serving tier.
+  resilient.try_regenerative = false;
+  resilient.convolution = engine_options.conv;
+  resilient.convolution.budget.max_seconds = budget_seconds;
+  resilient.workspace = workspace;
+  resilient.monte_carlo.replications = 1000;
+  return policy::ResilientEvaluator(scenario, resilient);
+}
+
+}  // namespace
+
+void Daemon::handle_evaluate(Pending& pending, double budget_seconds,
+                             bool degrade) {
+  const Request& request = pending.request;
+  const std::shared_ptr<EngineEntry> entry =
+      engine_for(request);
+  const core::DtrPolicy policy = build_policy(request);
+  const std::string fast_tier =
+      request.markovian ? "markovian" : "convolution";
+
+  if (!degrade) {
+    try {
+      double value = 0.0;
+      if (budget_seconds == entry->engine_options.conv.budget.max_seconds) {
+        value = entry->engine->evaluate(policy);
+      } else {
+        // Tighter remaining deadline than the warm engine's cap: a
+        // transient engine over the same workspace enforces it exactly.
+        policy::EvaluationEngineOptions tight = entry->engine_options;
+        tight.conv.budget.max_seconds = budget_seconds;
+        const policy::EvaluationEngine engine(entry->scenario, tight,
+                                              entry->workspace);
+        value = engine.evaluate(policy);
+      }
+      Json body = reply_skeleton(request, "ok");
+      body.set("value", json_metric(value));
+      body.set("tier", Json::string(fast_tier));
+      reply(pending, std::move(body));
+      return;
+    } catch (const BudgetExceeded& e) {
+      // Deadline propagation, step 3: the budget timer fired mid-solve.
+      // Out of deadline -> deadline_exceeded; otherwise degrade.
+      if (pending.has_deadline &&
+          std::chrono::steady_clock::now() >= pending.deadline) {
+        deadline_counter().add();
+        {
+          MutexLock lock(&mutex_);
+          ++stats_.deadline_exceeded;
+        }
+        Json body = reply_skeleton(request, "deadline_exceeded");
+        body.set("error", Json::string(e.what()));
+        reply(pending, std::move(body));
+        return;
+      }
+    }
+  }
+
+  // Graceful degradation: the chain never throws; some tier answers or
+  // the outcome reports an all-tiers failure.
+  degraded_counter().add();
+  {
+    MutexLock lock(&mutex_);
+    ++stats_.degraded;
+  }
+  const policy::ResilientEvaluator resilient =
+      make_resilient(entry->scenario, entry->engine_options,
+                     entry->workspace, budget_seconds);
+  const policy::EvalOutcome outcome = resilient.evaluate(policy);
+  if (!outcome.ok) {
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.failed;
+    }
+    failed_counter().add();
+    Json body = reply_skeleton(request, "failed");
+    body.set("error", Json::string(outcome.describe()));
+    reply(pending, std::move(body));
+    return;
+  }
+  Json body = reply_skeleton(request, "ok");
+  body.set("value", json_metric(outcome.value));
+  body.set("tier", Json::string(policy::eval_tier_name(outcome.tier)));
+  body.set("degraded", Json::boolean(true));
+  reply(pending, std::move(body));
+}
+
+void Daemon::handle_search(Pending& pending, double budget_seconds,
+                           bool degrade) {
+  const Request& request = pending.request;
+  const std::string key = work_fingerprint(request);
+
+  // Crash recovery: a journaled result is the answer — computed by this
+  // process or by a predecessor that was SIGKILLed after acknowledging.
+  if (journal_.has_value()) {
+    const std::optional<std::string> journaled = journal_->find(key);
+    if (journaled.has_value()) {
+      const std::vector<std::string> fields = split_fields(*journaled);
+      AGEDTR_ASSERT(fields.size() == 5);
+      replayed_counter().add();
+      {
+        MutexLock lock(&mutex_);
+        ++stats_.replayed;
+      }
+      Json body = reply_skeleton(request, "ok");
+      body.set("l12", Json::number(std::stod(fields[0])));
+      body.set("l21", Json::number(std::stod(fields[1])));
+      body.set("value", Json::number(std::stod(fields[2])));
+      body.set("evaluations", Json::number(std::stod(fields[3])));
+      body.set("tier", Json::string(fields[4]));
+      body.set("replayed", Json::boolean(true));
+      reply(pending, std::move(body));
+      return;
+    }
+  }
+
+  const std::shared_ptr<EngineEntry> entry =
+      engine_for(request);
+  const int m1 = request.servers[0].tasks;
+  const int m2 = request.servers[1].tasks;
+  const policy::TwoServerPolicySearch search(m1, m2);
+  const bool maximize =
+      policy::is_maximization(entry->engine_options.objective);
+  const double evaluations = static_cast<double>((m1 + 1) * (m2 + 1));
+
+  policy::PolicyPoint best;
+  std::string tier = request.markovian ? "markovian" : "convolution";
+  bool solved = false;
+  if (!degrade) {
+    try {
+      if (budget_seconds == entry->engine_options.conv.budget.max_seconds) {
+        best = search.optimize(*entry->engine, maximize);
+      } else {
+        policy::EvaluationEngineOptions tight = entry->engine_options;
+        tight.conv.budget.max_seconds = budget_seconds;
+        const policy::EvaluationEngine engine(entry->scenario, tight,
+                                              entry->workspace);
+        best = search.optimize(engine, maximize);
+      }
+      solved = true;
+    } catch (const BudgetExceeded& e) {
+      if (pending.has_deadline &&
+          std::chrono::steady_clock::now() >= pending.deadline) {
+        deadline_counter().add();
+        {
+          MutexLock lock(&mutex_);
+          ++stats_.deadline_exceeded;
+        }
+        Json body = reply_skeleton(request, "deadline_exceeded");
+        body.set("error", Json::string(e.what()));
+        reply(pending, std::move(body));
+        return;
+      }
+    }
+  }
+  if (!solved) {
+    degraded_counter().add();
+    {
+      MutexLock lock(&mutex_);
+      ++stats_.degraded;
+    }
+    const policy::ResilientEvaluator resilient =
+        make_resilient(entry->scenario, entry->engine_options,
+                       entry->workspace, budget_seconds);
+    best = search.optimize(resilient.as_policy_evaluator(), maximize);
+    // Name the tier that scores the winning policy (the chain is
+    // per-evaluation; the optimum's own outcome is the honest label).
+    const policy::EvalOutcome outcome =
+        resilient.evaluate(policy::make_two_server_policy(best.l12, best.l21));
+    tier = outcome.ok ? policy::eval_tier_name(outcome.tier) : "none";
+  }
+
+  // Record-then-acknowledge: the reply is released only after the journal
+  // holds the result, so an acknowledged search survives SIGKILL. A
+  // persist failure throws CheckpointError (transient): the Supervisor
+  // retries, and a daemon that cannot persist answers `failed`, never an
+  // unrecoverable "ok".
+  if (journal_.has_value()) {
+    journal_->record(
+        key, join_fields({std::to_string(best.l12), std::to_string(best.l21),
+                          Json::number(best.value).dump(),
+                          Json::number(evaluations).dump(), tier}));
+  }
+
+  Json body = reply_skeleton(request, "ok");
+  body.set("l12", Json::number(static_cast<double>(best.l12)));
+  body.set("l21", Json::number(static_cast<double>(best.l21)));
+  body.set("value", json_metric(best.value));
+  body.set("evaluations", Json::number(evaluations));
+  body.set("tier", Json::string(tier));
+  body.set("replayed", Json::boolean(false));
+  reply(pending, std::move(body));
+}
+
+void Daemon::register_strike(const Request& request) {
+  const std::string key = work_fingerprint(request);
+  MutexLock lock(&mutex_);
+  ++strikes_[key];
+}
+
+void Daemon::serve_stream(std::istream& in, std::ostream& out) {
+  std::string payload;
+  for (;;) {
+    const FrameStatus status =
+        read_frame(in, payload, options_.max_frame_bytes);
+    if (status == FrameStatus::kEof) break;
+    if (status != FrameStatus::kOk) {
+      Json body = Json::object();
+      body.set("id", Json());
+      body.set("status", Json::string("malformed_frame"));
+      body.set("error",
+               Json::string("unreadable frame (" +
+                            frame_status_name(status) +
+                            "); closing the connection"));
+      write_frame(out, body.dump());
+      out.flush();
+      break;
+    }
+    std::future<std::string> future = submit(payload);
+    write_frame(out, future.get());
+    out.flush();
+    if (shutdown_requested()) break;
+  }
+}
+
+}  // namespace agedtr::service

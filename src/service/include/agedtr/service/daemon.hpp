@@ -1,0 +1,213 @@
+// agedtrd: the long-running reallocation service (ROADMAP item 2).
+//
+// One warm evaluation stack — a LatticeWorkspace-backed EvaluationEngine
+// cache keyed by scenario fingerprint — answers scenario-evaluation and
+// policy-search requests submitted as JSON documents. The Daemon is
+// transport-agnostic: submit() takes one request's bytes and returns a
+// future for the reply's bytes; serve_stream() and the SocketServer are
+// thin framing loops over it.
+//
+// Robustness contract (docs/OPERATIONS.md "Running agedtrd"):
+//
+//   Admission control.  submit() never blocks. The work queue is bounded
+//   (queue_capacity); a full queue sheds with a structured `overloaded`
+//   reply carrying the depth, and `batch`-class requests are shed earlier
+//   (batch_watermark) so background load cannot starve interactive
+//   traffic.
+//
+//   Deadline propagation.  A request's deadline_ms becomes an absolute
+//   deadline at admission and flows into the evaluation as a
+//   util::EvalBudget wall cap (min of the remaining deadline and the
+//   server-side max_eval_seconds). An expired deadline is answered with
+//   `deadline_exceeded` — detected before, during (the budget timer), or
+//   after the evaluation — never silently dropped. The dispatcher's
+//   Supervisor watchdog is the backstop for evaluations that stop polling.
+//
+//   Graceful degradation.  When the fast path trips its budget with
+//   deadline left, when the client asks (`resilient`), or when the queue
+//   is deep (degrade_watermark), the request is answered through the
+//   policy::ResilientEvaluator chain and the reply's `tier` names the
+//   solver family that actually answered.
+//
+//   Retry / quarantine.  The dispatcher runs each batch under a
+//   util::Supervisor: transient failures retry with exponential backoff,
+//   repeat offenders are quarantined and answered with `failed`, and the
+//   offending work_fingerprint earns a strike. Fingerprints reaching
+//   poison_strikes are fast-rejected at admission (`poisoned`) without
+//   touching the solver again.
+//
+//   Crash recovery.  Completed `search` requests are journaled through
+//   util::Checkpoint (key = work_fingerprint) before the reply is
+//   released, so an acknowledged result is by construction on disk; after
+//   a SIGKILL a daemon restarted with the same journal answers the
+//   re-sent request from the journal (`replayed: true`) bit-identically.
+//
+// Exactly-once: every future submit() hands out is fulfilled exactly once,
+// on every path — admission shed, validation failure, quarantine,
+// shutdown drain. The dispatcher owns each request until its promise is
+// set; no code path drops a Pending on the floor.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agedtr/core/convolution.hpp"
+#include "agedtr/service/json.hpp"
+#include "agedtr/service/request.hpp"
+#include "agedtr/util/checkpoint.hpp"
+#include "agedtr/util/thread_annotations.hpp"
+#include "agedtr/util/thread_pool.hpp"
+
+namespace agedtr::policy {
+class EvaluationEngine;
+class ResilientEvaluator;
+}  // namespace agedtr::policy
+
+namespace agedtr::core {
+class LatticeWorkspace;
+}  // namespace agedtr::core
+
+namespace agedtr::service {
+
+struct DaemonOptions {
+  /// Hard queue bound; at this depth every class is shed (`overloaded`).
+  std::size_t queue_capacity = 256;
+  /// Depth at which `batch`-class requests are shed while interactive
+  /// ones are still admitted. Clamped to queue_capacity.
+  std::size_t batch_watermark = 192;
+  /// Depth at which admitted requests are answered through the resilient
+  /// chain instead of the exact fast path (0 = never degrade on depth).
+  std::size_t degrade_watermark = 128;
+
+  /// Server-side wall cap per evaluation (seconds); the effective budget
+  /// is min(this, remaining client deadline). 0 = uncapped.
+  double max_eval_seconds = 2.0;
+  /// Requests the dispatcher drains per supervised batch (amortizes the
+  /// Supervisor's watchdog thread over the batch).
+  std::size_t batch_max = 16;
+  /// Supervisor retries granted per request for transient failures.
+  int max_retries = 1;
+  /// First retry delay (seconds); grows exponentially with jitter.
+  double backoff_initial_seconds = 0.002;
+  /// Strikes (quarantined attempts of one work_fingerprint) before the
+  /// fingerprint is fast-rejected at admission.
+  int poison_strikes = 2;
+
+  /// Lattice tuning shared by every warm engine. budget is overwritten
+  /// per request from max_eval_seconds and the deadline.
+  core::ConvolutionOptions conv;
+
+  /// Crash-recovery journal for completed searches; empty = no journal.
+  std::string journal_path;
+  /// Restore the journal at start (false ignores what is on disk).
+  bool resume = true;
+
+  /// Accept the test-only `fault` request field (bench/fault-injection
+  /// runs). Off in production: fault requests are rejected as invalid.
+  bool enable_test_faults = false;
+
+  /// Payload cap for transports that frame through this daemon
+  /// (protocol.hpp kDefaultMaxFrameBytes).
+  std::size_t max_frame_bytes = 1u << 20;
+};
+
+/// One row of Daemon::stats_snapshot() / the `stats` reply.
+struct DaemonStats {
+  std::size_t accepted = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t invalid = 0;
+  std::size_t failed = 0;
+  std::size_t poisoned = 0;
+  std::size_t degraded = 0;
+  std::size_t replayed = 0;
+  std::size_t engine_cache_hits = 0;
+  std::size_t engine_cache_misses = 0;
+  std::size_t queue_depth = 0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  /// Drains the queue (every pending promise is fulfilled) and joins the
+  /// dispatcher.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Admits one request (raw JSON bytes) and returns the future reply
+  /// (JSON bytes). Never blocks and never throws on client bytes: parse
+  /// and admission failures are structured replies. After a `shutdown`
+  /// request (or stop()), new submissions are answered `shutting_down`.
+  [[nodiscard]] std::future<std::string> submit(std::string request_text);
+
+  /// Serves `<length>\n<json>` frames from `in` until EOF, a malformed
+  /// frame, or a `shutdown` request, writing one reply frame per request
+  /// in order. The stdio transport and the unit-test harness.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Stops admitting, drains the queue, joins the dispatcher. Idempotent.
+  void stop();
+
+  /// True once a `shutdown` request was admitted or stop() began.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] DaemonStats stats_snapshot() const;
+  [[nodiscard]] const DaemonOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::shared_ptr<std::promise<std::string>> promise;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    bool replied = false;  // owned by the attempt running this request
+    int attempts = 0;      // fault-injection schedule (flaky:<k>)
+  };
+
+  struct EngineEntry;
+
+  void dispatcher_loop();
+  void process(Pending& pending);
+  void reply(Pending& pending, Json body);
+  [[nodiscard]] Json reply_skeleton(const Request& request,
+                                    const std::string& status) const;
+  void handle_evaluate(Pending& pending, double budget_seconds,
+                       bool degrade);
+  void handle_search(Pending& pending, double budget_seconds, bool degrade);
+  [[nodiscard]] std::shared_ptr<EngineEntry> engine_for(
+      const Request& request);
+  void register_strike(const Request& request);
+
+  DaemonOptions options_;
+  std::optional<Checkpoint> journal_;
+
+  mutable Mutex mutex_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ AGEDTR_GUARDED_BY(mutex_);
+  bool stopping_ AGEDTR_GUARDED_BY(mutex_) = false;
+  bool shutdown_requested_ AGEDTR_GUARDED_BY(mutex_) = false;
+  DaemonStats stats_ AGEDTR_GUARDED_BY(mutex_);
+  /// work_fingerprint -> quarantine strikes (poison fast-reject table).
+  std::map<std::string, int> strikes_ AGEDTR_GUARDED_BY(mutex_);
+  /// scenario_fingerprint+flags -> warm engine.
+  std::map<std::string, std::shared_ptr<EngineEntry>> engines_
+      AGEDTR_GUARDED_BY(mutex_);
+
+  std::thread dispatcher_;
+};
+
+}  // namespace agedtr::service

@@ -1,0 +1,93 @@
+// A minimal JSON value for the agedtrd wire protocol.
+//
+// The service speaks length-prefixed JSON frames (docs/OPERATIONS.md) and
+// nothing else in the tree needs JSON, so this is a deliberately small
+// hand-rolled value type instead of a vendored parser: null, bool, number
+// (double — the tree's uniform numeric type), string, array, and object.
+// Objects preserve insertion order, so dump() output is deterministic for
+// a given build sequence — replies can be compared byte-for-byte across a
+// daemon restart, which the crash-recovery tests rely on.
+//
+// parse() is a strict recursive-descent reader: it rejects trailing
+// garbage, unescaped control characters, bad escapes, and inputs nested
+// deeper than kMaxDepth, throwing InvalidArgument (via AGEDTR_REQUIRE)
+// with the byte offset of the problem. Malformed client bytes must surface
+// as a structured `invalid_request` reply, never as a crash or a hang.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace agedtr::service {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Nesting cap for parse(): deeper inputs are a malformed-input error,
+  /// not a stack overflow.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Json() = default;
+
+  [[nodiscard]] static Json boolean(bool v);
+  [[nodiscard]] static Json number(double v);
+  [[nodiscard]] static Json string(std::string v);
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  /// Strict parse of exactly one JSON document (trailing whitespace
+  /// allowed, trailing garbage rejected). Throws InvalidArgument with the
+  /// byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the wrong type is a caller error (InvalidArgument).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array/object element count (0 for scalars).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Array element (requires is_array() and index < size()).
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  /// Object member by key, nullptr when absent (requires is_object()).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Object members in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Appends to an array (requires is_array()).
+  void push_back(Json value);
+  /// Sets (or replaces) an object member, preserving first-insertion order
+  /// (requires is_object()).
+  void set(std::string key, Json value);
+
+  /// Compact single-line serialization. Numbers round-trip: integral
+  /// values in the exactly-representable range print without a fraction,
+  /// everything else with 17 significant digits.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace agedtr::service

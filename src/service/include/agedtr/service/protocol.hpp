@@ -1,0 +1,52 @@
+// The agedtrd wire framing: `<decimal-byte-length>\n<payload>`.
+//
+// A frame is an ASCII decimal payload length (no sign, no leading zeros
+// required), a single '\n', then exactly that many payload bytes — the
+// JSON request or reply. Length-prefixing lets the server read untrusted
+// client bytes with a hard memory bound: the length line is capped at
+// kMaxLengthDigits characters and the payload at max_frame_bytes, so a
+// hostile or broken client can neither balloon memory nor stall the
+// reader indefinitely (socket reads additionally carry SO_RCVTIMEO).
+//
+// read_frame() never throws on client bytes: every outcome is a
+// FrameStatus the caller turns into a structured reply (`malformed_frame`)
+// or a clean connection close. A clean EOF before the first length byte is
+// kEof (the client hung up between requests); EOF anywhere inside a frame
+// is kMalformed (the client died mid-send).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace agedtr::service {
+
+/// Hard cap on the length line — 19 digits already covers anything a
+/// 64-bit length could express.
+inline constexpr std::size_t kMaxLengthDigits = 19;
+
+/// Default payload cap; DaemonOptions::max_frame_bytes can lower it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameStatus {
+  kOk,
+  /// Clean end of stream before any byte of a new frame.
+  kEof,
+  /// Non-digit length line, missing '\n', or EOF inside the frame.
+  kMalformed,
+  /// Well-formed length exceeding the payload cap. The payload bytes were
+  /// NOT consumed; the connection must be closed (resync is impossible).
+  kOversize,
+};
+
+[[nodiscard]] std::string frame_status_name(FrameStatus status);
+
+/// Reads one frame from `in` into `payload` (cleared first).
+[[nodiscard]] FrameStatus read_frame(
+    std::istream& in, std::string& payload,
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one frame. Does not flush; callers flush once per reply batch.
+void write_frame(std::ostream& out, const std::string& payload);
+
+}  // namespace agedtr::service

@@ -1,0 +1,90 @@
+// The agedtrd request schema: untrusted JSON -> a validated Request.
+//
+// parse_request() is the service's trust boundary. Everything a client can
+// put on the wire is checked here — kinds, classes, objectives, model
+// families, task counts, matrix shapes, deadline signs — and every
+// violation throws InvalidArgument with a message naming the offending
+// field, which the daemon turns into a structured `invalid_request` reply.
+// Past this function the rest of the service handles only well-formed
+// requests (the scenario itself is revalidated by DcsScenario::validate()
+// when built, as defense in depth).
+//
+// Fingerprints. Two fingerprints are derived from a request's *semantic*
+// content (transport details — id, class, deadline — are excluded, so the
+// same work re-submitted under a new id hits the same caches):
+//   * scenario_fingerprint: the evaluation substrate (servers, laws,
+//     objective, model flags) — the key of the daemon's warm-engine cache.
+//   * work_fingerprint: scenario_fingerprint + kind + policy + fault — the
+//     identity of one unit of work; the key of the crash-recovery journal
+//     and of the poisoned-request fast-reject table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agedtr/core/scenario.hpp"
+#include "agedtr/service/json.hpp"
+
+namespace agedtr::service {
+
+enum class RequestKind { kEvaluate, kSearch, kPing, kStats, kShutdown };
+enum class RequestClass { kInteractive, kBatch };
+
+[[nodiscard]] std::string request_kind_name(RequestKind kind);
+[[nodiscard]] std::string request_class_name(RequestClass klass);
+
+/// One server of the scenario spec, by model family and mean.
+struct ServerSpecRequest {
+  int tasks = 0;
+  std::string service_model;  // dist::parse_model_family name
+  double service_mean = 1.0;
+  /// Mean of an exponential failure law; 0 = reliable server.
+  double failure_mean = 0.0;
+};
+
+/// A fully validated request. `policy` is the n x n reallocation matrix
+/// for kEvaluate; kSearch optimizes over the 2-server grid instead.
+struct Request {
+  std::string id;
+  RequestKind kind = RequestKind::kPing;
+  RequestClass klass = RequestClass::kBatch;
+  /// Client deadline in milliseconds from admission; 0 = none.
+  double deadline_ms = 0.0;
+
+  std::vector<ServerSpecRequest> servers;
+  std::string transfer_model = "exponential";
+  double transfer_mean = 1.0;
+
+  std::string objective = "mean";  // mean | qos | reliability
+  double qos_deadline = 0.0;
+  bool markovian = false;
+  /// Route straight to the graceful-degradation chain.
+  bool resilient = false;
+
+  std::vector<std::vector<int>> policy;  // kEvaluate only
+
+  /// Test-only fault injection ("flaky:<k>", "always_fail"); rejected
+  /// unless DaemonOptions::enable_test_faults is set.
+  std::string fault;
+};
+
+/// Parses and validates one request document. Throws InvalidArgument
+/// naming the offending field on any violation.
+[[nodiscard]] Request parse_request(const Json& document);
+
+/// Builds (and validates) the scenario a request describes. Requires a
+/// kind that carries a scenario (kEvaluate/kSearch).
+[[nodiscard]] core::DcsScenario build_scenario(const Request& request);
+
+/// The request's reallocation matrix as a core::DtrPolicy (kEvaluate).
+[[nodiscard]] core::DtrPolicy build_policy(const Request& request);
+
+/// FNV-1a 64 hex fingerprint of the evaluation substrate (see file
+/// comment). Stable across processes — the crash-recovery journal depends
+/// on it.
+[[nodiscard]] std::string scenario_fingerprint(const Request& request);
+
+/// FNV-1a 64 hex fingerprint of the full unit of work (see file comment).
+[[nodiscard]] std::string work_fingerprint(const Request& request);
+
+}  // namespace agedtr::service

@@ -1,0 +1,69 @@
+// UNIX-domain socket transport for agedtrd.
+//
+// One listener thread accepts connections; each connection gets a handler
+// thread that reads `<length>\n<json>` frames, submits them to the Daemon,
+// and writes the reply frame. Per-connection defenses:
+//
+//   * SO_RCVTIMEO / SO_SNDTIMEO (io_timeout_seconds): a slow or stalled
+//     client times its own connection out — it cannot pin a handler
+//     thread forever or wedge the accept loop.
+//   * A malformed or oversize frame is answered with one structured
+//     `malformed_frame` reply and the connection is closed (the framing
+//     offers no resync point).
+//
+// POSIX-only (guarded at the build level); the stdio transport in
+// Daemon::serve_stream covers platforms without AF_UNIX.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agedtr/util/thread_annotations.hpp"
+
+namespace agedtr::service {
+
+class Daemon;
+
+struct SocketServerOptions {
+  /// Filesystem path of the listening socket. A stale file at the path is
+  /// unlinked at bind (single-instance management is the operator's job).
+  std::string path;
+  /// Per-read/-write timeout for one client connection.
+  double io_timeout_seconds = 10.0;
+  /// listen(2) backlog.
+  int backlog = 16;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens immediately; throws InvalidArgument on any socket
+  /// error (bad path, bind failure).
+  SocketServer(Daemon& daemon, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept loop; returns after stop() or once the daemon acknowledges a
+  /// `shutdown` request. Joins every connection handler before returning.
+  void serve();
+
+  /// Asynchronously ends serve(). Safe from any thread or signal context
+  /// is NOT assumed — call from a thread (the main loop polls a flag).
+  void stop();
+
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+
+ private:
+  void handle_connection(int fd);
+
+  Daemon& daemon_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  mutable Mutex mutex_;
+  bool stopping_ AGEDTR_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> handlers_ AGEDTR_GUARDED_BY(mutex_);
+};
+
+}  // namespace agedtr::service

@@ -1,0 +1,433 @@
+#include "agedtr/service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+
+namespace {
+
+/// Recursive-descent reader over one document. Positions are byte offsets
+/// into the original text so error messages point at the problem.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  Json read_document() {
+    Json value = read_value(0);
+    skip_whitespace();
+    AGEDTR_REQUIRE(pos_ == text_.size(),
+                   "Json::parse: trailing garbage at byte " +
+                       std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_whitespace();
+    AGEDTR_REQUIRE(pos_ < text_.size(),
+                   "Json::parse: unexpected end of input at byte " +
+                       std::to_string(pos_));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    AGEDTR_REQUIRE(peek() == c, "Json::parse: expected '" +
+                                    std::string(1, c) + "' at byte " +
+                                    std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json read_value(std::size_t depth) {
+    AGEDTR_REQUIRE(depth < Json::kMaxDepth,
+                   "Json::parse: nesting deeper than kMaxDepth");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return read_object(depth);
+      case '[':
+        return read_array(depth);
+      case '"':
+        return Json::string(read_string());
+      case 't':
+        AGEDTR_REQUIRE(consume_literal("true"),
+                       "Json::parse: bad literal at byte " +
+                           std::to_string(pos_));
+        return Json::boolean(true);
+      case 'f':
+        AGEDTR_REQUIRE(consume_literal("false"),
+                       "Json::parse: bad literal at byte " +
+                           std::to_string(pos_));
+        return Json::boolean(false);
+      case 'n':
+        AGEDTR_REQUIRE(consume_literal("null"),
+                       "Json::parse: bad literal at byte " +
+                           std::to_string(pos_));
+        return Json();
+      default:
+        return read_number();
+    }
+  }
+
+  Json read_object(std::size_t depth) {
+    expect('{');
+    Json object = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      AGEDTR_REQUIRE(peek() == '"', "Json::parse: object key must be a "
+                                    "string at byte " +
+                                        std::to_string(pos_));
+      std::string key = read_string();
+      expect(':');
+      object.set(std::move(key), read_value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return object;
+      AGEDTR_REQUIRE(c == ',', "Json::parse: expected ',' or '}' at byte " +
+                                   std::to_string(pos_ - 1));
+    }
+  }
+
+  Json read_array(std::size_t depth) {
+    expect('[');
+    Json array = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(read_value(depth + 1));
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return array;
+      AGEDTR_REQUIRE(c == ',', "Json::parse: expected ',' or ']' at byte " +
+                                   std::to_string(pos_ - 1));
+    }
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      AGEDTR_REQUIRE(pos_ < text_.size(),
+                     "Json::parse: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      AGEDTR_REQUIRE(static_cast<unsigned char>(c) >= 0x20,
+                     "Json::parse: unescaped control character at byte " +
+                         std::to_string(pos_ - 1));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      AGEDTR_REQUIRE(pos_ < text_.size(), "Json::parse: dangling escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(escape);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_utf8(out, read_hex4());
+          break;
+        default:
+          AGEDTR_REQUIRE(false, "Json::parse: bad escape '\\" +
+                                    std::string(1, escape) + "' at byte " +
+                                    std::to_string(pos_ - 1));
+      }
+    }
+  }
+
+  unsigned read_hex4() {
+    AGEDTR_REQUIRE(pos_ + 4 <= text_.size(),
+                   "Json::parse: truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        AGEDTR_REQUIRE(false, "Json::parse: bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  /// BMP code point -> UTF-8. Surrogates are passed through as the
+  /// replacement character: the wire protocol's identifiers are ASCII and
+  /// a lone surrogate must not corrupt the output byte stream.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json read_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    AGEDTR_REQUIRE(!token.empty() && token != "-",
+                   "Json::parse: expected a value at byte " +
+                       std::to_string(start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    AGEDTR_REQUIRE(end == token.c_str() + token.size() &&
+                       std::isfinite(value),
+                   "Json::parse: bad number '" + token + "' at byte " +
+                       std::to_string(start));
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  // Integral doubles in the exactly-representable range print without a
+  // fraction so ids and counts stay integers on the wire.
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  AGEDTR_REQUIRE(std::isfinite(v),
+                 "Json::number: JSON has no representation for non-finite "
+                 "values; encode them explicitly");
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json Json::parse(std::string_view text) {
+  return Reader(text).read_document();
+}
+
+bool Json::as_bool() const {
+  AGEDTR_REQUIRE(is_bool(), "Json::as_bool: value is not a boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  AGEDTR_REQUIRE(is_number(), "Json::as_number: value is not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  AGEDTR_REQUIRE(is_string(), "Json::as_string: value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  AGEDTR_REQUIRE(is_array() && index < array_.size(),
+                 "Json::at: index out of range or value is not an array");
+  return array_[index];
+}
+
+const Json* Json::find(std::string_view key) const {
+  AGEDTR_REQUIRE(is_object(), "Json::find: value is not an object");
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  AGEDTR_REQUIRE(is_object(), "Json::members: value is not an object");
+  return object_;
+}
+
+void Json::push_back(Json value) {
+  AGEDTR_REQUIRE(is_array(), "Json::push_back: value is not an array");
+  array_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+  AGEDTR_REQUIRE(is_object(), "Json::set: value is not an object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, number_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_escaped(out, object_[i].first);
+        out.push_back(':');
+        out += object_[i].second.dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace agedtr::service

@@ -1,0 +1,64 @@
+#include "agedtr/service/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+
+std::string frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kEof:
+      return "eof";
+    case FrameStatus::kMalformed:
+      return "malformed";
+    case FrameStatus::kOversize:
+      return "oversize";
+  }
+  return "unknown";
+}
+
+FrameStatus read_frame(std::istream& in, std::string& payload,
+                       std::size_t max_frame_bytes) {
+  payload.clear();
+  // Length line: 1..kMaxLengthDigits ASCII digits, then '\n'.
+  std::string digits;
+  for (;;) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      return digits.empty() ? FrameStatus::kEof : FrameStatus::kMalformed;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || digits.size() >= kMaxLengthDigits) {
+      return FrameStatus::kMalformed;
+    }
+    digits.push_back(static_cast<char>(c));
+  }
+  if (digits.empty()) return FrameStatus::kMalformed;
+  std::size_t length = 0;
+  for (const char d : digits) {
+    length = length * 10 + static_cast<std::size_t>(d - '0');
+  }
+  if (length > max_frame_bytes) return FrameStatus::kOversize;
+  payload.resize(length);
+  if (length > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::size_t>(in.gcount()) != length) {
+      payload.clear();
+      return FrameStatus::kMalformed;
+    }
+  }
+  return FrameStatus::kOk;
+}
+
+void write_frame(std::ostream& out, const std::string& payload) {
+  AGEDTR_REQUIRE(out.good(), "write_frame: output stream is not writable");
+  out << payload.size() << '\n';
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+}  // namespace agedtr::service

@@ -1,0 +1,319 @@
+#include "agedtr/service/request.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agedtr/dist/builders.hpp"
+#include "agedtr/dist/exponential.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+
+namespace {
+
+constexpr int kMaxServers = 64;
+constexpr int kMaxTasksPerServer = 100000;
+
+double require_number(const Json& object, const char* key,
+                      double fallback) {
+  const Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  AGEDTR_REQUIRE(value->is_number(),
+                 std::string("request field '") + key + "' must be a number");
+  return value->as_number();
+}
+
+std::string require_string(const Json& object, const char* key,
+                           const std::string& fallback) {
+  const Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  AGEDTR_REQUIRE(value->is_string(),
+                 std::string("request field '") + key + "' must be a string");
+  return value->as_string();
+}
+
+bool require_bool(const Json& object, const char* key, bool fallback) {
+  const Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  AGEDTR_REQUIRE(value->is_bool(),
+                 std::string("request field '") + key + "' must be a boolean");
+  return value->as_bool();
+}
+
+int require_int(const Json& object, const char* key, int fallback) {
+  const double value =
+      require_number(object, key, static_cast<double>(fallback));
+  AGEDTR_REQUIRE(std::nearbyint(value) == value,
+                 std::string("request field '") + key +
+                     "' must be an integer");
+  return static_cast<int>(value);
+}
+
+RequestKind parse_kind(const std::string& name) {
+  if (name == "evaluate") return RequestKind::kEvaluate;
+  if (name == "search") return RequestKind::kSearch;
+  if (name == "ping") return RequestKind::kPing;
+  if (name == "stats") return RequestKind::kStats;
+  if (name == "shutdown") return RequestKind::kShutdown;
+  AGEDTR_REQUIRE(false, "request field 'kind' must be one of evaluate | "
+                        "search | ping | stats | shutdown, got '" +
+                            name + "'");
+  return RequestKind::kPing;  // unreachable
+}
+
+RequestClass parse_class(const std::string& name) {
+  if (name == "interactive") return RequestClass::kInteractive;
+  if (name == "batch") return RequestClass::kBatch;
+  AGEDTR_REQUIRE(false, "request field 'class' must be interactive | batch, "
+                        "got '" +
+                            name + "'");
+  return RequestClass::kBatch;  // unreachable
+}
+
+void parse_scenario_fields(const Json& document, Request& request) {
+  const Json* scenario = document.find("scenario");
+  AGEDTR_REQUIRE(scenario != nullptr && scenario->is_object(),
+                 "request field 'scenario' must be an object for "
+                 "evaluate/search requests");
+  const Json* servers = scenario->find("servers");
+  AGEDTR_REQUIRE(servers != nullptr && servers->is_array() &&
+                     servers->size() >= 1,
+                 "scenario field 'servers' must be a non-empty array");
+  AGEDTR_REQUIRE(servers->size() <= kMaxServers,
+                 "scenario has more than " + std::to_string(kMaxServers) +
+                     " servers");
+  for (std::size_t j = 0; j < servers->size(); ++j) {
+    const Json& entry = servers->at(j);
+    AGEDTR_REQUIRE(entry.is_object(),
+                   "scenario server " + std::to_string(j) +
+                       " must be an object");
+    ServerSpecRequest spec;
+    spec.tasks = require_int(entry, "tasks", -1);
+    AGEDTR_REQUIRE(spec.tasks >= 0 && spec.tasks <= kMaxTasksPerServer,
+                   "scenario server " + std::to_string(j) +
+                       ": 'tasks' must be in [0, " +
+                       std::to_string(kMaxTasksPerServer) + "]");
+    spec.service_model =
+        require_string(entry, "service_model", "exponential");
+    // Resolves or throws with the unknown name.
+    (void)dist::parse_model_family(spec.service_model);
+    spec.service_mean = require_number(entry, "service_mean", 1.0);
+    AGEDTR_REQUIRE(spec.service_mean > 0.0 &&
+                       std::isfinite(spec.service_mean),
+                   "scenario server " + std::to_string(j) +
+                       ": 'service_mean' must be positive and finite");
+    spec.failure_mean = require_number(entry, "failure_mean", 0.0);
+    AGEDTR_REQUIRE(spec.failure_mean >= 0.0 &&
+                       std::isfinite(spec.failure_mean),
+                   "scenario server " + std::to_string(j) +
+                       ": 'failure_mean' must be >= 0 (0 = reliable)");
+    request.servers.push_back(spec);
+  }
+  request.transfer_model =
+      require_string(*scenario, "transfer_model", "exponential");
+  (void)dist::parse_model_family(request.transfer_model);
+  request.transfer_mean = require_number(*scenario, "transfer_mean", 1.0);
+  AGEDTR_REQUIRE(request.transfer_mean > 0.0 &&
+                     std::isfinite(request.transfer_mean),
+                 "scenario field 'transfer_mean' must be positive and finite");
+}
+
+void parse_policy_field(const Json& document, Request& request) {
+  const Json* policy = document.find("policy");
+  AGEDTR_REQUIRE(policy != nullptr && policy->is_array(),
+                 "evaluate requests need a 'policy' matrix (n x n array of "
+                 "arrays)");
+  const std::size_t n = request.servers.size();
+  AGEDTR_REQUIRE(policy->size() == n,
+                 "'policy' must have one row per server (" +
+                     std::to_string(n) + ")");
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& row = policy->at(i);
+    AGEDTR_REQUIRE(row.is_array() && row.size() == n,
+                   "'policy' row " + std::to_string(i) + " must have " +
+                       std::to_string(n) + " entries");
+    std::vector<int> cells;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Json& cell = row.at(j);
+      AGEDTR_REQUIRE(cell.is_number() &&
+                         std::nearbyint(cell.as_number()) == cell.as_number(),
+                     "'policy' entries must be integers");
+      const int moved = static_cast<int>(cell.as_number());
+      AGEDTR_REQUIRE(moved >= 0, "'policy' entries must be >= 0");
+      AGEDTR_REQUIRE(i != j || moved == 0,
+                     "'policy' diagonal entries must be 0 (tasks do not move "
+                     "to their own server)");
+      cells.push_back(moved);
+    }
+    request.policy.push_back(std::move(cells));
+  }
+}
+
+/// FNV-1a 64 over a canonical byte string.
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Canonical semantic spelling of the evaluation substrate. Uses dump()'s
+/// deterministic number formatting so the string (and hence the hash) is
+/// bit-stable across processes and restarts.
+std::string scenario_canonical(const Request& request) {
+  std::string out = "v1|obj=" + request.objective +
+                    "|qos=" + Json::number(request.qos_deadline).dump() +
+                    "|markov=" + (request.markovian ? "1" : "0") +
+                    "|net=" + request.transfer_model + ":" +
+                    Json::number(request.transfer_mean).dump();
+  for (const ServerSpecRequest& s : request.servers) {
+    out += "|srv=" + std::to_string(s.tasks) + ":" + s.service_model + ":" +
+           Json::number(s.service_mean).dump() + ":" +
+           Json::number(s.failure_mean).dump();
+  }
+  return out;
+}
+
+std::string work_canonical(const Request& request) {
+  std::string out =
+      scenario_canonical(request) + "|kind=" +
+      request_kind_name(request.kind) +
+      "|resilient=" + (request.resilient ? "1" : "0");
+  for (const std::vector<int>& row : request.policy) {
+    out += "|row=";
+    for (const int cell : row) out += std::to_string(cell) + ",";
+  }
+  if (!request.fault.empty()) out += "|fault=" + request.fault;
+  return out;
+}
+
+}  // namespace
+
+std::string request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kEvaluate:
+      return "evaluate";
+    case RequestKind::kSearch:
+      return "search";
+    case RequestKind::kPing:
+      return "ping";
+    case RequestKind::kStats:
+      return "stats";
+    case RequestKind::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string request_class_name(RequestClass klass) {
+  return klass == RequestClass::kInteractive ? "interactive" : "batch";
+}
+
+Request parse_request(const Json& document) {
+  AGEDTR_REQUIRE(document.is_object(), "a request must be a JSON object");
+  Request request;
+  request.id = require_string(document, "id", "");
+  AGEDTR_REQUIRE(!request.id.empty() && request.id.size() <= 128,
+                 "request field 'id' must be a non-empty string of at most "
+                 "128 bytes");
+  request.kind = parse_kind(require_string(document, "kind", ""));
+  request.klass = parse_class(require_string(document, "class", "batch"));
+  request.deadline_ms = require_number(document, "deadline_ms", 0.0);
+  AGEDTR_REQUIRE(request.deadline_ms >= 0.0 &&
+                     std::isfinite(request.deadline_ms),
+                 "request field 'deadline_ms' must be >= 0 (0 = none)");
+  request.fault = require_string(document, "fault", "");
+
+  if (request.kind == RequestKind::kPing ||
+      request.kind == RequestKind::kStats ||
+      request.kind == RequestKind::kShutdown) {
+    return request;
+  }
+
+  parse_scenario_fields(document, request);
+  request.objective = require_string(document, "objective", "mean");
+  AGEDTR_REQUIRE(request.objective == "mean" || request.objective == "qos" ||
+                     request.objective == "reliability",
+                 "request field 'objective' must be mean | qos | "
+                 "reliability, got '" +
+                     request.objective + "'");
+  request.qos_deadline = require_number(document, "qos_deadline", 0.0);
+  AGEDTR_REQUIRE(request.objective != "qos" ||
+                     (request.qos_deadline > 0.0 &&
+                      std::isfinite(request.qos_deadline)),
+                 "objective 'qos' needs a positive finite 'qos_deadline'");
+  request.markovian = require_bool(document, "markovian", false);
+  request.resilient = require_bool(document, "resilient", false);
+
+  if (request.kind == RequestKind::kEvaluate) {
+    parse_policy_field(document, request);
+  } else {
+    AGEDTR_REQUIRE(request.servers.size() == 2,
+                   "search requests optimize the 2-server grid; got " +
+                       std::to_string(request.servers.size()) + " servers");
+  }
+  return request;
+}
+
+core::DcsScenario build_scenario(const Request& request) {
+  AGEDTR_REQUIRE(request.kind == RequestKind::kEvaluate ||
+                     request.kind == RequestKind::kSearch,
+                 "only evaluate/search requests carry a scenario");
+  std::vector<core::ServerSpec> servers;
+  for (const ServerSpecRequest& s : request.servers) {
+    core::ServerSpec spec;
+    spec.initial_tasks = s.tasks;
+    spec.service = dist::make_model_distribution(
+        dist::parse_model_family(s.service_model), s.service_mean);
+    if (s.failure_mean > 0.0) {
+      spec.failure = dist::Exponential::with_mean(s.failure_mean);
+    }
+    servers.push_back(std::move(spec));
+  }
+  core::DcsScenario scenario = core::make_uniform_network_scenario(
+      std::move(servers),
+      dist::make_model_distribution(
+          dist::parse_model_family(request.transfer_model),
+          request.transfer_mean),
+      dist::Exponential::with_mean(1.0));
+  scenario.validate();
+  return scenario;
+}
+
+core::DtrPolicy build_policy(const Request& request) {
+  AGEDTR_REQUIRE(request.kind == RequestKind::kEvaluate,
+                 "only evaluate requests carry a policy matrix");
+  const std::size_t n = request.servers.size();
+  core::DtrPolicy policy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) policy.set(i, j, request.policy[i][j]);
+    }
+  }
+  return policy;
+}
+
+std::string scenario_fingerprint(const Request& request) {
+  return hex64(fnv1a64(scenario_canonical(request)));
+}
+
+std::string work_fingerprint(const Request& request) {
+  return hex64(fnv1a64(work_canonical(request)));
+}
+
+}  // namespace agedtr::service

@@ -1,0 +1,229 @@
+#include "agedtr/service/socket.hpp"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "agedtr/service/daemon.hpp"
+#include "agedtr/service/json.hpp"
+#include "agedtr/service/protocol.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+
+namespace {
+
+/// Blocking fd reader with the socket's SO_RCVTIMEO as its clock. Returns
+/// false on EOF, timeout, or error — all of which end the connection.
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, out + done, n - done);
+    if (got <= 0) return false;  // EOF, timeout (EAGAIN), or error
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote <= 0) return false;
+    done += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Frame reader over a raw fd (mirrors protocol.cpp's stream form).
+FrameStatus read_frame_fd(int fd, std::string& payload,
+                          std::size_t max_frame_bytes) {
+  payload.clear();
+  std::string digits;
+  for (;;) {
+    char c = 0;
+    const ssize_t got = ::read(fd, &c, 1);
+    if (got <= 0) {
+      return digits.empty() ? FrameStatus::kEof : FrameStatus::kMalformed;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || digits.size() >= kMaxLengthDigits) {
+      return FrameStatus::kMalformed;
+    }
+    digits.push_back(c);
+  }
+  if (digits.empty()) return FrameStatus::kMalformed;
+  std::size_t length = 0;
+  for (const char d : digits) {
+    length = length * 10 + static_cast<std::size_t>(d - '0');
+  }
+  if (length > max_frame_bytes) return FrameStatus::kOversize;
+  payload.resize(length);
+  if (length > 0 && !read_exact(fd, payload.data(), length)) {
+    payload.clear();
+    return FrameStatus::kMalformed;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame_fd(int fd, const std::string& payload) {
+  const std::string header = std::to_string(payload.size()) + "\n";
+  return write_all(fd, header.data(), header.size()) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      std::lround((seconds - std::floor(seconds)) * 1e6));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Daemon& daemon, SocketServerOptions options)
+    : daemon_(daemon), options_(std::move(options)) {
+  AGEDTR_REQUIRE(!options_.path.empty(),
+                 "SocketServer: a socket path is required");
+  sockaddr_un address{};
+  AGEDTR_REQUIRE(options_.path.size() < sizeof(address.sun_path),
+                 "SocketServer: socket path longer than sockaddr_un allows");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  AGEDTR_REQUIRE(listen_fd_ >= 0, "SocketServer: socket() failed: " +
+                                      std::string(std::strerror(errno)));
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, options_.path.c_str(),
+              options_.path.size() + 1);
+  (void)::unlink(options_.path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    AGEDTR_REQUIRE(false, "SocketServer: cannot listen on '" +
+                              options_.path + "': " + reason);
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  // serve() joins the handlers; if serve() never ran, join here.
+  std::vector<std::thread> handlers;
+  {
+    MutexLock lock(&mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    (void)::unlink(options_.path.c_str());
+  }
+}
+
+void SocketServer::stop() {
+  MutexLock lock(&mutex_);
+  stopping_ = true;
+}
+
+void SocketServer::serve() {
+  for (;;) {
+    {
+      MutexLock lock(&mutex_);
+      if (stopping_) break;
+    }
+    if (daemon_.shutdown_requested()) break;
+
+    pollfd waiter{};
+    waiter.fd = listen_fd_;
+    waiter.events = POLLIN;
+    const int ready = ::poll(&waiter, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_io_timeout(fd, options_.io_timeout_seconds);
+    MutexLock lock(&mutex_);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+
+  std::vector<std::thread> handlers;
+  {
+    MutexLock lock(&mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::handle_connection(int fd) {
+  std::string payload;
+  for (;;) {
+    {
+      MutexLock lock(&mutex_);
+      if (stopping_) break;
+    }
+    const FrameStatus status =
+        read_frame_fd(fd, payload, daemon_.options().max_frame_bytes);
+    if (status == FrameStatus::kEof) break;
+    if (status != FrameStatus::kOk) {
+      Json body = Json::object();
+      body.set("id", Json());
+      body.set("status", Json::string("malformed_frame"));
+      body.set("error",
+               Json::string("unreadable frame (" +
+                            frame_status_name(status) +
+                            "); closing the connection"));
+      (void)write_frame_fd(fd, body.dump());
+      break;
+    }
+    std::future<std::string> future = daemon_.submit(payload);
+    if (!write_frame_fd(fd, future.get())) break;
+    if (daemon_.shutdown_requested()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace agedtr::service
+
+#else  // _WIN32
+
+#include "agedtr/service/daemon.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+
+SocketServer::SocketServer(Daemon& daemon, SocketServerOptions options)
+    : daemon_(daemon), options_(std::move(options)) {
+  AGEDTR_REQUIRE(false,
+                 "SocketServer: AF_UNIX transport is not available on this "
+                 "platform; use the stdio transport");
+}
+
+SocketServer::~SocketServer() = default;
+void SocketServer::serve() {}
+void SocketServer::stop() {}
+void SocketServer::handle_connection(int) {}
+
+}  // namespace agedtr::service
+
+#endif

@@ -132,6 +132,21 @@ Checkpoint::Checkpoint(std::string path, std::string tag, bool resume)
   load(resume);
 }
 
+namespace {
+
+/// True when `line` is a complete, well-formed "unit <key>\t<payload>"
+/// record; on success fills key/payload (unescaped).
+bool parse_unit_line(const std::string& line, std::string& key,
+                     std::string& payload) {
+  if (line.rfind("unit ", 0) != 0) return false;
+  const std::size_t tab = line.find('\t');
+  if (tab == std::string::npos) return false;
+  return unescape(line.substr(5, tab - 5), key) &&
+         unescape(line.substr(tab + 1), payload);
+}
+
+}  // namespace
+
 void Checkpoint::load(bool resume) {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return;  // no journal yet — fresh run
@@ -151,66 +166,118 @@ void Checkpoint::load(bool resume) {
   const std::string content = buffer.str();
 
   // The `end` line seals the snapshot: everything above it is checksummed.
+  // A *sealed* journal — complete trailer line, 16-hex checksum, trailing
+  // newline — is an all-or-nothing artifact: any mismatch means the damage
+  // could be anywhere in the body, so nothing in it can be trusted. An
+  // *unsealed* journal (truncated mid-record or mid-trailer) is damaged
+  // only at its tail; the complete-record prefix is salvageable.
   const std::size_t end_pos = content.rfind("\nend ");
-  if (end_pos == std::string::npos) {
-    discard("missing end line");
-    return;
-  }
-  const std::string body = content.substr(0, end_pos + 1);
-  std::istringstream trailer(content.substr(end_pos + 1));
-  std::string word;
+  bool sealed = false;
   std::size_t declared_units = 0;
   std::string declared_checksum;
-  if (!(trailer >> word >> declared_units >> declared_checksum) ||
-      word != "end") {
-    discard("malformed end line");
-    return;
+  if (end_pos != std::string::npos && !content.empty() &&
+      content.back() == '\n') {
+    std::istringstream trailer(content.substr(end_pos + 1));
+    std::string word;
+    std::string trailing;
+    if ((trailer >> word >> declared_units >> declared_checksum) &&
+        word == "end" && declared_checksum.size() == 16 &&
+        declared_checksum.find_first_not_of("0123456789abcdef") ==
+            std::string::npos &&
+        !(trailer >> trailing)) {
+      sealed = true;
+    }
   }
-  if (declared_checksum != to_hex(fnv1a64(body))) {
-    discard("checksum mismatch");
+
+  if (sealed) {
+    const std::string body = content.substr(0, end_pos + 1);
+    if (declared_checksum != to_hex(fnv1a64(body))) {
+      discard("checksum mismatch");
+      return;
+    }
+    std::istringstream lines(body);
+    std::string line;
+    if (!std::getline(lines, line) ||
+        line != "agedtr-checkpoint " + std::to_string(kFormatVersion)) {
+      discard("unsupported format version");
+      return;
+    }
+    if (!std::getline(lines, line) || line.rfind("tag ", 0) != 0) {
+      discard("missing tag line");
+      return;
+    }
+    std::string stored_tag;
+    if (!unescape(line.substr(4), stored_tag) || stored_tag != tag_) {
+      discard("tag mismatch (checkpoint from a different configuration)");
+      return;
+    }
+    while (std::getline(lines, line)) {
+      std::string key;
+      std::string payload;
+      if (!parse_unit_line(line, key, payload)) {
+        discard("malformed unit line");
+        return;
+      }
+      units_.emplace_back(std::move(key), std::move(payload));
+    }
+    if (units_.size() != declared_units) {
+      discard("unit count mismatch");
+      return;
+    }
+    stats_.loaded_units = units_.size();
     return;
   }
 
-  std::istringstream lines(body);
+  // Tail salvage. The header and tag must be intact and complete (a file
+  // torn that early carries nothing worth keeping, and a foreign tag must
+  // never be salvaged); then every complete well-formed unit line is
+  // restored and the first partial or malformed line — the torn tail —
+  // drops together with everything after it.
+  std::size_t pos = 0;
+  const auto next_complete_line = [&](std::string& line) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) return false;  // incomplete final line
+    line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
   std::string line;
-  if (!std::getline(lines, line) ||
+  if (!next_complete_line(line) ||
       line != "agedtr-checkpoint " + std::to_string(kFormatVersion)) {
-    discard("unsupported format version");
-    return;
-  }
-  if (!std::getline(lines, line) || line.rfind("tag ", 0) != 0) {
-    discard("missing tag line");
+    discard("missing end line");
     return;
   }
   std::string stored_tag;
-  if (!unescape(line.substr(4), stored_tag) || stored_tag != tag_) {
+  if (!next_complete_line(line) || line.rfind("tag ", 0) != 0 ||
+      !unescape(line.substr(4), stored_tag)) {
+    discard("missing end line");
+    return;
+  }
+  if (stored_tag != tag_) {
     discard("tag mismatch (checkpoint from a different configuration)");
     return;
   }
-  while (std::getline(lines, line)) {
-    if (line.rfind("unit ", 0) != 0) {
-      discard("malformed unit line");
-      return;
-    }
-    const std::size_t tab = line.find('\t');
-    if (tab == std::string::npos) {
-      discard("malformed unit line");
-      return;
-    }
+  std::size_t dropped_at = content.size();
+  while (pos < content.size()) {
+    const std::size_t line_start = pos;
     std::string key;
     std::string payload;
-    if (!unescape(line.substr(5, tab - 5), key) ||
-        !unescape(line.substr(tab + 1), payload)) {
-      discard("malformed unit escaping");
-      return;
+    if (!next_complete_line(line) || !parse_unit_line(line, key, payload)) {
+      dropped_at = line_start;
+      break;
     }
     units_.emplace_back(std::move(key), std::move(payload));
   }
-  if (units_.size() != declared_units) {
-    discard("unit count mismatch");
+  if (units_.empty()) {
+    discard("truncated journal tail; no complete units to salvage");
     return;
   }
   stats_.loaded_units = units_.size();
+  stats_.tail_salvaged = true;
+  stats_.salvage_reason =
+      "journal tail torn at byte " + std::to_string(dropped_at) +
+      "; salvaged " + std::to_string(units_.size()) +
+      " complete unit(s), dropped the partial tail";
 }
 
 const std::string* Checkpoint::find_locked(const std::string& key) const {

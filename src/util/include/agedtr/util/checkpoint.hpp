@@ -15,12 +15,18 @@
 //   ...
 //   end <unit-count> <fnv1a64-of-everything-above>
 //
-// On open, a journal is restored only if the version, the producer tag, the
-// unit count and the checksum all match; anything else (corruption, a
-// checkpoint from a different configuration, a future format) is *silently
-// discarded* — the run starts fresh and the stats record why. Load-side
-// problems are never exceptions: a stale checkpoint must not be able to
-// fail a healthy run.
+// On open, a sealed journal (one whose `end` trailer is complete) is
+// restored only if the version, the producer tag, the unit count and the
+// checksum all match; a sealed journal that fails any of those checks
+// (corruption, a checkpoint from a different configuration, a future
+// format) is *silently discarded* — the run starts fresh and the stats
+// record why. A journal whose *tail* is torn — truncated mid-record or
+// mid-trailer, as external copies or filesystem damage can leave it — is
+// salvaged instead: the intact header, tag and every complete `unit` line
+// are restored, the partial final record is dropped silently, and
+// CheckpointStats::tail_salvaged records the event. Load-side problems are
+// never exceptions: a stale checkpoint must not be able to fail a healthy
+// run.
 //
 // The tag is the producer's contract: it must fingerprint every input that
 // influences a unit's payload (scenario, options, seeds), so that a
@@ -53,6 +59,11 @@ struct CheckpointStats {
   /// True when an on-disk file existed but was rejected at open.
   bool discarded = false;
   std::string discard_reason;
+  /// True when the journal's tail was torn (truncated mid-record or
+  /// mid-trailer) and the complete-record prefix was restored instead of
+  /// the whole file being discarded. loaded_units counts the salvage.
+  bool tail_salvaged = false;
+  std::string salvage_reason;
 };
 
 class Checkpoint {

@@ -114,6 +114,137 @@ TEST(Checkpoint, CorruptionAndTruncationDiscardTheJournal) {
   EXPECT_EQ(Checkpoint(path, "t").size(), 1u);
 }
 
+TEST(Checkpoint, TruncatedTailSalvagesTheCompleteUnitPrefix) {
+  const std::string path = temp_path("tail_mid_unit");
+  {
+    Checkpoint journal(path, "t");
+    journal.record("u1", "alpha");
+    journal.record("u2", "beta");
+    journal.record("u3", "gamma");
+  }
+  // Tear the file in the middle of u3's record: the partial final record
+  // must be discarded silently, the earlier records preserved.
+  const std::string good = read_file(path);
+  const std::size_t cut = good.find("unit u3\tgam") + 9;  // mid-payload
+  write_file(path, good.substr(0, cut));
+
+  Checkpoint salvaged(path, "t");
+  EXPECT_EQ(salvaged.size(), 2u);
+  EXPECT_TRUE(salvaged.contains("u1"));
+  EXPECT_TRUE(salvaged.contains("u2"));
+  EXPECT_FALSE(salvaged.contains("u3"));
+  EXPECT_FALSE(salvaged.stats().discarded);
+  EXPECT_TRUE(salvaged.stats().tail_salvaged);
+  EXPECT_EQ(salvaged.stats().loaded_units, 2u);
+  EXPECT_NE(salvaged.stats().salvage_reason.find("salvaged 2"),
+            std::string::npos);
+
+  // The salvaged journal keeps working: a new record re-seals the file and
+  // the next open restores everything without salvage.
+  salvaged.record("u3", "gamma again");
+  Checkpoint reopened(path, "t");
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_FALSE(reopened.stats().tail_salvaged);
+  EXPECT_EQ(*reopened.find("u3"), "gamma again");
+  EXPECT_EQ(*reopened.find("u1"), "alpha");
+}
+
+TEST(Checkpoint, TruncatedEndTrailerSalvagesEveryUnit) {
+  const std::string path = temp_path("tail_mid_end");
+  {
+    Checkpoint journal(path, "t");
+    journal.record("u1", "alpha");
+    journal.record("u2", "beta");
+  }
+  // Tear inside the `end <count> <checksum>` trailer itself: every unit
+  // line is complete, so all of them survive.
+  const std::string good = read_file(path);
+  const std::size_t cut = good.rfind("end ") + 7;
+  write_file(path, good.substr(0, cut));
+
+  Checkpoint salvaged(path, "t");
+  EXPECT_EQ(salvaged.size(), 2u);
+  EXPECT_TRUE(salvaged.stats().tail_salvaged);
+  EXPECT_FALSE(salvaged.stats().discarded);
+  EXPECT_EQ(*salvaged.find("u1"), "alpha");
+  EXPECT_EQ(*salvaged.find("u2"), "beta");
+}
+
+TEST(Checkpoint, GarbledUnsealedTailDropsFromTheDamagePoint) {
+  const std::string path = temp_path("tail_garbled");
+  {
+    Checkpoint journal(path, "t");
+    journal.record("u1", "alpha");
+    journal.record("u2", "beta");
+  }
+  // Replace u2's record (and the trailer) with garbage that is not a
+  // well-formed unit line: salvage keeps u1 and stops at the damage.
+  const std::string good = read_file(path);
+  const std::size_t cut = good.find("unit u2");
+  write_file(path, good.substr(0, cut) + "unit-without-tab or prefix\n\x01\x02");
+
+  Checkpoint salvaged(path, "t");
+  EXPECT_EQ(salvaged.size(), 1u);
+  EXPECT_TRUE(salvaged.contains("u1"));
+  EXPECT_FALSE(salvaged.contains("u2"));
+  EXPECT_TRUE(salvaged.stats().tail_salvaged);
+}
+
+TEST(Checkpoint, SealedBodyCorruptionStillDiscardsEverything) {
+  const std::string path = temp_path("sealed_corrupt");
+  {
+    Checkpoint journal(path, "t");
+    journal.record("u1", "alpha");
+    journal.record("u2", "beta");
+  }
+  // A *sealed* journal (complete trailer) with a flipped body byte could be
+  // damaged anywhere — salvage must NOT resurrect any of it.
+  std::string flipped = read_file(path);
+  flipped[flipped.find("alpha")] = 'A';
+  write_file(path, flipped);
+
+  Checkpoint reopened(path, "t");
+  EXPECT_EQ(reopened.size(), 0u);
+  EXPECT_TRUE(reopened.stats().discarded);
+  EXPECT_FALSE(reopened.stats().tail_salvaged);
+  EXPECT_NE(reopened.stats().discard_reason.find("checksum"),
+            std::string::npos);
+}
+
+TEST(Checkpoint, TornTagLineIsNeverSalvaged) {
+  const std::string path = temp_path("tail_in_tag");
+  {
+    Checkpoint journal(path, "shared-tag");
+    journal.record("u1", "alpha");
+  }
+  // Truncation inside the tag line: the producer identity cannot be
+  // verified, so nothing is salvaged.
+  const std::string good = read_file(path);
+  write_file(path, good.substr(0, good.find("shared-tag") + 4));
+  Checkpoint reopened(path, "shared-tag");
+  EXPECT_EQ(reopened.size(), 0u);
+  EXPECT_TRUE(reopened.stats().discarded);
+  EXPECT_FALSE(reopened.stats().tail_salvaged);
+}
+
+TEST(Checkpoint, SalvageNeverCrossesATagMismatch) {
+  const std::string path = temp_path("tail_foreign");
+  {
+    Checkpoint journal(path, "config A");
+    journal.record("u1", "alpha");
+    journal.record("u2", "beta");
+  }
+  // Foreign journal with a torn tail: the tag rules it out before any unit
+  // is considered.
+  const std::string good = read_file(path);
+  write_file(path, good.substr(0, good.find("unit u2") + 5));
+  Checkpoint other(path, "config B");
+  EXPECT_EQ(other.size(), 0u);
+  EXPECT_TRUE(other.stats().discarded);
+  EXPECT_FALSE(other.stats().tail_salvaged);
+  EXPECT_NE(other.stats().discard_reason.find("tag"), std::string::npos);
+}
+
 TEST(Checkpoint, FutureFormatVersionIsDiscardedNotParsed) {
   const std::string path = temp_path("version");
   { Checkpoint(path, "t").record("k", "v"); }

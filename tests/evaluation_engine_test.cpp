@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "agedtr/core/lattice_workspace.hpp"
@@ -204,6 +205,54 @@ TEST(EvaluationEngine, BudgetFailureMidBatchCarriesThePolicyIndex) {
   // The wrapper stays catchable as plain BudgetExceeded, so existing
   // degradation paths (the ResilientEvaluator chain) keep working.
   EXPECT_THROW((void)engine.evaluate(policies), BudgetExceeded);
+}
+
+TEST(EvaluationEngine, SupervisedQuarantineCarriesTheRequestLabel) {
+  // The service layer batches requests from many clients into one
+  // supervised call. When a single element overruns its budget, the
+  // quarantine entry must name the *request* the element came from, not
+  // just its (meaningless to the client) batch position.
+  const DcsScenario s =
+      scenario_2(ModelFamily::kPareto1, 10, 5, 2.0, 1.0, 1.5);
+  EvaluationEngineOptions options;
+  options.objective = Objective::kMeanExecutionTime;
+  options.conv.budget.max_seconds = 1e-9;
+  const EvaluationEngine engine(s, options);
+
+  const std::vector<DtrPolicy> policies = {make_two_server_policy(4, 0),
+                                           make_two_server_policy(3, 1)};
+  const std::vector<std::string> labels = {"req-aa01", "req-bb02"};
+  SupervisorOptions supervise;
+  supervise.max_retries = 0;
+  supervise.backoff_initial_seconds = 0.0;
+  const SupervisedBatchResult result =
+      engine.evaluate_supervised(policies, supervise, labels);
+  ASSERT_EQ(result.supervision.quarantined.size(), policies.size());
+  for (const QuarantineEntry& q : result.supervision.quarantined) {
+    ASSERT_LT(q.index, labels.size());
+    EXPECT_NE(q.error.find("[" + labels[q.index] + "]"), std::string::npos)
+        << "quarantine error must carry the request label: " << q.error;
+    EXPECT_NE(q.error.find("policy " + std::to_string(q.index)),
+              std::string::npos)
+        << q.error;
+  }
+
+  // The plain batch's rethrown error carries the label the same way.
+  try {
+    (void)engine.evaluate(policies, labels);
+    FAIL() << "expected BatchElementBudgetExceeded";
+  } catch (const BatchElementBudgetExceeded& e) {
+    EXPECT_EQ(e.policy_label, labels[e.policy_index]);
+    EXPECT_NE(std::string(e.what()).find("[" + labels[e.policy_index] + "]"),
+              std::string::npos);
+  }
+
+  // Misaligned labels are a caller bug, rejected up front on both paths.
+  const std::vector<std::string> short_labels = {"req-aa01"};
+  EXPECT_THROW((void)engine.evaluate(policies, short_labels), InvalidArgument);
+  EXPECT_THROW(
+      (void)engine.evaluate_supervised(policies, supervise, short_labels),
+      InvalidArgument);
 }
 
 TEST(EvaluationEngine, FailingElementDoesNotPoisonTheRestOfTheBatch) {

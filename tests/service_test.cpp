@@ -1,0 +1,455 @@
+// service::* — the agedtrd daemon stack: the JSON value, the frame
+// protocol, the request trust boundary, the fingerprints, and the Daemon's
+// robustness contract (admission shedding, deadline propagation, poison
+// fast-reject, graceful degradation, journal replay across restarts,
+// exactly-once replies through shutdown).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agedtr/policy/evaluation_engine.hpp"
+#include "agedtr/policy/two_server.hpp"
+#include "agedtr/service/daemon.hpp"
+#include "agedtr/service/json.hpp"
+#include "agedtr/service/protocol.hpp"
+#include "agedtr/service/request.hpp"
+#include "agedtr/util/error.hpp"
+
+namespace agedtr::service {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "agedtr_service_" + info->name() + "_" + name;
+}
+
+/// The JSON text of a tiny 2-server request; tests tweak fields by
+/// re-dumping the parsed document.
+Json base_request(const std::string& id, const std::string& kind) {
+  Json scenario = Json::object();
+  Json servers = Json::array();
+  Json s1 = Json::object();
+  s1.set("tasks", Json::number(4));
+  s1.set("service_model", Json::string("uniform"));
+  s1.set("service_mean", Json::number(2.0));
+  servers.push_back(std::move(s1));
+  Json s2 = Json::object();
+  s2.set("tasks", Json::number(2));
+  s2.set("service_model", Json::string("uniform"));
+  s2.set("service_mean", Json::number(1.0));
+  servers.push_back(std::move(s2));
+  scenario.set("servers", std::move(servers));
+  scenario.set("transfer_model", Json::string("uniform"));
+  scenario.set("transfer_mean", Json::number(1.0));
+
+  Json request = Json::object();
+  request.set("id", Json::string(id));
+  request.set("kind", Json::string(kind));
+  request.set("scenario", std::move(scenario));
+  request.set("objective", Json::string("mean"));
+  if (kind == "evaluate") {
+    Json policy = Json::array();
+    Json row0 = Json::array();
+    row0.push_back(Json::number(0));
+    row0.push_back(Json::number(1));
+    policy.push_back(std::move(row0));
+    Json row1 = Json::array();
+    row1.push_back(Json::number(0));
+    row1.push_back(Json::number(0));
+    policy.push_back(std::move(row1));
+    request.set("policy", std::move(policy));
+  }
+  return request;
+}
+
+DaemonOptions fast_options() {
+  DaemonOptions options;
+  options.conv.cells = 1u << 10;  // test-sized lattice
+  options.max_eval_seconds = 30.0;
+  return options;
+}
+
+Json submit_and_parse(Daemon& daemon, const Json& request) {
+  std::future<std::string> future = daemon.submit(request.dump());
+  return Json::parse(future.get());
+}
+
+std::string status_of(const Json& reply) {
+  return reply.find("status")->as_string();
+}
+
+TEST(ServiceJson, RoundTripsEveryValueShape) {
+  const std::string text =
+      R"({"s":"a\"b\\c\n\u0041","n":-12.5,"i":42,"b":true,"z":null,)"
+      R"("a":[1,[2,3],{"k":"v"}],"o":{"x":0.25}})";
+  const Json parsed = Json::parse(text);
+  // dump() -> parse() -> dump() is a fixed point: deterministic output.
+  const std::string dumped = parsed.dump();
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+  EXPECT_EQ(parsed.find("s")->as_string(), "a\"b\\c\nA");
+  EXPECT_EQ(parsed.find("n")->as_number(), -12.5);
+  EXPECT_EQ(parsed.find("i")->as_number(), 42.0);
+  EXPECT_TRUE(parsed.find("b")->as_bool());
+  EXPECT_TRUE(parsed.find("z")->is_null());
+  EXPECT_EQ(parsed.find("a")->at(1).at(0).as_number(), 2.0);
+  EXPECT_EQ(parsed.find("o")->find("x")->as_number(), 0.25);
+  // Integral numbers print without a fraction.
+  EXPECT_NE(dumped.find("\"i\":42,"), std::string::npos);
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments) {
+  const std::vector<std::string> bad = {
+      "",           "{",           "[1,]",        "{\"a\":}",
+      "tru",        "\"unclosed",  "1 2",         "{\"a\":1,}",
+      "[1] garbage", "nan",        "{\"a\" 1}",   "\"\\x\"",
+      "\x01",       "{1: 2}",
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW((void)Json::parse(text), InvalidArgument) << text;
+  }
+  // Nesting past kMaxDepth is malformed input, not a stack overflow.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)Json::parse(deep), InvalidArgument);
+}
+
+TEST(ServiceProtocol, FramesRoundTripAndFailuresAreClassified) {
+  std::stringstream wire;
+  write_frame(wire, "hello");
+  write_frame(wire, "");
+  std::string payload;
+  EXPECT_EQ(read_frame(wire, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(read_frame(wire, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(read_frame(wire, payload), FrameStatus::kEof);
+
+  std::stringstream bad_length("x5\nhello");
+  EXPECT_EQ(read_frame(bad_length, payload), FrameStatus::kMalformed);
+  std::stringstream truncated("10\nhel");
+  EXPECT_EQ(read_frame(truncated, payload), FrameStatus::kMalformed);
+  std::stringstream oversize("999999\n");
+  EXPECT_EQ(read_frame(oversize, payload, /*max_frame_bytes=*/64),
+            FrameStatus::kOversize);
+  std::stringstream no_digits("\npayload");
+  EXPECT_EQ(read_frame(no_digits, payload), FrameStatus::kMalformed);
+}
+
+TEST(ServiceRequest, ValidationNamesTheOffendingField) {
+  const struct {
+    const char* mutate_key;
+    Json value;
+  } cases[] = {
+      {"id", Json::string("")},
+      {"kind", Json::string("solve")},
+      {"class", Json::string("bulk")},
+      {"deadline_ms", Json::number(-1.0)},
+      {"objective", Json::string("latency")},
+  };
+  for (const auto& c : cases) {
+    Json request = base_request("req-1", "evaluate");
+    request.set(c.mutate_key, c.value);
+    try {
+      (void)parse_request(request);
+      FAIL() << "expected InvalidArgument for field " << c.mutate_key;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.mutate_key), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Policy shape violations.
+  Json request = base_request("req-1", "evaluate");
+  Json ragged = Json::array();
+  ragged.push_back(Json::array());
+  request.set("policy", std::move(ragged));
+  EXPECT_THROW((void)parse_request(request), InvalidArgument);
+
+  // Search requests are 2-server by contract.
+  Json search = base_request("req-2", "search");
+  Json* scenario = const_cast<Json*>(search.find("scenario"));
+  Json extra = Json::object();
+  extra.set("tasks", Json::number(1));
+  const_cast<Json*>(scenario->find("servers"))->push_back(std::move(extra));
+  EXPECT_THROW((void)parse_request(search), InvalidArgument);
+}
+
+TEST(ServiceRequest, FingerprintsTrackSemanticsNotTransport) {
+  const Request a = parse_request(base_request("req-a", "evaluate"));
+
+  Json same_work = base_request("req-b", "evaluate");
+  same_work.set("class", Json::string("interactive"));
+  same_work.set("deadline_ms", Json::number(250.0));
+  const Request b = parse_request(same_work);
+  // Transport fields (id, class, deadline) do not change identity.
+  EXPECT_EQ(work_fingerprint(a), work_fingerprint(b));
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(b));
+
+  Json other_policy = base_request("req-c", "evaluate");
+  Json policy = Json::array();
+  Json row0 = Json::array();
+  row0.push_back(Json::number(0));
+  row0.push_back(Json::number(2));
+  policy.push_back(std::move(row0));
+  Json row1 = Json::array();
+  row1.push_back(Json::number(0));
+  row1.push_back(Json::number(0));
+  policy.push_back(std::move(row1));
+  other_policy.set("policy", std::move(policy));
+  const Request c = parse_request(other_policy);
+  // The policy is part of the work but not of the evaluation substrate.
+  EXPECT_NE(work_fingerprint(a), work_fingerprint(c));
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(c));
+
+  Json other_scenario = base_request("req-d", "evaluate");
+  const_cast<Json*>(other_scenario.find("scenario"))
+      ->set("transfer_mean", Json::number(2.0));
+  const Request d = parse_request(other_scenario);
+  EXPECT_NE(scenario_fingerprint(a), scenario_fingerprint(d));
+}
+
+TEST(ServiceDaemon, EvaluateMatchesTheDirectEngineBitForBit) {
+  Daemon daemon(fast_options());
+  const Json reply = submit_and_parse(daemon, base_request("r1", "evaluate"));
+  ASSERT_EQ(status_of(reply), "ok");
+  EXPECT_EQ(reply.find("tier")->as_string(), "convolution");
+
+  // The same value through a directly constructed engine.
+  const Request request = parse_request(base_request("r1", "evaluate"));
+  policy::EvaluationEngineOptions options;
+  options.conv.cells = 1u << 10;
+  options.conv.budget.max_seconds = 30.0;
+  const policy::EvaluationEngine engine(build_scenario(request), options);
+  EXPECT_EQ(reply.find("value")->as_number(),
+            engine.evaluate(build_policy(request)));
+
+  // A second submission of the same scenario hits the warm engine.
+  const Json again = submit_and_parse(daemon, base_request("r2", "evaluate"));
+  ASSERT_EQ(status_of(again), "ok");
+  EXPECT_EQ(again.find("value")->as_number(),
+            reply.find("value")->as_number());
+  EXPECT_EQ(daemon.stats_snapshot().engine_cache_hits, 1u);
+}
+
+TEST(ServiceDaemon, MalformedAndInvalidBytesBecomeStructuredReplies) {
+  Daemon daemon(fast_options());
+  // Not JSON at all.
+  Json reply = Json::parse(daemon.submit("this is not json").get());
+  EXPECT_EQ(status_of(reply), "invalid_request");
+  // JSON, but invalid by schema — the id is still echoed.
+  reply = Json::parse(
+      daemon.submit(R"({"id":"bad-1","kind":"teleport"})").get());
+  EXPECT_EQ(status_of(reply), "invalid_request");
+  EXPECT_EQ(reply.find("id")->as_string(), "bad-1");
+  EXPECT_NE(reply.find("error")->as_string().find("kind"),
+            std::string::npos);
+  // Infeasible policy (moves more tasks than the server holds): rejected
+  // by the deeper validation layer, still a structured reply.
+  Json infeasible = base_request("bad-2", "evaluate");
+  Json policy = Json::array();
+  Json row0 = Json::array();
+  row0.push_back(Json::number(0));
+  row0.push_back(Json::number(99));
+  policy.push_back(std::move(row0));
+  Json row1 = Json::array();
+  row1.push_back(Json::number(0));
+  row1.push_back(Json::number(0));
+  policy.push_back(std::move(row1));
+  infeasible.set("policy", std::move(policy));
+  reply = submit_and_parse(daemon, infeasible);
+  EXPECT_EQ(status_of(reply), "invalid_request");
+  // Fault injection is rejected unless the daemon opted in.
+  Json faulty = base_request("bad-3", "evaluate");
+  faulty.set("fault", Json::string("always_fail"));
+  reply = submit_and_parse(daemon, faulty);
+  EXPECT_EQ(status_of(reply), "invalid_request");
+}
+
+TEST(ServiceDaemon, BatchClassIsShedAtTheWatermarkInteractiveIsNot) {
+  DaemonOptions options = fast_options();
+  options.batch_watermark = 0;  // shed every batch-class request
+  Daemon daemon(options);
+
+  Json batch = base_request("b1", "evaluate");  // class defaults to batch
+  Json reply = submit_and_parse(daemon, batch);
+  EXPECT_EQ(status_of(reply), "overloaded");
+  EXPECT_NE(reply.find("queue_depth"), nullptr);
+  EXPECT_NE(reply.find("retry_after_ms"), nullptr);
+
+  Json interactive = base_request("i1", "evaluate");
+  interactive.set("class", Json::string("interactive"));
+  reply = submit_and_parse(daemon, interactive);
+  EXPECT_EQ(status_of(reply), "ok");
+  EXPECT_EQ(daemon.stats_snapshot().shed, 1u);
+}
+
+TEST(ServiceDaemon, ExpiredDeadlineIsAnsweredNotDropped) {
+  Daemon daemon(fast_options());
+  Json request = base_request("d1", "evaluate");
+  request.set("deadline_ms", Json::number(0.001));
+  const Json reply = submit_and_parse(daemon, request);
+  EXPECT_EQ(status_of(reply), "deadline_exceeded");
+  EXPECT_EQ(daemon.stats_snapshot().deadline_exceeded, 1u);
+}
+
+TEST(ServiceDaemon, ResilientRequestsNameTheAnsweringTier) {
+  Daemon daemon(fast_options());
+  Json request = base_request("t1", "evaluate");
+  request.set("resilient", Json::boolean(true));
+  const Json reply = submit_and_parse(daemon, request);
+  ASSERT_EQ(status_of(reply), "ok");
+  const std::string tier = reply.find("tier")->as_string();
+  EXPECT_TRUE(tier == "regenerative" || tier == "convolution" ||
+              tier == "markovian" || tier == "monte-carlo" ||
+              tier == "monte_carlo")
+      << tier;
+  EXPECT_TRUE(reply.find("degraded")->as_bool());
+}
+
+TEST(ServiceDaemon, RepeatOffendersArePoisonedAndFastRejected) {
+  DaemonOptions options = fast_options();
+  options.enable_test_faults = true;
+  options.max_retries = 0;
+  options.poison_strikes = 1;
+  options.backoff_initial_seconds = 0.0;
+  Daemon daemon(options);
+
+  Json poison = base_request("p1", "evaluate");
+  poison.set("fault", Json::string("always_fail"));
+  Json reply = submit_and_parse(daemon, poison);
+  EXPECT_EQ(status_of(reply), "failed");
+  EXPECT_NE(reply.find("error")->as_string().find("always_fail"),
+            std::string::npos);
+
+  // Same work under a new id: rejected at admission, solver untouched.
+  Json again = base_request("p2", "evaluate");
+  again.set("fault", Json::string("always_fail"));
+  reply = submit_and_parse(daemon, again);
+  EXPECT_EQ(status_of(reply), "poisoned");
+  EXPECT_EQ(daemon.stats_snapshot().poisoned, 1u);
+
+  // A flaky request recovers through retry and is NOT poisoned.
+  DaemonOptions retry_options = fast_options();
+  retry_options.enable_test_faults = true;
+  retry_options.max_retries = 2;
+  retry_options.backoff_initial_seconds = 0.0;
+  Daemon retrying(retry_options);
+  Json flaky = base_request("f1", "evaluate");
+  flaky.set("fault", Json::string("flaky:1"));
+  reply = submit_and_parse(retrying, flaky);
+  EXPECT_EQ(status_of(reply), "ok");
+}
+
+TEST(ServiceDaemon, JournaledSearchesReplayAcrossRestartBitForBit) {
+  const std::string journal = temp_path("journal");
+  std::remove(journal.c_str());
+  std::string first_dump;
+  {
+    DaemonOptions options = fast_options();
+    options.journal_path = journal;
+    Daemon daemon(options);
+    const Json reply = submit_and_parse(daemon, base_request("s1", "search"));
+    ASSERT_EQ(status_of(reply), "ok");
+    EXPECT_FALSE(reply.find("replayed")->as_bool());
+    first_dump = reply.dump();
+  }
+  {
+    DaemonOptions options = fast_options();
+    options.journal_path = journal;
+    Daemon daemon(options);
+    // Same work, new id: answered from the journal, values bit-identical.
+    const Json reply = submit_and_parse(daemon, base_request("s2", "search"));
+    ASSERT_EQ(status_of(reply), "ok") << reply.dump();
+    EXPECT_TRUE(reply.find("replayed")->as_bool());
+    EXPECT_EQ(daemon.stats_snapshot().replayed, 1u);
+    const Json first = Json::parse(first_dump);
+    EXPECT_EQ(reply.find("value")->as_number(),
+              first.find("value")->as_number());
+    EXPECT_EQ(reply.find("l12")->as_number(),
+              first.find("l12")->as_number());
+    EXPECT_EQ(reply.find("l21")->as_number(),
+              first.find("l21")->as_number());
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(ServiceDaemon, SearchAgreesWithTheDirectGridSearch) {
+  Daemon daemon(fast_options());
+  const Json reply = submit_and_parse(daemon, base_request("g1", "search"));
+  ASSERT_EQ(status_of(reply), "ok");
+
+  const Request request = parse_request(base_request("g1", "search"));
+  policy::EvaluationEngineOptions options;
+  options.conv.cells = 1u << 10;
+  options.conv.budget.max_seconds = 30.0;
+  const policy::EvaluationEngine engine(build_scenario(request), options);
+  const policy::TwoServerPolicySearch search(4, 2);
+  const policy::PolicyPoint best = search.optimize(engine, false);
+  EXPECT_EQ(reply.find("l12")->as_number(), best.l12);
+  EXPECT_EQ(reply.find("l21")->as_number(), best.l21);
+  EXPECT_EQ(reply.find("value")->as_number(), best.value);
+}
+
+TEST(ServiceDaemon, ServeStreamAnswersInOrderAndStopsOnMalformedFrames) {
+  Daemon daemon(fast_options());
+  std::stringstream in;
+  write_frame(in, base_request("w1", "evaluate").dump());
+  write_frame(in, R"({"id":"w2","kind":"ping"})");
+  in << "junk-not-a-frame";
+  std::stringstream out;
+  daemon.serve_stream(in, out);
+
+  std::string payload;
+  ASSERT_EQ(read_frame(out, payload), FrameStatus::kOk);
+  EXPECT_EQ(Json::parse(payload).find("id")->as_string(), "w1");
+  ASSERT_EQ(read_frame(out, payload), FrameStatus::kOk);
+  EXPECT_EQ(Json::parse(payload).find("id")->as_string(), "w2");
+  ASSERT_EQ(read_frame(out, payload), FrameStatus::kOk);
+  EXPECT_EQ(status_of(Json::parse(payload)), "malformed_frame");
+  EXPECT_EQ(read_frame(out, payload), FrameStatus::kEof);
+}
+
+TEST(ServiceDaemon, EveryPromiseIsFulfilledThroughShutdown) {
+  DaemonOptions options = fast_options();
+  Daemon daemon(options);
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        daemon.submit(base_request("x" + std::to_string(i), "evaluate")
+                          .dump()));
+  }
+  daemon.stop();
+  // Exactly-once: stop() drains — every future is fulfilled with either a
+  // real answer or a structured shutting_down reply, never abandoned.
+  for (std::future<std::string>& f : futures) {
+    const Json reply = Json::parse(f.get());
+    const std::string status = status_of(reply);
+    EXPECT_TRUE(status == "ok" || status == "shutting_down") << status;
+  }
+  // Post-shutdown submissions are refused in a structured way.
+  const Json late =
+      Json::parse(daemon.submit(base_request("late", "evaluate").dump()).get());
+  EXPECT_EQ(status_of(late), "shutting_down");
+}
+
+TEST(ServiceDaemon, ShutdownRequestClosesAdmission) {
+  Daemon daemon(fast_options());
+  Json shutdown = Json::object();
+  shutdown.set("id", Json::string("sd1"));
+  shutdown.set("kind", Json::string("shutdown"));
+  const Json reply = submit_and_parse(daemon, shutdown);
+  EXPECT_EQ(status_of(reply), "ok");
+  EXPECT_TRUE(daemon.shutdown_requested());
+  const Json refused =
+      Json::parse(daemon.submit(base_request("sd2", "evaluate").dump()).get());
+  EXPECT_EQ(status_of(refused), "shutting_down");
+}
+
+}  // namespace
+}  // namespace agedtr::service
