@@ -9,13 +9,20 @@
 //      each reading of the paper's transfer model — per-task is what makes
 //      severe delays suppress reallocation;
 //   5. the Theorem-1 solver's quadrature order (probability-domain nodes):
-//      accuracy vs cost of the reference recursion.
+//      accuracy vs cost of the reference recursion;
+//   6. the convolution backend (FFT vs direct time-domain): cold/warm wall
+//      time per cell count, the crossover the kAuto heuristic encodes, and
+//      the rtol-1e-9 agreement contract between the two paths. Emits
+//      BENCH_fft_ablation.json; --smoke runs only this ablation at CI size
+//      and exits nonzero if the backends disagree.
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/dist/exponential.hpp"
 #include "agedtr/dist/pareto.hpp"
+#include "agedtr/numerics/fft.hpp"
 #include "agedtr/core/regen_solver.hpp"
 #include "agedtr/policy/decision_policy.hpp"
 #include "agedtr/policy/objective.hpp"
@@ -31,10 +38,115 @@
 using namespace agedtr;
 using dist::ModelFamily;
 
+namespace {
+
+/// Ablation 6: the FFT-vs-direct backend choice. Each (cells, backend)
+/// configuration gets a fresh workspace (cold: discretizations, ladders and
+/// spectra all built under timing) and a second identical solve (warm: pure
+/// cache reads plus the per-call composition work). Returns false if the
+/// two backends' T-bar ever diverge beyond rtol 1e-9 — the differential
+/// contract fft_differential_test pins per-operation, re-checked here at
+/// bench scale.
+bool run_fft_ablation(const std::vector<core::ServerWorkload>& workloads,
+                      const std::vector<std::size_t>& cell_counts,
+                      const std::string& out_path) {
+  struct Row {
+    std::size_t cells = 0;
+    numerics::ConvolutionBackend backend = numerics::ConvolutionBackend::kAuto;
+    double tbar = 0.0;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t cells : cell_counts) {
+    for (const auto backend : {numerics::ConvolutionBackend::kDirect,
+                               numerics::ConvolutionBackend::kFft}) {
+      numerics::set_convolution_backend(backend);
+      core::ConvolutionOptions opts;
+      opts.cells = cells;
+      const core::ConvolutionSolver solver(opts);
+      Row row;
+      row.cells = cells;
+      row.backend = backend;
+      Stopwatch cold;
+      row.tbar = solver.mean_execution_time(workloads);
+      row.cold_ms = cold.elapsed_ms();
+      Stopwatch warm;
+      const double again = solver.mean_execution_time(workloads);
+      row.warm_ms = warm.elapsed_ms();
+      rows.push_back(row);
+      if (again != row.tbar) {
+        std::cerr << "fft ablation: warm solve not deterministic at cells="
+                  << cells << "\n";
+        numerics::set_convolution_backend(
+            numerics::ConvolutionBackend::kAuto);
+        return false;
+      }
+    }
+  }
+  numerics::set_convolution_backend(numerics::ConvolutionBackend::kAuto);
+
+  bool agree = true;
+  Table table({"cells", "backend", "T-bar (s)", "cold (ms)", "warm (ms)",
+               "fft speedup"});
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const Row& direct = rows[i];
+    const Row& fft = rows[i + 1];
+    table.begin_row()
+        .cell(static_cast<long long>(direct.cells))
+        .cell("direct")
+        .cell(direct.tbar)
+        .cell(direct.cold_ms)
+        .cell(direct.warm_ms)
+        .cell(1.0, 3);
+    table.begin_row()
+        .cell(static_cast<long long>(fft.cells))
+        .cell("fft")
+        .cell(fft.tbar)
+        .cell(fft.cold_ms)
+        .cell(fft.warm_ms)
+        .cell(direct.cold_ms / std::max(fft.cold_ms, 1e-6), 3);
+    if (std::fabs(fft.tbar - direct.tbar) > 1e-9 * std::fabs(direct.tbar)) {
+      std::cerr << "fft ablation: backends disagree at cells=" << direct.cells
+                << " (direct=" << format_double(direct.tbar)
+                << ", fft=" << format_double(fft.tbar) << ")\n";
+      agree = false;
+    }
+  }
+  std::cout << "\n=== Ablation 6 | convolution backend (fresh workspace per "
+               "row; auto crossover at a*b <= 4096) ===\n";
+  table.print(std::cout);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out.precision(12);
+    out << "{\n  \"bench\": \"fft_ablation\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"cells\": " << r.cells << ", \"backend\": \""
+          << (r.backend == numerics::ConvolutionBackend::kFft ? "fft"
+                                                              : "direct")
+          << "\", \"tbar_seconds\": " << r.tbar
+          << ", \"cold_ms\": " << r.cold_ms << ", \"warm_ms\": " << r.warm_ms
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"backends_agree\": " << (agree ? "true" : "false")
+        << "\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return agree;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliParser cli("ablation_solver: solver design-choice ablations");
   cli.add_option("reference-cells", "262144",
                  "lattice cells for the reference solution");
+  cli.add_option("fft-out", "BENCH_fft_ablation.json",
+                 "where to write the backend-ablation JSON record");
+  cli.add_flag("smoke",
+               "CI-sized run: only the backend ablation, small grids");
   cli.add_option("metrics", "",
                  "write a metrics report (and .trace.json) to this path");
   if (!cli.parse(argc, argv)) return 0;
@@ -45,6 +157,13 @@ int main(int argc, char** argv) {
       ModelFamily::kPareto1, bench::Delay::kSevere, false);
   const core::DtrPolicy policy = policy::make_two_server_policy(17, 1);
   const auto workloads = core::apply_policy(scenario, policy);
+
+  if (cli.get_flag("smoke")) {
+    return run_fft_ablation(workloads, {1u << 9, 1u << 10},
+                            cli.get_string("fft-out"))
+               ? 0
+               : 1;
+  }
 
   // ---- 1. lattice resolution ----
   core::ConvolutionOptions ref_opts;
@@ -189,6 +308,12 @@ int main(int argc, char** argv) {
                  "(reference: convolution solver, "
               << format_double(exact) << " s) ===\n";
     quad.print(std::cout);
+  }
+
+  // ---- 6. convolution backend ----
+  if (!run_fft_ablation(workloads, {1u << 10, 1u << 12, 1u << 14},
+                        cli.get_string("fft-out"))) {
+    return 1;
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "agedtr/dist/pareto.hpp"
 #include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/numerics/fft.hpp"
+#include "agedtr/numerics/kernels.hpp"
 #include "agedtr/random/rng.hpp"
 #include "agedtr/sim/simulator.hpp"
 #include "agedtr/util/metrics.hpp"
@@ -42,6 +43,73 @@ void BM_Fft(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_Rfft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const numerics::FftPlan& plan = numerics::fft_plan(n);
+  std::vector<double> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  std::vector<std::complex<double>> out(plan.bins());
+  for (auto _ : state) {
+    plan.rfft(in.data(), in.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+// ---- SIMD kernels ----------------------------------------------------------
+// The portable omp-simd loops under the FFT pipeline: spectrum pointwise
+// product, the prefix-sum CDF build, and the rescale/clamp pass.
+
+void BM_KernelPointwiseMul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    a[i] = {std::sin(0.01 * t), std::cos(0.02 * t)};
+    b[i] = {std::cos(0.03 * t), std::sin(0.04 * t)};
+  }
+  for (auto _ : state) {
+    numerics::kernels::pointwise_mul_inplace(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelPointwiseMul)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KernelPrefixSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> in(n, 1.0 / static_cast<double>(n));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    numerics::kernels::prefix_sum(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelPrefixSum)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KernelRescale(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.01 * static_cast<double>(i)) * 1e-3;
+  }
+  for (auto _ : state) {
+    numerics::kernels::scale(x.data(), n, 1.0000001);
+    numerics::kernels::clamp_nonnegative(x.data(), n);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelRescale)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_LatticeConvolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

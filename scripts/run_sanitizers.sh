@@ -11,7 +11,7 @@
 #                                        # is on by default now)
 #   scripts/run_sanitizers.sh -j 8       # cap build/test parallelism
 #   scripts/run_sanitizers.sh \
-#     --tsan-regex 'workspace|engine|[Rr]eplication|[Ss]lowdown'
+#     --tsan-regex 'workspace|engine|[Rr]eplication|[Ss]lowdown|[Ff]ft'
 #                                        # restrict the TSan ctest pass to
 #                                        # tests matching the regex (the
 #                                        # whole tree still builds); TSan

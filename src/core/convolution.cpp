@@ -4,9 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <memory_resource>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "agedtr/numerics/kernels.hpp"
+#include "agedtr/numerics/scratch.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
 
@@ -34,18 +38,18 @@ metrics::Histogram& lattice_cells() {
 
 /// Lattice law of min(X₁, …, X_k) for independent lattice variables:
 /// S_min(t) = Π S_i(t).
-LatticeDensity lattice_min(const std::vector<LatticeDensity>& parts) {
+LatticeDensity lattice_min(const std::vector<const LatticeDensity*>& parts) {
   AGEDTR_ASSERT(!parts.empty());
-  const double dt = parts.front().dt();
+  const double dt = parts.front()->dt();
   std::size_t n = 0;
-  for (const auto& p : parts) n = std::max(n, p.size());
+  for (const auto* p : parts) n = std::max(n, p->size());
   std::vector<double> mass(n, 0.0);
   double prev_cdf = 0.0;
   double tail = 1.0;
   for (std::size_t i = 0; i < n; ++i) {
     double surv = 1.0;
-    for (const auto& p : parts) {
-      surv *= 1.0 - p.cdf(i);
+    for (const auto* p : parts) {
+      surv *= 1.0 - p->cdf(i);
     }
     const double cdf = 1.0 - surv;
     mass[i] = std::max(cdf - prev_cdf, 0.0);
@@ -116,8 +120,8 @@ const LatticeDensity& ConvolutionSolver::base_lattice(
   return workspace_->base(law, dt, options_.cells);
 }
 
-LatticeDensity ConvolutionSolver::service_sum(const dist::DistPtr& service,
-                                              unsigned k) const {
+const LatticeDensity& ConvolutionSolver::service_sum(
+    const dist::DistPtr& service, unsigned k) const {
   double dt;
   {
     MutexLock lock(&mutex_);
@@ -139,13 +143,15 @@ LatticeDensity ConvolutionSolver::completion_density(
                    "completion_density: call a metric first or set dt "
                    "explicitly (the grid must be frozen)");
   }
-  const LatticeDensity local =
+  const LatticeDensity& local =
       service_sum(workload.service,
                   static_cast<unsigned>(workload.local_tasks));
   if (workload.inbound.empty()) return local;
 
   int inbound_tasks = 0;
-  std::vector<LatticeDensity> transfers;
+  // Workspace references, not copies: cached densities are immutable (CDF
+  // and spectrum pre-built) for the workspace's lifetime.
+  std::vector<const LatticeDensity*> transfers;
   transfers.reserve(workload.inbound.size());
   for (const ServerWorkload::Inbound& g : workload.inbound) {
     AGEDTR_REQUIRE(g.tasks > 0 && g.transfer != nullptr,
@@ -154,29 +160,33 @@ LatticeDensity ConvolutionSolver::completion_density(
     // Per-task scaling: the group's arrival time is the tasks-fold sum of
     // the per-task law, built (and cached) on the solver's own lattice.
     transfers.push_back(g.per_task
-                            ? service_sum(g.transfer,
-                                          static_cast<unsigned>(g.tasks))
-                            : base_lattice(g.transfer));
+                            ? &service_sum(g.transfer,
+                                           static_cast<unsigned>(g.tasks))
+                            : &base_lattice(g.transfer));
   }
-  LatticeDensity arrival = transfers.front();
+  const LatticeDensity* arrival = transfers.front();
+  std::optional<LatticeDensity> batched;
   if (transfers.size() > 1) {
     switch (options_.multi_group) {
       case ConvolutionOptions::MultiGroup::kBatchMax:
-        for (std::size_t i = 1; i < transfers.size(); ++i) {
-          arrival = LatticeDensity::max_of(arrival, transfers[i]);
+        batched.emplace(
+            LatticeDensity::max_of(*transfers[0], *transfers[1]));
+        for (std::size_t i = 2; i < transfers.size(); ++i) {
+          batched.emplace(LatticeDensity::max_of(*batched, *transfers[i]));
         }
         break;
       case ConvolutionOptions::MultiGroup::kBatchMin:
-        arrival = lattice_min(transfers);
+        batched.emplace(lattice_min(transfers));
         break;
       case ConvolutionOptions::MultiGroup::kReject:
         AGEDTR_REQUIRE(false,
                        "completion_density: server has multiple inbound "
                        "groups and multi_group == kReject");
     }
+    arrival = &*batched;
   }
-  const LatticeDensity busy_until = LatticeDensity::max_of(local, arrival);
-  const LatticeDensity inbound_work =
+  const LatticeDensity busy_until = LatticeDensity::max_of(local, *arrival);
+  const LatticeDensity& inbound_work =
       service_sum(workload.service, static_cast<unsigned>(inbound_tasks));
   return busy_until.convolve(inbound_work);
 }
@@ -232,14 +242,18 @@ double ConvolutionSolver::mean_execution_time(
   }
   if (completions.empty()) return 0.0;
   // ∫ (1 − Π_j F_j(t)) dt on the lattice (rectangle rule), then the
-  // analytic beyond-grid correction.
-  double mean = 0.0;
+  // analytic beyond-grid correction. The product runs column-wise over the
+  // completions' CDF arrays (all on the solver's grid) so each pass is one
+  // vector multiply.
   const std::size_t cells = completions.front().size();
-  for (std::size_t i = 0; i < cells; ++i) {
-    double prod = 1.0;
-    for (const LatticeDensity& c : completions) prod *= c.cdf(i);
-    mean += 1.0 - prod;
+  numerics::ScratchFrame frame;
+  std::pmr::vector<double> prod(cells, 1.0, frame.resource());
+  for (const LatticeDensity& c : completions) {
+    AGEDTR_ASSERT(c.size() == cells);
+    numerics::kernels::mul_inplace(prod.data(), c.cdf_values().data(), cells);
   }
+  const double mean = static_cast<double>(cells) -
+                      numerics::kernels::sum(prod.data(), cells);
   return mean * dt_ + correction;
 }
 
@@ -289,15 +303,20 @@ ConvolutionSolver::ExecutionTimeLaw ConvolutionSolver::execution_time_law(
     return law;
   }
   const std::size_t cells = completions.front().size();
-  law.cdf.resize(cells);
+  law.cdf.assign(cells, 1.0);
+  for (const LatticeDensity& c : completions) {
+    AGEDTR_ASSERT(c.size() == cells);
+    numerics::kernels::mul_inplace(law.cdf.data(), c.cdf_values().data(),
+                                   cells);
+  }
   double mean = 0.0;
   double second_moment = 0.0;
+  const double* cdf = law.cdf.data();
+  const double step = dt_;
+  AGEDTR_PRAGMA(omp simd reduction(+ : mean, second_moment))
   for (std::size_t i = 0; i < cells; ++i) {
-    double prod = 1.0;
-    for (const LatticeDensity& c : completions) prod *= c.cdf(i);
-    law.cdf[i] = prod;
-    const double survival = 1.0 - prod;
-    const double t = static_cast<double>(i) * dt_;
+    const double survival = 1.0 - cdf[i];
+    const double t = static_cast<double>(i) * step;
     mean += survival;
     second_moment += 2.0 * t * survival;
   }
@@ -335,22 +354,31 @@ std::vector<ConvolutionSolver::ServerUsage> ConvolutionSolver::server_usage(
     if (!w.inbound.empty()) {
       // E[(Z − A)⁺] = ∫ P{A <= t}·P{Z > t} dt on the lattice, with the
       // batch-arrival law standing in when several groups are inbound.
-      const LatticeDensity local = service_sum(
+      const LatticeDensity& local = service_sum(
           w.service, static_cast<unsigned>(w.local_tasks));
-      std::vector<LatticeDensity> transfers;
+      std::vector<const LatticeDensity*> transfers;
       for (const ServerWorkload::Inbound& g : w.inbound) {
         transfers.push_back(g.per_task
-                                ? service_sum(g.transfer,
-                                              static_cast<unsigned>(g.tasks))
-                                : base_lattice(g.transfer));
+                                ? &service_sum(g.transfer,
+                                               static_cast<unsigned>(g.tasks))
+                                : &base_lattice(g.transfer));
       }
-      LatticeDensity arrival = transfers.front();
+      std::optional<LatticeDensity> batched;
+      const LatticeDensity* arrival = transfers.front();
       for (std::size_t i = 1; i < transfers.size(); ++i) {
-        arrival = LatticeDensity::max_of(arrival, transfers[i]);
+        batched.emplace(LatticeDensity::max_of(*arrival, *transfers[i]));
+        arrival = &*batched;
       }
-      double gap = 0.0;
-      for (std::size_t i = 0; i < local.size(); ++i) {
-        gap += local.cdf(i) * (1.0 - arrival.cdf(i));
+      // Σ F_local(i)·(1 − F_arrival(i)) = Σ F_local − ⟨F_local, F_arrival⟩,
+      // with the arrival CDF clamped to 1 − tail past its grid.
+      const std::vector<double>& lc = local.cdf_values();
+      const std::vector<double>& ac = arrival->cdf_values();
+      const std::size_t common = std::min(local.size(), arrival->size());
+      double gap = numerics::kernels::sum(lc.data(), common) -
+                   numerics::kernels::dot(lc.data(), ac.data(), common);
+      if (local.size() > common) {
+        gap += arrival->tail() * numerics::kernels::sum(
+                                     lc.data() + common, local.size() - common);
       }
       usage[j].expected_idle_gap = gap * dt_;
     }

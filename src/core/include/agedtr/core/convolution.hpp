@@ -141,8 +141,9 @@ class ConvolutionSolver {
  private:
   void ensure_grid(const std::vector<ServerWorkload>& workloads) const;
   /// k-fold service convolution, served from the workspace's power-of-two
-  /// ladder and exact-sum caches.
-  [[nodiscard]] numerics::LatticeDensity service_sum(
+  /// ladder and exact-sum caches. The reference stays valid for the
+  /// workspace's lifetime (no per-call copy).
+  [[nodiscard]] const numerics::LatticeDensity& service_sum(
       const dist::DistPtr& service, unsigned k) const;
   [[nodiscard]] const numerics::LatticeDensity& base_lattice(
       const dist::DistPtr& law) const;

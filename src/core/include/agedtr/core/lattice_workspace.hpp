@@ -22,8 +22,11 @@
 // mutex guards the tables. Ladder extension (the W^{*2^i} doublings)
 // happens under the lock — the rungs are shared state — while the final
 // per-k composition runs outside it so concurrent sweeps do not serialize
-// on each other's FFTs. Cached densities have their CDF prefix sums built
-// before they are published, making subsequent reads lock-free and const.
+// on each other's FFTs. Cached densities have their CDF prefix sums and
+// (on grids large enough for the FFT convolution path) their forward rfft
+// spectra built before they are published, making subsequent reads —
+// including frequency-domain convolutions against them — lock-free and
+// const.
 //
 // Accounting. Hit/miss counters (split by base-discretization and k-fold
 // lookups) and an approximate resident-byte count let benches and servers
@@ -31,8 +34,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <vector>
+#include <utility>
 
 #include "agedtr/dist/distribution.hpp"
 #include "agedtr/numerics/lattice.hpp"
@@ -48,7 +52,8 @@ struct WorkspaceStats {
   /// Exact k-fold-sum lookups (k >= 2) served from / missing in the cache.
   std::uint64_t sum_hits = 0;
   std::uint64_t sum_misses = 0;
-  /// Approximate bytes resident in cached densities (mass + CDF arrays).
+  /// Approximate bytes resident in cached densities (mass + CDF arrays,
+  /// plus the cached forward spectra on FFT-sized grids).
   std::uint64_t bytes = 0;
   /// Distinct (law, grid) entries.
   std::uint64_t laws = 0;
@@ -76,10 +81,12 @@ class LatticeWorkspace {
 
   /// The law of the k-fold i.i.d. sum of `law` on the same grid (k == 0 is
   /// the point mass at zero, k == 1 the base discretization). Exact k-fold
-  /// results and the binary power ladder behind them are cached.
-  [[nodiscard]] numerics::LatticeDensity sum(const dist::DistPtr& law,
-                                             unsigned k, double dt,
-                                             std::size_t cells);
+  /// results and the binary power ladder behind them are cached; like
+  /// base(), the returned reference stays valid (CDF and, on FFT-sized
+  /// grids, forward spectrum pre-built) until clear().
+  [[nodiscard]] const numerics::LatticeDensity& sum(const dist::DistPtr& law,
+                                                    unsigned k, double dt,
+                                                    std::size_t cells);
 
   [[nodiscard]] WorkspaceStats stats() const;
 
@@ -100,8 +107,10 @@ class LatticeWorkspace {
   struct LawEntry {
     dist::DistPtr pin;  // keeps the keyed address from being recycled
     numerics::LatticeDensity base;
-    /// powers[i] = the 2^i-fold sum (powers[0] == base).
-    std::vector<numerics::LatticeDensity> powers;
+    /// powers[i] = the 2^i-fold sum (powers[0] == base). A deque so the
+    /// rung references handed out under the lock survive later ladder
+    /// extensions (the per-k composition reads them lock-free).
+    std::deque<numerics::LatticeDensity> powers;
     /// Exact k-fold sums for the k's actually requested.
     std::map<unsigned, numerics::LatticeDensity> sums;
   };
@@ -111,14 +120,22 @@ class LatticeWorkspace {
   LawEntry& entry_locked(const dist::DistPtr& law, double dt,
                          std::size_t cells) AGEDTR_REQUIRES(mutex_);
 
-  [[nodiscard]] static std::uint64_t density_bytes(
-      const numerics::LatticeDensity& d) {
-    // mass + (lazily materialized, but always pre-built here) cdf arrays.
-    return static_cast<std::uint64_t>(d.size()) * 2u * sizeof(double);
-  }
+  /// The cached point mass at zero for a grid (k == 0 sums). Kept outside
+  /// the law entries — it depends on no law — and outside the hit/miss
+  /// stats, which count only real lattice work.
+  const numerics::LatticeDensity& zero_locked(double dt, std::size_t cells)
+      AGEDTR_REQUIRES(mutex_);
+
+  /// Pre-builds the caches a published density needs for lock-free shared
+  /// reads (CDF always; forward spectrum when this grid convolves through
+  /// the FFT path), then reports its resident bytes.
+  [[nodiscard]] static std::uint64_t prepare_for_sharing(
+      const numerics::LatticeDensity& d, std::size_t cells);
 
   mutable Mutex mutex_;
   std::map<GridKey, LawEntry> entries_ AGEDTR_GUARDED_BY(mutex_);
+  std::map<std::pair<double, std::size_t>, numerics::LatticeDensity> zeros_
+      AGEDTR_GUARDED_BY(mutex_);
   WorkspaceStats stats_ AGEDTR_GUARDED_BY(mutex_);
 };
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/numerics/fft.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
 
@@ -34,7 +35,23 @@ metrics::Counter& ws_bytes_counter() {
   return c;
 }
 
+// Padded transform length every convolution of two n-cell densities uses
+// (full linear length 2n−1 rounded up): the length cached spectra must be
+// built at so shared entries convolve without a forward transform.
+std::size_t conv_padded(std::size_t cells) {
+  return numerics::next_pow2(2 * cells - 1);
+}
+
 }  // namespace
+
+std::uint64_t LatticeWorkspace::prepare_for_sharing(const LatticeDensity& d,
+                                                    std::size_t cells) {
+  d.ensure_cdf();
+  if (!numerics::use_direct_convolution(cells, cells)) {
+    d.ensure_spectrum(conv_padded(cells));
+  }
+  return d.cache_bytes();
+}
 
 LatticeWorkspace::LawEntry& LatticeWorkspace::entry_locked(
     const dist::DistPtr& law, double dt, std::size_t cells) {
@@ -42,13 +59,26 @@ LatticeWorkspace::LawEntry& LatticeWorkspace::entry_locked(
   const auto it = entries_.find(key);
   if (it != entries_.end()) return it->second;
   LawEntry entry{law, dist::discretize(*law, dt, cells), {}, {}};
-  // Publish with the CDF prefix sums in place: cached densities are shared
-  // across threads and ensure_cdf() mutates on first use.
-  entry.base.ensure_cdf();
-  stats_.bytes += density_bytes(entry.base);
-  ws_bytes_counter().add(density_bytes(entry.base));
+  // Publish with the CDF prefix sums and (FFT-sized grids) the forward
+  // spectrum in place: cached densities are shared across threads and both
+  // caches mutate on first use.
+  const std::uint64_t bytes = prepare_for_sharing(entry.base, cells);
+  stats_.bytes += bytes;
+  ws_bytes_counter().add(bytes);
   ++stats_.laws;
   return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+const LatticeDensity& LatticeWorkspace::zero_locked(double dt,
+                                                    std::size_t cells) {
+  const auto key = std::make_pair(dt, cells);
+  const auto it = zeros_.find(key);
+  if (it != zeros_.end()) return it->second;
+  const auto ins = zeros_.emplace(key, LatticeDensity::zero(dt, cells)).first;
+  // The point mass at zero never convolves through the FFT path (the
+  // identity shortcut fires first), so only the CDF needs pre-building.
+  ins->second.ensure_cdf();
+  return ins->second;
 }
 
 const LatticeDensity& LatticeWorkspace::base(const dist::DistPtr& law,
@@ -68,19 +98,24 @@ const LatticeDensity& LatticeWorkspace::base(const dist::DistPtr& law,
   return entry_locked(law, dt, cells).base;
 }
 
-LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
-                                     double dt, std::size_t cells) {
+const LatticeDensity& LatticeWorkspace::sum(const dist::DistPtr& law,
+                                            unsigned k, double dt,
+                                            std::size_t cells) {
   AGEDTR_REQUIRE(law != nullptr, "LatticeWorkspace::sum: null law");
   AGEDTR_REQUIRE(dt > 0.0, "LatticeWorkspace::sum: dt must be positive");
-  if (k == 0) return LatticeDensity::zero(dt, cells);
+  if (k == 0) {
+    MutexLock lock(&mutex_);
+    return zero_locked(dt, cells);
+  }
   if (k == 1) return base(law, dt, cells);
 
   unsigned needed_levels = 0;
   for (unsigned kk = k; kk > 1; kk >>= 1u) ++needed_levels;
-  // Copy the needed ladder rungs W^{*2^i} under the lock (extending the
+  // Collect the needed ladder rungs W^{*2^i} under the lock (extending the
   // ladder if required), then compose outside it so concurrent sweeps do
-  // not serialize on the per-k convolution work.
-  std::vector<LatticeDensity> rungs;
+  // not serialize on the per-k convolution work. The rung references stay
+  // valid (deque) and readable (caches pre-built) without the lock.
+  std::vector<const LatticeDensity*> rungs;
   {
     MutexLock lock(&mutex_);
     LawEntry& entry = entry_locked(law, dt, cells);
@@ -95,29 +130,29 @@ LatticeDensity LatticeWorkspace::sum(const dist::DistPtr& law, unsigned k,
     if (entry.powers.empty()) entry.powers.push_back(entry.base);
     while (entry.powers.size() <= needed_levels) {
       entry.powers.push_back(entry.powers.back().convolve(entry.powers.back()));
-      entry.powers.back().ensure_cdf();
-      stats_.bytes += density_bytes(entry.powers.back());
-      ws_bytes_counter().add(density_bytes(entry.powers.back()));
+      const std::uint64_t bytes =
+          prepare_for_sharing(entry.powers.back(), cells);
+      stats_.bytes += bytes;
+      ws_bytes_counter().add(bytes);
     }
     for (unsigned bit = 0; (1u << bit) <= k; ++bit) {
-      if (k & (1u << bit)) rungs.push_back(entry.powers[bit]);
+      if (k & (1u << bit)) rungs.push_back(&entry.powers[bit]);
     }
   }
-  LatticeDensity result = std::move(rungs.front());
+  LatticeDensity result = *rungs.front();
   for (std::size_t i = 1; i < rungs.size(); ++i) {
-    result = result.convolve(rungs[i]);
+    result = result.convolve(*rungs[i]);
   }
-  result.ensure_cdf();  // cached entries are shared across threads
-  {
-    MutexLock lock(&mutex_);
-    LawEntry& entry = entry_locked(law, dt, cells);
-    const auto [ins, fresh] = entry.sums.emplace(k, result);
-    if (fresh) {
-      stats_.bytes += density_bytes(ins->second);
-      ws_bytes_counter().add(density_bytes(ins->second));
-    }
+  // Cached entries are shared across threads: build the lazy caches now.
+  const std::uint64_t bytes = prepare_for_sharing(result, cells);
+  MutexLock lock(&mutex_);
+  LawEntry& entry = entry_locked(law, dt, cells);
+  const auto [ins, fresh] = entry.sums.emplace(k, std::move(result));
+  if (fresh) {
+    stats_.bytes += bytes;
+    ws_bytes_counter().add(bytes);
   }
-  return result;
+  return ins->second;
 }
 
 WorkspaceStats LatticeWorkspace::stats() const {
@@ -128,6 +163,7 @@ WorkspaceStats LatticeWorkspace::stats() const {
 void LatticeWorkspace::clear() {
   MutexLock lock(&mutex_);
   entries_.clear();
+  zeros_.clear();
   stats_ = WorkspaceStats{};
 }
 

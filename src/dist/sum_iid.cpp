@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "agedtr/dist/lattice_bridge.hpp"
+#include "agedtr/numerics/kernels.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/thread_annotations.hpp"
 
@@ -33,17 +34,16 @@ void SumIid::ensure_lattice() const {
   const double dt = horizon / static_cast<double>(cells_);
   auto lattice = std::make_shared<numerics::LatticeDensity>(
       discretize(*base_, dt, cells_).convolve_power(count_));
-  // CDF interpolant at cell edges for smooth pdf/cdf evaluation.
-  std::vector<double> xs, ys;
-  xs.reserve(cells_ + 1);
-  ys.reserve(cells_ + 1);
-  xs.push_back(0.0);
-  ys.push_back(0.0);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < lattice->size(); ++i) {
-    acc += lattice->mass(i);
-    xs.push_back((static_cast<double>(i) + 0.5) * dt);
-    ys.push_back(std::min(acc, 1.0));
+  // CDF interpolant at cell edges for smooth pdf/cdf evaluation: one
+  // vectorized prefix sum over the mass vector, clamped into [_, 1].
+  const std::size_t n = lattice->size();
+  std::vector<double> xs(n + 1), ys(n + 1);
+  xs[0] = 0.0;
+  ys[0] = 0.0;
+  numerics::kernels::prefix_sum(lattice->masses().data(), ys.data() + 1, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i + 1] = (static_cast<double>(i) + 0.5) * dt;
+    ys[i + 1] = std::min(ys[i + 1], 1.0);
   }
   cdf_interp_ = std::make_shared<numerics::PchipInterpolator>(std::move(xs),
                                                               std::move(ys));

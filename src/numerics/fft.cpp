@@ -1,21 +1,66 @@
 #include "agedtr/numerics/fft.hpp"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
 #include <complex>
+#include <cstdint>
+#include <limits>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
+#include "agedtr/numerics/kernels.hpp"
+#include "agedtr/numerics/scratch.hpp"
 #include "agedtr/util/error.hpp"
+#include "agedtr/util/metrics.hpp"
+#include "agedtr/util/thread_annotations.hpp"
 
 namespace agedtr::numerics {
 
-std::size_t next_pow2(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
+namespace {
+
+using Complex = std::complex<double>;
+
+// Below this product of operand lengths the O(n·m) direct sum beats the
+// transform round trip (measured in bench/ablation_solver.cpp's
+// fft-vs-direct row; see docs/FFT_PIPELINE.md).
+constexpr std::size_t kDirectCrossover = 4096;
+
+metrics::Counter& plan_hit_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "fft.plan_hit", "FFT plan cache lookups served from the cache");
+  return c;
 }
 
-void fft(std::vector<std::complex<double>>& data, bool inverse) {
+metrics::Counter& plan_miss_counter() {
+  static metrics::Counter& c = metrics::MetricsRegistry::global().counter(
+      "fft.plan_miss", "FFT plan cache lookups that built a new plan");
+  return c;
+}
+
+std::atomic<ConvolutionBackend> g_backend{ConvolutionBackend::kAuto};
+
+// One slot per power of two; plans are built once under the mutex,
+// published with a release store, and deliberately never freed (they are
+// read lock-free for the process lifetime).
+std::array<std::atomic<const FftPlan*>, std::numeric_limits<std::size_t>::digits>
+    g_plans{};
+Mutex g_plan_mutex;
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  AGEDTR_REQUIRE(n >= 1, "next_pow2: n must be >= 1");
+  constexpr std::size_t kTop = std::size_t{1}
+                               << (std::numeric_limits<std::size_t>::digits - 1);
+  AGEDTR_REQUIRE(n <= kTop,
+                 "next_pow2: n exceeds the largest representable power of two");
+  return std::bit_ceil(n);
+}
+
+void fft(std::vector<Complex>& data, bool inverse) {
   const std::size_t n = data.size();
   AGEDTR_REQUIRE(n != 0 && (n & (n - 1)) == 0,
                  "fft: size must be a power of two");
@@ -28,12 +73,12 @@ void fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    const Complex wlen(std::cos(angle), std::sin(angle));
     for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
+      Complex w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
         w *= wlen;
@@ -46,35 +91,191 @@ void fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
 }
 
+FftPlan::FftPlan(std::size_t n) : n_(n), half_(n / 2) {
+  AGEDTR_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+                 "FftPlan: size must be a power of two >= 2");
+  rev_.resize(half_);
+  rev_[0] = 0;
+  for (std::size_t i = 1; i < half_; ++i) {
+    rev_[i] = static_cast<std::uint32_t>(
+        (rev_[i >> 1] >> 1) | ((i & 1u) != 0 ? half_ >> 1 : 0));
+  }
+  roots_.resize(half_ / 2);
+  for (std::size_t j = 0; j < half_ / 2; ++j) {
+    const double angle = -2.0 * M_PI * static_cast<double>(j) /
+                         static_cast<double>(half_);
+    roots_[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  split_.resize(half_ + 1);
+  for (std::size_t k = 0; k <= half_; ++k) {
+    const double angle =
+        -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+    split_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+void FftPlan::fft_half(Complex* a, bool inverse) const {
+  const std::size_t m = half_;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = rev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const std::size_t stride = m / len;  // twiddle table step for this stage
+    for (std::size_t i = 0; i < m; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex w = inverse ? std::conj(roots_[k * stride])
+                                  : roots_[k * stride];
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(m);
+    for (std::size_t i = 0; i < m; ++i) a[i] *= scale;
+  }
+}
+
+void FftPlan::rfft(const double* in, std::size_t len, Complex* out) const {
+  AGEDTR_REQUIRE(len <= n_, "FftPlan::rfft: input longer than the plan size");
+  ScratchFrame frame;
+  std::pmr::vector<Complex> z(half_, frame.resource());
+  // Pack even samples into the real lane and odd samples into the
+  // imaginary lane of a half-size complex input (zero-padded past len).
+  const std::size_t full = len / 2;  // pairs with both samples in range
+  for (std::size_t j = 0; j < full; ++j) z[j] = Complex(in[2 * j], in[2 * j + 1]);
+  if (len % 2 != 0 && full < half_) z[full] = Complex(in[len - 1], 0.0);
+  fft_half(z.data(), /*inverse=*/false);
+  // Split: with Z = fft(even + i·odd), E_k = (Z_k + conj(Z_{m−k}))/2 and
+  // O_k = (Z_k − conj(Z_{m−k}))/(2i) recover the even/odd spectra, and
+  // X_k = E_k + w_k·O_k with w_k = exp(−2πik/n) merges them.
+  const Complex z0 = z[0];
+  out[0] = Complex(z0.real() + z0.imag(), 0.0);
+  out[half_] = Complex(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < half_; ++k) {
+    const Complex zk = z[k];
+    const Complex zc = std::conj(z[half_ - k]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
+    out[k] = even + split_[k] * odd;
+  }
+}
+
+void FftPlan::irfft(const Complex* in, double* out) const {
+  ScratchFrame frame;
+  std::pmr::vector<Complex> z(half_, frame.resource());
+  // Invert the split (X_k = E_k + w_k·O_k and X_{m−k} = conj(E_k − w_k·O_k))
+  // and rebuild the packed half-size signal Z_k = E_k + i·O_k.
+  const double e0 = 0.5 * (in[0].real() + in[half_].real());
+  const double o0 = 0.5 * (in[0].real() - in[half_].real());
+  z[0] = Complex(e0, o0);
+  for (std::size_t k = 1; k < half_; ++k) {
+    const Complex xk = in[k];
+    const Complex xc = std::conj(in[half_ - k]);
+    const Complex even = 0.5 * (xk + xc);
+    const Complex odd = std::conj(split_[k]) * (0.5 * (xk - xc));
+    z[k] = even + Complex(0.0, 1.0) * odd;
+  }
+  fft_half(z.data(), /*inverse=*/true);  // includes the 1/(n/2) scaling
+  for (std::size_t j = 0; j < half_; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  AGEDTR_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+                 "fft_plan: size must be a power of two >= 2");
+  const auto idx = static_cast<std::size_t>(std::countr_zero(n));
+  const FftPlan* plan = g_plans[idx].load(std::memory_order_acquire);
+  if (plan != nullptr) {
+    plan_hit_counter().add();
+    return *plan;
+  }
+  plan_miss_counter().add();
+  MutexLock lock(&g_plan_mutex);
+  plan = g_plans[idx].load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    plan = new FftPlan(n);  // intentionally immortal: published lock-free
+    g_plans[idx].store(plan, std::memory_order_release);
+  }
+  return *plan;
+}
+
+std::vector<Complex> rfft(const std::vector<double>& x) {
+  AGEDTR_REQUIRE(x.size() >= 2 && (x.size() & (x.size() - 1)) == 0,
+                 "rfft: size must be a power of two >= 2");
+  const FftPlan& plan = fft_plan(x.size());
+  std::vector<Complex> out(plan.bins());
+  plan.rfft(x.data(), x.size(), out.data());
+  return out;
+}
+
+std::vector<double> irfft(const std::vector<Complex>& spectrum,
+                          std::size_t n) {
+  const FftPlan& plan = fft_plan(n);
+  AGEDTR_REQUIRE(spectrum.size() == plan.bins(),
+                 "irfft: spectrum must hold n/2 + 1 bins");
+  std::vector<double> out(n);
+  plan.irfft(spectrum.data(), out.data());
+  return out;
+}
+
+void set_convolution_backend(ConvolutionBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+ConvolutionBackend convolution_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+bool use_direct_convolution(std::size_t a_size, std::size_t b_size) {
+  switch (convolution_backend()) {
+    case ConvolutionBackend::kDirect:
+      return true;
+    case ConvolutionBackend::kFft:
+      // A 1x1 product has no power-of-two transform length >= 2; the
+      // single multiply is exact either way.
+      return a_size + b_size < 3;
+    case ConvolutionBackend::kAuto:
+      break;
+  }
+  return a_size * b_size <= kDirectCrossover;
+}
+
 std::vector<double> convolve(const std::vector<double>& a,
                              const std::vector<double>& b,
                              bool clamp_nonnegative) {
   if (a.empty() || b.empty()) return {};
   const std::size_t out_size = a.size() + b.size() - 1;
   std::vector<double> out(out_size, 0.0);
-  if (a.size() * b.size() <= 4096) {  // direct sum is faster and exact
+  if (use_direct_convolution(a.size(), b.size())) {
     for (std::size_t i = 0; i < a.size(); ++i) {
       if (a[i] == 0.0) continue;
-      for (std::size_t j = 0; j < b.size(); ++j) {
-        out[i + j] += a[i] * b[j];
-      }
+      const double ai = a[i];
+      double* dst = out.data() + i;
+      const double* src = b.data();
+      const std::size_t m = b.size();
+      AGEDTR_SIMD
+      for (std::size_t j = 0; j < m; ++j) dst[j] += ai * src[j];
     }
   } else {
     const std::size_t n = next_pow2(out_size);
-    std::vector<std::complex<double>> fa(n), fb(n);
-    for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
-    for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
-    fft(fa, false);
-    fft(fb, false);
-    for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-    fft(fa, true);
-    for (std::size_t i = 0; i < out_size; ++i) out[i] = fa[i].real();
+    const FftPlan& plan = fft_plan(n);
+    ScratchFrame frame;
+    std::pmr::vector<Complex> fa(plan.bins(), frame.resource());
+    std::pmr::vector<Complex> fb(plan.bins(), frame.resource());
+    plan.rfft(a.data(), a.size(), fa.data());
+    plan.rfft(b.data(), b.size(), fb.data());
+    kernels::pointwise_mul_inplace(fa.data(), fb.data(), plan.bins());
+    std::pmr::vector<double> time(n, frame.resource());
+    plan.irfft(fa.data(), time.data());
+    for (std::size_t i = 0; i < out_size; ++i) out[i] = time[i];
   }
-  if (clamp_nonnegative) {
-    for (double& x : out) {
-      if (x < 0.0) x = 0.0;
-    }
-  }
+  if (clamp_nonnegative) kernels::clamp_nonnegative(out.data(), out.size());
   return out;
 }
 

@@ -1,11 +1,23 @@
-// Iterative radix-2 complex FFT and a real linear-convolution helper.
+// Real-to-complex FFT transforms with a process-wide plan cache, and the
+// linear-convolution helpers built on them.
 //
 // The lattice-density engine convolves probability mass vectors of length up
-// to ~2^18; convolution is performed by zero-padding to the next power of
-// two, transforming, multiplying, and inverting.
+// to ~2^18. A convolution of real sequences only needs half the complex
+// work: rfft packs the 2m reals into m complex points, runs one half-size
+// complex FFT from precomputed twiddle tables, and unpacks the n/2+1
+// independent bins of the Hermitian spectrum. Plans (bit-reversal tables +
+// twiddles) are immutable and cached per transform size behind one atomic
+// load, so every convolution in the process shares them; cache behaviour is
+// observable through the `fft.plan_hit` / `fft.plan_miss` metrics counters.
+//
+// Densities that are convolved repeatedly (the LatticeWorkspace ladder
+// rungs and k-fold sums) keep their forward spectrum cached alongside the
+// mass vector — see LatticeDensity::ensure_spectrum — so a warm solve pays
+// one pointwise multiply and one inverse transform per convolution.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 namespace agedtr::numerics {
@@ -14,14 +26,89 @@ namespace agedtr::numerics {
 /// two. `inverse` applies the conjugate transform and the 1/N scaling.
 void fft(std::vector<std::complex<double>>& data, bool inverse);
 
-/// Smallest power of two >= n (n >= 1).
+/// Smallest power of two >= n. Requires n >= 1 and n representable (n no
+/// larger than the top power of two of std::size_t); throws InvalidArgument
+/// otherwise — a silent wrap here would alias FFT convolutions.
 [[nodiscard]] std::size_t next_pow2(std::size_t n);
 
+/// The cached forward half-complex spectrum of a real sequence zero-padded
+/// to `padded` points (`bins.size() == padded / 2 + 1`). `padded == 0`
+/// means "not built".
+struct Spectrum {
+  std::size_t padded = 0;
+  std::vector<std::complex<double>> bins;
+};
+
+/// Immutable transform plan for real length n (a power of two >= 2):
+/// bit-reversal permutation and twiddle tables for the half-size complex
+/// FFT, plus the split twiddles of the real<->half-complex repacking.
+/// Thread-safe: execution only reads the tables.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  /// The real transform length.
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// Number of independent spectrum bins (n/2 + 1).
+  [[nodiscard]] std::size_t bins() const { return half_ + 1; }
+
+  /// Forward real-to-complex transform of in[0..len) zero-padded to
+  /// size(); writes bins() complex values (Hermitian half-spectrum).
+  void rfft(const double* in, std::size_t len, std::complex<double>* out) const;
+
+  /// Inverse complex-to-real transform (includes the 1/size() scaling):
+  /// reads bins() complex values, writes size() reals.
+  void irfft(const std::complex<double>* in, double* out) const;
+
+ private:
+  void fft_half(std::complex<double>* a, bool inverse) const;
+
+  std::size_t n_;     // real length (power of two)
+  std::size_t half_;  // n_ / 2: the complex sub-transform size
+  std::vector<std::uint32_t> rev_;           // bit-reversal over half_
+  std::vector<std::complex<double>> roots_;  // exp(-2*pi*i*j/half_), j < half_/2
+  std::vector<std::complex<double>> split_;  // exp(-2*pi*i*k/n_), k <= half_
+};
+
+/// The process-wide plan for real length n (a power of two >= 2). Plans are
+/// built once under a lock and published through an atomic slot per size
+/// class, so the hot-path lookup is one relaxed load; `fft.plan_hit` /
+/// `fft.plan_miss` count the outcomes. The reference stays valid for the
+/// process lifetime.
+[[nodiscard]] const FftPlan& fft_plan(std::size_t n);
+
+/// Convenience forward/inverse real transforms (x.size() a power of two).
+[[nodiscard]] std::vector<std::complex<double>> rfft(
+    const std::vector<double>& x);
+/// Inverse of rfft: `spectrum.size()` must be n/2 + 1 for the power-of-two
+/// output length n.
+[[nodiscard]] std::vector<double> irfft(
+    const std::vector<std::complex<double>>& spectrum, std::size_t n);
+
+/// Selects how linear convolutions are evaluated. kAuto picks the direct
+/// O(n*m) sum for small products and the FFT path otherwise; kDirect /
+/// kFft force one path everywhere. The forced modes exist for the
+/// fft-vs-direct differential harness and the ablation bench — both paths
+/// share the exact same truncation/tail semantics, so forcing kDirect
+/// yields a slow exact reference for the FFT path.
+enum class ConvolutionBackend { kAuto, kDirect, kFft };
+
+/// Sets the process-wide convolution backend (atomic; intended for tests
+/// and benches, not for concurrent flipping mid-solve).
+void set_convolution_backend(ConvolutionBackend backend);
+[[nodiscard]] ConvolutionBackend convolution_backend();
+
+/// True if this (a_size, b_size) product should use the direct sum under
+/// the current backend setting.
+[[nodiscard]] bool use_direct_convolution(std::size_t a_size,
+                                          std::size_t b_size);
+
 /// Full linear convolution of two real sequences
-/// (result.size() == a.size() + b.size() - 1). Uses FFT for large inputs and
-/// the direct O(n·m) sum for small ones. Tiny negative values produced by
-/// round-off are clamped to zero when `clamp_nonnegative` is set (probability
-/// mass vectors).
+/// (result.size() == a.size() + b.size() - 1). Honours the convolution
+/// backend: direct O(n·m) sums for small inputs, rfft/irfft through the
+/// plan cache otherwise. Tiny negative values produced by round-off are
+/// clamped to zero when `clamp_nonnegative` is set (probability mass
+/// vectors).
 [[nodiscard]] std::vector<double> convolve(const std::vector<double>& a,
                                            const std::vector<double>& b,
                                            bool clamp_nonnegative = false);

@@ -1,0 +1,116 @@
+// Portable SIMD kernels for the lattice hot loops.
+//
+// Every routine here is a flat loop over contiguous doubles (or interleaved
+// complex doubles) annotated with `#pragma omp simd`: a vectorization
+// *mandate* the compiler honours without any OpenMP runtime (CMake adds
+// `-fopenmp-simd` for GNU/Clang, which recognizes the pragmas and nothing
+// else). Reductions carry explicit reduction clauses, which licenses the
+// reassociation a vector sum needs; the results are still deterministic for
+// a fixed build, which is all the golden pins (rtol 1e-9) and the
+// bit-identity checks in policy_search_bench require.
+//
+// The kernels are the single home for these loops — LatticeDensity,
+// ConvolutionSolver, SumIid, and the FFT convolution path all call into
+// them, and bench/micro_kernels.cpp pins their throughput.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AGEDTR_PRAGMA(...) _Pragma(#__VA_ARGS__)
+#define AGEDTR_SIMD AGEDTR_PRAGMA(omp simd)
+#else
+#define AGEDTR_PRAGMA(...)
+#define AGEDTR_SIMD
+#endif
+
+namespace agedtr::numerics::kernels {
+
+/// Σ x[i].
+[[nodiscard]] inline double sum(const double* x, std::size_t n) {
+  double acc = 0.0;
+  AGEDTR_PRAGMA(omp simd reduction(+ : acc))
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+/// Σ x[i]·y[i].
+[[nodiscard]] inline double dot(const double* x, const double* y,
+                                std::size_t n) {
+  double acc = 0.0;
+  AGEDTR_PRAGMA(omp simd reduction(+ : acc))
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// min over x[0..n); n must be >= 1.
+[[nodiscard]] inline double min_value(const double* x, std::size_t n) {
+  double m = x[0];
+  AGEDTR_PRAGMA(omp simd reduction(min : m))
+  for (std::size_t i = 1; i < n; ++i) m = x[i] < m ? x[i] : m;
+  return m;
+}
+
+/// x[i] *= s.
+inline void scale(double* x, std::size_t n, double s) {
+  AGEDTR_SIMD
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+/// x[i] = max(x[i], 0): sponges up the ~1e-16 negatives FFT round-off
+/// leaves on probability mass vectors.
+inline void clamp_nonnegative(double* x, std::size_t n) {
+  AGEDTR_SIMD
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] < 0.0 ? 0.0 : x[i];
+}
+
+/// a[i] *= b[i] (elementwise product of CDF columns and the like).
+inline void mul_inplace(double* a, const double* b, std::size_t n) {
+  AGEDTR_SIMD
+  for (std::size_t i = 0; i < n; ++i) a[i] *= b[i];
+}
+
+/// a[i] *= b[i] over interleaved complex doubles: the frequency-domain
+/// product at the heart of every FFT convolution. Accessing the re/im
+/// planes through double lanes keeps the loop a clean 4-mul/2-add vector
+/// body instead of a libstdc++ complex-multiply call (which guards against
+/// NaN/Inf cross-terms the spectra of finite mass vectors cannot produce).
+inline void pointwise_mul_inplace(std::complex<double>* a,
+                                  const std::complex<double>* b,
+                                  std::size_t n) {
+  auto* ar = reinterpret_cast<double*>(a);
+  const auto* br = reinterpret_cast<const double*>(b);
+  AGEDTR_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = ar[2 * i] * br[2 * i] - ar[2 * i + 1] * br[2 * i + 1];
+    const double im = ar[2 * i] * br[2 * i + 1] + ar[2 * i + 1] * br[2 * i];
+    ar[2 * i] = re;
+    ar[2 * i + 1] = im;
+  }
+}
+
+/// Inclusive prefix sum: out[i] = Σ_{j<=i} x[j] (the CDF build). In-place
+/// (out == x) is allowed.
+inline void prefix_sum(const double* x, double* out, std::size_t n) {
+  double acc = 0.0;
+#if defined(__GNUC__) && !defined(__clang__)
+  // GCC vectorizes the scan (omp 5.0 `inscan`, supported since GCC 10 under
+  // -fopenmp-simd). Clang's cut-down -fopenmp-simd frontend has patchier
+  // scan support across the versions CI builds with, so it takes the
+  // scalar loop — correctness is identical, only throughput differs.
+  AGEDTR_PRAGMA(omp simd reduction(inscan, + : acc))
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i];
+    AGEDTR_PRAGMA(omp scan inclusive(acc))
+    out[i] = acc;
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i];
+    out[i] = acc;
+  }
+#endif
+}
+
+}  // namespace agedtr::numerics::kernels

@@ -12,10 +12,17 @@
 // This is the substrate of the ConvolutionSolver: k-fold service-time sums
 // (FFT exponentiation-by-squaring), max of independent variables (CDF
 // product) and expectations against survival functions are all lattice ops.
+//
+// Two lazily built caches ride along with the mass vector: the CDF prefix
+// sums and the forward rfft spectrum (see docs/FFT_PIPELINE.md). Both are
+// mutable-lazy with the same sharing contract — build before publishing a
+// density to other threads; after that every access is a const read.
 #pragma once
 
 #include <functional>
 #include <vector>
+
+#include "agedtr/numerics/fft.hpp"
 
 namespace agedtr::numerics {
 
@@ -67,11 +74,43 @@ class LatticeDensity {
   /// tests).
   void ensure_cdf() const;
 
+  /// The CDF prefix-sum array itself (built on first use): cdf()[i] without
+  /// the per-call bounds handling, for vectorized consumers.
+  [[nodiscard]] const std::vector<double>& cdf_values() const {
+    ensure_cdf();
+    return cdf_;
+  }
+
+  /// Builds (or rebuilds, if the padded length differs) and returns the
+  /// cached forward rfft spectrum of the mass vector zero-padded to
+  /// `padded` points. Like ensure_cdf, the cache is mutable-lazy: a density
+  /// shared across threads must have its spectrum built *before* sharing
+  /// (LatticeWorkspace does so when publishing cache entries); after that,
+  /// repeated calls with the same `padded` are pure reads.
+  const Spectrum& ensure_spectrum(std::size_t padded) const;
+
+  /// True once a spectrum is cached (at any padded length).
+  [[nodiscard]] bool has_spectrum() const { return spectrum_.padded != 0; }
+
+  /// Resident bytes of the mass vector and whatever caches are currently
+  /// materialized (CDF, spectrum) — the workspace's accounting unit.
+  [[nodiscard]] std::size_t cache_bytes() const {
+    return mass_.size() * sizeof(double) + cdf_.size() * sizeof(double) +
+           spectrum_.bins.size() * sizeof(std::complex<double>);
+  }
+
  private:
+  /// Exact point mass at zero (mass[0] == 1, no tail): the convolution
+  /// identity, detected for the resize fast path.
+  [[nodiscard]] bool is_delta_at_zero() const;
+  /// Copy with the grid grown to n cells (n >= size(); tail unchanged).
+  [[nodiscard]] LatticeDensity grown(std::size_t n) const;
+
   double dt_;
   std::vector<double> mass_;
   double tail_;
   mutable std::vector<double> cdf_;  // cdf_[i] = Σ_{j<=i} mass_[j], lazily built
+  mutable Spectrum spectrum_;        // forward rfft of mass_, lazily built
 };
 
 }  // namespace agedtr::numerics

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 #include <functional>
-#include <numeric>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
 #include "agedtr/numerics/fft.hpp"
+#include "agedtr/numerics/kernels.hpp"
+#include "agedtr/numerics/scratch.hpp"
 #include "agedtr/util/error.hpp"
 
 namespace agedtr::numerics {
@@ -19,14 +22,10 @@ LatticeDensity::LatticeDensity(double dt, std::vector<double> mass,
   AGEDTR_REQUIRE(!mass_.empty(), "LatticeDensity: empty mass vector");
   AGEDTR_REQUIRE(tail_ >= -1e-12, "LatticeDensity: negative tail mass");
   tail_ = std::max(tail_, 0.0);
-  double sum = 0.0;
-  for (double m : mass_) {
-    AGEDTR_REQUIRE(m >= -1e-12, "LatticeDensity: negative cell mass");
-    sum += m;
-  }
-  for (double& m : mass_) {
-    if (m < 0.0) m = 0.0;
-  }
+  AGEDTR_REQUIRE(kernels::min_value(mass_.data(), mass_.size()) >= -1e-12,
+                 "LatticeDensity: negative cell mass");
+  const double sum = kernels::sum(mass_.data(), mass_.size());
+  kernels::clamp_nonnegative(mass_.data(), mass_.size());
   AGEDTR_REQUIRE(sum + tail_ <= 1.0 + 1e-9,
                  "LatticeDensity: total mass exceeds 1");
 }
@@ -39,17 +38,26 @@ LatticeDensity LatticeDensity::zero(double dt, std::size_t n) {
 }
 
 double LatticeDensity::total() const {
-  return std::accumulate(mass_.begin(), mass_.end(), 0.0) + tail_;
+  return kernels::sum(mass_.data(), mass_.size()) + tail_;
 }
 
 void LatticeDensity::ensure_cdf() const {
   if (cdf_.size() == mass_.size()) return;
   cdf_.resize(mass_.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < mass_.size(); ++i) {
-    acc += mass_[i];
-    cdf_[i] = acc;
+  kernels::prefix_sum(mass_.data(), cdf_.data(), mass_.size());
+}
+
+const Spectrum& LatticeDensity::ensure_spectrum(std::size_t padded) const {
+  if (spectrum_.padded != padded) {
+    AGEDTR_REQUIRE(padded >= mass_.size(),
+                   "LatticeDensity::ensure_spectrum: padded length shorter "
+                   "than the mass vector");
+    const FftPlan& plan = fft_plan(padded);
+    spectrum_.bins.resize(plan.bins());
+    plan.rfft(mass_.data(), mass_.size(), spectrum_.bins.data());
+    spectrum_.padded = padded;
   }
+  return spectrum_;
 }
 
 double LatticeDensity::cdf(std::size_t i) const {
@@ -71,6 +79,7 @@ double LatticeDensity::cdf_at(double t) const {
 
 double LatticeDensity::grid_mean() const {
   double sum = 0.0;
+  AGEDTR_PRAGMA(omp simd reduction(+ : sum))
   for (std::size_t i = 1; i < mass_.size(); ++i) {
     sum += static_cast<double>(i) * mass_[i];
   }
@@ -85,26 +94,76 @@ double LatticeDensity::expect(const std::function<double(double)>& g) const {
   return sum;
 }
 
+bool LatticeDensity::is_delta_at_zero() const {
+  if (tail_ != 0.0 || mass_[0] != 1.0) return false;
+  for (std::size_t i = 1; i < mass_.size(); ++i) {
+    if (mass_[i] != 0.0) return false;
+  }
+  return true;
+}
+
+LatticeDensity LatticeDensity::grown(std::size_t n) const {
+  if (n == mass_.size()) return *this;  // caches ride along
+  AGEDTR_ASSERT(n > mass_.size());
+  std::vector<double> mass(n, 0.0);
+  std::copy(mass_.begin(), mass_.end(), mass.begin());
+  return LatticeDensity(dt_, std::move(mass), tail_);
+}
+
 LatticeDensity LatticeDensity::convolve(const LatticeDensity& other) const {
   AGEDTR_REQUIRE(std::fabs(dt_ - other.dt_) < 1e-12 * dt_,
                  "LatticeDensity::convolve: lattice steps differ");
   const std::size_t out_n = std::max(mass_.size(), other.mass_.size());
-  std::vector<double> full =
-      agedtr::numerics::convolve(mass_, other.mass_, /*clamp_nonnegative=*/true);
+  // Convolving with the exact point mass at zero is the identity up to a
+  // grid resize — bit-identically so under both backends (the direct sum
+  // computes out[j] += 1·b[j] and the truncation only grows indices), so
+  // the shortcut is safe for the fft-vs-direct differential harness.
+  if (is_delta_at_zero()) return other.grown(out_n);
+  if (other.is_delta_at_zero()) return grown(out_n);
+
+  const std::size_t full_n = mass_.size() + other.mass_.size() - 1;
   std::vector<double> mass(out_n, 0.0);
   double overflow = 0.0;
-  for (std::size_t i = 0; i < full.size(); ++i) {
-    if (i < out_n) {
-      mass[i] = full[i];
-    } else {
-      overflow += full[i];
+  if (use_direct_convolution(mass_.size(), other.mass_.size())) {
+    const std::vector<double> full = agedtr::numerics::convolve(
+        mass_, other.mass_, /*clamp_nonnegative=*/true);
+    std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(out_n, full.size())),
+              mass.begin());
+    if (full.size() > out_n) {
+      overflow = kernels::sum(full.data() + out_n, full.size() - out_n);
+    }
+  } else {
+    // Frequency-domain product over cached spectra: each operand is
+    // transformed at most once per padded length (warm solver operands —
+    // workspace ladder rungs and k-fold sums — arrive with the spectrum
+    // already built), so a convolution costs one pointwise multiply and
+    // one inverse transform.
+    const std::size_t m = next_pow2(full_n);
+    const FftPlan& plan = fft_plan(m);
+    const Spectrum& sa = ensure_spectrum(m);
+    const Spectrum& sb = other.ensure_spectrum(m);
+    ScratchFrame frame;
+    std::pmr::vector<std::complex<double>> prod(plan.bins(),
+                                                frame.resource());
+    std::copy(sa.bins.begin(), sa.bins.end(), prod.begin());
+    kernels::pointwise_mul_inplace(prod.data(), sb.bins.data(), plan.bins());
+    std::pmr::vector<double> time(m, frame.resource());
+    plan.irfft(prod.data(), time.data());
+    kernels::clamp_nonnegative(time.data(), full_n);
+    std::copy(time.begin(),
+              time.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(out_n, full_n)),
+              mass.begin());
+    if (full_n > out_n) {
+      overflow = kernels::sum(time.data() + out_n, full_n - out_n);
     }
   }
   // Any term involving either tail exceeds the grid (tails sit at >= n·dt and
   // the other addend is nonnegative), so it joins the output tail.
-  const double grid_a = std::accumulate(mass_.begin(), mass_.end(), 0.0);
+  const double grid_a = kernels::sum(mass_.data(), mass_.size());
   const double grid_b =
-      std::accumulate(other.mass_.begin(), other.mass_.end(), 0.0);
+      kernels::sum(other.mass_.data(), other.mass_.size());
   const double tail =
       overflow + tail_ * (grid_b + other.tail_) + other.tail_ * grid_a;
   return LatticeDensity(dt_, std::move(mass), std::min(tail, 1.0));
@@ -130,18 +189,35 @@ LatticeDensity LatticeDensity::max_of(const LatticeDensity& a,
   const std::size_t n = std::max(a.size(), b.size());
   a.ensure_cdf();
   b.ensure_cdf();
-  std::vector<double> mass(n, 0.0);
-  double prev = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double fa = i < a.size() ? a.cdf_[std::min(i, a.size() - 1)]
-                                   : 1.0 - a.tail_;
-    const double fb = i < b.size() ? b.cdf_[std::min(i, b.size() - 1)]
-                                   : 1.0 - b.tail_;
-    const double fmax = fa * fb;
-    mass[i] = std::max(fmax - prev, 0.0);
-    prev = fmax;
+  // F_max = F_a·F_b pointwise (each factor clamped to 1 − tail beyond its
+  // grid), then mass by adjacent difference — same arithmetic per cell as
+  // the scalar loop, split into two vector passes.
+  ScratchFrame frame;
+  std::pmr::vector<double> prod(n, frame.resource());
+  const std::size_t common = std::min(a.size(), b.size());
+  std::copy_n(a.cdf_.data(), common, prod.data());
+  kernels::mul_inplace(prod.data(), b.cdf_.data(), common);
+  if (a.size() < n) {
+    const double fa = 1.0 - a.tail_;
+    const double* fb = b.cdf_.data();
+    AGEDTR_SIMD
+    for (std::size_t i = common; i < n; ++i) prod[i] = fa * fb[i];
+  } else if (b.size() < n) {
+    const double fb = 1.0 - b.tail_;
+    const double* fa = a.cdf_.data();
+    AGEDTR_SIMD
+    for (std::size_t i = common; i < n; ++i) prod[i] = fa[i] * fb;
   }
-  const double tail = std::max(1.0 - prev, 0.0);
+  std::vector<double> mass(n, 0.0);
+  mass[0] = std::max(prod[0], 0.0);
+  double* out = mass.data();
+  const double* pr = prod.data();
+  AGEDTR_SIMD
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = pr[i] - pr[i - 1];
+    out[i] = d < 0.0 ? 0.0 : d;
+  }
+  const double tail = std::max(1.0 - prod[n - 1], 0.0);
   return LatticeDensity(a.dt_, std::move(mass), tail);
 }
 

@@ -1,0 +1,70 @@
+#include "agedtr/numerics/scratch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "agedtr/util/metrics.hpp"
+
+namespace agedtr::numerics {
+
+namespace {
+
+// 64 KiB covers a full 4096-cell convolution (two half-spectra, the product
+// and the time-domain buffer) without a single growth step; larger grids
+// grow once and retain.
+constexpr std::size_t kInitialBytes = std::size_t{1} << 16;
+
+// Total retained scratch bytes across all live threads (delta ledger: each
+// arena adds its capacity changes and subtracts itself on thread exit).
+metrics::Gauge& arena_bytes_gauge() {
+  static metrics::Gauge& g = metrics::MetricsRegistry::global().gauge(
+      "workspace.arena_bytes",
+      "retained per-thread scratch arena bytes (all threads)");
+  return g;
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::ScratchArena() : buffer_(kInitialBytes), meter_(this) {
+  mono_.emplace(buffer_.data(), buffer_.size(),
+                std::pmr::new_delete_resource());
+  arena_bytes_gauge().add(static_cast<double>(buffer_.size()));
+}
+
+ScratchArena::~ScratchArena() {
+  arena_bytes_gauge().add(-static_cast<double>(buffer_.size()));
+}
+
+void* ScratchArena::Meter::do_allocate(std::size_t bytes,
+                                       std::size_t alignment) {
+  // Alignment slop is at most `alignment` per allocation; close enough for
+  // the high-water heuristic.
+  owner_->frame_bytes_ += bytes;
+  return owner_->mono_->allocate(bytes, alignment);
+}
+
+void ScratchArena::exit() {
+  if (--depth_ != 0) return;
+  high_water_ = std::max(high_water_, frame_bytes_);
+  frame_bytes_ = 0;
+  // Rewind: monotonic release() resets the bump pointer to the start of the
+  // initial buffer and frees any upstream overflow chunks.
+  mono_->release();
+  if (buffer_.size() < high_water_) {
+    const std::size_t grown = std::bit_ceil(high_water_);
+    arena_bytes_gauge().add(static_cast<double>(grown) -
+                            static_cast<double>(buffer_.size()));
+    mono_.reset();  // must not outlive the buffer it points into
+    buffer_.assign(grown, std::byte{});
+    mono_.emplace(buffer_.data(), buffer_.size(),
+                  std::pmr::new_delete_resource());
+  }
+}
+
+}  // namespace agedtr::numerics

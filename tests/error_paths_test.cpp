@@ -4,10 +4,12 @@
 // contracts (ConvergenceError / BudgetExceeded vs InvalidArgument).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "agedtr/dist/builders.hpp"
 #include "agedtr/dist/hyperexponential.hpp"
+#include "agedtr/numerics/fft.hpp"
 #include "agedtr/numerics/roots.hpp"
 #include "agedtr/util/error.hpp"
 
@@ -58,6 +60,29 @@ TEST(ErrorPaths, ExpandBracketFindsSignChange) {
   const auto f = [](double x) { return x - 100.0; };
   const numerics::Bracket b = numerics::expand_bracket(f, 0.0, 1.0);
   EXPECT_LE(f(b.a) * f(b.b), 0.0);
+}
+
+TEST(ErrorPaths, NextPow2RejectsZeroAndOverflow) {
+  // next_pow2(0) used to return 1 silently, turning an empty mass vector
+  // into a bogus one-cell transform downstream; both degenerate ends now
+  // throw instead of wrapping.
+  EXPECT_THROW(static_cast<void>(numerics::next_pow2(0)), InvalidArgument);
+  constexpr std::size_t kTop =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_THROW(static_cast<void>(numerics::next_pow2(kTop + 1)),
+               InvalidArgument);
+  // The in-range edges stay exact.
+  EXPECT_EQ(numerics::next_pow2(1), 1u);
+  EXPECT_EQ(numerics::next_pow2(kTop - 1), kTop);
+  EXPECT_EQ(numerics::next_pow2(kTop), kTop);
+}
+
+TEST(ErrorPaths, FftPlanRejectsDegenerateLengths) {
+  // Plans exist only for power-of-two lengths >= 2 (an n==1 "transform"
+  // has no half-size complex core to run).
+  EXPECT_THROW(static_cast<void>(numerics::fft_plan(0)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(numerics::fft_plan(1)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(numerics::fft_plan(12)), InvalidArgument);
 }
 
 TEST(ErrorPaths, ParseModelFamilyThrowsInvalidArgumentOnUnknownName) {

@@ -4,12 +4,15 @@
 // access (the ThreadSanitizer target of scripts/run_sanitizers.sh).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/core/lattice_workspace.hpp"
 #include "agedtr/dist/exponential.hpp"
+#include "agedtr/numerics/fft.hpp"
 #include "agedtr/numerics/lattice.hpp"
 #include "agedtr/util/thread_pool.hpp"
 
@@ -161,6 +164,36 @@ TEST(LatticeWorkspace, ConcurrentMixedAccessIsCoherent) {
   // One sum + one base lookup per task (k == 1 sums count as base
   // lookups), each a hit or a miss — nothing lost under contention.
   EXPECT_EQ(stats.hits() + stats.misses(), 2 * kTasks);
+}
+
+/// The cost-model assertion for the FFT plan cache (the lookup every
+/// spectrum build and frequency-domain convolution pays): a warm lookup is
+/// one countr_zero + one relaxed-acquire load, so it must stay within a
+/// generous constant factor of a bare loop. The bound is deliberately loose
+/// (CI machines are noisy); bench/micro_kernels gives the precise numbers.
+TEST(LatticeWorkspace, WarmPlanLookupIsCheap) {
+  (void)numerics::fft_plan(1024);  // warm the slot
+  constexpr int kIters = 2'000'000;
+  using Clock = std::chrono::steady_clock;
+
+  volatile std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sink = sink + 1;
+  }
+  const double baseline =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const auto t1 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sink = sink + numerics::fft_plan(1024).size();
+  }
+  const double warm =
+      std::chrono::duration<double>(Clock::now() - t1).count();
+
+  // Allow 20x the bare loop plus an absolute floor so micro-noise on a
+  // loaded machine cannot flake.
+  EXPECT_LT(warm, baseline * 20.0 + 0.05);
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
 
 #include "agedtr/core/convolution.hpp"
 #include "agedtr/dist/aged.hpp"
@@ -17,6 +20,7 @@
 #include "agedtr/dist/uniform.hpp"
 #include "agedtr/dist/lattice_bridge.hpp"
 #include "agedtr/dist/weibull.hpp"
+#include "agedtr/numerics/fft.hpp"
 #include "agedtr/numerics/quadrature.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/random/rng.hpp"
@@ -115,6 +119,127 @@ TEST_P(LatticeProperty, MaxWithZeroIsIdentity) {
   const auto m = numerics::LatticeDensity::max_of(a, z);
   for (std::size_t i = 0; i < kN; i += 61) {
     EXPECT_NEAR(m.cdf(i), a.cdf(i), 1e-12);
+  }
+}
+
+// ---- transform properties ---------------------------------------------------
+// The rfft/irfft pair underneath every lattice convolution, pinned to the
+// textbook transform laws on each family's discretized mass vector. These
+// are the per-transform guarantees the end-to-end differential harness
+// (fft_differential_test) composes into whole-pipeline bounds.
+
+class TransformProperty : public ::testing::TestWithParam<LawCase> {
+ protected:
+  static constexpr double kDt = 0.005;
+  static constexpr std::size_t kN = 8192;
+
+  // The padded mass vector every convolution of two kN-cell densities
+  // transforms: the realistic spectral content for these laws.
+  static std::vector<double> padded_masses(const dist::Distribution& law) {
+    const auto lattice = dist::discretize(law, kDt, kN);
+    std::vector<double> x(numerics::next_pow2(2 * kN - 1), 0.0);
+    std::copy(lattice.masses().begin(), lattice.masses().end(), x.begin());
+    return x;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllLaws, TransformProperty,
+                         ::testing::ValuesIn(laws()),
+                         [](const ::testing::TestParamInfo<LawCase>& param_info) {
+                           return param_info.param.label;
+                         });
+
+TEST_P(TransformProperty, RoundTripRecoversMasses) {
+  // irfft(rfft(x)) == x to round-off: the invariant that makes the
+  // frequency-domain plan cache transparent to every caller.
+  const auto x = padded_masses(*GetParam().law);
+  const auto back = numerics::irfft(numerics::rfft(x), x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-12) << "cell " << i;
+  }
+}
+
+TEST_P(TransformProperty, ParsevalEnergyConserved) {
+  // Σ|x|² == (Σ_k w_k·|X_k|²)/n with the half-spectrum's interior bins
+  // counted twice (they stand for conjugate pairs).
+  const auto x = padded_masses(*GetParam().law);
+  const auto spectrum = numerics::rfft(x);
+  double time_energy = 0.0;
+  for (double v : x) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    const double weight =
+        (k == 0 || k + 1 == spectrum.size()) ? 1.0 : 2.0;
+    freq_energy += weight * std::norm(spectrum[k]);
+  }
+  freq_energy /= static_cast<double>(x.size());
+  EXPECT_NEAR(freq_energy, time_energy,
+              1e-12 * std::max(time_energy, 1.0));
+}
+
+TEST_P(TransformProperty, DcBinIsTotalMassAndSpectrumIsBounded) {
+  // X_0 = Σx (the lattice's on-grid mass); |X_k| <= Σ|x| everywhere.
+  const auto x = padded_masses(*GetParam().law);
+  const auto spectrum = numerics::rfft(x);
+  double total = 0.0;
+  for (double v : x) total += v;
+  EXPECT_NEAR(spectrum[0].real(), total, 1e-12);
+  EXPECT_NEAR(spectrum[0].imag(), 0.0, 1e-12);
+  for (const auto& bin : spectrum) {
+    EXPECT_LE(std::abs(bin), total + 1e-9);
+  }
+}
+
+TEST(TransformLaw, ImpulseTransformsFlatAndShiftIsAPhaseRamp) {
+  // δ₀ → all-ones spectrum; δ_s → pure phase ramp exp(−2πiks/n). Together
+  // these pin the transform's sign and normalization conventions, which a
+  // round-trip test alone cannot (it passes under either sign).
+  constexpr std::size_t kPad = 256;
+  constexpr std::size_t kShift = 17;
+  std::vector<double> impulse(kPad, 0.0);
+  impulse[0] = 1.0;
+  const auto flat = numerics::rfft(impulse);
+  ASSERT_EQ(flat.size(), kPad / 2 + 1);
+  for (const auto& bin : flat) {
+    ASSERT_NEAR(bin.real(), 1.0, 1e-13);
+    ASSERT_NEAR(bin.imag(), 0.0, 1e-13);
+  }
+  std::vector<double> shifted(kPad, 0.0);
+  shifted[kShift] = 1.0;
+  const auto ramp = numerics::rfft(shifted);
+  for (std::size_t k = 0; k < ramp.size(); ++k) {
+    const double angle = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * kShift) /
+                         static_cast<double>(kPad);
+    ASSERT_NEAR(ramp[k].real(), std::cos(angle), 1e-12) << "bin " << k;
+    ASSERT_NEAR(ramp[k].imag(), std::sin(angle), 1e-12) << "bin " << k;
+  }
+}
+
+TEST(TransformLaw, LinearityAndConvolutionTheorem) {
+  // rfft(a+2b) == rfft(a)+2·rfft(b), and the pointwise product of spectra
+  // inverts to the circular convolution — the identity the whole FFT
+  // convolution path rests on, checked here on a tiny hand-computable case.
+  const std::vector<double> a = {1.0, 2.0, 0.5, -1.0, 0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> b = {0.5, -0.25, 1.5, 0.75, 0.0, 0.0, 0.0, 0.0};
+  const auto fa = numerics::rfft(a);
+  const auto fb = numerics::rfft(b);
+  std::vector<double> combo(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) combo[i] = a[i] + 2.0 * b[i];
+  const auto fc = numerics::rfft(combo);
+  for (std::size_t k = 0; k < fc.size(); ++k) {
+    ASSERT_NEAR(std::abs(fc[k] - (fa[k] + 2.0 * fb[k])), 0.0, 1e-13);
+  }
+  std::vector<std::complex<double>> prod(fa.size());
+  for (std::size_t k = 0; k < fa.size(); ++k) prod[k] = fa[k] * fb[k];
+  const auto conv = numerics::irfft(prod, a.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    double expected = 0.0;  // circular convolution by definition
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      expected += a[i] * b[(j + a.size() - i) % a.size()];
+    }
+    ASSERT_NEAR(conv[j], expected, 1e-13) << "cell " << j;
   }
 }
 
