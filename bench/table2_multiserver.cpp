@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "agedtr/policy/decision_policy.hpp"
-#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/policy/allocation_search.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/cli.hpp"
@@ -130,9 +130,9 @@ int main(int argc, char** argv) {
     const std::vector<std::string> row = entry("mean benchmark", [&] {
       const core::DcsScenario scenario = bench::five_server_scenario(
           ModelFamily::kPareto1, /*failures=*/false);
-      sim::AllocationSearchOptions alloc_opts;
+      policy::AllocationSearchOptions alloc_opts;
       alloc_opts.objective = policy::Objective::kMeanExecutionTime;
-      const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+      const auto alloc = policy::optimal_allocation(scenario, alloc_opts);
       core::DcsScenario placed = scenario;
       for (std::size_t j = 0; j < 5; ++j) {
         placed.servers[j].initial_tasks = alloc.allocation[j];
@@ -201,9 +201,9 @@ int main(int argc, char** argv) {
     const std::vector<std::string> row = entry("rel benchmark", [&] {
       const core::DcsScenario scenario = bench::five_server_scenario(
           ModelFamily::kPareto1, /*failures=*/true);
-      sim::AllocationSearchOptions alloc_opts;
+      policy::AllocationSearchOptions alloc_opts;
       alloc_opts.objective = policy::Objective::kReliability;
-      const auto alloc = sim::optimal_allocation(scenario, alloc_opts);
+      const auto alloc = policy::optimal_allocation(scenario, alloc_opts);
       core::DcsScenario placed = scenario;
       for (std::size_t j = 0; j < 5; ++j) {
         placed.servers[j].initial_tasks = alloc.allocation[j];

@@ -1,0 +1,1233 @@
+#!/usr/bin/env python3
+"""agedtr-analyze: graph-aware static analysis over the src/ tree.
+
+Where scripts/agedtr_lint.py checks lines, this tool checks *graphs*: it
+extracts whole-program structure (the `#include` graph, the lock-acquisition
+nesting graph) and verifies it against the checked-in architecture manifest
+`docs/layering.toml`. Three analysis families:
+
+  layering            every `#include "agedtr/<mod>/..."` edge between two
+                      modules must be declared in the manifest's `deps`
+                      allowlist; the declared module graph and the observed
+                      file-level header graph must both be acyclic. Fails
+                      with rule `layering` (undeclared edge) or
+                      `layering-cycle`.
+  lock-order          every agedtr::Mutex acquisition site (MutexLock RAII,
+                      manual lock()/unlock(), AGEDTR_REQUIRES entry
+                      capabilities) is extracted with the set of locks held
+                      around it, plus a conservative same-module callee
+                      summary (a call made while holding L inherits the
+                      callee's transitive acquisitions). The resulting
+                      global lock-order graph must be cycle-free (rule
+                      `lock-order`). The runtime twin of this pass is the
+                      AGEDTR_LOCK_ORDER_CHECK validator in
+                      util/lock_order.hpp, which cross-validates the static
+                      graph under ctest.
+  determinism         dataflow-lite determinism rules:
+                        unordered-iter   iteration over std::unordered_map /
+                                         unordered_set whose body feeds
+                                         accumulation, output or RNG draws
+                                         (sort first, or use std::map)
+                        nondet-order     __DATE__/__TIME__/__TIMESTAMP__,
+                                         and pointer-keyed ordered
+                                         containers (iteration order =
+                                         address order)
+                        noexcept-move    the hot value types registered in
+                                         the manifest must declare a
+                                         `noexcept` move constructor or pin
+                                         std::is_nothrow_move_constructible
+                                         in their header
+
+Suppression uses the same mechanism as agedtr-lint: a comment
+`agedtr-lint: allow(<rule>)` on the violating line or the line above, with
+a justification in the surrounding comment (docs/STATIC_ANALYSIS.md).
+
+Artifacts: `--artifacts DIR` (default build/analysis) writes
+include_graph.{dot,json} and lock_order.{dot,json} for CI upload and
+offline inspection. `--render-dag FILE.svg` renders the manifest's module
+DAG to a checked-in figure (docs/module_dag.svg).
+
+Usage:
+  scripts/agedtr_analyze.py [--manifest FILE] [--src DIR]
+                            [--artifacts DIR] [--jobs N] [--stats]
+  scripts/agedtr_analyze.py --self-test
+  scripts/agedtr_analyze.py --render-dag docs/module_dag.svg
+Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import re
+import sys
+import tempfile
+import time
+import tomllib
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from agedtr_lint import (  # noqa: E402
+    REPO_ROOT,
+    SOURCE_EXTENSIONS,
+    Violation,
+    allowed_rules_for_line,
+    strip_comments_and_strings,
+)
+
+RULE_IDS = ["layering", "layering-cycle", "lock-order", "unordered-iter",
+            "nondet-order", "noexcept-move"]
+
+# Wrapper internals: the annotated Mutex and the runtime validator acquire
+# raw primitives by design and would self-report.
+LOCK_SCAN_EXEMPT = ("util/thread_annotations.hpp", "util/lock_order.hpp",
+                    "util/lock_order.cpp")
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+class Manifest:
+    def __init__(self, data: dict, path: str):
+        self.path = path
+        self.modules: dict[str, dict] = data.get("modules", {})
+        self.deps: dict[str, set[str]] = {
+            name: set(mod.get("deps", [])) for name, mod in self.modules.items()
+        }
+        self.layers: dict[str, int] = {
+            name: int(mod.get("layer", 0)) for name, mod in self.modules.items()
+        }
+        self.noexcept_types: list[dict] = data.get("noexcept_move_types", [])
+
+
+def load_manifest(path: str) -> Manifest:
+    with open(path, "rb") as f:
+        return Manifest(tomllib.load(f), path)
+
+
+# ---------------------------------------------------------------------------
+# Per-file scan (runs in worker processes under --jobs)
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"agedtr/(\w+)/([\w./]+)"')
+
+MUTEX_DECL_RE = re.compile(
+    r"(?:^|[\s;{}])(?:mutable\s+|static\s+)*(?:agedtr::)?Mutex\s+(\w+)\s*;")
+
+# Structural token stream for the scope/lock scanner. Alternation order
+# matters: the RAII acquisition consumes its span before the generic call
+# pattern can see the inner parens.
+TOKEN_RE = re.compile(
+    r"(?P<brace>[{}])"
+    r"|(?P<semi>;)"
+    r"|(?P<raii>\bMutexLock\s+\w+\s*\(\s*&\s*([^);]+?)\s*\))"
+    r"|(?P<manual>([\w.\->]+?)\s*\.\s*(lock|unlock)\s*\(\s*\))"
+    r"|(?P<call>(?<![.\w>:])([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\()"
+)
+
+CALL_IGNORE = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "throw",
+    "new", "delete", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "decltype", "alignof", "noexcept", "assert", "defined",
+    "static_assert", "alignas", "typeid", "co_await", "co_return",
+}
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else"}
+
+CLASS_NAME_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:alignas\s*\([^)]*\)\s*|[A-Z_][A-Z0-9_]*\s*(?:\([^)]*\)\s*)?)*([A-Za-z_]\w*)")
+FUNC_NAME_RE = re.compile(r"([A-Za-z_~][\w:~]*)\s*\(")
+REQUIRES_RE = re.compile(r"AGEDTR_REQUIRES\s*\(([^)]*)\)")
+LAMBDA_TAIL_RE = re.compile(
+    r"\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?(?:noexcept\s*)?"
+    r"(?:->\s*[\w:<>&*\s]+)?$")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\b[^;()]*?\s(\w+)\s*"
+    r"(?:;|=|\{|AGEDTR_GUARDED_BY)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;)]+)\)")
+ITER_BEGIN_RE = re.compile(r"=\s*([\w.\->]+)\s*\.\s*(?:begin|cbegin)\s*\(")
+# Tokens that make an unordered iteration order-sensitive: the body
+# accumulates, emits, or draws randomness.
+ORDER_SENSITIVE_RE = re.compile(
+    r"(\+=|-=|\*=|/=|<<|\bpush_back\b|\bemplace_back\b|\binsert\b|"
+    r"\bappend\b|\.add\(|\bfetch_add\b|\bsample\b|\brng\b|\buniform\b)")
+
+DATE_TIME_RE = re.compile(r"__(?:DATE|TIME|TIMESTAMP)__")
+ORDERED_CONTAINER_RE = re.compile(r"std::(map|set|multimap|multiset)\s*<")
+
+
+def pointer_keyed_spans(line: str):
+    """Yields (start, container) for ordered containers on `line` whose key
+    type contains a raw pointer — address-ordered iteration."""
+    for m in ORDERED_CONTAINER_RE.finditer(line):
+        depth = 0
+        key_end = len(line)
+        i = m.end() - 1  # at '<'
+        while i < len(line):
+            c = line[i]
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth -= 1
+                if depth == 0:
+                    key_end = i
+                    break
+            elif c == "," and depth == 1 and m.group(1) in ("map", "multimap"):
+                key_end = i
+                break
+            i += 1
+        key = line[m.end(): key_end]
+        if "*" in key:
+            yield m.start(), m.group(1)
+
+
+def scan_file(args: tuple[str, str]) -> dict:
+    """Extracts the per-file facts every global pass consumes. Pure function
+    of the file contents; safe to run in a worker process."""
+    path, module = args
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.splitlines()
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+    rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+    out = {
+        "path": path, "rel": rel, "module": module,
+        # [(lineno, target_module, header, allowed_rule_set)]
+        "includes": [],
+        # [(class_or_None, member_name, lineno)]
+        "mutex_decls": [],
+        # qualified func name -> [lock exprs from AGEDTR_REQUIRES]
+        "requires": {},
+        # [(kind, func, held_exprs, target, lineno, allowed_rules)]
+        #   kind 'acq': target = lock expr; kind 'call': target = callee name
+        "events": [],
+        # [(rule, lineno, message)] pre-suppression determinism findings
+        "findings": [],
+    }
+
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            out["includes"].append(
+                (lineno, m.group(1), f"agedtr/{m.group(1)}/{m.group(2)}",
+                 sorted(allowed_rules_for_line(raw_lines, lineno))))
+
+    scan_locks = not rel.endswith(LOCK_SCAN_EXEMPT)
+    if scan_locks:
+        _scan_scopes(stripped, stripped_lines, raw_lines, out)
+    _scan_determinism(stripped_lines, raw_lines, out)
+    return out
+
+
+def _scan_scopes(stripped: str, stripped_lines: list[str],
+                 raw_lines: list[str], out: dict) -> None:
+    """Single forward pass tracking scopes (namespace/class/function/lambda),
+    RAII and manual lock acquisitions with the locks held around them, and
+    same-frame function calls for the callee summaries."""
+    # Scope stack entries: dict(kind, name, class_name, barrier)
+    scopes: list[dict] = []
+    held: list[dict] = []  # {expr, depth}  (depth = len(scopes) at acquire)
+    pre = []  # text since the last structural token, for classification
+
+    def innermost(kind_set):
+        for s in reversed(scopes):
+            if s["kind"] in kind_set:
+                return s
+        return None
+
+    def current_func():
+        s = innermost({"func", "lambda"})
+        return s["name"] if s and s["kind"] == "func" else None
+
+    def effective_held():
+        # Locks acquired inside the innermost frame barrier only: a lambda
+        # or nested class body executes in a different frame, so locks held
+        # where it is *defined* impose no acquisition order on its body.
+        barrier = 0
+        for i, s in enumerate(scopes):
+            if s["barrier"]:
+                barrier = i + 1
+        return [h["expr"] for h in held if h["depth"] >= barrier]
+
+    def classify(pre_text: str) -> dict:
+        t = pre_text.strip()
+        if re.search(r"\benum\b", t):
+            return {"kind": "other", "name": None, "barrier": False}
+        if re.search(r"\bnamespace\b", t):
+            return {"kind": "ns", "name": None, "barrier": False}
+        cm = None
+        for cm_ in CLASS_NAME_RE.finditer(t):
+            cm = cm_
+        if cm:
+            return {"kind": "class", "name": cm.group(1), "barrier": True}
+        if t.endswith(("=", "(", ",", "&&", "||", "return")):
+            return {"kind": "other", "name": None, "barrier": False}
+        if LAMBDA_TAIL_RE.search(t):
+            return {"kind": "lambda", "name": None, "barrier": True}
+        fm = FUNC_NAME_RE.search(t)
+        if fm:
+            name = fm.group(1)
+            if name in CONTROL_KEYWORDS:
+                return {"kind": "control", "name": None, "barrier": False}
+            cls = innermost({"class"})
+            qual = name if "::" in name or cls is None \
+                else f"{cls['name']}::{name}"
+            reqs = [r.strip() for rm in REQUIRES_RE.finditer(t)
+                    for r in rm.group(1).split(",") if r.strip()]
+            return {"kind": "func", "name": qual, "barrier": True,
+                    "requires": reqs}
+        return {"kind": "other", "name": None, "barrier": False}
+
+    lineno = 0
+    for line in stripped_lines:
+        lineno += 1
+        pos = 0
+        for tok in TOKEN_RE.finditer(line):
+            pre.append(line[pos:tok.start()])
+            pos = tok.end()
+            if tok.group("brace") == "{":
+                scope = classify("".join(pre)[-400:])
+                if scope["kind"] == "func":
+                    out["requires"].setdefault(scope["name"], [])
+                    for r in scope.get("requires", []):
+                        out["requires"][scope["name"]].append(r)
+                scopes.append(scope)
+                pre = []
+            elif tok.group("brace") == "}":
+                if scopes:
+                    scopes.pop()
+                depth = len(scopes)
+                held[:] = [h for h in held if h["depth"] <= depth]
+                pre = []
+            elif tok.group("semi"):
+                pre = []
+            elif tok.group("raii"):
+                expr = tok.group(4)
+                allows = sorted(allowed_rules_for_line(raw_lines, lineno))
+                out["events"].append(("acq", current_func(), effective_held(),
+                                      expr, lineno, allows))
+                held.append({"expr": expr, "depth": len(scopes)})
+                pre.append(" ")
+            elif tok.group("manual"):
+                expr, op = tok.group(6), tok.group(7)
+                if op == "lock":
+                    allows = sorted(allowed_rules_for_line(raw_lines, lineno))
+                    out["events"].append(
+                        ("acq", current_func(), effective_held(), expr,
+                         lineno, allows))
+                    held.append({"expr": expr, "depth": len(scopes)})
+                else:
+                    for i in range(len(held) - 1, -1, -1):
+                        if held[i]["expr"] == expr:
+                            del held[i]
+                            break
+                pre.append(" ")
+            elif tok.group("call"):
+                name = tok.group(9)
+                if (name in CALL_IGNORE or name.startswith("AGEDTR_")
+                        or name.startswith("std::")):
+                    pre.append(tok.group(0))
+                    continue
+                func = current_func()
+                if func is not None:
+                    out["events"].append(("call", func, effective_held(),
+                                          name, lineno, []))
+                pre.append(tok.group(0))
+        pre.append(line[pos:] + "\n")
+        if len(pre) > 64:  # keep the classification window bounded
+            pre = ["".join(pre)[-1200:]]
+
+    # Mutex member/global declarations with their enclosing class. Re-walk
+    # cheaply: a declaration is a line match plus the class scope open at
+    # that line, recovered from a second pass of the brace structure.
+    depth_classes: list[tuple[int, str]] = []
+    depth = 0
+    pre2: list[str] = []
+    lineno = 0
+    for line in stripped_lines:
+        lineno += 1
+        dm = MUTEX_DECL_RE.search(line)
+        if dm:
+            cls = depth_classes[-1][1] if depth_classes else None
+            out["mutex_decls"].append((cls, dm.group(1), lineno))
+        for ch_m in re.finditer(r"[{}]|;", line):
+            ch = ch_m.group(0)
+            if ch == "{":
+                t = "".join(pre2)[-400:]
+                cm = None
+                for cm_ in CLASS_NAME_RE.finditer(t):
+                    cm = cm_
+                if cm and not re.search(r"\benum\b", t):
+                    depth_classes.append((depth, cm.group(1)))
+                depth += 1
+                pre2 = []
+            elif ch == "}":
+                depth -= 1
+                if depth_classes and depth_classes[-1][0] >= depth:
+                    depth_classes.pop()
+                pre2 = []
+            else:
+                pre2 = []
+            pre2.append("")
+        pre2.append(line + "\n")
+        if len(pre2) > 64:
+            pre2 = ["".join(pre2)[-1200:]]
+
+
+def _scan_determinism(stripped_lines: list[str], raw_lines: list[str],
+                      out: dict) -> None:
+    body = "\n".join(stripped_lines)
+    unordered_vars = set(UNORDERED_DECL_RE.findall(body))
+
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if DATE_TIME_RE.search(line):
+            out["findings"].append(
+                ("nondet-order", lineno,
+                 "__DATE__/__TIME__ embeds the build instant; output must "
+                 "be a pure function of inputs"))
+        for _, container in pointer_keyed_spans(line):
+            out["findings"].append(
+                ("nondet-order", lineno,
+                 f"pointer-keyed std::{container}: iteration order is "
+                 "address order, which varies run to run; key by a stable "
+                 "identity or never iterate"))
+
+        target = None
+        fm = RANGE_FOR_RE.search(line)
+        if fm:
+            target = fm.group(2).strip()
+        else:
+            im = ITER_BEGIN_RE.search(line)
+            if im:
+                target = im.group(1).strip()
+        if target is None:
+            continue
+        leaf = target.split(".")[-1].split("->")[-1].strip("() ")
+        if leaf not in unordered_vars and "unordered_" not in target:
+            continue
+        # Dataflow-lite: flag only when the loop body is order-sensitive —
+        # it accumulates, emits output, or consumes randomness.
+        window = "\n".join(stripped_lines[lineno - 1: lineno + 24])
+        brace = window.find("{")
+        if brace == -1:
+            continue
+        depth, end = 0, len(window)
+        for i in range(brace, len(window)):
+            if window[i] == "{":
+                depth += 1
+            elif window[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        if ORDER_SENSITIVE_RE.search(window[brace:end]):
+            out["findings"].append(
+                ("unordered-iter", lineno,
+                 f"iteration over unordered container `{leaf}` feeds "
+                 "accumulation/output; sort the keys first or use an "
+                 "ordered container"))
+
+
+# ---------------------------------------------------------------------------
+# Global passes
+# ---------------------------------------------------------------------------
+
+def collect_sources(src_root: str) -> list[tuple[str, str]]:
+    files = []
+    for root, _dirs, names in os.walk(src_root):
+        for name in sorted(names):
+            if name.endswith(SOURCE_EXTENSIONS):
+                path = os.path.join(root, name)
+                rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+                module = rel.split("/", 1)[0]
+                files.append((os.path.abspath(path), module))
+    return sorted(files)
+
+
+def find_cycle(adj: dict, nodes: list) -> list | None:
+    """Returns one cycle as [n0, n1, ..., n0], or None if `adj` is acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in nodes}
+    parent: dict = {}
+    for start in nodes:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(adj.get(start, ()))))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+                if color[nxt] == GREY:
+                    cycle = [nxt]
+                    cur = node
+                    while cur != nxt:
+                        cycle.append(cur)
+                        cur = parent[cur]
+                    cycle.append(nxt)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        # loop continues with next start
+    return None
+
+
+def pass_layering(scans: list[dict], manifest: Manifest,
+                  src_root: str) -> tuple[list[Violation], dict]:
+    violations: list[Violation] = []
+    module_edges: dict[tuple[str, str], list] = {}
+    file_adj: dict[str, set[str]] = {}
+    rel_by_header: dict[str, str] = {}
+
+    def rel_to_src(scan):
+        return os.path.relpath(scan["path"], src_root).replace(os.sep, "/")
+
+    for scan in scans:
+        m = re.match(r"\w+/include/(agedtr/.+)$", rel_to_src(scan))
+        if m:
+            rel_by_header[m.group(1)] = rel_to_src(scan)
+
+    for scan in scans:
+        mod = scan["module"]
+        if mod not in manifest.modules:
+            violations.append(Violation(
+                scan["path"], 1, "layering",
+                f"module `{mod}` is not declared in {os.path.relpath(manifest.path, REPO_ROOT)}"))
+            continue
+        for lineno, target, header, allows in scan["includes"]:
+            resolved = rel_by_header.get(header)
+            if resolved and scan["rel"].endswith((".hpp", ".h")):
+                file_adj.setdefault(rel_to_src(scan), set()).add(resolved)
+            if target == mod:
+                continue
+            module_edges.setdefault((mod, target), []).append(
+                (scan["rel"], lineno, header))
+            if target not in manifest.modules:
+                if "layering" not in allows:
+                    violations.append(Violation(
+                        scan["path"], lineno, "layering",
+                        f"include of unknown module `{target}` "
+                        f"(not in the manifest)"))
+            elif target not in manifest.deps.get(mod, set()):
+                if "layering" not in allows:
+                    violations.append(Violation(
+                        scan["path"], lineno, "layering",
+                        f"undeclared cross-module edge {mod} -> {target}: "
+                        f"`{header}` (declared deps of {mod}: "
+                        f"{sorted(manifest.deps.get(mod, set())) or 'none'})"))
+
+    # The declared graph must be a DAG — otherwise the allowlist itself
+    # licenses a cycle.
+    declared_cycle = find_cycle(
+        {m: manifest.deps.get(m, set()) for m in manifest.modules},
+        sorted(manifest.modules))
+    if declared_cycle:
+        violations.append(Violation(
+            manifest.path, 1, "layering-cycle",
+            "declared module graph has a cycle: "
+            + " -> ".join(declared_cycle)))
+
+    # ... and so must the observed module graph (a suppressed edge still
+    # participates: allow() documents an edge, it cannot license a cycle).
+    observed_adj: dict[str, set[str]] = {}
+    for (a, b), _sites in module_edges.items():
+        observed_adj.setdefault(a, set()).add(b)
+    observed_cycle = find_cycle(observed_adj, sorted(
+        set(observed_adj) | {t for ts in observed_adj.values() for t in ts}))
+    if observed_cycle:
+        sites = []
+        for a, b in zip(observed_cycle, observed_cycle[1:]):
+            rel, lineno, _ = module_edges[(a, b)][0]
+            sites.append(f"{a}->{b} at {rel}:{lineno}")
+        violations.append(Violation(
+            os.path.join(REPO_ROOT, "src"), 1, "layering-cycle",
+            "observed include graph has a module cycle: "
+            + " -> ".join(observed_cycle) + " (" + "; ".join(sites) + ")"))
+
+    # File-level header cycles (an #include loop between headers).
+    header_cycle = find_cycle(file_adj, sorted(
+        set(file_adj) | {t for ts in file_adj.values() for t in ts}))
+    if header_cycle:
+        violations.append(Violation(
+            os.path.join(REPO_ROOT, header_cycle[0]), 1, "layering-cycle",
+            "header include cycle: " + " -> ".join(header_cycle)))
+
+    artifact = {
+        "modules": {
+            m: {"layer": manifest.layers.get(m, 0),
+                "deps_declared": sorted(manifest.deps.get(m, set()))}
+            for m in sorted(manifest.modules)
+        },
+        "edges": [
+            {"from": a, "to": b, "count": len(sites),
+             "declared": b in manifest.deps.get(a, set()),
+             "sites": [f"{rel}:{line}" for rel, line, _ in sorted(sites)[:8]]}
+            for (a, b), sites in sorted(module_edges.items())
+        ],
+        "files": len(scans),
+    }
+    return violations, artifact
+
+
+def resolve_lock(expr: str, func: str | None, scan: dict,
+                 decls: list[dict]) -> str:
+    """Maps a lock expression at a use site to a stable lock identity.
+    Preference order: a member of the current function's class, a
+    declaration in the same file, a unique declaration in the same module,
+    a unique declaration globally. Unresolvable names get a file-local
+    identity — distinct real locks are never merged, so ambiguity can only
+    under-approximate the graph, never fabricate a cycle."""
+    name = expr.split(".")[-1].split("->")[-1].strip("&() ")
+    name = name.split("::")[-1]
+    candidates = [d for d in decls if d["name"] == name]
+    if func and "::" in func:
+        cls = func.rsplit("::", 1)[0].split("::")[-1]
+        for d in candidates:
+            if d["class"] == cls:
+                return d["id"]
+    same_file = [d for d in candidates if d["rel"] == scan["rel"]]
+    if len(same_file) == 1:
+        return same_file[0]["id"]
+    same_module = [d for d in candidates if d["module"] == scan["module"]]
+    if len(same_module) == 1:
+        return same_module[0]["id"]
+    if len(candidates) == 1:
+        return candidates[0]["id"]
+    return f"{scan['rel']}::{name}"
+
+
+def pass_lock_order(scans: list[dict]) -> tuple[list[Violation], dict]:
+    # Lock identities from declarations.
+    decls: list[dict] = []
+    for scan in scans:
+        for cls, name, lineno in scan["mutex_decls"]:
+            ident = f"{cls}::{name}" if cls else f"{scan['rel']}::{name}"
+            decls.append({"class": cls, "name": name, "rel": scan["rel"],
+                          "module": scan["module"], "id": ident,
+                          "line": lineno})
+
+    # Per-function direct acquisitions and call lists (same-module summary).
+    acquired: dict[tuple[str, str], set[str]] = {}
+    calls: dict[tuple[str, str], set[str]] = {}
+    func_by_name: dict[str, list[tuple[str, str]]] = {}
+    for scan in scans:
+        for kind, func, _held, target, _lineno, _allows in scan["events"]:
+            if func is None:
+                continue
+            key = (scan["module"], func)
+            func_by_name.setdefault(func.split("::")[-1], []).append(key)
+            func_by_name.setdefault(func, []).append(key)
+            if kind == "acq":
+                lock = resolve_lock(target, func, scan, decls)
+                acquired.setdefault(key, set()).add(lock)
+            else:
+                calls.setdefault(key, set()).add(target)
+        for func, reqs in scan["requires"].items():
+            key = (scan["module"], func)
+            func_by_name.setdefault(func.split("::")[-1], []).append(key)
+
+    def resolve_callee(module: str, name: str):
+        cands = sorted({k for k in func_by_name.get(name, ())
+                        if k[0] == module})
+        return cands[0] if len(cands) == 1 else None
+
+    # Transitive closure of "locks this function may acquire", only across
+    # unambiguous same-module calls (the conservative callee summary).
+    changed = True
+    rounds = 0
+    while changed and rounds < 32:
+        changed = False
+        rounds += 1
+        for key, callees in calls.items():
+            mine = acquired.setdefault(key, set())
+            before = len(mine)
+            for callee_name in callees:
+                callee = resolve_callee(key[0], callee_name)
+                if callee and callee != key:
+                    mine |= acquired.get(callee, set())
+            if len(mine) != before:
+                changed = True
+
+    # Edges: held -> acquired, from direct sites and callee summaries.
+    edges: dict[tuple[str, str], list] = {}
+
+    def requires_of(scan, func):
+        reqs = scan["requires"].get(func, []) if func else []
+        return [resolve_lock(r, func, scan, decls) for r in reqs]
+
+    for scan in scans:
+        for kind, func, held_exprs, target, lineno, allows in scan["events"]:
+            if "lock-order" in allows:
+                continue
+            held = [resolve_lock(h, func, scan, decls) for h in held_exprs]
+            held += requires_of(scan, func)
+            if not held:
+                continue
+            if kind == "acq":
+                acquires = [resolve_lock(target, func, scan, decls)]
+                why = "acquires"
+            else:
+                callee = resolve_callee(scan["module"], target)
+                if callee is None:
+                    continue
+                acquires = sorted(acquired.get(callee, set()))
+                why = f"calls {target}() which acquires"
+            for h in held:
+                for a in acquires:
+                    if a == h:
+                        continue
+                    edges.setdefault((h, a), []).append(
+                        (scan["rel"], lineno, why))
+
+    adj: dict[str, set[str]] = {}
+    for (a, b), _sites in edges.items():
+        adj.setdefault(a, set()).add(b)
+    nodes = sorted(set(adj) | {t for ts in adj.values() for t in ts})
+
+    violations: list[Violation] = []
+    cycle = find_cycle(adj, nodes)
+    if cycle:
+        sites = []
+        for a, b in zip(cycle, cycle[1:]):
+            rel, lineno, why = sorted(edges[(a, b)])[0]
+            sites.append(f"{a} -> {b} ({why}) at {rel}:{lineno}")
+        violations.append(Violation(
+            os.path.join(REPO_ROOT, "src"), 1, "lock-order",
+            "lock-order cycle: " + " -> ".join(cycle)
+            + "; evidence: " + " | ".join(sites)))
+
+    artifact = {
+        "locks": sorted({d["id"] for d in decls} | set(nodes)),
+        "edges": [
+            {"from": a, "to": b,
+             "sites": sorted({f"{rel}:{line} ({why})"
+                              for rel, line, why in sites})}
+            for (a, b), sites in sorted(edges.items())
+        ],
+    }
+    return violations, artifact
+
+
+def pass_determinism(scans: list[dict], manifest: Manifest,
+                     src_root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for scan in scans:
+        with open(scan["path"], encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+        for rule, lineno, message in scan["findings"]:
+            if rule not in allowed_rules_for_line(raw_lines, lineno):
+                violations.append(Violation(scan["path"], lineno, rule,
+                                            message))
+
+    # noexcept-move over the manifest's registered hot value types.
+    root = os.path.dirname(src_root.rstrip(os.sep))
+    for entry in manifest.noexcept_types:
+        type_name = entry["type"]
+        header = os.path.join(root, entry["header"])
+        if not os.path.exists(header):
+            violations.append(Violation(
+                manifest.path, 1, "noexcept-move",
+                f"registered type `{type_name}`: header {entry['header']} "
+                "does not exist"))
+            continue
+        with open(header, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        stripped = strip_comments_and_strings(text)
+        declared = re.search(
+            rf"\b{type_name}\s*\(\s*{type_name}\s*&&[^)]*\)\s*noexcept",
+            stripped)
+        pinned = re.search(
+            rf"is_nothrow_move_constructible(?:_v)?\s*<\s*(?:[\w:]+::)?"
+            rf"{type_name}\b", stripped)
+        if declared or pinned:
+            continue
+        decl = re.search(rf"\b(?:class|struct)\s+{type_name}\b", stripped)
+        lineno = stripped.count("\n", 0, decl.start()) + 1 if decl else 1
+        if "noexcept-move" in allowed_rules_for_line(raw_lines, lineno):
+            continue
+        violations.append(Violation(
+            header, lineno, "noexcept-move",
+            f"hot value type `{type_name}` (docs/layering.toml) has no "
+            "explicit noexcept move constructor and no "
+            "is_nothrow_move_constructible pin; container growth may "
+            "silently copy"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Artifacts
+# ---------------------------------------------------------------------------
+
+def write_artifacts(directory: str, include_art: dict, lock_art: dict,
+                    manifest: Manifest) -> None:
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "include_graph.json"), "w") as f:
+        json.dump(include_art, f, indent=2, sort_keys=True)
+        f.write("\n")
+    with open(os.path.join(directory, "lock_order.json"), "w") as f:
+        json.dump(lock_art, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    lines = ["digraph agedtr_modules {", "  rankdir=BT;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for m in sorted(manifest.modules):
+        lines.append(f'  "{m}" [label="{m}"];')
+    declared = {(a, b) for a in manifest.deps for b in manifest.deps[a]}
+    observed = {(e["from"], e["to"]): e["count"]
+                for e in include_art.get("edges", [])}
+    for a, b in sorted(declared | set(observed)):
+        count = observed.get((a, b), 0)
+        if (a, b) in declared:
+            style = "solid" if count else "dotted"
+            lines.append(f'  "{a}" -> "{b}" [style={style}, '
+                         f'label="{count or ""}"];')
+        else:
+            lines.append(f'  "{a}" -> "{b}" [color=red, style=dashed, '
+                         f'label="undeclared:{count}"];')
+    lines.append("}")
+    with open(os.path.join(directory, "include_graph.dot"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    lines = ["digraph agedtr_lock_order {", "  rankdir=LR;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for e in lock_art.get("edges", []):
+        label = e["sites"][0].split(" (")[0] if e["sites"] else ""
+        lines.append(f'  "{e["from"]}" -> "{e["to"]}" [label="{label}"];')
+    lines.append("}")
+    with open(os.path.join(directory, "lock_order.dot"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def render_dag_svg(manifest: Manifest, out_path: str) -> None:
+    """Renders the declared module DAG as a layered SVG (no graphviz
+    dependency — the layout is deterministic: layers bottom-up, modules
+    alphabetical within a layer)."""
+    layers: dict[int, list[str]] = {}
+    for m in sorted(manifest.modules):
+        layers.setdefault(manifest.layers.get(m, 0), []).append(m)
+    layer_ids = sorted(layers)
+    box_w, box_h, gap_x, gap_y, margin = 150, 46, 30, 64, 24
+    width = margin * 2 + max(len(v) for v in layers.values()) * (box_w + gap_x)
+    height = margin * 2 + len(layer_ids) * (box_h + gap_y) - gap_y
+    pos: dict[str, tuple[float, float]] = {}
+    for i, layer in enumerate(layer_ids):
+        mods = layers[layer]
+        row_w = len(mods) * box_w + (len(mods) - 1) * gap_x
+        x0 = (width - row_w) / 2
+        y = height - margin - box_h - i * (box_h + gap_y)
+        for j, m in enumerate(mods):
+            pos[m] = (x0 + j * (box_w + gap_x), y)
+
+    svg = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+           f'height="{height}" viewBox="0 0 {width} {height}">',
+           "<defs><marker id='arr' markerWidth='8' markerHeight='8' "
+           "refX='7' refY='3' orient='auto'>"
+           "<path d='M0,0 L7,3 L0,6 z' fill='#555'/></marker></defs>",
+           f"<rect width='{width}' height='{height}' fill='white'/>",
+           "<text x='{0}' y='16' font-family='Helvetica' font-size='13' "
+           "fill='#333'>agedtr module DAG (docs/layering.toml; arrow = "
+           "“may include”)</text>".format(margin)]
+    for a in sorted(manifest.deps):
+        for b in sorted(manifest.deps[a]):
+            if a not in pos or b not in pos:
+                continue
+            ax, ay = pos[a][0] + box_w / 2, pos[a][1] + box_h
+            bx, by = pos[b][0] + box_w / 2, pos[b][1]
+            midy = (ay + by) / 2
+            svg.append(
+                f"<path d='M{ax:.0f},{ay:.0f} C{ax:.0f},{midy:.0f} "
+                f"{bx:.0f},{midy:.0f} {bx:.0f},{by:.0f}' fill='none' "
+                "stroke='#555' stroke-width='1' marker-end='url(#arr)' "
+                "opacity='0.55'/>")
+    for m, (x, y) in sorted(pos.items()):
+        desc = manifest.modules[m].get("desc", "")
+        svg.append(f"<rect x='{x:.0f}' y='{y:.0f}' width='{box_w}' "
+                   f"height='{box_h}' rx='6' fill='#eef3fa' "
+                   "stroke='#3a6ea5'/>")
+        svg.append(f"<text x='{x + box_w / 2:.0f}' y='{y + 19:.0f}' "
+                   "text-anchor='middle' font-family='Helvetica' "
+                   f"font-size='13' font-weight='bold' fill='#1c3d5a'>{m}"
+                   "</text>")
+        short = desc if len(desc) <= 26 else desc[:24] + "…"
+        svg.append(f"<text x='{x + box_w / 2:.0f}' y='{y + 35:.0f}' "
+                   "text-anchor='middle' font-family='Helvetica' "
+                   f"font-size='8.5' fill='#444'>{short}</text>")
+    svg.append("</svg>")
+    with open(out_path, "w") as f:
+        f.write("\n".join(svg) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_analysis(src_root: str, manifest: Manifest, jobs: int,
+                 stats: bool, artifacts_dir: str | None):
+    timings: list[tuple[str, float]] = []
+    t0 = time.monotonic()
+    sources = collect_sources(src_root)
+    if jobs > 1 and len(sources) > 8:
+        with multiprocessing.Pool(jobs) as pool:
+            scans = pool.map(scan_file, sources, chunksize=8)
+    else:
+        scans = [scan_file(s) for s in sources]
+    timings.append(("scan", time.monotonic() - t0))
+
+    violations: list[Violation] = []
+    t0 = time.monotonic()
+    layer_viol, include_art = pass_layering(scans, manifest, src_root)
+    violations += layer_viol
+    timings.append(("layering", time.monotonic() - t0))
+
+    t0 = time.monotonic()
+    lock_viol, lock_art = pass_lock_order(scans)
+    violations += lock_viol
+    timings.append(("lock-order", time.monotonic() - t0))
+
+    t0 = time.monotonic()
+    violations += pass_determinism(scans, manifest, src_root)
+    timings.append(("determinism", time.monotonic() - t0))
+
+    if artifacts_dir:
+        t0 = time.monotonic()
+        write_artifacts(artifacts_dir, include_art, lock_art, manifest)
+        timings.append(("artifacts", time.monotonic() - t0))
+
+    if stats:
+        total = sum(dt for _, dt in timings)
+        print(f"agedtr-analyze --stats ({len(sources)} files, "
+              f"jobs={jobs}):", file=sys.stderr)
+        for name, dt in timings:
+            print(f"  {name:<12} {dt * 1e3:8.1f} ms", file=sys.stderr)
+        print(f"  {'total':<12} {total * 1e3:8.1f} ms", file=sys.stderr)
+    return violations, len(sources)
+
+
+def main_run(manifest_path: str, src_root: str, jobs: int, stats: bool,
+             artifacts_dir: str | None) -> int:
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, tomllib.TOMLDecodeError) as e:
+        print(f"agedtr-analyze: cannot load manifest {manifest_path}: {e}",
+              file=sys.stderr)
+        return 2
+    violations, nfiles = run_analysis(src_root, manifest, jobs, stats,
+                                      artifacts_dir)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"agedtr-analyze: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"agedtr-analyze: OK ({nfiles} files, graphs acyclic, "
+          "all cross-module edges declared)", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one violation per rule class in a temp tree, verify each
+# is caught and each has a working allow() suppression path.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_MANIFEST = """
+[modules.util]
+layer = 0
+deps = []
+[modules.sim]
+layer = 1
+deps = ["util"]
+[modules.service]
+layer = 2
+deps = ["sim", "util"]
+
+[[noexcept_move_types]]
+type = "HotValue"
+header = "src/util/include/agedtr/util/hot_value.hpp"
+
+[[noexcept_move_types]]
+type = "ColdValue"
+header = "src/util/include/agedtr/util/cold_value.hpp"
+"""
+
+CYCLIC_MANIFEST = """
+[modules.a]
+layer = 0
+deps = ["b"]
+[modules.b]
+layer = 1
+deps = ["a"]
+"""
+
+
+def _write(root: str, rel: str, content: str) -> None:
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def _rules_of(violations: list[Violation]) -> set[str]:
+    return {v.rule for v in violations}
+
+
+def self_test() -> int:
+    failures: list[str] = []
+
+    def check(name: str, cond: bool):
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="agedtr-analyze-") as tmp:
+        manifest_path = os.path.join(tmp, "layering.toml")
+        with open(manifest_path, "w") as f:
+            f.write(SELF_TEST_MANIFEST)
+        manifest = load_manifest(manifest_path)
+        src = os.path.join(tmp, "src")
+
+        # --- layering: a forbidden sim -> service include is rejected, and
+        # an allow(layering) comment suppresses it.
+        _write(tmp, "src/service/include/agedtr/service/api.hpp",
+               "#pragma once\n")
+        _write(tmp, "src/sim/bad_edge.cpp",
+               '#include "agedtr/service/api.hpp"\n')
+        _write(tmp, "src/sim/allowed_edge.cpp",
+               "// transitional: agedtr-lint: allow(layering)\n"
+               '#include "agedtr/service/api.hpp"\n')
+        # --- lock-order: two functions acquire (a then b) and (b then a);
+        # an allow(lock-order) on one inversion site breaks the cycle.
+        _write(tmp, "src/util/include/agedtr/util/locks.hpp",
+               "#pragma once\n"
+               "class Pair {\n"
+               " public:\n"
+               "  void ab() {\n"
+               "    MutexLock la(&a_);\n"
+               "    MutexLock lb(&b_);\n"
+               "  }\n"
+               "  void ba() {\n"
+               "    MutexLock lb(&b_);\n"
+               "    MutexLock la(&a_);\n"
+               "  }\n"
+               " private:\n"
+               "  Mutex a_;\n"
+               "  Mutex b_;\n"
+               "};\n")
+        # --- unordered-iter: accumulation over an unordered_map fires; the
+        # same loop under allow(unordered-iter) does not.
+        _write(tmp, "src/util/unordered.cpp",
+               "#include <unordered_map>\n"
+               "double total(const std::unordered_map<int, double>& m) {\n"
+               "  std::unordered_map<int, double> local = m;\n"
+               "  double sum = 0.0;\n"
+               "  for (const auto& kv : local) {\n"
+               "    sum += kv.second;\n"
+               "  }\n"
+               "  return sum;\n"
+               "}\n")
+        # --- nondet-order: pointer-keyed ordered map and __DATE__.
+        _write(tmp, "src/util/nondet.cpp",
+               "#include <map>\n"
+               "struct Node {};\n"
+               "std::map<Node*, int> by_address;\n"
+               'const char* stamp() { return __DATE__; }\n')
+        # --- noexcept-move: HotValue lacks both the declaration and the
+        # pin; ColdValue carries the static_assert pin and passes.
+        _write(tmp, "src/util/include/agedtr/util/hot_value.hpp",
+               "#pragma once\n"
+               "class HotValue {\n"
+               " public:\n"
+               "  HotValue();\n"
+               "};\n")
+        _write(tmp, "src/util/include/agedtr/util/cold_value.hpp",
+               "#pragma once\n"
+               "#include <type_traits>\n"
+               "struct ColdValue { int x; };\n"
+               "static_assert(std::is_nothrow_move_constructible_v<ColdValue>);\n")
+
+        violations, _ = run_analysis(src, manifest, jobs=1, stats=False,
+                                     artifacts_dir=None)
+        rules = _rules_of(violations)
+        check("layering edge caught", "layering" in rules)
+        check("layering allow() works",
+              not any(v.rule == "layering" and "allowed_edge" in v.path
+                      for v in violations))
+        check("lock-order cycle caught", "lock-order" in rules)
+        check("unordered-iter caught", "unordered-iter" in rules)
+        check("nondet-order pointer key caught",
+              any(v.rule == "nondet-order" and "pointer-keyed" in v.message
+                  for v in violations))
+        check("nondet-order __DATE__ caught",
+              any(v.rule == "nondet-order" and "__DATE__" in v.message
+                  for v in violations))
+        check("noexcept-move caught",
+              any(v.rule == "noexcept-move" and "HotValue" in v.message
+                  for v in violations))
+        check("noexcept-move pin accepted",
+              not any("ColdValue" in v.message for v in violations))
+
+        # Suppression paths for the remaining rules.
+        _write(tmp, "src/util/include/agedtr/util/locks.hpp",
+               "#pragma once\n"
+               "class Pair {\n"
+               " public:\n"
+               "  void ab() {\n"
+               "    MutexLock la(&a_);\n"
+               "    MutexLock lb(&b_);\n"
+               "  }\n"
+               "  void ba() {\n"
+               "    MutexLock lb(&b_);\n"
+               "    // justified elsewhere: agedtr-lint: allow(lock-order)\n"
+               "    MutexLock la(&a_);\n"
+               "  }\n"
+               " private:\n"
+               "  Mutex a_;\n"
+               "  Mutex b_;\n"
+               "};\n")
+        _write(tmp, "src/util/unordered.cpp",
+               "#include <unordered_map>\n"
+               "double total(const std::unordered_map<int, double>& m) {\n"
+               "  std::unordered_map<int, double> local = m;\n"
+               "  double sum = 0.0;\n"
+               "  // order-insensitive sum: agedtr-lint: allow(unordered-iter)\n"
+               "  for (const auto& kv : local) {\n"
+               "    sum += kv.second;\n"
+               "  }\n"
+               "  return sum;\n"
+               "}\n")
+        _write(tmp, "src/util/nondet.cpp",
+               "#include <map>\n"
+               "struct Node {};\n"
+               "// never iterated: agedtr-lint: allow(nondet-order)\n"
+               "std::map<Node*, int> by_address;\n"
+               "// build stamp is display-only: agedtr-lint: allow(nondet-order)\n"
+               'const char* stamp() { return __DATE__; }\n')
+        _write(tmp, "src/util/include/agedtr/util/hot_value.hpp",
+               "#pragma once\n"
+               "// move is nothrow by construction: agedtr-lint: allow(noexcept-move)\n"
+               "class HotValue {\n"
+               " public:\n"
+               "  HotValue();\n"
+               "};\n")
+        _write(tmp, "src/sim/bad_edge.cpp",
+               "// transitional: agedtr-lint: allow(layering)\n"
+               '#include "agedtr/service/api.hpp"\n')
+        violations, _ = run_analysis(src, manifest, jobs=1, stats=False,
+                                     artifacts_dir=None)
+        check("every allow() suppression path works", not violations)
+
+        # A clean tree stays clean when a declared edge is exercised.
+        _write(tmp, "src/util/include/agedtr/util/base.hpp", "#pragma once\n")
+        _write(tmp, "src/sim/good_edge.cpp",
+               '#include "agedtr/util/base.hpp"\n')
+        violations, _ = run_analysis(src, manifest, jobs=1, stats=False,
+                                     artifacts_dir=None)
+        check("declared edge accepted", not violations)
+
+        # --- layering-cycle: a manifest whose declared graph loops.
+        cyc_path = os.path.join(tmp, "cyclic.toml")
+        with open(cyc_path, "w") as f:
+            f.write(CYCLIC_MANIFEST)
+        cyc = load_manifest(cyc_path)
+        src2 = os.path.join(tmp, "src2")
+        _write(tmp, "src2/a/include/agedtr/a/a.hpp", "#pragma once\n")
+        _write(tmp, "src2/b/b.cpp", '#include "agedtr/a/a.hpp"\n')
+        violations, _ = run_analysis(src2, cyc, jobs=1, stats=False,
+                                     artifacts_dir=None)
+        check("layering-cycle caught", "layering-cycle" in _rules_of(violations))
+
+        # --- header include cycle at file level.
+        src3 = os.path.join(tmp, "src3")
+        _write(tmp, "src3/util/include/agedtr/util/x.hpp",
+               '#pragma once\n#include "agedtr/util/y.hpp"\n')
+        _write(tmp, "src3/util/include/agedtr/util/y.hpp",
+               '#pragma once\n#include "agedtr/util/x.hpp"\n')
+        violations, _ = run_analysis(src3, manifest, jobs=1, stats=False,
+                                     artifacts_dir=None)
+        check("header cycle caught",
+              any(v.rule == "layering-cycle" and "header include cycle"
+                  in v.message for v in violations))
+
+    if failures:
+        for f_ in failures:
+            print(f"agedtr-analyze self-test FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("agedtr-analyze self-test OK (layering edge, layering cycle, "
+          "header cycle, lock-order cycle, unordered-iter, nondet-order, "
+          "noexcept-move + suppression paths)", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--help" in args or "-h" in args:
+        print(__doc__)
+        return 0
+    if "--self-test" in args:
+        return self_test()
+
+    manifest_path = os.path.join(REPO_ROOT, "docs", "layering.toml")
+    src_root = os.path.join(REPO_ROOT, "src")
+    artifacts_dir: str | None = None
+    jobs = os.cpu_count() or 1
+    stats = False
+    render_to: str | None = None
+
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--manifest":
+            i += 1
+            manifest_path = args[i]
+        elif a == "--src":
+            i += 1
+            src_root = args[i]
+        elif a == "--artifacts":
+            i += 1
+            artifacts_dir = args[i]
+        elif a == "--jobs":
+            i += 1
+            jobs = max(1, int(args[i]))
+        elif a == "--stats":
+            stats = True
+        elif a == "--render-dag":
+            i += 1
+            render_to = args[i]
+        else:
+            print(f"agedtr-analyze: unknown option {a} (see --help)",
+                  file=sys.stderr)
+            return 2
+        i += 1
+
+    if render_to:
+        try:
+            manifest = load_manifest(manifest_path)
+        except (OSError, tomllib.TOMLDecodeError) as e:
+            print(f"agedtr-analyze: cannot load manifest: {e}",
+                  file=sys.stderr)
+            return 2
+        render_dag_svg(manifest, render_to)
+        print(f"agedtr-analyze: wrote {render_to}", file=sys.stderr)
+        return 0
+
+    return main_run(manifest_path, src_root, jobs, stats, artifacts_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

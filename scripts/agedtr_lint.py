@@ -56,17 +56,25 @@ carry a justification in the surrounding comment (docs/STATIC_ANALYSIS.md).
 
 Usage:
   scripts/agedtr_lint.py [paths...]   lint (default: src/)
+  scripts/agedtr_lint.py --jobs N     scan files on N worker processes
+  scripts/agedtr_lint.py --stats      per-rule timing summary on stderr
   scripts/agedtr_lint.py --self-test  seed one violation per rule in a
                                       temp tree and verify each is caught
 Exit status: 0 clean, 1 violations found, 2 internal/usage error.
+
+Graph-level analyses (layering DAG, static lock order, determinism
+dataflow) live in the companion scripts/agedtr_analyze.py; this linter
+stays line-local.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import re
 import sys
 import tempfile
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -318,7 +326,7 @@ BOUNDARY_REQUIRE_FILES = (
     "src/core/replication_bounds.cpp",
     "src/sim/fault_injection.cpp",
     "src/sim/monte_carlo.cpp",
-    "src/sim/allocation_search.cpp",
+    "src/policy/allocation_search.cpp",
     "src/sim/replication_study.cpp",
     "src/policy/two_server.cpp",
     "src/policy/algorithm1.cpp",
@@ -417,7 +425,8 @@ RULE_IDS = ["entropy", "naked-new", "no-float", "nodiscard-factory",
             "decision-policy-require"]
 
 
-def lint_file(path: str) -> list[Violation]:
+def lint_file(path: str,
+              timings: dict[str, float] | None = None) -> list[Violation]:
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
     raw_lines = text.splitlines()
@@ -426,11 +435,21 @@ def lint_file(path: str) -> list[Violation]:
     while len(stripped_lines) < len(raw_lines):
         stripped_lines.append("")
     violations = []
-    for rule in RULES:
+    for rule_id, rule in zip(RULE_IDS, RULES):
+        start = time.monotonic()
         for v in rule(path, raw_lines, stripped_lines):
             if v.rule not in allowed_rules_for_line(raw_lines, v.line):
                 violations.append(v)
+        if timings is not None:
+            timings[rule_id] = (timings.get(rule_id, 0.0)
+                                + time.monotonic() - start)
     return violations
+
+
+def _lint_one(path: str) -> tuple[list[Violation], dict[str, float]]:
+    """Per-file worker for run_lint (also runs in --jobs subprocesses)."""
+    timings: dict[str, float] = {}
+    return lint_file(path, timings), timings
 
 
 def collect_files(paths: list[str]) -> list[str]:
@@ -447,16 +466,32 @@ def collect_files(paths: list[str]) -> list[str]:
     return sorted(set(files))
 
 
-def run_lint(paths: list[str]) -> int:
+def run_lint(paths: list[str], jobs: int = 1, stats: bool = False) -> int:
     files = collect_files(paths)
     if not files:
         print("agedtr-lint: no source files found under given paths",
               file=sys.stderr)
         return 2
-    violations = []
-    for path in files:
-        violations.extend(lint_file(path))
+    # Files are independent, so the scan fans out trivially; below ~8 files
+    # the pool's fork cost exceeds the lint itself.
+    if jobs > 1 and len(files) > 8:
+        with multiprocessing.Pool(jobs) as pool:
+            results = pool.map(_lint_one, files, chunksize=8)
+    else:
+        results = [_lint_one(path) for path in files]
+    violations = [v for file_violations, _ in results for v in file_violations]
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    if stats:
+        totals: dict[str, float] = {}
+        for _, timings in results:
+            for rule_id, dt in timings.items():
+                totals[rule_id] = totals.get(rule_id, 0.0) + dt
+        print(f"agedtr-lint --stats ({len(files)} files, jobs={jobs}; "
+              "per-rule CPU time summed across workers):", file=sys.stderr)
+        for rule_id, dt in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"  {rule_id:<24} {dt * 1e3:8.1f} ms", file=sys.stderr)
+        print(f"  {'total':<24} {sum(totals.values()) * 1e3:8.1f} ms",
+              file=sys.stderr)
     for v in violations:
         print(v)
     if violations:
@@ -577,8 +612,28 @@ def main(argv: list[str]) -> int:
         return 0
     if "--self-test" in args:
         return self_test()
-    paths = args or [os.path.join(REPO_ROOT, "src")]
-    return run_lint(paths)
+    jobs = 1
+    stats = False
+    paths: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--jobs":
+            i += 1
+            if i >= len(args):
+                print("agedtr-lint: --jobs needs a value", file=sys.stderr)
+                return 2
+            jobs = max(1, int(args[i]))
+        elif a == "--stats":
+            stats = True
+        elif a.startswith("--"):
+            print(f"agedtr-lint: unknown option {a} (see --help)",
+                  file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+        i += 1
+    return run_lint(paths or [os.path.join(REPO_ROOT, "src")], jobs, stats)
 
 
 if __name__ == "__main__":

@@ -2,10 +2,15 @@
 # Single entry point for the agedtr static-analysis gate (docs/STATIC_ANALYSIS.md).
 #
 # Stages, in order:
-#   1. agedtr-lint        determinism/contract checker (python3; always runs)
-#   2. format             clang-format dry-run over the tree (skips with a
+#   1. agedtr-lint        line-local determinism/contract checker (python3;
+#                         always runs, self-test first)
+#   2. agedtr-analyze     graph-aware passes: layering DAG vs docs/
+#                         layering.toml, static lock-order cycles,
+#                         determinism dataflow (python3; always runs,
+#                         self-test first; writes DOT/JSON artifacts)
+#   3. format             clang-format dry-run over the tree (skips with a
 #                         notice when clang-format is not installed)
-#   3. clang-tidy         curated .clang-tidy profile against a checked-in
+#   4. clang-tidy         curated .clang-tidy profile against a checked-in
 #                         baseline; only NEW findings fail the gate (skips
 #                         with a notice when clang-tidy is not installed)
 #
@@ -17,6 +22,9 @@
 #                      finding; justify in the commit message)
 #   --report FILE      also write the raw clang-tidy output to FILE
 #                      (uploaded as a CI artifact)
+#
+# The include-graph and lock-order artifacts land in
+# $AGEDTR_ANALYSIS_DIR (default: build/analysis) for CI upload.
 #
 # Exit status: 0 = clean (skipped stages do not fail), 1 = violations.
 set -u -o pipefail
@@ -41,10 +49,26 @@ failures=0
 
 note() { printf '== %s\n' "$*"; }
 
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
 # ---------------------------------------------------------------- agedtr-lint
 note "agedtr-lint (determinism/contract checker)"
-if python3 "$ROOT/scripts/agedtr_lint.py" "$ROOT/src"; then
+# The self-test proves each rule still catches its seeded violation before
+# the real tree gets the "clean" verdict.
+if python3 "$ROOT/scripts/agedtr_lint.py" --self-test &&
+    python3 "$ROOT/scripts/agedtr_lint.py" --jobs "$JOBS" "$ROOT/src"; then
   :
+else
+  failures=$((failures + 1))
+fi
+
+# ------------------------------------------------------------- agedtr-analyze
+note "agedtr-analyze (layering DAG / lock order / determinism dataflow)"
+ANALYSIS_DIR="${AGEDTR_ANALYSIS_DIR:-$ROOT/build/analysis}"
+if python3 "$ROOT/scripts/agedtr_analyze.py" --self-test &&
+    python3 "$ROOT/scripts/agedtr_analyze.py" --jobs "$JOBS" \
+      --artifacts "$ANALYSIS_DIR"; then
+  note "analysis artifacts: $ANALYSIS_DIR (include_graph / lock_order .json+.dot)"
 else
   failures=$((failures + 1))
 fi

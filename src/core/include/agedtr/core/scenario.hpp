@@ -29,6 +29,15 @@ class DtrPolicy {
  public:
   explicit DtrPolicy(std::size_t n);
 
+  // Policies travel by value through candidate vectors in the searches;
+  // the explicit noexcept moves keep that traffic copy-free under
+  // container growth (rule `noexcept-move`, docs/layering.toml).
+  DtrPolicy(const DtrPolicy&) = default;
+  DtrPolicy& operator=(const DtrPolicy&) = default;
+  DtrPolicy(DtrPolicy&&) noexcept = default;
+  DtrPolicy& operator=(DtrPolicy&&) noexcept = default;
+  ~DtrPolicy() = default;
+
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] int operator()(std::size_t from, std::size_t to) const;
   void set(std::size_t from, std::size_t to, int tasks);

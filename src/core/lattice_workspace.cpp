@@ -1,5 +1,6 @@
 #include "agedtr/core/lattice_workspace.hpp"
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 

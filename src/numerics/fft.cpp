@@ -199,7 +199,10 @@ const FftPlan& fft_plan(std::size_t n) {
   MutexLock lock(&g_plan_mutex);
   plan = g_plans[idx].load(std::memory_order_acquire);
   if (plan == nullptr) {
-    plan = new FftPlan(n);  // intentionally immortal: published lock-free
+    // Intentionally immortal: the plan is published lock-free and read for
+    // the process lifetime; a deleter would race the readers.
+    // agedtr-lint: allow(naked-new)
+    plan = new FftPlan(n);
     g_plans[idx].store(plan, std::memory_order_release);
   }
   return *plan;
@@ -271,9 +274,9 @@ std::vector<double> convolve(const std::vector<double>& a,
     plan.rfft(a.data(), a.size(), fa.data());
     plan.rfft(b.data(), b.size(), fb.data());
     kernels::pointwise_mul_inplace(fa.data(), fb.data(), plan.bins());
-    std::pmr::vector<double> time(n, frame.resource());
-    plan.irfft(fa.data(), time.data());
-    for (std::size_t i = 0; i < out_size; ++i) out[i] = time[i];
+    std::pmr::vector<double> tdomain(n, frame.resource());
+    plan.irfft(fa.data(), tdomain.data());
+    for (std::size_t i = 0; i < out_size; ++i) out[i] = tdomain[i];
   }
   if (clamp_nonnegative) kernels::clamp_nonnegative(out.data(), out.size());
   return out;

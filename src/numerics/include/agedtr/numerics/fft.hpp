@@ -18,6 +18,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace agedtr::numerics {
@@ -38,6 +39,12 @@ struct Spectrum {
   std::size_t padded = 0;
   std::vector<std::complex<double>> bins;
 };
+
+// Spectra ride inside every cached LatticeDensity; a throwing move would
+// turn workspace ladder growth into spectrum deep-copies (rule
+// `noexcept-move`, docs/layering.toml). An aggregate keeps its implicit
+// move, so pin the trait instead of declaring constructors.
+static_assert(std::is_nothrow_move_constructible_v<Spectrum>);
 
 /// Immutable transform plan for real length n (a power of two >= 2):
 /// bit-reversal permutation and twiddle tables for the half-size complex
@@ -69,6 +76,10 @@ class FftPlan {
   std::vector<std::complex<double>> roots_;  // exp(-2*pi*i*j/half_), j < half_/2
   std::vector<std::complex<double>> split_;  // exp(-2*pi*i*k/n_), k <= half_
 };
+
+// Plans are cached per size class; moving one must never copy its tables
+// (rule `noexcept-move`, docs/layering.toml).
+static_assert(std::is_nothrow_move_constructible_v<FftPlan>);
 
 /// The process-wide plan for real length n (a power of two >= 2). Plans are
 /// built once under a lock and published through an atomic slot per size

@@ -19,6 +19,7 @@
 // density to other threads; after that every access is a const read.
 #pragma once
 
+#include <complex>
 #include <functional>
 #include <vector>
 
@@ -31,6 +32,16 @@ class LatticeDensity {
   /// Takes ownership of the mass vector; `tail` is P{X >= mass.size()*dt}.
   /// Requires dt > 0, nonnegative entries, and total mass <= 1 + 1e-9.
   LatticeDensity(double dt, std::vector<double> mass, double tail);
+
+  // Rule of five, spelled out so the moves are *guaranteed* noexcept at
+  // compile time (rule `noexcept-move`, docs/layering.toml): densities live
+  // in the workspace's power ladders and sum tables, and a throwing move
+  // would silently turn container growth there into deep copies.
+  LatticeDensity(const LatticeDensity&) = default;
+  LatticeDensity& operator=(const LatticeDensity&) = default;
+  LatticeDensity(LatticeDensity&&) noexcept = default;
+  LatticeDensity& operator=(LatticeDensity&&) noexcept = default;
+  ~LatticeDensity() = default;
 
   /// The distribution of the constant 0 (identity for convolution).
   [[nodiscard]] static LatticeDensity zero(double dt, std::size_t n);

@@ -148,15 +148,15 @@ LatticeDensity LatticeDensity::convolve(const LatticeDensity& other) const {
                                                 frame.resource());
     std::copy(sa.bins.begin(), sa.bins.end(), prod.begin());
     kernels::pointwise_mul_inplace(prod.data(), sb.bins.data(), plan.bins());
-    std::pmr::vector<double> time(m, frame.resource());
-    plan.irfft(prod.data(), time.data());
-    kernels::clamp_nonnegative(time.data(), full_n);
-    std::copy(time.begin(),
-              time.begin() + static_cast<std::ptrdiff_t>(
-                                 std::min(out_n, full_n)),
+    std::pmr::vector<double> tdomain(m, frame.resource());
+    plan.irfft(prod.data(), tdomain.data());
+    kernels::clamp_nonnegative(tdomain.data(), full_n);
+    std::copy(tdomain.begin(),
+              tdomain.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(out_n, full_n)),
               mass.begin());
     if (full_n > out_n) {
-      overflow = kernels::sum(time.data() + out_n, full_n - out_n);
+      overflow = kernels::sum(tdomain.data() + out_n, full_n - out_n);
     }
   }
   // Any term involving either tail exceeds the grid (tails sit at >= n·dt and

@@ -1,4 +1,4 @@
-#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/policy/allocation_search.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -13,7 +13,7 @@
 #include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/util/error.hpp"
 
-namespace agedtr::sim {
+namespace agedtr::policy {
 namespace {
 
 core::DcsScenario with_allocation(const core::DcsScenario& scenario,
@@ -39,32 +39,33 @@ double score_allocation_with(
   AGEDTR_REQUIRE(allocation.size() == scenario.size(),
                  "score_allocation: allocation size mismatch");
   core::DcsScenario placed = with_allocation(scenario, allocation);
-  if (options.objective == policy::Objective::kMeanExecutionTime) {
+  if (options.objective == Objective::kMeanExecutionTime) {
     for (core::ServerSpec& s : placed.servers) s.failure = nullptr;
   }
   const core::DtrPolicy identity(placed.size());
   if (options.analytic) {
-    policy::EvaluationEngineOptions engine_options;
+    EvaluationEngineOptions engine_options;
     engine_options.objective = options.objective;
     engine_options.deadline = options.deadline;
     engine_options.conv = options.conv;
-    const policy::EvaluationEngine engine(std::move(placed),
+    const EvaluationEngine engine(std::move(placed),
                                           std::move(engine_options),
                                           workspace);
     return engine.evaluate(identity);
   }
-  MonteCarloOptions mc;
+  sim::MonteCarloOptions mc;
   mc.replications = options.replications;
   mc.seed = options.seed;  // common random numbers across candidates
   mc.deadline = options.deadline;
   mc.pool = options.pool;
-  const MonteCarloMetrics metrics = run_monte_carlo(placed, identity, mc);
+  const sim::MonteCarloMetrics metrics =
+      sim::run_monte_carlo(placed, identity, mc);
   switch (options.objective) {
-    case policy::Objective::kMeanExecutionTime:
+    case Objective::kMeanExecutionTime:
       return metrics.mean_completion_time.center;
-    case policy::Objective::kQos:
+    case Objective::kQos:
       return metrics.qos.center;
-    case policy::Objective::kReliability:
+    case Objective::kReliability:
       return metrics.reliability.center;
   }
   throw LogicError("score_allocation: unknown objective");
@@ -114,7 +115,7 @@ AllocationSearchResult optimal_allocation(
   const std::size_t n = scenario.size();
   const int total = scenario.total_tasks();
   AGEDTR_REQUIRE(total > 0, "optimal_allocation: the workload is empty");
-  const bool maximize = policy::is_maximization(options.objective);
+  const bool maximize = is_maximization(options.objective);
 
   AllocationSearchResult result;
   // Start from the speed-proportional allocation (a strong prior: it is
@@ -197,7 +198,7 @@ AllocationSearchResult optimal_allocation(
   // best — the (reallocation × replication) search's second coordinate.
   if (!options.replication_factors.empty()) {
     core::DcsScenario placed = with_allocation(scenario, result.allocation);
-    if (options.objective == policy::Objective::kMeanExecutionTime) {
+    if (options.objective == Objective::kMeanExecutionTime) {
       for (core::ServerSpec& s : placed.servers) s.failure = nullptr;
     }
     const core::DtrPolicy identity(placed.size());
@@ -206,7 +207,7 @@ AllocationSearchResult optimal_allocation(
     for (const int factor : options.replication_factors) {
       AGEDTR_REQUIRE(factor >= 1,
                      "optimal_allocation: replication factors must be >= 1");
-      MonteCarloOptions mc;
+      sim::MonteCarloOptions mc;
       mc.replications = options.replications;
       mc.seed = options.seed;
       mc.deadline = options.deadline;
@@ -214,18 +215,19 @@ AllocationSearchResult optimal_allocation(
       mc.simulator.faults = options.replication_faults;
       mc.simulator.replication =
           core::make_uniform_replication(placed, identity, factor);
-      mc.stream_split = StreamSplit::kCounter;  // same draws for every factor
-      const MonteCarloMetrics metrics = run_monte_carlo(placed, identity, mc);
+      mc.stream_split = sim::StreamSplit::kCounter;  // same draws for every factor
+      const sim::MonteCarloMetrics metrics =
+          sim::run_monte_carlo(placed, identity, mc);
       ++result.evaluations;
       double value = 0.0;
       switch (options.objective) {
-        case policy::Objective::kMeanExecutionTime:
+        case Objective::kMeanExecutionTime:
           value = metrics.mean_completion_time.center;
           break;
-        case policy::Objective::kQos:
+        case Objective::kQos:
           value = metrics.qos.center;
           break;
-        case policy::Objective::kReliability:
+        case Objective::kReliability:
           value = metrics.reliability.center;
           break;
       }
@@ -240,4 +242,4 @@ AllocationSearchResult optimal_allocation(
   return result;
 }
 
-}  // namespace agedtr::sim
+}  // namespace agedtr::policy

@@ -46,8 +46,12 @@ struct EvaluationEngine::Impl {
 
   // Markovian group-transfer memo: (per-task base law, group size) -> the
   // flattened exponential. Stable identities keep the workspace's
-  // identity-keyed cache effective across evaluations.
+  // identity-keyed cache effective across evaluations. The address key is
+  // lookup-only — the memo is never iterated, so its address-dependent
+  // ordering can never reach an output — and the cached DistPtr pins the
+  // base law alive, so a key cannot alias a recycled address.
   mutable Mutex law_mutex;
+  // agedtr-lint: allow(nondet-order)
   mutable std::map<std::pair<const dist::Distribution*, int>, dist::DistPtr>
       group_laws AGEDTR_GUARDED_BY(law_mutex);
 

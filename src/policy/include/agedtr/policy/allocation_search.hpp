@@ -19,10 +19,10 @@
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/util/supervisor.hpp"
 
-namespace agedtr::sim {
+namespace agedtr::policy {
 
 struct AllocationSearchOptions {
-  policy::Objective objective = policy::Objective::kMeanExecutionTime;
+  Objective objective = Objective::kMeanExecutionTime;
   double deadline = 0.0;
   /// Replications per candidate when scoring by Monte Carlo.
   std::size_t replications = 2'000;
@@ -60,7 +60,7 @@ struct AllocationSearchOptions {
   /// Faults injected while scoring the replication post-pass (slowdowns are
   /// the interesting axis: replication pays off only once stragglers bite).
   /// Null plan = fault-free scoring.
-  FaultPlan replication_faults;
+  sim::FaultPlan replication_faults;
 };
 
 struct AllocationSearchResult {
@@ -91,4 +91,4 @@ struct AllocationSearchResult {
                                       const std::vector<int>& allocation,
                                       const AllocationSearchOptions& options);
 
-}  // namespace agedtr::sim
+}  // namespace agedtr::policy

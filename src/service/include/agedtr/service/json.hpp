@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <string>
+#include <type_traits>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -89,5 +90,10 @@ class Json {
   std::vector<Json> array_;
   std::vector<std::pair<std::string, Json>> object_;
 };
+
+// Json values nest recursively through the array/object vectors; a throwing
+// move would deep-copy whole reply subtrees during parse/build (rule
+// `noexcept-move`, docs/layering.toml).
+static_assert(std::is_nothrow_move_constructible_v<Json>);
 
 }  // namespace agedtr::service

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "agedtr/core/replication.hpp"
@@ -124,6 +125,11 @@ struct SimResult {
   /// per-server remaining work, in-transit groups, clock ages.
   std::optional<core::SystemState> final_state;
 };
+
+// One SimResult per Monte-Carlo realization flows into the aggregation
+// vectors; a throwing move would copy every per-server array on growth
+// (rule `noexcept-move`, docs/layering.toml).
+static_assert(std::is_nothrow_move_constructible_v<SimResult>);
 
 class DcsSimulator {
  public:

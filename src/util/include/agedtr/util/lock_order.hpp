@@ -1,0 +1,79 @@
+// Runtime lock-order validator: the dynamic twin of the static lock-order
+// pass in scripts/agedtr_analyze.py.
+//
+// Under a build with -DAGEDTR_LOCK_ORDER_CHECK=ON, every agedtr::Mutex
+// acquisition/release reports here (hooks in thread_annotations.hpp). The
+// validator keeps a thread-local stack of held locks and a process-wide
+// order graph: acquiring B while holding A records the edge A -> B, and an
+// acquisition whose edge would close a cycle in that graph — a potential
+// deadlock, whether or not this particular interleaving deadlocks — fires
+// the violation handler *before* blocking on the lock, so the report
+// arrives instead of the hang. Recursive acquisition of the same Mutex
+// (undefined behaviour for std::mutex) is reported the same way.
+//
+// The static analyzer proves the order graph of the *source* is acyclic;
+// running the test suite under this validator cross-checks that the graph
+// the code actually walks at runtime agrees (tests/lock_order_test.cpp,
+// and the lock-order CI variant of the tier-1 job).
+//
+// The hook functions are compiled unconditionally (they are a few hundred
+// bytes and make the validator testable in every build); only the call
+// sites inside Mutex are gated by the macro, so the default build's lock
+// fast path is exactly a std::mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace agedtr::lock_order {
+
+/// True when this build's Mutex actually reports acquisitions here.
+[[nodiscard]] constexpr bool enabled() {
+#if defined(AGEDTR_LOCK_ORDER_CHECK)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Called before blocking on `mutex`. Validates the would-be edges from
+/// every lock this thread holds, records them, and pushes `mutex` onto the
+/// thread's held stack.
+void on_acquire(const void* mutex);
+
+/// Called after a *successful* try_lock. Pushes onto the held stack and
+/// records edges for later blocking acquisitions, but performs no cycle
+/// check itself: a non-blocking acquisition cannot be the waiting half of
+/// a deadlock.
+void on_try_acquire(const void* mutex);
+
+/// Called before unlocking. Removes the most recent matching entry from
+/// the thread's held stack (out-of-stack-order release is legal).
+void on_release(const void* mutex);
+
+/// Called from ~Mutex. Purges the node and its edges so a recycled
+/// address can never inherit a dead mutex's ordering constraints.
+void on_destroy(const void* mutex);
+
+/// Process-wide counters (approximate under concurrency, exact once
+/// quiescent).
+struct Stats {
+  std::uint64_t acquisitions = 0;  // hook calls that pushed a lock
+  std::uint64_t edges = 0;         // distinct order edges recorded
+  std::uint64_t violations = 0;    // cycles + recursive acquisitions
+};
+[[nodiscard]] Stats stats();
+
+/// What to do when a violation is detected. The default handler prints
+/// the report to stderr and aborts — a lock-order bug in a test run must
+/// not pass silently. Tests install a recording handler instead. Passing
+/// nullptr restores the default. Returns the previous handler.
+using ViolationHandler = std::function<void(const std::string& report)>;
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Drops the recorded graph, counters, and (for the calling thread) the
+/// held stack. Test isolation only.
+void reset_for_testing();
+
+}  // namespace agedtr::lock_order

@@ -21,7 +21,7 @@
 // via supervisor_for_budget().
 //
 // EvaluationEngine::evaluate_supervised, sim::run_monte_carlo (via
-// MonteCarloOptions::supervise) and sim::optimal_allocation (via
+// MonteCarloOptions::supervise) and policy::optimal_allocation (via
 // AllocationSearchOptions::supervise) all route through this layer.
 #pragma once
 

@@ -28,6 +28,10 @@
 #include <condition_variable>
 #include <mutex>
 
+#if defined(AGEDTR_LOCK_ORDER_CHECK)
+#include "agedtr/util/lock_order.hpp"
+#endif
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define AGEDTR_THREAD_ANNOTATION(x) __attribute__((x))
@@ -65,11 +69,32 @@ class AGEDTR_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(AGEDTR_LOCK_ORDER_CHECK)
+  // Lock-order validator hooks (util/lock_order.hpp). on_acquire runs
+  // *before* blocking so a would-be deadlock is reported instead of hung;
+  // the destructor purge keeps a recycled address from inheriting a dead
+  // mutex's ordering constraints.
+  ~Mutex() { lock_order::on_destroy(this); }
+  void lock() AGEDTR_ACQUIRE() {
+    lock_order::on_acquire(this);
+    impl_.lock();
+  }
+  void unlock() AGEDTR_RELEASE() {
+    lock_order::on_release(this);
+    impl_.unlock();
+  }
+  [[nodiscard]] bool try_lock() AGEDTR_TRY_ACQUIRE(true) {
+    if (!impl_.try_lock()) return false;
+    lock_order::on_try_acquire(this);
+    return true;
+  }
+#else
   void lock() AGEDTR_ACQUIRE() { impl_.lock(); }
   void unlock() AGEDTR_RELEASE() { impl_.unlock(); }
   [[nodiscard]] bool try_lock() AGEDTR_TRY_ACQUIRE(true) {
     return impl_.try_lock();
   }
+#endif
 
  private:
   friend class CondVar;  // waits on the raw std::mutex underneath

@@ -1,0 +1,184 @@
+#include "agedtr/util/lock_order.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agedtr::lock_order {
+namespace {
+
+struct State {
+  // The validator guards its graph with a raw std::mutex on purpose: an
+  // agedtr::Mutex here would re-enter the hooks it implements.
+  // agedtr-lint: allow(mutex-annotation)
+  std::mutex mutex;
+  // Order graph over mutex addresses. Address-keyed ordered containers are
+  // exactly what rule nondet-order exists to flag — here the iteration
+  // only feeds the deadlock DFS and the diagnostic report, never program
+  // output. agedtr-lint: allow(nondet-order)
+  std::map<const void*, std::set<const void*>> edges;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t violations = 0;
+  ViolationHandler handler;  // empty = default (print + abort)
+};
+
+/// Deliberately leaked: ~Mutex of namespace-scope mutexes in other TUs
+/// calls on_destroy during static destruction, whose order across TUs is
+/// unspecified — the registry must outlive every Mutex in the process.
+State& state() {
+  // agedtr-lint: allow(naked-new) — the leak above is the point.
+  static State* s = new State();
+  return *s;
+}
+
+/// One suppression site instead of one per acquisition: the validator
+/// cannot take an agedtr::MutexLock (it would re-enter the hooks it
+/// implements), so its own guard is the raw std::lock_guard.
+/// agedtr-lint: allow(mutex-annotation)
+using GraphLock = std::lock_guard<std::mutex>;
+
+thread_local std::vector<const void*> t_held;
+
+/// True if `to` can already reach `from` through recorded edges — adding
+/// from -> to would then close a cycle. Iterative DFS; caller holds
+/// state().mutex.
+bool reaches(const State& s, const void* to, const void* from) {
+  std::vector<const void*> stack{to};
+  // agedtr-lint: allow(nondet-order)
+  std::set<const void*> seen;
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (node == from) return true;
+    if (!seen.insert(node).second) continue;
+    const auto it = s.edges.find(node);
+    if (it == s.edges.end()) continue;
+    for (const void* next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+/// `blocking` distinguishes lock() from a successful try_lock(): only a
+/// blocking acquisition can be the waiting half of a deadlock, so only it
+/// records (and checks) edges held -> mutex. A try-acquired lock still
+/// joins the held stack — blocking acquisitions made while it is held
+/// record edges *from* it normally.
+void push_held(const void* mutex, bool blocking) {
+  // Violations are collected under the graph lock and dispatched after it
+  // is released: the handler is arbitrary user code (the default aborts,
+  // test handlers record) and must not run inside the validator's lock.
+  std::vector<std::string> reports;
+
+  for (const void* held : t_held) {
+    if (held == mutex) {
+      std::ostringstream out;
+      out << "recursive acquisition of mutex " << mutex
+          << " (std::mutex does not support recursive locking)";
+      reports.push_back(out.str());
+      break;
+    }
+  }
+
+  State& s = state();
+  ViolationHandler handler;
+  {
+    GraphLock lock(s.mutex);
+    ++s.acquisitions;
+    if (blocking) {
+      for (const void* held : t_held) {
+        if (held == mutex) continue;
+        auto& out_edges = s.edges[held];
+        if (out_edges.count(mutex) != 0) continue;  // already validated
+        if (reaches(s, mutex, held)) {
+          std::ostringstream out;
+          out << "lock-order cycle: acquiring mutex " << mutex
+              << " while holding " << held << " (" << t_held.size()
+              << " lock(s) held); the reverse order was already observed, "
+              << "so this interleaving can deadlock";
+          reports.push_back(out.str());
+          continue;  // record nothing for a rejected edge
+        }
+        out_edges.insert(mutex);
+        ++s.edge_count;
+      }
+    }
+    s.violations += reports.size();
+    handler = s.handler;
+  }
+  t_held.push_back(mutex);
+
+  for (const std::string& report : reports) {
+    if (handler) {
+      handler(report);
+    } else {
+      std::fprintf(stderr, "agedtr lock-order violation: %s\n",
+                   report.c_str());
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+void on_acquire(const void* mutex) { push_held(mutex, /*blocking=*/true); }
+
+void on_try_acquire(const void* mutex) {
+  push_held(mutex, /*blocking=*/false);
+}
+
+void on_release(const void* mutex) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_destroy(const void* mutex) {
+  State& s = state();
+  GraphLock lock(s.mutex);
+  const auto it = s.edges.find(mutex);
+  if (it != s.edges.end()) {
+    s.edge_count -= it->second.size();
+    s.edges.erase(it);
+  }
+  for (auto& [from, targets] : s.edges) {
+    (void)from;
+    s.edge_count -= targets.erase(mutex);
+  }
+}
+
+Stats stats() {
+  State& s = state();
+  GraphLock lock(s.mutex);
+  return Stats{s.acquisitions, s.edge_count, s.violations};
+}
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  State& s = state();
+  GraphLock lock(s.mutex);
+  ViolationHandler previous = std::move(s.handler);
+  s.handler = std::move(handler);
+  return previous;
+}
+
+void reset_for_testing() {
+  State& s = state();
+  GraphLock lock(s.mutex);
+  s.edges.clear();
+  s.acquisitions = 0;
+  s.edge_count = 0;
+  s.violations = 0;
+  t_held.clear();
+}
+
+}  // namespace agedtr::lock_order

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "agedtr/util/error.hpp"
@@ -47,7 +47,9 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 /// In-flight attempts the watchdog scans. One slot per task index (at most
-/// one attempt of a task runs at a time).
+/// one attempt of a task runs at a time). An ordered map, so a watchdog
+/// sweep visits (and cancels) overdue attempts in task-index order —
+/// deterministic cancellation attribution when deadlines tie.
 struct InflightRegistry {
   struct Attempt {
     Clock::time_point deadline;
@@ -57,7 +59,7 @@ struct InflightRegistry {
 
   Mutex mutex;
   CondVar cv;
-  std::unordered_map<std::size_t, Attempt> attempts AGEDTR_GUARDED_BY(mutex);
+  std::map<std::size_t, Attempt> attempts AGEDTR_GUARDED_BY(mutex);
   bool done AGEDTR_GUARDED_BY(mutex) = false;
 
   void admit(std::size_t index, Clock::time_point deadline,

@@ -4,10 +4,10 @@
 #include <numeric>
 
 #include "agedtr/dist/exponential.hpp"
-#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/policy/allocation_search.hpp"
 #include "agedtr/util/error.hpp"
 
-namespace agedtr::sim {
+namespace agedtr::policy {
 namespace {
 
 using core::DcsScenario;
@@ -88,4 +88,4 @@ TEST(AllocationSearch, RejectsSizeMismatch) {
 }
 
 }  // namespace
-}  // namespace agedtr::sim
+}  // namespace agedtr::policy

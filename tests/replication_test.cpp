@@ -22,7 +22,7 @@
 #include "agedtr/policy/evaluation_engine.hpp"
 #include "agedtr/policy/two_server.hpp"
 #include "agedtr/random/rng.hpp"
-#include "agedtr/sim/allocation_search.hpp"
+#include "agedtr/policy/allocation_search.hpp"
 #include "agedtr/sim/monte_carlo.hpp"
 #include "agedtr/sim/replication_study.hpp"
 #include "agedtr/sim/simulator.hpp"
@@ -658,7 +658,7 @@ TEST(Algorithm1, SelectsReplicationFactorFromAnalyticBounds) {
 
 TEST(AllocationSearch, ReplicationPostPassScoresFactors) {
   const DcsScenario s = stochastic_scenario(false);
-  sim::AllocationSearchOptions options;
+  policy::AllocationSearchOptions options;
   options.analytic = true;
   options.replications = 400;
   options.replication_factors = {1, 2};
@@ -666,16 +666,16 @@ TEST(AllocationSearch, ReplicationPostPassScoresFactors) {
   options.replication_faults.slowdown.duration =
       dist::Exponential::with_mean(30.0);
   options.replication_faults.slowdown.factor = 0.1;
-  const sim::AllocationSearchResult result =
-      sim::optimal_allocation(s, options);
+  const policy::AllocationSearchResult result =
+      policy::optimal_allocation(s, options);
   EXPECT_GE(result.replication_factor, 1);
   EXPECT_LE(result.replication_factor, 2);
   EXPECT_TRUE(std::isfinite(result.replicated_value));
   EXPECT_GT(result.replicated_value, 0.0);
 
-  sim::AllocationSearchOptions off = options;
+  policy::AllocationSearchOptions off = options;
   off.replication_factors.clear();
-  const sim::AllocationSearchResult plain = sim::optimal_allocation(s, off);
+  const policy::AllocationSearchResult plain = policy::optimal_allocation(s, off);
   EXPECT_EQ(plain.replication_factor, 1);
   EXPECT_TRUE(std::isnan(plain.replicated_value));
 }

@@ -15,7 +15,12 @@
 #include <type_traits>
 
 #include "agedtr/core/lattice_workspace.hpp"
+#include "agedtr/core/scenario.hpp"
 #include "agedtr/dist/distribution.hpp"
+#include "agedtr/numerics/fft.hpp"
+#include "agedtr/numerics/lattice.hpp"
+#include "agedtr/service/json.hpp"
+#include "agedtr/sim/simulator.hpp"
 #include "agedtr/util/checkpoint.hpp"
 #include "agedtr/util/error.hpp"
 #include "agedtr/util/metrics.hpp"
@@ -64,6 +69,30 @@ static_assert(std::is_nothrow_move_constructible_v<dist::DistPtr>);
 // move without throwing so the copies stay cheap.
 static_assert(std::is_nothrow_move_constructible_v<CheckpointStats>);
 static_assert(std::is_nothrow_move_constructible_v<SupervisionReport>);
+
+// ---------------------------------------------------------------------------
+// The hot value types registered in docs/layering.toml (rule
+// `noexcept-move`, scripts/agedtr_analyze.py): densities and spectra live
+// in the LatticeWorkspace ladders and the FFT plan cache, policies and
+// results travel by value through search/Monte-Carlo vectors, Json nests
+// recursively. A throwing move on any of them silently turns container
+// growth into deep copies. The analyzer enforces the declaration in each
+// header; these pins make the contract a test failure as well.
+static_assert(std::is_nothrow_move_constructible_v<numerics::LatticeDensity>);
+static_assert(std::is_nothrow_move_assignable_v<numerics::LatticeDensity>);
+static_assert(std::is_nothrow_move_constructible_v<numerics::Spectrum>);
+static_assert(std::is_nothrow_move_constructible_v<numerics::FftPlan>);
+static_assert(std::is_nothrow_move_constructible_v<core::DtrPolicy>);
+static_assert(std::is_nothrow_move_assignable_v<core::DtrPolicy>);
+static_assert(std::is_nothrow_move_constructible_v<sim::SimResult>);
+static_assert(std::is_nothrow_move_constructible_v<service::Json>);
+// Declaring the moves must not have cost the copy operations (the classic
+// rule-of-five slip: a declared move constructor suppresses the implicit
+// copies).
+static_assert(std::is_copy_constructible_v<numerics::LatticeDensity>);
+static_assert(std::is_copy_assignable_v<numerics::LatticeDensity>);
+static_assert(std::is_copy_constructible_v<core::DtrPolicy>);
+static_assert(std::is_copy_assignable_v<core::DtrPolicy>);
 
 // ---------------------------------------------------------------------------
 // AGEDTR_REQUIRE / AGEDTR_ASSERT stamp the throwing file:line.
@@ -118,6 +147,30 @@ TEST(StaticContracts, PermanentFailureTaxonomy) {
   EXPECT_FALSE(is_permanent_failure(TaskCancelled("overdue")));
   EXPECT_FALSE(is_permanent_failure(CheckpointError("disk gone")));
   EXPECT_FALSE(is_permanent_failure(std::runtime_error("generic")));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the supervision report: quarantine entries come back
+// sorted by task index regardless of thread scheduling, and the in-flight
+// registry scans in index order (an ordered map — rule `unordered-iter`
+// is what keeps it that way). A report that depended on completion order
+// would make failure summaries differ run to run.
+
+TEST(StaticContracts, QuarantineReportIsIndexOrdered) {
+  ThreadPool pool(4);
+  SupervisorOptions options;
+  options.max_retries = 0;
+  options.pool = &pool;
+  const SupervisionReport report =
+      Supervisor(options).run(16, [](std::size_t index, const CancelToken&) {
+        if (index % 2 == 1) {  // odd tasks fail permanently
+          throw InvalidArgument("task " + std::to_string(index));
+        }
+      });
+  ASSERT_EQ(report.quarantined.size(), 8u);
+  for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+    EXPECT_EQ(report.quarantined[i].index, 2 * i + 1);
+  }
 }
 
 // ---------------------------------------------------------------------------
